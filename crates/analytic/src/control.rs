@@ -1,0 +1,126 @@
+//! The DNS control-fraction model.
+//!
+//! The paper's central constraint: "the DNS scheduler has direct control
+//! over a very limited fraction of requests (the percentage is often below
+//! 4%)". This module predicts that fraction from first principles so the
+//! simulator can be validated against it.
+
+/// Parameters of the control-fraction model, all long-run means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlModel {
+    /// Number of connected domains `K`.
+    pub n_domains: usize,
+    /// Total client sessions started per second, site-wide.
+    pub session_rate: f64,
+    /// The TTL attached to (or effective for) each mapping, seconds.
+    pub ttl_s: f64,
+}
+
+impl ControlModel {
+    /// The paper's defaults: K = 20 domains, 500 clients cycling one
+    /// session per (20 pages × 15 s think) = 300 s, constant TTL 240 s.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ControlModel {
+            n_domains: 20,
+            session_rate: 500.0 / 300.0,
+            ttl_s: 240.0,
+        }
+    }
+
+    /// The expected address-request (NS-miss) rate: each continuously
+    /// active domain refreshes its mapping every `ttl_s` seconds, so at
+    /// most `K / ttl_s` requests per second reach the DNS. Domains whose
+    /// session inter-arrival exceeds the TTL refresh *less* often — they
+    /// are capped at their own session rate — so this is an upper bound
+    /// that is tight when every domain stays busy.
+    #[must_use]
+    pub fn address_rate_upper_bound(&self) -> f64 {
+        self.n_domains as f64 / self.ttl_s
+    }
+
+    /// The expected fraction of sessions that are DNS-routed (miss the NS
+    /// cache): the ratio of the address-request rate to the session rate,
+    /// clamped to 1.
+    #[must_use]
+    pub fn control_fraction(&self) -> f64 {
+        (self.address_rate_upper_bound() / self.session_rate).min(1.0)
+    }
+}
+
+/// Per-domain refinement: given each domain's session rate, the expected
+/// address-request rate accounting for sparse domains (a domain cannot
+/// refresh faster than it starts sessions).
+///
+/// # Panics
+///
+/// Panics if `ttl_s` is not positive or any rate is negative.
+#[must_use]
+pub fn address_rate_per_domain(session_rates: &[f64], ttl_s: f64) -> f64 {
+    assert!(ttl_s > 0.0, "TTL must be positive");
+    session_rates
+        .iter()
+        .map(|&r| {
+            assert!(r >= 0.0, "session rates must be non-negative");
+            // A domain with session inter-arrival T_s = 1/r refreshes once
+            // per max(ttl, T_s): its miss process is the renewal of
+            // "first session after expiry".
+            if r <= 0.0 {
+                0.0
+            } else {
+                1.0 / (ttl_s + 1.0 / r)
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_about_five_percent() {
+        let m = ControlModel::paper_default();
+        // 20/240 ≈ 0.083 req/s over 1.67 sessions/s ≈ 5%.
+        let f = m.control_fraction();
+        assert!((0.03..0.08).contains(&f), "control fraction {f}");
+    }
+
+    #[test]
+    fn smaller_ttl_means_more_control() {
+        let mut m = ControlModel::paper_default();
+        let base = m.control_fraction();
+        m.ttl_s = 60.0;
+        assert!(m.control_fraction() > base * 3.0);
+    }
+
+    #[test]
+    fn control_fraction_clamps_at_one() {
+        let m = ControlModel { n_domains: 1000, session_rate: 0.1, ttl_s: 1.0 };
+        assert_eq!(m.control_fraction(), 1.0);
+    }
+
+    #[test]
+    fn sparse_domains_refresh_less_often() {
+        // A domain with one session per hour cannot produce 1/240 misses/s.
+        let rate = address_rate_per_domain(&[1.0 / 3600.0], 240.0);
+        assert!(rate < 1.0 / 3600.0 + 1e-9);
+        // A busy domain approaches the 1/TTL ceiling.
+        let busy = address_rate_per_domain(&[100.0], 240.0);
+        assert!((busy - 1.0 / 240.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_domain_sum_is_below_upper_bound() {
+        let rates = vec![0.5, 0.1, 0.01, 0.001];
+        let refined = address_rate_per_domain(&rates, 240.0);
+        let bound = 4.0 / 240.0;
+        assert!(refined < bound, "refined {refined} vs bound {bound}");
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL must be positive")]
+    fn zero_ttl_panics() {
+        let _ = address_rate_per_domain(&[1.0], 0.0);
+    }
+}

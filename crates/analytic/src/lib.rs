@@ -1,0 +1,25 @@
+//! Closed-form models used to *validate* the `geodns` simulator.
+//!
+//! A simulation study is only as credible as its substrate, so this crate
+//! provides the textbook results the model must agree with where theory
+//! exists:
+//!
+//! * [`queueing`] — M/M/1 and M/G/1 (Pollaczek–Khinchine) formulas for a
+//!   single server; the simulator's FCFS hit queues are exactly these
+//!   systems when driven open-loop.
+//! * [`shares`] — stationary per-server load shares implied by each
+//!   (selection policy × TTL scheme) combination; the reason the
+//!   deterministic `TTL/S_*` family works is a two-line calculation here.
+//! * [`control`] — the DNS control-fraction model: how much of the request
+//!   stream the scheduler actually steers given TTLs and session
+//!   parameters (the paper's "often below 4%").
+//!
+//! The cross-checks live in `tests/validation.rs` at the workspace root:
+//! simulation output is compared against these formulas to a few percent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod queueing;
+pub mod shares;

@@ -1,0 +1,173 @@
+//! Single-queue formulas: M/M/1 and M/G/1 (Pollaczek–Khinchine).
+//!
+//! Each Web server in the model is a FCFS queue with Poisson-ish hit
+//! arrivals and i.i.d. service times, so these classical results bound and
+//! validate its behaviour.
+
+/// Offered utilization `ρ = λ/μ` of a single queue.
+///
+/// # Panics
+///
+/// Panics unless both rates are finite and positive.
+#[must_use]
+pub fn utilization(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda.is_finite() && lambda > 0.0, "arrival rate must be positive");
+    assert!(mu.is_finite() && mu > 0.0, "service rate must be positive");
+    lambda / mu
+}
+
+/// Mean response time (wait + service) of an M/M/1 queue:
+/// `E[T] = 1 / (μ − λ)`.
+///
+/// Returns `None` for an unstable queue (`λ ≥ μ`).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_analytic::queueing::mm1_mean_response;
+///
+/// // ρ = 2/3 on a 90 hits/s server: E[T] = 1/(90−60) ≈ 33 ms.
+/// let t = mm1_mean_response(60.0, 90.0).unwrap();
+/// assert!((t - 1.0 / 30.0).abs() < 1e-12);
+/// assert!(mm1_mean_response(100.0, 90.0).is_none());
+/// ```
+#[must_use]
+pub fn mm1_mean_response(lambda: f64, mu: f64) -> Option<f64> {
+    let rho = utilization(lambda, mu);
+    (rho < 1.0).then(|| 1.0 / (mu - lambda))
+}
+
+/// Mean number in system of an M/M/1 queue: `ρ / (1 − ρ)`.
+///
+/// Returns `None` for an unstable queue.
+#[must_use]
+pub fn mm1_mean_in_system(lambda: f64, mu: f64) -> Option<f64> {
+    let rho = utilization(lambda, mu);
+    (rho < 1.0).then(|| rho / (1.0 - rho))
+}
+
+/// The `q`-quantile of M/M/1 response time (which is exponential with rate
+/// `μ − λ`): `−ln(1−q)/(μ−λ)`.
+///
+/// Returns `None` for an unstable queue.
+///
+/// # Panics
+///
+/// Panics unless `0 < q < 1`.
+#[must_use]
+pub fn mm1_response_quantile(lambda: f64, mu: f64, q: f64) -> Option<f64> {
+    assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+    let rho = utilization(lambda, mu);
+    (rho < 1.0).then(|| -(1.0 - q).ln() / (mu - lambda))
+}
+
+/// Mean *waiting* time of an M/G/1 queue by Pollaczek–Khinchine:
+/// `E[W] = λ·E[S²] / (2(1−ρ))` with `E[S²] = (1 + c²)/μ²`, where `c²` is
+/// the squared coefficient of variation of service times (`c² = 1` for
+/// exponential, `0` for deterministic).
+///
+/// Returns `None` for an unstable queue.
+///
+/// # Panics
+///
+/// Panics if `scv` is negative or not finite.
+#[must_use]
+pub fn mg1_mean_wait(lambda: f64, mu: f64, scv: f64) -> Option<f64> {
+    assert!(scv.is_finite() && scv >= 0.0, "squared CoV must be >= 0, got {scv}");
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 {
+        return None;
+    }
+    let es2 = (1.0 + scv) / (mu * mu);
+    Some(lambda * es2 / (2.0 * (1.0 - rho)))
+}
+
+/// Mean response time of an M/G/1 queue: P–K waiting time plus one mean
+/// service time.
+///
+/// Returns `None` for an unstable queue.
+#[must_use]
+pub fn mg1_mean_response(lambda: f64, mu: f64, scv: f64) -> Option<f64> {
+    mg1_mean_wait(lambda, mu, scv).map(|w| w + 1.0 / mu)
+}
+
+/// The squared coefficient of variation of a Pareto service law with tail
+/// index `shape` (needs `shape > 2` for finite variance).
+///
+/// Returns `None` when the variance is infinite.
+///
+/// # Panics
+///
+/// Panics unless `shape > 1` (mean must exist).
+#[must_use]
+pub fn pareto_scv(shape: f64) -> Option<f64> {
+    assert!(shape.is_finite() && shape > 1.0, "pareto shape must exceed 1, got {shape}");
+    if shape <= 2.0 {
+        return None;
+    }
+    // For Pareto(x_min, a): mean m = a·x/(a−1), var = x²·a/((a−1)²(a−2)).
+    // scv = var/m² = 1/(a(a−2)).
+    Some(1.0 / (shape * (shape - 2.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_matches_mg1_with_scv_one() {
+        let (l, m) = (60.0, 90.0);
+        let mm1 = mm1_mean_response(l, m).unwrap();
+        let mg1 = mg1_mean_response(l, m, 1.0).unwrap();
+        assert!((mm1 - mg1).abs() < 1e-12, "M/M/1 {mm1} vs M/G/1(c²=1) {mg1}");
+    }
+
+    #[test]
+    fn md1_waits_half_as_long_as_mm1() {
+        let (l, m) = (60.0, 90.0);
+        let mm1_wait = mm1_mean_response(l, m).unwrap() - 1.0 / m;
+        let md1_wait = mg1_mean_wait(l, m, 0.0).unwrap();
+        assert!((md1_wait - 0.5 * mm1_wait).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instability_detected() {
+        assert!(mm1_mean_response(90.0, 90.0).is_none());
+        assert!(mm1_mean_in_system(91.0, 90.0).is_none());
+        assert!(mg1_mean_wait(100.0, 90.0, 1.0).is_none());
+        assert!(mm1_response_quantile(100.0, 90.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_are_exponential() {
+        let (l, m) = (30.0, 90.0);
+        let median = mm1_response_quantile(l, m, 0.5).unwrap();
+        let p95 = mm1_response_quantile(l, m, 0.95).unwrap();
+        assert!((median - 0.5f64.ln().abs() / 60.0).abs() < 1e-12);
+        assert!(p95 > median * 4.0, "exponential tails: p95/median = ln20/ln2 ≈ 4.32");
+    }
+
+    #[test]
+    fn mean_in_system_by_littles_law() {
+        // L = λ·T (Little's law) must tie the two formulas together.
+        let (l, m) = (50.0, 80.0);
+        let t = mm1_mean_response(l, m).unwrap();
+        let n = mm1_mean_in_system(l, m).unwrap();
+        assert!((n - l * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_scv_values() {
+        assert!(pareto_scv(2.0).is_none(), "infinite variance at the boundary");
+        assert!(pareto_scv(1.5).is_none());
+        let scv = pareto_scv(3.0).unwrap();
+        assert!((scv - 1.0 / 3.0).abs() < 1e-12);
+        assert!(pareto_scv(2.2).unwrap() > 1.0, "α=2.2 is burstier than exponential");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = utilization(0.0, 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Stationary per-server load shares under (policy × TTL) combinations.
+//!
+//! The core calculation behind the paper's deterministic family: a
+//! round-robin DNS *visits* every server equally often, but each visit to
+//! server `i` installs a mapping that lives `TTL_i ∝ α_i·ρ` seconds. The
+//! fraction of time (and hence of hidden load) a domain spends bound to
+//! server `i` is therefore
+//!
+//! ```text
+//! share_i = visit_i · ttl_factor_i / Σ_j visit_j · ttl_factor_j
+//! ```
+//!
+//! With uniform visits and `ttl_factor ∝ α`, the load lands
+//! capacity-proportionally — which is exactly what a heterogeneous site
+//! needs, and why `DRR-TTL/S_*` balances without probabilistic routing.
+
+/// Normalizes a non-negative vector to sum 1.
+///
+/// # Panics
+///
+/// Panics if the vector is empty, contains negatives/non-finite values, or
+/// sums to zero.
+#[must_use]
+pub fn normalize(v: &[f64]) -> Vec<f64> {
+    assert!(!v.is_empty(), "need at least one entry");
+    assert!(
+        v.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "entries must be finite and non-negative"
+    );
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "entries must not all be zero");
+    v.iter().map(|x| x / total).collect()
+}
+
+/// Expected long-run per-server *time-bound* share given per-server visit
+/// probabilities and per-server TTL factors: `visit_i · ttl_i`, normalized.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_analytic::shares::binding_shares;
+///
+/// // Uniform RR visits, capacity-proportional TTLs (the DRR-TTL/S idea):
+/// let alpha = [1.0, 0.8, 0.5];
+/// let visits = [1.0 / 3.0; 3];
+/// let shares = binding_shares(&visits, &alpha);
+/// // Load lands proportionally to capacity.
+/// assert!((shares[0] / shares[2] - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn binding_shares(visits: &[f64], ttl_factors: &[f64]) -> Vec<f64> {
+    assert_eq!(visits.len(), ttl_factors.len(), "length mismatch");
+    let weighted: Vec<f64> = visits.iter().zip(ttl_factors).map(|(v, t)| v * t).collect();
+    normalize(&weighted)
+}
+
+/// Visit probabilities of plain round-robin: uniform.
+#[must_use]
+pub fn rr_visits(n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one server");
+    vec![1.0 / n as f64; n]
+}
+
+/// Visit probabilities of PRR's capacity-skipping walk: server `i` is
+/// accepted with probability `α_i` per encounter, so in the long run its
+/// visit share is `α_i / Σα` (the walk is a Markov chain whose stationary
+/// distribution weights each server by its acceptance probability).
+#[must_use]
+pub fn prr_visits(relative_caps: &[f64]) -> Vec<f64> {
+    normalize(relative_caps)
+}
+
+/// The ideal load share of each server on a heterogeneous site: its share
+/// of total capacity.
+#[must_use]
+pub fn capacity_shares(capacities: &[f64]) -> Vec<f64> {
+    normalize(capacities)
+}
+
+/// A scalar imbalance measure between an achieved share vector and the
+/// ideal: half the L1 distance (total variation), in `[0, 1)`. Zero means
+/// perfectly capacity-proportional load.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn imbalance(achieved: &[f64], ideal: &[f64]) -> f64 {
+    assert_eq!(achieved.len(), ideal.len(), "length mismatch");
+    0.5 * achieved
+        .iter()
+        .zip(ideal)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: [f64; 7] = [1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5];
+
+    #[test]
+    fn rr_with_constant_ttl_misloads_heterogeneous_servers() {
+        // RR + constant TTL: every server gets 1/7 of the load, but the
+        // weak servers hold only 0.5/5.1 of the capacity each.
+        let shares = binding_shares(&rr_visits(7), &[1.0; 7]);
+        let ideal = capacity_shares(&ALPHA);
+        let imb = imbalance(&shares, &ideal);
+        assert!(imb > 0.08, "RR must misload: imbalance {imb}");
+        // The weakest server is overloaded by ~46%: (1/7)/(0.5/5.1).
+        let overload = shares[6] / ideal[6];
+        assert!((overload - (5.1 / 7.0) / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drr_ttl_s_is_capacity_proportional() {
+        // RR visits × α-proportional TTLs = capacity shares, exactly.
+        let shares = binding_shares(&rr_visits(7), &ALPHA);
+        let ideal = capacity_shares(&ALPHA);
+        assert!(imbalance(&shares, &ideal) < 1e-12);
+    }
+
+    #[test]
+    fn prr_with_constant_ttl_is_also_capacity_proportional() {
+        // The probabilistic family fixes the same skew from the visit side.
+        let shares = binding_shares(&prr_visits(&ALPHA), &[1.0; 7]);
+        let ideal = capacity_shares(&ALPHA);
+        assert!(imbalance(&shares, &ideal) < 1e-12);
+    }
+
+    #[test]
+    fn prr_with_scaled_ttl_overshoots() {
+        // Combining both corrections squares the bias — shares ∝ α², which
+        // is why the paper pairs PRR with unscaled TTL/i and DRR with
+        // TTL/S_i, never both corrections at once.
+        let shares = binding_shares(&prr_visits(&ALPHA), &ALPHA);
+        let ideal = capacity_shares(&ALPHA);
+        assert!(imbalance(&shares, &ideal) > 0.05);
+        assert!(shares[0] > ideal[0], "strong servers over-weighted");
+    }
+
+    #[test]
+    fn imbalance_bounds() {
+        assert_eq!(imbalance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        let extreme = imbalance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((extreme - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_validates() {
+        assert_eq!(normalize(&[2.0, 2.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn normalize_rejects_zeros() {
+        let _ = normalize(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn binding_shares_length_checked() {
+        let _ = binding_shares(&[0.5, 0.5], &[1.0]);
+    }
+}

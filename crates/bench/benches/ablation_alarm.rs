@@ -1,0 +1,36 @@
+//! **X3**: what does the asynchronous alarm feedback buy? Sweeps the alarm
+//! threshold θ, including θ = 1.0 which never fires (feedback off, since a
+//! busy-fraction utilization cannot exceed 1).
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [Algorithm::rr(), Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s_k()];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let mut points = Vec::new();
+    for theta in [0.70, 0.80, 0.90, 0.95, 1.0] {
+        let mut e = Experiment::new(format!("ablation_alarm@{theta}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.alarm_threshold = theta;
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        let label = if theta >= 1.0 { "off".to_string() } else { format!("θ={theta:.2}") };
+        points.push((label, run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X3: Alarm-threshold ablation (heterogeneity 35%)",
+        "alarm threshold θ",
+        &names,
+        &points,
+    );
+    save_json("ablation_alarm", &flatten_series(&points));
+}

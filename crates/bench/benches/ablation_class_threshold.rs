@@ -1,0 +1,35 @@
+//! **X4**: the two-tier class threshold γ. The paper fixes γ = 1/K; this
+//! ablation sweeps it to show how hot/normal membership drives the TTL/2
+//! and RR2 machinery.
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s(2)];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let mut points = Vec::new();
+    for gamma in [0.01, 0.025, 0.05, 0.10, 0.20] {
+        let mut e = Experiment::new(format!("ablation_class_threshold@{gamma}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.class_threshold = Some(gamma);
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("γ={gamma}"), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X4: Class-threshold γ ablation (heterogeneity 35%; paper default γ = 1/K = 0.05)",
+        "class threshold γ",
+        &names,
+        &points,
+    );
+    save_json("ablation_class_threshold", &flatten_series(&points));
+}

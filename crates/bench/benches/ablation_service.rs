@@ -1,0 +1,53 @@
+//! **X10**: does the paper's result depend on exponential service times?
+//! Re-runs the headline comparison with deterministic (M/D/1-like) and
+//! heavy-tailed Pareto service, all at the same per-server mean `1/C_i`.
+
+use geodns_bench::{apply_mode, run_experiment, save_json};
+use geodns_core::{format_table, Algorithm, Experiment, ServiceModel, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [Algorithm::rr(), Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s_k()];
+    let services: [(&str, ServiceModel); 3] = [
+        ("exponential", ServiceModel::Exponential),
+        ("deterministic", ServiceModel::Deterministic),
+        ("pareto α=2.2", ServiceModel::Pareto { shape: 2.2 }),
+    ];
+
+    let mut e = Experiment::new("ablation_service");
+    for &algorithm in &algorithms {
+        for &(label, service) in &services {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.service = service;
+            apply_mode(&mut cfg);
+            e.push(format!("{} / {label}", algorithm.name()), cfg);
+        }
+    }
+    let results = run_experiment(&e);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                format!("{:.3}", r.p98()),
+                format!("{:.3}", r.prob_max_util_lt(0.9)),
+                format!("{:.0}", r.page_response_p95_s * 1e3),
+            ]
+        })
+        .collect();
+    println!("\nX10: Service-time model ablation (heterogeneity 35%, same mean 1/C_i)\n");
+    println!(
+        "{}",
+        format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows)
+    );
+    println!(
+        "reading: the adaptive-TTL ranking is about *which server the hidden load lands on*,\n\
+         not about queueing micro-behaviour — it should survive all three service shapes,\n\
+         with heavy tails depressing everyone's absolute numbers."
+    );
+    save_json("ablation_service", &results);
+}

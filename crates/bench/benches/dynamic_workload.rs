@@ -1,0 +1,55 @@
+//! **X8**: the algorithms under *time-varying* load — a diurnal swell and
+//! a flash crowd — rather than the paper's stationary snapshots. The
+//! question: does adaptive TTL's advantage survive when the hidden loads
+//! it adapts to are moving targets?
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, EstimatorKind, Experiment, RateProfile, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [
+        Algorithm::rr(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::drr2_ttl_s_k(),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let scenarios: Vec<(&str, RateProfile)> = vec![
+        ("stationary", RateProfile::Constant),
+        ("diurnal ±30% (2 h)", RateProfile::Diurnal { amplitude: 0.3, period_s: 7200.0 }),
+        ("flash 3× on dom1", RateProfile::FlashCrowd {
+            domain: 1,
+            start_s: 3600.0,
+            duration_s: 3600.0,
+            factor: 3.0,
+        }),
+        ("step 2× on dom0", RateProfile::Step { domain: 0, at_s: 5400.0, factor: 2.0 }),
+    ];
+
+    let mut points = Vec::new();
+    for (label, profile) in &scenarios {
+        let mut e = Experiment::new(format!("dynamic_workload@{label}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.workload.profile = *profile;
+            // Live measurement: the realistic deployment for moving loads.
+            cfg.estimator = EstimatorKind::measured_default();
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push(((*label).to_string(), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X8: Time-varying workloads with the measured estimator (heterogeneity 35%)",
+        "workload scenario",
+        &names,
+        &points,
+    );
+    save_json("dynamic_workload", &flatten_series(&points));
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 2**: cumulative frequency of the maximum server
+//! utilization for the *probabilistic* algorithms at 35% heterogeneity.
+
+use geodns_bench::{apply_mode, print_cdf_table, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let level = HeterogeneityLevel::H35;
+    let mut e = Experiment::new("fig2");
+
+    let mut ideal = SimConfig::ideal(level);
+    ideal.seed = SEED;
+    apply_mode(&mut ideal);
+    e.push("Ideal", ideal);
+
+    let algorithms = [
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr_ttl_k(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::prr_ttl(2),
+        Algorithm::prr2_ttl1(),
+        Algorithm::prr_ttl1(),
+        Algorithm::rr(),
+    ];
+    for algorithm in algorithms {
+        let mut cfg = SimConfig::paper_default(algorithm, level);
+        cfg.seed = SEED;
+        apply_mode(&mut cfg);
+        e.push(algorithm.name(), cfg);
+    }
+
+    let results = run_experiment(&e);
+    print_cdf_table(
+        "Figure 2: Probabilistic algorithms (heterogeneity 35%)",
+        &results,
+    );
+    save_json("fig2", &results);
+}

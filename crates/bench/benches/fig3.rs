@@ -1,0 +1,48 @@
+//! Regenerates **Figure 3**: sensitivity of the main schemes to system
+//! heterogeneity (20% → 65%), including the DAL transplant from the
+//! homogeneous-site paper that adaptive TTL obsoletes.
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::drr2_ttl_s(2),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::dal(),
+        Algorithm::rr(),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let levels = [
+        HeterogeneityLevel::H20,
+        HeterogeneityLevel::H35,
+        HeterogeneityLevel::H50,
+        HeterogeneityLevel::H65,
+    ];
+
+    let mut points = Vec::new();
+    for level in levels {
+        let mut e = Experiment::new(format!("fig3@{level}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, level);
+            cfg.seed = SEED;
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("{}%", level.percent()), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "Figure 3: Sensitivity to system heterogeneity",
+        "heterogeneity (max difference among server capacities)",
+        &names,
+        &points,
+    );
+    save_json("fig3", &flatten_series(&points));
+}

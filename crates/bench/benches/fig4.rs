@@ -1,0 +1,9 @@
+//! Regenerates **Figure 4**: sensitivity to non-cooperative name servers
+//! (every NS clamps TTLs up to a minimum threshold) at 20% heterogeneity.
+
+use geodns_bench::run_min_ttl_sweep;
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    run_min_ttl_sweep("fig4", 4, HeterogeneityLevel::H20, 1998);
+}

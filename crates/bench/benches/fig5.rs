@@ -1,0 +1,10 @@
+//! Regenerates **Figure 5**: the Figure-4 min-TTL sweep at 50%
+//! heterogeneity, where the paper reports the crossover — beyond ~100 s
+//! thresholds the probabilistic TTL/K schemes overtake `DRR2-TTL/S_K`.
+
+use geodns_bench::run_min_ttl_sweep;
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    run_min_ttl_sweep("fig5", 5, HeterogeneityLevel::H50, 1998);
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 6**: sensitivity to hidden-load estimation error
+//! at 20% heterogeneity. The TTL/K & TTL/S_K family should cluster on top,
+//! nearly flat; the TTL/2 & TTL/S_2 family degrades with error.
+
+use geodns_bench::run_error_sweep;
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    run_error_sweep("fig6", 6, HeterogeneityLevel::H20, 1998);
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 7**: the Figure-6 estimation-error sweep at 50%
+//! heterogeneity, where the paper reports the TTL/2-family degrading
+//! substantially once the error reaches ~30%.
+
+use geodns_bench::run_error_sweep;
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    run_error_sweep("fig7", 7, HeterogeneityLevel::H50, 1998);
+}

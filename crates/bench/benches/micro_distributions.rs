@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the random-variate samplers — the
+//! workload model draws millions of these per run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geodns_simcore::dist::{Discrete, DiscreteUniform, Distribution, Exponential, Geometric, Zipf};
+use geodns_simcore::RngStreams;
+
+const DRAWS: u64 = 10_000;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributions");
+    g.throughput(Throughput::Elements(DRAWS));
+
+    let exp = Exponential::with_mean(15.0);
+    g.bench_function("exponential", |b| {
+        let mut rng = RngStreams::new(1).stream("exp");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..DRAWS {
+                acc += exp.sample(&mut rng);
+            }
+            acc
+        });
+    });
+
+    let hits = DiscreteUniform::new(5, 15).unwrap();
+    g.bench_function("discrete_uniform", |b| {
+        let mut rng = RngStreams::new(2).stream("du");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc += hits.sample(&mut rng);
+            }
+            acc
+        });
+    });
+
+    let pages = Geometric::with_mean(20.0).unwrap();
+    g.bench_function("geometric", |b| {
+        let mut rng = RngStreams::new(3).stream("geo");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc += pages.sample(&mut rng);
+            }
+            acc
+        });
+    });
+
+    let zipf = Zipf::new(100, 1.0).unwrap();
+    g.bench_function("zipf_alias_k100", |b| {
+        let mut rng = RngStreams::new(4).stream("zipf");
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                acc += zipf.sample(&mut rng);
+            }
+            acc
+        });
+    });
+
+    let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / f64::from(i)).collect();
+    let discrete = Discrete::from_weights(&weights).unwrap();
+    g.bench_function("alias_k1000", |b| {
+        let mut rng = RngStreams::new(5).stream("alias");
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                acc += discrete.sample(&mut rng);
+            }
+            acc
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("alias_table_build_k1000", |b| {
+        let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / f64::from(i)).collect();
+        b.iter(|| Discrete::from_weights(&weights).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_samplers, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the discrete-event engine: raw event
+//! throughput bounds how many simulated hours per wall-clock second the
+//! whole reproduction can achieve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use geodns_core::{run_simulation, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+use geodns_simcore::{Engine, EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    // Pseudo-random but deterministic times.
+                    let mut t: u64 = 0x9e3779b97f4a7c15;
+                    for i in 0..n as u64 {
+                        t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        q.push(SimTime::from_secs((t >> 40) as f64), i);
+                    }
+                    while q.pop().is_some() {}
+                    q
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_steps(c: &mut Criterion) {
+    c.bench_function("engine_hold_model_100k_steps", |b| {
+        b.iter(|| {
+            // A self-rescheduling "hold" model: the classic DES engine
+            // stress test.
+            let mut eng = Engine::with_capacity(16);
+            for i in 0..8u64 {
+                eng.schedule_in(i as f64, i);
+            }
+            let mut steps = 0u64;
+            while let Some((_, ev)) = eng.step() {
+                steps += 1;
+                if steps >= 100_000 {
+                    break;
+                }
+                eng.schedule_in(((ev * 2654435761) % 100) as f64 + 0.1, ev + 1);
+            }
+            steps
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("five_sim_minutes_paper_model", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+            cfg.duration_s = 240.0;
+            cfg.warmup_s = 60.0;
+            cfg.seed = 7;
+            run_simulation(&cfg).expect("valid config")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_engine_steps, bench_end_to_end);
+criterion_main!(benches);

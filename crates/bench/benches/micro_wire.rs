@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the DNS wire path: codec throughput and
+//! the full query→answer handling loop, i.e. the per-query cost a real
+//! deployment of the adaptive-TTL DNS would pay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geodns_wire::{AuthoritativeServer, Message, Question};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let query = Message::query(7, Question::a("www.example.org"));
+    let bytes = query.to_bytes();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_query", |b| b.iter(|| query.to_bytes()));
+    g.bench_function("parse_query", |b| b.iter(|| Message::parse(&bytes).unwrap()));
+
+    let mut server = AuthoritativeServer::example();
+    let response = server.handle(&bytes, [10, 0, 0, 1], 0.0).unwrap();
+    g.bench_function("parse_response", |b| b.iter(|| Message::parse(&response).unwrap()));
+    g.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_serve");
+    g.throughput(Throughput::Elements(1));
+    let query = Message::query(7, Question::a("www.example.org")).to_bytes();
+    let mut server = AuthoritativeServer::example();
+    let mut t = 0.0f64;
+    g.bench_function("handle_a_query", |b| {
+        b.iter(|| {
+            t += 0.001;
+            server.handle(&query, [10, 1, 0, 1], t).unwrap()
+        });
+    });
+
+    let nx = Message::query(7, Question::a("nope.example.org")).to_bytes();
+    g.bench_function("handle_nxdomain", |b| {
+        b.iter(|| server.handle(&nx, [10, 1, 0, 1], 0.0).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_serve);
+criterion_main!(benches);

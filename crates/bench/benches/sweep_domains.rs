@@ -1,0 +1,41 @@
+//! **X1**: sensitivity to the number of connected domains `K` over the
+//! paper's stated parameter range (10–100). More domains → finer-grained
+//! hidden load → easier balancing even for coarse schemes; fewer domains →
+//! chunkier load → adaptive TTL matters more.
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::rr(),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let mut points = Vec::new();
+    for k in [10usize, 20, 40, 60, 80, 100] {
+        let mut e = Experiment::new(format!("sweep_domains@{k}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.workload.n_domains = k;
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("K={k}"), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X1: Sensitivity to the number of connected domains (heterogeneity 35%)",
+        "number of domains K",
+        &names,
+        &points,
+    );
+    save_json("sweep_domains", &flatten_series(&points));
+}

@@ -1,0 +1,62 @@
+//! **X7**: estimator shoot-out under a *dynamic* workload — the scenario
+//! the paper's §5.2 worries about ("client request rates from the domains
+//! may change constantly") and its follow-up state-estimator report [3]
+//! addresses. A flash crowd triples the second-busiest domain mid-run;
+//! the oracle keeps believing yesterday's rates, while the measured
+//! estimators track.
+
+use geodns_bench::{apply_mode, run_experiment, save_json};
+use geodns_core::{format_table, Algorithm, EstimatorKind, Experiment, RateProfile, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let algorithms = [Algorithm::prr2_ttl_k(), Algorithm::drr2_ttl_s_k()];
+    let estimators = [
+        ("oracle (stale)", EstimatorKind::Oracle),
+        ("EMA α=0.25 / 32 s", EstimatorKind::measured_default()),
+        ("EMA α=1.0 / 32 s", EstimatorKind::Measured { collect_interval_s: 32.0, ema_alpha: 1.0 }),
+        ("window 8×32 s", EstimatorKind::window_default()),
+        ("window 2×32 s", EstimatorKind::WindowAverage { collect_interval_s: 32.0, windows: 2 }),
+    ];
+
+    let mut e = Experiment::new("sweep_estimators");
+    for &algorithm in &algorithms {
+        for &(label, estimator) in &estimators {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.estimator = estimator;
+            apply_mode(&mut cfg);
+            // The flash crowd occupies the middle third of the measured span.
+            let start = cfg.warmup_s + cfg.duration_s / 3.0;
+            cfg.workload.profile = RateProfile::FlashCrowd {
+                domain: 1,
+                start_s: start,
+                duration_s: cfg.duration_s / 3.0,
+                factor: 3.0,
+            };
+            e.push(format!("{} + {label}", algorithm.name()), cfg);
+        }
+    }
+
+    let results = run_experiment(&e);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                format!("{:.3}", r.p98()),
+                format!("{:.3}", r.prob_max_util_lt(0.9)),
+                format!("{:.0}", r.page_response_p95_s * 1e3),
+            ]
+        })
+        .collect();
+    println!("\nX7: Hidden-load estimators under a 3× mid-run flash crowd (heterogeneity 35%)\n");
+    println!(
+        "{}",
+        format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows)
+    );
+    save_json("sweep_estimators", &results);
+}

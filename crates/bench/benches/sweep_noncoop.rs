@@ -1,0 +1,44 @@
+//! **X9**: a realistic Internet mix — only a *fraction* of name servers
+//! are non-cooperative (clamping TTLs below 160 s up to it), instead of
+//! the paper's all-or-nothing worst case. How fast does the fine-grained
+//! schemes' advantage erode as the clamping population grows?
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, MinTtlBehavior, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+const CLAMP_S: f64 = 160.0;
+
+fn main() {
+    let algorithms = [
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr2_ttl(2),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let mut points = Vec::new();
+    for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut e = Experiment::new(format!("sweep_noncoop@{fraction}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.ns_behavior = MinTtlBehavior::ClampToMin { min_ttl_s: CLAMP_S };
+            cfg.ns_noncoop_fraction = fraction;
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("{:.0}%", fraction * 100.0), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        &format!(
+            "X9: Fraction of non-cooperative name servers (clamp {CLAMP_S:.0} s, heterogeneity 35%)"
+        ),
+        "fraction of domains behind a clamping NS",
+        &names,
+        &points,
+    );
+    save_json("sweep_noncoop", &flatten_series(&points));
+}

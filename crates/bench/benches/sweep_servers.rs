@@ -1,0 +1,57 @@
+//! **X2**: sensitivity to the number of servers `N` over the paper's
+//! stated range (5–17), holding total capacity at 500 hits/s and keeping a
+//! Table-2-like capacity shape (≈30% full-power, ≈30% at 0.8, rest at
+//! 0.65).
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, ServerSpec, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+/// A Table-2-style relative-capacity vector generalized to `n` servers.
+fn shape(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let frac = i as f64 / n as f64;
+            if frac < 0.3 {
+                1.0
+            } else if frac < 0.6 {
+                0.8
+            } else {
+                0.65
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let algorithms = [
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::rr(),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+
+    let mut points = Vec::new();
+    for n in [5usize, 7, 9, 11, 13, 17] {
+        let mut e = Experiment::new(format!("sweep_servers@{n}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.seed = SEED;
+            cfg.servers = ServerSpec::Relative(shape(n));
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("N={n}"), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X2: Sensitivity to the number of servers (35%-like capacity shape, ΣC = 500 hits/s)",
+        "number of servers N",
+        &names,
+        &points,
+    );
+    save_json("sweep_servers", &flatten_series(&points));
+}

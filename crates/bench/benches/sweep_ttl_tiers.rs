@@ -1,0 +1,48 @@
+//! **X6**: the `TTL/i` meta-algorithm of §3.1 — how many domain classes
+//! are enough? Sweeps `i` from 1 (constant TTL) through `K = 20`
+//! (per-domain TTL) for both the probabilistic and deterministic families.
+
+use geodns_bench::{apply_mode, flatten_series, print_p98_series, run_experiment, save_json};
+use geodns_core::{Algorithm, Experiment, PolicyKind, SimConfig, TierSpec, TtlKind};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    let names = vec!["PRR2-TTL/i".to_string(), "DRR2-TTL/S_i".to_string()];
+
+    let mut points = Vec::new();
+    for tiers in [1usize, 2, 3, 5, 10, 20] {
+        let mut e = Experiment::new(format!("sweep_ttl_tiers@{tiers}"));
+
+        let spec = if tiers >= 20 { TierSpec::PerDomain } else { TierSpec::Classes(tiers) };
+        let prob = Algorithm::new(
+            PolicyKind::Prr2,
+            if tiers == 1 { TtlKind::Constant } else { TtlKind::Adaptive { tiers: spec, server_scaled: false } },
+        );
+        let det = Algorithm::new(
+            PolicyKind::Rr2,
+            TtlKind::Adaptive { tiers: spec, server_scaled: true },
+        );
+
+        let mut cfg = SimConfig::paper_default(prob, HeterogeneityLevel::H35);
+        cfg.seed = SEED;
+        apply_mode(&mut cfg);
+        e.push("PRR2-TTL/i", cfg);
+
+        let mut cfg = SimConfig::paper_default(det, HeterogeneityLevel::H35);
+        cfg.seed = SEED;
+        apply_mode(&mut cfg);
+        e.push("DRR2-TTL/S_i", cfg);
+
+        points.push((format!("i={tiers}"), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        "X6: TTL/i tier-count sweep (heterogeneity 35%, K = 20 domains)",
+        "number of TTL classes i",
+        &names,
+        &points,
+    );
+    save_json("sweep_ttl_tiers", &flatten_series(&points));
+}

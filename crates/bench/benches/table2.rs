@@ -1,0 +1,56 @@
+//! Regenerates **Table 2**: the four heterogeneity levels and their
+//! relative server capacities, plus the derived absolute capacities this
+//! implementation scales to a constant 500 hits/s total.
+
+use geodns_bench::output_dir;
+use geodns_server::{CapacityPlan, HeterogeneityLevel};
+
+fn main() {
+    println!("\nTable 2: Parameters of the heterogeneity levels (N = 7, ΣC = 500 hits/s)\n");
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for level in HeterogeneityLevel::ALL {
+        let plan = CapacityPlan::from_level(level, 500.0);
+        let rel = plan
+            .relatives()
+            .iter()
+            .map(|a| format!("{a}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let abs = plan
+            .absolutes()
+            .iter()
+            .map(|c| format!("{c:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            level.to_string(),
+            format!("{{{rel}}}"),
+            format!("{{{abs}}}"),
+            format!("{:.2}", plan.power_ratio()),
+        ]);
+        json_rows.push(serde_json::json!({
+            "level_pct": level.percent(),
+            "relative": plan.relatives(),
+            "absolute": plan.absolutes(),
+            "power_ratio": plan.power_ratio(),
+            "total": plan.total_capacity(),
+        }));
+
+        assert!((plan.total_capacity() - 500.0).abs() < 1e-9, "total capacity held constant");
+    }
+    println!(
+        "{}",
+        geodns_core::format_table(
+            &["Level", "Relative capacities α_i", "Absolute C_i (hits/s)", "ρ=C1/CN"],
+            &rows
+        )
+    );
+
+    std::fs::write(
+        output_dir().join("table2.json"),
+        serde_json::to_string_pretty(&serde_json::json!(json_rows)).unwrap(),
+    )
+    .expect("write table2.json");
+    eprintln!("wrote {}", output_dir().join("table2.json").display());
+}

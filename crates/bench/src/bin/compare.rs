@@ -1,0 +1,99 @@
+//! `compare` — run the full algorithm catalogue side by side on one
+//! heterogeneity level and print a comparison table.
+//!
+//! ```sh
+//! cargo run --release -p geodns-bench --bin compare -- [het%] [duration_s] [seed]
+//! # e.g.
+//! cargo run --release -p geodns-bench --bin compare -- 50 18000 42
+//! ```
+
+use geodns_core::{format_table, run_all, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn parse_level(arg: Option<&String>) -> HeterogeneityLevel {
+    match arg.map(String::as_str) {
+        Some("0") => HeterogeneityLevel::H0,
+        Some("20") | None => HeterogeneityLevel::H20,
+        Some("35") => HeterogeneityLevel::H35,
+        Some("50") => HeterogeneityLevel::H50,
+        Some("65") => HeterogeneityLevel::H65,
+        Some(other) => {
+            eprintln!("unknown heterogeneity level '{other}' (use 0/20/35/50/65); defaulting to 20");
+            HeterogeneityLevel::H20
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let level = parse_level(args.first());
+    let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(18000.0);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1998);
+
+    let algorithms = [
+        Algorithm::rr(),
+        Algorithm::rr2(),
+        Algorithm::dal(),
+        Algorithm::mrl(),
+        Algorithm::prr_ttl1(),
+        Algorithm::prr2_ttl1(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::drr2_ttl_s(1),
+        Algorithm::drr2_ttl_s(2),
+        Algorithm::drr2_ttl_s_k(),
+    ];
+
+    let mut configs: Vec<SimConfig> = algorithms
+        .iter()
+        .map(|&algorithm| {
+            let mut cfg = SimConfig::paper_default(algorithm, level);
+            cfg.duration_s = duration;
+            cfg.warmup_s = (duration * 0.1).max(120.0);
+            cfg.seed = seed;
+            cfg
+        })
+        .collect();
+    let mut ideal = SimConfig::ideal(level);
+    ideal.duration_s = duration;
+    ideal.warmup_s = (duration * 0.1).max(120.0);
+    ideal.seed = seed;
+    configs.push(ideal);
+
+    eprintln!(
+        "running {} algorithms at heterogeneity {level}, {duration:.0}s each, seed {seed} …",
+        configs.len()
+    );
+    let t0 = std::time::Instant::now();
+    let reports = run_all(&configs).expect("valid configs");
+    eprintln!("done in {:.1?}", t0.elapsed());
+
+    let mut rows: Vec<Vec<String>> = reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let label = if i == reports.len() - 1 { "Ideal".to_string() } else { r.algorithm.clone() };
+            vec![
+                label,
+                format!("{:.3}", r.prob_max_util_lt(0.9)),
+                format!("{:.3}", r.p98()),
+                format!("{:.3}", r.mean_max_util()),
+                format!("{:.3}", r.mean_util()),
+                format!("{:.0}", r.page_response_p95_s * 1e3),
+                format!("{:.4}", r.address_request_rate),
+                format!("{:.1}", r.dns_control_fraction * 100.0),
+                format!("{}", r.alarms),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| b[2].partial_cmp(&a[2]).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!();
+    println!(
+        "{}",
+        format_table(
+            &["algorithm", "P<0.9", "P<0.98", "maxU avg", "mean U", "p95 ms", "addr r/s", "DNS %", "alarms"],
+            &rows
+        )
+    );
+}

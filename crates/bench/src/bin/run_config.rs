@@ -1,0 +1,61 @@
+//! `run_config` — run a simulation described by a JSON `SimConfig` file
+//! and print the report as JSON. The round-trip tool for scripted sweeps.
+//!
+//! ```sh
+//! # Emit a template, edit it, run it:
+//! cargo run --release -p geodns-bench --bin run_config -- --template > site.json
+//! cargo run --release -p geodns-bench --bin run_config -- site.json
+//! # Also dump the utilization time series for plotting:
+//! cargo run --release -p geodns-bench --bin run_config -- site.json --timeline utils.csv
+//! ```
+
+use geodns_core::{run_simulation, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first().map(String::as_str) {
+        Some("--template") => {
+            let cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+            println!("{}", serde_json::to_string_pretty(&cfg).expect("serialize template"));
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let mut cfg: SimConfig = serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+            let timeline_path = args
+                .iter()
+                .position(|a| a == "--timeline")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            if timeline_path.is_some() {
+                cfg.record_timeline = true;
+            }
+            let report = run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
+            if let (Some(out), Some(timeline)) = (timeline_path, &report.timeline) {
+                std::fs::write(&out, timeline.to_csv())
+                    .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+                eprintln!("wrote timeline ({} samples) to {out}", timeline.len());
+            }
+            eprintln!(
+                "{}: P(maxU<0.98) = {:.3}, mean util = {:.3}, page p95 = {:.0} ms",
+                report.algorithm,
+                report.p98(),
+                report.mean_util(),
+                report.page_response_p95_s * 1e3
+            );
+            println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        }
+        None => {
+            eprintln!("usage: run_config <config.json> | run_config --template");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,181 @@
+//! Terminal line charts for the figure benches.
+//!
+//! The paper's figures are line plots; the regeneration targets print the
+//! underlying numbers as tables *and* sketch the curves right in the
+//! terminal so the shape — orderings, plateaus, crossovers — is visible
+//! without leaving the shell.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, in any x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Renders an ASCII line chart of the series onto a `width × height`
+/// character canvas with y-axis labels and a legend. Each series is drawn
+/// with its own glyph; later series overwrite earlier ones where they
+/// collide (so list the most important last).
+///
+/// Returns an empty string when there is nothing to draw.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_bench::{ascii_chart, Series};
+///
+/// let chart = ascii_chart(
+///     &[Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)])],
+///     40,
+///     10,
+/// );
+/// assert!(chart.contains("up"));
+/// assert!(chart.contains('*'));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() || width < 8 || height < 3 {
+        return String::new();
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+    let to_row =
+        |y: f64| height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Draw line segments with simple linear interpolation per column.
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let c0 = to_col(x0);
+            let c1 = to_col(x1);
+            for c in c0..=c1 {
+                let frac = if c1 == c0 { 0.0 } else { (c - c0) as f64 / (c1 - c0) as f64 };
+                let y = y0 + frac * (y1 - y0);
+                canvas[to_row(y)][c.min(width - 1)] = glyph;
+            }
+        }
+        if pts.len() == 1 {
+            canvas[to_row(pts[0].1)][to_col(pts[0].0)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in canvas.iter().enumerate() {
+        let y_label = if r == 0 {
+            format!("{y_max:>7.2} ")
+        } else if r == height - 1 {
+            format!("{y_min:>7.2} ")
+        } else {
+            "        ".to_string()
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("         {x_min:<12.4}{:>w$.4}\n", x_max, w = width.saturating_sub(12)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_line() {
+        let chart = ascii_chart(
+            &[Series::new("line", vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)])],
+            40,
+            10,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains("line"));
+        // The top-right region should contain the line's end.
+        let first_line = chart.lines().next().unwrap();
+        assert!(first_line.trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(ascii_chart(&[], 40, 10), "");
+        assert_eq!(ascii_chart(&[Series::new("e", vec![])], 40, 10), "");
+    }
+
+    #[test]
+    fn tiny_canvas_is_rejected() {
+        let s = [Series::new("s", vec![(0.0, 1.0)])];
+        assert_eq!(ascii_chart(&s, 4, 10), "");
+        assert_eq!(ascii_chart(&s, 40, 2), "");
+    }
+
+    #[test]
+    fn distinct_glyphs_per_series() {
+        let chart = ascii_chart(
+            &[
+                Series::new("a", vec![(0.0, 0.0), (1.0, 0.0)]),
+                Series::new("b", vec![(0.0, 1.0), (1.0, 1.0)]),
+            ],
+            30,
+            8,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = ascii_chart(&[Series::new("c", vec![(5.0, 3.0)])], 30, 8);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let chart = ascii_chart(
+            &[Series::new("s", vec![(10.0, 0.25), (20.0, 0.75)])],
+            40,
+            10,
+        );
+        assert!(chart.contains("0.75"));
+        assert!(chart.contains("0.25"));
+        assert!(chart.contains("10.0000"));
+        assert!(chart.contains("20.0000"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The named algorithm catalogue (paper §3 nomenclature).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PolicyKind, TierSpec, TtlKind};
+
+/// A complete DNS scheduling algorithm: a server-selection policy plus a
+/// TTL policy, named exactly as the paper names its combinations
+/// (`DRR2-TTL/S_K`, `PRR-TTL/2`, plain `RR`, …).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::Algorithm;
+///
+/// assert_eq!(Algorithm::rr().name(), "RR");
+/// assert_eq!(Algorithm::drr2_ttl_s_k().name(), "DRR2-TTL/S_K");
+/// assert_eq!(Algorithm::prr2_ttl(2).name(), "PRR2-TTL/2");
+/// assert_eq!(Algorithm::prr_ttl1().name(), "PRR-TTL/1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Algorithm {
+    /// The server-selection policy.
+    pub policy: PolicyKind,
+    /// The TTL policy.
+    pub ttl: TtlKind,
+}
+
+impl Algorithm {
+    /// An arbitrary policy/TTL combination.
+    #[must_use]
+    pub fn new(policy: PolicyKind, ttl: TtlKind) -> Self {
+        Algorithm { policy, ttl }
+    }
+
+    // --- The paper's named algorithms -----------------------------------
+
+    /// Conventional round-robin with constant TTL (the lower bound).
+    #[must_use]
+    pub fn rr() -> Self {
+        Self::new(PolicyKind::Rr, TtlKind::Constant)
+    }
+
+    /// Two-tier round-robin with constant TTL (the ICDCS'97 RR2).
+    #[must_use]
+    pub fn rr2() -> Self {
+        Self::new(PolicyKind::Rr2, TtlKind::Constant)
+    }
+
+    /// `PRR-TTL/1`: probabilistic routing, single constant TTL.
+    #[must_use]
+    pub fn prr_ttl1() -> Self {
+        Self::new(PolicyKind::Prr, TtlKind::Constant)
+    }
+
+    /// `PRR2-TTL/1`: two-tier probabilistic routing, constant TTL.
+    #[must_use]
+    pub fn prr2_ttl1() -> Self {
+        Self::new(PolicyKind::Prr2, TtlKind::Constant)
+    }
+
+    /// `PRR-TTL/i`: probabilistic routing, adaptive TTL over `i` classes.
+    #[must_use]
+    pub fn prr_ttl(tiers: usize) -> Self {
+        Self::new(
+            PolicyKind::Prr,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(tiers), server_scaled: false },
+        )
+    }
+
+    /// `PRR2-TTL/i`.
+    #[must_use]
+    pub fn prr2_ttl(tiers: usize) -> Self {
+        Self::new(
+            PolicyKind::Prr2,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(tiers), server_scaled: false },
+        )
+    }
+
+    /// `PRR-TTL/K`: a distinct TTL per domain.
+    #[must_use]
+    pub fn prr_ttl_k() -> Self {
+        Self::new(
+            PolicyKind::Prr,
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: false },
+        )
+    }
+
+    /// `PRR2-TTL/K`.
+    #[must_use]
+    pub fn prr2_ttl_k() -> Self {
+        Self::new(
+            PolicyKind::Prr2,
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: false },
+        )
+    }
+
+    /// `DRR-TTL/S_i`: round-robin selection, TTL scaled by class weight
+    /// *and* server capacity.
+    #[must_use]
+    pub fn drr_ttl_s(tiers: usize) -> Self {
+        Self::new(
+            PolicyKind::Rr,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(tiers), server_scaled: true },
+        )
+    }
+
+    /// `DRR2-TTL/S_i`.
+    #[must_use]
+    pub fn drr2_ttl_s(tiers: usize) -> Self {
+        Self::new(
+            PolicyKind::Rr2,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(tiers), server_scaled: true },
+        )
+    }
+
+    /// `DRR-TTL/S_K`.
+    #[must_use]
+    pub fn drr_ttl_s_k() -> Self {
+        Self::new(
+            PolicyKind::Rr,
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true },
+        )
+    }
+
+    /// `DRR2-TTL/S_K`: the paper's strategy of choice under full TTL
+    /// control.
+    #[must_use]
+    pub fn drr2_ttl_s_k() -> Self {
+        Self::new(
+            PolicyKind::Rr2,
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true },
+        )
+    }
+
+    /// Capacity-scaled DAL with constant TTL (Figure 3's transplant).
+    #[must_use]
+    pub fn dal() -> Self {
+        Self::new(PolicyKind::Dal, TtlKind::Constant)
+    }
+
+    /// Capacity-scaled MRL with constant TTL.
+    #[must_use]
+    pub fn mrl() -> Self {
+        Self::new(PolicyKind::Mrl, TtlKind::Constant)
+    }
+
+    // --- Families used by the figures -----------------------------------
+
+    /// Figure 1's deterministic family (strongest first).
+    #[must_use]
+    pub fn deterministic_family() -> Vec<Algorithm> {
+        vec![
+            Self::drr2_ttl_s_k(),
+            Self::drr_ttl_s_k(),
+            Self::drr2_ttl_s(2),
+            Self::drr_ttl_s(2),
+            Self::drr2_ttl_s(1),
+            Self::drr_ttl_s(1),
+        ]
+    }
+
+    /// Figure 2's probabilistic family (strongest first).
+    #[must_use]
+    pub fn probabilistic_family() -> Vec<Algorithm> {
+        vec![
+            Self::prr2_ttl_k(),
+            Self::prr_ttl_k(),
+            Self::prr2_ttl(2),
+            Self::prr_ttl(2),
+            Self::prr2_ttl1(),
+            Self::prr_ttl1(),
+        ]
+    }
+
+    /// The paper-style combined name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match (self.policy, self.ttl) {
+            // Plain names: the conventional algorithms with constant TTL.
+            (PolicyKind::Rr, TtlKind::Constant) => "RR".to_string(),
+            (PolicyKind::Rr2, TtlKind::Constant) => "RR2".to_string(),
+            (PolicyKind::Dal, TtlKind::Constant) => "DAL".to_string(),
+            (PolicyKind::Mrl, TtlKind::Constant) => "MRL".to_string(),
+            (PolicyKind::Random, TtlKind::Constant) => "RAND".to_string(),
+            (PolicyKind::WeightedRandom, TtlKind::Constant) => "WRAND".to_string(),
+            (PolicyKind::LeastLoaded, TtlKind::Constant) => "LL".to_string(),
+            // The deterministic family renames RR/RR2 to DRR/DRR2.
+            (PolicyKind::Rr, ttl @ TtlKind::Adaptive { server_scaled: true, .. }) => {
+                format!("DRR-{}", ttl.paper_name())
+            }
+            (PolicyKind::Rr2, ttl @ TtlKind::Adaptive { server_scaled: true, .. }) => {
+                format!("DRR2-{}", ttl.paper_name())
+            }
+            (policy, ttl) => format!("{}-{}", policy.paper_name(), ttl.paper_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names_match() {
+        assert_eq!(Algorithm::rr().name(), "RR");
+        assert_eq!(Algorithm::rr2().name(), "RR2");
+        assert_eq!(Algorithm::dal().name(), "DAL");
+        assert_eq!(Algorithm::mrl().name(), "MRL");
+        assert_eq!(Algorithm::prr_ttl1().name(), "PRR-TTL/1");
+        assert_eq!(Algorithm::prr2_ttl1().name(), "PRR2-TTL/1");
+        assert_eq!(Algorithm::prr_ttl(2).name(), "PRR-TTL/2");
+        assert_eq!(Algorithm::prr2_ttl_k().name(), "PRR2-TTL/K");
+        assert_eq!(Algorithm::drr_ttl_s(1).name(), "DRR-TTL/S_1");
+        assert_eq!(Algorithm::drr2_ttl_s(2).name(), "DRR2-TTL/S_2");
+        assert_eq!(Algorithm::drr_ttl_s_k().name(), "DRR-TTL/S_K");
+        assert_eq!(Algorithm::drr2_ttl_s_k().name(), "DRR2-TTL/S_K");
+    }
+
+    #[test]
+    fn families_have_six_members_each() {
+        assert_eq!(Algorithm::deterministic_family().len(), 6);
+        assert_eq!(Algorithm::probabilistic_family().len(), 6);
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<String> = Algorithm::deterministic_family()
+            .iter()
+            .chain(Algorithm::probabilistic_family().iter())
+            .map(Algorithm::name)
+            .collect();
+        names.sort();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn unusual_combination_still_names_itself() {
+        let a = Algorithm::new(PolicyKind::Prr, TtlKind::Adaptive {
+            tiers: TierSpec::Classes(3),
+            server_scaled: true,
+        });
+        assert_eq!(a.name(), "PRR-TTL/S_3");
+    }
+}

@@ -1,0 +1,257 @@
+//! Partitioning domains into load classes (the "two-tier" machinery).
+
+use serde::{Deserialize, Serialize};
+
+/// How many classes the domains are partitioned into (the `i` of the
+/// paper's `TTL/i` meta-algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierSpec {
+    /// A fixed number of classes. `Classes(1)` degenerates to "no
+    /// differentiation"; `Classes(2)` is the paper's hot/normal split.
+    Classes(usize),
+    /// One class per domain (`i = K`): the fully adaptive `TTL/K` family.
+    PerDomain,
+}
+
+impl TierSpec {
+    /// The number of classes this spec produces for `k` domains.
+    #[must_use]
+    pub fn num_classes(&self, k: usize) -> usize {
+        match *self {
+            TierSpec::Classes(n) => n.min(k).max(1),
+            TierSpec::PerDomain => k,
+        }
+    }
+}
+
+/// A partition of the `K` domains into load classes ordered from hottest
+/// (class 0) to coldest, with each class's average hidden-load weight.
+///
+/// For two classes this implements the paper's rule: "each domain with a
+/// relative hidden load weight greater than γ is included in the hot
+/// class", with γ defaulting to `1/K`. For other class counts the domains
+/// are split into contiguous rank groups of (near) equal size; for
+/// [`TierSpec::PerDomain`] every domain is its own class.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{DomainClasses, TierSpec};
+///
+/// // Zipf-ish weights over 4 domains; γ = 1/4 puts only dom0 in the hot class.
+/// let weights = [12.0, 4.0, 3.0, 1.0];
+/// let c = DomainClasses::build(&weights, TierSpec::Classes(2), 0.25);
+/// assert_eq!(c.num_classes(), 2);
+/// assert_eq!(c.class_of(0), 0, "hot");
+/// assert_eq!(c.class_of(3), 1, "normal");
+/// assert!(c.class_weight(0) > c.class_weight(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainClasses {
+    class_of: Vec<usize>,
+    class_weights: Vec<f64>,
+}
+
+impl DomainClasses {
+    /// Builds the class partition for the given per-domain weights.
+    ///
+    /// `class_threshold` is the paper's γ, used only for the two-class
+    /// split; it compares against *relative* weights (`w_j / Σw`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all-zero, or γ is not in `(0, 1)`.
+    #[must_use]
+    pub fn build(weights: &[f64], tiers: TierSpec, class_threshold: f64) -> Self {
+        assert!(!weights.is_empty(), "need at least one domain");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        assert!(
+            class_threshold > 0.0 && class_threshold < 1.0,
+            "class threshold must be in (0,1), got {class_threshold}"
+        );
+        let k = weights.len();
+        let n_classes = tiers.num_classes(k);
+
+        let class_of: Vec<usize> = match tiers {
+            TierSpec::PerDomain => {
+                // Classes ordered by weight rank: hottest domain is class 0.
+                let mut order: Vec<usize> = (0..k).collect();
+                order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+                let mut class_of = vec![0; k];
+                for (rank, &d) in order.iter().enumerate() {
+                    class_of[d] = rank;
+                }
+                class_of
+            }
+            TierSpec::Classes(1) => vec![0; k],
+            TierSpec::Classes(2) => weights
+                .iter()
+                .map(|&w| if w / total > class_threshold { 0 } else { 1 })
+                .collect(),
+            TierSpec::Classes(_) => {
+                // Contiguous rank groups of near-equal size.
+                let mut order: Vec<usize> = (0..k).collect();
+                order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+                let mut class_of = vec![0; k];
+                for (rank, &d) in order.iter().enumerate() {
+                    class_of[d] = rank * n_classes / k;
+                }
+                class_of
+            }
+        };
+
+        // A degenerate two-class split (nothing above γ, or everything)
+        // still needs every class inhabited for the weight averages below;
+        // collapse to a single effective class in that case.
+        let mut used = vec![false; n_classes];
+        for &c in &class_of {
+            used[c] = true;
+        }
+        let (class_of, n_classes) = if used.iter().all(|&u| u) {
+            (class_of, n_classes)
+        } else {
+            // Renumber the inhabited classes densely.
+            let mut remap = vec![usize::MAX; n_classes];
+            let mut next = 0;
+            for c in 0..n_classes {
+                if used[c] {
+                    remap[c] = next;
+                    next += 1;
+                }
+            }
+            (class_of.iter().map(|&c| remap[c]).collect(), next)
+        };
+
+        let mut sums = vec![0.0; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (d, &c) in class_of.iter().enumerate() {
+            sums[c] += weights[d];
+            counts[c] += 1;
+        }
+        let class_weights = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| s / c as f64)
+            .collect();
+
+        DomainClasses { class_of, class_weights }
+    }
+
+    /// Number of classes actually produced.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.class_weights.len()
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// The class of domain `d` (0 = hottest class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn class_of(&self, d: usize) -> usize {
+        self.class_of[d]
+    }
+
+    /// The average hidden-load weight of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn class_weight(&self, c: usize) -> f64 {
+        self.class_weights[c]
+    }
+
+    /// All class weights, indexed by class.
+    #[must_use]
+    pub fn class_weights(&self) -> &[f64] {
+        &self.class_weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: [f64; 5] = [10.0, 5.0, 3.0, 1.5, 0.5];
+
+    #[test]
+    fn single_class_covers_everything() {
+        let c = DomainClasses::build(&W, TierSpec::Classes(1), 0.2);
+        assert_eq!(c.num_classes(), 1);
+        for d in 0..5 {
+            assert_eq!(c.class_of(d), 0);
+        }
+        assert!((c.class_weight(0) - 4.0).abs() < 1e-12, "mean of W");
+    }
+
+    #[test]
+    fn two_tier_uses_gamma() {
+        // Σ = 20; relative = [.5, .25, .15, .075, .025]; γ = 0.2 → hot = {0, 1}.
+        let c = DomainClasses::build(&W, TierSpec::Classes(2), 0.2);
+        assert_eq!(c.class_of(0), 0);
+        assert_eq!(c.class_of(1), 0);
+        assert_eq!(c.class_of(2), 1);
+        assert_eq!(c.class_of(4), 1);
+        assert!((c.class_weight(0) - 7.5).abs() < 1e-12);
+        assert!((c.class_weight(1) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_domain_ranks_by_weight() {
+        let w = [3.0, 10.0, 1.0];
+        let c = DomainClasses::build(&w, TierSpec::PerDomain, 0.2);
+        assert_eq!(c.num_classes(), 3);
+        assert_eq!(c.class_of(1), 0, "heaviest domain is class 0");
+        assert_eq!(c.class_of(0), 1);
+        assert_eq!(c.class_of(2), 2);
+        assert_eq!(c.class_weight(0), 10.0);
+    }
+
+    #[test]
+    fn degenerate_two_tier_collapses() {
+        // Uniform weights: nothing exceeds γ = 1/K → single class.
+        let w = [1.0; 4];
+        let c = DomainClasses::build(&w, TierSpec::Classes(2), 0.25);
+        assert_eq!(c.num_classes(), 1);
+    }
+
+    #[test]
+    fn multi_tier_groups_by_rank() {
+        let w = [8.0, 7.0, 6.0, 5.0, 4.0, 3.0];
+        let c = DomainClasses::build(&w, TierSpec::Classes(3), 0.2);
+        assert_eq!(c.num_classes(), 3);
+        assert_eq!(c.class_of(0), 0);
+        assert_eq!(c.class_of(1), 0);
+        assert_eq!(c.class_of(2), 1);
+        assert_eq!(c.class_of(5), 2);
+    }
+
+    #[test]
+    fn class_weights_are_decreasing_for_ranked_splits() {
+        let c = DomainClasses::build(&W, TierSpec::PerDomain, 0.2);
+        for i in 1..c.num_classes() {
+            assert!(c.class_weight(i) <= c.class_weight(i - 1));
+        }
+    }
+
+    #[test]
+    fn more_classes_than_domains_clamps() {
+        let c = DomainClasses::build(&[2.0, 1.0], TierSpec::Classes(10), 0.2);
+        assert!(c.num_classes() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "class threshold")]
+    fn bad_gamma_panics() {
+        let _ = DomainClasses::build(&W, TierSpec::Classes(2), 1.5);
+    }
+}

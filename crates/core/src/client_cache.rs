@@ -1,0 +1,97 @@
+//! Client-side address caching models.
+//!
+//! The paper notes that "caching of the address mapping is typically done
+//! at Name Servers (NS) and also at the clients". A client that honours
+//! the remaining TTL behaves identically to an NS hit in this model (one
+//! shared NS per domain), but real browsers historically did something
+//! worse: they **pinned** the resolved address for a fixed duration
+//! regardless of TTL (classic Internet Explorer pinned for 30 minutes as a
+//! DNS-rebinding defence). Pinning silently extends every mapping's
+//! lifetime and is a classic way adaptive TTL gets defeated in the field —
+//! the `sweep_client_pin` bench quantifies exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// How a client treats resolved addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClientCacheModel {
+    /// No client cache: every session consults the (domain-level) NS.
+    /// This is the paper's effective model and the default.
+    Off,
+    /// The client caches the mapping until the *same instant* the NS entry
+    /// expires (honours remaining TTL). Behaviourally equivalent to
+    /// [`Off`](ClientCacheModel::Off) here — kept to make that equivalence
+    /// testable.
+    HonorTtl,
+    /// Browser-style pinning: the client reuses the resolved server for a
+    /// fixed duration regardless of the TTL the DNS chose.
+    Pin {
+        /// The pin duration, seconds.
+        pin_s: f64,
+    },
+}
+
+impl ClientCacheModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a non-positive pin duration.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ClientCacheModel::Pin { pin_s } = self {
+            if !(pin_s.is_finite() && *pin_s > 0.0) {
+                return Err(format!("client pin duration must be > 0, got {pin_s}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The client-cache expiry for a mapping resolved at `now_s` whose NS
+    /// entry expires at `ns_expiry_s`, or `None` when the client does not
+    /// cache.
+    #[must_use]
+    pub fn expiry(&self, now_s: f64, ns_expiry_s: f64) -> Option<f64> {
+        match *self {
+            ClientCacheModel::Off => None,
+            ClientCacheModel::HonorTtl => Some(ns_expiry_s),
+            ClientCacheModel::Pin { pin_s } => Some(now_s + pin_s),
+        }
+    }
+}
+
+impl Default for ClientCacheModel {
+    fn default() -> Self {
+        ClientCacheModel::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_never_caches() {
+        assert_eq!(ClientCacheModel::Off.expiry(10.0, 250.0), None);
+    }
+
+    #[test]
+    fn honor_ttl_tracks_ns_expiry() {
+        assert_eq!(ClientCacheModel::HonorTtl.expiry(10.0, 250.0), Some(250.0));
+    }
+
+    #[test]
+    fn pin_ignores_ttl() {
+        let pin = ClientCacheModel::Pin { pin_s: 1800.0 };
+        assert_eq!(pin.expiry(10.0, 250.0), Some(1810.0));
+        assert_eq!(pin.expiry(10.0, 20.0), Some(1810.0), "pin outlives a short TTL");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClientCacheModel::Off.validate().is_ok());
+        assert!(ClientCacheModel::HonorTtl.validate().is_ok());
+        assert!(ClientCacheModel::Pin { pin_s: 60.0 }.validate().is_ok());
+        assert!(ClientCacheModel::Pin { pin_s: 0.0 }.validate().is_err());
+        assert!(ClientCacheModel::Pin { pin_s: f64::NAN }.validate().is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Hidden-load-weight estimation at the DNS.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// How the DNS obtains the per-domain hidden load weights that drive the
+/// adaptive TTL formulas and the two-tier classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Perfect knowledge of the *nominal* (unperturbed) domain rates. This
+    /// is the paper's baseline assumption; combined with a perturbed
+    /// workload it realizes the estimation-error experiments of Figures
+    /// 6–7 (the DNS keeps believing the stale estimates).
+    Oracle,
+    /// The practical mechanism of §3.1: servers count incoming hits per
+    /// domain, the DNS collects the counters every `collect_interval_s`
+    /// seconds and smooths the observed rates with an exponential moving
+    /// average (`ema_alpha` is the weight of the newest observation).
+    Measured {
+        /// Seconds between collections.
+        collect_interval_s: f64,
+        /// EMA smoothing factor in `(0, 1]`; 1 = no smoothing.
+        ema_alpha: f64,
+    },
+    /// A sliding-window alternative (in the spirit of the authors' later
+    /// state-estimator work): the estimate is the plain average of the
+    /// last `windows` collections. Reacts in bounded time and forgets
+    /// completely, unlike the EMA's infinite tail.
+    WindowAverage {
+        /// Seconds between collections.
+        collect_interval_s: f64,
+        /// How many recent collections the average spans (≥ 1).
+        windows: usize,
+    },
+}
+
+impl EstimatorKind {
+    /// The default measured estimator: collect every 32 s, EMA α = 0.25.
+    #[must_use]
+    pub fn measured_default() -> Self {
+        EstimatorKind::Measured {
+            collect_interval_s: 32.0,
+            ema_alpha: 0.25,
+        }
+    }
+
+    /// The default window estimator: collect every 32 s, average the last
+    /// 8 windows (≈4 minutes of history).
+    #[must_use]
+    pub fn window_default() -> Self {
+        EstimatorKind::WindowAverage {
+            collect_interval_s: 32.0,
+            windows: 8,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-positive intervals, α outside `(0, 1]`,
+    /// or a zero-length window.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            EstimatorKind::Oracle => Ok(()),
+            EstimatorKind::Measured { collect_interval_s, ema_alpha } => {
+                if !(collect_interval_s.is_finite() && *collect_interval_s > 0.0) {
+                    return Err(format!("collect interval must be > 0, got {collect_interval_s}"));
+                }
+                if !(ema_alpha.is_finite() && *ema_alpha > 0.0 && *ema_alpha <= 1.0) {
+                    return Err(format!("EMA alpha must be in (0,1], got {ema_alpha}"));
+                }
+                Ok(())
+            }
+            EstimatorKind::WindowAverage { collect_interval_s, windows } => {
+                if !(collect_interval_s.is_finite() && *collect_interval_s > 0.0) {
+                    return Err(format!("collect interval must be > 0, got {collect_interval_s}"));
+                }
+                if *windows == 0 {
+                    return Err("window count must be >= 1".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The runtime estimator state: the DNS's current belief about each
+/// domain's hidden load weight (an absolute rate in hits/s; only ratios
+/// matter downstream).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{EstimatorKind, HiddenLoadEstimator};
+///
+/// let mut e = HiddenLoadEstimator::new(
+///     EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.0 },
+///     &[1.0, 1.0], // cold-start belief
+/// );
+/// e.ingest(&[300, 100], 10.0); // 30 and 10 hits/s observed
+/// assert!((e.weights()[0] - 30.0).abs() < 1e-12);
+/// assert!((e.weights()[1] - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenLoadEstimator {
+    kind: EstimatorKind,
+    weights: Vec<f64>,
+    history: VecDeque<Vec<f64>>,
+    updates: u64,
+}
+
+impl HiddenLoadEstimator {
+    /// Creates an estimator. For [`EstimatorKind::Oracle`] the
+    /// `initial_weights` (nominal rates) are the permanent truth; for the
+    /// adaptive kinds they are only the cold-start belief.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_weights` is empty or non-positive everywhere.
+    #[must_use]
+    pub fn new(kind: EstimatorKind, initial_weights: &[f64]) -> Self {
+        assert!(!initial_weights.is_empty(), "need at least one domain");
+        assert!(
+            initial_weights.iter().any(|&w| w > 0.0),
+            "initial weights must not all be zero"
+        );
+        HiddenLoadEstimator {
+            kind,
+            weights: initial_weights.to_vec(),
+            history: VecDeque::new(),
+            updates: 0,
+        }
+    }
+
+    /// The estimator's configuration.
+    #[must_use]
+    pub fn kind(&self) -> EstimatorKind {
+        self.kind
+    }
+
+    /// Current per-domain weight estimates (hits/s).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of completed collections.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Whether the world must periodically call [`ingest`](Self::ingest),
+    /// and at which interval.
+    #[must_use]
+    pub fn collect_interval(&self) -> Option<f64> {
+        match self.kind {
+            EstimatorKind::Oracle => None,
+            EstimatorKind::Measured { collect_interval_s, .. }
+            | EstimatorKind::WindowAverage { collect_interval_s, .. } => Some(collect_interval_s),
+        }
+    }
+
+    /// Feeds one collection: per-domain hit counts observed over
+    /// `interval_s` seconds (summed across servers). No-op for the oracle.
+    ///
+    /// Domains observed at zero keep a small floor so TTL formulas stay
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count vector length differs from the domain count or
+    /// `interval_s` is not positive.
+    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) {
+        assert_eq!(counts.len(), self.weights.len(), "domain count mismatch");
+        assert!(interval_s > 0.0, "interval must be positive");
+        let floor = 1e-6;
+        match self.kind {
+            EstimatorKind::Oracle => {}
+            EstimatorKind::Measured { ema_alpha, .. } => {
+                self.updates += 1;
+                for (w, &c) in self.weights.iter_mut().zip(counts) {
+                    let observed = (c as f64 / interval_s).max(floor);
+                    *w = (1.0 - ema_alpha) * *w + ema_alpha * observed;
+                }
+            }
+            EstimatorKind::WindowAverage { windows, .. } => {
+                self.updates += 1;
+                let observed: Vec<f64> = counts
+                    .iter()
+                    .map(|&c| (c as f64 / interval_s).max(floor))
+                    .collect();
+                self.history.push_back(observed);
+                while self.history.len() > windows {
+                    self.history.pop_front();
+                }
+                let n = self.history.len() as f64;
+                for (d, w) in self.weights.iter_mut().enumerate() {
+                    *w = self.history.iter().map(|obs| obs[d]).sum::<f64>() / n;
+                }
+            }
+        }
+    }
+
+    /// Returns the weights normalized to relative shares (sum 1).
+    #[must_use]
+    pub fn relative_weights(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        self.weights.iter().map(|w| w / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_never_moves() {
+        let mut e = HiddenLoadEstimator::new(EstimatorKind::Oracle, &[5.0, 1.0]);
+        e.ingest(&[0, 1_000_000], 1.0);
+        assert_eq!(e.weights(), &[5.0, 1.0]);
+        assert_eq!(e.updates(), 0);
+        assert_eq!(e.collect_interval(), None);
+    }
+
+    #[test]
+    fn measured_converges_with_full_alpha() {
+        let mut e = HiddenLoadEstimator::new(
+            EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.0 },
+            &[1.0, 1.0],
+        );
+        e.ingest(&[200, 50], 10.0);
+        assert_eq!(e.weights(), &[20.0, 5.0]);
+        assert_eq!(e.updates(), 1);
+    }
+
+    #[test]
+    fn ema_smooths() {
+        let mut e = HiddenLoadEstimator::new(
+            EstimatorKind::Measured { collect_interval_s: 1.0, ema_alpha: 0.5 },
+            &[10.0],
+        );
+        e.ingest(&[20], 1.0);
+        assert!((e.weights()[0] - 15.0).abs() < 1e-12);
+        e.ingest(&[20], 1.0);
+        assert!((e.weights()[0] - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_average_tracks_exactly() {
+        let mut e = HiddenLoadEstimator::new(
+            EstimatorKind::WindowAverage { collect_interval_s: 1.0, windows: 2 },
+            &[0.5],
+        );
+        e.ingest(&[10], 1.0);
+        assert!((e.weights()[0] - 10.0).abs() < 1e-12, "single window = observation");
+        e.ingest(&[20], 1.0);
+        assert!((e.weights()[0] - 15.0).abs() < 1e-12, "mean of {{10, 20}}");
+        e.ingest(&[40], 1.0);
+        assert!((e.weights()[0] - 30.0).abs() < 1e-12, "10 fell out of the window");
+    }
+
+    #[test]
+    fn window_forgets_completely() {
+        let mut e = HiddenLoadEstimator::new(
+            EstimatorKind::WindowAverage { collect_interval_s: 1.0, windows: 3 },
+            &[100.0],
+        );
+        for _ in 0..3 {
+            e.ingest(&[5], 1.0);
+        }
+        assert!((e.weights()[0] - 5.0).abs() < 1e-12, "cold-start belief fully flushed");
+    }
+
+    #[test]
+    fn zero_counts_keep_a_floor() {
+        for kind in [
+            EstimatorKind::Measured { collect_interval_s: 1.0, ema_alpha: 1.0 },
+            EstimatorKind::WindowAverage { collect_interval_s: 1.0, windows: 1 },
+        ] {
+            let mut e = HiddenLoadEstimator::new(kind, &[10.0]);
+            e.ingest(&[0], 1.0);
+            assert!(e.weights()[0] > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn relative_weights_normalize() {
+        let e = HiddenLoadEstimator::new(EstimatorKind::Oracle, &[3.0, 1.0]);
+        let r = e.relative_weights();
+        assert!((r[0] - 0.75).abs() < 1e-12);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_validation() {
+        assert!(EstimatorKind::Oracle.validate().is_ok());
+        assert!(EstimatorKind::measured_default().validate().is_ok());
+        assert!(EstimatorKind::window_default().validate().is_ok());
+        assert!(EstimatorKind::Measured { collect_interval_s: 0.0, ema_alpha: 0.5 }.validate().is_err());
+        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 0.0 }.validate().is_err());
+        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.5 }.validate().is_err());
+        assert!(EstimatorKind::WindowAverage { collect_interval_s: 10.0, windows: 0 }.validate().is_err());
+        assert!(EstimatorKind::WindowAverage { collect_interval_s: -1.0, windows: 4 }.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain count mismatch")]
+    fn mismatched_counts_panic() {
+        let mut e = HiddenLoadEstimator::new(EstimatorKind::measured_default(), &[1.0]);
+        e.ingest(&[1, 2], 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimum dynamically-accumulated load (DAL).
+
+use geodns_simcore::{SimTime, StreamRng};
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// DAL from the companion homogeneous-site paper (ICDCS'97), in the
+/// capacity-scaled form Figure 3 evaluates: every DNS-routed request adds
+/// its domain's hidden-load weight to the chosen server's accumulator, and
+/// selection picks the server with minimum `accumulated / C_i`.
+///
+/// The accumulator never drains, which is exactly why the policy misjudges
+/// heterogeneous sites — old assignments weigh forever — and why the paper
+/// proposes adaptive TTL instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dal {
+    accumulated: Vec<f64>,
+}
+
+impl Dal {
+    /// Creates a DAL state over `n_servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers == 0`.
+    #[must_use]
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        Dal {
+            accumulated: vec![0.0; n_servers],
+        }
+    }
+
+    /// The current per-server accumulated hidden load.
+    #[must_use]
+    pub fn accumulated(&self) -> &[f64] {
+        &self.accumulated
+    }
+}
+
+impl SelectionPolicy for Dal {
+    fn name(&self) -> &'static str {
+        "DAL"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        let mut best = None;
+        let mut best_score = f64::INFINITY;
+        for s in 0..ctx.num_servers() {
+            if !ctx.eligible(s) {
+                continue;
+            }
+            let score = self.accumulated[s] / ctx.capacities[s];
+            if score < best_score {
+                best_score = score;
+                best = Some(s);
+            }
+        }
+        best.unwrap_or(0)
+    }
+
+    fn assigned(&mut self, server: usize, rel_weight: f64, _ttl: f64, _now: SimTime) {
+        self.accumulated[server] += rel_weight;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn prefers_untouched_capacity() {
+        let f = CtxFixture::new();
+        let mut dal = Dal::new(7);
+        let mut rng = RngStreams::new(1).stream("dal");
+        // Repeated heavy assignments rotate across servers instead of
+        // hammering one.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            let s = dal.select(&f.ctx(0, 0), &mut rng);
+            dal.assigned(s, 0.5, 240.0, SimTime::ZERO);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 7, "every server received one heavy mapping");
+    }
+
+    #[test]
+    fn capacity_scaling_biases_toward_strong_servers() {
+        let f = CtxFixture::new(); // C = [100, 100, 80, 80, 50, 50, 50]
+        let mut dal = Dal::new(7);
+        let mut rng = RngStreams::new(2).stream("dal");
+        let mut counts = vec![0usize; 7];
+        for _ in 0..1000 {
+            let s = dal.select(&f.ctx(0, 0), &mut rng);
+            dal.assigned(s, 1.0, 240.0, SimTime::ZERO);
+            counts[s] += 1;
+        }
+        // Long-run shares ∝ capacity: strong servers get about twice the
+        // assignments of the weak ones.
+        let strong = counts[0] as f64;
+        let weak = counts[6] as f64;
+        assert!((strong / weak - 2.0).abs() < 0.3, "ratio {}", strong / weak);
+    }
+
+    #[test]
+    fn respects_alarms() {
+        let mut f = CtxFixture::new();
+        f.available[0] = false;
+        let mut dal = Dal::new(7);
+        let mut rng = RngStreams::new(3).stream("dal");
+        for _ in 0..100 {
+            let s = dal.select(&f.ctx(0, 0), &mut rng);
+            assert_ne!(s, 0);
+            dal.assigned(s, 0.1, 240.0, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn accumulator_tracks_assignments() {
+        let mut dal = Dal::new(2);
+        dal.assigned(1, 0.25, 240.0, SimTime::ZERO);
+        dal.assigned(1, 0.25, 240.0, SimTime::ZERO);
+        assert_eq!(dal.accumulated(), &[0.0, 0.5]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Least-loaded baseline (omniscient; extension beyond the paper).
+
+use geodns_simcore::StreamRng;
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// Picks the eligible server with the smallest capacity-normalized backlog
+/// (seconds of queued work). This assumes the DNS can see instantaneous
+/// queue state — unrealistic for a real DNS (which is exactly the paper's
+/// point) but a useful upper-ish reference in the comparison benches.
+///
+/// Note it still suffers the paper's core problem: the DNS only controls
+/// address requests, so even perfect instantaneous placement cannot undo
+/// the hidden load that cached mappings keep steering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl SelectionPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "LL"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::INFINITY;
+        for s in 0..ctx.num_servers() {
+            if !ctx.eligible(s) {
+                continue;
+            }
+            if ctx.backlogs[s] < best_score {
+                best_score = ctx.backlogs[s];
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn picks_minimum_backlog() {
+        let mut f = CtxFixture::new();
+        f.backlogs = vec![3.0, 1.0, 2.0, 5.0, 9.0, 0.5, 4.0];
+        let mut p = LeastLoaded::new();
+        let mut rng = RngStreams::new(1).stream("ll");
+        assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 5);
+    }
+
+    #[test]
+    fn ties_go_to_lowest_index() {
+        let mut f = CtxFixture::new();
+        f.backlogs = vec![0.0; 7];
+        let mut p = LeastLoaded::new();
+        let mut rng = RngStreams::new(1).stream("ll");
+        assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 0);
+    }
+
+    #[test]
+    fn respects_alarms() {
+        let mut f = CtxFixture::new();
+        f.backlogs = vec![0.0; 7];
+        f.available[0] = false;
+        let mut p = LeastLoaded::new();
+        let mut rng = RngStreams::new(1).stream("ll");
+        assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 1);
+    }
+}

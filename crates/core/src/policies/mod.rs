@@ -1,0 +1,264 @@
+//! DNS server-selection policies.
+//!
+//! Every policy answers "which server does this address request map to?"
+//! given the request's source-domain class, the current hidden-load
+//! estimates, the capacity layout, and the alarm-availability mask. The
+//! paper's policies:
+//!
+//! * [`RoundRobin`] — the conventional DNS round-robin (lower bound).
+//! * [`RoundRobin2`] — two-tier RR: an independent pointer per domain
+//!   class, so hot domains don't repeatedly land on the same server.
+//! * [`ProbabilisticRr`] / [`ProbabilisticRr2`] — PRR/PRR2: walking in RR
+//!   order, server `S_i` is accepted with probability `α_i`, so weaker
+//!   servers are skipped proportionally often (§3.1).
+//! * [`Dal`] — minimum dynamically-accumulated load, capacity-scaled: the
+//!   homogeneous-site policy the paper shows failing on heterogeneity.
+//! * [`Mrl`] — minimum residual load over still-live mappings.
+//!
+//! Plus modern baselines kept for comparison benches: [`RandomChoice`],
+//! [`WeightedRandom`], [`LeastLoaded`].
+//!
+//! All policies honour the alarm mask: an alarmed server is only eligible
+//! when *every* server is alarmed (the site must answer something).
+
+mod dal;
+mod least_loaded;
+mod mrl;
+mod prr;
+mod random;
+mod rr;
+
+pub use dal::Dal;
+pub use least_loaded::LeastLoaded;
+pub use mrl::Mrl;
+pub use prr::{ProbabilisticRr, ProbabilisticRr2};
+pub use random::{RandomChoice, WeightedRandom};
+pub use rr::{RoundRobin, RoundRobin2};
+
+use geodns_simcore::{SimTime, StreamRng};
+use serde::{Deserialize, Serialize};
+
+/// Everything a policy may consult when picking a server.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedCtx<'a> {
+    /// Source domain of the address request.
+    pub domain: usize,
+    /// The domain's *selection* class (two-tier hot/normal for the `*2`
+    /// policies; 0 when undifferentiated).
+    pub class: usize,
+    /// Current per-domain hidden-load estimates (hits/s).
+    pub weights: &'a [f64],
+    /// Relative server capacities `α_i` (decreasing, `α_1 = 1`).
+    pub relative_caps: &'a [f64],
+    /// Absolute server capacities `C_i` (hits/s).
+    pub capacities: &'a [f64],
+    /// Per-server eligibility after alarm exclusion. Guaranteed non-empty;
+    /// if all entries are `false` the caller treats every server as
+    /// eligible.
+    pub available: &'a [bool],
+    /// Per-server backlog normalized by capacity (seconds of queued work).
+    pub backlogs: &'a [f64],
+    /// The current simulation time.
+    pub now: SimTime,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Number of servers.
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.relative_caps.len()
+    }
+
+    /// Whether server `s` may be chosen (alarm mask with all-alarmed
+    /// fallback).
+    #[must_use]
+    pub fn eligible(&self, s: usize) -> bool {
+        self.available[s] || self.available.iter().all(|&a| !a)
+    }
+
+    /// The relative hidden-load weight of the requesting domain
+    /// (`ω_j / Σω`) — what DAL/MRL accumulate.
+    #[must_use]
+    pub fn relative_weight(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total > 0.0 {
+            self.weights[self.domain] / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A DNS server-selection policy.
+pub trait SelectionPolicy: Send {
+    /// The policy's base name as the paper writes it (`"RR"`, `"PRR2"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Picks a server for one address request.
+    fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize;
+
+    /// Informs the policy of the final assignment (server, the domain's
+    /// relative hidden-load weight, the TTL attached to the answer).
+    /// Stateful policies (DAL, MRL) accumulate here; stateless ones ignore
+    /// it.
+    fn assigned(&mut self, _server: usize, _rel_weight: f64, _ttl: f64, _now: SimTime) {}
+
+    /// Called when the domain classification is rebuilt (the number of
+    /// selection classes may change).
+    fn on_classes_rebuilt(&mut self, _n_classes: usize) {}
+}
+
+/// Serializable policy selector, turned into a live policy with
+/// [`PolicyKind::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Conventional round-robin.
+    Rr,
+    /// Two-tier round-robin.
+    Rr2,
+    /// Probabilistic round-robin (capacity-skipping).
+    Prr,
+    /// Two-tier probabilistic round-robin.
+    Prr2,
+    /// Minimum dynamically-accumulated load (capacity-scaled).
+    Dal,
+    /// Minimum residual load over live mappings (capacity-scaled).
+    Mrl,
+    /// Uniform random choice (baseline).
+    Random,
+    /// Capacity-weighted random choice (baseline).
+    WeightedRandom,
+    /// Least normalized backlog (omniscient baseline).
+    LeastLoaded,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for `n_servers` servers and `n_classes`
+    /// selection classes.
+    #[must_use]
+    pub fn build(self, n_servers: usize, n_classes: usize) -> Box<dyn SelectionPolicy> {
+        match self {
+            PolicyKind::Rr => Box::new(RoundRobin::new(n_servers)),
+            PolicyKind::Rr2 => Box::new(RoundRobin2::new(n_servers, n_classes)),
+            PolicyKind::Prr => Box::new(ProbabilisticRr::new(n_servers)),
+            PolicyKind::Prr2 => Box::new(ProbabilisticRr2::new(n_servers, n_classes)),
+            PolicyKind::Dal => Box::new(Dal::new(n_servers)),
+            PolicyKind::Mrl => Box::new(Mrl::new(n_servers)),
+            PolicyKind::Random => Box::new(RandomChoice::new()),
+            PolicyKind::WeightedRandom => Box::new(WeightedRandom::new()),
+            PolicyKind::LeastLoaded => Box::new(LeastLoaded::new()),
+        }
+    }
+
+    /// The paper-style base name.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            PolicyKind::Rr => "RR",
+            PolicyKind::Rr2 => "RR2",
+            PolicyKind::Prr => "PRR",
+            PolicyKind::Prr2 => "PRR2",
+            PolicyKind::Dal => "DAL",
+            PolicyKind::Mrl => "MRL",
+            PolicyKind::Random => "RAND",
+            PolicyKind::WeightedRandom => "WRAND",
+            PolicyKind::LeastLoaded => "LL",
+        }
+    }
+
+    /// Whether the policy differentiates hot/normal source domains (and
+    /// therefore needs the two-tier classifier).
+    #[must_use]
+    pub fn is_two_tier(self) -> bool {
+        matches!(self, PolicyKind::Rr2 | PolicyKind::Prr2)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::SchedCtx;
+    use geodns_simcore::SimTime;
+
+    /// A 7-server, 4-domain context with everything available.
+    pub struct CtxFixture {
+        pub weights: Vec<f64>,
+        pub relative: Vec<f64>,
+        pub absolute: Vec<f64>,
+        pub available: Vec<bool>,
+        pub backlogs: Vec<f64>,
+    }
+
+    impl CtxFixture {
+        pub fn new() -> Self {
+            let relative = vec![1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5];
+            let absolute: Vec<f64> = relative.iter().map(|a| a * 100.0).collect();
+            CtxFixture {
+                weights: vec![40.0, 20.0, 10.0, 5.0],
+                relative,
+                absolute,
+                available: vec![true; 7],
+                backlogs: vec![0.0; 7],
+            }
+        }
+
+        pub fn ctx(&self, domain: usize, class: usize) -> SchedCtx<'_> {
+            SchedCtx {
+                domain,
+                class,
+                weights: &self.weights,
+                relative_caps: &self.relative,
+                capacities: &self.absolute,
+                available: &self.available,
+                backlogs: &self.backlogs,
+                now: SimTime::ZERO,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_builds_every_policy() {
+        for kind in [
+            PolicyKind::Rr,
+            PolicyKind::Rr2,
+            PolicyKind::Prr,
+            PolicyKind::Prr2,
+            PolicyKind::Dal,
+            PolicyKind::Mrl,
+            PolicyKind::Random,
+            PolicyKind::WeightedRandom,
+            PolicyKind::LeastLoaded,
+        ] {
+            let p = kind.build(7, 2);
+            assert_eq!(p.name(), kind.paper_name());
+        }
+    }
+
+    #[test]
+    fn two_tier_flag() {
+        assert!(PolicyKind::Rr2.is_two_tier());
+        assert!(PolicyKind::Prr2.is_two_tier());
+        assert!(!PolicyKind::Rr.is_two_tier());
+        assert!(!PolicyKind::Dal.is_two_tier());
+    }
+
+    #[test]
+    fn eligible_falls_back_when_all_alarmed() {
+        let fixture = test_util::CtxFixture::new();
+        let mut f = fixture;
+        f.available = vec![false; 7];
+        let ctx = f.ctx(0, 0);
+        assert!(ctx.eligible(3), "all-alarmed means everything is eligible");
+    }
+
+    #[test]
+    fn relative_weight_normalizes() {
+        let f = test_util::CtxFixture::new();
+        let ctx = f.ctx(0, 0);
+        assert!((ctx.relative_weight() - 40.0 / 75.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimum residual load (MRL).
+
+use geodns_simcore::{SimTime, StreamRng};
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// One live mapping: a domain bound to a server until `expiry`, carrying
+/// `weight` of hidden load spread over `ttl` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Binding {
+    expiry: SimTime,
+    weight: f64,
+    ttl: f64,
+}
+
+/// MRL, the second homogeneous-site policy the paper inherits from
+/// ICDCS'97: each server's *residual load* is the hidden-load weight of its
+/// still-live mappings, discounted by how much of each mapping's TTL has
+/// already elapsed. Selection picks the minimum residual per unit capacity.
+///
+/// Unlike [`Dal`](super::Dal), MRL forgets expired mappings, so it adapts —
+/// but it still ignores the nonuniform TTL leverage that adaptive TTL
+/// exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mrl {
+    bindings: Vec<Vec<Binding>>,
+}
+
+impl Mrl {
+    /// Creates an MRL state over `n_servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers == 0`.
+    #[must_use]
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        Mrl {
+            bindings: vec![Vec::new(); n_servers],
+        }
+    }
+
+    /// The residual load of server `s` at time `now`.
+    #[must_use]
+    pub fn residual(&self, s: usize, now: SimTime) -> f64 {
+        self.bindings[s]
+            .iter()
+            .filter(|b| b.expiry > now)
+            .map(|b| b.weight * ((b.expiry - now) / b.ttl).clamp(0.0, 1.0))
+            .sum()
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        for list in &mut self.bindings {
+            list.retain(|b| b.expiry > now);
+        }
+    }
+}
+
+impl SelectionPolicy for Mrl {
+    fn name(&self) -> &'static str {
+        "MRL"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        self.prune(ctx.now);
+        let mut best = None;
+        let mut best_score = f64::INFINITY;
+        for s in 0..ctx.num_servers() {
+            if !ctx.eligible(s) {
+                continue;
+            }
+            let score = self.residual(s, ctx.now) / ctx.capacities[s];
+            if score < best_score {
+                best_score = score;
+                best = Some(s);
+            }
+        }
+        best.unwrap_or(0)
+    }
+
+    fn assigned(&mut self, server: usize, rel_weight: f64, ttl: f64, now: SimTime) {
+        if ttl > 0.0 {
+            self.bindings[server].push(Binding {
+                expiry: now + ttl,
+                weight: rel_weight,
+                ttl,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn residual_decays_linearly() {
+        let mut mrl = Mrl::new(1);
+        mrl.assigned(0, 1.0, 100.0, t(0.0));
+        assert!((mrl.residual(0, t(0.0)) - 1.0).abs() < 1e-12);
+        assert!((mrl.residual(0, t(50.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(mrl.residual(0, t(100.0)), 0.0);
+    }
+
+    #[test]
+    fn expired_bindings_are_forgotten() {
+        let f = CtxFixture::new();
+        let mut mrl = Mrl::new(7);
+        let mut rng = RngStreams::new(1).stream("mrl");
+        mrl.assigned(0, 10.0, 10.0, t(0.0));
+        // Long after expiry, server 0 is attractive again.
+        let mut ctx = f.ctx(0, 0);
+        ctx.now = t(1000.0);
+        let s = mrl.select(&ctx, &mut rng);
+        assert_eq!(s, 0, "expired load no longer repels; strongest wins ties");
+    }
+
+    #[test]
+    fn loaded_server_avoided() {
+        let f = CtxFixture::new();
+        let mut mrl = Mrl::new(7);
+        let mut rng = RngStreams::new(2).stream("mrl");
+        mrl.assigned(0, 5.0, 1000.0, t(0.0));
+        let s = mrl.select(&f.ctx(0, 0), &mut rng);
+        assert_ne!(s, 0);
+    }
+
+    #[test]
+    fn respects_alarms() {
+        let mut f = CtxFixture::new();
+        f.available = vec![false, true, false, false, false, false, false];
+        let mut mrl = Mrl::new(7);
+        let mut rng = RngStreams::new(3).stream("mrl");
+        assert_eq!(mrl.select(&f.ctx(0, 0), &mut rng), 1);
+    }
+
+    #[test]
+    fn zero_ttl_assignments_ignored() {
+        let mut mrl = Mrl::new(1);
+        mrl.assigned(0, 1.0, 0.0, t(0.0));
+        assert_eq!(mrl.residual(0, t(0.0)), 0.0);
+    }
+}

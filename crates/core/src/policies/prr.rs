@@ -1,0 +1,189 @@
+//! Probabilistic round-robin (PRR, PRR2) — §3.1 of the paper.
+
+use geodns_simcore::StreamRng;
+use rand::Rng;
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// Walks in round-robin order from `start + 1`, accepting server `S_i` with
+/// probability `α_i` ("we generate a random number and, under the
+/// assumption that `S_{i-1}` was the last chosen server, we assign the new
+/// request to `S_i` only if `u ≤ α_i`; otherwise we skip `S_i` and consider
+/// `S_{i+1}`"). Alarmed servers are skipped outright. Bounded by a safety
+/// cap, after which the next eligible server is taken unconditionally.
+pub(crate) fn probabilistic_walk(
+    start: usize,
+    ctx: &SchedCtx<'_>,
+    rng: &mut StreamRng,
+) -> usize {
+    let n = ctx.num_servers();
+    let cap = 64 * n;
+    let mut idx = start;
+    for _ in 0..cap {
+        idx = (idx + 1) % n;
+        if !ctx.eligible(idx) {
+            continue;
+        }
+        if rng.gen::<f64>() <= ctx.relative_caps[idx] {
+            return idx;
+        }
+    }
+    super::rr::next_eligible(idx, ctx)
+}
+
+/// PRR: round-robin with capacity-proportional acceptance, the paper's
+/// straightforward extension of RR to heterogeneous servers. In the long
+/// run server `S_i` receives a share of requests proportional to `α_i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbabilisticRr {
+    last: usize,
+}
+
+impl ProbabilisticRr {
+    /// Creates a PRR pointer over `n_servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers == 0`.
+    #[must_use]
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        ProbabilisticRr { last: n_servers - 1 }
+    }
+}
+
+impl SelectionPolicy for ProbabilisticRr {
+    fn name(&self) -> &'static str {
+        "PRR"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
+        let s = probabilistic_walk(self.last, ctx, rng);
+        self.last = s;
+        s
+    }
+}
+
+/// PRR2: the two-tier variant — an independent probabilistic round-robin
+/// pointer per domain class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbabilisticRr2 {
+    n_servers: usize,
+    last: Vec<usize>,
+}
+
+impl ProbabilisticRr2 {
+    /// Creates per-class pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(n_servers: usize, n_classes: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        assert!(n_classes > 0, "need at least one class");
+        ProbabilisticRr2 {
+            n_servers,
+            last: (0..n_classes).map(|c| (n_servers - 1 + c) % n_servers).collect(),
+        }
+    }
+}
+
+impl SelectionPolicy for ProbabilisticRr2 {
+    fn name(&self) -> &'static str {
+        "PRR2"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
+        let class = ctx.class.min(self.last.len() - 1);
+        let s = probabilistic_walk(self.last[class], ctx, rng);
+        self.last[class] = s;
+        s
+    }
+
+    fn on_classes_rebuilt(&mut self, n_classes: usize) {
+        if n_classes != self.last.len() && n_classes > 0 {
+            self.last = (0..n_classes)
+                .map(|c| (self.n_servers - 1 + c) % self.n_servers)
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn shares_track_relative_capacity() {
+        let f = CtxFixture::new(); // α = [1, 1, .8, .8, .5, .5, .5]
+        let mut prr = ProbabilisticRr::new(7);
+        let mut rng = RngStreams::new(42).stream("prr");
+        let n = 140_000;
+        let mut counts = vec![0usize; 7];
+        for _ in 0..n {
+            counts[prr.select(&f.ctx(0, 0), &mut rng)] += 1;
+        }
+        let alpha_sum: f64 = f.relative.iter().sum();
+        for s in 0..7 {
+            let share = counts[s] as f64 / n as f64;
+            let expect = f.relative[s] / alpha_sum;
+            assert!(
+                (share - expect).abs() < 0.01,
+                "server {s}: share {share:.4} vs α-proportional {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_prr_degenerates_to_rr() {
+        let mut f = CtxFixture::new();
+        f.relative = vec![1.0; 7];
+        let mut prr = ProbabilisticRr::new(7);
+        let mut rng = RngStreams::new(1).stream("prr");
+        let picks: Vec<usize> = (0..7).map(|_| prr.select(&f.ctx(0, 0), &mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn alarmed_servers_never_chosen() {
+        let mut f = CtxFixture::new();
+        f.available[0] = false;
+        f.available[4] = false;
+        let mut prr = ProbabilisticRr::new(7);
+        let mut rng = RngStreams::new(7).stream("prr");
+        for _ in 0..10_000 {
+            let s = prr.select(&f.ctx(0, 0), &mut rng);
+            assert!(s != 0 && s != 4);
+        }
+    }
+
+    #[test]
+    fn prr2_classes_have_independent_state() {
+        let f = CtxFixture::new();
+        let mut p = ProbabilisticRr2::new(7, 2);
+        let mut rng = RngStreams::new(9).stream("prr2");
+        // Just exercise both classes and confirm valid output.
+        for i in 0..1000 {
+            let s = p.select(&f.ctx(i % 4, i % 2), &mut rng);
+            assert!(s < 7);
+        }
+    }
+
+    #[test]
+    fn prr2_rebuild_is_safe() {
+        let f = CtxFixture::new();
+        let mut p = ProbabilisticRr2::new(7, 2);
+        p.on_classes_rebuilt(3);
+        let mut rng = RngStreams::new(9).stream("prr2");
+        assert!(p.select(&f.ctx(0, 2), &mut rng) < 7);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ProbabilisticRr::new(1).name(), "PRR");
+        assert_eq!(ProbabilisticRr2::new(1, 1).name(), "PRR2");
+    }
+}

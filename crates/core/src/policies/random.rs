@@ -1,0 +1,122 @@
+//! Random-choice baselines (extensions beyond the paper).
+
+use geodns_simcore::StreamRng;
+use rand::Rng;
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// Uniform random selection over the eligible servers — the memoryless
+/// baseline modern GeoDNS implementations sometimes ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RandomChoice;
+
+impl RandomChoice {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        RandomChoice
+    }
+}
+
+impl SelectionPolicy for RandomChoice {
+    fn name(&self) -> &'static str {
+        "RAND"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
+        let eligible: Vec<usize> = (0..ctx.num_servers()).filter(|&s| ctx.eligible(s)).collect();
+        eligible[rng.gen_range(0..eligible.len())]
+    }
+}
+
+/// Capacity-weighted random selection: server `S_i` is chosen with
+/// probability `α_i / Σα` among the eligible — the stateless analogue of
+/// PRR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightedRandom;
+
+impl WeightedRandom {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        WeightedRandom
+    }
+}
+
+impl SelectionPolicy for WeightedRandom {
+    fn name(&self) -> &'static str {
+        "WRAND"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
+        let total: f64 = (0..ctx.num_servers())
+            .filter(|&s| ctx.eligible(s))
+            .map(|s| ctx.relative_caps[s])
+            .sum();
+        let mut u = rng.gen::<f64>() * total;
+        let mut fallback = 0;
+        for s in 0..ctx.num_servers() {
+            if !ctx.eligible(s) {
+                continue;
+            }
+            fallback = s;
+            if u <= ctx.relative_caps[s] {
+                return s;
+            }
+            u -= ctx.relative_caps[s];
+        }
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn uniform_random_is_roughly_uniform() {
+        let f = CtxFixture::new();
+        let mut p = RandomChoice::new();
+        let mut rng = RngStreams::new(1).stream("rand");
+        let n = 70_000;
+        let mut counts = vec![0usize; 7];
+        for _ in 0..n {
+            counts[p.select(&f.ctx(0, 0), &mut rng)] += 1;
+        }
+        for c in counts {
+            let share = c as f64 / n as f64;
+            assert!((share - 1.0 / 7.0).abs() < 0.01, "share {share}");
+        }
+    }
+
+    #[test]
+    fn weighted_random_tracks_capacity() {
+        let f = CtxFixture::new();
+        let mut p = WeightedRandom::new();
+        let mut rng = RngStreams::new(2).stream("wrand");
+        let n = 140_000;
+        let mut counts = vec![0usize; 7];
+        for _ in 0..n {
+            counts[p.select(&f.ctx(0, 0), &mut rng)] += 1;
+        }
+        let alpha_sum: f64 = f.relative.iter().sum();
+        for s in 0..7 {
+            let share = counts[s] as f64 / n as f64;
+            let expect = f.relative[s] / alpha_sum;
+            assert!((share - expect).abs() < 0.01, "server {s}: {share} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn both_respect_alarms() {
+        let mut f = CtxFixture::new();
+        f.available = vec![false, false, true, false, false, false, false];
+        let mut rng = RngStreams::new(3).stream("r");
+        for _ in 0..1000 {
+            assert_eq!(RandomChoice::new().select(&f.ctx(0, 0), &mut rng), 2);
+            assert_eq!(WeightedRandom::new().select(&f.ctx(0, 0), &mut rng), 2);
+        }
+    }
+}

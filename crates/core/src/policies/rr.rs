@@ -1,0 +1,188 @@
+//! Round-robin and two-tier round-robin.
+
+use geodns_simcore::StreamRng;
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// Walks from `start + 1` forward (wrapping) to the first index `s` with
+/// `ctx.eligible(s)`. Always terminates because `eligible` falls back to
+/// "everything" when all servers are alarmed.
+pub(crate) fn next_eligible(start: usize, ctx: &SchedCtx<'_>) -> usize {
+    let n = ctx.num_servers();
+    for off in 1..=n {
+        let s = (start + off) % n;
+        if ctx.eligible(s) {
+            return s;
+        }
+    }
+    (start + 1) % n
+}
+
+/// The conventional DNS round-robin scheduler (NCSA-style), the paper's
+/// lower bound: one global pointer, no awareness of domains or capacities.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{RoundRobin, SchedCtx, SelectionPolicy};
+/// use geodns_simcore::{RngStreams, SimTime};
+///
+/// let mut rr = RoundRobin::new(3);
+/// let weights = [1.0]; let caps = [1.0, 1.0, 1.0];
+/// let abs = [10.0, 10.0, 10.0]; let avail = [true; 3]; let back = [0.0; 3];
+/// let ctx = SchedCtx { domain: 0, class: 0, weights: &weights,
+///     relative_caps: &caps, capacities: &abs, available: &avail,
+///     backlogs: &back, now: SimTime::ZERO };
+/// let mut rng = RngStreams::new(1).stream("rr");
+/// assert_eq!(rr.select(&ctx, &mut rng), 0);
+/// assert_eq!(rr.select(&ctx, &mut rng), 1);
+/// assert_eq!(rr.select(&ctx, &mut rng), 2);
+/// assert_eq!(rr.select(&ctx, &mut rng), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobin {
+    last: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin pointer over `n_servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers == 0`.
+    #[must_use]
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        RoundRobin { last: n_servers - 1 }
+    }
+}
+
+impl SelectionPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        let s = next_eligible(self.last, ctx);
+        self.last = s;
+        s
+    }
+}
+
+/// Two-tier round-robin (RR2, from the companion ICDCS'97 paper): an
+/// independent round-robin pointer per domain class, reducing "the
+/// probability that requests from the hot domains are assigned too
+/// frequently to the same server".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobin2 {
+    n_servers: usize,
+    last: Vec<usize>,
+}
+
+impl RoundRobin2 {
+    /// Creates per-class pointers over `n_servers` servers and `n_classes`
+    /// domain classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(n_servers: usize, n_classes: usize) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        assert!(n_classes > 0, "need at least one class");
+        RoundRobin2 {
+            n_servers,
+            // Stagger the starting pointers so classes don't move in lockstep.
+            last: (0..n_classes).map(|c| (n_servers - 1 + c) % n_servers).collect(),
+        }
+    }
+}
+
+impl SelectionPolicy for RoundRobin2 {
+    fn name(&self) -> &'static str {
+        "RR2"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        let class = ctx.class.min(self.last.len() - 1);
+        let s = next_eligible(self.last[class], ctx);
+        self.last[class] = s;
+        s
+    }
+
+    fn on_classes_rebuilt(&mut self, n_classes: usize) {
+        if n_classes != self.last.len() && n_classes > 0 {
+            self.last = (0..n_classes)
+                .map(|c| (self.n_servers - 1 + c) % self.n_servers)
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn rr_cycles_all_servers() {
+        let f = CtxFixture::new();
+        let mut rr = RoundRobin::new(7);
+        let mut rng = RngStreams::new(1).stream("t");
+        let picks: Vec<usize> = (0..14).map(|_| rr.select(&f.ctx(0, 0), &mut rng)).collect();
+        assert_eq!(&picks[..7], &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(&picks[7..], &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn rr_skips_alarmed() {
+        let mut f = CtxFixture::new();
+        f.available[1] = false;
+        f.available[2] = false;
+        let mut rr = RoundRobin::new(7);
+        let mut rng = RngStreams::new(1).stream("t");
+        let picks: Vec<usize> = (0..5).map(|_| rr.select(&f.ctx(0, 0), &mut rng)).collect();
+        assert_eq!(picks, vec![0, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn rr_all_alarmed_still_answers() {
+        let mut f = CtxFixture::new();
+        f.available = vec![false; 7];
+        let mut rr = RoundRobin::new(7);
+        let mut rng = RngStreams::new(1).stream("t");
+        let s = rr.select(&f.ctx(0, 0), &mut rng);
+        assert!(s < 7);
+    }
+
+    #[test]
+    fn rr2_pointers_are_independent() {
+        let f = CtxFixture::new();
+        let mut rr2 = RoundRobin2::new(7, 2);
+        let mut rng = RngStreams::new(1).stream("t");
+        let hot1 = rr2.select(&f.ctx(0, 0), &mut rng);
+        let cold1 = rr2.select(&f.ctx(3, 1), &mut rng);
+        let hot2 = rr2.select(&f.ctx(0, 0), &mut rng);
+        // The hot pointer advances by exactly one regardless of cold picks.
+        assert_eq!(hot2, (hot1 + 1) % 7);
+        assert_ne!(hot1, cold1, "staggered starting points");
+    }
+
+    #[test]
+    fn rr2_rebuild_changes_class_count() {
+        let f = CtxFixture::new();
+        let mut rr2 = RoundRobin2::new(7, 2);
+        rr2.on_classes_rebuilt(1);
+        let mut rng = RngStreams::new(1).stream("t");
+        // Class index beyond the pointer table clamps instead of panicking.
+        let s = rr2.select(&f.ctx(0, 1), &mut rng);
+        assert!(s < 7);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobin::new(1).name(), "RR");
+        assert_eq!(RoundRobin2::new(1, 1).name(), "RR2");
+    }
+}

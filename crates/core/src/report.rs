@@ -1,0 +1,170 @@
+//! The output of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Timeline;
+
+/// Summary of one simulation run — everything the paper's figures read off,
+/// plus operational metrics a practitioner would want.
+///
+/// The headline series is `max_util_samples`: the maximum server
+/// utilization observed at each utilization-check instant after warm-up.
+/// Its empirical CDF is the paper's "cumulative frequency of the maximum
+/// utilization" (Figures 1–2), and `P(maxU < 0.98)` is the Figures 3–7
+/// y-axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The paper-style algorithm name (`"DRR2-TTL/S_K"`, …).
+    pub algorithm: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Heterogeneity level as a percentage (Table 2 measure).
+    pub heterogeneity_pct: f64,
+    /// Measured span (after warm-up), seconds.
+    pub measured_span_s: f64,
+    /// Per-interval maximum server utilization, **sorted ascending**.
+    pub max_util_samples: Vec<f64>,
+    /// Mean utilization per server over the measured span.
+    pub per_server_mean_util: Vec<f64>,
+    /// Mean page response time (issue → last hit completed), seconds.
+    pub page_response_mean_s: f64,
+    /// 95th-percentile page response time, seconds.
+    pub page_response_p95_s: f64,
+    /// Completed client sessions.
+    pub sessions: u64,
+    /// Address requests that reached the DNS.
+    pub dns_queries: u64,
+    /// DNS address-request rate over the measured span (requests/s) — the
+    /// quantity the TTL normalization holds constant across schemes.
+    pub address_request_rate: f64,
+    /// Fraction of hits whose session was directly routed by the DNS (the
+    /// paper observes this is "often below 4%").
+    pub dns_control_fraction: f64,
+    /// Hits completed during the measured span.
+    pub hits_completed: u64,
+    /// Alarm signals raised during the measured span.
+    pub alarms: u64,
+    /// Name-server cache miss fraction over the measured span.
+    pub ns_miss_fraction: f64,
+    /// Mean page response for clients of *hot* domains (γ rule), seconds.
+    #[serde(default)]
+    pub page_response_hot_mean_s: f64,
+    /// Mean page response for clients of *normal* domains, seconds.
+    #[serde(default)]
+    pub page_response_normal_mean_s: f64,
+    /// Sessions resolved from the client's own cache (0 unless a client
+    /// cache model is enabled).
+    #[serde(default)]
+    pub client_cache_hits: u64,
+    /// The utilization time series, present when the run was configured
+    /// with `record_timeline`.
+    #[serde(default)]
+    pub timeline: Option<Timeline>,
+}
+
+impl SimReport {
+    /// `P(MaxUtilization < x)` — the paper's cumulative frequency.
+    #[must_use]
+    pub fn prob_max_util_lt(&self, x: f64) -> f64 {
+        if self.max_util_samples.is_empty() {
+            return 0.0;
+        }
+        let below = self.max_util_samples.partition_point(|&s| s < x);
+        below as f64 / self.max_util_samples.len() as f64
+    }
+
+    /// The CDF evaluated at each point of `xs` — one curve of Figure 1/2.
+    #[must_use]
+    pub fn cdf_curve(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.prob_max_util_lt(x))).collect()
+    }
+
+    /// The mean of the per-interval maximum utilization.
+    #[must_use]
+    pub fn mean_max_util(&self) -> f64 {
+        if self.max_util_samples.is_empty() {
+            return 0.0;
+        }
+        self.max_util_samples.iter().sum::<f64>() / self.max_util_samples.len() as f64
+    }
+
+    /// Mean utilization across all servers (should sit near the paper's
+    /// 2/3 design point).
+    #[must_use]
+    pub fn mean_util(&self) -> f64 {
+        if self.per_server_mean_util.is_empty() {
+            return 0.0;
+        }
+        self.per_server_mean_util.iter().sum::<f64>() / self.per_server_mean_util.len() as f64
+    }
+
+    /// The paper's Figures 3–7 y-axis: `P(MaxUtilization < 0.98)`.
+    #[must_use]
+    pub fn p98(&self) -> f64 {
+        self.prob_max_util_lt(0.98)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(samples: Vec<f64>) -> SimReport {
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        SimReport {
+            algorithm: "TEST".into(),
+            seed: 0,
+            heterogeneity_pct: 20.0,
+            measured_span_s: 100.0,
+            max_util_samples: sorted,
+            per_server_mean_util: vec![0.6, 0.7],
+            page_response_mean_s: 0.1,
+            page_response_p95_s: 0.3,
+            sessions: 10,
+            dns_queries: 5,
+            address_request_rate: 0.05,
+            dns_control_fraction: 0.04,
+            hits_completed: 1000,
+            alarms: 0,
+            ns_miss_fraction: 0.05,
+            page_response_hot_mean_s: 0.12,
+            page_response_normal_mean_s: 0.08,
+            client_cache_hits: 0,
+            timeline: None,
+        }
+    }
+
+    #[test]
+    fn cdf_is_fractional_rank() {
+        let r = report(vec![0.5, 0.7, 0.9, 0.99]);
+        assert_eq!(r.prob_max_util_lt(0.6), 0.25);
+        assert_eq!(r.prob_max_util_lt(0.95), 0.75);
+        assert_eq!(r.p98(), 0.75);
+        assert_eq!(r.prob_max_util_lt(1.1), 1.0);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let r = report(vec![]);
+        assert_eq!(r.prob_max_util_lt(0.5), 0.0);
+        assert_eq!(r.mean_max_util(), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        let r = report(vec![0.4, 0.6]);
+        assert!((r.mean_max_util() - 0.5).abs() < 1e-12);
+        assert!((r.mean_util() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let r = report(vec![0.3, 0.5, 0.8, 0.9, 0.95]);
+        let xs: Vec<f64> = (0..=20).map(|i| f64::from(i) / 20.0).collect();
+        let curve = r.cdf_curve(&xs);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

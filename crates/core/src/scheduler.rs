@@ -1,0 +1,332 @@
+//! The DNS scheduler: policy + adaptive TTL + alarms + estimation.
+
+use geodns_server::{CapacityPlan, Signal};
+use geodns_simcore::{SimTime, StreamRng};
+
+use crate::classifier::{DomainClasses, TierSpec};
+use crate::policies::{SchedCtx, SelectionPolicy};
+use crate::ttl::{TtlKind, TtlScheme};
+use crate::{Algorithm, HiddenLoadEstimator};
+
+/// The cluster-side DNS of the distributed Web site: answers address
+/// requests with a `(server, TTL)` pair, honours alarm signals, and keeps
+/// its domain classification and TTL tables in sync with the hidden-load
+/// estimator.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator};
+/// use geodns_server::{CapacityPlan, HeterogeneityLevel};
+/// use geodns_simcore::{RngStreams, SimTime};
+///
+/// let plan = CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0);
+/// let est = HiddenLoadEstimator::new(EstimatorKind::Oracle, &[30.0, 10.0, 5.0, 5.0]);
+/// let rng = RngStreams::new(7).stream("dns");
+/// let mut dns = DnsScheduler::new(
+///     Algorithm::drr2_ttl_s_k(), &plan, est, 0.25, 240.0, true, rng,
+/// );
+/// let backlogs = vec![0.0; 7];
+/// let (server, ttl) = dns.resolve(0, SimTime::ZERO, &backlogs);
+/// assert!(server < 7);
+/// assert!(ttl > 0.0);
+/// ```
+pub struct DnsScheduler {
+    algorithm: Algorithm,
+    policy: Box<dyn SelectionPolicy>,
+    estimator: HiddenLoadEstimator,
+    sel_classes: DomainClasses,
+    ttl_classes: DomainClasses,
+    ttl_scheme: TtlScheme,
+    relative_caps: Vec<f64>,
+    capacities: Vec<f64>,
+    available: Vec<bool>,
+    gamma: f64,
+    ttl_const: f64,
+    normalize: bool,
+    queries: u64,
+    rng: StreamRng,
+}
+
+impl DnsScheduler {
+    /// Creates the scheduler.
+    ///
+    /// * `gamma` — the two-tier class threshold γ (the paper's `1/K`).
+    /// * `ttl_const` — the constant-TTL baseline (240 s) adaptive schemes
+    ///   are rate-matched to.
+    /// * `normalize` — whether to rate-normalize adaptive TTLs.
+    #[must_use]
+    pub fn new(
+        algorithm: Algorithm,
+        plan: &CapacityPlan,
+        estimator: HiddenLoadEstimator,
+        gamma: f64,
+        ttl_const: f64,
+        normalize: bool,
+        rng: StreamRng,
+    ) -> Self {
+        let n = plan.num_servers();
+        let sel_tiers = if algorithm.policy.is_two_tier() {
+            TierSpec::Classes(2)
+        } else {
+            TierSpec::Classes(1)
+        };
+        let sel_classes = DomainClasses::build(estimator.weights(), sel_tiers, gamma);
+        let policy = algorithm.policy.build(n, sel_classes.num_classes());
+
+        let ttl_tiers = match algorithm.ttl {
+            TtlKind::Adaptive { tiers, .. } => tiers,
+            TtlKind::Constant => TierSpec::Classes(1),
+        };
+        let ttl_classes = DomainClasses::build(estimator.weights(), ttl_tiers, gamma);
+        let ttl_scheme = TtlScheme::build(
+            algorithm.ttl,
+            &ttl_classes,
+            estimator.weights(),
+            plan.relatives(),
+            ttl_const,
+            normalize,
+        );
+
+        DnsScheduler {
+            algorithm,
+            policy,
+            estimator,
+            sel_classes,
+            ttl_classes,
+            ttl_scheme,
+            relative_caps: plan.relatives().to_vec(),
+            capacities: plan.absolutes().to_vec(),
+            available: vec![true; n],
+            gamma,
+            ttl_const,
+            normalize,
+            queries: 0,
+            rng,
+        }
+    }
+
+    /// The algorithm this scheduler runs.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Answers one address request from `domain`: the chosen server and the
+    /// TTL attached to the mapping.
+    pub fn resolve(&mut self, domain: usize, now: SimTime, backlogs: &[f64]) -> (usize, f64) {
+        self.queries += 1;
+        let ctx = SchedCtx {
+            domain,
+            class: self.sel_classes.class_of(domain),
+            weights: self.estimator.weights(),
+            relative_caps: &self.relative_caps,
+            capacities: &self.capacities,
+            available: &self.available,
+            backlogs,
+            now,
+        };
+        let rel_weight = ctx.relative_weight();
+        let server = self.policy.select(&ctx, &mut self.rng);
+        let ttl = self.ttl_scheme.ttl(self.ttl_classes.class_of(domain), server);
+        self.policy.assigned(server, rel_weight, ttl, now);
+        (server, ttl)
+    }
+
+    /// Processes an asynchronous load signal from a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn signal(&mut self, server: usize, signal: Signal) {
+        self.available[server] = matches!(signal, Signal::Normal);
+    }
+
+    /// Feeds one estimator collection (per-domain hit counts over
+    /// `interval_s` seconds) and rebuilds the classification and TTL tables
+    /// from the new estimates. No-op rebuild for the oracle estimator.
+    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) {
+        self.estimator.ingest(counts, interval_s);
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        let sel_tiers = if self.algorithm.policy.is_two_tier() {
+            TierSpec::Classes(2)
+        } else {
+            TierSpec::Classes(1)
+        };
+        self.sel_classes = DomainClasses::build(self.estimator.weights(), sel_tiers, self.gamma);
+        self.policy.on_classes_rebuilt(self.sel_classes.num_classes());
+
+        let ttl_tiers = match self.algorithm.ttl {
+            TtlKind::Adaptive { tiers, .. } => tiers,
+            TtlKind::Constant => TierSpec::Classes(1),
+        };
+        self.ttl_classes = DomainClasses::build(self.estimator.weights(), ttl_tiers, self.gamma);
+        self.ttl_scheme = TtlScheme::build(
+            self.algorithm.ttl,
+            &self.ttl_classes,
+            self.estimator.weights(),
+            &self.relative_caps,
+            self.ttl_const,
+            self.normalize,
+        );
+    }
+
+    /// Number of address requests answered.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// The current TTL table.
+    #[must_use]
+    pub fn ttl_scheme(&self) -> &TtlScheme {
+        &self.ttl_scheme
+    }
+
+    /// The current availability mask (false = alarmed).
+    #[must_use]
+    pub fn availability(&self) -> &[bool] {
+        &self.available
+    }
+
+    /// The estimator (for inspection).
+    #[must_use]
+    pub fn estimator(&self) -> &HiddenLoadEstimator {
+        &self.estimator
+    }
+
+    /// The current selection classification (two-tier for `*2` policies).
+    #[must_use]
+    pub fn selection_classes(&self) -> &DomainClasses {
+        &self.sel_classes
+    }
+
+    /// The current TTL classification.
+    #[must_use]
+    pub fn ttl_classes(&self) -> &DomainClasses {
+        &self.ttl_classes
+    }
+}
+
+impl std::fmt::Debug for DnsScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DnsScheduler")
+            .field("algorithm", &self.algorithm.name())
+            .field("queries", &self.queries)
+            .field("available", &self.available)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EstimatorKind;
+    use geodns_server::HeterogeneityLevel;
+    use geodns_simcore::RngStreams;
+
+    fn scheduler(algorithm: Algorithm) -> DnsScheduler {
+        let plan = CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0);
+        let weights: Vec<f64> = (0..20).map(|i| 100.0 / (i + 1) as f64).collect();
+        let est = HiddenLoadEstimator::new(EstimatorKind::Oracle, &weights);
+        let rng = RngStreams::new(1).stream("sched");
+        DnsScheduler::new(algorithm, &plan, est, 0.05, 240.0, true, rng)
+    }
+
+    #[test]
+    fn resolve_returns_valid_answers() {
+        let mut dns = scheduler(Algorithm::drr2_ttl_s_k());
+        let backlogs = vec![0.0; 7];
+        for d in 0..20 {
+            let (s, ttl) = dns.resolve(d, SimTime::ZERO, &backlogs);
+            assert!(s < 7);
+            assert!(ttl > 0.0 && ttl.is_finite());
+        }
+        assert_eq!(dns.queries(), 20);
+    }
+
+    #[test]
+    fn adaptive_ttl_orders_by_domain_weight() {
+        let mut dns = scheduler(Algorithm::prr_ttl_k());
+        let backlogs = vec![0.0; 7];
+        // TTL/K is server-independent: compare hot vs cold domains.
+        let (_, hot_ttl) = dns.resolve(0, SimTime::ZERO, &backlogs);
+        let (_, cold_ttl) = dns.resolve(19, SimTime::ZERO, &backlogs);
+        assert!(hot_ttl < cold_ttl, "hot {hot_ttl} vs cold {cold_ttl}");
+        // Pure Zipf: domain 19 is 20× lighter → 20× the TTL.
+        assert!((cold_ttl / hot_ttl - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn server_scaled_ttl_varies_with_server() {
+        let mut dns = scheduler(Algorithm::drr_ttl_s_k());
+        let backlogs = vec![0.0; 7];
+        // DRR visits servers in round-robin order: collect TTLs over a full
+        // cycle for the same domain.
+        let ttls: Vec<f64> = (0..7)
+            .map(|_| dns.resolve(0, SimTime::ZERO, &backlogs).1)
+            .collect();
+        let min = ttls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ttls.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max / min - 1.25).abs() < 1e-9, "ρ·α spread is 1/0.8 at H20");
+    }
+
+    #[test]
+    fn alarm_excludes_server() {
+        let mut dns = scheduler(Algorithm::rr());
+        let backlogs = vec![0.0; 7];
+        dns.signal(2, Signal::Alarm);
+        for _ in 0..20 {
+            let (s, _) = dns.resolve(0, SimTime::ZERO, &backlogs);
+            assert_ne!(s, 2);
+        }
+        dns.signal(2, Signal::Normal);
+        let mut seen2 = false;
+        for _ in 0..8 {
+            if dns.resolve(0, SimTime::ZERO, &backlogs).0 == 2 {
+                seen2 = true;
+            }
+        }
+        assert!(seen2, "recovered server rejoins the rotation");
+    }
+
+    #[test]
+    fn constant_ttl_is_240_everywhere() {
+        let mut dns = scheduler(Algorithm::rr());
+        let backlogs = vec![0.0; 7];
+        for d in 0..20 {
+            let (_, ttl) = dns.resolve(d, SimTime::ZERO, &backlogs);
+            assert_eq!(ttl, 240.0);
+        }
+    }
+
+    #[test]
+    fn ingest_rebuilds_from_measurements() {
+        let plan = CapacityPlan::from_level(HeterogeneityLevel::H0, 500.0);
+        let est = HiddenLoadEstimator::new(
+            EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.0 },
+            &[1.0, 1.0],
+        );
+        let rng = RngStreams::new(2).stream("sched");
+        let mut dns = DnsScheduler::new(Algorithm::prr_ttl_k(), &plan, est, 0.5, 240.0, true, rng);
+        let backlogs = vec![0.0; 7];
+        let (_, before0) = dns.resolve(0, SimTime::ZERO, &backlogs);
+        assert_eq!(dns.resolve(1, SimTime::ZERO, &backlogs).1, before0, "cold start is symmetric");
+        // Feed a 9:1 skew and expect the TTLs to diverge accordingly.
+        dns.ingest(&[900, 100], 10.0);
+        let (_, hot) = dns.resolve(0, SimTime::ZERO, &backlogs);
+        let (_, cold) = dns.resolve(1, SimTime::ZERO, &backlogs);
+        assert!((cold / hot - 9.0).abs() < 1e-9, "ratio {}", cold / hot);
+    }
+
+    #[test]
+    fn two_tier_policies_get_two_classes() {
+        let dns = scheduler(Algorithm::drr2_ttl_s(2));
+        assert_eq!(dns.selection_classes().num_classes(), 2);
+        let dns = scheduler(Algorithm::rr());
+        assert_eq!(dns.selection_classes().num_classes(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-hit service-time models.
+//!
+//! The paper characterizes each server purely by its capacity `C_i` in
+//! hits/s; we default to exponential service with mean `1/C_i` (the
+//! classic M/M/1-style assumption). Real Web service times are burstier —
+//! object sizes are heavy-tailed (Arlitt & Williamson, the workload study
+//! the paper cites) — so this module also offers deterministic and
+//! bounded-Pareto-like alternatives with the *same mean*, letting an
+//! ablation check that the scheduling results don't hinge on the
+//! exponential assumption.
+
+use geodns_simcore::dist::{Distribution, Exponential, Pareto};
+use geodns_simcore::StreamRng;
+use serde::{Deserialize, Serialize};
+
+/// The shape of per-hit service times. Every variant has mean `1 / C_i`
+/// for a server of capacity `C_i`; only the variance changes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Exponential service (default; coefficient of variation 1).
+    Exponential,
+    /// Deterministic service (coefficient of variation 0) — the M/D/1
+    /// lower-variance extreme.
+    Deterministic,
+    /// Pareto service with the given tail index (`shape > 1` so the mean
+    /// exists; smaller shape = heavier tail). `shape` around 2–2.5 mimics
+    /// measured Web object size tails.
+    Pareto {
+        /// Tail index α (must exceed 1).
+        shape: f64,
+    },
+}
+
+impl ServiceModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a Pareto shape does not exceed 1 (infinite
+    /// mean) or is not finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ServiceModel::Pareto { shape } = self {
+            if !(shape.is_finite() && *shape > 1.0) {
+                return Err(format!("pareto service shape must be > 1, got {shape}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the sampler for a server of `capacity` hits/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or the model is invalid (both
+    /// are checked by `SimConfig::validate` first).
+    #[must_use]
+    pub fn sampler(&self, capacity: f64) -> ServiceSampler {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let mean = 1.0 / capacity;
+        match *self {
+            ServiceModel::Exponential => ServiceSampler::Exponential(Exponential::with_mean(mean)),
+            ServiceModel::Deterministic => ServiceSampler::Deterministic(mean),
+            ServiceModel::Pareto { shape } => {
+                // mean = shape·x_min/(shape−1) ⇒ x_min = mean·(shape−1)/shape.
+                let x_min = mean * (shape - 1.0) / shape;
+                ServiceSampler::Pareto(Pareto::new(x_min, shape).expect("validated shape"))
+            }
+        }
+    }
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel::Exponential
+    }
+}
+
+/// A ready-to-draw service-time sampler for one server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceSampler {
+    /// Exponential service times.
+    Exponential(Exponential),
+    /// Constant service times.
+    Deterministic(f64),
+    /// Pareto service times.
+    Pareto(Pareto),
+}
+
+impl ServiceSampler {
+    /// Draws one service time in seconds.
+    pub fn sample(&self, rng: &mut StreamRng) -> f64 {
+        match self {
+            ServiceSampler::Exponential(d) => d.sample(rng),
+            ServiceSampler::Deterministic(mean) => *mean,
+            ServiceSampler::Pareto(d) => d.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    fn mean_of(model: ServiceModel, capacity: f64) -> f64 {
+        let sampler = model.sampler(capacity);
+        let mut rng = RngStreams::new(0x5E12).stream("svc");
+        let n = 300_000;
+        (0..n).map(|_| sampler.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_models_share_the_mean() {
+        let capacity = 80.0;
+        let expect = 1.0 / capacity;
+        for model in [
+            ServiceModel::Exponential,
+            ServiceModel::Deterministic,
+            ServiceModel::Pareto { shape: 2.5 },
+        ] {
+            let m = mean_of(model, capacity);
+            assert!(
+                (m - expect).abs() / expect < 0.03,
+                "{model:?}: mean {m} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_has_zero_variance() {
+        let sampler = ServiceModel::Deterministic.sampler(50.0);
+        let mut rng = RngStreams::new(1).stream("svc");
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0.02);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_exponential() {
+        let cap = 100.0;
+        let pareto = ServiceModel::Pareto { shape: 2.1 }.sampler(cap);
+        let exp = ServiceModel::Exponential.sampler(cap);
+        let mut rng = RngStreams::new(2).stream("svc");
+        let n = 200_000;
+        let threshold = 10.0 / cap; // 10× the mean
+        let pareto_tail = (0..n).filter(|_| pareto.sample(&mut rng) > threshold).count();
+        let exp_tail = (0..n).filter(|_| exp.sample(&mut rng) > threshold).count();
+        assert!(
+            pareto_tail > exp_tail * 5,
+            "pareto tail {pareto_tail} vs exponential tail {exp_tail}"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ServiceModel::Exponential.validate().is_ok());
+        assert!(ServiceModel::Deterministic.validate().is_ok());
+        assert!(ServiceModel::Pareto { shape: 2.0 }.validate().is_ok());
+        assert!(ServiceModel::Pareto { shape: 1.0 }.validate().is_err());
+        assert!(ServiceModel::Pareto { shape: 0.5 }.validate().is_err());
+        assert!(ServiceModel::Pareto { shape: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        for model in [
+            ServiceModel::Exponential,
+            ServiceModel::Deterministic,
+            ServiceModel::Pareto { shape: 3.0 },
+        ] {
+            let sampler = model.sampler(60.0);
+            let mut rng = RngStreams::new(3).stream("svc");
+            for _ in 0..1000 {
+                assert!(sampler.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Optional time-series capture of server utilizations.
+
+use serde::{Deserialize, Serialize};
+
+/// The utilization time series of one run: one row per utilization-check
+/// instant (the paper's 8-second windows), recorded only when
+/// [`SimConfig::record_timeline`](crate::SimConfig::record_timeline) is
+/// set. Useful for plotting what a figure's CDF summarizes away — *when*
+/// the overload episodes happen, which server suffers, how a flash crowd
+/// propagates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Sample instants, seconds since warm-up end.
+    pub times_s: Vec<f64>,
+    /// Per-sample utilization of every server (`samples × servers`).
+    pub per_server: Vec<Vec<f64>>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width changes between samples.
+    pub fn push(&mut self, t_s: f64, utils: Vec<f64>) {
+        if let Some(first) = self.per_server.first() {
+            assert_eq!(first.len(), utils.len(), "server count changed mid-run");
+        }
+        self.times_s.push(t_s);
+        self.per_server.push(utils);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times_s.len()
+    }
+
+    /// Whether no samples were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times_s.is_empty()
+    }
+
+    /// The per-sample maximum across servers.
+    #[must_use]
+    pub fn max_series(&self) -> Vec<f64> {
+        self.per_server
+            .iter()
+            .map(|row| row.iter().cloned().fold(0.0, f64::max))
+            .collect()
+    }
+
+    /// Renders the timeline as CSV (`t,s1,s2,…`), ready for any plotting
+    /// tool.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let servers = self.per_server.first().map_or(0, Vec::len);
+        let mut out = String::from("t_s");
+        for s in 0..servers {
+            out.push_str(&format!(",server{}", s + 1));
+        }
+        out.push('\n');
+        for (t, row) in self.times_s.iter().zip(&self.per_server) {
+            out.push_str(&format!("{t:.3}"));
+            for u in row {
+                out.push_str(&format!(",{u:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = Timeline::new();
+        assert!(t.is_empty());
+        t.push(8.0, vec![0.5, 0.9]);
+        t.push(16.0, vec![0.7, 0.6]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_series(), vec![0.9, 0.7]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Timeline::new();
+        t.push(8.0, vec![0.25, 0.5]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,server1,server2");
+        assert_eq!(lines[1], "8.000,0.2500,0.5000");
+    }
+
+    #[test]
+    #[should_panic(expected = "server count changed")]
+    fn width_change_panics() {
+        let mut t = Timeline::new();
+        t.push(8.0, vec![0.5]);
+        t.push(16.0, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_csv_is_header_only() {
+        let t = Timeline::new();
+        assert_eq!(t.to_csv(), "t_s\n");
+    }
+}

@@ -1,0 +1,105 @@
+//! Adaptive TTL assignment (the paper's §3 contribution).
+//!
+//! When the DNS answers an address request it returns both a server and a
+//! TTL. The adaptive TTL family sizes that TTL so that *the subsequent
+//! requests hidden behind each mapping consume a similar share of server
+//! capacity*:
+//!
+//! * `TTL/i` (probabilistic family): domains are partitioned into `i`
+//!   classes by hidden load weight; a class's TTL is inversely proportional
+//!   to its average weight. `TTL/1` degenerates to a constant TTL; `TTL/K`
+//!   gives every domain its own TTL, `TTL_j = (ω_max / ω_j) · TTL_min`.
+//! * `TTL/S_i` (deterministic family): additionally proportional to the
+//!   chosen server's capacity, `TTL_{ij} = (ω_max / ω_j) · α_i · ρ ·
+//!   TTL_min`, with `ρ = C_1/C_N` so the weakest server's factor is 1.
+//!
+//! Every adaptive scheme is **rate-normalized**: TTL levels are scaled so
+//! the expected address-request rate matches the constant-TTL baseline
+//! (240 s), the paper's fairness requirement for comparisons.
+
+mod normalize;
+mod scheme;
+
+pub use normalize::{expected_address_rate, normalization_scale};
+pub use scheme::TtlScheme;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TierSpec;
+
+/// Which TTL policy the DNS runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TtlKind {
+    /// One fixed TTL for every answer (the conventional scheme; paper
+    /// default 240 s).
+    Constant,
+    /// The adaptive family. `tiers` picks the domain partition (the `i` of
+    /// `TTL/i`); `server_scaled` selects the deterministic `TTL/S_i`
+    /// variant that also scales by the chosen server's capacity.
+    Adaptive {
+        /// Domain classes used for TTL differentiation.
+        tiers: TierSpec,
+        /// Whether the TTL additionally scales with server capacity.
+        server_scaled: bool,
+    },
+}
+
+impl TtlKind {
+    /// The paper's name fragment for this kind: `TTL/1`, `TTL/2`, `TTL/K`,
+    /// `TTL/S_1`, `TTL/S_2`, `TTL/S_K`, …
+    #[must_use]
+    pub fn paper_name(&self) -> String {
+        match *self {
+            TtlKind::Constant => "TTL/1".to_string(),
+            TtlKind::Adaptive { tiers, server_scaled } => {
+                let tier = match tiers {
+                    TierSpec::Classes(n) => n.to_string(),
+                    TierSpec::PerDomain => "K".to_string(),
+                };
+                if server_scaled {
+                    format!("TTL/S_{tier}")
+                } else {
+                    format!("TTL/{tier}")
+                }
+            }
+        }
+    }
+
+    /// Whether this kind adapts to the hidden load at all.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, TtlKind::Adaptive { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(TtlKind::Constant.paper_name(), "TTL/1");
+        assert_eq!(
+            TtlKind::Adaptive { tiers: TierSpec::Classes(2), server_scaled: false }.paper_name(),
+            "TTL/2"
+        );
+        assert_eq!(
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: false }.paper_name(),
+            "TTL/K"
+        );
+        assert_eq!(
+            TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: true }.paper_name(),
+            "TTL/S_1"
+        );
+        assert_eq!(
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true }.paper_name(),
+            "TTL/S_K"
+        );
+    }
+
+    #[test]
+    fn adaptivity_flag() {
+        assert!(!TtlKind::Constant.is_adaptive());
+        assert!(TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: true }.is_adaptive());
+    }
+}

@@ -1,0 +1,96 @@
+//! Address-rate normalization across TTL schemes.
+//!
+//! "Since an arbitrary choice of TTL would lead to unfair performance
+//! comparisons, for each adaptive TTL policy we have chosen the TTL values
+//! in such a way that their average address request rates remain the same."
+//! (paper §4.1)
+//!
+//! The model: a continuously active domain whose mappings carry expected
+//! TTL `E_j` regenerates an address request every `E_j` seconds, so the
+//! site-wide address-request rate is `Σ_j 1/E_j`. The constant-TTL baseline
+//! produces `K / TTL_const`. Because every adaptive formula is linear in a
+//! global scale factor, matching the two rates has a closed form.
+
+/// The expected site-wide address-request rate (requests/s) for per-domain
+/// expected TTLs.
+///
+/// # Panics
+///
+/// Panics if any TTL is non-positive.
+#[must_use]
+pub fn expected_address_rate(expected_ttls: &[f64]) -> f64 {
+    expected_ttls
+        .iter()
+        .map(|&t| {
+            assert!(t > 0.0, "expected TTL must be positive, got {t}");
+            1.0 / t
+        })
+        .sum()
+}
+
+/// The factor `s` such that scaling every per-domain expected TTL by `s`
+/// yields exactly `target_rate` address requests per second:
+/// `Σ 1/(s·E_j) = target` ⇒ `s = (Σ 1/E_j) / target`.
+///
+/// # Panics
+///
+/// Panics if `target_rate` is not positive, the TTL list is empty, or any
+/// TTL is non-positive.
+#[must_use]
+pub fn normalization_scale(expected_ttls: &[f64], target_rate: f64) -> f64 {
+    assert!(!expected_ttls.is_empty(), "need at least one domain");
+    assert!(
+        target_rate.is_finite() && target_rate > 0.0,
+        "target rate must be positive, got {target_rate}"
+    );
+    expected_address_rate(expected_ttls) / target_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ttls_match_baseline() {
+        // 20 domains at 240 s → rate = 20/240.
+        let ttls = vec![240.0; 20];
+        let rate = expected_address_rate(&ttls);
+        assert!((rate - 20.0 / 240.0).abs() < 1e-12);
+        // Already at target: scale = 1.
+        assert!((normalization_scale(&ttls, 20.0 / 240.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_achieves_target_exactly() {
+        let ttls = vec![10.0, 20.0, 40.0, 80.0];
+        let target = 4.0 / 240.0;
+        let s = normalization_scale(&ttls, target);
+        let scaled: Vec<f64> = ttls.iter().map(|t| t * s).collect();
+        assert!((expected_address_rate(&scaled) - target).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_ttls_normalize_below_naive() {
+        // Zipf-like inverse-weight TTLs: hot domains would otherwise inflate
+        // the address rate, so normalization must raise all TTLs (s > 1)
+        // relative to giving the hottest domain the baseline TTL.
+        let weights = [10.0, 5.0, 2.0, 1.0];
+        let naive: Vec<f64> = weights.iter().map(|w| 240.0 * weights[0] / w).collect();
+        assert_eq!(naive[0], 240.0);
+        let target = 4.0 / 240.0;
+        let s = normalization_scale(&naive, target);
+        assert!(s < 1.0, "inverse-weight TTLs ≥ 240 s yield a lower rate, so they shrink: s = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ttl_panics() {
+        let _ = expected_address_rate(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_panics() {
+        let _ = normalization_scale(&[], 1.0);
+    }
+}

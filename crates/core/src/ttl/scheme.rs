@@ -1,0 +1,298 @@
+//! The realized TTL table for one configuration.
+
+use crate::classifier::DomainClasses;
+use crate::ttl::{normalization_scale, TtlKind};
+
+/// The concrete TTL assignment: a base TTL per *TTL class* and a
+/// multiplicative factor per server (`1` everywhere for the probabilistic
+/// family, `α_i · ρ` for the deterministic `TTL/S_i` family).
+///
+/// Built by [`TtlScheme::build`] from the current hidden-load estimates and
+/// rebuilt whenever the estimator updates.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{DomainClasses, TierSpec, TtlKind, TtlScheme};
+///
+/// let weights = [30.0, 10.0, 5.0, 5.0];               // hidden loads
+/// let classes = DomainClasses::build(&weights, TierSpec::PerDomain, 0.25);
+/// let caps = [1.0, 0.5];                              // relative capacities
+/// let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true };
+/// let s = TtlScheme::build(kind, &classes, &weights, &caps, 240.0, true);
+///
+/// // Hotter domains get shorter TTLs; stronger servers get longer ones.
+/// let hot_weak = s.ttl(classes.class_of(0), 1);
+/// let hot_strong = s.ttl(classes.class_of(0), 0);
+/// let cold_weak = s.ttl(classes.class_of(2), 1);
+/// assert!(hot_weak < cold_weak);
+/// assert!(hot_weak < hot_strong);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtlScheme {
+    base: Vec<f64>,
+    server_factor: Vec<f64>,
+}
+
+impl TtlScheme {
+    /// A constant-TTL scheme (`ttl` seconds for every answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ttl` is positive and there is at least one server.
+    #[must_use]
+    pub fn constant(ttl: f64, n_servers: usize) -> Self {
+        assert!(ttl > 0.0, "TTL must be positive, got {ttl}");
+        assert!(n_servers > 0, "need at least one server");
+        TtlScheme {
+            base: vec![ttl],
+            server_factor: vec![1.0; n_servers],
+        }
+    }
+
+    /// Builds the TTL table for `kind` from the current classification and
+    /// per-domain weight estimates.
+    ///
+    /// * `classes` — the TTL-differentiation classes (built with the same
+    ///   `tiers` as `kind`; class weights drive the inverse proportion).
+    /// * `weights` — per-domain hidden-load estimates (only used to size
+    ///   the normalization: each domain contributes its expected TTL).
+    /// * `relative_caps` — the servers' `α_i` (decreasing, `α_1 = 1`).
+    /// * `ttl_const` — the constant-TTL baseline being matched (240 s).
+    /// * `normalize` — when `false`, skips rate normalization and anchors
+    ///   the hottest class at `ttl_const` (the paper's "naive" strawman,
+    ///   kept for the ablation bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty inputs, non-positive weights/TTL, or a class count
+    /// mismatch.
+    #[must_use]
+    pub fn build(
+        kind: TtlKind,
+        classes: &DomainClasses,
+        weights: &[f64],
+        relative_caps: &[f64],
+        ttl_const: f64,
+        normalize: bool,
+    ) -> Self {
+        assert!(!relative_caps.is_empty(), "need at least one server");
+        assert!(ttl_const > 0.0, "baseline TTL must be positive");
+        assert_eq!(classes.num_domains(), weights.len(), "weights/classes mismatch");
+
+        let TtlKind::Adaptive { server_scaled, .. } = kind else {
+            return Self::constant(ttl_const, relative_caps.len());
+        };
+
+        let n = relative_caps.len();
+        let rho = relative_caps[0] / relative_caps[n - 1];
+        let server_factor: Vec<f64> = if server_scaled {
+            relative_caps.iter().map(|a| a * rho).collect()
+        } else {
+            vec![1.0; n]
+        };
+        let mean_factor: f64 = server_factor.iter().sum::<f64>() / n as f64;
+
+        // Base TTL per class ∝ 1 / class weight; floor weights so a cold
+        // class cannot produce an infinite TTL.
+        let floor = 1e-9;
+        let hottest = classes
+            .class_weights()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(floor);
+        let mut base: Vec<f64> = classes
+            .class_weights()
+            .iter()
+            .map(|&w| hottest / w.max(floor))
+            .collect();
+
+        if normalize {
+            // Per-domain expected TTL under a round-robin-like server visit
+            // pattern (each server equally often).
+            let expected: Vec<f64> = (0..classes.num_domains())
+                .map(|d| base[classes.class_of(d)] * mean_factor)
+                .collect();
+            let target = classes.num_domains() as f64 / ttl_const;
+            let scale = normalization_scale(&expected, target);
+            for b in &mut base {
+                *b *= scale;
+            }
+        } else {
+            // Anchor the hottest class (base 1.0) at the baseline TTL.
+            for b in &mut base {
+                *b *= ttl_const;
+            }
+        }
+
+        TtlScheme { base, server_factor }
+    }
+
+    /// The TTL (seconds) for an answer to a domain of TTL-class `class`
+    /// mapped to server `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn ttl(&self, class: usize, server: usize) -> f64 {
+        self.base[class] * self.server_factor[server]
+    }
+
+    /// Number of TTL classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.server_factor.len()
+    }
+
+    /// The smallest TTL any answer can carry.
+    #[must_use]
+    pub fn min_ttl(&self) -> f64 {
+        let min_base = self.base.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_factor = self.server_factor.iter().cloned().fold(f64::INFINITY, f64::min);
+        min_base * min_factor
+    }
+
+    /// The largest TTL any answer can carry.
+    #[must_use]
+    pub fn max_ttl(&self) -> f64 {
+        let max_base = self.base.iter().cloned().fold(f64::MIN, f64::max);
+        let max_factor = self.server_factor.iter().cloned().fold(f64::MIN, f64::max);
+        max_base * max_factor
+    }
+
+    /// The per-domain expected TTL (uniform server-visit average) — used by
+    /// tests to verify rate normalization.
+    #[must_use]
+    pub fn expected_ttls(&self, classes: &DomainClasses) -> Vec<f64> {
+        let mean_factor: f64 =
+            self.server_factor.iter().sum::<f64>() / self.server_factor.len() as f64;
+        (0..classes.num_domains())
+            .map(|d| self.base[classes.class_of(d)] * mean_factor)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ttl::expected_address_rate;
+    use crate::TierSpec;
+
+    fn zipf_weights(k: usize) -> Vec<f64> {
+        (0..k).map(|i| 100.0 / (i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn constant_scheme_is_flat() {
+        let s = TtlScheme::constant(240.0, 7);
+        for srv in 0..7 {
+            assert_eq!(s.ttl(0, srv), 240.0);
+        }
+        assert_eq!(s.min_ttl(), 240.0);
+        assert_eq!(s.max_ttl(), 240.0);
+    }
+
+    #[test]
+    fn ttl_k_is_inverse_to_weight() {
+        let w = zipf_weights(10);
+        let classes = DomainClasses::build(&w, TierSpec::PerDomain, 0.1);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: false };
+        let s = TtlScheme::build(kind, &classes, &w, &[1.0; 7], 240.0, true);
+        // Domain 0 is 10× domain 9's weight → 10× shorter TTL.
+        let t0 = s.ttl(classes.class_of(0), 0);
+        let t9 = s.ttl(classes.class_of(9), 0);
+        assert!((t9 / t0 - 10.0).abs() < 1e-9, "ratio {}", t9 / t0);
+    }
+
+    #[test]
+    fn normalization_matches_baseline_rate() {
+        let w = zipf_weights(20);
+        for (tiers, scaled) in [
+            (TierSpec::PerDomain, false),
+            (TierSpec::PerDomain, true),
+            (TierSpec::Classes(2), false),
+            (TierSpec::Classes(2), true),
+            (TierSpec::Classes(1), true),
+        ] {
+            let classes = DomainClasses::build(&w, tiers, 1.0 / 20.0);
+            let kind = TtlKind::Adaptive { tiers, server_scaled: scaled };
+            let caps = [1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5];
+            let s = TtlScheme::build(kind, &classes, &w, &caps, 240.0, true);
+            let rate = expected_address_rate(&s.expected_ttls(&classes));
+            let target = 20.0 / 240.0;
+            assert!(
+                (rate - target).abs() < 1e-9,
+                "{kind:?}: rate {rate} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_scaling_respects_capacity() {
+        let w = zipf_weights(5);
+        let classes = DomainClasses::build(&w, TierSpec::PerDomain, 0.2);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true };
+        let caps = [1.0, 0.8, 0.5];
+        let s = TtlScheme::build(kind, &classes, &w, &caps, 240.0, true);
+        // ρ = 2: weakest server's factor is α_N·ρ = 1, strongest is ρ = 2.
+        let weak = s.ttl(0, 2);
+        let strong = s.ttl(0, 0);
+        assert!((strong / weak - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_s1_varies_only_with_server() {
+        let w = zipf_weights(5);
+        let classes = DomainClasses::build(&w, TierSpec::Classes(1), 0.2);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: true };
+        let caps = [1.0, 0.5];
+        let s = TtlScheme::build(kind, &classes, &w, &caps, 240.0, true);
+        assert_eq!(s.num_classes(), 1);
+        // Normalized: E[TTL] = 240 → ttl(s) = 240 · α_s/mean(α).
+        let mean_alpha = 0.75;
+        assert!((s.ttl(0, 0) - 240.0 / mean_alpha).abs() < 1e-9);
+        assert!((s.ttl(0, 1) - 240.0 * 0.5 / mean_alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttl1_unscaled_degenerates_to_constant() {
+        let w = zipf_weights(8);
+        let classes = DomainClasses::build(&w, TierSpec::Classes(1), 0.2);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: false };
+        let s = TtlScheme::build(kind, &classes, &w, &[1.0; 4], 240.0, true);
+        assert!((s.ttl(0, 0) - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unnormalized_anchors_hottest_at_baseline() {
+        let w = zipf_weights(10);
+        let classes = DomainClasses::build(&w, TierSpec::PerDomain, 0.1);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: false };
+        let s = TtlScheme::build(kind, &classes, &w, &[1.0; 3], 240.0, false);
+        assert!((s.ttl(classes.class_of(0), 0) - 240.0).abs() < 1e-9);
+        assert!(s.ttl(classes.class_of(9), 0) > 240.0);
+    }
+
+    #[test]
+    fn min_max_bracket_all_entries() {
+        let w = zipf_weights(6);
+        let classes = DomainClasses::build(&w, TierSpec::PerDomain, 0.2);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true };
+        let caps = [1.0, 0.8, 0.35];
+        let s = TtlScheme::build(kind, &classes, &w, &caps, 240.0, true);
+        for c in 0..s.num_classes() {
+            for srv in 0..s.num_servers() {
+                let t = s.ttl(c, srv);
+                assert!(t >= s.min_ttl() - 1e-12 && t <= s.max_ttl() + 1e-12);
+            }
+        }
+    }
+}

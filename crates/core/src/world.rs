@@ -1,0 +1,574 @@
+//! The simulation world: clients, servers, name servers, DNS, glued to the
+//! event engine.
+
+use geodns_nameserver::{MinTtlBehavior, NsCache};
+use geodns_server::{AlarmMonitor, CapacityPlan, Hit, Signal, WebServer};
+use geodns_simcore::dist::{Distribution, Uniform};
+use geodns_simcore::stats::{P2Quantile, Tally};
+use geodns_simcore::{Engine, RngStreams, SimTime, StreamRng};
+use geodns_workload::Workload;
+use rand::Rng;
+
+use crate::service::ServiceSampler;
+use crate::{ClientCacheModel, DnsScheduler, HiddenLoadEstimator, SimConfig, SimReport, Timeline};
+
+/// The event vocabulary of the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// A client begins a new session (address resolution + first page).
+    SessionStart { client: u32 },
+    /// A client issues its next page burst.
+    IssuePage { client: u32 },
+    /// The hit in service at a server completes.
+    Departure { server: u32 },
+    /// The periodic utilization check on every server (paper: every 8 s).
+    UtilSample,
+    /// The DNS collects per-domain counters from the servers.
+    Collect,
+    /// An alarm/normal signal reaches the DNS after the network delay.
+    SignalArrive { server: u32, signal: Signal },
+    /// End of the warm-up transient: statistics start.
+    WarmupEnd,
+    /// End of the measured span: the run stops.
+    Horizon,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClientState {
+    domain: u32,
+    server: u32,
+    pages_left: u64,
+    page_issued_at: SimTime,
+    /// Whether this session's mapping came straight from the DNS (an NS
+    /// cache miss) rather than from a cache.
+    direct: bool,
+    /// The client's own cached mapping, if the cache model keeps one.
+    cached: Option<(u32, SimTime)>,
+    /// Whether the client's source domain is "hot" under the γ rule
+    /// (used for per-class response metrics).
+    hot_domain: bool,
+}
+
+/// One fully wired simulation run.
+///
+/// Build it from a validated [`SimConfig`] and call [`run`](World::run);
+/// most users go through [`run_simulation`](crate::run_simulation).
+pub struct World {
+    cfg: SimConfig,
+    workload: Workload,
+    plan: CapacityPlan,
+    engine: Engine<Ev>,
+    servers: Vec<WebServer>,
+    alarms: Vec<AlarmMonitor>,
+    ns: NsCache,
+    dns: DnsScheduler,
+    clients: Vec<ClientState>,
+    rng_think: StreamRng,
+    rng_pages: StreamRng,
+    rng_hits: StreamRng,
+    rng_service: StreamRng,
+    service_dists: Vec<ServiceSampler>,
+    // --- statistics (collected only after warm-up) ---
+    measuring: bool,
+    measured_start: SimTime,
+    timeline: Option<Timeline>,
+    max_util_samples: Vec<f64>,
+    per_server_util: Vec<Tally>,
+    page_response: Tally,
+    page_p95: P2Quantile,
+    page_response_hot: Tally,
+    page_response_normal: Tally,
+    client_cache_hits: u64,
+    sessions: u64,
+    dns_queries_measured: u64,
+    hits_completed_measured: u64,
+    hits_total: u64,
+    hits_direct: u64,
+    alarms_measured: u64,
+}
+
+impl World {
+    /// Wires up the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem found.
+    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let workload = cfg.workload.build()?;
+        let plan = cfg.servers.plan(cfg.total_capacity)?;
+        let streams = RngStreams::new(cfg.seed);
+
+        let n_servers = plan.num_servers();
+        let n_domains = workload.num_domains();
+
+        let servers: Vec<WebServer> = (0..n_servers)
+            .map(|i| WebServer::new(i, plan.absolute(i), n_domains, SimTime::ZERO))
+            .collect::<Result<_, _>>()?;
+        let service_dists: Vec<ServiceSampler> = (0..n_servers)
+            .map(|i| cfg.service.sampler(plan.absolute(i)))
+            .collect();
+        let alarms: Vec<AlarmMonitor> = (0..n_servers)
+            .map(|_| AlarmMonitor::new(cfg.alarm_threshold, cfg.alarm_hysteresis))
+            .collect::<Result<_, _>>()?;
+
+        let ns = if cfg.ns_noncoop_fraction >= 1.0 {
+            NsCache::new(n_domains, cfg.ns_behavior)
+        } else {
+            // Draw which domains sit behind a non-cooperative NS from a
+            // dedicated stream so the mix is seed-stable.
+            let mut rng = streams.stream("ns-coop");
+            let behaviors = (0..n_domains)
+                .map(|_| {
+                    if rng.gen::<f64>() < cfg.ns_noncoop_fraction {
+                        cfg.ns_behavior
+                    } else {
+                        MinTtlBehavior::Cooperative
+                    }
+                })
+                .collect();
+            NsCache::with_behaviors(behaviors)
+        };
+
+        let estimator = HiddenLoadEstimator::new(cfg.estimator, workload.nominal_rates());
+        let dns = DnsScheduler::new(
+            cfg.algorithm,
+            &plan,
+            estimator,
+            cfg.gamma(),
+            cfg.ttl_const_s,
+            cfg.normalize_ttl,
+            streams.stream("dns-policy"),
+        );
+
+        // Hot/normal split of domains by the γ rule on nominal rates, for
+        // the per-class response metrics.
+        let total_rate: f64 = workload.nominal_rates().iter().sum();
+        let gamma = cfg.gamma();
+        let hot_domain: Vec<bool> = workload
+            .nominal_rates()
+            .iter()
+            .map(|r| r / total_rate > gamma)
+            .collect();
+
+        let clients: Vec<ClientState> = (0..workload.num_clients())
+            .map(|c| {
+                let domain = workload.domain_of_client(c).index();
+                ClientState {
+                    domain: domain as u32,
+                    server: 0,
+                    pages_left: 0,
+                    page_issued_at: SimTime::ZERO,
+                    direct: false,
+                    cached: None,
+                    hot_domain: hot_domain[domain],
+                }
+            })
+            .collect();
+
+        Ok(World {
+            engine: Engine::with_capacity(clients.len() * 2 + 64),
+            rng_think: streams.stream("think"),
+            rng_pages: streams.stream("pages"),
+            rng_hits: streams.stream("hits"),
+            rng_service: streams.stream("service"),
+            service_dists,
+            measuring: false,
+            measured_start: SimTime::ZERO,
+            timeline: cfg.record_timeline.then(Timeline::new),
+            max_util_samples: Vec::new(),
+            per_server_util: vec![Tally::new(); n_servers],
+            page_response: Tally::new(),
+            page_p95: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+            page_response_hot: Tally::new(),
+            page_response_normal: Tally::new(),
+            client_cache_hits: 0,
+            sessions: 0,
+            dns_queries_measured: 0,
+            hits_completed_measured: 0,
+            hits_total: 0,
+            hits_direct: 0,
+            alarms_measured: 0,
+            cfg,
+            workload,
+            plan,
+            servers,
+            alarms,
+            ns,
+            dns,
+            clients,
+        })
+    }
+
+    /// Runs the simulation to its horizon and produces the report.
+    pub fn run(mut self) -> SimReport {
+        self.schedule_initial_events();
+        while let Some((now, ev)) = self.engine.step() {
+            match ev {
+                Ev::SessionStart { client } => self.on_session_start(client, now),
+                Ev::IssuePage { client } => self.on_issue_page(client, now),
+                Ev::Departure { server } => self.on_departure(server, now),
+                Ev::UtilSample => self.on_util_sample(now),
+                Ev::Collect => self.on_collect(now),
+                Ev::SignalArrive { server, signal } => self.on_signal(server, signal),
+                Ev::WarmupEnd => self.on_warmup_end(now),
+                Ev::Horizon => {
+                    self.engine.clear_pending();
+                }
+            }
+        }
+        self.finalize()
+    }
+
+    fn schedule_initial_events(&mut self) {
+        // Stagger session starts across one think period to avoid a
+        // synchronized burst at t = 0.
+        let think_mean = self.workload.session().think_mean_s;
+        let stagger = Uniform::new(0.0, think_mean.max(1e-9) * 2.0).expect("valid stagger window");
+        let mut rng_start = RngStreams::new(self.cfg.seed).stream("start");
+        for c in 0..self.clients.len() {
+            let delay = stagger.sample(&mut rng_start);
+            self.engine.schedule_in(delay, Ev::SessionStart { client: c as u32 });
+        }
+        self.engine.schedule_in(self.cfg.util_interval_s, Ev::UtilSample);
+        if let Some(interval) = self.dns.estimator().collect_interval() {
+            self.engine.schedule_in(interval, Ev::Collect);
+        }
+        self.engine.schedule_in(self.cfg.warmup_s, Ev::WarmupEnd);
+        self.engine
+            .schedule_in(self.cfg.warmup_s + self.cfg.duration_s, Ev::Horizon);
+    }
+
+    fn backlogs(&self) -> Vec<f64> {
+        self.servers.iter().map(WebServer::normalized_backlog).collect()
+    }
+
+    fn on_session_start(&mut self, client: u32, now: SimTime) {
+        let domain = self.clients[client as usize].domain as usize;
+
+        // Resolution path: client cache → domain NS cache → DNS.
+        let client_hit = self.clients[client as usize]
+            .cached
+            .filter(|&(_, expiry)| now < expiry)
+            .map(|(server, _)| server as usize);
+        if client_hit.is_some() && self.measuring {
+            self.client_cache_hits += 1;
+        }
+        let (server, direct) = match client_hit {
+            Some(server) => (server, false),
+            None => {
+                let (server, ns_expiry, direct) = match self.ns.lookup_with_expiry(domain, now) {
+                    Some((server, expiry)) => (server, expiry, false),
+                    None => {
+                        let backlogs = self.backlogs();
+                        let (server, ttl) = self.dns.resolve(domain, now, &backlogs);
+                        let effective = self.ns.insert(domain, server, ttl, now);
+                        if self.measuring {
+                            self.dns_queries_measured += 1;
+                        }
+                        (server, now + effective, true)
+                    }
+                };
+                if !matches!(self.cfg.client_cache, ClientCacheModel::Off) {
+                    let expiry = self
+                        .cfg
+                        .client_cache
+                        .expiry(now.as_secs(), ns_expiry.as_secs())
+                        .map(SimTime::from_secs);
+                    self.clients[client as usize].cached =
+                        expiry.map(|e| (server as u32, e));
+                }
+                (server, direct)
+            }
+        };
+        let pages = self.workload.session().sample_pages(&mut self.rng_pages);
+        {
+            let state = &mut self.clients[client as usize];
+            state.server = server as u32;
+            state.pages_left = pages;
+            state.direct = direct;
+        }
+        if self.measuring {
+            self.sessions += 1;
+        }
+        self.on_issue_page(client, now);
+    }
+
+    fn on_issue_page(&mut self, client: u32, now: SimTime) {
+        let (server, domain, direct) = {
+            let state = &mut self.clients[client as usize];
+            debug_assert!(state.pages_left > 0, "page issued with none left");
+            state.pages_left -= 1;
+            state.page_issued_at = now;
+            (state.server as usize, state.domain as usize, state.direct)
+        };
+        let hits = self.workload.session().sample_hits(&mut self.rng_hits);
+        if self.measuring {
+            self.hits_total += hits;
+            if direct {
+                self.hits_direct += hits;
+            }
+        }
+        for i in 0..hits {
+            let hit = Hit {
+                client: client as usize,
+                domain,
+                last_of_page: i + 1 == hits,
+            };
+            if self.servers[server].arrive(hit, now) {
+                let svc = self.service_dists[server].sample(&mut self.rng_service);
+                self.engine.schedule_in(svc, Ev::Departure { server: server as u32 });
+            }
+        }
+    }
+
+    fn on_departure(&mut self, server: u32, now: SimTime) {
+        let s = server as usize;
+        let (hit, more) = self.servers[s].depart(now);
+        if more {
+            let svc = self.service_dists[s].sample(&mut self.rng_service);
+            self.engine.schedule_in(svc, Ev::Departure { server });
+        }
+        if self.measuring {
+            self.hits_completed_measured += 1;
+        }
+        if hit.last_of_page {
+            let client = hit.client as u32;
+            let state = self.clients[hit.client];
+            if self.measuring {
+                let response = now.since(state.page_issued_at);
+                self.page_response.record(response);
+                self.page_p95.record(response);
+                if state.hot_domain {
+                    self.page_response_hot.record(response);
+                } else {
+                    self.page_response_normal.record(response);
+                }
+            }
+            let multiplier = self
+                .workload
+                .client_rate_multiplier_at(hit.client, now.as_secs());
+            let think = self
+                .workload
+                .session()
+                .sample_think_scaled(&mut self.rng_think, multiplier);
+            let next = if state.pages_left > 0 {
+                Ev::IssuePage { client }
+            } else {
+                Ev::SessionStart { client }
+            };
+            self.engine.schedule_in(think, next);
+        }
+    }
+
+    fn on_util_sample(&mut self, now: SimTime) {
+        let mut max_util: f64 = 0.0;
+        let mut row = self
+            .timeline
+            .as_ref()
+            .filter(|_| self.measuring)
+            .map(|_| Vec::with_capacity(self.servers.len()));
+        for s in 0..self.servers.len() {
+            let u = self.servers[s].sample_utilization(now);
+            max_util = max_util.max(u);
+            if self.measuring {
+                self.per_server_util[s].record(u);
+            }
+            if let Some(r) = row.as_mut() {
+                r.push(u);
+            }
+            if let Some(signal) = self.alarms[s].observe(u) {
+                self.engine.schedule_in(
+                    self.cfg.feedback_delay_s,
+                    Ev::SignalArrive { server: s as u32, signal },
+                );
+            }
+        }
+        if self.measuring {
+            self.max_util_samples.push(max_util);
+            if let (Some(timeline), Some(row)) = (self.timeline.as_mut(), row) {
+                timeline.push(now.since(self.measured_start), row);
+            }
+        }
+        self.engine.schedule_in(self.cfg.util_interval_s, Ev::UtilSample);
+    }
+
+    fn on_collect(&mut self, _now: SimTime) {
+        let Some(interval) = self.dns.estimator().collect_interval() else {
+            return;
+        };
+        let n_domains = self.workload.num_domains();
+        let mut counts = vec![0u64; n_domains];
+        for server in &mut self.servers {
+            for (total, c) in counts.iter_mut().zip(server.take_domain_counts()) {
+                *total += c;
+            }
+        }
+        self.dns.ingest(&counts, interval);
+        self.engine.schedule_in(interval, Ev::Collect);
+    }
+
+    fn on_signal(&mut self, server: u32, signal: Signal) {
+        if self.measuring && signal == Signal::Alarm {
+            self.alarms_measured += 1;
+        }
+        self.dns.signal(server as usize, signal);
+    }
+
+    fn on_warmup_end(&mut self, now: SimTime) {
+        self.measuring = true;
+        self.measured_start = now;
+        self.ns.reset_stats();
+        for server in &mut self.servers {
+            server.reset_lifetime(now);
+        }
+    }
+
+    fn finalize(mut self) -> SimReport {
+        self.max_util_samples.sort_by(|a, b| a.total_cmp(b));
+        let span = self.cfg.duration_s;
+        SimReport {
+            algorithm: self.cfg.algorithm.name(),
+            seed: self.cfg.seed,
+            heterogeneity_pct: self.plan.max_difference() * 100.0,
+            measured_span_s: span,
+            max_util_samples: self.max_util_samples,
+            per_server_mean_util: self.per_server_util.iter().map(Tally::mean).collect(),
+            page_response_mean_s: self.page_response.mean(),
+            page_response_p95_s: self.page_p95.value().unwrap_or(0.0),
+            sessions: self.sessions,
+            dns_queries: self.dns_queries_measured,
+            address_request_rate: self.dns_queries_measured as f64 / span,
+            dns_control_fraction: if self.hits_total > 0 {
+                self.hits_direct as f64 / self.hits_total as f64
+            } else {
+                0.0
+            },
+            hits_completed: self.hits_completed_measured,
+            alarms: self.alarms_measured,
+            ns_miss_fraction: self.ns.stats().miss_fraction(),
+            page_response_hot_mean_s: self.page_response_hot.mean(),
+            page_response_normal_mean_s: self.page_response_normal.mean(),
+            client_cache_hits: self.client_cache_hits,
+            timeline: self.timeline,
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("algorithm", &self.cfg.algorithm.name())
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("now", &self.engine.now())
+            .finish()
+    }
+}
+
+/// Runs one simulation described by `config` and returns its report.
+///
+/// # Errors
+///
+/// Returns the first configuration problem found.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_core::{run_simulation, Algorithm, SimConfig};
+/// use geodns_server::HeterogeneityLevel;
+///
+/// let mut cfg = SimConfig::quick(Algorithm::rr(), HeterogeneityLevel::H20);
+/// cfg.duration_s = 120.0;
+/// cfg.warmup_s = 30.0;
+/// let report = run_simulation(&cfg).unwrap();
+/// assert!(report.hits_completed > 0);
+/// assert!(report.mean_util() > 0.0);
+/// ```
+pub fn run_simulation(config: &SimConfig) -> Result<SimReport, String> {
+    Ok(World::new(config.clone())?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use geodns_server::HeterogeneityLevel;
+
+    fn short(algorithm: Algorithm, level: HeterogeneityLevel, seed: u64) -> SimReport {
+        let mut cfg = SimConfig::paper_default(algorithm, level);
+        cfg.duration_s = 600.0;
+        cfg.warmup_s = 120.0;
+        cfg.seed = seed;
+        run_simulation(&cfg).unwrap()
+    }
+
+    #[test]
+    fn utilizations_are_physical() {
+        let r = short(Algorithm::rr(), HeterogeneityLevel::H20, 1);
+        assert!(!r.max_util_samples.is_empty());
+        for &u in &r.max_util_samples {
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+        for &u in &r.per_server_mean_util {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn offered_load_is_about_two_thirds() {
+        let r = short(Algorithm::prr_ttl_k(), HeterogeneityLevel::H20, 2);
+        // Closed-loop think-time model: mean utilization ≈ 2/3 by design,
+        // a bit lower because response time adds to the cycle.
+        let mean = r.mean_util();
+        assert!((0.45..0.80).contains(&mean), "mean utilization {mean}");
+    }
+
+    #[test]
+    fn dns_controls_a_small_fraction() {
+        let r = short(Algorithm::rr(), HeterogeneityLevel::H20, 3);
+        assert!(r.dns_control_fraction < 0.25, "DNS controls {}", r.dns_control_fraction);
+        assert!(r.dns_control_fraction > 0.0);
+        assert!(r.ns_miss_fraction > 0.0);
+    }
+
+    #[test]
+    fn sessions_and_hits_flow() {
+        let r = short(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35, 4);
+        assert!(r.sessions > 0);
+        assert!(r.hits_completed > 1000);
+        assert!(r.page_response_mean_s > 0.0);
+        assert!(r.page_response_p95_s >= r.page_response_mean_s * 0.5);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = short(Algorithm::prr2_ttl(2), HeterogeneityLevel::H50, 7);
+        let b = short(Algorithm::prr2_ttl(2), HeterogeneityLevel::H50, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = short(Algorithm::rr(), HeterogeneityLevel::H20, 1);
+        let b = short(Algorithm::rr(), HeterogeneityLevel::H20, 2);
+        assert_ne!(a.max_util_samples, b.max_util_samples);
+    }
+
+    #[test]
+    fn measured_estimator_runs() {
+        let mut cfg = SimConfig::paper_default(Algorithm::prr_ttl_k(), HeterogeneityLevel::H20);
+        cfg.duration_s = 600.0;
+        cfg.warmup_s = 120.0;
+        cfg.estimator = crate::EstimatorKind::measured_default();
+        let r = run_simulation(&cfg).unwrap();
+        assert!(r.hits_completed > 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SimConfig::paper_default(Algorithm::rr(), HeterogeneityLevel::H0);
+        cfg.duration_s = -1.0;
+        assert!(run_simulation(&cfg).is_err());
+    }
+}

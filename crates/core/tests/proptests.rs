@@ -1,0 +1,178 @@
+//! Property-based tests for the scheduling core.
+
+use geodns_core::{
+    Algorithm, DnsScheduler, DomainClasses, EstimatorKind, HiddenLoadEstimator, PolicyKind,
+    SchedCtx, TierSpec, TtlKind, TtlScheme,
+};
+use geodns_server::CapacityPlan;
+use geodns_simcore::{RngStreams, SimTime};
+use proptest::prelude::*;
+
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..100.0, 2..40)
+}
+
+fn arb_caps() -> impl Strategy<Value = Vec<f64>> {
+    // Decreasing relative capacities starting at 1.0.
+    prop::collection::vec(0.1f64..1.0, 1..12).prop_map(|mut tail| {
+        tail.sort_by(|a, b| b.total_cmp(a));
+        let mut caps = vec![1.0];
+        caps.extend(tail);
+        caps
+    })
+}
+
+proptest! {
+    /// Classification is total and class weights average the members.
+    #[test]
+    fn classes_cover_all_domains(weights in arb_weights(), tiers in 1usize..10) {
+        let c = DomainClasses::build(&weights, TierSpec::Classes(tiers), 0.5 / weights.len() as f64);
+        prop_assert_eq!(c.num_domains(), weights.len());
+        for d in 0..weights.len() {
+            prop_assert!(c.class_of(d) < c.num_classes());
+        }
+        for cls in 0..c.num_classes() {
+            prop_assert!(c.class_weight(cls) > 0.0);
+        }
+    }
+
+    /// Per-domain classes rank strictly by weight.
+    #[test]
+    fn per_domain_classes_rank(weights in arb_weights()) {
+        let c = DomainClasses::build(&weights, TierSpec::PerDomain, 0.1);
+        prop_assert_eq!(c.num_classes(), weights.len());
+        // The hottest domain must be class 0.
+        let hottest = weights
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(c.class_of(hottest), 0);
+    }
+
+    /// Rate normalization holds for every adaptive kind, weight vector and
+    /// capacity layout: the expected address rate equals K/TTL_const.
+    #[test]
+    fn normalization_is_universal(
+        weights in arb_weights(),
+        caps in arb_caps(),
+        tiers in 1usize..6,
+        server_scaled in any::<bool>(),
+        ttl_const in 30.0f64..1000.0,
+    ) {
+        let spec = TierSpec::Classes(tiers);
+        let classes = DomainClasses::build(&weights, spec, 0.5 / weights.len() as f64);
+        let kind = TtlKind::Adaptive { tiers: spec, server_scaled };
+        let scheme = TtlScheme::build(kind, &classes, &weights, &caps, ttl_const, true);
+        let rate: f64 = scheme
+            .expected_ttls(&classes)
+            .iter()
+            .map(|t| 1.0 / t)
+            .sum();
+        let target = weights.len() as f64 / ttl_const;
+        prop_assert!((rate - target).abs() < 1e-6 * target, "rate {rate} vs {target}");
+    }
+
+    /// TTLs are positive, finite, and inversely ordered with class weight.
+    #[test]
+    fn ttl_table_is_sane(weights in arb_weights(), caps in arb_caps()) {
+        let classes = DomainClasses::build(&weights, TierSpec::PerDomain, 0.1);
+        let kind = TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true };
+        let scheme = TtlScheme::build(kind, &classes, &weights, &caps, 240.0, true);
+        for cls in 0..scheme.num_classes() {
+            for s in 0..scheme.num_servers() {
+                let t = scheme.ttl(cls, s);
+                prop_assert!(t.is_finite() && t > 0.0);
+            }
+        }
+        // Heavier class ⇒ shorter TTL on the same server.
+        for cls in 1..scheme.num_classes() {
+            if classes.class_weight(cls) < classes.class_weight(cls - 1) {
+                prop_assert!(scheme.ttl(cls, 0) >= scheme.ttl(cls - 1, 0));
+            }
+        }
+    }
+
+    /// Every policy returns a valid, eligible server for arbitrary masks.
+    #[test]
+    fn policies_respect_availability(
+        caps in arb_caps(),
+        mask_bits in any::<u16>(),
+        seed in 0u64..500,
+        domain in 0usize..20,
+    ) {
+        let n = caps.len();
+        let available: Vec<bool> = (0..n).map(|i| mask_bits & (1 << (i % 16)) != 0).collect();
+        let weights: Vec<f64> = (0..20).map(|i| 100.0 / (i + 1) as f64).collect();
+        let absolute: Vec<f64> = caps.iter().map(|a| a * 100.0).collect();
+        let backlogs = vec![0.0; n];
+        let any_available = available.iter().any(|&a| a);
+        let mut rng = RngStreams::new(seed).stream("prop");
+
+        for kind in [
+            PolicyKind::Rr,
+            PolicyKind::Rr2,
+            PolicyKind::Prr,
+            PolicyKind::Prr2,
+            PolicyKind::Dal,
+            PolicyKind::Mrl,
+            PolicyKind::Random,
+            PolicyKind::WeightedRandom,
+            PolicyKind::LeastLoaded,
+        ] {
+            let mut policy = kind.build(n, 2);
+            let ctx = SchedCtx {
+                domain,
+                class: domain % 2,
+                weights: &weights,
+                relative_caps: &caps,
+                capacities: &absolute,
+                available: &available,
+                backlogs: &backlogs,
+                now: SimTime::ZERO,
+            };
+            let s = policy.select(&ctx, &mut rng);
+            prop_assert!(s < n, "{}: out of range", kind.paper_name());
+            if any_available {
+                prop_assert!(available[s], "{} chose an alarmed server", kind.paper_name());
+            }
+            policy.assigned(s, 0.1, 240.0, SimTime::ZERO);
+        }
+    }
+
+    /// The scheduler always answers with a valid server and positive TTL,
+    /// whatever the estimator has converged to.
+    #[test]
+    fn scheduler_answers_are_valid(
+        seed in 0u64..200,
+        counts in prop::collection::vec(0u64..5000, 20),
+    ) {
+        let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H50, 500.0);
+        let est = HiddenLoadEstimator::new(
+            EstimatorKind::Measured { collect_interval_s: 8.0, ema_alpha: 1.0 },
+            &vec![1.0; 20],
+        );
+        let rng = RngStreams::new(seed).stream("dns");
+        let mut dns = DnsScheduler::new(Algorithm::drr2_ttl_s_k(), &plan, est, 0.05, 240.0, true, rng);
+        dns.ingest(&counts, 8.0);
+        let backlogs = vec![0.0; 7];
+        for d in 0..20 {
+            let (s, ttl) = dns.resolve(d, SimTime::ZERO, &backlogs);
+            prop_assert!(s < 7);
+            prop_assert!(ttl.is_finite() && ttl > 0.0);
+        }
+    }
+
+    /// Algorithm names are stable and non-empty for every combination.
+    #[test]
+    fn algorithm_names_total(tiers in 1usize..25, scaled in any::<bool>()) {
+        for policy in [PolicyKind::Rr, PolicyKind::Rr2, PolicyKind::Prr, PolicyKind::Prr2] {
+            let a = Algorithm::new(
+                policy,
+                TtlKind::Adaptive { tiers: TierSpec::Classes(tiers), server_scaled: scaled },
+            );
+            prop_assert!(!a.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-domain name-server mapping caches.
+
+use geodns_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::MinTtlBehavior;
+
+/// Hit/miss statistics of the NS cache layer. The miss fraction is exactly
+/// the share of requests the DNS scheduler directly controls — the paper
+/// observes it is "often below 4%" at the request level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Resolutions answered from the cache.
+    pub hits: u64,
+    /// Resolutions that had to go to the DNS.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total resolutions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The fraction of resolutions that reached the DNS (`0` when empty).
+    #[must_use]
+    pub fn miss_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The name-server caches of all `K` domains: one `(server, expiry)` entry
+/// per domain, refreshed through the DNS on expiry.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_nameserver::{NsCache, MinTtlBehavior};
+/// use geodns_simcore::SimTime;
+///
+/// let mut ns = NsCache::new(2, MinTtlBehavior::Cooperative);
+/// assert_eq!(ns.lookup(0, SimTime::ZERO), None, "cold cache misses");
+/// ns.insert(0, 5, 240.0, SimTime::ZERO);
+/// assert_eq!(ns.lookup(0, SimTime::from_secs(100.0)), Some(5));
+/// assert_eq!(ns.lookup(0, SimTime::from_secs(240.0)), None, "expired");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NsCache {
+    entries: Vec<Option<(usize, SimTime)>>,
+    behaviors: Vec<MinTtlBehavior>,
+    stats: CacheStats,
+}
+
+impl NsCache {
+    /// Creates cold caches for `n_domains` domains, all applying the same
+    /// TTL-acceptance behaviour (the paper's worst case is uniform
+    /// non-cooperation).
+    #[must_use]
+    pub fn new(n_domains: usize, behavior: MinTtlBehavior) -> Self {
+        NsCache {
+            entries: vec![None; n_domains],
+            behaviors: vec![behavior; n_domains],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates cold caches with a *per-domain* TTL-acceptance behaviour —
+    /// the realistic Internet mix where only some name servers are
+    /// non-cooperative (extension beyond the paper's uniform worst case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behaviors` is empty.
+    #[must_use]
+    pub fn with_behaviors(behaviors: Vec<MinTtlBehavior>) -> Self {
+        assert!(!behaviors.is_empty(), "need at least one domain");
+        NsCache {
+            entries: vec![None; behaviors.len()],
+            behaviors,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The TTL-acceptance behaviour of domain `d`'s name server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn behavior(&self, d: usize) -> MinTtlBehavior {
+        self.behaviors[d]
+    }
+
+    /// Resolves a name for domain `d` at time `now`: returns the cached
+    /// server if the entry is live, otherwise `None` (the caller must query
+    /// the DNS and [`insert`](Self::insert) the answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn lookup(&mut self, d: usize, now: SimTime) -> Option<usize> {
+        self.lookup_with_expiry(d, now).map(|(server, _)| server)
+    }
+
+    /// Like [`lookup`](Self::lookup), but also returns the entry's expiry —
+    /// what a TTL-honouring client cache needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn lookup_with_expiry(&mut self, d: usize, now: SimTime) -> Option<(usize, SimTime)> {
+        match self.entries[d] {
+            Some((server, expiry)) if now < expiry => {
+                self.stats.hits += 1;
+                Some((server, expiry))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches the DNS's answer `(server, proposed_ttl_s)` for domain `d` at
+    /// time `now`, applying the NS's TTL-acceptance behaviour. Returns the
+    /// effective TTL actually used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range or the TTL is negative.
+    pub fn insert(&mut self, d: usize, server: usize, proposed_ttl_s: f64, now: SimTime) -> f64 {
+        let ttl = self.behaviors[d].effective_ttl(proposed_ttl_s);
+        self.entries[d] = Some((server, now + ttl));
+        ttl
+    }
+
+    /// Peeks at the live entry for domain `d` without touching statistics.
+    #[must_use]
+    pub fn peek(&self, d: usize, now: SimTime) -> Option<usize> {
+        match self.entries[d] {
+            Some((server, expiry)) if now < expiry => Some(server),
+            _ => None,
+        }
+    }
+
+    /// Invalidates domain `d`'s entry (e.g. on an administrative flush).
+    pub fn invalidate(&mut self, d: usize) {
+        self.entries[d] = None;
+    }
+
+    /// Hit/miss statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn cold_cache_misses_then_hits() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        assert_eq!(ns.lookup(0, t(0.0)), None);
+        ns.insert(0, 3, 100.0, t(0.0));
+        assert_eq!(ns.lookup(0, t(50.0)), Some(3));
+        assert_eq!(ns.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(ns.stats().miss_fraction(), 0.5);
+    }
+
+    #[test]
+    fn expiry_is_exclusive() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, 10.0, t(0.0));
+        assert_eq!(ns.lookup(0, t(9.999)), Some(1));
+        assert_eq!(ns.lookup(0, t(10.0)), None);
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, 10.0, t(0.0));
+        ns.insert(0, 2, 10.0, t(5.0));
+        assert_eq!(ns.peek(0, t(12.0)), Some(2), "refreshed entry lives to t=15");
+    }
+
+    #[test]
+    fn non_cooperative_clamp_extends_life() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::ClampToMin { min_ttl_s: 100.0 });
+        let eff = ns.insert(0, 1, 10.0, t(0.0));
+        assert_eq!(eff, 100.0);
+        assert_eq!(ns.peek(0, t(50.0)), Some(1));
+    }
+
+    #[test]
+    fn zero_ttl_never_caches() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, 0.0, t(5.0));
+        assert_eq!(ns.lookup(0, t(5.0)), None);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, 1000.0, t(0.0));
+        ns.invalidate(0);
+        assert_eq!(ns.lookup(0, t(1.0)), None);
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let mut ns = NsCache::new(3, MinTtlBehavior::Cooperative);
+        ns.insert(1, 7, 100.0, t(0.0));
+        assert_eq!(ns.peek(0, t(1.0)), None);
+        assert_eq!(ns.peek(1, t(1.0)), Some(7));
+        assert_eq!(ns.peek(2, t(1.0)), None);
+        assert_eq!(ns.num_domains(), 3);
+    }
+
+    #[test]
+    fn reset_stats_clears() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        let _ = ns.lookup(0, t(0.0));
+        ns.reset_stats();
+        assert_eq!(ns.stats().total(), 0);
+    }
+
+    #[test]
+    fn mixed_behaviors_apply_per_domain() {
+        let mut ns = NsCache::with_behaviors(vec![
+            MinTtlBehavior::Cooperative,
+            MinTtlBehavior::ClampToMin { min_ttl_s: 100.0 },
+        ]);
+        assert_eq!(ns.insert(0, 1, 10.0, t(0.0)), 10.0, "cooperative NS honours 10 s");
+        assert_eq!(ns.insert(1, 1, 10.0, t(0.0)), 100.0, "non-cooperative NS clamps");
+        assert!(ns.behavior(0).is_cooperative());
+        assert!(!ns.behavior(1).is_cooperative());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn with_behaviors_rejects_empty() {
+        let _ = NsCache::with_behaviors(vec![]);
+    }
+}

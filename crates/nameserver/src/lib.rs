@@ -1,0 +1,23 @@
+//! Name-server cache layer for the `geodns` simulation.
+//!
+//! In the paper's system model every client domain sits behind a local name
+//! server (NS). When the DNS scheduler answers an address request it returns
+//! `(server, TTL)`; the NS caches the mapping and resolves all further
+//! requests from its domain locally until the TTL expires. This caching is
+//! what makes the DNS an "atypical centralized scheduler" controlling only a
+//! few percent of the requests.
+//!
+//! §5.2 additionally studies **non-cooperative name servers** that refuse
+//! TTLs below their own minimum — the worst case being every NS clamping to
+//! a common threshold. [`MinTtlBehavior`] models the cooperative case, the
+//! clamping worst case, and the "substitute a default" variant the paper
+//! mentions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod policy;
+
+pub use cache::{CacheStats, NsCache};
+pub use policy::MinTtlBehavior;

@@ -1,0 +1,117 @@
+//! Name-server TTL acceptance behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// How a name server treats the TTL proposed by the DNS scheduler.
+///
+/// The paper: "Each NS caches the name-to-address mapping for the TTL period
+/// or for a default value if the decided TTL is considered too small. Since
+/// there does not exist a common TTL lower bound …, we consider the worst
+/// case scenarios, where all NSs become non-cooperative if the proposed TTL
+/// is lower than a given minimum threshold."
+///
+/// # Examples
+///
+/// ```
+/// use geodns_nameserver::MinTtlBehavior;
+///
+/// let coop = MinTtlBehavior::Cooperative;
+/// assert_eq!(coop.effective_ttl(12.0), 12.0);
+///
+/// let clamp = MinTtlBehavior::ClampToMin { min_ttl_s: 60.0 };
+/// assert_eq!(clamp.effective_ttl(12.0), 60.0);
+/// assert_eq!(clamp.effective_ttl(240.0), 240.0);
+///
+/// let dflt = MinTtlBehavior::DefaultOnSmall { min_ttl_s: 60.0, default_ttl_s: 300.0 };
+/// assert_eq!(dflt.effective_ttl(12.0), 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MinTtlBehavior {
+    /// The NS honours any TTL the DNS proposes.
+    Cooperative,
+    /// Worst case of §5.2: TTLs below `min_ttl_s` are raised to it.
+    ClampToMin {
+        /// The NS's own minimum accepted TTL, seconds.
+        min_ttl_s: f64,
+    },
+    /// TTLs below `min_ttl_s` are replaced by a fixed local default.
+    DefaultOnSmall {
+        /// The NS's own minimum accepted TTL, seconds.
+        min_ttl_s: f64,
+        /// The default TTL substituted for too-small proposals, seconds.
+        default_ttl_s: f64,
+    },
+}
+
+impl MinTtlBehavior {
+    /// The TTL the NS will actually cache for, given the DNS's proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposed_ttl_s` is negative or NaN.
+    #[must_use]
+    pub fn effective_ttl(&self, proposed_ttl_s: f64) -> f64 {
+        assert!(
+            proposed_ttl_s >= 0.0,
+            "proposed TTL must be non-negative, got {proposed_ttl_s}"
+        );
+        match *self {
+            MinTtlBehavior::Cooperative => proposed_ttl_s,
+            MinTtlBehavior::ClampToMin { min_ttl_s } => proposed_ttl_s.max(min_ttl_s),
+            MinTtlBehavior::DefaultOnSmall { min_ttl_s, default_ttl_s } => {
+                if proposed_ttl_s < min_ttl_s {
+                    default_ttl_s
+                } else {
+                    proposed_ttl_s
+                }
+            }
+        }
+    }
+
+    /// Whether this behaviour ever overrides the DNS's choice.
+    #[must_use]
+    pub fn is_cooperative(&self) -> bool {
+        matches!(self, MinTtlBehavior::Cooperative)
+    }
+}
+
+impl Default for MinTtlBehavior {
+    fn default() -> Self {
+        MinTtlBehavior::Cooperative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooperative_passes_through() {
+        let b = MinTtlBehavior::Cooperative;
+        assert_eq!(b.effective_ttl(0.0), 0.0);
+        assert_eq!(b.effective_ttl(1e6), 1e6);
+        assert!(b.is_cooperative());
+    }
+
+    #[test]
+    fn clamp_only_raises() {
+        let b = MinTtlBehavior::ClampToMin { min_ttl_s: 120.0 };
+        assert_eq!(b.effective_ttl(60.0), 120.0);
+        assert_eq!(b.effective_ttl(120.0), 120.0);
+        assert_eq!(b.effective_ttl(240.0), 240.0);
+        assert!(!b.is_cooperative());
+    }
+
+    #[test]
+    fn default_substitutes() {
+        let b = MinTtlBehavior::DefaultOnSmall { min_ttl_s: 60.0, default_ttl_s: 600.0 };
+        assert_eq!(b.effective_ttl(59.9), 600.0);
+        assert_eq!(b.effective_ttl(60.0), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_proposal_panics() {
+        let _ = MinTtlBehavior::Cooperative.effective_ttl(-1.0);
+    }
+}

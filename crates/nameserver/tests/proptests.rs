@@ -1,0 +1,80 @@
+//! Property-based tests for the name-server cache layer.
+
+use geodns_nameserver::{MinTtlBehavior, NsCache};
+use geodns_simcore::SimTime;
+use proptest::prelude::*;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+proptest! {
+    /// A cached entry answers exactly within `[insert, insert + ttl)`.
+    #[test]
+    fn expiry_is_exact(ttl in 0.1f64..1000.0, insert_at in 0.0f64..1000.0, probe in 0.0f64..3000.0) {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 5, ttl, t(insert_at));
+        let hit = ns.lookup(0, t(probe));
+        let should_hit = probe >= 0.0 && probe < insert_at + ttl && probe >= insert_at;
+        // Probes before the insert can't know the future entry — but our
+        // single-probe test only probes after inserting, so "before" means
+        // an entry that is already live from insert_at regardless.
+        if probe >= insert_at {
+            prop_assert_eq!(
+                hit.is_some(),
+                should_hit,
+                "probe {}, window [{}, {})",
+                probe,
+                insert_at,
+                insert_at + ttl
+            );
+        }
+    }
+
+    /// Clamping never shortens a TTL; the effective TTL is always at least
+    /// the proposed one under `ClampToMin`.
+    #[test]
+    fn clamp_monotone(proposed in 0.0f64..500.0, min_ttl in 0.0f64..500.0) {
+        let clamp = MinTtlBehavior::ClampToMin { min_ttl_s: min_ttl };
+        let eff = clamp.effective_ttl(proposed);
+        prop_assert!(eff >= proposed);
+        prop_assert!(eff >= min_ttl);
+        prop_assert!((eff - proposed.max(min_ttl)).abs() < 1e-12);
+    }
+
+    /// Cooperative behaviour is the identity.
+    #[test]
+    fn cooperative_identity(proposed in 0.0f64..1e6) {
+        prop_assert_eq!(MinTtlBehavior::Cooperative.effective_ttl(proposed), proposed);
+    }
+
+    /// Cache statistics count every lookup exactly once.
+    #[test]
+    fn stats_count_everything(ops in prop::collection::vec((0usize..4, any::<bool>()), 1..200)) {
+        let mut ns = NsCache::new(4, MinTtlBehavior::Cooperative);
+        let mut now = 0.0;
+        let mut lookups = 0u64;
+        for (domain, do_insert) in ops {
+            now += 1.0;
+            if do_insert {
+                ns.insert(domain, 1, 50.0, t(now));
+            } else {
+                let _ = ns.lookup(domain, t(now));
+                lookups += 1;
+            }
+        }
+        prop_assert_eq!(ns.stats().total(), lookups);
+        let f = ns.stats().miss_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Domains never leak into each other.
+    #[test]
+    fn domain_isolation(domain in 0usize..8, other in 0usize..8, ttl in 1.0f64..100.0) {
+        prop_assume!(domain != other);
+        let mut ns = NsCache::new(8, MinTtlBehavior::Cooperative);
+        ns.insert(domain, 3, ttl, t(0.0));
+        prop_assert_eq!(ns.peek(other, t(0.5)), None);
+        prop_assert_eq!(ns.peek(domain, t(0.5)), Some(3));
+    }
+}

@@ -1,0 +1,151 @@
+//! The paper's asynchronous alarm feedback mechanism.
+
+use serde::{Deserialize, Serialize};
+
+/// A load signal a server sends to the DNS (paper §2):
+///
+/// > "Each server periodically calculates its utilization and checks whether
+/// > it has exceeded a given alarm threshold θ. When this occurs, the server
+/// > sends an alarm signal to the DNS, while a normal signal is sent when
+/// > its utilization level returns below the threshold."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// The server crossed the alarm threshold and should be excluded from
+    /// scheduling.
+    Alarm,
+    /// The server's utilization dropped back below the threshold.
+    Normal,
+}
+
+/// Edge-triggered alarm logic for one server.
+///
+/// Feed it the periodic utilization observations; it emits a [`Signal`]
+/// only on threshold crossings, exactly like the paper's mechanism (no
+/// signal is re-sent while the state is unchanged). An optional hysteresis
+/// gap suppresses signal flapping around the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_server::{AlarmMonitor, Signal};
+///
+/// let mut a = AlarmMonitor::new(0.9, 0.0).unwrap();
+/// assert_eq!(a.observe(0.85), None);
+/// assert_eq!(a.observe(0.95), Some(Signal::Alarm));
+/// assert_eq!(a.observe(0.97), None, "still alarmed: no duplicate signal");
+/// assert_eq!(a.observe(0.80), Some(Signal::Normal));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlarmMonitor {
+    threshold: f64,
+    hysteresis: f64,
+    alarmed: bool,
+    alarms_raised: u64,
+}
+
+impl AlarmMonitor {
+    /// Creates a monitor with alarm threshold θ and a hysteresis gap: the
+    /// alarm clears only when utilization drops below `threshold -
+    /// hysteresis`. The paper's mechanism has no hysteresis (`0.0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < threshold <= 1` and
+    /// `0 <= hysteresis < threshold`.
+    pub fn new(threshold: f64, hysteresis: f64) -> Result<Self, String> {
+        if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
+            return Err(format!("alarm threshold must be in (0, 1], got {threshold}"));
+        }
+        if !(hysteresis.is_finite() && hysteresis >= 0.0 && hysteresis < threshold) {
+            return Err(format!("hysteresis must be in [0, threshold), got {hysteresis}"));
+        }
+        Ok(AlarmMonitor {
+            threshold,
+            hysteresis,
+            alarmed: false,
+            alarms_raised: 0,
+        })
+    }
+
+    /// The alarm threshold θ.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the server currently considers itself critically loaded.
+    #[must_use]
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// Number of alarm signals raised so far.
+    #[must_use]
+    pub fn alarms_raised(&self) -> u64 {
+        self.alarms_raised
+    }
+
+    /// Processes one periodic utilization observation, returning a signal
+    /// only on a state change.
+    pub fn observe(&mut self, utilization: f64) -> Option<Signal> {
+        if !self.alarmed && utilization > self.threshold {
+            self.alarmed = true;
+            self.alarms_raised += 1;
+            Some(Signal::Alarm)
+        } else if self.alarmed && utilization < self.threshold - self.hysteresis {
+            self.alarmed = false;
+            Some(Signal::Normal)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_triggered() {
+        let mut a = AlarmMonitor::new(0.9, 0.0).unwrap();
+        assert_eq!(a.observe(0.95), Some(Signal::Alarm));
+        assert_eq!(a.observe(0.99), None);
+        assert_eq!(a.observe(0.91), None, "above threshold: stays alarmed");
+        assert_eq!(a.observe(0.89), Some(Signal::Normal));
+        assert_eq!(a.observe(0.50), None);
+        assert_eq!(a.alarms_raised(), 1);
+    }
+
+    #[test]
+    fn exact_threshold_does_not_alarm() {
+        let mut a = AlarmMonitor::new(0.9, 0.0).unwrap();
+        assert_eq!(a.observe(0.9), None, "crossing means strictly above");
+    }
+
+    #[test]
+    fn hysteresis_suppresses_flapping() {
+        let mut a = AlarmMonitor::new(0.9, 0.1).unwrap();
+        assert_eq!(a.observe(0.95), Some(Signal::Alarm));
+        assert_eq!(a.observe(0.85), None, "within the hysteresis band");
+        assert_eq!(a.observe(0.79), Some(Signal::Normal));
+    }
+
+    #[test]
+    fn counts_multiple_episodes() {
+        let mut a = AlarmMonitor::new(0.5, 0.0).unwrap();
+        for _ in 0..3 {
+            assert_eq!(a.observe(0.6), Some(Signal::Alarm));
+            assert_eq!(a.observe(0.4), Some(Signal::Normal));
+        }
+        assert_eq!(a.alarms_raised(), 3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AlarmMonitor::new(0.0, 0.0).is_err());
+        assert!(AlarmMonitor::new(1.1, 0.0).is_err());
+        assert!(AlarmMonitor::new(0.9, 0.9).is_err());
+        assert!(AlarmMonitor::new(0.9, -0.1).is_err());
+        assert!(AlarmMonitor::new(1.0, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,282 @@
+//! Server capacities and the paper's heterogeneity presets (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one Web server. Servers are numbered in decreasing
+/// processing capacity, as in the paper (`S_1` is the most powerful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ServerId(pub usize);
+
+impl ServerId {
+    /// The server's index (0 = most powerful).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+/// The paper's four heterogeneity levels (Table 2), defined as the maximum
+/// difference among relative server capacities, plus the homogeneous
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeterogeneityLevel {
+    /// Homogeneous servers (0% difference).
+    H0,
+    /// 20% maximum difference: `{1, 1, 1, 0.8, 0.8, 0.8, 0.8}`.
+    H20,
+    /// 35% maximum difference: `{1, 1, 0.8, 0.8, 0.65, 0.65, 0.65}`.
+    H35,
+    /// 50% maximum difference: `{1, 1, 0.8, 0.8, 0.5, 0.5, 0.5}`.
+    H50,
+    /// 65% maximum difference: `{1, 1, 0.8, 0.8, 0.35, 0.35, 0.35}`.
+    H65,
+}
+
+impl HeterogeneityLevel {
+    /// All levels in increasing order of heterogeneity.
+    pub const ALL: [HeterogeneityLevel; 5] = [
+        HeterogeneityLevel::H0,
+        HeterogeneityLevel::H20,
+        HeterogeneityLevel::H35,
+        HeterogeneityLevel::H50,
+        HeterogeneityLevel::H65,
+    ];
+
+    /// The paper's relative capacities `α_i` for N = 7 servers.
+    #[must_use]
+    pub fn relative_capacities(self) -> Vec<f64> {
+        match self {
+            HeterogeneityLevel::H0 => vec![1.0; 7],
+            HeterogeneityLevel::H20 => vec![1.0, 1.0, 1.0, 0.8, 0.8, 0.8, 0.8],
+            HeterogeneityLevel::H35 => vec![1.0, 1.0, 0.8, 0.8, 0.65, 0.65, 0.65],
+            HeterogeneityLevel::H50 => vec![1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5],
+            HeterogeneityLevel::H65 => vec![1.0, 1.0, 0.8, 0.8, 0.35, 0.35, 0.35],
+        }
+    }
+
+    /// The level as the paper's percentage (maximum capacity difference).
+    #[must_use]
+    pub fn percent(self) -> u32 {
+        match self {
+            HeterogeneityLevel::H0 => 0,
+            HeterogeneityLevel::H20 => 20,
+            HeterogeneityLevel::H35 => 35,
+            HeterogeneityLevel::H50 => 50,
+            HeterogeneityLevel::H65 => 65,
+        }
+    }
+}
+
+impl fmt::Display for HeterogeneityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.percent())
+    }
+}
+
+/// The capacity layout of the distributed Web site: relative capacities
+/// `α_i` and absolute capacities `C_i` (hits/s) scaled to a fixed total.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_server::{CapacityPlan, HeterogeneityLevel};
+///
+/// let plan = CapacityPlan::from_level(HeterogeneityLevel::H50, 500.0);
+/// assert_eq!(plan.num_servers(), 7);
+/// assert!((plan.total_capacity() - 500.0).abs() < 1e-9);
+/// assert!((plan.power_ratio() - 2.0).abs() < 1e-12, "ρ = C1/CN = 1/0.5");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    relative: Vec<f64>,
+    absolute: Vec<f64>,
+}
+
+impl CapacityPlan {
+    /// Builds a plan from relative capacities, scaling absolute capacities
+    /// so they sum to `total_capacity` (the paper holds this at 500 hits/s
+    /// for fair comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `relative` is empty, contains values outside
+    /// `(0, 1]`, is not sorted in decreasing order, does not start at 1.0,
+    /// or `total_capacity` is not positive.
+    pub fn from_relative(relative: Vec<f64>, total_capacity: f64) -> Result<Self, String> {
+        if relative.is_empty() {
+            return Err("need at least one server".into());
+        }
+        if !(total_capacity.is_finite() && total_capacity > 0.0) {
+            return Err(format!("total capacity must be > 0, got {total_capacity}"));
+        }
+        if relative.iter().any(|&a| !a.is_finite() || a <= 0.0 || a > 1.0) {
+            return Err("relative capacities must lie in (0, 1]".into());
+        }
+        if (relative[0] - 1.0).abs() > 1e-12 {
+            return Err("the most powerful server must have relative capacity 1.0".into());
+        }
+        if relative.windows(2).any(|w| w[1] > w[0] + 1e-12) {
+            return Err("servers must be numbered in decreasing capacity".into());
+        }
+        let sum: f64 = relative.iter().sum();
+        let absolute = relative.iter().map(|a| a / sum * total_capacity).collect();
+        Ok(CapacityPlan { relative, absolute })
+    }
+
+    /// Builds the paper's Table 2 preset for a heterogeneity level.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: presets are valid by construction.
+    #[must_use]
+    pub fn from_level(level: HeterogeneityLevel, total_capacity: f64) -> Self {
+        Self::from_relative(level.relative_capacities(), total_capacity)
+            .expect("presets are valid")
+    }
+
+    /// A homogeneous plan with `n` servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `total_capacity <= 0`.
+    pub fn homogeneous(n: usize, total_capacity: f64) -> Result<Self, String> {
+        Self::from_relative(vec![1.0; n], total_capacity)
+    }
+
+    /// Number of servers `N`.
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.relative.len()
+    }
+
+    /// Relative capacity `α_i` of server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn relative(&self, i: usize) -> f64 {
+        self.relative[i]
+    }
+
+    /// All relative capacities.
+    #[must_use]
+    pub fn relatives(&self) -> &[f64] {
+        &self.relative
+    }
+
+    /// Absolute capacity `C_i` of server `i` in hits/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn absolute(&self, i: usize) -> f64 {
+        self.absolute[i]
+    }
+
+    /// All absolute capacities.
+    #[must_use]
+    pub fn absolutes(&self) -> &[f64] {
+        &self.absolute
+    }
+
+    /// Total site capacity (hits/s).
+    #[must_use]
+    pub fn total_capacity(&self) -> f64 {
+        self.absolute.iter().sum()
+    }
+
+    /// The processor power ratio `ρ = C_1 / C_N` of Menascé et al., the
+    /// degree-of-heterogeneity factor in the deterministic TTL formula.
+    #[must_use]
+    pub fn power_ratio(&self) -> f64 {
+        self.absolute[0] / self.absolute[self.absolute.len() - 1]
+    }
+
+    /// The paper's heterogeneity measure: maximum difference among relative
+    /// capacities, as a fraction (e.g. 0.5 for the 50% level).
+    #[must_use]
+    pub fn max_difference(&self) -> f64 {
+        1.0 - self.relative[self.relative.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table2() {
+        let plan = CapacityPlan::from_level(HeterogeneityLevel::H35, 500.0);
+        assert_eq!(plan.relatives(), &[1.0, 1.0, 0.8, 0.8, 0.65, 0.65, 0.65]);
+        assert!((plan.max_difference() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_capacity_constant_across_levels() {
+        for level in HeterogeneityLevel::ALL {
+            let plan = CapacityPlan::from_level(level, 500.0);
+            assert!(
+                (plan.total_capacity() - 500.0).abs() < 1e-9,
+                "level {level}: total = {}",
+                plan.total_capacity()
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_capacities_proportional_to_relative() {
+        let plan = CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0);
+        // Σα = 3·1 + 4·0.8 = 6.2 → C1 = 500/6.2 ≈ 80.6
+        assert!((plan.absolute(0) - 500.0 / 6.2).abs() < 1e-9);
+        assert!((plan.absolute(3) - 0.8 * 500.0 / 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_ratios() {
+        assert!((CapacityPlan::from_level(HeterogeneityLevel::H0, 500.0).power_ratio() - 1.0).abs() < 1e-12);
+        assert!((CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0).power_ratio() - 1.25).abs() < 1e-12);
+        assert!((CapacityPlan::from_level(HeterogeneityLevel::H65, 500.0).power_ratio() - 1.0 / 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_plan() {
+        let plan = CapacityPlan::homogeneous(5, 100.0).unwrap();
+        for i in 0..5 {
+            assert!((plan.absolute(i) - 20.0).abs() < 1e-12);
+        }
+        assert_eq!(plan.max_difference(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CapacityPlan::from_relative(vec![], 500.0).is_err());
+        assert!(CapacityPlan::from_relative(vec![1.0], 0.0).is_err());
+        assert!(CapacityPlan::from_relative(vec![0.8, 0.8], 500.0).is_err(), "must start at 1.0");
+        assert!(CapacityPlan::from_relative(vec![1.0, 1.2], 500.0).is_err(), "out of (0,1]");
+        assert!(CapacityPlan::from_relative(vec![1.0, 0.5, 0.8], 500.0).is_err(), "not decreasing");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId(0).to_string(), "S1");
+        assert_eq!(HeterogeneityLevel::H50.to_string(), "50%");
+    }
+
+    #[test]
+    fn level_percent_round_trip() {
+        for level in HeterogeneityLevel::ALL {
+            let plan = CapacityPlan::from_level(level, 500.0);
+            assert!((plan.max_difference() * 100.0 - f64::from(level.percent())).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-domain request accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts hits received per source domain.
+///
+/// The paper's measured hidden-load estimation works "by having the servers
+/// keep track of the number of incoming requests from each domain and the
+/// DNS periodically collect the information" — this is the server-side half
+/// of that mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_server::DomainCounters;
+///
+/// let mut c = DomainCounters::new(3);
+/// c.record(0);
+/// c.record(0);
+/// c.record(2);
+/// assert_eq!(c.counts(), &[2, 0, 1]);
+/// let snapshot = c.take();
+/// assert_eq!(snapshot, vec![2, 0, 1]);
+/// assert_eq!(c.total(), 0, "take() resets the window");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainCounters {
+    counts: Vec<u64>,
+    lifetime: Vec<u64>,
+}
+
+impl DomainCounters {
+    /// Creates counters for `n_domains` domains.
+    #[must_use]
+    pub fn new(n_domains: usize) -> Self {
+        DomainCounters {
+            counts: vec![0; n_domains],
+            lifetime: vec![0; n_domains],
+        }
+    }
+
+    /// Records one hit from domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn record(&mut self, d: usize) {
+        self.counts[d] += 1;
+        self.lifetime[d] += 1;
+    }
+
+    /// The per-domain counts of the current collection window.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total hits in the current window.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns the window counts and resets them (the DNS's periodic
+    /// collection).
+    pub fn take(&mut self) -> Vec<u64> {
+        let taken = self.counts.clone();
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        taken
+    }
+
+    /// Per-domain totals since construction (never reset by [`take`](Self::take)).
+    #[must_use]
+    pub fn lifetime(&self) -> &[u64] {
+        &self.lifetime
+    }
+
+    /// Number of domains tracked.
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_takes() {
+        let mut c = DomainCounters::new(2);
+        c.record(1);
+        c.record(1);
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.take(), vec![0, 2]);
+        assert_eq!(c.total(), 0);
+        c.record(0);
+        assert_eq!(c.take(), vec![1, 0]);
+    }
+
+    #[test]
+    fn lifetime_survives_takes() {
+        let mut c = DomainCounters::new(2);
+        c.record(0);
+        let _ = c.take();
+        c.record(0);
+        c.record(1);
+        assert_eq!(c.lifetime(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_domain_panics() {
+        let mut c = DomainCounters::new(1);
+        c.record(1);
+    }
+
+    #[test]
+    fn empty_counters() {
+        let mut c = DomainCounters::new(0);
+        assert_eq!(c.num_domains(), 0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.take(), Vec::<u64>::new());
+    }
+}

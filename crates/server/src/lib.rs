@@ -1,0 +1,33 @@
+//! Heterogeneous Web server model for the `geodns` simulation.
+//!
+//! Models the paper's server side (§2, §4.1):
+//!
+//! * each of the `N` servers is a single FCFS queue draining *hits* with
+//!   exponential service times at rate `C_i` (its absolute capacity in
+//!   hits/s) — [`WebServer`];
+//! * heterogeneity is expressed exactly as in the paper's Table 2: relative
+//!   capacities `α_i = C_i / C_1`, scaled so the total site capacity is
+//!   constant (500 hits/s by default) — [`CapacityPlan`],
+//!   [`HeterogeneityLevel`];
+//! * every 8 seconds each server computes its window utilization and feeds
+//!   an asynchronous alarm mechanism: crossing the threshold θ upward emits
+//!   an alarm signal to the DNS, dropping back emits a normal signal —
+//!   [`UtilizationMonitor`], [`AlarmMonitor`], [`Signal`];
+//! * servers count arriving hits per source domain — the raw material the
+//!   DNS's hidden-load estimator periodically collects —
+//!   [`DomainCounters`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alarm;
+mod capacity;
+mod counters;
+mod monitor;
+mod webserver;
+
+pub use alarm::{AlarmMonitor, Signal};
+pub use capacity::{CapacityPlan, HeterogeneityLevel, ServerId};
+pub use counters::DomainCounters;
+pub use monitor::UtilizationMonitor;
+pub use webserver::{Hit, WebServer};

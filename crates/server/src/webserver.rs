@@ -1,0 +1,283 @@
+//! The Web server: a FCFS hit queue with capacity-dependent service.
+
+use std::collections::VecDeque;
+
+use geodns_simcore::SimTime;
+
+use crate::{DomainCounters, UtilizationMonitor};
+
+/// One HTTP request ("hit") queued at a server: the HTML page or one of its
+/// embedded objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// The client that issued the hit.
+    pub client: usize,
+    /// The client's source domain.
+    pub domain: usize,
+    /// Whether this is the last hit of its page burst — its completion
+    /// completes the page and restarts the client's think timer.
+    pub last_of_page: bool,
+}
+
+/// One heterogeneous Web server: a single FCFS queue draining hits at its
+/// absolute capacity `C_i` (hits/s), with windowed utilization monitoring
+/// and per-domain accounting.
+///
+/// The server does not own the simulation clock or RNG: the world calls
+/// [`arrive`](WebServer::arrive) when a hit arrives and
+/// [`depart`](WebServer::depart) when the scheduled service completion
+/// fires, and draws the service time itself (exponential with mean
+/// `1 / capacity`).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_server::{WebServer, Hit};
+/// use geodns_simcore::SimTime;
+///
+/// let mut s = WebServer::new(0, 100.0, 20, SimTime::ZERO).unwrap();
+/// let hit = Hit { client: 0, domain: 3, last_of_page: true };
+/// let starts_service = s.arrive(hit, SimTime::from_secs(1.0));
+/// assert!(starts_service, "server was idle");
+/// assert_eq!(s.queue_len(), 1);
+/// let (done, more) = s.depart(SimTime::from_secs(1.02));
+/// assert_eq!(done, hit);
+/// assert!(!more);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebServer {
+    index: usize,
+    capacity: f64,
+    queue: VecDeque<Hit>,
+    monitor: UtilizationMonitor,
+    counters: DomainCounters,
+    hits_arrived: u64,
+    hits_completed: u64,
+}
+
+impl WebServer {
+    /// Creates server `index` with absolute capacity `capacity` hits/s,
+    /// tracking `n_domains` source domains, starting idle at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `capacity` is finite and positive.
+    pub fn new(index: usize, capacity: f64, n_domains: usize, start: SimTime) -> Result<Self, String> {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(format!("server capacity must be > 0, got {capacity}"));
+        }
+        Ok(WebServer {
+            index,
+            capacity,
+            queue: VecDeque::new(),
+            monitor: UtilizationMonitor::new(start),
+            counters: DomainCounters::new(n_domains),
+            hits_arrived: 0,
+            hits_completed: 0,
+        })
+    }
+
+    /// The server's index (0 = most powerful).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Absolute capacity `C_i` in hits/s.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Mean service time per hit, `1 / C_i` seconds.
+    #[must_use]
+    pub fn mean_service_time(&self) -> f64 {
+        1.0 / self.capacity
+    }
+
+    /// Enqueues a hit at time `now`. Returns `true` when the server was
+    /// idle, i.e. the caller must schedule this hit's service completion.
+    pub fn arrive(&mut self, hit: Hit, now: SimTime) -> bool {
+        self.hits_arrived += 1;
+        self.counters.record(hit.domain);
+        self.queue.push_back(hit);
+        if self.queue.len() == 1 {
+            self.monitor.set_busy(now, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes the in-service hit at time `now`, returning it and whether
+    /// another hit is waiting (the caller then schedules the next
+    /// completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty — a departure event without an
+    /// in-service hit is a model bug.
+    pub fn depart(&mut self, now: SimTime) -> (Hit, bool) {
+        let hit = self.queue.pop_front().expect("departure from an empty server");
+        self.hits_completed += 1;
+        let more = !self.queue.is_empty();
+        if !more {
+            self.monitor.set_busy(now, false);
+        }
+        (hit, more)
+    }
+
+    /// Current queue length (including the hit in service).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the server is serving a hit.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Closes the current utilization window (the paper's 8-second check)
+    /// and returns its utilization.
+    pub fn sample_utilization(&mut self, now: SimTime) -> f64 {
+        self.monitor.close_window(now)
+    }
+
+    /// Lifetime average utilization.
+    #[must_use]
+    pub fn lifetime_utilization(&self, now: SimTime) -> f64 {
+        self.monitor.lifetime_utilization(now)
+    }
+
+    /// Restarts lifetime utilization accounting (warm-up discard).
+    pub fn reset_lifetime(&mut self, now: SimTime) {
+        self.monitor.reset_lifetime(now);
+    }
+
+    /// Per-domain hit counters (the estimator's collection source).
+    #[must_use]
+    pub fn domain_counters(&self) -> &DomainCounters {
+        &self.counters
+    }
+
+    /// Takes and resets the per-domain window counts.
+    pub fn take_domain_counts(&mut self) -> Vec<u64> {
+        self.counters.take()
+    }
+
+    /// Total hits that have arrived.
+    #[must_use]
+    pub fn hits_arrived(&self) -> u64 {
+        self.hits_arrived
+    }
+
+    /// Total hits completed.
+    #[must_use]
+    pub fn hits_completed(&self) -> u64 {
+        self.hits_completed
+    }
+
+    /// Outstanding work normalized by capacity: `queue_len / C_i` seconds —
+    /// the signal behind the least-loaded baseline policy.
+    #[must_use]
+    pub fn normalized_backlog(&self) -> f64 {
+        self.queue.len() as f64 / self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn hit(client: usize, domain: usize, last: bool) -> Hit {
+        Hit { client, domain, last_of_page: last }
+    }
+
+    #[test]
+    fn arrival_to_idle_server_starts_service() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        assert!(s.arrive(hit(1, 2, false), t(1.0)));
+        assert!(!s.arrive(hit(2, 2, false), t(1.5)), "second hit queues behind");
+        assert_eq!(s.queue_len(), 2);
+        assert!(s.is_busy());
+    }
+
+    #[test]
+    fn fcfs_order() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        s.arrive(hit(1, 0, false), t(0.0));
+        s.arrive(hit(2, 0, false), t(0.0));
+        s.arrive(hit(3, 0, true), t(0.0));
+        let (h1, more1) = s.depart(t(0.1));
+        assert_eq!((h1.client, more1), (1, true));
+        let (h2, more2) = s.depart(t(0.2));
+        assert_eq!((h2.client, more2), (2, true));
+        let (h3, more3) = s.depart(t(0.3));
+        assert_eq!((h3.client, more3), (3, false));
+        assert!(!s.is_busy());
+    }
+
+    #[test]
+    fn hit_conservation() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        for i in 0..10 {
+            s.arrive(hit(i, 0, false), t(0.0));
+        }
+        for _ in 0..10 {
+            s.depart(t(1.0));
+        }
+        assert_eq!(s.hits_arrived(), 10);
+        assert_eq!(s.hits_completed(), 10);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_period() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        s.arrive(hit(0, 0, true), t(2.0));
+        s.depart(t(6.0));
+        let u = s.sample_utilization(t(8.0));
+        assert!((u - 0.5).abs() < 1e-12);
+        // Next window is idle.
+        assert_eq!(s.sample_utilization(t(16.0)), 0.0);
+    }
+
+    #[test]
+    fn domain_accounting() {
+        let mut s = WebServer::new(0, 50.0, 3, t(0.0)).unwrap();
+        s.arrive(hit(0, 0, false), t(0.0));
+        s.arrive(hit(1, 2, false), t(0.0));
+        s.arrive(hit(2, 2, false), t(0.0));
+        assert_eq!(s.domain_counters().counts(), &[1, 0, 2]);
+        assert_eq!(s.take_domain_counts(), vec![1, 0, 2]);
+        assert_eq!(s.domain_counters().total(), 0);
+    }
+
+    #[test]
+    fn normalized_backlog_scales_with_capacity() {
+        let mut fast = WebServer::new(0, 100.0, 1, t(0.0)).unwrap();
+        let mut slow = WebServer::new(1, 50.0, 1, t(0.0)).unwrap();
+        fast.arrive(hit(0, 0, false), t(0.0));
+        slow.arrive(hit(0, 0, false), t(0.0));
+        assert!(fast.normalized_backlog() < slow.normalized_backlog());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty server")]
+    fn departure_from_empty_panics() {
+        let mut s = WebServer::new(0, 50.0, 1, t(0.0)).unwrap();
+        let _ = s.depart(t(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_capacity() {
+        assert!(WebServer::new(0, 0.0, 1, t(0.0)).is_err());
+        assert!(WebServer::new(0, f64::NAN, 1, t(0.0)).is_err());
+    }
+}

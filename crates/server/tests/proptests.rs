@@ -1,0 +1,96 @@
+//! Property-based tests for the Web-server model.
+
+use geodns_server::{AlarmMonitor, CapacityPlan, Hit, UtilizationMonitor, WebServer};
+use geodns_simcore::SimTime;
+use proptest::prelude::*;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+proptest! {
+    /// Hits are conserved: arrivals = completions + still-queued, FCFS
+    /// order preserved, busy flag consistent with queue contents.
+    #[test]
+    fn server_conserves_hits(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut server = WebServer::new(0, 50.0, 3, t(0.0)).unwrap();
+        let mut now = 0.0;
+        let mut next_client = 0usize;
+        let mut expected: std::collections::VecDeque<usize> = Default::default();
+
+        for arrive in ops {
+            now += 0.01;
+            if arrive {
+                server.arrive(Hit { client: next_client, domain: next_client % 3, last_of_page: false }, t(now));
+                expected.push_back(next_client);
+                next_client += 1;
+            } else if server.is_busy() {
+                let (hit, more) = server.depart(t(now));
+                let want = expected.pop_front().unwrap();
+                prop_assert_eq!(hit.client, want, "FCFS violated");
+                prop_assert_eq!(more, !expected.is_empty());
+            }
+        }
+        prop_assert_eq!(server.queue_len(), expected.len());
+        prop_assert_eq!(server.hits_arrived(), next_client as u64);
+        prop_assert_eq!(server.hits_completed() + server.queue_len() as u64, next_client as u64);
+        prop_assert_eq!(server.is_busy(), !expected.is_empty());
+    }
+
+    /// Window utilization is always within [0, 1] no matter the busy
+    /// pattern, and the lifetime utilization tracks the window average.
+    #[test]
+    fn utilization_always_physical(
+        transitions in prop::collection::vec((0.0f64..100.0, any::<bool>()), 0..50),
+    ) {
+        let mut m = UtilizationMonitor::new(t(0.0));
+        let mut times: Vec<(f64, bool)> = transitions;
+        times.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(at, busy) in &times {
+            m.set_busy(t(at), busy);
+        }
+        let u = m.close_window(t(101.0));
+        prop_assert!((0.0..=1.0).contains(&u), "window util {u}");
+        let lifetime = m.lifetime_utilization(t(101.0));
+        prop_assert!((0.0..=1.0).contains(&lifetime));
+    }
+
+    /// The alarm monitor emits strictly alternating signals, starting with
+    /// an alarm, for any observation stream.
+    #[test]
+    fn alarm_signals_alternate(utils in prop::collection::vec(0.0f64..1.0, 1..200), theta in 0.1f64..0.99) {
+        use geodns_server::Signal;
+        let mut a = AlarmMonitor::new(theta, 0.0).unwrap();
+        let mut last: Option<Signal> = None;
+        for u in utils {
+            if let Some(sig) = a.observe(u) {
+                match (last, sig) {
+                    (None, Signal::Alarm) => {}
+                    (Some(Signal::Alarm), Signal::Normal) => {}
+                    (Some(Signal::Normal), Signal::Alarm) => {}
+                    (prev, cur) => prop_assert!(false, "bad sequence: {prev:?} then {cur:?}"),
+                }
+                last = Some(sig);
+            }
+        }
+    }
+
+    /// Capacity plans conserve total capacity and keep servers ordered.
+    #[test]
+    fn capacity_plans_are_consistent(
+        tail in prop::collection::vec(0.05f64..1.0, 0..10),
+        total in 10.0f64..10_000.0,
+    ) {
+        let mut relative = vec![1.0];
+        let mut sorted = tail;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        relative.extend(sorted);
+        let plan = CapacityPlan::from_relative(relative.clone(), total).unwrap();
+        prop_assert!((plan.total_capacity() - total).abs() < 1e-6 * total);
+        for i in 1..plan.num_servers() {
+            prop_assert!(plan.absolute(i) <= plan.absolute(i - 1) + 1e-9);
+        }
+        prop_assert!(plan.power_ratio() >= 1.0);
+        prop_assert!((plan.max_difference() - (1.0 - relative.last().unwrap())).abs() < 1e-12);
+    }
+}

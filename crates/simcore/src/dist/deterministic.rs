@@ -1,0 +1,66 @@
+//! Degenerate (constant) distribution.
+
+use rand::Rng;
+
+use super::Distribution;
+
+/// A "distribution" that always returns the same value.
+///
+/// Useful for ablations (e.g. deterministic service times) and for plugging
+/// constants into APIs that expect a [`Distribution`].
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Deterministic, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let d = Deterministic::new(7.5);
+/// let mut rng = RngStreams::new(1).stream("c");
+/// assert_eq!(d.sample(&mut rng), 7.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deterministic<T>(T);
+
+impl<T: Clone> Deterministic<T> {
+    /// Wraps `value` as a constant distribution.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Deterministic(value)
+    }
+
+    /// The wrapped value.
+    #[must_use]
+    pub fn value(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Clone> Distribution<T> for Deterministic<T> {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngStreams;
+
+    #[test]
+    fn always_same_value() {
+        let d = Deterministic::new(3u64);
+        let mut rng = RngStreams::new(1).stream("det");
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3);
+        }
+        assert_eq!(*d.value(), 3);
+    }
+
+    #[test]
+    fn works_for_non_numeric_types() {
+        let d = Deterministic::new("hello");
+        let mut rng = RngStreams::new(1).stream("det2");
+        assert_eq!(d.sample(&mut rng), "hello");
+    }
+}

@@ -1,0 +1,198 @@
+//! General finite discrete distribution via Walker/Vose alias sampling.
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// A distribution over `0..n` with arbitrary non-negative weights, sampled in
+/// O(1) with the Vose alias method.
+///
+/// This is the workhorse behind [`Zipf`](super::Zipf) and behind the
+/// capacity-weighted random baseline policy.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Discrete, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let d = Discrete::from_weights(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = RngStreams::new(1).stream("d");
+/// for _ in 0..100 {
+///     assert_ne!(d.sample(&mut rng), 1, "zero-weight index never drawn");
+/// }
+/// assert!((d.prob(2) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    prob: Vec<f64>,       // normalized probabilities (for introspection)
+    accept: Vec<f64>,     // alias-table acceptance thresholds
+    alias: Vec<usize>,    // alias targets
+}
+
+impl Discrete {
+    /// Builds the alias table from raw weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("discrete distribution needs at least one weight"));
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(ParamError::new(format!("weights must be finite and >= 0, got {w}")));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ParamError::new("weights must not all be zero"));
+        }
+
+        let n = weights.len();
+        let prob: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        // Vose's algorithm: split indices into "small" (scaled prob < 1) and
+        // "large", pair each small column with a large donor.
+        let mut scaled: Vec<f64> = prob.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+
+        let mut accept = vec![1.0; n];
+        let mut alias = vec![0usize; n];
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            accept[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0 columns.
+        for i in large.into_iter().chain(small) {
+            accept[i] = 1.0;
+            alias[i] = i;
+        }
+
+        Ok(Discrete { prob, accept, alias })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the distribution has zero categories (never true for a
+    /// successfully constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalized probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        self.prob[i]
+    }
+
+    /// The full normalized probability vector.
+    #[must_use]
+    pub fn probs(&self) -> &[f64] {
+        &self.prob
+    }
+}
+
+impl Distribution<usize> for Discrete {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.accept[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngStreams;
+
+    fn frequencies(d: &Discrete, n: usize) -> Vec<f64> {
+        let mut rng = RngStreams::new(0xA11A5).stream("alias");
+        let mut counts = vec![0usize; d.len()];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn matches_probabilities() {
+        let d = Discrete::from_weights(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let freq = frequencies(&d, 400_000);
+        for (i, f) in freq.iter().enumerate() {
+            let p = d.prob(i);
+            assert!((f - p).abs() < 0.005, "category {i}: freq {f} vs prob {p}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let d = Discrete::from_weights(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        let freq = frequencies(&d, 50_000);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn single_category() {
+        let d = Discrete::from_weights(&[42.0]).unwrap();
+        let mut rng = RngStreams::new(1).stream("single");
+        assert_eq!(d.sample(&mut rng), 0);
+        assert_eq!(d.prob(0), 1.0);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let d = Discrete::from_weights(&[10.0, 30.0]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-12);
+        assert!((d.prob(1) - 0.75).abs() < 1e-12);
+        assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        assert!(Discrete::from_weights(&[]).is_err());
+        assert!(Discrete::from_weights(&[0.0, 0.0]).is_err());
+        assert!(Discrete::from_weights(&[-1.0, 2.0]).is_err());
+        assert!(Discrete::from_weights(&[f64::NAN]).is_err());
+        assert!(Discrete::from_weights(&[f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn highly_skewed_weights_are_stable() {
+        let weights: Vec<f64> = (1..=100).map(|i| 1.0 / f64::from(i)).collect();
+        let d = Discrete::from_weights(&weights).unwrap();
+        let freq = frequencies(&d, 200_000);
+        let h: f64 = (1..=100).map(|i| 1.0 / f64::from(i)).sum();
+        assert!((freq[0] - 1.0 / h).abs() < 0.01);
+    }
+}

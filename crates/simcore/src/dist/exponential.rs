@@ -1,0 +1,131 @@
+//! Exponential distribution (inter-arrival and think times).
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used throughout the paper's model: think times between page requests and
+/// per-hit service times are exponential.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Exponential, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let think = Exponential::with_mean(15.0); // paper's mean think time
+/// let mut rng = RngStreams::new(1).stream("think");
+/// let x = think.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// assert!((think.mean() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (events per
+    /// unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive. Use [`Exponential::try_new`]
+    /// for a fallible variant.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        Self::try_new(rate).expect("invalid exponential rate")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `rate` is finite and strictly positive.
+    pub fn try_new(rate: f64) -> Result<Self, ParamError> {
+        if rate.is_finite() && rate > 0.0 {
+            Ok(Exponential { rate })
+        } else {
+            Err(ParamError::new(format!("exponential rate must be finite and > 0, got {rate}")))
+        }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    #[must_use]
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be finite and > 0, got {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF. `gen::<f64>()` is in [0, 1); use 1-u in (0, 1] so the
+        // logarithm never sees zero.
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{mean_of, var_of};
+    use super::*;
+
+    #[test]
+    fn mean_matches() {
+        let d = Exponential::with_mean(15.0);
+        let m = mean_of(&d, 200_000);
+        assert!((m - 15.0).abs() / 15.0 < 0.02, "sample mean {m}");
+    }
+
+    #[test]
+    fn variance_matches() {
+        let d = Exponential::new(2.0); // var = 1/λ² = 0.25
+        let v = var_of(&d, 200_000);
+        assert!((v - 0.25).abs() / 0.25 < 0.05, "sample var {v}");
+    }
+
+    #[test]
+    fn samples_nonnegative_and_finite() {
+        let d = Exponential::new(1e6);
+        let mut rng = crate::RngStreams::new(3).stream("exp");
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exponential::try_new(0.0).is_err());
+        assert!(Exponential::try_new(-1.0).is_err());
+        assert!(Exponential::try_new(f64::NAN).is_err());
+        assert!(Exponential::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Exponential::new(4.0);
+        assert_eq!(d.rate(), 4.0);
+        assert_eq!(d.mean(), 0.25);
+    }
+}

@@ -1,0 +1,126 @@
+//! Geometric distribution (discrete analogue of the exponential).
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// Geometric distribution on `{1, 2, 3, …}` with success probability `p`
+/// (mean `1/p`).
+///
+/// Used as the integer-valued stand-in for "exponentially distributed number
+/// of page requests per session": the memoryless discrete law with a given
+/// mean, guaranteeing at least one page per session.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Geometric, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let pages = Geometric::with_mean(20.0).unwrap();
+/// let mut rng = RngStreams::new(1).stream("pages");
+/// assert!(pages.sample(&mut rng) >= 1);
+/// assert!((pages.mean() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Geometric { p })
+        } else {
+            Err(ParamError::new(format!("geometric p must be in (0, 1], got {p}")))
+        }
+    }
+
+    /// Creates a geometric distribution with the given mean (`>= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean < 1` or is not finite.
+    pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
+        if mean.is_finite() && mean >= 1.0 {
+            Self::new(1.0 / mean)
+        } else {
+            Err(ParamError::new(format!("geometric mean must be >= 1, got {mean}")))
+        }
+    }
+
+    /// Success probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `1/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inversion: ceil(ln(1-u) / ln(1-p)) is geometric on {1, 2, ...}.
+        let u: f64 = rng.gen();
+        let x = ((1.0 - u).ln() / (1.0 - self.p).ln()).ceil();
+        if x < 1.0 {
+            1
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngStreams;
+
+    #[test]
+    fn mean_matches() {
+        let d = Geometric::with_mean(20.0).unwrap();
+        let mut rng = RngStreams::new(0x6E0).stream("geo");
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 20.0).abs() / 20.0 < 0.02, "sample mean {mean}");
+    }
+
+    #[test]
+    fn support_starts_at_one() {
+        let d = Geometric::new(0.99).unwrap();
+        let mut rng = RngStreams::new(1).stream("geo1");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn p_one_is_constant_one() {
+        let d = Geometric::new(1.0).unwrap();
+        let mut rng = RngStreams::new(2).stream("geo2");
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+        assert!(Geometric::with_mean(0.5).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Log-normal distribution.
+
+use rand::Rng;
+
+use super::{Distribution, Normal, ParamError};
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Web object sizes and transfer times are classically heavy-tailed and often
+/// modeled log-normal (Arlitt & Williamson, SIGMETRICS'96 — the workload
+/// characterization the paper cites); provided for extension workloads.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{LogNormal, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let d = LogNormal::new(0.0, 0.5).unwrap();
+/// let mut rng = RngStreams::new(1).stream("ln");
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with log-space parameters `mu`,
+    /// `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mu` is finite and `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal { inner: Normal::new(mu, sigma)? })
+    }
+
+    /// The arithmetic mean `exp(mu + sigma²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.inner.mu() + 0.5 * self.inner.sigma() * self.inner.sigma()).exp()
+    }
+
+    /// The median `exp(mu)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.inner.mu().exp()
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::mean_of;
+    use super::*;
+
+    #[test]
+    fn mean_matches() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let m = mean_of(&d, 300_000);
+        let expect = d.mean();
+        assert!((m - expect).abs() / expect < 0.02, "sample mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn strictly_positive() {
+        let d = LogNormal::new(-2.0, 2.0).unwrap();
+        let mut rng = crate::RngStreams::new(2).stream("ln+");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.5, 1.0).unwrap();
+        assert!((d.median() - 1.5f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+    }
+}

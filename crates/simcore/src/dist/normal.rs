@@ -1,0 +1,114 @@
+//! Normal distribution via the Marsaglia polar method.
+
+use rand::Rng;
+use std::cell::Cell;
+
+use super::{Distribution, ParamError};
+
+/// Normal (Gaussian) distribution with mean `mu` and standard deviation
+/// `sigma`.
+///
+/// Provided for extension workloads (noisy capacity estimates, measurement
+/// jitter) and as the base of [`LogNormal`](super::LogNormal).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Normal, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let n = Normal::new(0.0, 1.0).unwrap();
+/// let mut rng = RngStreams::new(1).stream("n");
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+    // The polar method produces two variates per iteration; cache the spare.
+    spare: Cell<Option<f64>>,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mu` is finite and `sigma` is finite and
+    /// strictly positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if mu.is_finite() && sigma.is_finite() && sigma > 0.0 {
+            Ok(Normal { mu, sigma, spare: Cell::new(None) })
+        } else {
+            Err(ParamError::new(format!("normal requires finite mu and sigma > 0, got mu={mu}, sigma={sigma}")))
+        }
+    }
+
+    /// The mean.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard deviation.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a standard-normal variate.
+    pub fn standard<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare.set(Some(v * factor));
+                return u * factor;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * self.standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{mean_of, var_of};
+    use super::*;
+
+    #[test]
+    fn moments_match() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let m = mean_of(&d, 200_000);
+        let v = var_of(&d, 200_000);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn roughly_symmetric() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = crate::RngStreams::new(7).stream("sym");
+        let n = 100_000;
+        let above = (0..n).filter(|_| d.sample(&mut rng) > 0.0).count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P(X>0) = {frac}");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Pareto distribution.
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`:
+/// `P(X > x) = (x_min / x)^alpha` for `x >= x_min`.
+///
+/// The canonical heavy-tailed law for Web workloads; provided for extension
+/// scenarios (long-tailed per-domain request bursts).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Pareto, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let d = Pareto::new(1.0, 2.5).unwrap();
+/// let mut rng = RngStreams::new(1).stream("p");
+/// assert!(d.sample(&mut rng) >= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `x_min > 0` and `alpha > 0`, both finite.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, ParamError> {
+        if x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0 {
+            Ok(Pareto { x_min, alpha })
+        } else {
+            Err(ParamError::new(format!("pareto requires x_min > 0 and alpha > 0, got x_min={x_min}, alpha={alpha}")))
+        }
+    }
+
+    /// The mean, or `None` when `alpha <= 1` (infinite mean).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_min / (self.alpha - 1.0))
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::mean_of;
+    use super::*;
+
+    #[test]
+    fn mean_matches_when_finite() {
+        let d = Pareto::new(2.0, 3.0).unwrap(); // mean = 3
+        let m = mean_of(&d, 400_000);
+        assert!((m - 3.0).abs() < 0.05, "sample mean {m}");
+        assert_eq!(d.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn infinite_mean_reported() {
+        assert_eq!(Pareto::new(1.0, 1.0).unwrap().mean(), None);
+        assert_eq!(Pareto::new(1.0, 0.5).unwrap().mean(), None);
+    }
+
+    #[test]
+    fn support_respects_x_min() {
+        let d = Pareto::new(5.0, 1.2).unwrap();
+        let mut rng = crate::RngStreams::new(3).stream("p2");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.0).is_err());
+    }
+}

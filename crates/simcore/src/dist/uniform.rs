@@ -1,0 +1,181 @@
+//! Continuous and discrete uniform distributions.
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// Continuous uniform distribution on `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Uniform, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let u = Uniform::new(2.0, 4.0).unwrap();
+/// let mut rng = RngStreams::new(1).stream("u");
+/// let x = u.sample(&mut rng);
+/// assert!((2.0..4.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if lo.is_finite() && hi.is_finite() && lo < hi {
+            Ok(Uniform { lo, hi })
+        } else {
+            Err(ParamError::new(format!("uniform bounds must be finite with lo < hi, got [{lo}, {hi})")))
+        }
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The mean `(lo + hi) / 2`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+}
+
+/// Discrete uniform distribution on the inclusive integer range `lo..=hi`.
+///
+/// The paper draws the number of hits per Web page from `U{5..15}`.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{DiscreteUniform, Distribution};
+/// use geodns_simcore::RngStreams;
+///
+/// let hits = DiscreteUniform::new(5, 15).unwrap();
+/// let mut rng = RngStreams::new(1).stream("hits");
+/// let h = hits.sample(&mut rng);
+/// assert!((5..=15).contains(&h));
+/// assert_eq!(hits.mean(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscreteUniform {
+    lo: u64,
+    hi: u64,
+}
+
+impl DiscreteUniform {
+    /// Creates a discrete uniform distribution on `lo..=hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self, ParamError> {
+        if lo <= hi {
+            Ok(DiscreteUniform { lo, hi })
+        } else {
+            Err(ParamError::new(format!("discrete uniform requires lo <= hi, got {lo}..={hi}")))
+        }
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    #[must_use]
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// The mean `(lo + hi) / 2`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo as f64 + self.hi as f64)
+    }
+}
+
+impl Distribution<u64> for DiscreteUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::mean_of;
+    use super::*;
+    use crate::RngStreams;
+
+    #[test]
+    fn continuous_mean() {
+        let d = Uniform::new(10.0, 30.0).unwrap();
+        let m = mean_of(&d, 100_000);
+        assert!((m - 20.0).abs() < 0.1, "sample mean {m}");
+    }
+
+    #[test]
+    fn continuous_bounds_respected() {
+        let d = Uniform::new(-1.0, 1.0).unwrap();
+        let mut rng = RngStreams::new(2).stream("u");
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn continuous_rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn discrete_covers_support() {
+        let d = DiscreteUniform::new(5, 15).unwrap();
+        let mut rng = RngStreams::new(3).stream("du");
+        let mut seen = [false; 16];
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((5..=15).contains(&x));
+            seen[x as usize] = true;
+        }
+        assert!(seen[5..=15].iter().all(|&s| s), "all 11 values should appear in 10k draws");
+    }
+
+    #[test]
+    fn discrete_singleton() {
+        let d = DiscreteUniform::new(7, 7).unwrap();
+        let mut rng = RngStreams::new(4).stream("one");
+        assert_eq!(d.sample(&mut rng), 7);
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn discrete_rejects_inverted() {
+        assert!(DiscreteUniform::new(3, 2).is_err());
+    }
+}

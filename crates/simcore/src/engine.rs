@@ -1,0 +1,200 @@
+//! The simulation engine: virtual clock + future event list.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A discrete-event simulation engine over an application-defined event type.
+///
+/// The engine owns the virtual clock and the future event list. Models drive
+/// it with a simple loop: [`step`](Engine::step) pops the next event and
+/// advances the clock to its timestamp; the model then handles the event and
+/// schedules follow-ups with [`schedule_in`](Engine::schedule_in) /
+/// [`schedule_at`](Engine::schedule_at).
+///
+/// Causality is enforced: scheduling in the past panics, which turns subtle
+/// model bugs into loud failures at the point of injection.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::{Engine, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut eng = Engine::new();
+/// eng.schedule_at(SimTime::from_secs(1.0), Ev::Ping);
+/// let (t, ev) = eng.step().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1.0), Ev::Ping));
+/// eng.schedule_in(0.5, Ev::Pong);
+/// assert_eq!(eng.now(), SimTime::from_secs(1.0));
+/// assert_eq!(eng.step().unwrap().0, SimTime::from_secs(1.5));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Creates an engine whose event list has room for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(
+            delay >= 0.0,
+            "cannot schedule an event {delay} seconds in the past"
+        );
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule at {time} when the clock is already at {}",
+            self.now
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the event list is exhausted (the clock stays where
+    /// it was).
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue yielded an event in the past");
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// The firing time of the next pending event.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drops every pending event, e.g. to terminate a run at a horizon.
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng = Engine::new();
+        eng.schedule_in(2.0, "a");
+        eng.schedule_in(1.0, "b");
+        assert_eq!(eng.next_event_time(), Some(SimTime::from_secs(1.0)));
+        let (t1, e1) = eng.step().unwrap();
+        assert_eq!((t1.as_secs(), e1), (1.0, "b"));
+        let (t2, e2) = eng.step().unwrap();
+        assert_eq!((t2.as_secs(), e2), (2.0, "a"));
+        assert_eq!(eng.step(), None);
+        assert_eq!(eng.now().as_secs(), 2.0, "clock stays at last event");
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    fn relative_scheduling_is_anchored_at_now() {
+        let mut eng = Engine::new();
+        eng.schedule_in(5.0, 1);
+        eng.step().unwrap();
+        eng.schedule_in(5.0, 2);
+        assert_eq!(eng.step().unwrap().0.as_secs(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn negative_delay_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_before_now_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_in(5.0, ());
+        eng.step().unwrap();
+        eng.schedule_at(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn clear_pending_stops_the_run() {
+        let mut eng = Engine::new();
+        for i in 0..10 {
+            eng.schedule_in(f64::from(i), i);
+        }
+        eng.step().unwrap();
+        eng.clear_pending();
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(eng.step(), None);
+    }
+}

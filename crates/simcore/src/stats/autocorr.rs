@@ -1,0 +1,143 @@
+//! Sample autocorrelation of an output series.
+//!
+//! Batch-means confidence intervals are only valid once batch means are
+//! roughly uncorrelated; the autocorrelation function is the diagnostic.
+//! The per-interval maximum-utilization series this repository summarizes
+//! is strongly positively correlated at short lags (queues have memory),
+//! which is exactly why [`BatchMeans`](super::BatchMeans) batches before
+//! forming intervals.
+
+/// The lag-`k` sample autocorrelation of `series`, the standard biased
+/// estimator `r_k = Σ (x_t − x̄)(x_{t+k} − x̄) / Σ (x_t − x̄)²`.
+///
+/// Returns `None` when the series is shorter than `k + 2` or has zero
+/// variance.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::autocorrelation;
+///
+/// let alternating: Vec<f64> = (0..100).map(|i| f64::from(i % 2)).collect();
+/// let r1 = autocorrelation(&alternating, 1).unwrap();
+/// assert!(r1 < -0.9, "period-2 series anti-correlates at lag 1: {r1}");
+/// ```
+#[must_use]
+pub fn autocorrelation(series: &[f64], k: usize) -> Option<f64> {
+    let n = series.len();
+    if n < k + 2 {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let numer: f64 = (0..n - k)
+        .map(|t| (series[t] - mean) * (series[t + k] - mean))
+        .sum();
+    Some(numer / denom)
+}
+
+/// The autocorrelation function up to `max_lag`, skipping lags the series
+/// cannot support.
+#[must_use]
+pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    (1..=max_lag)
+        .map_while(|k| autocorrelation(series, k))
+        .collect()
+}
+
+/// A heuristic batch size for batch-means analysis: the smallest lag at
+/// which the autocorrelation drops below `threshold` (commonly 0.1),
+/// doubled for safety; falls back to `series.len() / 20` when the series
+/// never decorrelates within the first `series.len() / 4` lags.
+///
+/// Returns `None` for series too short to analyze (< 20 samples).
+#[must_use]
+pub fn suggest_batch_size(series: &[f64], threshold: f64) -> Option<usize> {
+    if series.len() < 20 {
+        return None;
+    }
+    let max_lag = series.len() / 4;
+    for k in 1..=max_lag {
+        match autocorrelation(series, k) {
+            Some(r) if r.abs() < threshold => return Some((2 * k).max(2)),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    Some((series.len() / 20).max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential};
+    use crate::RngStreams;
+
+    #[test]
+    fn iid_series_is_uncorrelated() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = RngStreams::new(0xACF).stream("acf");
+        let series: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        for k in 1..5 {
+            let r = autocorrelation(&series, k).unwrap();
+            assert!(r.abs() < 0.03, "lag {k}: r = {r}");
+        }
+    }
+
+    #[test]
+    fn ar1_series_shows_geometric_decay() {
+        // x_{t+1} = 0.8 x_t + noise: r_k ≈ 0.8^k.
+        let d = Exponential::with_mean(1.0);
+        let mut rng = RngStreams::new(0xAC1).stream("ar1");
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = 0.8 * x + d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&series, 1).unwrap();
+        let r3 = autocorrelation(&series, 3).unwrap();
+        assert!((r1 - 0.8).abs() < 0.03, "r1 = {r1}");
+        assert!((r3 - 0.512).abs() < 0.05, "r3 = {r3}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 1), None, "too short");
+        assert_eq!(autocorrelation(&[5.0; 100], 1), None, "zero variance");
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 1).is_some());
+    }
+
+    #[test]
+    fn acf_length_tracks_series() {
+        let series: Vec<f64> = (0..30).map(f64::from).collect();
+        let f = acf(&series, 5);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn batch_size_suggestions() {
+        // IID: decorrelated at lag 1 → suggest 2.
+        let d = Exponential::with_mean(1.0);
+        let mut rng = RngStreams::new(7).stream("bs");
+        let iid: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        assert_eq!(suggest_batch_size(&iid, 0.1), Some(2));
+
+        // AR(1) with 0.8: |r_k| < 0.1 around k = ln(0.1)/ln(0.8) ≈ 10.
+        let mut x = 0.0;
+        let ar1: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = 0.8 * x + d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let suggested = suggest_batch_size(&ar1, 0.1).unwrap();
+        assert!((12..=80).contains(&suggested), "suggested {suggested}");
+
+        assert_eq!(suggest_batch_size(&[1.0; 10], 0.1), None, "too short");
+    }
+}

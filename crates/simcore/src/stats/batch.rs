@@ -1,0 +1,179 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+
+use super::student_t::t_critical_95;
+use super::tally::Tally;
+
+/// A 95% confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The point estimate (grand mean of the batch means).
+    pub mean: f64,
+    /// The half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Relative half-width `half_width / |mean|`; infinite when the mean
+    /// is zero. The paper reports this as "within 4% of the mean".
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+
+    /// Whether `value` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width
+    }
+}
+
+/// Batch-means estimator: correlated samples are grouped into fixed-size
+/// batches whose means are approximately independent, giving a valid
+/// Student-t confidence interval for the steady-state mean.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100).unwrap();
+/// for i in 0..10_000 {
+///     bm.record(f64::from(i % 7));
+/// }
+/// let ci = bm.confidence_interval().unwrap();
+/// assert!(ci.contains(3.0)); // mean of 0..7
+/// assert!(ci.relative_half_width() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Tally,
+    batch_means: Tally,
+    overall: Tally,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Result<Self, String> {
+        if batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        Ok(BatchMeans {
+            batch_size,
+            current: Tally::new(),
+            batch_means: Tally::new(),
+            overall: Tally::new(),
+        })
+    }
+
+    /// Records one (possibly autocorrelated) sample.
+    pub fn record(&mut self, x: f64) {
+        self.overall.record(x);
+        self.current.record(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.record(self.current.mean());
+            self.current = Tally::new();
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batch_means.count()
+    }
+
+    /// Total samples recorded (including the partial batch).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Mean over all samples (not just completed batches).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// The 95% confidence interval over completed batch means, or `None`
+    /// with fewer than two batches.
+    #[must_use]
+    pub fn confidence_interval(&self) -> Option<ConfidenceInterval> {
+        let k = self.batch_means.count();
+        if k < 2 {
+            return None;
+        }
+        let t = t_critical_95(k - 1);
+        let half_width = t * self.batch_means.std_dev() / (k as f64).sqrt();
+        Some(ConfidenceInterval {
+            mean: self.batch_means.mean(),
+            half_width,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential};
+    use crate::RngStreams;
+
+    #[test]
+    fn iid_interval_covers_true_mean() {
+        let d = Exponential::with_mean(4.0);
+        let mut rng = RngStreams::new(0xB).stream("bm");
+        let mut bm = BatchMeans::new(500).unwrap();
+        for _ in 0..100_000 {
+            bm.record(d.sample(&mut rng));
+        }
+        let ci = bm.confidence_interval().unwrap();
+        assert!(ci.contains(4.0), "CI [{} ± {}] misses 4.0", ci.mean, ci.half_width);
+        assert!(ci.relative_half_width() < 0.04, "paper-level precision");
+    }
+
+    #[test]
+    fn too_few_batches_yields_none() {
+        let mut bm = BatchMeans::new(100).unwrap();
+        for i in 0..150 {
+            bm.record(f64::from(i));
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.confidence_interval().is_none());
+    }
+
+    #[test]
+    fn counts_include_partial_batch() {
+        let mut bm = BatchMeans::new(10).unwrap();
+        for i in 0..25 {
+            bm.record(f64::from(i));
+        }
+        assert_eq!(bm.count(), 25);
+        assert_eq!(bm.batches(), 2);
+        assert_eq!(bm.mean(), 12.0);
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(BatchMeans::new(0).is_err());
+    }
+
+    #[test]
+    fn constant_stream_has_zero_width() {
+        let mut bm = BatchMeans::new(5).unwrap();
+        for _ in 0..50 {
+            bm.record(7.0);
+        }
+        let ci = bm.confidence_interval().unwrap();
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(7.0));
+        assert!(!ci.contains(7.1));
+    }
+}

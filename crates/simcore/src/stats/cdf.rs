@@ -1,0 +1,201 @@
+//! Exact empirical CDF over retained samples.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact empirical cumulative distribution function.
+///
+/// Unlike [`Histogram`](super::Histogram), this retains every sample, so
+/// quantiles and probabilities are exact — use it when the sample count is
+/// modest (e.g. the per-interval max-utilization series of a single run:
+/// 5 h / 8 s ≈ 2250 points).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::Cdf;
+///
+/// let mut cdf = Cdf::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     cdf.record(x);
+/// }
+/// assert_eq!(cdf.prob_lt(2.5), 0.5);
+/// assert_eq!(cdf.prob_le(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: std::cell::Cell<bool>,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    #[must_use]
+    pub fn new() -> Self {
+        Cdf {
+            samples: Vec::new(),
+            sorted: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN samples, which have no place in an ordering.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "CDF samples must not be NaN");
+        self.samples.push(x);
+        self.sorted.set(false);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted.get() {
+            self.samples.sort_by(|a, b| a.total_cmp(b));
+            self.sorted.set(true);
+        }
+    }
+
+    /// `P(X < x)` — the paper's "cumulative frequency" (fraction of
+    /// observation instants strictly below `x`). Returns 0 when empty.
+    #[must_use]
+    pub fn prob_lt(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s < x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// `P(X <= x)`. Returns 0 when empty.
+    #[must_use]
+    pub fn prob_le(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The exact `q`-quantile (smallest sample `s` with `P(X <= s) >= q`),
+    /// or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// The sample mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The maximum sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Evaluates the CDF at each point of `xs`, returning `(x, P(X < x))`
+    /// pairs — the series plotted in the paper's Figures 1 and 2.
+    #[must_use]
+    pub fn curve(&mut self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.prob_lt(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaviour() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.prob_lt(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.max(), None);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn strict_vs_weak_inequality() {
+        let mut c = Cdf::new();
+        for x in [1.0, 1.0, 2.0, 3.0] {
+            c.record(x);
+        }
+        assert_eq!(c.prob_lt(1.0), 0.0);
+        assert_eq!(c.prob_le(1.0), 0.5);
+        assert_eq!(c.prob_lt(3.0), 0.75);
+        assert_eq!(c.prob_le(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_exact() {
+        let mut c = Cdf::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.record(x);
+        }
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(0.2), Some(1.0));
+        assert_eq!(c.quantile(0.5), Some(3.0));
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        assert_eq!(c.max(), Some(5.0));
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut c = Cdf::new();
+        c.record(2.0);
+        assert_eq!(c.prob_lt(3.0), 1.0);
+        c.record(4.0);
+        assert_eq!(c.prob_lt(3.0), 0.5, "re-sorts after new samples");
+    }
+
+    #[test]
+    fn curve_matches_pointwise_queries() {
+        let mut c = Cdf::new();
+        for i in 0..10 {
+            c.record(f64::from(i));
+        }
+        let pts = c.curve(&[0.0, 5.0, 10.0]);
+        assert_eq!(pts, vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        Cdf::new().record(f64::NAN);
+    }
+}

@@ -1,0 +1,259 @@
+//! Fixed-bin histogram with CDF queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equally sized bins, plus underflow and
+/// overflow counters.
+///
+/// This is the estimator behind the paper's headline metric: record the
+/// maximum server utilization at every observation instant, then read the
+/// cumulative frequency with [`cdf_at`](Histogram::cdf_at).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 100).unwrap();
+/// for u in [0.30, 0.50, 0.70, 0.90] {
+///     h.record(u);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!((h.cdf_at(0.80) - 0.75).abs() < 1e-12); // 3 of 4 below 0.8
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bins == 0`, the bounds are not finite, or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+        if bins == 0 {
+            return Err("histogram needs at least one bin".into());
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("histogram bounds must be finite with lo < hi, got [{lo}, {hi})"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
+    }
+
+    /// Records one sample. Values below `lo` go to the underflow counter,
+    /// values at or above `hi` to the overflow counter.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The empirical `P(X < x)`: fraction of samples strictly below the bin
+    /// containing `x` (bin-resolution approximation of the CDF).
+    ///
+    /// Returns 0 when no samples have been recorded.
+    #[must_use]
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return (self.count - self.overflow) as f64 / self.count as f64;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+        let below: u64 = self.underflow + self.bins[..idx].iter().sum::<u64>();
+        below as f64 / self.count as f64
+    }
+
+    /// The smallest bin upper edge `x` with `cdf_at(x) >= q`, i.e. an
+    /// approximate `q`-quantile.
+    ///
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            acc += b;
+            if acc >= target {
+                return Some(self.lo + width * (i + 1) as f64);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// The bin boundaries and counts as `(upper_edge, count)` pairs —
+    /// convenient for printing CDF curves.
+    #[must_use]
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i + 1) as f64, c))
+            .collect()
+    }
+
+    /// Samples that fell below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merges another histogram with identical binning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binning"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(0.05);
+        h.record(0.95);
+        let bins = h.bins();
+        assert_eq!(bins[0], (0.1, 1));
+        assert_eq!(bins[9].1, 1);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn cdf_basic() {
+        let mut h = Histogram::new(0.0, 1.0, 100).unwrap();
+        for i in 0..100 {
+            h.record(f64::from(i) / 100.0 + 0.005);
+        }
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 0.02);
+        assert_eq!(h.cdf_at(0.0), 0.0);
+        assert_eq!(h.cdf_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_counts_overflow_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record(0.5);
+        h.record(5.0); // overflow
+        assert_eq!(h.cdf_at(1.0), 0.5, "overflowed sample is never 'below'");
+    }
+
+    #[test]
+    fn empty_cdf_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 10).unwrap();
+        assert_eq!(h.cdf_at(0.5), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_tracks_distribution() {
+        let mut h = Histogram::new(0.0, 10.0, 100).unwrap();
+        for i in 0..1000 {
+            h.record(f64::from(i % 10) + 0.5);
+        }
+        let q = h.quantile(0.5).unwrap();
+        assert!((q - 5.0).abs() <= 0.6, "median ≈ 5, got {q}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 1.0, 10).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 10).unwrap();
+        a.record(0.25);
+        b.record(0.75);
+        b.record(-1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.underflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched() {
+        let mut a = Histogram::new(0.0, 1.0, 10).unwrap();
+        let b = Histogram::new(0.0, 2.0, 10).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 5).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 5).is_err());
+    }
+}

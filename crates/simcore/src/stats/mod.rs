@@ -1,0 +1,34 @@
+//! Online statistics for summarizing simulation runs.
+//!
+//! The paper's headline metric is the *cumulative frequency of the maximum
+//! server utilization*: the fraction of observation instants at which every
+//! server's utilization stayed below a level `x`. That is a CDF over a
+//! sampled time series, served here by [`Histogram`]. The supporting cast:
+//!
+//! * [`Tally`] — count/mean/variance/min/max over samples (Welford).
+//! * [`TimeWeighted`] — time-averaged piecewise-constant signals (queue
+//!   lengths, utilizations).
+//! * [`P2Quantile`] — constant-memory quantile estimation (Jain & Chlamtac).
+//! * [`BatchMeans`] — 95% confidence intervals for steady-state means, the
+//!   method behind the paper's "CI within 4% of the mean" statement.
+//! * [`Cdf`] — exact empirical CDF over retained samples.
+
+mod autocorr;
+mod batch;
+mod cdf;
+mod histogram;
+mod mser;
+mod quantile;
+mod student_t;
+mod tally;
+mod timeweighted;
+
+pub use autocorr::{acf, autocorrelation, suggest_batch_size};
+pub use batch::{BatchMeans, ConfidenceInterval};
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use mser::{mser5, MserResult};
+pub use quantile::P2Quantile;
+pub use student_t::t_critical_95;
+pub use tally::Tally;
+pub use timeweighted::TimeWeighted;

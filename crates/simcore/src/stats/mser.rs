@@ -1,0 +1,135 @@
+//! MSER-5 initial-transient (warm-up) detection.
+//!
+//! White's Marginal Standard Error Rule: batch the output series into
+//! groups of 5, then pick the truncation point that minimizes the marginal
+//! standard error of the retained mean. The classic automated answer to
+//! "how much warm-up should a steady-state simulation discard?" — used
+//! here to justify the repository's 30-minute default against the paper's
+//! unstated choice.
+
+/// The result of an MSER-5 analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MserResult {
+    /// Number of *raw observations* to discard from the front.
+    pub truncate: usize,
+    /// The mean of the retained observations.
+    pub retained_mean: f64,
+    /// The MSER statistic (squared marginal standard error) at the chosen
+    /// truncation.
+    pub statistic: f64,
+}
+
+/// Runs MSER-5 on an output series.
+///
+/// Returns `None` when the series is too short to batch (fewer than 10
+/// raw observations → 2 batches). Following standard practice, truncation
+/// points beyond half the series are not considered (a minimum that keeps
+/// the estimator from chasing end-of-run noise).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::mser5;
+///
+/// // A decaying transient on top of a flat steady state.
+/// let series: Vec<f64> = (0..500)
+///     .map(|i| 1.0 + 10.0 * (-(i as f64) / 20.0).exp())
+///     .collect();
+/// let result = mser5(&series).unwrap();
+/// assert!(result.truncate >= 30, "transient must be cut, got {}", result.truncate);
+/// assert!((result.retained_mean - 1.0).abs() < 0.2);
+/// ```
+#[must_use]
+pub fn mser5(series: &[f64]) -> Option<MserResult> {
+    const B: usize = 5;
+    let n_batches = series.len() / B;
+    if n_batches < 2 {
+        return None;
+    }
+    let batches: Vec<f64> = (0..n_batches)
+        .map(|i| series[i * B..(i + 1) * B].iter().sum::<f64>() / B as f64)
+        .collect();
+
+    let max_trunc = n_batches / 2;
+    let mut best: Option<(usize, f64, f64)> = None; // (d, statistic, mean)
+    for d in 0..=max_trunc {
+        let retained = &batches[d..];
+        let m = retained.len() as f64;
+        let mean = retained.iter().sum::<f64>() / m;
+        let ss: f64 = retained.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let stat = ss / (m * m);
+        if best.map_or(true, |(_, s, _)| stat < s) {
+            best = Some((d, stat, mean));
+        }
+    }
+    best.map(|(d, statistic, retained_mean)| MserResult {
+        truncate: d * B,
+        retained_mean,
+        statistic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential};
+    use crate::RngStreams;
+
+    #[test]
+    fn stationary_series_needs_no_truncation() {
+        let d = Exponential::with_mean(2.0);
+        let mut rng = RngStreams::new(0x1157).stream("mser");
+        let series: Vec<f64> = (0..1000).map(|_| d.sample(&mut rng)).collect();
+        let r = mser5(&series).unwrap();
+        // Some small truncation may win by chance, but not a big one.
+        assert!(r.truncate <= 100, "truncated {} of a stationary series", r.truncate);
+        assert!((r.retained_mean - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn transient_is_detected() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = RngStreams::new(0x1158).stream("mser");
+        // 100 inflated observations, then stationary around 1.
+        let series: Vec<f64> = (0..1000)
+            .map(|i| {
+                let base = d.sample(&mut rng);
+                if i < 100 {
+                    base + 20.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let r = mser5(&series).unwrap();
+        assert!(
+            (95..=160).contains(&r.truncate),
+            "should cut ≈100 observations, cut {}",
+            r.truncate
+        );
+        assert!((r.retained_mean - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn too_short_series_yields_none() {
+        assert!(mser5(&[1.0; 9]).is_none());
+        assert!(mser5(&[]).is_none());
+        assert!(mser5(&[1.0; 10]).is_some());
+    }
+
+    #[test]
+    fn constant_series_is_trivial() {
+        let r = mser5(&[7.0; 100]).unwrap();
+        assert_eq!(r.truncate, 0);
+        assert_eq!(r.retained_mean, 7.0);
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn truncation_capped_at_half() {
+        // A series that keeps drifting: MSER must not eat more than half.
+        let series: Vec<f64> = (0..200).map(|i| f64::from(i)).collect();
+        let r = mser5(&series).unwrap();
+        assert!(r.truncate <= 100);
+    }
+}

@@ -1,0 +1,67 @@
+//! Two-sided 95% Student-t critical values.
+
+/// Two-sided 95% critical value of the Student-t distribution with `df`
+/// degrees of freedom.
+///
+/// Exact table values for `df <= 30`, the classic interpolation anchors up
+/// to 120, then the normal limit `1.96`. Enough for batch-means confidence
+/// intervals, where `df` is the batch count minus one.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::t_critical_95;
+///
+/// assert!((t_critical_95(1) - 12.706).abs() < 1e-3);
+/// assert!((t_critical_95(10) - 2.228).abs() < 1e-3);
+/// assert!((t_critical_95(1_000_000) - 1.96).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+#[must_use]
+pub fn t_critical_95(df: u64) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 1–10
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11–20
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21–30
+    ];
+    match df {
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut prev = t_critical_95(1);
+        for df in 2..200 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t({df}) = {t} > t({}) = {prev}", df - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(t_critical_95(5), 2.571);
+        assert_eq!(t_critical_95(30), 2.042);
+        assert_eq!(t_critical_95(50), 2.000);
+        assert_eq!(t_critical_95(10_000), 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_df_panics() {
+        let _ = t_critical_95(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sample tally with Welford's online moments.
+
+use serde::{Deserialize, Serialize};
+
+/// Count, mean, variance, min and max of a stream of samples, computed
+/// online in O(1) memory with Welford's numerically stable recurrence.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::stats::Tally;
+///
+/// let mut t = Tally::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     t.record(x);
+/// }
+/// assert_eq!(t.count(), 8);
+/// assert_eq!(t.mean(), 5.0);
+/// assert_eq!(t.min(), Some(2.0));
+/// assert_eq!(t.max(), Some(9.0));
+/// assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean, or `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance, or `0.0` with fewer than two samples.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Merges another tally into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tally() {
+        let t = Tally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut t = Tally::new();
+        t.record(3.5);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), Some(3.5));
+        assert_eq!(t.max(), Some(3.5));
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..1000).map(|i| (f64::from(i) * 0.37).sin() * 10.0).collect();
+        let mut t = Tally::new();
+        for &x in &data {
+            t.record(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((t.mean() - mean).abs() < 1e-10);
+        assert!((t.variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        let mut whole = Tally::new();
+        for x in a_data {
+            a.record(x);
+            whole.record(x);
+        }
+        for x in b_data {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut t = Tally::new();
+        t.record(5.0);
+        let before = t.clone();
+        t.merge(&Tally::new());
+        assert_eq!(t, before);
+
+        let mut empty = Tally::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-weighted average of a piecewise-constant signal.
+
+use crate::SimTime;
+
+/// Time-averaged statistics for a piecewise-constant signal such as a queue
+/// length or an instantaneous utilization.
+///
+/// Call [`update`](TimeWeighted::update) whenever the signal changes; the
+/// accumulator weights each value by how long it was held.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::{SimTime, stats::TimeWeighted};
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.update(SimTime::from_secs(10.0), 1.0); // signal was 0 for 10 s
+/// tw.update(SimTime::from_secs(30.0), 0.0); // signal was 1 for 20 s
+/// let avg = tw.time_average(SimTime::from_secs(40.0)); // then 0 for 10 s
+/// assert!((avg - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    max: f64,
+    min: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking a signal whose value is `initial` at time `start`.
+    #[must_use]
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            current: initial,
+            weighted_sum: 0.0,
+            start,
+            max: initial,
+            min: initial,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update (signals cannot change
+    /// in the past).
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        assert!(now >= self.last_time, "time-weighted update must move forward");
+        self.weighted_sum += self.current * now.since(self.last_time);
+        self.last_time = now;
+        self.current = value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// The current value of the signal.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The time average over `[start, now]`.
+    ///
+    /// Returns the current value if no time has elapsed.
+    #[must_use]
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.start);
+        if elapsed <= 0.0 {
+            return self.current;
+        }
+        let tail = self.current * now.since(self.last_time);
+        (self.weighted_sum + tail) / elapsed
+    }
+
+    /// Largest value the signal has taken.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Smallest value the signal has taken.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Restarts the accumulation window at `now`, keeping the current value
+    /// (used to discard the warm-up transient).
+    pub fn reset_window(&mut self, now: SimTime) {
+        assert!(now >= self.last_time, "cannot reset into the past");
+        self.last_time = now;
+        self.start = now;
+        self.weighted_sum = 0.0;
+        self.max = self.current;
+        self.min = self.current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let tw = TimeWeighted::new(t(0.0), 3.0);
+        assert_eq!(tw.time_average(t(100.0)), 3.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut tw = TimeWeighted::new(t(0.0), 0.0);
+        tw.update(t(4.0), 2.0);
+        // 0 for 4 s, then 2 for 6 s → (0*4 + 2*6)/10 = 1.2
+        assert!((tw.time_average(t(10.0)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut tw = TimeWeighted::new(t(0.0), 5.0);
+        tw.update(t(1.0), -2.0);
+        tw.update(t(2.0), 9.0);
+        assert_eq!(tw.min(), -2.0);
+        assert_eq!(tw.max(), 9.0);
+        assert_eq!(tw.current(), 9.0);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_current() {
+        let tw = TimeWeighted::new(t(5.0), 7.0);
+        assert_eq!(tw.time_average(t(5.0)), 7.0);
+    }
+
+    #[test]
+    fn reset_window_discards_history() {
+        let mut tw = TimeWeighted::new(t(0.0), 100.0);
+        tw.update(t(10.0), 1.0);
+        tw.reset_window(t(10.0));
+        assert_eq!(tw.time_average(t(20.0)), 1.0);
+        assert_eq!(tw.max(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "move forward")]
+    fn backwards_update_panics() {
+        let mut tw = TimeWeighted::new(t(10.0), 0.0);
+        tw.update(t(5.0), 1.0);
+    }
+}

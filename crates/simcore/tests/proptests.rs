@@ -1,0 +1,150 @@
+//! Property-based tests for the simulation substrate.
+
+use geodns_simcore::dist::{Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf};
+use geodns_simcore::stats::{Cdf, Histogram, P2Quantile, Tally};
+use geodns_simcore::{EventQueue, RngStreams, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue always yields events in non-decreasing time order,
+    /// with FIFO order among events that share a timestamp.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u32..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t)), (t, i));
+        }
+        let mut last: Option<(SimTime, (u32, usize))> = None;
+        while let Some((time, payload)) = q.pop() {
+            if let Some((lt, lp)) = last {
+                prop_assert!(time >= lt, "time went backwards");
+                if time == lt {
+                    prop_assert!(payload.1 > lp.1, "FIFO violated on tie");
+                }
+            }
+            last = Some((time, payload));
+        }
+    }
+
+    /// Tally::merge is equivalent to recording both sample sets sequentially.
+    #[test]
+    fn tally_merge_matches_sequential(
+        a in prop::collection::vec(-1e6f64..1e6, 0..50),
+        b in prop::collection::vec(-1e6f64..1e6, 0..50),
+    ) {
+        let mut ta = Tally::new();
+        let mut tb = Tally::new();
+        let mut whole = Tally::new();
+        for &x in &a { ta.record(x); whole.record(x); }
+        for &x in &b { tb.record(x); whole.record(x); }
+        ta.merge(&tb);
+        prop_assert_eq!(ta.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((ta.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+            prop_assert!((ta.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance()));
+        }
+    }
+
+    /// A histogram's CDF is monotone non-decreasing and bounded by [0, 1].
+    #[test]
+    fn histogram_cdf_is_monotone(samples in prop::collection::vec(-0.5f64..1.5, 1..300)) {
+        let mut h = Histogram::new(0.0, 1.0, 50).unwrap();
+        for &s in &samples { h.record(s); }
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = f64::from(i) / 100.0;
+            let c = h.cdf_at(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12, "CDF decreased at {x}");
+            prev = c;
+        }
+    }
+
+    /// Exact CDF: prob_lt <= prob_le, quantile inverts prob_le.
+    #[test]
+    fn cdf_strict_weak_consistency(samples in prop::collection::vec(-100f64..100.0, 1..200), x in -100f64..100.0) {
+        let mut c = Cdf::new();
+        for &s in &samples { c.record(s); }
+        prop_assert!(c.prob_lt(x) <= c.prob_le(x));
+        let q = c.quantile(0.5).unwrap();
+        prop_assert!(c.prob_le(q) >= 0.5);
+    }
+
+    /// Zipf probabilities are normalized and non-increasing in rank.
+    #[test]
+    fn zipf_probabilities_sane(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (0..n).map(|i| z.prob(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.prob(i) <= z.prob(i - 1) + 1e-12);
+        }
+    }
+
+    /// Alias-method sampling only produces indices with positive weight.
+    #[test]
+    fn discrete_support_respected(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let d = Discrete::from_weights(&weights).unwrap();
+        let mut rng = RngStreams::new(seed).stream("prop");
+        for _ in 0..200 {
+            let i = d.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {i}");
+        }
+    }
+
+    /// Exponential samples are non-negative; uniform samples respect bounds.
+    #[test]
+    fn continuous_supports(seed in 0u64..1000, mean in 0.001f64..1e4, lo in -1e3f64..1e3, width in 0.001f64..1e3) {
+        let mut rng = RngStreams::new(seed).stream("sup");
+        let e = Exponential::with_mean(mean);
+        prop_assert!(e.sample(&mut rng) >= 0.0);
+        let u = Uniform::new(lo, lo + width).unwrap();
+        let x = u.sample(&mut rng);
+        prop_assert!(x >= lo && x < lo + width);
+    }
+
+    /// Geometric samples are at least 1.
+    #[test]
+    fn geometric_support(seed in 0u64..1000, mean in 1.0f64..100.0) {
+        let g = Geometric::with_mean(mean).unwrap();
+        let mut rng = RngStreams::new(seed).stream("geo");
+        for _ in 0..50 {
+            prop_assert!(g.sample(&mut rng) >= 1);
+        }
+    }
+
+    /// Empirical resampling stays within the observed range.
+    #[test]
+    fn empirical_stays_in_range(samples in prop::collection::vec(-50f64..50.0, 1..100), seed in 0u64..100) {
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let d = Empirical::from_samples(samples).unwrap();
+        let mut rng = RngStreams::new(seed).stream("emp");
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    /// P² estimates stay within the sample range.
+    #[test]
+    fn p2_stays_in_range(samples in prop::collection::vec(-1e3f64..1e3, 5..200), p in 0.01f64..0.99) {
+        let mut q = P2Quantile::new(p).unwrap();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &s in &samples { q.record(s); }
+        let v = q.value().unwrap();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "estimate {v} outside [{lo}, {hi}]");
+    }
+
+    /// Named RNG streams are reproducible and name-sensitive.
+    #[test]
+    fn rng_streams_deterministic(seed in 0u64..u64::MAX, idx in 0u64..1000) {
+        use rand::Rng;
+        let f = RngStreams::new(seed);
+        let a: u64 = f.stream_indexed("tag", idx).gen();
+        let b: u64 = f.stream_indexed("tag", idx).gen();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Low-level wire reading/writing: big-endian integers, names with
+//! compression-pointer decoding.
+
+use std::fmt;
+
+use crate::Name;
+
+/// Errors raised while encoding or parsing DNS messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// A domain name violated RFC 1035 limits or syntax.
+    BadName(String),
+    /// A compression pointer pointed forward or looped.
+    BadPointer,
+    /// A label had the reserved `10`/`01` type bits.
+    BadLabelType(u8),
+    /// A count field promised more records than the buffer holds.
+    BadCount,
+    /// The message used a feature outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadName(msg) => write!(f, "bad name: {msg}"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type bits {b:#04x}"),
+            WireError::BadCount => write!(f, "record count exceeds message"),
+            WireError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over an incoming message.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        let hi = self.u8()?;
+        let lo = self.u8()?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let a = self.u16()?;
+        let b = self.u16()?;
+        Ok((u32::from(a) << 16) | u32::from(b))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a possibly-compressed name (RFC 1035 §4.1.4). Pointers must
+    /// point strictly backwards, which also bounds the loop.
+    pub(crate) fn name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut jumped = false;
+        let mut cursor = self.pos;
+        let mut guard = 0usize;
+
+        loop {
+            guard += 1;
+            if guard > 128 {
+                return Err(WireError::BadPointer);
+            }
+            let len = *self.buf.get(cursor).ok_or(WireError::Truncated)?;
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        cursor += 1;
+                        if !jumped {
+                            self.pos = cursor;
+                        }
+                        return Name::from_labels(labels);
+                    }
+                    let start = cursor + 1;
+                    let end = start + len as usize;
+                    let bytes = self.buf.get(start..end).ok_or(WireError::Truncated)?;
+                    let label = String::from_utf8_lossy(bytes).into_owned();
+                    labels.push(label);
+                    cursor = end;
+                }
+                0xC0 => {
+                    let second = *self.buf.get(cursor + 1).ok_or(WireError::Truncated)?;
+                    let target = (usize::from(len & 0x3F) << 8) | usize::from(second);
+                    if target >= cursor {
+                        return Err(WireError::BadPointer);
+                    }
+                    if !jumped {
+                        self.pos = cursor + 2;
+                        jumped = true;
+                    }
+                    cursor = target;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+    }
+}
+
+/// An output buffer for an outgoing message.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer { buf: Vec::with_capacity(128) }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a name uncompressed (always legal on the wire).
+    pub(crate) fn name(&mut self, name: &Name) {
+        for label in name.labels() {
+            self.u8(label.len() as u8);
+            self.bytes(label.as_bytes());
+        }
+        self.u8(0);
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn plain_name_round_trip() {
+        let name: Name = "www.example.org".parse().unwrap();
+        let mut w = Writer::new();
+        w.name(&name);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 3); // "www"
+        assert_eq!(*bytes.last().unwrap(), 0);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.name().unwrap(), name);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn compression_pointer_decodes() {
+        // "example.org" at offset 0, then "www" + pointer to offset 0.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[7]);
+        buf.extend_from_slice(b"example");
+        buf.extend_from_slice(&[3]);
+        buf.extend_from_slice(b"org");
+        buf.push(0);
+        let www_at = buf.len();
+        buf.extend_from_slice(&[3]);
+        buf.extend_from_slice(b"www");
+        buf.extend_from_slice(&[0xC0, 0x00]); // pointer to offset 0
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name().unwrap().to_string(), "example.org");
+        assert_eq!(r.pos(), www_at);
+        let compressed = r.name().unwrap();
+        assert_eq!(compressed.to_string(), "www.example.org");
+        assert_eq!(r.remaining(), 0, "reader resumes after the pointer");
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        let buf = [0xC0u8, 0x05, 0, 0, 0, 0];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name(), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Pointer at offset 2 pointing to offset 0, offset 0 pointing to 2.
+        let buf = [0xC0u8, 0x02, 0xC0, 0x00];
+        let mut r = Reader::new(&buf);
+        r.pos = 2;
+        assert!(matches!(r.name(), Err(WireError::BadPointer)));
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let buf = [5u8, b'a', b'b']; // promises 5 bytes, has 2
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn reserved_label_bits_rejected() {
+        let buf = [0x40u8, 0x00];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name(), Err(WireError::BadLabelType(0x40)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Minimal DNS wire protocol (RFC 1035 subset) and an **authoritative
+//! front end** for the adaptive-TTL scheduler.
+//!
+//! The paper's system *is* an authoritative DNS: the cluster-side name
+//! server answers `A` queries for the Web site's name, choosing both the
+//! server address and the TTL. This crate makes that concrete — it can
+//! take real DNS query bytes and produce real DNS response bytes whose
+//! answer section carries the scheduler's `(server, adaptive TTL)`
+//! decision:
+//!
+//! * [`Message`], [`Question`], [`ResourceRecord`], [`Name`] — the message
+//!   model for the subset an authoritative server needs (QUERY opcode,
+//!   `A`/`NS` records, IN class);
+//! * [`Message::to_bytes`] / [`Message::parse`] — the wire codec, with
+//!   RFC 1035 §4.1.4 compression-pointer *decoding* (encoding emits
+//!   uncompressed names, which is always legal);
+//! * [`AuthoritativeServer`] — glues a resolver table (source IP prefix →
+//!   scheduling domain) to a [`DnsScheduler`](geodns_core::DnsScheduler)
+//!   and answers queries, byte-in/byte-out.
+//!
+//! No sockets live here: the caller owns I/O (or a simulator owns time),
+//! keeping the crate trivially testable and runtime-agnostic.
+//!
+//! # Example
+//!
+//! ```
+//! use geodns_wire::{AuthoritativeServer, Message, Question, QType};
+//!
+//! let mut server = AuthoritativeServer::example();
+//! let query = Message::query(0x1234, Question::a("www.example.org"));
+//! let response = server.handle(&query.to_bytes(), [10, 1, 2, 3], 0.0).unwrap();
+//! let parsed = Message::parse(&response).unwrap();
+//! assert_eq!(parsed.header.id, 0x1234);
+//! assert_eq!(parsed.answers.len(), 1);
+//! assert!(parsed.answers[0].ttl > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod message;
+mod name;
+mod server;
+
+pub use codec::WireError;
+pub use message::{Header, Message, QClass, QType, Question, Rcode, ResourceRecord};
+pub use name::Name;
+pub use server::{AuthoritativeServer, ClientMap};

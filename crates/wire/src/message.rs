@@ -1,0 +1,466 @@
+//! DNS message model and the top-level codec.
+
+use crate::codec::{Reader, WireError, Writer};
+use crate::Name;
+
+/// Query/record types in the supported subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QType {
+    /// IPv4 address record.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name.
+    Cname,
+    /// Anything else, carried numerically (parsed but not interpreted).
+    Other(u16),
+}
+
+impl QType {
+    /// The wire value.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            QType::A => 1,
+            QType::Ns => 2,
+            QType::Cname => 5,
+            QType::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    #[must_use]
+    pub fn from_code(v: u16) -> Self {
+        match v {
+            1 => QType::A,
+            2 => QType::Ns,
+            5 => QType::Cname,
+            other => QType::Other(other),
+        }
+    }
+}
+
+/// Query/record classes (only IN is interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QClass {
+    /// The Internet.
+    In,
+    /// Anything else, carried numerically.
+    Other(u16),
+}
+
+impl QClass {
+    /// The wire value.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            QClass::In => 1,
+            QClass::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    #[must_use]
+    pub fn from_code(v: u16) -> Self {
+        if v == 1 {
+            QClass::In
+        } else {
+            QClass::Other(v)
+        }
+    }
+}
+
+/// Response codes used by the authoritative server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist in the zone.
+    NxDomain,
+    /// Query kind not implemented.
+    NotImp,
+    /// Query refused (e.g. not our zone).
+    Refused,
+}
+
+impl Rcode {
+    /// The wire value (low 4 bits of the flags word).
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    /// From the wire value (values above 5 are reported as `ServFail`).
+    #[must_use]
+    pub fn from_code(v: u16) -> Self {
+        match v & 0xF {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => Rcode::ServFail,
+        }
+    }
+}
+
+/// The fixed 12-byte message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction id, echoed in responses.
+    pub id: u16,
+    /// Query (false) or response (true).
+    pub response: bool,
+    /// Opcode (only 0 = QUERY is answered).
+    pub opcode: u8,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncation flag (never set by this library).
+    pub truncated: bool,
+    /// Recursion desired (echoed).
+    pub recursion_desired: bool,
+    /// Recursion available (always false: we are authoritative-only).
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Header {
+    fn flags_word(self) -> u16 {
+        let mut w = 0u16;
+        if self.response {
+            w |= 0x8000;
+        }
+        w |= u16::from(self.opcode & 0x0F) << 11;
+        if self.authoritative {
+            w |= 0x0400;
+        }
+        if self.truncated {
+            w |= 0x0200;
+        }
+        if self.recursion_desired {
+            w |= 0x0100;
+        }
+        if self.recursion_available {
+            w |= 0x0080;
+        }
+        w |= self.rcode.code();
+        w
+    }
+
+    fn from_flags(id: u16, w: u16) -> Self {
+        Header {
+            id,
+            response: w & 0x8000 != 0,
+            opcode: ((w >> 11) & 0x0F) as u8,
+            authoritative: w & 0x0400 != 0,
+            truncated: w & 0x0200 != 0,
+            recursion_desired: w & 0x0100 != 0,
+            recursion_available: w & 0x0080 != 0,
+            rcode: Rcode::from_code(w),
+        }
+    }
+}
+
+/// One question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// The queried name.
+    pub name: Name,
+    /// The queried type.
+    pub qtype: QType,
+    /// The queried class.
+    pub qclass: QClass,
+}
+
+impl Question {
+    /// Convenience: an `IN A` question for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid domain name.
+    #[must_use]
+    pub fn a(name: &str) -> Self {
+        Question {
+            name: name.parse().expect("valid name literal"),
+            qtype: QType::A,
+            qclass: QClass::In,
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: Name,
+    /// Record type.
+    pub rtype: QType,
+    /// Record class.
+    pub rclass: QClass,
+    /// Time to live, seconds — *the* field this whole repository is about.
+    pub ttl: u32,
+    /// Uninterpreted record data (4 bytes for `A`).
+    pub rdata: Vec<u8>,
+}
+
+impl ResourceRecord {
+    /// An `IN A` record.
+    #[must_use]
+    pub fn a(name: Name, addr: [u8; 4], ttl: u32) -> Self {
+        ResourceRecord {
+            name,
+            rtype: QType::A,
+            rclass: QClass::In,
+            ttl,
+            rdata: addr.to_vec(),
+        }
+    }
+
+    /// The IPv4 address of an `A` record, if this is one.
+    #[must_use]
+    pub fn a_addr(&self) -> Option<[u8; 4]> {
+        (self.rtype == QType::A && self.rdata.len() == 4)
+            .then(|| [self.rdata[0], self.rdata[1], self.rdata[2], self.rdata[3]])
+    }
+}
+
+/// A whole DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The header.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authority: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additional: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Builds a standard query with one question.
+    #[must_use]
+    pub fn query(id: u16, question: Question) -> Self {
+        Message {
+            header: Header {
+                id,
+                response: false,
+                opcode: 0,
+                authoritative: false,
+                truncated: false,
+                recursion_desired: true,
+                recursion_available: false,
+                rcode: Rcode::NoError,
+            },
+            questions: vec![question],
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+        }
+    }
+
+    /// Builds the response skeleton for a query: id and question echoed,
+    /// QR/AA set.
+    #[must_use]
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                opcode: query.header.opcode,
+                authoritative: true,
+                truncated: false,
+                recursion_desired: query.header.recursion_desired,
+                recursion_available: false,
+                rcode,
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+        }
+    }
+
+    /// Encodes to wire format (names uncompressed).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(self.header.id);
+        w.u16(self.header.flags_word());
+        w.u16(self.questions.len() as u16);
+        w.u16(self.answers.len() as u16);
+        w.u16(self.authority.len() as u16);
+        w.u16(self.additional.len() as u16);
+        for q in &self.questions {
+            w.name(&q.name);
+            w.u16(q.qtype.code());
+            w.u16(q.qclass.code());
+        }
+        for rr in self.answers.iter().chain(&self.authority).chain(&self.additional) {
+            w.name(&rr.name);
+            w.u16(rr.rtype.code());
+            w.u16(rr.rclass.code());
+            w.u32(rr.ttl);
+            w.u16(rr.rdata.len() as u16);
+            w.bytes(&rr.rdata);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a message from wire format (handles compressed names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first malformation found.
+    pub fn parse(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let id = r.u16()?;
+        let flags = r.u16()?;
+        let qd = r.u16()? as usize;
+        let an = r.u16()? as usize;
+        let ns = r.u16()? as usize;
+        let ar = r.u16()? as usize;
+        if qd + an + ns + ar > buf.len() {
+            return Err(WireError::BadCount);
+        }
+
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = r.name()?;
+            let qtype = QType::from_code(r.u16()?);
+            let qclass = QClass::from_code(r.u16()?);
+            questions.push(Question { name, qtype, qclass });
+        }
+
+        let read_rrs = |r: &mut Reader<'_>, n: usize| -> Result<Vec<ResourceRecord>, WireError> {
+            let mut rrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.name()?;
+                let rtype = QType::from_code(r.u16()?);
+                let rclass = QClass::from_code(r.u16()?);
+                let ttl = r.u32()?;
+                let rdlen = r.u16()? as usize;
+                let rdata = r.bytes(rdlen)?.to_vec();
+                rrs.push(ResourceRecord { name, rtype, rclass, ttl, rdata });
+            }
+            Ok(rrs)
+        };
+        let answers = read_rrs(&mut r, an)?;
+        let authority = read_rrs(&mut r, ns)?;
+        let additional = read_rrs(&mut r, ar)?;
+
+        Ok(Message {
+            header: Header::from_flags(id, flags),
+            questions,
+            answers,
+            authority,
+            additional,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trips() {
+        let q = Message::query(0xBEEF, Question::a("www.example.org"));
+        let bytes = q.to_bytes();
+        assert_eq!(bytes.len(), 12 + 17 + 4, "header + name + type/class");
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, q);
+        assert!(!parsed.header.response);
+        assert!(parsed.header.recursion_desired);
+    }
+
+    #[test]
+    fn golden_query_bytes() {
+        // Hand-assembled: id 0x0102, RD, one IN A question for "a.b".
+        let q = Message::query(0x0102, Question::a("a.b"));
+        let bytes = q.to_bytes();
+        #[rustfmt::skip]
+        let expect = [
+            0x01, 0x02, // id
+            0x01, 0x00, // flags: RD
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // counts
+            0x01, b'a', 0x01, b'b', 0x00, // name
+            0x00, 0x01, // type A
+            0x00, 0x01, // class IN
+        ];
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn response_with_answer_round_trips() {
+        let q = Message::query(7, Question::a("site.test"));
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.answers.push(ResourceRecord::a(
+            q.questions[0].name.clone(),
+            [192, 0, 2, 1],
+            43,
+        ));
+        let parsed = Message::parse(&resp.to_bytes()).unwrap();
+        assert!(parsed.header.response);
+        assert!(parsed.header.authoritative);
+        assert_eq!(parsed.header.rcode, Rcode::NoError);
+        assert_eq!(parsed.answers[0].ttl, 43);
+        assert_eq!(parsed.answers[0].a_addr(), Some([192, 0, 2, 1]));
+    }
+
+    #[test]
+    fn flags_word_round_trips_all_bits() {
+        let h = Header {
+            id: 1,
+            response: true,
+            opcode: 2,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode: Rcode::Refused,
+        };
+        let back = Header::from_flags(1, h.flags_word());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn qtype_qclass_codes() {
+        assert_eq!(QType::from_code(1), QType::A);
+        assert_eq!(QType::from_code(28), QType::Other(28)); // AAAA: parsed, not interpreted
+        assert_eq!(QType::Other(28).code(), 28);
+        assert_eq!(QClass::from_code(1), QClass::In);
+        assert_eq!(QClass::from_code(3), QClass::Other(3));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let q = Message::query(1, Question::a("x.y"));
+        let bytes = q.to_bytes();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(Message::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_counts_rejected() {
+        let mut bytes = Message::query(1, Question::a("x.y")).to_bytes();
+        bytes[4] = 0xFF; // qdcount = 0xFF01
+        bytes[5] = 0xFF;
+        assert!(Message::parse(&bytes).is_err());
+    }
+}

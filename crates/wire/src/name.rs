@@ -1,0 +1,178 @@
+//! Domain names: label sequences with RFC 1035 length limits.
+
+use std::fmt;
+
+use crate::codec::WireError;
+
+/// A fully qualified DNS name as a sequence of labels (without the
+/// trailing empty root label in the textual form).
+///
+/// Enforces RFC 1035 limits: labels of 1–63 bytes, total wire length
+/// ≤ 255 bytes. Comparison is case-insensitive, as DNS requires.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_wire::Name;
+///
+/// let n: Name = "www.Example.ORG".parse().unwrap();
+/// assert_eq!(n.to_string(), "www.example.org");
+/// assert_eq!(n.labels().len(), 3);
+/// let m: Name = "WWW.example.org".parse().unwrap();
+/// assert_eq!(n, m, "names compare case-insensitively");
+/// ```
+#[derive(Debug, Clone, Eq)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    #[must_use]
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadName`] when a label is empty, exceeds 63
+    /// bytes, or the total wire form exceeds 255 bytes.
+    pub fn from_labels<I, S>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        let mut wire_len = 1; // root byte
+        for label in &labels {
+            if label.is_empty() || label.len() > 63 {
+                return Err(WireError::BadName(format!(
+                    "label length {} out of 1..=63",
+                    label.len()
+                )));
+            }
+            wire_len += 1 + label.len();
+        }
+        if wire_len > 255 {
+            return Err(WireError::BadName(format!("name wire length {wire_len} exceeds 255")));
+        }
+        Ok(Name { labels })
+    }
+
+    /// The labels, in order from the leftmost.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Whether this is the root name.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The wire-format length in bytes (uncompressed).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            label.to_ascii_lowercase().hash(state);
+        }
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(trimmed.split('.'))
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        let joined = self
+            .labels
+            .iter()
+            .map(|l| l.to_ascii_lowercase())
+            .collect::<Vec<_>>()
+            .join(".");
+        write!(f, "{joined}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: Name = "www.example.org.".parse().unwrap();
+        assert_eq!(n.to_string(), "www.example.org");
+        assert_eq!(n.labels().len(), 3);
+        assert!(!n.is_root());
+    }
+
+    #[test]
+    fn root_forms() {
+        let r: Name = ".".parse().unwrap();
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), ".");
+        assert_eq!(r.wire_len(), 1);
+        let empty: Name = "".parse().unwrap();
+        assert!(empty.is_root());
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        let a: Name = "WWW.Example.Org".parse().unwrap();
+        let b: Name = "www.example.org".parse().unwrap();
+        assert_eq!(a, b);
+        let set: HashSet<Name> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let long_label = "a".repeat(64);
+        assert!(Name::from_labels([long_label]).is_err());
+        assert!(Name::from_labels([""]).is_err());
+        // 5 × (63+1) + … exceeds 255.
+        let l63 = "b".repeat(63);
+        assert!(Name::from_labels(vec![l63.clone(), l63.clone(), l63.clone(), l63.clone()]).is_err());
+        assert!(Name::from_labels(vec![l63.clone(), l63.clone(), l63]).is_ok());
+    }
+
+    #[test]
+    fn wire_len_counts_length_bytes_and_root() {
+        let n: Name = "ab.c".parse().unwrap();
+        // 1+2 + 1+1 + 1 = 6
+        assert_eq!(n.wire_len(), 6);
+    }
+}

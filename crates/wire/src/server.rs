@@ -1,0 +1,411 @@
+//! The authoritative front end: query bytes in, adaptive-TTL answers out.
+
+use geodns_core::{Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator};
+use geodns_server::CapacityPlan;
+use geodns_simcore::{RngStreams, SimTime};
+
+use crate::{Message, Name, QClass, QType, Rcode, ResourceRecord, WireError};
+
+/// Maps client source addresses to the scheduler's *domain* index — the
+/// operational equivalent of "identifying the source domain of the client
+/// requests" (in reality the querying entity is the domain's local name
+/// server, so one prefix per customer network).
+///
+/// Longest-prefix match over IPv4 prefixes.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_wire::ClientMap;
+///
+/// let mut map = ClientMap::new();
+/// map.add_prefix([10, 1, 0, 0], 16, 3).unwrap();
+/// map.add_prefix([10, 1, 2, 0], 24, 7).unwrap();
+/// assert_eq!(map.domain_of([10, 1, 2, 9]), Some(7), "longest prefix wins");
+/// assert_eq!(map.domain_of([10, 1, 9, 9]), Some(3));
+/// assert_eq!(map.domain_of([192, 0, 2, 1]), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientMap {
+    prefixes: Vec<(u32, u8, usize)>, // (network, prefix length, domain)
+}
+
+impl ClientMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        ClientMap::default()
+    }
+
+    /// Registers `addr/len → domain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `len > 32`.
+    pub fn add_prefix(&mut self, addr: [u8; 4], len: u8, domain: usize) -> Result<(), String> {
+        if len > 32 {
+            return Err(format!("prefix length {len} exceeds 32"));
+        }
+        let network = u32::from_be_bytes(addr) & Self::mask(len);
+        self.prefixes.push((network, len, domain));
+        // Longest prefix first.
+        self.prefixes.sort_by(|a, b| b.1.cmp(&a.1));
+        Ok(())
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// The domain of a source address, if any prefix matches.
+    #[must_use]
+    pub fn domain_of(&self, addr: [u8; 4]) -> Option<usize> {
+        let ip = u32::from_be_bytes(addr);
+        self.prefixes
+            .iter()
+            .find(|(net, len, _)| ip & Self::mask(*len) == *net)
+            .map(|&(_, _, d)| d)
+    }
+
+    /// Number of registered prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+/// An authoritative DNS server for one Web-site name, answering `IN A`
+/// queries with the adaptive-TTL scheduler's `(server, TTL)` decision.
+///
+/// Byte-in/byte-out: the caller owns sockets (or a simulator owns time via
+/// the `now_s` argument).
+pub struct AuthoritativeServer {
+    site_name: Name,
+    zone: Name,
+    server_addrs: Vec<[u8; 4]>,
+    scheduler: DnsScheduler,
+    clients: ClientMap,
+    fallback_domain: usize,
+    backlogs: Vec<f64>,
+}
+
+impl AuthoritativeServer {
+    /// Creates the server.
+    ///
+    /// * `site_name` — the name being load-balanced (`www.example.org`).
+    /// * `zone` — the zone of authority (`example.org`); queries outside
+    ///   it are `REFUSED`, other names inside it get `NXDOMAIN`.
+    /// * `server_addrs` — the Web servers' A records, `S_1` first (must
+    ///   match the scheduler's capacity plan order).
+    /// * `fallback_domain` — the scheduling domain for sources no prefix
+    ///   matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the address count differs from the scheduler's
+    /// server count, or `site_name` is not inside `zone`.
+    pub fn new(
+        site_name: Name,
+        zone: Name,
+        server_addrs: Vec<[u8; 4]>,
+        scheduler: DnsScheduler,
+        clients: ClientMap,
+        fallback_domain: usize,
+    ) -> Result<Self, String> {
+        let n = scheduler.availability().len();
+        if server_addrs.len() != n {
+            return Err(format!(
+                "{} server addresses for a {n}-server scheduler",
+                server_addrs.len()
+            ));
+        }
+        let site_labels = site_name.labels();
+        let zone_labels = zone.labels();
+        if site_labels.len() < zone_labels.len()
+            || !site_labels[site_labels.len() - zone_labels.len()..]
+                .iter()
+                .zip(zone_labels)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        {
+            return Err(format!("site {site_name} is not inside zone {zone}"));
+        }
+        Ok(AuthoritativeServer {
+            site_name,
+            zone,
+            server_addrs,
+            clients,
+            fallback_domain,
+            backlogs: vec![0.0; n],
+            scheduler,
+        })
+    }
+
+    /// A small ready-made instance for examples and tests: 7 servers
+    /// (Table-2 H35 capacities) behind `www.example.org`, 4 client
+    /// domains on `10.{0..3}.0.0/16`, running `DRR2-TTL/S_K`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the configuration is valid by construction.
+    #[must_use]
+    pub fn example() -> Self {
+        let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H35, 500.0);
+        let weights = [40.0, 20.0, 10.0, 5.0];
+        let estimator = HiddenLoadEstimator::new(EstimatorKind::Oracle, &weights);
+        let scheduler = DnsScheduler::new(
+            Algorithm::drr2_ttl_s_k(),
+            &plan,
+            estimator,
+            0.25,
+            240.0,
+            true,
+            RngStreams::new(1998).stream("wire"),
+        );
+        let mut clients = ClientMap::new();
+        for d in 0..4u8 {
+            clients
+                .add_prefix([10, d, 0, 0], 16, usize::from(d))
+                .expect("valid prefix");
+        }
+        let server_addrs = (0..7).map(|i| [192, 0, 2, 10 + i as u8]).collect();
+        Self::new(
+            "www.example.org".parse().expect("valid name"),
+            "example.org".parse().expect("valid name"),
+            server_addrs,
+            scheduler,
+            clients,
+            3,
+        )
+        .expect("example configuration is valid")
+    }
+
+    /// The scheduler, e.g. to feed alarm signals or estimator collections.
+    pub fn scheduler_mut(&mut self) -> &mut DnsScheduler {
+        &mut self.scheduler
+    }
+
+    /// Updates the backlog snapshot used by backlog-aware policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the server count.
+    pub fn set_backlogs(&mut self, backlogs: &[f64]) {
+        assert_eq!(backlogs.len(), self.backlogs.len(), "backlog length mismatch");
+        self.backlogs.copy_from_slice(backlogs);
+    }
+
+    fn in_zone(&self, name: &Name) -> bool {
+        let n = name.labels();
+        let z = self.zone.labels();
+        n.len() >= z.len()
+            && n[n.len() - z.len()..]
+                .iter()
+                .zip(z)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Handles one query datagram from `src` at time `now_s` seconds,
+    /// returning the response datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] only when the datagram is too mangled to
+    /// extract a transaction id (otherwise malformed queries get a
+    /// `FORMERR`/`NOTIMP`/`REFUSED` response as appropriate).
+    pub fn handle(&mut self, query: &[u8], src: [u8; 4], now_s: f64) -> Result<Vec<u8>, WireError> {
+        let parsed = match Message::parse(query) {
+            Ok(m) => m,
+            Err(_) if query.len() >= 12 => {
+                // Readable header, unreadable body: answer FORMERR.
+                let id = u16::from_be_bytes([query[0], query[1]]);
+                let mut m = Message::query(id, crate::Question::a("invalid.invalid"));
+                m.questions.clear();
+                let mut resp = Message::response_to(&m, Rcode::FormErr);
+                resp.questions.clear();
+                return Ok(resp.to_bytes());
+            }
+            Err(e) => return Err(e),
+        };
+
+        if parsed.header.response {
+            return Err(WireError::Unsupported("got a response, not a query".into()));
+        }
+        if parsed.header.opcode != 0 {
+            return Ok(Message::response_to(&parsed, Rcode::NotImp).to_bytes());
+        }
+        if parsed.questions.len() != 1 {
+            return Ok(Message::response_to(&parsed, Rcode::FormErr).to_bytes());
+        }
+
+        let q = &parsed.questions[0];
+        if q.qclass != QClass::In {
+            return Ok(Message::response_to(&parsed, Rcode::Refused).to_bytes());
+        }
+        if !self.in_zone(&q.name) {
+            return Ok(Message::response_to(&parsed, Rcode::Refused).to_bytes());
+        }
+        if q.name != self.site_name {
+            return Ok(Message::response_to(&parsed, Rcode::NxDomain).to_bytes());
+        }
+        if q.qtype != QType::A {
+            // NODATA: the name exists, this type has no records.
+            return Ok(Message::response_to(&parsed, Rcode::NoError).to_bytes());
+        }
+
+        let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
+        let (server, ttl_s) = self.scheduler.resolve(
+            domain,
+            SimTime::from_secs(now_s.max(0.0)),
+            &self.backlogs,
+        );
+        let ttl = ttl_s.ceil().min(f64::from(u32::MAX)) as u32;
+
+        let mut resp = Message::response_to(&parsed, Rcode::NoError);
+        resp.answers.push(ResourceRecord::a(
+            q.name.clone(),
+            self.server_addrs[server],
+            ttl,
+        ));
+        Ok(resp.to_bytes())
+    }
+}
+
+impl std::fmt::Debug for AuthoritativeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthoritativeServer")
+            .field("site", &self.site_name.to_string())
+            .field("zone", &self.zone.to_string())
+            .field("servers", &self.server_addrs.len())
+            .field("prefixes", &self.clients.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Question;
+
+    fn ask(server: &mut AuthoritativeServer, name: &str, src: [u8; 4]) -> Message {
+        let q = Message::query(42, Question::a(name));
+        let bytes = server.handle(&q.to_bytes(), src, 0.0).unwrap();
+        Message::parse(&bytes).unwrap()
+    }
+
+    #[test]
+    fn answers_site_queries_with_a_record() {
+        let mut s = AuthoritativeServer::example();
+        let resp = ask(&mut s, "www.example.org", [10, 0, 0, 1]);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(resp.header.authoritative);
+        assert_eq!(resp.answers.len(), 1);
+        let addr = resp.answers[0].a_addr().unwrap();
+        assert_eq!(addr[..3], [192, 0, 2]);
+        assert!(resp.answers[0].ttl > 0);
+    }
+
+    #[test]
+    fn adaptive_ttl_differs_by_source_domain() {
+        let mut s = AuthoritativeServer::example();
+        // Domain 0 carries 8× domain 3's weight → much shorter TTLs.
+        // Collect a full RR cycle to smooth the per-server factor.
+        let avg = |s: &mut AuthoritativeServer, src: [u8; 4]| -> f64 {
+            (0..7)
+                .map(|_| f64::from(ask(s, "www.example.org", src).answers[0].ttl))
+                .sum::<f64>()
+                / 7.0
+        };
+        let hot = avg(&mut s, [10, 0, 0, 1]);
+        let cold = avg(&mut s, [10, 3, 0, 1]);
+        assert!(
+            cold / hot > 4.0,
+            "hot domain avg TTL {hot}, cold {cold} — expected ≈8× spread"
+        );
+    }
+
+    #[test]
+    fn unknown_name_in_zone_is_nxdomain() {
+        let mut s = AuthoritativeServer::example();
+        let resp = ask(&mut s, "ftp.example.org", [10, 0, 0, 1]);
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn out_of_zone_is_refused() {
+        let mut s = AuthoritativeServer::example();
+        let resp = ask(&mut s, "www.other.test", [10, 0, 0, 1]);
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn non_a_query_is_nodata() {
+        let mut s = AuthoritativeServer::example();
+        let mut q = Message::query(9, Question::a("www.example.org"));
+        q.questions[0].qtype = QType::Ns;
+        let resp = Message::parse(&s.handle(&q.to_bytes(), [10, 0, 0, 1], 0.0).unwrap()).unwrap();
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn unmapped_source_uses_fallback_domain() {
+        let mut s = AuthoritativeServer::example();
+        let resp = ask(&mut s, "www.example.org", [203, 0, 113, 7]);
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn garbage_with_readable_header_gets_formerr() {
+        let mut s = AuthoritativeServer::example();
+        let mut garbage = vec![0u8; 20];
+        garbage[0] = 0xAA;
+        garbage[1] = 0xBB;
+        garbage[5] = 1; // qdcount = 1 but body is zeros → parse still ok? zeros parse as root name + truncated
+        garbage.truncate(13);
+        let out = s.handle(&garbage, [10, 0, 0, 1], 0.0).unwrap();
+        let resp = Message::parse(&out).unwrap();
+        assert_eq!(resp.header.id, 0xAABB);
+        assert_eq!(resp.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn hopeless_garbage_is_an_error() {
+        let mut s = AuthoritativeServer::example();
+        assert!(s.handle(&[1, 2, 3], [10, 0, 0, 1], 0.0).is_err());
+    }
+
+    #[test]
+    fn alarm_feedback_steers_answers_away() {
+        use geodns_server::Signal;
+        let mut s = AuthoritativeServer::example();
+        // Alarm all but server 5.
+        for srv in [0usize, 1, 2, 3, 4, 6] {
+            s.scheduler_mut().signal(srv, Signal::Alarm);
+        }
+        for _ in 0..10 {
+            let resp = ask(&mut s, "www.example.org", [10, 1, 0, 1]);
+            assert_eq!(resp.answers[0].a_addr().unwrap()[3], 10 + 5);
+        }
+    }
+
+    #[test]
+    fn multi_question_queries_are_formerr() {
+        let mut s = AuthoritativeServer::example();
+        let mut q = Message::query(5, Question::a("www.example.org"));
+        q.questions.push(Question::a("www.example.org"));
+        let resp = Message::parse(&s.handle(&q.to_bytes(), [10, 0, 0, 1], 0.0).unwrap()).unwrap();
+        assert_eq!(resp.header.rcode, Rcode::FormErr);
+    }
+}

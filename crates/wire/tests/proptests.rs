@@ -1,0 +1,88 @@
+//! Property-based tests for the DNS wire codec.
+
+use geodns_wire::{Message, Name, QClass, QType, Question, Rcode, ResourceRecord};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9-]{1,12}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::from_labels(labels).expect("short labels always fit"))
+}
+
+fn arb_question() -> impl Strategy<Value = Question> {
+    (arb_name(), 0u16..300, prop_oneof![Just(1u16), 0u16..10]).prop_map(|(name, t, c)| Question {
+        name,
+        qtype: QType::from_code(t),
+        qclass: QClass::from_code(c),
+    })
+}
+
+fn arb_rr() -> impl Strategy<Value = ResourceRecord> {
+    (arb_name(), 0u16..300, 0u32..1_000_000, prop::collection::vec(any::<u8>(), 0..32)).prop_map(
+        |(name, t, ttl, rdata)| ResourceRecord {
+            name,
+            rtype: QType::from_code(t),
+            rclass: QClass::In,
+            ttl,
+            rdata,
+        },
+    )
+}
+
+proptest! {
+    /// Any message we can build encodes and parses back identically.
+    #[test]
+    fn message_round_trip(
+        id in any::<u16>(),
+        questions in prop::collection::vec(arb_question(), 0..3),
+        answers in prop::collection::vec(arb_rr(), 0..4),
+        authority in prop::collection::vec(arb_rr(), 0..2),
+        additional in prop::collection::vec(arb_rr(), 0..2),
+        rd in any::<bool>(),
+    ) {
+        let mut m = Message::query(id, Question::a("placeholder.test"));
+        m.questions = questions;
+        m.answers = answers;
+        m.authority = authority;
+        m.additional = additional;
+        m.header.recursion_desired = rd;
+        m.header.response = true;
+        m.header.rcode = Rcode::NoError;
+
+        let bytes = m.to_bytes();
+        let parsed = Message::parse(&bytes);
+        prop_assert_eq!(parsed.as_ref(), Ok(&m));
+    }
+
+    /// The parser never panics on arbitrary bytes (it may error).
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Message::parse(&bytes);
+    }
+
+    /// Re-encoding a successfully parsed arbitrary message parses again to
+    /// the same structure (idempotent normal form).
+    #[test]
+    fn reencode_is_stable(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(m) = Message::parse(&bytes) {
+            let re = m.to_bytes();
+            let again = Message::parse(&re);
+            prop_assert_eq!(again.as_ref(), Ok(&m));
+        }
+    }
+
+    /// Names survive the text ↔ struct ↔ wire journey.
+    #[test]
+    fn name_round_trip(name in arb_name()) {
+        let text = name.to_string();
+        let back: Name = text.parse().unwrap();
+        prop_assert_eq!(&back, &name);
+        // And through a question on the wire.
+        let m = Message::query(1, Question { name: name.clone(), qtype: QType::A, qclass: QClass::In });
+        let parsed = Message::parse(&m.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed.questions[0].name, &name);
+    }
+}

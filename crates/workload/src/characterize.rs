@@ -1,0 +1,117 @@
+//! Workload skew characterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of how skewed a per-domain load vector is — used to
+/// sanity-check generated workloads against the paper's motivating
+/// observation that "in average 75% of the client requests come from only
+/// 10% of the domains".
+///
+/// # Examples
+///
+/// ```
+/// use geodns_workload::{SkewSummary, WorkloadSpec};
+///
+/// let w = WorkloadSpec::paper_default().build().unwrap();
+/// let s = SkewSummary::from_rates(w.nominal_rates());
+/// assert!(s.top_share(0.10) > 0.25, "top 10% of domains dominate");
+/// assert!(s.gini > 0.3, "pure Zipf over 20 domains is quite unequal");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkewSummary {
+    /// Per-domain load shares, sorted descending, summing to 1.
+    pub sorted_shares: Vec<f64>,
+    /// Gini coefficient of the load vector (0 = equal, →1 = concentrated).
+    pub gini: f64,
+}
+
+impl SkewSummary {
+    /// Characterizes a per-domain rate (or count) vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or sums to zero.
+    #[must_use]
+    pub fn from_rates(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "need at least one domain");
+        let total: f64 = rates.iter().sum();
+        assert!(total > 0.0, "rates must not all be zero");
+        let mut shares: Vec<f64> = rates.iter().map(|r| r / total).collect();
+        shares.sort_by(|a, b| b.total_cmp(a));
+
+        // Gini via the sorted-share formula on the ascending ordering.
+        let n = shares.len() as f64;
+        let mut asc = shares.clone();
+        asc.reverse();
+        let weighted: f64 = asc
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as f64 + 1.0) * s)
+            .sum();
+        let gini = ((2.0 * weighted) / n - (n + 1.0) / n).max(0.0);
+
+        SkewSummary {
+            sorted_shares: shares,
+            gini,
+        }
+    }
+
+    /// The fraction of total load carried by the busiest `frac` of domains
+    /// (e.g. `top_share(0.10)` = share of the top 10%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `(0, 1]`.
+    #[must_use]
+    pub fn top_share(&self, frac: f64) -> f64 {
+        assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0,1], got {frac}");
+        let k = ((self.sorted_shares.len() as f64 * frac).ceil() as usize).max(1);
+        self.sorted_shares.iter().take(k).sum()
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.sorted_shares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_zero_gini() {
+        let s = SkewSummary::from_rates(&[1.0; 10]);
+        assert!(s.gini.abs() < 1e-12);
+        assert!((s.top_share(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_raises_gini() {
+        let flat = SkewSummary::from_rates(&[1.0; 10]);
+        let skewed = SkewSummary::from_rates(&[100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(skewed.gini > flat.gini);
+        assert!(skewed.top_share(0.1) > 0.9);
+    }
+
+    #[test]
+    fn shares_sorted_and_normalized() {
+        let s = SkewSummary::from_rates(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.num_domains(), 3);
+        assert!(s.sorted_shares.windows(2).all(|w| w[0] >= w[1]));
+        assert!((s.sorted_shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_share_of_everything_is_one() {
+        let s = SkewSummary::from_rates(&[5.0, 4.0, 3.0]);
+        assert!((s.top_share(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn empty_rejected() {
+        let _ = SkewSummary::from_rates(&[]);
+    }
+}

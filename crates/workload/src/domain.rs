@@ -1,0 +1,253 @@
+//! Partitioning the client population among domains.
+
+use geodns_simcore::dist::Zipf;
+use serde::{Deserialize, Serialize};
+
+use crate::DomainId;
+
+/// An assignment of a client population to `K` domains.
+///
+/// The paper assumes "clients are partitioned among the K domains on a pure
+/// Zipf's distribution basis": domain `i` (0-indexed) holds a share of
+/// clients proportional to `1/(i+1)`. Counts are integral, produced by the
+/// largest-remainder method so the total is conserved exactly.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_workload::ClientPartition;
+///
+/// let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
+/// assert_eq!(p.total_clients(), 500);
+/// assert_eq!(p.num_domains(), 20);
+/// assert!(p.count(0) > p.count(19), "rank 0 is the most populous");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientPartition {
+    counts: Vec<usize>,
+}
+
+impl ClientPartition {
+    /// Partitions `n_clients` among `n_domains` proportionally to a Zipf law
+    /// with the given exponent (exponent 0 = uniform).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either count is zero, there are fewer clients
+    /// than domains, or the exponent is invalid.
+    pub fn zipf(n_clients: usize, n_domains: usize, exponent: f64) -> Result<Self, String> {
+        if n_clients == 0 || n_domains == 0 {
+            return Err("need at least one client and one domain".into());
+        }
+        if n_clients < n_domains {
+            return Err(format!("{n_clients} clients cannot populate {n_domains} domains"));
+        }
+        let z = Zipf::new(n_domains, exponent).map_err(|e| e.to_string())?;
+        let shares: Vec<f64> = (0..n_domains).map(|i| z.prob(i)).collect();
+        Ok(Self::largest_remainder(n_clients, &shares))
+    }
+
+    /// Partitions `n_clients` equally (the paper's "ideal" envelope
+    /// workload).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClientPartition::zipf`].
+    pub fn uniform(n_clients: usize, n_domains: usize) -> Result<Self, String> {
+        Self::zipf(n_clients, n_domains, 0.0)
+    }
+
+    /// Builds a partition from explicit per-domain counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `counts` is empty or all zero.
+    pub fn explicit(counts: Vec<usize>) -> Result<Self, String> {
+        if counts.is_empty() {
+            return Err("explicit partition needs at least one domain".into());
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err("explicit partition must hold at least one client".into());
+        }
+        Ok(ClientPartition { counts })
+    }
+
+    /// Apportions `total` units over fractional `shares` with the
+    /// largest-remainder (Hamilton) method, guaranteeing every domain at
+    /// least one client when `total >= shares.len()`.
+    fn largest_remainder(total: usize, shares: &[f64]) -> Self {
+        let n = shares.len();
+        let sum: f64 = shares.iter().sum();
+        let ideal: Vec<f64> = shares.iter().map(|s| s / sum * total as f64).collect();
+        let mut counts: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+
+        // Guarantee one client per domain before distributing remainders:
+        // a domain with zero clients would be unobservable to the DNS.
+        for c in counts.iter_mut() {
+            if *c == 0 {
+                *c = 1;
+            }
+        }
+        let assigned: usize = counts.iter().sum();
+        if assigned < total {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let ra = ideal[a] - ideal[a].floor();
+                let rb = ideal[b] - ideal[b].floor();
+                rb.total_cmp(&ra)
+            });
+            let mut left = total - assigned;
+            let mut i = 0;
+            while left > 0 {
+                counts[order[i % n]] += 1;
+                left -= 1;
+                i += 1;
+            }
+        } else if assigned > total {
+            // The one-per-domain floor overdrew; take back from the largest.
+            let mut excess = assigned - total;
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
+            let mut i = 0;
+            while excess > 0 {
+                let d = order[i % n];
+                if counts[d] > 1 {
+                    counts[d] -= 1;
+                    excess -= 1;
+                }
+                i += 1;
+            }
+        }
+        ClientPartition { counts }
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Clients in domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn count(&self, d: usize) -> usize {
+        self.counts[d]
+    }
+
+    /// Per-domain client counts.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total clients across all domains.
+    #[must_use]
+    pub fn total_clients(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The domain of client `c` under the canonical enumeration (domain 0's
+    /// clients first, then domain 1's, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn domain_of(&self, c: usize) -> DomainId {
+        let mut remaining = c;
+        for (d, &n) in self.counts.iter().enumerate() {
+            if remaining < n {
+                return DomainId(d);
+            }
+            remaining -= n;
+        }
+        panic!("client index {c} out of range ({} clients)", self.total_clients());
+    }
+
+    /// The relative population share of each domain (sums to 1).
+    #[must_use]
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total_clients() as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserves_total() {
+        for k in [1, 5, 10, 20, 50, 100] {
+            let p = ClientPartition::zipf(500, k, 1.0).unwrap();
+            assert_eq!(p.total_clients(), 500, "K = {k}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone() {
+        let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
+        for d in 1..20 {
+            assert!(p.count(d) <= p.count(d - 1), "domain {d}");
+        }
+    }
+
+    #[test]
+    fn every_domain_populated() {
+        let p = ClientPartition::zipf(100, 100, 1.0).unwrap();
+        assert!(p.counts().iter().all(|&c| c >= 1));
+        assert_eq!(p.total_clients(), 100);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let p = ClientPartition::uniform(500, 20).unwrap();
+        for d in 0..20 {
+            assert_eq!(p.count(d), 25);
+        }
+    }
+
+    #[test]
+    fn paper_default_partition_shape() {
+        // K=20, 500 clients, pure Zipf: domain 0 share = 1/H_20 ≈ 27.8%.
+        let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
+        let h20: f64 = (1..=20).map(|i| 1.0 / f64::from(i)).sum();
+        let expect = 500.0 / h20;
+        assert!((p.count(0) as f64 - expect).abs() <= 1.0, "domain 0 has {} clients, expected ≈{expect:.1}", p.count(0));
+    }
+
+    #[test]
+    fn domain_of_walks_the_enumeration() {
+        let p = ClientPartition::explicit(vec![2, 3, 1]).unwrap();
+        assert_eq!(p.domain_of(0), DomainId(0));
+        assert_eq!(p.domain_of(1), DomainId(0));
+        assert_eq!(p.domain_of(2), DomainId(1));
+        assert_eq!(p.domain_of(4), DomainId(1));
+        assert_eq!(p.domain_of(5), DomainId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn domain_of_rejects_overflow() {
+        let p = ClientPartition::explicit(vec![1]).unwrap();
+        let _ = p.domain_of(1);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
+        assert!((p.shares().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(ClientPartition::zipf(0, 5, 1.0).is_err());
+        assert!(ClientPartition::zipf(5, 0, 1.0).is_err());
+        assert!(ClientPartition::zipf(3, 5, 1.0).is_err());
+        assert!(ClientPartition::explicit(vec![]).is_err());
+        assert!(ClientPartition::explicit(vec![0, 0]).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Identifier newtypes shared by the workload-facing crates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a client domain (a campus/ISP network behind one local
+/// name server), `0` being the most popular domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainId(pub usize);
+
+impl DomainId {
+    /// The domain's rank index (0 = most popular under Zipf ordering).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Identifier of one simulated client (browser + its host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClientId(pub usize);
+
+impl ClientId {
+    /// The client's index within the population.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(DomainId(3).to_string(), "dom3");
+        assert_eq!(DomainId(3).index(), 3);
+        assert_eq!(ClientId(7).to_string(), "client7");
+        assert_eq!(ClientId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(DomainId(1) < DomainId(2));
+        let set: HashSet<ClientId> = [ClientId(1), ClientId(1), ClientId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

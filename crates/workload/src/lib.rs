@@ -1,0 +1,39 @@
+//! Web workload model for the `geodns` simulation.
+//!
+//! Reproduces the client model of the paper's §4.1:
+//!
+//! * a fixed population of clients (default 500) partitioned among `K`
+//!   connected domains by a **pure Zipf law** — the paper's stand-in for the
+//!   observed "75% of requests come from 10% of domains" skew;
+//! * each client runs an endless loop of **sessions**: one address
+//!   resolution, then a geometrically distributed number of page requests
+//!   (mean 20), each page being a burst of `U{5..15}` hits, with exponential
+//!   think time (mean 15 s) between pages;
+//! * a **perturbation model** for the robustness experiments (Figures 6–7):
+//!   the busiest domain's request rate is inflated by an error factor and the
+//!   other domains are deflated proportionally, while schedulers keep using
+//!   the unperturbed estimates.
+//!
+//! The crate is purely descriptive — it owns no simulation clock. The
+//! simulation world in `geodns-core` samples from the model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod domain;
+mod ids;
+mod perturb;
+mod profile;
+mod session;
+mod spec;
+mod trace;
+
+pub use characterize::SkewSummary;
+pub use domain::ClientPartition;
+pub use ids::{ClientId, DomainId};
+pub use perturb::perturbation_multipliers;
+pub use profile::RateProfile;
+pub use session::SessionModel;
+pub use spec::{ClientDistribution, Workload, WorkloadSpec};
+pub use trace::{Trace, TraceSession};

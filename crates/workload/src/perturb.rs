@@ -1,0 +1,128 @@
+//! Request-rate perturbation for the estimation-error experiments.
+
+/// Computes per-domain request-rate multipliers realizing the paper's
+/// worst-case estimation error (Figures 6–7):
+///
+/// > "For the case of a e% error, the request rate of the busiest domain is
+/// > increased by e% and the request rates of the other domains are
+/// > proportionally decreased to maintain the same total request rate."
+///
+/// `shares` are the nominal per-domain load shares (client population
+/// shares); `error` is the fractional error, e.g. `0.30` for 30%. Returns a
+/// multiplier `m_j` per domain such that the *actual* rate of domain `j`
+/// becomes `m_j ×` nominal, with `Σ share_j · m_j = 1` (total conserved).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_workload::perturbation_multipliers;
+///
+/// let shares = [0.5, 0.3, 0.2];
+/// let m = perturbation_multipliers(&shares, 0.2).unwrap();
+/// assert!((m[0] - 1.2).abs() < 1e-12, "busiest inflated by 20%");
+/// let total: f64 = shares.iter().zip(&m).map(|(s, m)| s * m).sum();
+/// assert!((total - 1.0).abs() < 1e-12, "total rate conserved");
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if `shares` is empty, contains non-positive entries,
+/// `error` is negative/non-finite, or the error is so large the remaining
+/// domains would need negative rates.
+pub fn perturbation_multipliers(shares: &[f64], error: f64) -> Result<Vec<f64>, String> {
+    if shares.is_empty() {
+        return Err("need at least one domain share".into());
+    }
+    if shares.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+        return Err("shares must be finite and positive".into());
+    }
+    if !error.is_finite() || error < 0.0 {
+        return Err(format!("error must be finite and >= 0, got {error}"));
+    }
+    let total: f64 = shares.iter().sum();
+    let busiest = shares
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    if shares.len() == 1 {
+        // A single domain cannot be skewed while conserving the total.
+        return Ok(vec![1.0]);
+    }
+
+    let s1 = shares[busiest] / total;
+    let rest = 1.0 - s1;
+    let taken = s1 * error;
+    if taken >= rest {
+        return Err(format!(
+            "error {error} would drive the non-busiest domains below zero (busiest share {s1:.3})"
+        ));
+    }
+    let shrink = 1.0 - taken / rest;
+    Ok(shares
+        .iter()
+        .enumerate()
+        .map(|(j, _)| if j == busiest { 1.0 + error } else { shrink })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_is_identity() {
+        let m = perturbation_multipliers(&[0.6, 0.4], 0.0).unwrap();
+        assert_eq!(m, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn conserves_total_rate() {
+        let shares = [0.4, 0.25, 0.2, 0.1, 0.05];
+        for e in [0.1, 0.3, 0.5, 1.0] {
+            let m = perturbation_multipliers(&shares, e).unwrap();
+            let total: f64 = shares.iter().zip(&m).map(|(s, m)| s * m).sum();
+            assert!((total - 1.0).abs() < 1e-12, "error {e}: total {total}");
+        }
+    }
+
+    #[test]
+    fn increases_skew() {
+        let shares = [0.4, 0.3, 0.3];
+        let m = perturbation_multipliers(&shares, 0.25).unwrap();
+        assert!(m[0] > 1.0);
+        assert!(m[1] < 1.0 && m[2] < 1.0);
+        assert_eq!(m[1], m[2], "non-busiest shrink proportionally");
+    }
+
+    #[test]
+    fn unnormalized_shares_accepted() {
+        let counts = [139.0, 70.0, 46.0];
+        let m = perturbation_multipliers(&counts, 0.2).unwrap();
+        assert!((m[0] - 1.2).abs() < 1e-12);
+        let before: f64 = counts.iter().sum();
+        let after: f64 = counts.iter().zip(&m).map(|(c, m)| c * m).sum();
+        assert!((after - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_domain_is_noop() {
+        assert_eq!(perturbation_multipliers(&[1.0], 0.5).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_impossible_errors() {
+        // Busiest holds 90%: a 20% inflation needs 0.18 from the other 0.10.
+        assert!(perturbation_multipliers(&[0.9, 0.1], 0.2).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(perturbation_multipliers(&[], 0.1).is_err());
+        assert!(perturbation_multipliers(&[0.0, 1.0], 0.1).is_err());
+        assert!(perturbation_multipliers(&[0.5, 0.5], -0.1).is_err());
+        assert!(perturbation_multipliers(&[0.5, 0.5], f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Time-varying request-rate profiles.
+//!
+//! The paper's robustness discussion (§5.2) worries about "a more dynamic
+//! environment where client request rates from the domains may change
+//! constantly". The static perturbation of Figures 6–7 freezes one bad
+//! moment; these profiles let the simulation play the whole movie — a
+//! diurnal swell, a flash crowd arriving and leaving — so the measured
+//! estimator's tracking ability can be exercised end to end.
+
+use serde::{Deserialize, Serialize};
+
+/// A time-varying multiplier on a domain's request rate.
+///
+/// Multipliers compose multiplicatively with the static perturbation of
+/// [`WorkloadSpec::rate_error`](crate::WorkloadSpec::rate_error).
+///
+/// # Examples
+///
+/// ```
+/// use geodns_workload::RateProfile;
+///
+/// let flash = RateProfile::FlashCrowd { domain: 0, start_s: 100.0, duration_s: 50.0, factor: 3.0 };
+/// assert_eq!(flash.multiplier(0, 99.0), 1.0);
+/// assert_eq!(flash.multiplier(0, 120.0), 3.0);
+/// assert_eq!(flash.multiplier(0, 151.0), 1.0);
+/// assert_eq!(flash.multiplier(1, 120.0), 1.0, "other domains unaffected");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// No variation (the paper's stationary default).
+    Constant,
+    /// A sinusoidal swell shared by every domain:
+    /// `1 + amplitude · sin(2π · t / period_s)`. Models the diurnal cycle
+    /// of a geographically concentrated audience.
+    Diurnal {
+        /// Peak deviation from the mean rate, in `(0, 1)`.
+        amplitude: f64,
+        /// Period of the cycle, seconds.
+        period_s: f64,
+    },
+    /// One domain's rate jumps by `factor` during `[start_s, start_s +
+    /// duration_s)` — a breaking-news pile-on.
+    FlashCrowd {
+        /// The affected domain.
+        domain: usize,
+        /// When the crowd arrives (simulation seconds).
+        start_s: f64,
+        /// How long it stays.
+        duration_s: f64,
+        /// Rate multiplier while present (≥ 0; 0 silences the domain).
+        factor: f64,
+    },
+    /// A permanent step change in one domain's rate at `at_s` — a new
+    /// audience that stays.
+    Step {
+        /// The affected domain.
+        domain: usize,
+        /// When the step happens.
+        at_s: f64,
+        /// Rate multiplier after the step.
+        factor: f64,
+    },
+}
+
+impl RateProfile {
+    /// The multiplier for `domain` at simulation time `t_s` seconds.
+    #[must_use]
+    pub fn multiplier(&self, domain: usize, t_s: f64) -> f64 {
+        match *self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal { amplitude, period_s } => {
+                1.0 + amplitude * (2.0 * std::f64::consts::PI * t_s / period_s).sin()
+            }
+            RateProfile::FlashCrowd { domain: d, start_s, duration_s, factor } => {
+                if domain == d && t_s >= start_s && t_s < start_s + duration_s {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            RateProfile::Step { domain: d, at_s, factor } => {
+                if domain == d && t_s >= at_s {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range amplitudes, non-positive periods
+    /// or durations, or negative factors.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            RateProfile::Constant => Ok(()),
+            RateProfile::Diurnal { amplitude, period_s } => {
+                if !(amplitude > 0.0 && amplitude < 1.0) {
+                    return Err(format!("diurnal amplitude must be in (0,1), got {amplitude}"));
+                }
+                if !(period_s.is_finite() && period_s > 0.0) {
+                    return Err(format!("diurnal period must be > 0, got {period_s}"));
+                }
+                Ok(())
+            }
+            RateProfile::FlashCrowd { start_s, duration_s, factor, .. } => {
+                if start_s < 0.0 || !start_s.is_finite() {
+                    return Err(format!("flash-crowd start must be >= 0, got {start_s}"));
+                }
+                if !(duration_s.is_finite() && duration_s > 0.0) {
+                    return Err(format!("flash-crowd duration must be > 0, got {duration_s}"));
+                }
+                if !(factor.is_finite() && factor >= 0.0) {
+                    return Err(format!("flash-crowd factor must be >= 0, got {factor}"));
+                }
+                Ok(())
+            }
+            RateProfile::Step { at_s, factor, .. } => {
+                if at_s < 0.0 || !at_s.is_finite() {
+                    return Err(format!("step time must be >= 0, got {at_s}"));
+                }
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(format!("step factor must be > 0, got {factor}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether this profile ever deviates from 1.0.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        matches!(self, RateProfile::Constant)
+    }
+}
+
+impl Default for RateProfile {
+    fn default() -> Self {
+        RateProfile::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        let p = RateProfile::Constant;
+        for t in [0.0, 1e3, 1e6] {
+            assert_eq!(p.multiplier(0, t), 1.0);
+            assert_eq!(p.multiplier(19, t), 1.0);
+        }
+        assert!(p.is_constant());
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_one() {
+        let p = RateProfile::Diurnal { amplitude: 0.5, period_s: 100.0 };
+        assert!((p.multiplier(0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((p.multiplier(0, 25.0) - 1.5).abs() < 1e-12, "peak at quarter period");
+        assert!((p.multiplier(3, 75.0) - 0.5).abs() < 1e-12, "trough at three quarters");
+        // Mean over a full period is 1.
+        let n = 1000;
+        let mean: f64 = (0..n).map(|i| p.multiplier(0, 100.0 * i as f64 / n as f64)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flash_crowd_windows_correctly() {
+        let p = RateProfile::FlashCrowd { domain: 2, start_s: 10.0, duration_s: 5.0, factor: 4.0 };
+        assert_eq!(p.multiplier(2, 9.999), 1.0);
+        assert_eq!(p.multiplier(2, 10.0), 4.0);
+        assert_eq!(p.multiplier(2, 14.999), 4.0);
+        assert_eq!(p.multiplier(2, 15.0), 1.0);
+        assert_eq!(p.multiplier(0, 12.0), 1.0);
+        assert!(!p.is_constant());
+    }
+
+    #[test]
+    fn step_is_permanent() {
+        let p = RateProfile::Step { domain: 1, at_s: 50.0, factor: 0.25 };
+        assert_eq!(p.multiplier(1, 49.0), 1.0);
+        assert_eq!(p.multiplier(1, 50.0), 0.25);
+        assert_eq!(p.multiplier(1, 1e9), 0.25);
+        assert_eq!(p.multiplier(0, 1e9), 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RateProfile::Constant.validate().is_ok());
+        assert!(RateProfile::Diurnal { amplitude: 0.3, period_s: 3600.0 }.validate().is_ok());
+        assert!(RateProfile::Diurnal { amplitude: 1.5, period_s: 3600.0 }.validate().is_err());
+        assert!(RateProfile::Diurnal { amplitude: 0.3, period_s: 0.0 }.validate().is_err());
+        assert!(RateProfile::FlashCrowd { domain: 0, start_s: -1.0, duration_s: 5.0, factor: 2.0 }
+            .validate()
+            .is_err());
+        assert!(RateProfile::FlashCrowd { domain: 0, start_s: 0.0, duration_s: 0.0, factor: 2.0 }
+            .validate()
+            .is_err());
+        assert!(RateProfile::Step { domain: 0, at_s: 0.0, factor: 0.0 }.validate().is_err());
+    }
+}

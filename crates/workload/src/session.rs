@@ -1,0 +1,185 @@
+//! The client session model (paper §4.1).
+
+use geodns_simcore::dist::{DiscreteUniform, Distribution, Exponential, Geometric};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samplers for the three session-level random quantities of the paper's
+/// client model: pages per session, hits per page, and think time between
+/// pages.
+///
+/// Defaults are the paper's: mean 20 pages/session, `U{5..15}` hits/page,
+/// exponential think time with mean 15 s.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_workload::SessionModel;
+/// use geodns_simcore::RngStreams;
+///
+/// let m = SessionModel::paper_default();
+/// let mut rng = RngStreams::new(1).stream("session");
+/// assert!(m.sample_pages(&mut rng) >= 1);
+/// assert!((5..=15).contains(&m.sample_hits(&mut rng)));
+/// assert!(m.sample_think(&mut rng) >= 0.0);
+/// assert!((m.mean_hit_rate_per_client() - 10.0 / 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionModel {
+    /// Mean number of page requests per session (geometric, min 1).
+    pub pages_mean: f64,
+    /// Minimum hits per page (inclusive).
+    pub hits_lo: u64,
+    /// Maximum hits per page (inclusive).
+    pub hits_hi: u64,
+    /// Mean think time between page requests, seconds (exponential).
+    pub think_mean_s: f64,
+}
+
+impl SessionModel {
+    /// The paper's default session parameters.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SessionModel {
+            pages_mean: 20.0,
+            hits_lo: 5,
+            hits_hi: 15,
+            think_mean_s: 15.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any parameter is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.pages_mean.is_finite() && self.pages_mean >= 1.0) {
+            return Err(format!("pages_mean must be >= 1, got {}", self.pages_mean));
+        }
+        if self.hits_lo == 0 || self.hits_lo > self.hits_hi {
+            return Err(format!("hits range must satisfy 1 <= lo <= hi, got {}..={}", self.hits_lo, self.hits_hi));
+        }
+        if !(self.think_mean_s.is_finite() && self.think_mean_s > 0.0) {
+            return Err(format!("think_mean_s must be > 0, got {}", self.think_mean_s));
+        }
+        Ok(())
+    }
+
+    /// Draws the number of page requests for a new session.
+    pub fn sample_pages<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        Geometric::with_mean(self.pages_mean)
+            .expect("validated pages_mean")
+            .sample(rng)
+    }
+
+    /// Draws the number of hits (HTML page + embedded objects) for a page.
+    pub fn sample_hits<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        DiscreteUniform::new(self.hits_lo, self.hits_hi)
+            .expect("validated hits range")
+            .sample(rng)
+    }
+
+    /// Draws one think time, in seconds.
+    pub fn sample_think<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Exponential::with_mean(self.think_mean_s).sample(rng)
+    }
+
+    /// Draws a think time whose mean is scaled by `rate_multiplier` (used by
+    /// the perturbation model: a domain sped up by 1.3× thinks 1/1.3 as
+    /// long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_multiplier` is not finite and positive.
+    pub fn sample_think_scaled<R: Rng + ?Sized>(&self, rng: &mut R, rate_multiplier: f64) -> f64 {
+        assert!(
+            rate_multiplier.is_finite() && rate_multiplier > 0.0,
+            "rate multiplier must be positive, got {rate_multiplier}"
+        );
+        Exponential::with_mean(self.think_mean_s / rate_multiplier).sample(rng)
+    }
+
+    /// Mean hits per page.
+    #[must_use]
+    pub fn mean_hits_per_page(&self) -> f64 {
+        0.5 * (self.hits_lo as f64 + self.hits_hi as f64)
+    }
+
+    /// The long-run hit rate one client offers in the closed loop, ignoring
+    /// response times: one page burst per think period.
+    #[must_use]
+    pub fn mean_hit_rate_per_client(&self) -> f64 {
+        self.mean_hits_per_page() / self.think_mean_s
+    }
+}
+
+impl Default for SessionModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn paper_default_offers_two_thirds_of_500() {
+        // 500 clients at the default session model offer ≈333 hits/s, i.e.
+        // 2/3 of the paper's 500 hits/s site capacity.
+        let m = SessionModel::paper_default();
+        let offered = 500.0 * m.mean_hit_rate_per_client();
+        assert!((offered - 333.33).abs() < 0.5, "offered = {offered}");
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        let m = SessionModel::paper_default();
+        let mut rng = RngStreams::new(2).stream("sm");
+        for _ in 0..5000 {
+            assert!(m.sample_pages(&mut rng) >= 1);
+            let h = m.sample_hits(&mut rng);
+            assert!((5..=15).contains(&h));
+            assert!(m.sample_think(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_pages_matches() {
+        let m = SessionModel::paper_default();
+        let mut rng = RngStreams::new(3).stream("pg");
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| m.sample_pages(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 20.0).abs() / 20.0 < 0.02, "mean pages {mean}");
+    }
+
+    #[test]
+    fn scaled_think_changes_rate() {
+        let m = SessionModel::paper_default();
+        let mut rng = RngStreams::new(4).stream("sc");
+        let n = 50_000;
+        let fast: f64 = (0..n).map(|_| m.sample_think_scaled(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((fast - 7.5).abs() < 0.2, "2x rate halves the mean think, got {fast}");
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut m = SessionModel::paper_default();
+        m.pages_mean = 0.5;
+        assert!(m.validate().is_err());
+        let mut m = SessionModel::paper_default();
+        m.hits_lo = 0;
+        assert!(m.validate().is_err());
+        let mut m = SessionModel::paper_default();
+        m.hits_lo = 10;
+        m.hits_hi = 5;
+        assert!(m.validate().is_err());
+        let mut m = SessionModel::paper_default();
+        m.think_mean_s = 0.0;
+        assert!(m.validate().is_err());
+        assert!(SessionModel::paper_default().validate().is_ok());
+    }
+}

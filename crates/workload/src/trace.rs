@@ -1,0 +1,318 @@
+//! Session-trace recording and replay.
+//!
+//! A *trace* is the fully materialized randomness of a workload: for every
+//! session, which client started it, when, how many pages it fetched, how
+//! many hits each page carried, and the think times between pages. Freezing
+//! a trace lets two scheduling algorithms be compared on the *identical*
+//! request stream — stronger than common random numbers — and lets
+//! measured or synthetic traces from outside the generator drive the
+//! model. Traces serialize to a simple line-oriented text format, one
+//! session per line:
+//!
+//! ```text
+//! client start_s hits1,hits2,… think1,think2,…
+//! ```
+
+use geodns_simcore::{RngStreams, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::Workload;
+
+/// One recorded session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSession {
+    /// The client that ran the session.
+    pub client: usize,
+    /// Session start, seconds.
+    pub start_s: f64,
+    /// Hits per page, one entry per page (length = page count).
+    pub hits: Vec<u64>,
+    /// Think time after each page, seconds (same length as `hits`).
+    pub thinks: Vec<f64>,
+}
+
+impl TraceSession {
+    /// Total hits of the session.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when lengths mismatch or values are out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hits.is_empty() {
+            return Err("session must fetch at least one page".into());
+        }
+        if self.hits.len() != self.thinks.len() {
+            return Err(format!(
+                "{} pages but {} think times",
+                self.hits.len(),
+                self.thinks.len()
+            ));
+        }
+        if self.hits.iter().any(|&h| h == 0) {
+            return Err("every page carries at least one hit".into());
+        }
+        if !(self.start_s.is_finite() && self.start_s >= 0.0) {
+            return Err(format!("bad start time {}", self.start_s));
+        }
+        if self.thinks.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err("think times must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// A recorded workload trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// The sessions, in non-decreasing start order.
+    pub sessions: Vec<TraceSession>,
+}
+
+impl Trace {
+    /// Generates a trace from a workload over `[0, horizon_s)`: each
+    /// client's sessions are laid out back-to-back exactly as the live
+    /// generator would (zero service time assumed — replaying through the
+    /// simulator reintroduces queueing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive.
+    #[must_use]
+    pub fn generate(workload: &Workload, horizon_s: f64, seed: u64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let streams = RngStreams::new(seed);
+        let session = workload.session();
+        let mut sessions = Vec::new();
+
+        for client in 0..workload.num_clients() {
+            let mut rng = streams.stream_indexed("trace-client", client as u64);
+            let mut t = 0.0;
+            while t < horizon_s {
+                let pages = session.sample_pages(&mut rng) as usize;
+                let mut hits = Vec::with_capacity(pages);
+                let mut thinks = Vec::with_capacity(pages);
+                let mut span = 0.0;
+                for _ in 0..pages {
+                    hits.push(session.sample_hits(&mut rng));
+                    let mult = workload.client_rate_multiplier_at(client, t + span);
+                    let think = session.sample_think_scaled(&mut rng, mult);
+                    thinks.push(think);
+                    span += think;
+                }
+                sessions.push(TraceSession { client, start_s: t, hits, thinks });
+                t += span;
+                if span <= 0.0 {
+                    break; // degenerate: avoid an infinite loop
+                }
+            }
+        }
+        sessions.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        Trace { sessions }
+    }
+
+    /// Number of sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total hits across all sessions.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.sessions.iter().map(TraceSession::total_hits).sum()
+    }
+
+    /// The time of the last session start, or zero when empty.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_secs(
+            self.sessions
+                .last()
+                .map(|s| s.start_s)
+                .unwrap_or(0.0),
+        )
+    }
+
+    /// Validates every session and the global start ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.sessions.iter().enumerate() {
+            s.validate().map_err(|e| format!("session {i}: {e}"))?;
+        }
+        if self
+            .sessions
+            .windows(2)
+            .any(|w| w[1].start_s < w[0].start_s)
+        {
+            return Err("sessions must be sorted by start time".into());
+        }
+        Ok(())
+    }
+
+    /// Serializes to the line format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sessions {
+            let hits = s.hits.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            let thinks = s
+                .thinks
+                .iter()
+                .map(|t| format!("{t:.6}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!("{} {:.6} {} {}\n", s.client, s.start_s, hits, thinks));
+        }
+        out
+    }
+
+    /// Parses the line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut sessions = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}", lineno + 1);
+            let client: usize = parts
+                .next()
+                .ok_or_else(|| err("missing client"))?
+                .parse()
+                .map_err(|_| err("bad client"))?;
+            let start_s: f64 = parts
+                .next()
+                .ok_or_else(|| err("missing start"))?
+                .parse()
+                .map_err(|_| err("bad start"))?;
+            let hits: Vec<u64> = parts
+                .next()
+                .ok_or_else(|| err("missing hits"))?
+                .split(',')
+                .map(|h| h.parse().map_err(|_| err("bad hit count")))
+                .collect::<Result<_, _>>()?;
+            let thinks: Vec<f64> = parts
+                .next()
+                .ok_or_else(|| err("missing thinks"))?
+                .split(',')
+                .map(|t| t.parse().map_err(|_| err("bad think time")))
+                .collect::<Result<_, _>>()?;
+            let session = TraceSession { client, start_s, hits, thinks };
+            session.validate().map_err(|e| err(&e))?;
+            sessions.push(session);
+        }
+        let trace = Trace { sessions };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    fn small_workload() -> Workload {
+        let mut spec = WorkloadSpec::paper_default();
+        spec.n_clients = 20;
+        spec.n_domains = 4;
+        spec.build().unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = small_workload();
+        let a = Trace::generate(&w, 600.0, 7);
+        let b = Trace::generate(&w, 600.0, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = small_workload();
+        let a = Trace::generate(&w, 600.0, 7);
+        let b = Trace::generate(&w, 600.0, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_client_appears() {
+        let w = small_workload();
+        let trace = Trace::generate(&w, 600.0, 1);
+        let mut seen = vec![false; w.num_clients()];
+        for s in &trace.sessions {
+            seen[s.client] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "600 s is ≥ one session per client");
+    }
+
+    #[test]
+    fn hit_volume_matches_offered_load() {
+        let w = small_workload();
+        let horizon = 3000.0;
+        let trace = Trace::generate(&w, horizon, 3);
+        // 20 clients × 10 hits / 15 s ≈ 13.3 hits/s over the horizon.
+        // Sessions that *start* before the horizon may extend past it, so
+        // the trace overshoots slightly; accept a generous band.
+        let rate = trace.total_hits() as f64 / horizon;
+        assert!((10.0..20.0).contains(&rate), "hit rate {rate}");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let w = small_workload();
+        let trace = Trace::generate(&w, 300.0, 5);
+        let text = trace.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.sessions.iter().zip(&back.sessions) {
+            assert_eq!(a.client, b.client);
+            assert_eq!(a.hits, b.hits);
+            assert!((a.start_s - b.start_s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn text_format_tolerates_comments_and_blanks() {
+        let text = "# a comment\n\n0 0.0 5,6 1.0,2.0\n";
+        let trace = Trace::from_text(text).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.sessions[0].total_hits(), 11);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Trace::from_text("0 0.0 5,6").is_err(), "missing thinks");
+        assert!(Trace::from_text("x 0.0 5 1.0").is_err(), "bad client");
+        assert!(Trace::from_text("0 0.0 5,0 1.0,1.0").is_err(), "zero-hit page");
+        assert!(Trace::from_text("0 0.0 5 1.0,2.0").is_err(), "length mismatch");
+    }
+
+    #[test]
+    fn unsorted_traces_rejected() {
+        let text = "0 10.0 5 1.0\n0 5.0 5 1.0\n";
+        assert!(Trace::from_text(text).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the workload model.
+
+use geodns_workload::{perturbation_multipliers, ClientPartition, SessionModel, WorkloadSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Zipf partitioning conserves the client population exactly and
+    /// populates every domain.
+    #[test]
+    fn partition_conserves_clients(
+        n_clients in 1usize..2000,
+        n_domains in 1usize..150,
+        exponent in 0.0f64..2.5,
+    ) {
+        prop_assume!(n_clients >= n_domains);
+        let p = ClientPartition::zipf(n_clients, n_domains, exponent).unwrap();
+        prop_assert_eq!(p.total_clients(), n_clients);
+        prop_assert!(p.counts().iter().all(|&c| c >= 1));
+    }
+
+    /// Positive-exponent Zipf partitions are non-increasing in rank.
+    #[test]
+    fn partition_counts_monotone(n_domains in 1usize..100, exponent in 0.5f64..2.0) {
+        let p = ClientPartition::zipf(1000, n_domains, exponent).unwrap();
+        for d in 1..n_domains {
+            prop_assert!(p.count(d) <= p.count(d - 1) + 1, "rounding may wobble by one");
+        }
+    }
+
+    /// domain_of is the inverse of the partition enumeration.
+    #[test]
+    fn domain_of_consistent(n_domains in 1usize..50) {
+        let p = ClientPartition::zipf(500, n_domains, 1.0).unwrap();
+        let mut counts = vec![0usize; n_domains];
+        for c in 0..500 {
+            counts[p.domain_of(c).index()] += 1;
+        }
+        prop_assert_eq!(counts.as_slice(), p.counts());
+    }
+
+    /// Perturbation conserves the total rate for any feasible error.
+    #[test]
+    fn perturbation_conserves_total(
+        shares in prop::collection::vec(0.01f64..10.0, 2..40),
+        error in 0.0f64..0.9,
+    ) {
+        let total: f64 = shares.iter().sum();
+        let busiest = shares.iter().cloned().fold(f64::MIN, f64::max) / total;
+        prop_assume!(busiest * error < 1.0 - busiest);
+        let m = perturbation_multipliers(&shares, error).unwrap();
+        let after: f64 = shares.iter().zip(&m).map(|(s, m)| s * m).sum();
+        prop_assert!((after - total).abs() < 1e-6 * total);
+        prop_assert!(m.iter().all(|&x| x > 0.0));
+    }
+
+    /// Session samples stay within their declared supports.
+    #[test]
+    fn session_samples_in_support(
+        seed in 0u64..500,
+        pages_mean in 1.0f64..100.0,
+        think in 0.1f64..100.0,
+        lo in 1u64..20,
+        extra in 0u64..20,
+    ) {
+        let m = SessionModel {
+            pages_mean,
+            hits_lo: lo,
+            hits_hi: lo + extra,
+            think_mean_s: think,
+        };
+        prop_assert!(m.validate().is_ok());
+        let mut rng = geodns_simcore::RngStreams::new(seed).stream("wl");
+        for _ in 0..20 {
+            prop_assert!(m.sample_pages(&mut rng) >= 1);
+            let h = m.sample_hits(&mut rng);
+            prop_assert!((lo..=lo + extra).contains(&h));
+            prop_assert!(m.sample_think(&mut rng) >= 0.0);
+        }
+    }
+
+    /// Building a workload never panics for sane specs, and its nominal
+    /// rates sum to the analytic offered load.
+    #[test]
+    fn workload_rates_sum(n_domains in 1usize..60, error in 0.0f64..0.5) {
+        let mut spec = WorkloadSpec::paper_default();
+        spec.n_domains = n_domains;
+        spec.rate_error = error;
+        let w = match spec.build() {
+            Ok(w) => w,
+            // Very skewed shares can make the perturbation infeasible;
+            // that's a validated error, not a panic.
+            Err(_) => return Ok(()),
+        };
+        let expect = 500.0 * spec.session.mean_hit_rate_per_client();
+        let nominal: f64 = w.nominal_rates().iter().sum();
+        let actual: f64 = w.actual_rates().iter().sum();
+        prop_assert!((nominal - expect).abs() < 1e-6 * expect);
+        prop_assert!((actual - expect).abs() < 1e-6 * expect);
+    }
+}

@@ -1,0 +1,74 @@
+//! Capacity planning: how much total server capacity does each DNS
+//! scheduling algorithm need to keep overload risk below a target?
+//!
+//! The business case for a smarter scheduler is hardware money: this
+//! example sweeps the site's total capacity and reports, per algorithm,
+//! the smallest capacity at which `P(maxU < 0.98) ≥ 0.9` — i.e. at most
+//! 10% of 8-second windows see any server above 98% utilization.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use geodns_core::{format_table, run_all, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+const TARGET: f64 = 0.9;
+
+fn main() {
+    let algorithms = [Algorithm::rr(), Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s_k()];
+    let capacities = [500.0, 550.0, 600.0, 650.0, 700.0, 800.0];
+
+    // One parallel batch: every (algorithm, capacity) pair.
+    let mut configs = Vec::new();
+    for &algorithm in &algorithms {
+        for &capacity in &capacities {
+            let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+            cfg.duration_s = 2400.0;
+            cfg.warmup_s = 600.0;
+            cfg.seed = 31;
+            cfg.total_capacity = capacity;
+            configs.push(cfg);
+        }
+    }
+    println!(
+        "sweeping {} capacity points × {} algorithms (offered load fixed at ≈333 hits/s) …",
+        capacities.len(),
+        algorithms.len()
+    );
+    let reports = run_all(&configs).expect("valid configs");
+
+    let mut rows = Vec::new();
+    for (a, &algorithm) in algorithms.iter().enumerate() {
+        let mut row = vec![algorithm.name()];
+        let mut needed: Option<f64> = None;
+        for (c, &capacity) in capacities.iter().enumerate() {
+            let r = &reports[a * capacities.len() + c];
+            let p = r.p98();
+            if needed.is_none() && p >= TARGET {
+                needed = Some(capacity);
+            }
+            row.push(format!("{p:.3}"));
+        }
+        row.push(match needed {
+            Some(c) => format!("{c:.0} hits/s"),
+            None => "> 800".to_string(),
+        });
+        rows.push(row);
+    }
+
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(capacities.iter().map(|c| format!("C={c:.0}")));
+    header.push(format!("needed for P≥{TARGET}"));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("\nP(MaxUtilization < 0.98) by total site capacity (heterogeneity 35%)\n");
+    println!("{}", format_table(&header_refs, &rows));
+    println!(
+        "reading: the rightmost column is the provisioning answer. The gap between RR\n\
+         and DRR2-TTL/S_K is capacity you don't have to buy — the paper's scheduling\n\
+         gain expressed in hardware."
+    );
+}

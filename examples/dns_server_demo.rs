@@ -1,0 +1,71 @@
+//! DNS wire demo: the adaptive-TTL scheduler answering *real DNS packets*.
+//!
+//! Builds the in-memory authoritative server for `www.example.org` (7
+//! heterogeneous Web servers, 4 client networks), fires queries from
+//! different source networks, and prints the answers — showing the two
+//! levers the paper pulls: which A record comes back, and what TTL it
+//! carries.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example dns_server_demo
+//! ```
+
+use geodns_core::format_table;
+use geodns_wire::{AuthoritativeServer, Message, Question};
+
+fn main() {
+    let mut server = AuthoritativeServer::example();
+    println!("authoritative server up: {server:?}\n");
+
+    let sources: [([u8; 4], &str); 4] = [
+        ([10, 0, 0, 53], "hot domain (10.0/16, 8x the load of the coldest)"),
+        ([10, 1, 0, 53], "warm domain (10.1/16)"),
+        ([10, 2, 0, 53], "mild domain (10.2/16)"),
+        ([10, 3, 0, 53], "cold domain (10.3/16)"),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, (src, label)) in sources.iter().enumerate() {
+        // A few queries per source: watch the server rotate and the TTL
+        // follow both the domain's weight and the chosen server's capacity.
+        for q in 0..3 {
+            let id = (i * 10 + q) as u16;
+            let query = Message::query(id, Question::a("www.example.org"));
+            let response_bytes = server
+                .handle(&query.to_bytes(), *src, f64::from(id))
+                .expect("well-formed query");
+            let response = Message::parse(&response_bytes).expect("well-formed response");
+            let answer = &response.answers[0];
+            let addr = answer.a_addr().expect("A record");
+            rows.push(vec![
+                format!("{}.{}.{}.{}", src[0], src[1], src[2], src[3]),
+                (*label).to_string(),
+                format!("{}.{}.{}.{}", addr[0], addr[1], addr[2], addr[3]),
+                format!("{} s", answer.ttl),
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        format_table(&["source NS", "network", "answer (A)", "TTL"], &rows)
+    );
+    println!(
+        "reading: every answer is a (server, TTL) pair chosen by DRR2-TTL/S_K — the hot\n\
+         network's answers expire in seconds-to-minutes so its heavy hidden load keeps\n\
+         moving, while the cold network may cache for much longer; within one network the\n\
+         TTL also stretches with the capacity of the server handed out. This is the paper's\n\
+         entire mechanism, on the wire."
+    );
+
+    // Also demonstrate the error paths a real deployment hits.
+    let bad = Message::query(999, Question::a("ftp.example.org"));
+    let nx = Message::parse(&server.handle(&bad.to_bytes(), [10, 0, 0, 53], 0.0).unwrap()).unwrap();
+    println!("\nftp.example.org → {:?} (not our site)", nx.header.rcode);
+    let foreign = Message::query(1000, Question::a("www.other.test"));
+    let refused =
+        Message::parse(&server.handle(&foreign.to_bytes(), [10, 0, 0, 53], 0.0).unwrap()).unwrap();
+    println!("www.other.test  → {:?} (not our zone)", refused.header.rcode);
+}

@@ -1,0 +1,75 @@
+//! Flash crowd: the busiest client domain suddenly runs 50% hotter than
+//! the DNS believes (a proxy for a breaking-news audience pile-on), while
+//! the scheduler keeps using stale hidden-load estimates.
+//!
+//! This is the paper's estimation-error robustness scenario (Figures 6–7)
+//! told as an operational story, plus the fix a practitioner would deploy:
+//! switch the estimator from stale oracle knowledge to live measurement.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example flash_crowd
+//! ```
+
+use geodns_core::{format_table, run_all, Algorithm, EstimatorKind, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn scenario(algorithm: Algorithm, error: f64, estimator: EstimatorKind) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H50);
+    cfg.duration_s = 2400.0;
+    cfg.warmup_s = 600.0;
+    cfg.seed = 23;
+    cfg.workload.rate_error = error;
+    cfg.estimator = estimator;
+    cfg
+}
+
+fn main() {
+    let algorithms = [
+        Algorithm::prr2_ttl(2),    // coarse two-class adaptive TTL
+        Algorithm::prr2_ttl_k(),   // fully per-domain adaptive TTL
+        Algorithm::drr2_ttl_s_k(), // per-domain, per-server adaptive TTL
+    ];
+
+    let mut configs = Vec::new();
+    let mut labels = Vec::new();
+    for &algorithm in &algorithms {
+        // Calm day, perfect estimates.
+        configs.push(scenario(algorithm, 0.0, EstimatorKind::Oracle));
+        labels.push(format!("{} / calm", algorithm.name()));
+        // Flash crowd, estimates gone stale.
+        configs.push(scenario(algorithm, 0.5, EstimatorKind::Oracle));
+        labels.push(format!("{} / flash+stale", algorithm.name()));
+        // Flash crowd, live measured estimates (the practitioner's fix).
+        configs.push(scenario(algorithm, 0.5, EstimatorKind::measured_default()));
+        labels.push(format!("{} / flash+measured", algorithm.name()));
+    }
+
+    println!("simulating a 50% flash crowd on the busiest domain (heterogeneity 50%) …");
+    let reports = run_all(&configs).expect("valid configs");
+
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(&reports)
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                format!("{:.3}", r.p98()),
+                format!("{:.3}", r.prob_max_util_lt(0.9)),
+                format!("{:.0} ms", r.page_response_p95_s * 1e3),
+            ]
+        })
+        .collect();
+    println!();
+    println!(
+        "{}",
+        format_table(&["scenario", "P(maxU<0.98)", "P(maxU<0.9)", "page p95"], &rows)
+    );
+    println!(
+        "reading: per-domain TTL (TTL/K, TTL/S_K) barely notices the stale estimates —\n\
+         the flash domain's answers already carried the shortest TTLs, so its extra load\n\
+         redistributes quickly. The coarse TTL/2 split is the fragile one, exactly as the\n\
+         paper reports; live measurement recovers most of the loss."
+    );
+}

@@ -1,0 +1,61 @@
+//! Heterogeneity study: how does each scheduling family hold up as the
+//! server park drifts from uniform hardware to a 65% capacity spread?
+//!
+//! This is the scenario the paper's introduction motivates: a Web site
+//! grows by adding whatever machines are available, and the DNS scheduler
+//! has to keep the mismatched park balanced.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example heterogeneity_study
+//! ```
+
+use geodns_core::{format_table, run_all, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    let algorithms = [
+        Algorithm::rr(),
+        Algorithm::dal(),
+        Algorithm::mrl(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::drr2_ttl_s_k(),
+    ];
+
+    let mut rows = Vec::new();
+    for algorithm in algorithms {
+        let configs: Vec<SimConfig> = HeterogeneityLevel::ALL
+            .iter()
+            .map(|&level| {
+                let mut cfg = SimConfig::paper_default(algorithm, level);
+                cfg.duration_s = 2400.0;
+                cfg.warmup_s = 600.0;
+                cfg.seed = 11;
+                cfg
+            })
+            .collect();
+        let reports = run_all(&configs).expect("valid configs");
+        let mut row = vec![algorithm.name()];
+        row.extend(reports.iter().map(|r| format!("{:.3}", r.p98())));
+        rows.push(row);
+    }
+
+    println!("\nP(MaxUtilization < 0.98) by heterogeneity level\n");
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain(HeterogeneityLevel::ALL.iter().map(|l| l.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", format_table(&header_refs, &rows));
+
+    println!(
+        "takeaways (the paper's Figure 3 in table form):\n\
+         • RR collapses as soon as capacities diverge — cached mappings keep feeding\n\
+           the weak servers at the same rate as the strong ones.\n\
+         • DAL/MRL, the homogeneous-site transplants, help a little but misjudge\n\
+           heterogeneity because accumulated weights ignore TTL leverage.\n\
+         • The TTL/K family stays near 1.0 until the spread passes ~50%; the coarse\n\
+           two-class variants give most of the benefit with far less state."
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: simulate the paper's champion (`DRR2-TTL/S_K`) against
+//! classic DNS round-robin on a heterogeneous 7-server Web site, and print
+//! the load-balance and user-experience metrics side by side.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use geodns_core::{format_table, run_all, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn main() {
+    // A 7-server site whose capacities differ by up to 35%, serving 500
+    // clients across 20 Zipf-skewed domains (paper defaults, shortened run).
+    let level = HeterogeneityLevel::H35;
+    let algorithms = [
+        Algorithm::rr(),           // what 1990s DNS servers actually did
+        Algorithm::prr2_ttl(2),    // probabilistic routing + 2-class TTL
+        Algorithm::drr2_ttl_s_k(), // the paper's best: per-domain, per-server TTL
+    ];
+
+    let configs: Vec<SimConfig> = algorithms
+        .iter()
+        .map(|&algorithm| {
+            let mut cfg = SimConfig::paper_default(algorithm, level);
+            cfg.duration_s = 3600.0; // one simulated hour
+            cfg.warmup_s = 600.0;
+            cfg.seed = 7;
+            cfg
+        })
+        .collect();
+
+    println!(
+        "simulating {} algorithms on a {level}-heterogeneous site …",
+        configs.len()
+    );
+    let reports = run_all(&configs).expect("paper defaults are valid");
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                format!("{:.3}", r.prob_max_util_lt(0.9)),
+                format!("{:.3}", r.p98()),
+                format!("{:.2}", r.mean_util()),
+                format!("{:.0} ms", r.page_response_mean_s * 1e3),
+                format!("{:.0} ms", r.page_response_p95_s * 1e3),
+                format!("{:.1}%", r.dns_control_fraction * 100.0),
+            ]
+        })
+        .collect();
+
+    println!();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "algorithm",
+                "P(maxU<0.9)",
+                "P(maxU<0.98)",
+                "mean util",
+                "page mean",
+                "page p95",
+                "DNS ctl"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "reading: higher P(maxU<·) = fewer overload episodes. The DNS only controls a few\n\
+         percent of requests — adaptive TTL wins by sizing each answer's validity, not by\n\
+         routing more traffic."
+    );
+
+    let rr = &reports[0];
+    let best = &reports[2];
+    assert!(
+        best.p98() > rr.p98(),
+        "the adaptive scheme should beat round-robin"
+    );
+}

@@ -1,0 +1,70 @@
+//! Configuration and report (de)serialization: a downstream user drives
+//! sweeps from JSON files, so every config knob must round-trip.
+
+use geodns_core::{
+    Algorithm, ClientDistribution, EstimatorKind, MinTtlBehavior, PolicyKind, ServerSpec,
+    SimConfig, TierSpec, TtlKind,
+};
+use geodns_server::HeterogeneityLevel;
+
+#[test]
+fn default_config_round_trips() {
+    let cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn exotic_config_round_trips() {
+    let mut cfg = SimConfig::paper_default(
+        Algorithm::new(
+            PolicyKind::Mrl,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(3), server_scaled: true },
+        ),
+        HeterogeneityLevel::H65,
+    );
+    cfg.servers = ServerSpec::Relative(vec![1.0, 0.9, 0.42]);
+    cfg.estimator = EstimatorKind::Measured { collect_interval_s: 16.0, ema_alpha: 0.5 };
+    cfg.ns_behavior = MinTtlBehavior::DefaultOnSmall { min_ttl_s: 30.0, default_ttl_s: 600.0 };
+    cfg.workload.distribution = ClientDistribution::Explicit(vec![25; 20]);
+    cfg.workload.rate_error = 0.2;
+    cfg.class_threshold = Some(0.07);
+    cfg.normalize_ttl = false;
+
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn config_is_human_editable_json() {
+    let cfg = SimConfig::paper_default(Algorithm::rr(), HeterogeneityLevel::H20);
+    let json = serde_json::to_value(&cfg).unwrap();
+    // Spot-check the field names a user would edit.
+    assert_eq!(json["ttl_const_s"], 240.0);
+    assert_eq!(json["util_interval_s"], 8.0);
+    assert_eq!(json["workload"]["n_clients"], 500);
+    assert_eq!(json["alarm_threshold"], 0.9);
+}
+
+#[test]
+fn invalid_json_fails_cleanly() {
+    let err = serde_json::from_str::<SimConfig>("{\"not\": \"a config\"}");
+    assert!(err.is_err());
+}
+
+#[test]
+fn algorithm_names_survive_serde() {
+    for algorithm in [
+        Algorithm::rr(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::dal(),
+    ] {
+        let json = serde_json::to_string(&algorithm).unwrap();
+        let back: Algorithm = serde_json::from_str(&json).unwrap();
+        assert_eq!(algorithm, back);
+        assert_eq!(algorithm.name(), back.name());
+    }
+}

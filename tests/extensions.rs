@@ -1,0 +1,155 @@
+//! Integration tests for the extension machinery: time-varying profiles,
+//! service-time models, partial NS non-cooperation, timeline capture.
+
+use geodns_core::{
+    run_simulation, Algorithm, EstimatorKind, MinTtlBehavior, RateProfile, ServiceModel,
+    SimConfig,
+};
+use geodns_server::HeterogeneityLevel;
+
+fn base(algorithm: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H35);
+    cfg.duration_s = 1200.0;
+    cfg.warmup_s = 300.0;
+    cfg.seed = 2026;
+    cfg
+}
+
+#[test]
+fn flash_crowd_profile_raises_peak_load() {
+    let calm = base(Algorithm::rr());
+    let mut crowded = calm.clone();
+    crowded.workload.profile = RateProfile::FlashCrowd {
+        domain: 0,
+        start_s: 600.0,
+        duration_s: 600.0,
+        factor: 3.0,
+    };
+    let a = run_simulation(&calm).unwrap();
+    let b = run_simulation(&crowded).unwrap();
+    assert!(
+        b.p98() < a.p98(),
+        "a 3× flash crowd must worsen the balance: {} vs {}",
+        b.p98(),
+        a.p98()
+    );
+    assert!(b.hits_completed > a.hits_completed, "the crowd adds traffic");
+}
+
+#[test]
+fn silencing_a_domain_reduces_traffic() {
+    let mut cfg = base(Algorithm::rr());
+    cfg.workload.profile = RateProfile::Step { domain: 0, at_s: 0.0, factor: 0.5 };
+    let halved = run_simulation(&cfg).unwrap();
+    let normal = run_simulation(&base(Algorithm::rr())).unwrap();
+    assert!(halved.hits_completed < normal.hits_completed);
+}
+
+#[test]
+fn diurnal_profile_keeps_long_run_mean() {
+    let mut cfg = base(Algorithm::prr2_ttl(2));
+    cfg.duration_s = 3600.0;
+    cfg.workload.profile = RateProfile::Diurnal { amplitude: 0.3, period_s: 1200.0 };
+    let wavy = run_simulation(&cfg).unwrap();
+    let flat = {
+        let mut c = cfg.clone();
+        c.workload.profile = RateProfile::Constant;
+        run_simulation(&c).unwrap()
+    };
+    // Full cycles average out: total work within a few percent.
+    let ratio = wavy.hits_completed as f64 / flat.hits_completed as f64;
+    assert!((0.93..1.07).contains(&ratio), "hit ratio {ratio}");
+}
+
+#[test]
+fn service_models_preserve_the_adaptive_ranking() {
+    for service in [
+        ServiceModel::Deterministic,
+        ServiceModel::Pareto { shape: 2.2 },
+    ] {
+        let mut rr = base(Algorithm::rr());
+        rr.service = service;
+        let mut adaptive = base(Algorithm::drr2_ttl_s_k());
+        adaptive.service = service;
+        let rr_report = run_simulation(&rr).unwrap();
+        let ad_report = run_simulation(&adaptive).unwrap();
+        assert!(
+            ad_report.p98() > rr_report.p98(),
+            "{service:?}: adaptive {} vs RR {}",
+            ad_report.p98(),
+            rr_report.p98()
+        );
+    }
+}
+
+#[test]
+fn deterministic_service_is_smoother_than_exponential() {
+    let mut det = base(Algorithm::rr());
+    det.service = ServiceModel::Deterministic;
+    let mut exp = base(Algorithm::rr());
+    exp.service = ServiceModel::Exponential;
+    let det_report = run_simulation(&det).unwrap();
+    let exp_report = run_simulation(&exp).unwrap();
+    assert!(
+        det_report.page_response_p95_s < exp_report.page_response_p95_s,
+        "M/D/1-ish p95 {} should undercut M/M/1-ish p95 {}",
+        det_report.page_response_p95_s,
+        exp_report.page_response_p95_s
+    );
+}
+
+#[test]
+fn partial_noncooperation_interpolates() {
+    let clamp = MinTtlBehavior::ClampToMin { min_ttl_s: 240.0 };
+    let mut p98 = Vec::new();
+    for fraction in [0.0, 1.0] {
+        let mut cfg = base(Algorithm::drr2_ttl_s_k());
+        cfg.ns_behavior = clamp;
+        cfg.ns_noncoop_fraction = fraction;
+        p98.push(run_simulation(&cfg).unwrap().p98());
+    }
+    // Fully cooperative must not be worse than fully clamped for the
+    // fine-grained scheme (clamping strips its mechanism).
+    assert!(
+        p98[0] >= p98[1] - 0.05,
+        "coop {} vs all-clamped {}",
+        p98[0],
+        p98[1]
+    );
+}
+
+#[test]
+fn timeline_capture_matches_summary() {
+    let mut cfg = base(Algorithm::prr2_ttl_k());
+    cfg.record_timeline = true;
+    let report = run_simulation(&cfg).unwrap();
+    let timeline = report.timeline.as_ref().expect("timeline requested");
+    assert_eq!(
+        timeline.len(),
+        report.max_util_samples.len(),
+        "one timeline row per utilization sample"
+    );
+    // The timeline's max series is a permutation of the report's sorted one.
+    let mut from_timeline = timeline.max_series();
+    from_timeline.sort_by(|a, b| a.total_cmp(b));
+    for (a, b) in from_timeline.iter().zip(&report.max_util_samples) {
+        assert!((a - b).abs() < 1e-12);
+    }
+    // CSV has header + one row per sample.
+    assert_eq!(timeline.to_csv().lines().count(), timeline.len() + 1);
+}
+
+#[test]
+fn timeline_off_by_default() {
+    let report = run_simulation(&base(Algorithm::rr())).unwrap();
+    assert!(report.timeline.is_none());
+}
+
+#[test]
+fn window_estimator_runs_end_to_end() {
+    let mut cfg = base(Algorithm::prr2_ttl_k());
+    cfg.estimator = EstimatorKind::window_default();
+    let report = run_simulation(&cfg).unwrap();
+    assert!(report.hits_completed > 0);
+    assert!(report.p98() > 0.0);
+}

@@ -1,0 +1,88 @@
+//! End-to-end robustness properties (paper §5.2): non-cooperative name
+//! servers and hidden-load estimation error.
+
+use geodns_core::{run_all, Algorithm, MinTtlBehavior, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+fn config(algorithm: Algorithm, level: HeterogeneityLevel) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(algorithm, level);
+    cfg.duration_s = 2400.0;
+    cfg.warmup_s = 400.0;
+    cfg.seed = 77;
+    cfg
+}
+
+#[test]
+fn min_ttl_clamp_erodes_the_fine_grained_schemes() {
+    // Figure 4: DRR2-TTL/S_K's advantage shrinks as NSs clamp its short
+    // TTLs; it must not *gain* from losing control.
+    let free = config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    let mut clamped = free.clone();
+    clamped.ns_behavior = MinTtlBehavior::ClampToMin { min_ttl_s: 240.0 };
+    let reports = run_all(&[free, clamped]).expect("valid configs");
+    assert!(
+        reports[1].p98() <= reports[0].p98() + 0.05,
+        "clamped {} vs free {}",
+        reports[1].p98(),
+        reports[0].p98()
+    );
+}
+
+#[test]
+fn coarse_two_class_scheme_shrugs_off_the_clamp() {
+    // Figure 4: "PRR2-TTL/2 … is able to always assign TTL higher than
+    // [the threshold] in all experiments" — a moderate clamp should not
+    // change its behaviour much.
+    let free = config(Algorithm::prr2_ttl(2), HeterogeneityLevel::H20);
+    let mut clamped = free.clone();
+    clamped.ns_behavior = MinTtlBehavior::ClampToMin { min_ttl_s: 80.0 };
+    let reports = run_all(&[free, clamped]).expect("valid configs");
+    assert!(
+        (reports[0].p98() - reports[1].p98()).abs() < 0.12,
+        "free {} vs clamped {}",
+        reports[0].p98(),
+        reports[1].p98()
+    );
+}
+
+#[test]
+fn estimation_error_degrades_gracefully_for_ttl_k() {
+    // Figures 6–7: the per-domain schemes lose only a little under a 30%
+    // error in the hidden-load estimates.
+    let clean = config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    let mut stale = clean.clone();
+    stale.workload.rate_error = 0.3;
+    let reports = run_all(&[clean, stale]).expect("valid configs");
+    assert!(
+        reports[1].p98() > reports[0].p98() - 0.2,
+        "30% error dropped TTL/S_K from {} to {}",
+        reports[0].p98(),
+        reports[1].p98()
+    );
+}
+
+#[test]
+fn estimation_error_hits_the_two_class_schemes_harder_at_high_het() {
+    // Figure 7's qualitative claim, as an ordering at 50% heterogeneity and
+    // 50% error: the TTL/K scheme stays above the TTL/2 scheme.
+    let mut k = config(Algorithm::prr2_ttl_k(), HeterogeneityLevel::H50);
+    k.workload.rate_error = 0.5;
+    let mut two = config(Algorithm::prr2_ttl(2), HeterogeneityLevel::H50);
+    two.workload.rate_error = 0.5;
+    let reports = run_all(&[k, two]).expect("valid configs");
+    assert!(
+        reports[0].p98() >= reports[1].p98() - 0.05,
+        "TTL/K {} vs TTL/2 {} under heavy error",
+        reports[0].p98(),
+        reports[1].p98()
+    );
+}
+
+#[test]
+fn default_on_small_behavior_works_end_to_end() {
+    let mut cfg = config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+    cfg.ns_behavior = MinTtlBehavior::DefaultOnSmall { min_ttl_s: 60.0, default_ttl_s: 300.0 };
+    let r = &run_all(&[cfg]).unwrap()[0];
+    assert!(r.hits_completed > 0);
+    assert!(r.p98() > 0.0);
+}

@@ -1,0 +1,182 @@
+//! Simulation-vs-theory validation: where closed-form results exist, the
+//! simulator must agree with them. This is the credibility test of the
+//! substrate that replaced the paper's CSIM package.
+
+use geodns_analytic::control::ControlModel;
+use geodns_analytic::queueing::{mm1_mean_response, mm1_response_quantile};
+use geodns_analytic::shares::{binding_shares, capacity_shares, imbalance, rr_visits};
+use geodns_core::{run_simulation, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+use geodns_simcore::dist::{Distribution, Exponential};
+use geodns_simcore::stats::{mser5, Tally};
+use geodns_simcore::{Engine, RngStreams, SimTime};
+
+/// A bare open-loop M/M/1 driven directly on the engine, measured against
+/// the textbook formulas. Validates the event engine, the exponential
+/// sampler and the statistics in one shot.
+#[test]
+fn engine_reproduces_mm1() {
+    enum Ev {
+        Arrival,
+        Departure,
+    }
+    let (lambda, mu) = (60.0, 90.0); // ρ = 2/3, like the paper's site
+    let streams = RngStreams::new(0x33A1);
+    let mut rng_a = streams.stream("arrivals");
+    let mut rng_s = streams.stream("service");
+    let arr = Exponential::new(lambda);
+    let svc = Exponential::new(mu);
+
+    let mut eng = Engine::new();
+    let mut queue: std::collections::VecDeque<SimTime> = std::collections::VecDeque::new();
+    let mut response = Tally::new();
+    let mut p95_samples: Vec<f64> = Vec::new();
+    let horizon = 400_000u64;
+    let mut served = 0u64;
+
+    eng.schedule_in(arr.sample(&mut rng_a), Ev::Arrival);
+    while let Some((now, ev)) = eng.step() {
+        match ev {
+            Ev::Arrival => {
+                queue.push_back(now);
+                if queue.len() == 1 {
+                    eng.schedule_in(svc.sample(&mut rng_s), Ev::Departure);
+                }
+                if served < horizon {
+                    eng.schedule_in(arr.sample(&mut rng_a), Ev::Arrival);
+                }
+            }
+            Ev::Departure => {
+                let arrived = queue.pop_front().expect("job in service");
+                served += 1;
+                if served > 20_000 {
+                    // discard transient
+                    let t = now.since(arrived);
+                    response.record(t);
+                    p95_samples.push(t);
+                }
+                if !queue.is_empty() {
+                    eng.schedule_in(svc.sample(&mut rng_s), Ev::Departure);
+                }
+            }
+        }
+    }
+
+    let expect_mean = mm1_mean_response(lambda, mu).unwrap();
+    let got = response.mean();
+    assert!(
+        (got - expect_mean).abs() / expect_mean < 0.03,
+        "M/M/1 mean response: sim {got} vs theory {expect_mean}"
+    );
+
+    p95_samples.sort_by(|a, b| a.total_cmp(b));
+    let got_p95 = p95_samples[(p95_samples.len() as f64 * 0.95) as usize];
+    let expect_p95 = mm1_response_quantile(lambda, mu, 0.95).unwrap();
+    assert!(
+        (got_p95 - expect_p95).abs() / expect_p95 < 0.06,
+        "M/M/1 p95: sim {got_p95} vs theory {expect_p95}"
+    );
+}
+
+fn theory_config(algorithm: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(algorithm, HeterogeneityLevel::H50);
+    cfg.duration_s = 6000.0;
+    cfg.warmup_s = 600.0;
+    cfg.seed = 0x7E08;
+    // Disable the alarm feedback so the stationary-share theory applies
+    // cleanly (alarms deliberately distort shares under overload).
+    cfg.alarm_threshold = 1.0;
+    cfg
+}
+
+/// RR + constant TTL must load all servers *equally* (not capacity-
+/// proportionally): per-server utilization ∝ 1/C_i, so at H50 the weak
+/// servers run ≈2× hotter than the strong ones.
+#[test]
+fn rr_utilization_ratio_matches_share_theory() {
+    let r = run_simulation(&theory_config(Algorithm::rr())).unwrap();
+    let strong = r.per_server_mean_util[0];
+    let weak = r.per_server_mean_util[6];
+    let ratio = weak / strong;
+    // Theory: exactly ρ_power = C1/CN = 2, compressed by the closed loop
+    // and the utilization cap as the weak server saturates.
+    assert!(
+        (1.4..2.3).contains(&ratio),
+        "weak/strong utilization ratio {ratio}, per-server {:?}",
+        r.per_server_mean_util
+    );
+}
+
+/// DRR-TTL/S_K: uniform visits × capacity-proportional TTLs ⇒ capacity-
+/// proportional load ⇒ *equal* per-server utilizations.
+#[test]
+fn drr_ttl_s_equalizes_utilization() {
+    let r = run_simulation(&theory_config(Algorithm::drr_ttl_s_k())).unwrap();
+    let max = r.per_server_mean_util.iter().cloned().fold(f64::MIN, f64::max);
+    let min = r.per_server_mean_util.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 1.35,
+        "utilizations should be near-equal, got {:?}",
+        r.per_server_mean_util
+    );
+
+    // And the binding-share algebra predicts exactly this:
+    let alpha = [1.0, 1.0, 0.8, 0.8, 0.5, 0.5, 0.5];
+    let shares = binding_shares(&rr_visits(7), &alpha);
+    assert!(imbalance(&shares, &capacity_shares(&alpha)) < 1e-12);
+}
+
+/// The measured DNS control fraction must sit near the analytic model's
+/// prediction (≈5% for the paper's defaults).
+#[test]
+fn control_fraction_matches_model() {
+    let r = run_simulation(&theory_config(Algorithm::rr())).unwrap();
+    let model = ControlModel::paper_default();
+    let predicted = model.control_fraction();
+    assert!(
+        (r.dns_control_fraction - predicted).abs() < 0.03,
+        "sim control fraction {} vs model {predicted}",
+        r.dns_control_fraction
+    );
+    // Address rate below the K/TTL ceiling but the right order of magnitude.
+    let ceiling = model.address_rate_upper_bound();
+    assert!(r.address_request_rate <= ceiling * 1.1);
+    assert!(r.address_request_rate >= ceiling * 0.5);
+}
+
+/// The repository's default warm-up (1800 s) must dominate what MSER-5
+/// estimates from a cold-started run — i.e. our discard is conservative.
+#[test]
+fn default_warmup_covers_the_mser_transient() {
+    let mut cfg = theory_config(Algorithm::drr2_ttl_s_k());
+    cfg.warmup_s = 0.0; // measure from the cold start
+    cfg.duration_s = 6000.0;
+    cfg.record_timeline = true;
+    let report = run_simulation(&cfg).unwrap();
+    let timeline = report.timeline.as_ref().expect("timeline requested");
+    let series = timeline.max_series();
+    let result = mser5(&series).expect("long enough series");
+    let suggested_warmup_s = result.truncate as f64 * cfg.util_interval_s;
+    assert!(
+        suggested_warmup_s <= 1800.0,
+        "MSER suggests {suggested_warmup_s} s of warm-up; the 1800 s default must cover it"
+    );
+}
+
+/// Aggregate hit throughput must match the offered-load arithmetic that
+/// also pins Table 1: 500 clients · 10 hits / 15 s think ≈ 333 hits/s,
+/// minus the closed-loop slowdown.
+#[test]
+fn throughput_matches_offered_load_model() {
+    let r = run_simulation(&theory_config(Algorithm::prr_ttl1())).unwrap();
+    let rate = r.hits_completed as f64 / r.measured_span_s;
+    let offered = 500.0 * 10.0 / 15.0;
+    assert!(
+        rate <= offered * 1.02,
+        "throughput {rate} cannot exceed offered {offered}"
+    );
+    assert!(
+        rate >= offered * 0.85,
+        "closed-loop slowdown should be modest at ρ=2/3: {rate} vs {offered}"
+    );
+}
