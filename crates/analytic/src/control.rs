@@ -21,11 +21,7 @@ impl ControlModel {
     /// session per (20 pages × 15 s think) = 300 s, constant TTL 240 s.
     #[must_use]
     pub fn paper_default() -> Self {
-        ControlModel {
-            n_domains: 20,
-            session_rate: 500.0 / 300.0,
-            ttl_s: 240.0,
-        }
+        ControlModel { n_domains: 20, session_rate: 500.0 / 300.0, ttl_s: 240.0 }
     }
 
     /// The expected address-request (NS-miss) rate: each continuously

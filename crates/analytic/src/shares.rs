@@ -87,11 +87,7 @@ pub fn capacity_shares(capacities: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn imbalance(achieved: &[f64], ideal: &[f64]) -> f64 {
     assert_eq!(achieved.len(), ideal.len(), "length mismatch");
-    0.5 * achieved
-        .iter()
-        .zip(ideal)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * achieved.iter().zip(ideal).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 #[cfg(test)]

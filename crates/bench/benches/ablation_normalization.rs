@@ -52,10 +52,7 @@ fn main() {
     println!("\nX5: TTL rate-normalization ablation (heterogeneity 35%)\n");
     println!(
         "{}",
-        format_table(
-            &["variant", "P(maxU<0.98)", "addr req/s", "DNS control %"],
-            &rows
-        )
+        format_table(&["variant", "P(maxU<0.98)", "addr req/s", "DNS control %"], &rows)
     );
     println!(
         "note: the naive variants anchor the hottest class at 240 s and stretch everything\n\

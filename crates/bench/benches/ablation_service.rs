@@ -40,10 +40,7 @@ fn main() {
         })
         .collect();
     println!("\nX10: Service-time model ablation (heterogeneity 35%, same mean 1/C_i)\n");
-    println!(
-        "{}",
-        format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows)
-    );
+    println!("{}", format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows));
     println!(
         "reading: the adaptive-TTL ranking is about *which server the hidden load lands on*,\n\
          not about queueing micro-behaviour — it should survive all three service shapes,\n\

@@ -21,12 +21,10 @@ fn main() {
     let scenarios: Vec<(&str, RateProfile)> = vec![
         ("stationary", RateProfile::Constant),
         ("diurnal ±30% (2 h)", RateProfile::Diurnal { amplitude: 0.3, period_s: 7200.0 }),
-        ("flash 3× on dom1", RateProfile::FlashCrowd {
-            domain: 1,
-            start_s: 3600.0,
-            duration_s: 3600.0,
-            factor: 3.0,
-        }),
+        (
+            "flash 3× on dom1",
+            RateProfile::FlashCrowd { domain: 1, start_s: 3600.0, duration_s: 3600.0, factor: 3.0 },
+        ),
         ("step 2× on dom0", RateProfile::Step { domain: 0, at_s: 5400.0, factor: 2.0 }),
     ];
 

@@ -35,10 +35,7 @@ fn main() {
     }
 
     let results = run_experiment(&e);
-    print_cdf_table(
-        "Figure 1: Deterministic algorithms (heterogeneity 20%)",
-        &results,
-    );
+    print_cdf_table("Figure 1: Deterministic algorithms (heterogeneity 20%)", &results);
 
     // The paper's headline readings for this figure.
     println!("paper check — P(maxU < 0.9):");

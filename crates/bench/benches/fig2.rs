@@ -33,9 +33,6 @@ fn main() {
     }
 
     let results = run_experiment(&e);
-    print_cdf_table(
-        "Figure 2: Probabilistic algorithms (heterogeneity 35%)",
-        &results,
-    );
+    print_cdf_table("Figure 2: Probabilistic algorithms (heterogeneity 35%)", &results);
     save_json("fig2", &results);
 }

@@ -58,7 +58,8 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("five_sim_minutes_paper_model", |b| {
         b.iter(|| {
-            let mut cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+            let mut cfg =
+                SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
             cfg.duration_s = 240.0;
             cfg.warmup_s = 60.0;
             cfg.seed = 7;

@@ -71,7 +71,8 @@ fn bench_resolve(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0usize;
                 for i in 0..DECISIONS {
-                    let (s, _) = dns.resolve((i % 20) as usize, SimTime::from_secs(i as f64), &backlogs);
+                    let (s, _) =
+                        dns.resolve((i % 20) as usize, SimTime::from_secs(i as f64), &backlogs);
                     acc += s;
                 }
                 acc
@@ -90,7 +91,8 @@ fn bench_rebuild(c: &mut Criterion) {
             &weights,
         );
         let rng = RngStreams::new(4).stream("dns");
-        let mut dns = DnsScheduler::new(Algorithm::drr2_ttl_s_k(), &plan, est, 0.01, 240.0, true, rng);
+        let mut dns =
+            DnsScheduler::new(Algorithm::drr2_ttl_s_k(), &plan, est, 0.01, 240.0, true, rng);
         let counts: Vec<u64> = (0..100).map(|i| 1000 / (i + 1)).collect();
         b.iter(|| dns.ingest(&counts, 32.0));
     });

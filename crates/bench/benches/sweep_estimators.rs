@@ -54,9 +54,6 @@ fn main() {
         })
         .collect();
     println!("\nX7: Hidden-load estimators under a 3× mid-run flash crowd (heterogeneity 35%)\n");
-    println!(
-        "{}",
-        format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows)
-    );
+    println!("{}", format_table(&["variant", "P(maxU<0.98)", "P(maxU<0.9)", "page p95 ms"], &rows));
     save_json("sweep_estimators", &results);
 }

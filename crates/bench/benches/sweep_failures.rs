@@ -1,0 +1,17 @@
+//! **X12**: server fault injection — every server crashes and recovers as
+//! a seeded exponential MTBF/MTTR process while clients follow the
+//! paper-faithful pin-until-TTL failover. The paper's short-TTL schemes
+//! were designed for load balance; this sweep asks whether the same short
+//! TTLs also buy *fast failover*: a dead binding keeps swallowing hits
+//! only until its TTL expires, so `TTL/S_K`'s fine-grained short answers
+//! should shed dead servers faster than the coarse `TTL/2` tiers or the
+//! constant-TTL round-robin baseline.
+
+use geodns_bench::run_failure_sweep;
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn main() {
+    run_failure_sweep("sweep_failures", HeterogeneityLevel::H35, SEED);
+}

@@ -11,11 +11,7 @@ const SEED: u64 = 1998;
 const CLAMP_S: f64 = 160.0;
 
 fn main() {
-    let algorithms = [
-        Algorithm::drr2_ttl_s_k(),
-        Algorithm::prr2_ttl_k(),
-        Algorithm::prr2_ttl(2),
-    ];
+    let algorithms = [Algorithm::drr2_ttl_s_k(), Algorithm::prr2_ttl_k(), Algorithm::prr2_ttl(2)];
     let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
 
     let mut points = Vec::new();

@@ -18,12 +18,14 @@ fn main() {
         let spec = if tiers >= 20 { TierSpec::PerDomain } else { TierSpec::Classes(tiers) };
         let prob = Algorithm::new(
             PolicyKind::Prr2,
-            if tiers == 1 { TtlKind::Constant } else { TtlKind::Adaptive { tiers: spec, server_scaled: false } },
+            if tiers == 1 {
+                TtlKind::Constant
+            } else {
+                TtlKind::Adaptive { tiers: spec, server_scaled: false }
+            },
         );
-        let det = Algorithm::new(
-            PolicyKind::Rr2,
-            TtlKind::Adaptive { tiers: spec, server_scaled: true },
-        );
+        let det =
+            Algorithm::new(PolicyKind::Rr2, TtlKind::Adaptive { tiers: spec, server_scaled: true });
 
         let mut cfg = SimConfig::paper_default(prob, HeterogeneityLevel::H35);
         cfg.seed = SEED;

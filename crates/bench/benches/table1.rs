@@ -16,12 +16,24 @@ fn main() {
         ("Domain", "Clients per domain", "pure Zipf".into()),
         ("Client", "Total number", cfg.workload.n_clients.to_string()),
         ("Client", "Mean think time", format!("10–30 s ({})", cfg.workload.session.think_mean_s)),
-        ("Request", "Requests per session", format!("{} pages (mean)", cfg.workload.session.pages_mean)),
-        ("Request", "Hits per request", format!("U{{{}–{}}}", cfg.workload.session.hits_lo, cfg.workload.session.hits_hi)),
+        (
+            "Request",
+            "Requests per session",
+            format!("{} pages (mean)", cfg.workload.session.pages_mean),
+        ),
+        (
+            "Request",
+            "Hits per request",
+            format!("U{{{}–{}}}", cfg.workload.session.hits_lo, cfg.workload.session.hits_hi),
+        ),
         ("Web site", "Servers N", format!("5–17 ({})", plan.num_servers())),
         ("Web site", "Total capacity", format!("{} hits/s", plan.total_capacity())),
         ("Web site", "Heterogeneity", "0–65%".into()),
-        ("Web site", "Average utilization", format!("{:.3}", workload.total_offered_hit_rate() / plan.total_capacity())),
+        (
+            "Web site",
+            "Average utilization",
+            format!("{:.3}", workload.total_offered_hit_rate() / plan.total_capacity()),
+        ),
         ("Algorithm", "Utilization interval", format!("{} s", cfg.util_interval_s)),
         ("Algorithm", "Alarm threshold θ", format!("{}", cfg.alarm_threshold)),
         ("Algorithm", "Class threshold γ", format!("1/K = {}", cfg.gamma())),
@@ -29,10 +41,8 @@ fn main() {
     ];
 
     println!("\nTable 1: Parameters of the system model (defaults in parentheses)\n");
-    let table_rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|(c, p, v)| vec![(*c).to_string(), (*p).to_string(), v.clone()])
-        .collect();
+    let table_rows: Vec<Vec<String>> =
+        rows.iter().map(|(c, p, v)| vec![(*c).to_string(), (*p).to_string(), v.clone()]).collect();
     println!(
         "{}",
         geodns_core::format_table(&["Category", "Parameter", "Setting (default)"], &table_rows)
@@ -58,10 +68,7 @@ fn main() {
         "avg_utilization_design": offered / plan.total_capacity(),
         "top10pct_domain_share": skew.top_share(0.10),
     });
-    std::fs::write(
-        output_dir().join("table1.json"),
-        serde_json::to_string_pretty(&json).unwrap(),
-    )
-    .expect("write table1.json");
+    std::fs::write(output_dir().join("table1.json"), serde_json::to_string_pretty(&json).unwrap())
+        .expect("write table1.json");
     eprintln!("wrote {}", output_dir().join("table1.json").display());
 }

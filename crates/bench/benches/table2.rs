@@ -11,18 +11,8 @@ fn main() {
     let mut json_rows = Vec::new();
     for level in HeterogeneityLevel::ALL {
         let plan = CapacityPlan::from_level(level, 500.0);
-        let rel = plan
-            .relatives()
-            .iter()
-            .map(|a| format!("{a}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let abs = plan
-            .absolutes()
-            .iter()
-            .map(|c| format!("{c:.1}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let rel = plan.relatives().iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ");
+        let abs = plan.absolutes().iter().map(|c| format!("{c:.1}")).collect::<Vec<_>>().join(", ");
         rows.push(vec![
             level.to_string(),
             format!("{{{rel}}}"),

@@ -18,7 +18,9 @@ fn parse_level(arg: Option<&String>) -> HeterogeneityLevel {
         Some("50") => HeterogeneityLevel::H50,
         Some("65") => HeterogeneityLevel::H65,
         Some(other) => {
-            eprintln!("unknown heterogeneity level '{other}' (use 0/20/35/50/65); defaulting to 20");
+            eprintln!(
+                "unknown heterogeneity level '{other}' (use 0/20/35/50/65); defaulting to 20"
+            );
             HeterogeneityLevel::H20
         }
     }
@@ -72,7 +74,8 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let label = if i == reports.len() - 1 { "Ideal".to_string() } else { r.algorithm.clone() };
+            let label =
+                if i == reports.len() - 1 { "Ideal".to_string() } else { r.algorithm.clone() };
             vec![
                 label,
                 format!("{:.3}", r.prob_max_util_lt(0.9)),
@@ -92,7 +95,17 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["algorithm", "P<0.9", "P<0.98", "maxU avg", "mean U", "p95 ms", "addr r/s", "DNS %", "alarms"],
+            &[
+                "algorithm",
+                "P<0.9",
+                "P<0.98",
+                "maxU avg",
+                "mean U",
+                "p95 ms",
+                "addr r/s",
+                "DNS %",
+                "alarms"
+            ],
             &rows
         )
     );

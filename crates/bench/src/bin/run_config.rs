@@ -25,15 +25,13 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
             let mut cfg: SimConfig = serde_json::from_str(&text)
                 .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
-            let timeline_path = args
-                .iter()
-                .position(|a| a == "--timeline")
-                .and_then(|i| args.get(i + 1))
-                .cloned();
+            let timeline_path =
+                args.iter().position(|a| a == "--timeline").and_then(|i| args.get(i + 1)).cloned();
             if timeline_path.is_some() {
                 cfg.record_timeline = true;
             }
-            let report = run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
+            let report =
+                run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
             if let (Some(out), Some(timeline)) = (timeline_path, &report.timeline) {
                 std::fs::write(&out, timeline.to_csv())
                     .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));

@@ -67,8 +67,9 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
 
     let mut canvas = vec![vec![' '; width]; height];
     let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
-    let to_row =
-        |y: f64| height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+    let to_row = |y: f64| {
+        height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+    };
 
     for (si, s) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
@@ -121,11 +122,8 @@ mod tests {
 
     #[test]
     fn renders_monotone_line() {
-        let chart = ascii_chart(
-            &[Series::new("line", vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)])],
-            40,
-            10,
-        );
+        let chart =
+            ascii_chart(&[Series::new("line", vec![(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)])], 40, 10);
         assert!(chart.contains('*'));
         assert!(chart.contains("line"));
         // The top-right region should contain the line's end.
@@ -168,11 +166,7 @@ mod tests {
 
     #[test]
     fn axis_labels_present() {
-        let chart = ascii_chart(
-            &[Series::new("s", vec![(10.0, 0.25), (20.0, 0.75)])],
-            40,
-            10,
-        );
+        let chart = ascii_chart(&[Series::new("s", vec![(10.0, 0.25), (20.0, 0.75)])], 40, 10);
         assert!(chart.contains("0.75"));
         assert!(chart.contains("0.25"));
         assert!(chart.contains("10.0000"));

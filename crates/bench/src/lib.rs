@@ -105,10 +105,8 @@ pub fn print_cdf_table(title: &str, results: &[(String, SimReport)]) {
     println!("cumulative frequency  P(MaxUtilization < x)\n");
     println!("{}", geodns_core::format_table(&header_refs, &rows));
 
-    let series: Vec<Series> = results
-        .iter()
-        .map(|(label, r)| Series::new(label.clone(), r.cdf_curve(&grid)))
-        .collect();
+    let series: Vec<Series> =
+        results.iter().map(|(label, r)| Series::new(label.clone(), r.cdf_curve(&grid))).collect();
     println!("{}", ascii_chart(&series, 72, 20));
 }
 
@@ -145,7 +143,12 @@ pub fn print_p98_series(
     // Sketch the curves when the x labels parse as numbers.
     let xs: Vec<Option<f64>> = points
         .iter()
-        .map(|(x, _)| x.trim_end_matches(['%', 's']).trim_start_matches(['K', 'N', 'i', '=', 'γ', 'θ']).parse().ok())
+        .map(|(x, _)| {
+            x.trim_end_matches(['%', 's'])
+                .trim_start_matches(['K', 'N', 'i', '=', 'γ', 'θ'])
+                .parse()
+                .ok()
+        })
         .collect();
     if xs.iter().all(Option::is_some) && xs.len() > 1 {
         let series: Vec<Series> = algorithms
@@ -175,9 +178,7 @@ pub fn flatten_series(points: &[(String, Vec<(String, SimReport)>)]) -> Vec<(Str
     points
         .iter()
         .flat_map(|(x, results)| {
-            results
-                .iter()
-                .map(move |(label, r)| (format!("{x}|{label}"), r.clone()))
+            results.iter().map(move |(label, r)| (format!("{x}|{label}"), r.clone()))
         })
         .collect()
 }
@@ -244,6 +245,93 @@ pub fn run_min_ttl_sweep(id: &str, fig_no: u32, level: geodns_core::Heterogeneit
         &points,
     );
     save_json(id, &flatten_series(&points));
+}
+
+/// Runs the fault-injection MTBF sweep: every server crashes/recovers as a
+/// seeded exponential process (MTTR fixed) and clients follow the
+/// paper-faithful pin-until-TTL failover, so a scheme's TTL length directly
+/// bounds how long dead bindings keep swallowing hits. Answers whether the
+/// short-TTL advantage doubles as a fast-failover advantage.
+pub fn run_failure_sweep(id: &str, level: geodns_core::HeterogeneityLevel, seed: u64) {
+    use geodns_core::{Algorithm, Experiment};
+    use geodns_server::FailureSpec;
+
+    let algorithms = [
+        Algorithm::drr2_ttl_s_k(),
+        Algorithm::prr2_ttl_k(),
+        Algorithm::prr2_ttl(2),
+        Algorithm::rr(),
+    ];
+    let names: Vec<String> = algorithms.iter().map(Algorithm::name).collect();
+    let mtbfs = [600.0, 1200.0, 2400.0, 4800.0];
+    const MTTR_S: f64 = 120.0;
+
+    let mut points = Vec::new();
+    for mtbf in mtbfs {
+        let mut e = Experiment::new(format!("{id}@{mtbf}"));
+        for algorithm in algorithms {
+            let mut cfg = SimConfig::paper_default(algorithm, level);
+            cfg.seed = seed;
+            cfg.failures.enabled = true;
+            cfg.failures.spec = FailureSpec { mtbf_s: mtbf, mttr_s: MTTR_S };
+            apply_mode(&mut cfg);
+            e.push(algorithm.name(), cfg);
+        }
+        points.push((format!("{mtbf:.0}s"), run_experiment(&e)));
+    }
+
+    print_p98_series(
+        &format!(
+            "X12: Load balance under server failures (MTTR {MTTR_S:.0} s, heterogeneity {level})"
+        ),
+        "mean time between failures per server",
+        &names,
+        &points,
+    );
+    print_failure_table(&names, &points);
+    save_json(id, &flatten_series(&points));
+}
+
+/// Prints the failover-quality half of the failure sweep: the fraction of
+/// hits lost to dead bindings, per-server availability, and how fast
+/// traffic returns to a repaired server.
+pub fn print_failure_table(algorithms: &[String], points: &[(String, Vec<(String, SimReport)>)]) {
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(points.iter().map(|(x, _)| format!("fail% @{x}")));
+    header.extend(points.iter().map(|(x, _)| format!("rebal_s @{x}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = algorithms
+        .iter()
+        .map(|alg| {
+            let mut row = vec![alg.clone()];
+            for (_, results) in points {
+                let f = results
+                    .iter()
+                    .find(|(label, _)| label == alg)
+                    .map(|(_, r)| {
+                        let total = r.hits_completed + r.hits_failed;
+                        if total > 0 {
+                            100.0 * r.hits_failed as f64 / total as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{f:.2}"));
+            }
+            for (_, results) in points {
+                let t = results
+                    .iter()
+                    .find(|(label, _)| label == alg)
+                    .map(|(_, r)| r.time_to_rebalance_mean_s)
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{t:.1}"));
+            }
+            row
+        })
+        .collect();
+    println!("\nfailed-hit share and time-to-rebalance after repair\n");
+    println!("{}", geodns_core::format_table(&header_refs, &rows));
 }
 
 /// Runs the Figures 6–7 estimation-error sweep at one heterogeneity level:
@@ -313,6 +401,14 @@ mod tests {
             page_response_hot_mean_s: 0.0,
             page_response_normal_mean_s: 0.0,
             client_cache_hits: 0,
+            hits_failed: 0,
+            rebinds: 0,
+            per_server_availability: vec![],
+            time_to_rebalance_mean_s: 0.0,
+            hits_issued_total: 0,
+            hits_served_total: 0,
+            hits_failed_total: 0,
+            hits_in_flight: 0,
             timeline: None,
         };
         let flat = flatten_series(&[("20".into(), vec![("RR".into(), r)])]);

@@ -1,0 +1,23 @@
+//! The failure sweep must leave its JSON artifact behind — EXPERIMENTS.md
+//! links to `target/paper/sweep_failures.json` as the raw data.
+
+use std::fs;
+
+#[test]
+fn sweep_failures_emits_its_json_artifact() {
+    std::env::set_var("GEODNS_QUICK", "1");
+    geodns_bench::run_failure_sweep("sweep_failures", geodns_core::HeterogeneityLevel::H35, 1998);
+
+    let path = geodns_bench::output_dir().join("sweep_failures.json");
+    let raw = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()));
+    let parsed: serde_json::Value = serde_json::from_str(&raw).expect("artifact is valid JSON");
+    let rows = parsed.as_array().expect("artifact is a labelled list");
+    // 4 MTBF points × 4 algorithms.
+    assert_eq!(rows.len(), 16, "one row per (MTBF, algorithm) pair");
+    for row in rows {
+        let label = row["label"].as_str().expect("label");
+        assert!(label.contains('|'), "label {label:?} carries its MTBF prefix");
+        assert!(row["report"]["hits_completed"].as_u64().unwrap_or(0) > 0);
+    }
+}

@@ -238,10 +238,10 @@ mod tests {
 
     #[test]
     fn unusual_combination_still_names_itself() {
-        let a = Algorithm::new(PolicyKind::Prr, TtlKind::Adaptive {
-            tiers: TierSpec::Classes(3),
-            server_scaled: true,
-        });
+        let a = Algorithm::new(
+            PolicyKind::Prr,
+            TtlKind::Adaptive { tiers: TierSpec::Classes(3), server_scaled: true },
+        );
         assert_eq!(a.name(), "PRR-TTL/S_3");
     }
 }

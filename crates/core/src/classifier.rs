@@ -85,10 +85,9 @@ impl DomainClasses {
                 class_of
             }
             TierSpec::Classes(1) => vec![0; k],
-            TierSpec::Classes(2) => weights
-                .iter()
-                .map(|&w| if w / total > class_threshold { 0 } else { 1 })
-                .collect(),
+            TierSpec::Classes(2) => {
+                weights.iter().map(|&w| if w / total > class_threshold { 0 } else { 1 }).collect()
+            }
             TierSpec::Classes(_) => {
                 // Contiguous rank groups of near-equal size.
                 let mut order: Vec<usize> = (0..k).collect();
@@ -129,11 +128,7 @@ impl DomainClasses {
             sums[c] += weights[d];
             counts[c] += 1;
         }
-        let class_weights = sums
-            .iter()
-            .zip(&counts)
-            .map(|(s, &c)| s / c as f64)
-            .collect();
+        let class_weights = sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect();
 
         DomainClasses { class_of, class_weights }
     }

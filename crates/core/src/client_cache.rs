@@ -13,10 +13,11 @@
 use serde::{Deserialize, Serialize};
 
 /// How a client treats resolved addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ClientCacheModel {
     /// No client cache: every session consults the (domain-level) NS.
     /// This is the paper's effective model and the default.
+    #[default]
     Off,
     /// The client caches the mapping until the *same instant* the NS entry
     /// expires (honours remaining TTL). Behaviourally equivalent to
@@ -56,12 +57,6 @@ impl ClientCacheModel {
             ClientCacheModel::HonorTtl => Some(ns_expiry_s),
             ClientCacheModel::Pin { pin_s } => Some(now_s + pin_s),
         }
-    }
-}
-
-impl Default for ClientCacheModel {
-    fn default() -> Self {
-        ClientCacheModel::Off
     }
 }
 

@@ -5,7 +5,7 @@ use geodns_server::{CapacityPlan, HeterogeneityLevel};
 use geodns_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::{Algorithm, ClientCacheModel, EstimatorKind, ServiceModel};
+use crate::{Algorithm, ClientCacheModel, EstimatorKind, FailureConfig, ServiceModel};
 
 fn default_noncoop_fraction() -> f64 {
     1.0
@@ -81,6 +81,11 @@ pub struct SimConfig {
     /// memory; off by default).
     #[serde(default)]
     pub record_timeline: bool,
+    /// Server fault injection: seeded crash/recovery with client failover
+    /// semantics (extension; off by default — the paper's servers never
+    /// fail).
+    #[serde(default)]
+    pub failures: FailureConfig,
     /// The constant-TTL baseline all schemes are rate-matched to (240 s).
     pub ttl_const_s: f64,
     /// The two-tier class threshold γ; `None` means the paper's `1/K`.
@@ -120,6 +125,7 @@ impl SimConfig {
             service: ServiceModel::Exponential,
             client_cache: ClientCacheModel::Off,
             record_timeline: false,
+            failures: FailureConfig::default(),
             ttl_const_s: 240.0,
             class_threshold: None,
             normalize_ttl: true,
@@ -155,8 +161,7 @@ impl SimConfig {
     /// The effective two-tier class threshold γ (`1/K` unless overridden).
     #[must_use]
     pub fn gamma(&self) -> f64 {
-        self.class_threshold
-            .unwrap_or(1.0 / self.workload.n_domains as f64)
+        self.class_threshold.unwrap_or(1.0 / self.workload.n_domains as f64)
     }
 
     /// Validates the configuration.
@@ -197,7 +202,8 @@ impl SimConfig {
         }
         self.service.validate()?;
         self.client_cache.validate()?;
-        if !(self.duration_s > 0.0) {
+        self.failures.validate()?;
+        if self.duration_s <= 0.0 || self.duration_s.is_nan() {
             return Err("duration must be > 0".to_string());
         }
         if self.warmup_s < 0.0 {

@@ -39,20 +39,14 @@ impl EstimatorKind {
     /// The default measured estimator: collect every 32 s, EMA α = 0.25.
     #[must_use]
     pub fn measured_default() -> Self {
-        EstimatorKind::Measured {
-            collect_interval_s: 32.0,
-            ema_alpha: 0.25,
-        }
+        EstimatorKind::Measured { collect_interval_s: 32.0, ema_alpha: 0.25 }
     }
 
     /// The default window estimator: collect every 32 s, average the last
     /// 8 windows (≈4 minutes of history).
     #[must_use]
     pub fn window_default() -> Self {
-        EstimatorKind::WindowAverage {
-            collect_interval_s: 32.0,
-            windows: 8,
-        }
+        EstimatorKind::WindowAverage { collect_interval_s: 32.0, windows: 8 }
     }
 
     /// Validates the parameters.
@@ -122,10 +116,7 @@ impl HiddenLoadEstimator {
     #[must_use]
     pub fn new(kind: EstimatorKind, initial_weights: &[f64]) -> Self {
         assert!(!initial_weights.is_empty(), "need at least one domain");
-        assert!(
-            initial_weights.iter().any(|&w| w > 0.0),
-            "initial weights must not all be zero"
-        );
+        assert!(initial_weights.iter().any(|&w| w > 0.0), "initial weights must not all be zero");
         HiddenLoadEstimator {
             kind,
             weights: initial_weights.to_vec(),
@@ -188,10 +179,8 @@ impl HiddenLoadEstimator {
             }
             EstimatorKind::WindowAverage { windows, .. } => {
                 self.updates += 1;
-                let observed: Vec<f64> = counts
-                    .iter()
-                    .map(|&c| (c as f64 / interval_s).max(floor))
-                    .collect();
+                let observed: Vec<f64> =
+                    counts.iter().map(|&c| (c as f64 / interval_s).max(floor)).collect();
                 self.history.push_back(observed);
                 while self.history.len() > windows {
                     self.history.pop_front();
@@ -299,11 +288,21 @@ mod tests {
         assert!(EstimatorKind::Oracle.validate().is_ok());
         assert!(EstimatorKind::measured_default().validate().is_ok());
         assert!(EstimatorKind::window_default().validate().is_ok());
-        assert!(EstimatorKind::Measured { collect_interval_s: 0.0, ema_alpha: 0.5 }.validate().is_err());
-        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 0.0 }.validate().is_err());
-        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.5 }.validate().is_err());
-        assert!(EstimatorKind::WindowAverage { collect_interval_s: 10.0, windows: 0 }.validate().is_err());
-        assert!(EstimatorKind::WindowAverage { collect_interval_s: -1.0, windows: 4 }.validate().is_err());
+        assert!(EstimatorKind::Measured { collect_interval_s: 0.0, ema_alpha: 0.5 }
+            .validate()
+            .is_err());
+        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 0.0 }
+            .validate()
+            .is_err());
+        assert!(EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.5 }
+            .validate()
+            .is_err());
+        assert!(EstimatorKind::WindowAverage { collect_interval_s: 10.0, windows: 0 }
+            .validate()
+            .is_err());
+        assert!(EstimatorKind::WindowAverage { collect_interval_s: -1.0, windows: 4 }
+            .validate()
+            .is_err());
     }
 
     #[test]

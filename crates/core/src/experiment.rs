@@ -54,10 +54,7 @@ pub fn run_all(configs: &[SimConfig]) -> Result<Vec<SimReport>, String> {
     })
     .expect("sweep worker panicked");
 
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 /// A labelled experiment: named rows, each a config to run.
@@ -92,12 +89,7 @@ impl Experiment {
     pub fn run(&self) -> Result<Vec<(String, SimReport)>, String> {
         let configs: Vec<SimConfig> = self.rows.iter().map(|(_, c)| c.clone()).collect();
         let reports = run_all(&configs)?;
-        Ok(self
-            .rows
-            .iter()
-            .map(|(label, _)| label.clone())
-            .zip(reports)
-            .collect())
+        Ok(self.rows.iter().map(|(label, _)| label.clone()).zip(reports).collect())
     }
 }
 
@@ -147,7 +139,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let configs = vec![tiny(Algorithm::rr()), tiny(Algorithm::prr_ttl1()), tiny(Algorithm::dal())];
+        let configs =
+            vec![tiny(Algorithm::rr()), tiny(Algorithm::prr_ttl1()), tiny(Algorithm::dal())];
         let parallel = run_all(&configs).unwrap();
         let serial: Vec<_> = configs.iter().map(|c| run_simulation(c).unwrap()).collect();
         assert_eq!(parallel, serial);
@@ -175,10 +168,7 @@ mod tests {
     fn table_alignment() {
         let t = format_table(
             &["name", "x"],
-            &[
-                vec!["a".into(), "1.00".into()],
-                vec!["longer".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1.00".into()], vec!["longer".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,117 @@
+//! Fault-injection configuration: when servers crash and how clients react.
+
+use geodns_server::FailureSpec;
+use serde::{Deserialize, Serialize};
+
+/// What a client does when its page lands on (or is dropped by) a dead
+/// server.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FailoverModel {
+    /// Paper-faithful: the failed page is abandoned and the session stays
+    /// pinned to its mapping until the TTL expires naturally — short-TTL
+    /// schemes therefore recover faster, which is exactly what the failure
+    /// sweep measures.
+    #[default]
+    PinUntilTtl,
+    /// The client drops its binding, waits `backoff_s`, re-resolves (the
+    /// name-server cache may still pin it to the dead server until the TTL
+    /// runs out), and retries the failed page.
+    RetryAfterBackoff {
+        /// Seconds between the failure and the retry's re-resolution.
+        backoff_s: f64,
+    },
+}
+
+impl FailoverModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a backoff is negative or non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            FailoverModel::PinUntilTtl => Ok(()),
+            FailoverModel::RetryAfterBackoff { backoff_s } => {
+                if backoff_s.is_finite() && *backoff_s >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("failover backoff must be >= 0 s, got {backoff_s}"))
+                }
+            }
+        }
+    }
+}
+
+/// The fault-injection knob of a simulation run. Disabled by default: the
+/// paper's servers never fail, and a run with `enabled = false` is
+/// event-for-event identical to one built before this extension existed
+/// (the failure RNG stream is separate and never drawn from).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Master switch; everything below is ignored when `false`.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Per-server crash/repair means (exponential MTBF/MTTR).
+    #[serde(default = "default_spec")]
+    pub spec: FailureSpec,
+    /// Client-side failover semantics.
+    #[serde(default)]
+    pub failover: FailoverModel,
+}
+
+fn default_spec() -> FailureSpec {
+    FailureSpec { mtbf_s: 3600.0, mttr_s: 120.0 }
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig { enabled: false, spec: default_spec(), failover: FailoverModel::default() }
+    }
+}
+
+impl FailureConfig {
+    /// Validates the configuration (only when enabled — a disabled block
+    /// is inert whatever it contains, but garbage parameters are still
+    /// rejected to catch typos early).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate()?;
+        self.failover.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_and_valid() {
+        let cfg = FailureConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.failover, FailoverModel::PinUntilTtl);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut cfg = FailureConfig::default();
+        cfg.spec.mtbf_s = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let cfg = FailureConfig {
+            failover: FailoverModel::RetryAfterBackoff { backoff_s: -2.0 },
+            ..FailureConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = FailureConfig {
+            enabled: true,
+            spec: FailureSpec { mtbf_s: 600.0, mttr_s: 60.0 },
+            failover: FailoverModel::RetryAfterBackoff { backoff_s: 5.0 },
+        };
+        assert!(cfg.validate().is_ok());
+    }
+}

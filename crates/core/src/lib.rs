@@ -64,6 +64,7 @@ mod client_cache;
 mod config;
 mod estimator;
 mod experiment;
+mod failover;
 pub mod policies;
 mod replay;
 mod replication;
@@ -80,9 +81,10 @@ pub use client_cache::ClientCacheModel;
 pub use config::{ServerSpec, SimConfig};
 pub use estimator::{EstimatorKind, HiddenLoadEstimator};
 pub use experiment::{format_table, run_all, Experiment};
+pub use failover::{FailoverModel, FailureConfig};
 pub use policies::{
-    Dal, LeastLoaded, Mrl, PolicyKind, ProbabilisticRr, ProbabilisticRr2, RandomChoice,
-    RoundRobin, RoundRobin2, SchedCtx, SelectionPolicy, WeightedRandom,
+    Dal, LeastLoaded, Mrl, PolicyKind, ProbabilisticRr, ProbabilisticRr2, RandomChoice, RoundRobin,
+    RoundRobin2, SchedCtx, SelectionPolicy, WeightedRandom,
 };
 pub use replay::run_trace;
 pub use replication::{run_replications, ReplicationSummary};

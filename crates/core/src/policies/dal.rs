@@ -26,9 +26,7 @@ impl Dal {
     #[must_use]
     pub fn new(n_servers: usize) -> Self {
         assert!(n_servers > 0, "need at least one server");
-        Dal {
-            accumulated: vec![0.0; n_servers],
-        }
+        Dal { accumulated: vec![0.0; n_servers] }
     }
 
     /// The current per-server accumulated hidden load.
@@ -91,7 +89,7 @@ mod tests {
         let f = CtxFixture::new(); // C = [100, 100, 80, 80, 50, 50, 50]
         let mut dal = Dal::new(7);
         let mut rng = RngStreams::new(2).stream("dal");
-        let mut counts = vec![0usize; 7];
+        let mut counts = [0usize; 7];
         for _ in 0..1000 {
             let s = dal.select(&f.ctx(0, 0), &mut rng);
             dal.assigned(s, 1.0, 240.0, SimTime::ZERO);

@@ -261,4 +261,55 @@ mod tests {
         let ctx = f.ctx(0, 0);
         assert!((ctx.relative_weight() - 40.0 / 75.0).abs() < 1e-12);
     }
+
+    /// Every policy must terminate and return a valid server even when the
+    /// alarm/liveness mask excludes *all* servers — the site must answer
+    /// something (regression for the all-excluded fallback).
+    #[test]
+    fn every_policy_answers_with_all_servers_excluded() {
+        use geodns_simcore::RngStreams;
+
+        for kind in [
+            PolicyKind::Rr,
+            PolicyKind::Rr2,
+            PolicyKind::Prr,
+            PolicyKind::Prr2,
+            PolicyKind::Dal,
+            PolicyKind::Mrl,
+            PolicyKind::Random,
+            PolicyKind::WeightedRandom,
+            PolicyKind::LeastLoaded,
+        ] {
+            let mut f = test_util::CtxFixture::new();
+            f.available = vec![false; 7];
+            let mut policy = kind.build(7, 2);
+            let mut rng = RngStreams::new(123).stream("excluded");
+            for i in 0..200 {
+                let s = policy.select(&f.ctx(i % 4, i % 2), &mut rng);
+                assert!(s < 7, "{} returned out-of-range server {s}", policy.name());
+                policy.assigned(s, f.ctx(i % 4, i % 2).relative_weight(), 60.0, SimTime::ZERO);
+            }
+        }
+    }
+
+    /// When every acceptance draw fails (near-zero relative capacities),
+    /// the probabilistic walk must exhaust its cap and fall back to the
+    /// next eligible server instead of spinning forever.
+    #[test]
+    fn probabilistic_walk_cap_exhaustion_falls_back() {
+        use geodns_simcore::RngStreams;
+
+        let mut f = test_util::CtxFixture::new();
+        f.relative = vec![0.0; 7]; // acceptance probability ~0 everywhere
+        let mut rng = RngStreams::new(5).stream("walk");
+        let s = prr::probabilistic_walk(3, &f.ctx(0, 0), &mut rng);
+        assert!(s < 7, "cap-exhausted walk still answers");
+        assert_eq!(s, 4, "fallback is the next eligible server after the walk pointer");
+
+        // Same cap exhaustion with some servers alarmed: the fallback must
+        // land on an eligible one.
+        f.available[4] = false;
+        let s = prr::probabilistic_walk(3, &f.ctx(0, 0), &mut rng);
+        assert!(s < 7 && s != 4, "fallback skips the alarmed server, got {s}");
+    }
 }

@@ -35,9 +35,7 @@ impl Mrl {
     #[must_use]
     pub fn new(n_servers: usize) -> Self {
         assert!(n_servers > 0, "need at least one server");
-        Mrl {
-            bindings: vec![Vec::new(); n_servers],
-        }
+        Mrl { bindings: vec![Vec::new(); n_servers] }
     }
 
     /// The residual load of server `s` at time `now`.
@@ -81,11 +79,7 @@ impl SelectionPolicy for Mrl {
 
     fn assigned(&mut self, server: usize, rel_weight: f64, ttl: f64, now: SimTime) {
         if ttl > 0.0 {
-            self.bindings[server].push(Binding {
-                expiry: now + ttl,
-                weight: rel_weight,
-                ttl,
-            });
+            self.bindings[server].push(Binding { expiry: now + ttl, weight: rel_weight, ttl });
         }
     }
 }

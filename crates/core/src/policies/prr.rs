@@ -11,11 +11,7 @@ use super::{SchedCtx, SelectionPolicy};
 /// request to `S_i` only if `u ≤ α_i`; otherwise we skip `S_i` and consider
 /// `S_{i+1}`"). Alarmed servers are skipped outright. Bounded by a safety
 /// cap, after which the next eligible server is taken unconditionally.
-pub(crate) fn probabilistic_walk(
-    start: usize,
-    ctx: &SchedCtx<'_>,
-    rng: &mut StreamRng,
-) -> usize {
+pub(crate) fn probabilistic_walk(start: usize, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
     let n = ctx.num_servers();
     let cap = 64 * n;
     let mut idx = start;
@@ -103,9 +99,7 @@ impl SelectionPolicy for ProbabilisticRr2 {
 
     fn on_classes_rebuilt(&mut self, n_classes: usize) {
         if n_classes != self.last.len() && n_classes > 0 {
-            self.last = (0..n_classes)
-                .map(|c| (self.n_servers - 1 + c) % self.n_servers)
-                .collect();
+            self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
     }
 }
@@ -122,13 +116,13 @@ mod tests {
         let mut prr = ProbabilisticRr::new(7);
         let mut rng = RngStreams::new(42).stream("prr");
         let n = 140_000;
-        let mut counts = vec![0usize; 7];
+        let mut counts = [0usize; 7];
         for _ in 0..n {
             counts[prr.select(&f.ctx(0, 0), &mut rng)] += 1;
         }
         let alpha_sum: f64 = f.relative.iter().sum();
-        for s in 0..7 {
-            let share = counts[s] as f64 / n as f64;
+        for (s, &count) in counts.iter().enumerate() {
+            let share = count as f64 / n as f64;
             let expect = f.relative[s] / alpha_sum;
             assert!(
                 (share - expect).abs() < 0.01,

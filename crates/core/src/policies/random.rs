@@ -49,10 +49,8 @@ impl SelectionPolicy for WeightedRandom {
     }
 
     fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
-        let total: f64 = (0..ctx.num_servers())
-            .filter(|&s| ctx.eligible(s))
-            .map(|s| ctx.relative_caps[s])
-            .sum();
+        let total: f64 =
+            (0..ctx.num_servers()).filter(|&s| ctx.eligible(s)).map(|s| ctx.relative_caps[s]).sum();
         let mut u = rng.gen::<f64>() * total;
         let mut fallback = 0;
         for s in 0..ctx.num_servers() {
@@ -81,7 +79,7 @@ mod tests {
         let mut p = RandomChoice::new();
         let mut rng = RngStreams::new(1).stream("rand");
         let n = 70_000;
-        let mut counts = vec![0usize; 7];
+        let mut counts = [0usize; 7];
         for _ in 0..n {
             counts[p.select(&f.ctx(0, 0), &mut rng)] += 1;
         }
@@ -97,13 +95,13 @@ mod tests {
         let mut p = WeightedRandom::new();
         let mut rng = RngStreams::new(2).stream("wrand");
         let n = 140_000;
-        let mut counts = vec![0usize; 7];
+        let mut counts = [0usize; 7];
         for _ in 0..n {
             counts[p.select(&f.ctx(0, 0), &mut rng)] += 1;
         }
         let alpha_sum: f64 = f.relative.iter().sum();
-        for s in 0..7 {
-            let share = counts[s] as f64 / n as f64;
+        for (s, &count) in counts.iter().enumerate() {
+            let share = count as f64 / n as f64;
             let expect = f.relative[s] / alpha_sum;
             assert!((share - expect).abs() < 0.01, "server {s}: {share} vs {expect}");
         }

@@ -112,9 +112,7 @@ impl SelectionPolicy for RoundRobin2 {
 
     fn on_classes_rebuilt(&mut self, n_classes: usize) {
         if n_classes != self.last.len() && n_classes > 0 {
-            self.last = (0..n_classes)
-                .map(|c| (self.n_servers - 1 + c) % self.n_servers)
-                .collect();
+            self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
     }
 }

@@ -75,9 +75,8 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, String>
     let mut servers: Vec<WebServer> = (0..n_servers)
         .map(|i| WebServer::new(i, plan.absolute(i), n_domains, SimTime::ZERO))
         .collect::<Result<_, _>>()?;
-    let service: Vec<ServiceSampler> = (0..n_servers)
-        .map(|i| config.service.sampler(plan.absolute(i)))
-        .collect();
+    let service: Vec<ServiceSampler> =
+        (0..n_servers).map(|i| config.service.sampler(plan.absolute(i))).collect();
     let mut alarms: Vec<AlarmMonitor> = (0..n_servers)
         .map(|_| AlarmMonitor::new(config.alarm_threshold, config.alarm_hysteresis))
         .collect::<Result<_, _>>()?;
@@ -261,6 +260,14 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, String>
         page_response_hot_mean_s: 0.0,
         page_response_normal_mean_s: 0.0,
         client_cache_hits: 0,
+        hits_failed: 0, // fault injection not modeled in replay mode
+        rebinds: 0,
+        per_server_availability: vec![1.0; n_servers],
+        time_to_rebalance_mean_s: 0.0,
+        hits_issued_total: 0, // conservation ledger not tracked in replay mode
+        hits_served_total: 0,
+        hits_failed_total: 0,
+        hits_in_flight: 0,
         timeline: None,
     })
 }
@@ -342,12 +349,7 @@ mod tests {
         let ratio = rr.hits_completed as f64 / adaptive.hits_completed as f64;
         assert!((0.93..1.07).contains(&ratio), "hit ratio {ratio}");
         // And the paper's ordering holds on a frozen stream too.
-        assert!(
-            adaptive.p98() > rr.p98(),
-            "adaptive {} vs RR {}",
-            adaptive.p98(),
-            rr.p98()
-        );
+        assert!(adaptive.p98() > rr.p98(), "adaptive {} vs RR {}", adaptive.p98(), rr.p98());
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl ReplicationSummary {
     /// The interval as a [`ConfidenceInterval`].
     #[must_use]
     pub fn interval(&self) -> ConfidenceInterval {
-        ConfidenceInterval {
-            mean: self.mean,
-            half_width: self.half_width_95,
-        }
+        ConfidenceInterval { mean: self.mean, half_width: self.half_width_95 }
     }
 }
 

@@ -56,6 +56,36 @@ pub struct SimReport {
     /// cache model is enabled).
     #[serde(default)]
     pub client_cache_hits: u64,
+    /// Hits that failed during the measured span because their server was
+    /// down — issued against a dead server, or dropped from its queue by a
+    /// crash. Always 0 without fault injection.
+    #[serde(default)]
+    pub hits_failed: u64,
+    /// Failure-driven rebinds during the measured span: resolutions that
+    /// moved a client off a server the world knows is dead.
+    #[serde(default)]
+    pub rebinds: u64,
+    /// Fraction of the measured span each server was up (all 1.0 without
+    /// fault injection).
+    #[serde(default)]
+    pub per_server_availability: Vec<f64>,
+    /// Mean seconds from a repair completing (within the measured span) to
+    /// the first hit arriving at the recovered server — how quickly the
+    /// scheme rebalances traffic back. 0 when no repair was observed.
+    #[serde(default)]
+    pub time_to_rebalance_mean_s: f64,
+    /// Whole-run hit-conservation ledger: every hit ever issued…
+    #[serde(default)]
+    pub hits_issued_total: u64,
+    /// …was served…
+    #[serde(default)]
+    pub hits_served_total: u64,
+    /// …or failed…
+    #[serde(default)]
+    pub hits_failed_total: u64,
+    /// …or was still queued when the horizon hit.
+    #[serde(default)]
+    pub hits_in_flight: u64,
     /// The utilization time series, present when the run was configured
     /// with `record_timeline`.
     #[serde(default)]
@@ -131,6 +161,14 @@ mod tests {
             page_response_hot_mean_s: 0.12,
             page_response_normal_mean_s: 0.08,
             client_cache_hits: 0,
+            hits_failed: 0,
+            rebinds: 0,
+            per_server_availability: vec![1.0, 1.0],
+            time_to_rebalance_mean_s: 0.0,
+            hits_issued_total: 1000,
+            hits_served_total: 1000,
+            hits_failed_total: 0,
+            hits_in_flight: 0,
             timeline: None,
         }
     }

@@ -41,6 +41,8 @@ pub struct DnsScheduler {
     relative_caps: Vec<f64>,
     capacities: Vec<f64>,
     available: Vec<bool>,
+    alive: Vec<bool>,
+    candidates: Vec<bool>,
     gamma: f64,
     ttl_const: f64,
     normalize: bool,
@@ -98,6 +100,8 @@ impl DnsScheduler {
             relative_caps: plan.relatives().to_vec(),
             capacities: plan.absolutes().to_vec(),
             available: vec![true; n],
+            alive: vec![true; n],
+            candidates: vec![true; n],
             gamma,
             ttl_const,
             normalize,
@@ -122,7 +126,7 @@ impl DnsScheduler {
             weights: self.estimator.weights(),
             relative_caps: &self.relative_caps,
             capacities: &self.capacities,
-            available: &self.available,
+            available: &self.candidates,
             backlogs,
             now,
         };
@@ -135,11 +139,39 @@ impl DnsScheduler {
 
     /// Processes an asynchronous load signal from a server.
     ///
+    /// Alarm state and liveness are tracked separately: a `Normal` signal
+    /// clears an alarm but cannot resurrect a crashed server, and an `Up`
+    /// signal ends an outage without touching the alarm state.
+    ///
     /// # Panics
     ///
     /// Panics if `server` is out of range.
     pub fn signal(&mut self, server: usize, signal: Signal) {
-        self.available[server] = matches!(signal, Signal::Normal);
+        match signal {
+            Signal::Alarm => self.available[server] = false,
+            Signal::Normal => self.available[server] = true,
+            Signal::Down => self.alive[server] = false,
+            Signal::Up => self.alive[server] = true,
+        }
+        self.rebuild_candidates();
+    }
+
+    /// Recomputes the candidacy mask the policies see. Preference order:
+    /// servers that are both live and un-alarmed; failing that, any live
+    /// server (the alarm path's all-excluded fallback, restricted to
+    /// machines that can actually answer); failing *that* — a total outage
+    /// — every server, because the DNS must return something.
+    fn rebuild_candidates(&mut self) {
+        let both = |i: usize| self.available[i] && self.alive[i];
+        if (0..self.candidates.len()).any(both) {
+            for i in 0..self.candidates.len() {
+                self.candidates[i] = both(i);
+            }
+        } else if self.alive.iter().any(|&l| l) {
+            self.candidates.copy_from_slice(&self.alive);
+        } else {
+            self.candidates.fill(true);
+        }
     }
 
     /// Feeds one estimator collection (per-domain hit counts over
@@ -190,6 +222,13 @@ impl DnsScheduler {
     #[must_use]
     pub fn availability(&self) -> &[bool] {
         &self.available
+    }
+
+    /// The current liveness mask (false = crashed, as far as the DNS has
+    /// heard over the delayed signal channel).
+    #[must_use]
+    pub fn liveness(&self) -> &[bool] {
+        &self.alive
     }
 
     /// The estimator (for inspection).
@@ -266,9 +305,7 @@ mod tests {
         let backlogs = vec![0.0; 7];
         // DRR visits servers in round-robin order: collect TTLs over a full
         // cycle for the same domain.
-        let ttls: Vec<f64> = (0..7)
-            .map(|_| dns.resolve(0, SimTime::ZERO, &backlogs).1)
-            .collect();
+        let ttls: Vec<f64> = (0..7).map(|_| dns.resolve(0, SimTime::ZERO, &backlogs).1).collect();
         let min = ttls.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ttls.iter().cloned().fold(f64::MIN, f64::max);
         assert!((max / min - 1.25).abs() < 1e-9, "ρ·α spread is 1/0.8 at H20");
@@ -291,6 +328,81 @@ mod tests {
             }
         }
         assert!(seen2, "recovered server rejoins the rotation");
+    }
+
+    #[test]
+    fn down_server_excluded_until_up() {
+        let mut dns = scheduler(Algorithm::drr2_ttl_s_k());
+        let backlogs = vec![0.0; 7];
+        dns.signal(3, Signal::Down);
+        for _ in 0..50 {
+            assert_ne!(dns.resolve(0, SimTime::ZERO, &backlogs).0, 3);
+        }
+        dns.signal(3, Signal::Up);
+        let mut seen3 = false;
+        for _ in 0..50 {
+            if dns.resolve(0, SimTime::ZERO, &backlogs).0 == 3 {
+                seen3 = true;
+            }
+        }
+        assert!(seen3, "repaired server rejoins the rotation");
+    }
+
+    #[test]
+    fn alarm_clearing_does_not_resurrect_a_dead_server() {
+        let mut dns = scheduler(Algorithm::rr());
+        let backlogs = vec![0.0; 7];
+        dns.signal(2, Signal::Alarm);
+        dns.signal(2, Signal::Down);
+        // The alarm clears while the machine is still down.
+        dns.signal(2, Signal::Normal);
+        for _ in 0..50 {
+            assert_ne!(dns.resolve(0, SimTime::ZERO, &backlogs).0, 2);
+        }
+        dns.signal(2, Signal::Up);
+        assert!((0..8).any(|_| dns.resolve(0, SimTime::ZERO, &backlogs).0 == 2));
+    }
+
+    #[test]
+    fn repair_does_not_clear_an_alarm() {
+        let mut dns = scheduler(Algorithm::rr());
+        let backlogs = vec![0.0; 7];
+        dns.signal(5, Signal::Down);
+        dns.signal(5, Signal::Alarm);
+        dns.signal(5, Signal::Up);
+        for _ in 0..50 {
+            assert_ne!(dns.resolve(0, SimTime::ZERO, &backlogs).0, 5, "still alarmed");
+        }
+    }
+
+    #[test]
+    fn alarmed_live_servers_beat_dead_ones_in_the_fallback() {
+        let mut dns = scheduler(Algorithm::rr());
+        let backlogs = vec![0.0; 7];
+        // Servers 0..5 dead, 5 and 6 alarmed: only live machines may answer.
+        for s in 0..5 {
+            dns.signal(s, Signal::Down);
+        }
+        dns.signal(5, Signal::Alarm);
+        dns.signal(6, Signal::Alarm);
+        for _ in 0..50 {
+            let (s, _) = dns.resolve(0, SimTime::ZERO, &backlogs);
+            assert!(s == 5 || s == 6, "fallback stays within live servers, got {s}");
+        }
+    }
+
+    #[test]
+    fn total_outage_still_answers_something() {
+        let mut dns = scheduler(Algorithm::prr_ttl_k());
+        let backlogs = vec![0.0; 7];
+        for s in 0..7 {
+            dns.signal(s, Signal::Down);
+        }
+        for _ in 0..20 {
+            let (s, ttl) = dns.resolve(0, SimTime::ZERO, &backlogs);
+            assert!(s < 7);
+            assert!(ttl > 0.0);
+        }
     }
 
     #[test]

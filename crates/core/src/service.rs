@@ -15,9 +15,10 @@ use serde::{Deserialize, Serialize};
 
 /// The shape of per-hit service times. Every variant has mean `1 / C_i`
 /// for a server of capacity `C_i`; only the variance changes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ServiceModel {
     /// Exponential service (default; coefficient of variation 1).
+    #[default]
     Exponential,
     /// Deterministic service (coefficient of variation 0) — the M/D/1
     /// lower-variance extreme.
@@ -69,12 +70,6 @@ impl ServiceModel {
     }
 }
 
-impl Default for ServiceModel {
-    fn default() -> Self {
-        ServiceModel::Exponential
-    }
-}
-
 /// A ready-to-draw service-time sampler for one server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceSampler {
@@ -119,10 +114,7 @@ mod tests {
             ServiceModel::Pareto { shape: 2.5 },
         ] {
             let m = mean_of(model, capacity);
-            assert!(
-                (m - expect).abs() / expect < 0.03,
-                "{model:?}: mean {m} vs {expect}"
-            );
+            assert!((m - expect).abs() / expect < 0.03, "{model:?}: mean {m} vs {expect}");
         }
     }
 

@@ -14,6 +14,11 @@ pub struct Timeline {
     pub times_s: Vec<f64>,
     /// Per-sample utilization of every server (`samples × servers`).
     pub per_server: Vec<Vec<f64>>,
+    /// Liveness transitions under fault injection: `(t_s, server, up)`
+    /// with `t_s` seconds since warm-up end and `up = false` for a crash,
+    /// `true` for the repair completing. Empty without fault injection.
+    #[serde(default)]
+    pub failure_events: Vec<(f64, u32, bool)>,
 }
 
 impl Timeline {
@@ -36,6 +41,11 @@ impl Timeline {
         self.per_server.push(utils);
     }
 
+    /// Records one liveness transition (crash or repair).
+    pub fn push_failure_event(&mut self, t_s: f64, server: u32, up: bool) {
+        self.failure_events.push((t_s, server, up));
+    }
+
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -51,10 +61,7 @@ impl Timeline {
     /// The per-sample maximum across servers.
     #[must_use]
     pub fn max_series(&self) -> Vec<f64> {
-        self.per_server
-            .iter()
-            .map(|row| row.iter().cloned().fold(0.0, f64::max))
-            .collect()
+        self.per_server.iter().map(|row| row.iter().cloned().fold(0.0, f64::max)).collect()
     }
 
     /// Renders the timeline as CSV (`t,s1,s2,…`), ready for any plotting
@@ -114,5 +121,14 @@ mod tests {
     fn empty_csv_is_header_only() {
         let t = Timeline::new();
         assert_eq!(t.to_csv(), "t_s\n");
+    }
+
+    #[test]
+    fn failure_events_accumulate() {
+        let mut t = Timeline::new();
+        assert!(t.failure_events.is_empty());
+        t.push_failure_event(12.5, 3, false);
+        t.push_failure_event(40.0, 3, true);
+        assert_eq!(t.failure_events, vec![(12.5, 3, false), (40.0, 3, true)]);
     }
 }

@@ -100,6 +100,8 @@ mod tests {
     #[test]
     fn adaptivity_flag() {
         assert!(!TtlKind::Constant.is_adaptive());
-        assert!(TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: true }.is_adaptive());
+        assert!(
+            TtlKind::Adaptive { tiers: TierSpec::Classes(1), server_scaled: true }.is_adaptive()
+        );
     }
 }

@@ -44,10 +44,7 @@ impl TtlScheme {
     pub fn constant(ttl: f64, n_servers: usize) -> Self {
         assert!(ttl > 0.0, "TTL must be positive, got {ttl}");
         assert!(n_servers > 0, "need at least one server");
-        TtlScheme {
-            base: vec![ttl],
-            server_factor: vec![1.0; n_servers],
-        }
+        TtlScheme { base: vec![ttl], server_factor: vec![1.0; n_servers] }
     }
 
     /// Builds the TTL table for `kind` from the current classification and
@@ -96,17 +93,9 @@ impl TtlScheme {
         // Base TTL per class ∝ 1 / class weight; floor weights so a cold
         // class cannot produce an infinite TTL.
         let floor = 1e-9;
-        let hottest = classes
-            .class_weights()
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
-            .max(floor);
-        let mut base: Vec<f64> = classes
-            .class_weights()
-            .iter()
-            .map(|&w| hottest / w.max(floor))
-            .collect();
+        let hottest = classes.class_weights().iter().cloned().fold(f64::MIN, f64::max).max(floor);
+        let mut base: Vec<f64> =
+            classes.class_weights().iter().map(|&w| hottest / w.max(floor)).collect();
 
         if normalize {
             // Per-domain expected TTL under a round-robin-like server visit
@@ -174,9 +163,7 @@ impl TtlScheme {
     pub fn expected_ttls(&self, classes: &DomainClasses) -> Vec<f64> {
         let mean_factor: f64 =
             self.server_factor.iter().sum::<f64>() / self.server_factor.len() as f64;
-        (0..classes.num_domains())
-            .map(|d| self.base[classes.class_of(d)] * mean_factor)
-            .collect()
+        (0..classes.num_domains()).map(|d| self.base[classes.class_of(d)] * mean_factor).collect()
     }
 }
 
@@ -228,10 +215,7 @@ mod tests {
             let s = TtlScheme::build(kind, &classes, &w, &caps, 240.0, true);
             let rate = expected_address_rate(&s.expected_ttls(&classes));
             let target = 20.0 / 240.0;
-            assert!(
-                (rate - target).abs() < 1e-9,
-                "{kind:?}: rate {rate} vs target {target}"
-            );
+            assert!((rate - target).abs() < 1e-9, "{kind:?}: rate {rate} vs target {target}");
         }
     }
 

@@ -2,15 +2,18 @@
 //! event engine.
 
 use geodns_nameserver::{MinTtlBehavior, NsCache};
-use geodns_server::{AlarmMonitor, CapacityPlan, Hit, Signal, WebServer};
+use geodns_server::{AlarmMonitor, CapacityPlan, FailureProcess, Hit, Signal, WebServer};
 use geodns_simcore::dist::{Distribution, Uniform};
-use geodns_simcore::stats::{P2Quantile, Tally};
+use geodns_simcore::stats::{Cdf, Tally};
 use geodns_simcore::{Engine, RngStreams, SimTime, StreamRng};
 use geodns_workload::Workload;
 use rand::Rng;
 
 use crate::service::ServiceSampler;
-use crate::{ClientCacheModel, DnsScheduler, HiddenLoadEstimator, SimConfig, SimReport, Timeline};
+use crate::{
+    ClientCacheModel, DnsScheduler, FailoverModel, HiddenLoadEstimator, SimConfig, SimReport,
+    Timeline,
+};
 
 /// The event vocabulary of the model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,8 +22,11 @@ enum Ev {
     SessionStart { client: u32 },
     /// A client issues its next page burst.
     IssuePage { client: u32 },
-    /// The hit in service at a server completes.
-    Departure { server: u32 },
+    /// The hit in service at a server completes. `epoch` names the server
+    /// incarnation the completion was scheduled under: a crash bumps the
+    /// server's epoch, so completions scheduled before it are recognized
+    /// as stale and dropped (the hit was drained by the crash).
+    Departure { server: u32, epoch: u32 },
     /// The periodic utilization check on every server (paper: every 8 s).
     UtilSample,
     /// The DNS collects per-domain counters from the servers.
@@ -31,6 +37,13 @@ enum Ev {
     WarmupEnd,
     /// End of the measured span: the run stops.
     Horizon,
+    /// A server crashes (fault injection only).
+    ServerCrash { server: u32 },
+    /// A crashed server completes repair (fault injection only).
+    ServerRecover { server: u32 },
+    /// A client re-resolves and retries a failed page after its backoff
+    /// ([`FailoverModel::RetryAfterBackoff`] only).
+    RetryPage { client: u32 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +88,11 @@ pub struct World {
     max_util_samples: Vec<f64>,
     per_server_util: Vec<Tally>,
     page_response: Tally,
-    page_p95: P2Quantile,
+    // Exact retained-sample CDF: the response stream is bursty and highly
+    // autocorrelated, which biases constant-memory quantile estimators
+    // (P²'s marker heights lag the stream by whole congestion episodes),
+    // so the report's p95 comes from the exact order statistic.
+    page_responses: Cdf,
     page_response_hot: Tally,
     page_response_normal: Tally,
     client_cache_hits: u64,
@@ -85,6 +102,20 @@ pub struct World {
     hits_total: u64,
     hits_direct: u64,
     alarms_measured: u64,
+    // --- fault injection (`failures` is `None` unless enabled; the RNG
+    // stream exists either way but is never drawn from when disabled, so a
+    // disabled run stays bit-identical to one without this extension) ---
+    rng_failure: StreamRng,
+    failures: Option<Vec<FailureProcess>>,
+    down_since: Vec<Option<SimTime>>,
+    downtime_measured: Vec<f64>,
+    recovery_pending: Vec<Option<SimTime>>,
+    rebalance: Tally,
+    hits_failed_measured: u64,
+    rebinds_measured: u64,
+    hits_issued_total: u64,
+    hits_served_total: u64,
+    hits_failed_total: u64,
 }
 
 impl World {
@@ -105,9 +136,8 @@ impl World {
         let servers: Vec<WebServer> = (0..n_servers)
             .map(|i| WebServer::new(i, plan.absolute(i), n_domains, SimTime::ZERO))
             .collect::<Result<_, _>>()?;
-        let service_dists: Vec<ServiceSampler> = (0..n_servers)
-            .map(|i| cfg.service.sampler(plan.absolute(i)))
-            .collect();
+        let service_dists: Vec<ServiceSampler> =
+            (0..n_servers).map(|i| cfg.service.sampler(plan.absolute(i))).collect();
         let alarms: Vec<AlarmMonitor> = (0..n_servers)
             .map(|_| AlarmMonitor::new(cfg.alarm_threshold, cfg.alarm_hysteresis))
             .collect::<Result<_, _>>()?;
@@ -145,11 +175,8 @@ impl World {
         // the per-class response metrics.
         let total_rate: f64 = workload.nominal_rates().iter().sum();
         let gamma = cfg.gamma();
-        let hot_domain: Vec<bool> = workload
-            .nominal_rates()
-            .iter()
-            .map(|r| r / total_rate > gamma)
-            .collect();
+        let hot_domain: Vec<bool> =
+            workload.nominal_rates().iter().map(|r| r / total_rate > gamma).collect();
 
         let clients: Vec<ClientState> = (0..workload.num_clients())
             .map(|c| {
@@ -179,7 +206,7 @@ impl World {
             max_util_samples: Vec::new(),
             per_server_util: vec![Tally::new(); n_servers],
             page_response: Tally::new(),
-            page_p95: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+            page_responses: Cdf::new(),
             page_response_hot: Tally::new(),
             page_response_normal: Tally::new(),
             client_cache_hits: 0,
@@ -189,6 +216,25 @@ impl World {
             hits_total: 0,
             hits_direct: 0,
             alarms_measured: 0,
+            rng_failure: streams.stream("failures"),
+            failures: if cfg.failures.enabled {
+                Some(
+                    (0..n_servers)
+                        .map(|_| FailureProcess::new(cfg.failures.spec))
+                        .collect::<Result<_, _>>()?,
+                )
+            } else {
+                None
+            },
+            down_since: vec![None; n_servers],
+            downtime_measured: vec![0.0; n_servers],
+            recovery_pending: vec![None; n_servers],
+            rebalance: Tally::new(),
+            hits_failed_measured: 0,
+            rebinds_measured: 0,
+            hits_issued_total: 0,
+            hits_served_total: 0,
+            hits_failed_total: 0,
             cfg,
             workload,
             plan,
@@ -207,7 +253,7 @@ impl World {
             match ev {
                 Ev::SessionStart { client } => self.on_session_start(client, now),
                 Ev::IssuePage { client } => self.on_issue_page(client, now),
-                Ev::Departure { server } => self.on_departure(server, now),
+                Ev::Departure { server, epoch } => self.on_departure(server, epoch, now),
                 Ev::UtilSample => self.on_util_sample(now),
                 Ev::Collect => self.on_collect(now),
                 Ev::SignalArrive { server, signal } => self.on_signal(server, signal),
@@ -215,6 +261,9 @@ impl World {
                 Ev::Horizon => {
                     self.engine.clear_pending();
                 }
+                Ev::ServerCrash { server } => self.on_server_crash(server, now),
+                Ev::ServerRecover { server } => self.on_server_recover(server, now),
+                Ev::RetryPage { client } => self.on_retry_page(client, now),
             }
         }
         self.finalize()
@@ -235,18 +284,26 @@ impl World {
             self.engine.schedule_in(interval, Ev::Collect);
         }
         self.engine.schedule_in(self.cfg.warmup_s, Ev::WarmupEnd);
-        self.engine
-            .schedule_in(self.cfg.warmup_s + self.cfg.duration_s, Ev::Horizon);
+        self.engine.schedule_in(self.cfg.warmup_s + self.cfg.duration_s, Ev::Horizon);
+        if let Some(fps) = &mut self.failures {
+            for (s, fp) in fps.iter_mut().enumerate() {
+                let up = fp.sample_uptime(&mut self.rng_failure);
+                self.engine.schedule_in(up, Ev::ServerCrash { server: s as u32 });
+            }
+        }
     }
 
     fn backlogs(&self) -> Vec<f64> {
         self.servers.iter().map(WebServer::normalized_backlog).collect()
     }
 
-    fn on_session_start(&mut self, client: u32, now: SimTime) {
+    /// Resolves the client's domain through the full path (client cache →
+    /// domain NS cache → DNS), records the mapping into the client state,
+    /// and counts failure-driven rebinds.
+    fn resolve_client(&mut self, client: u32, now: SimTime) {
         let domain = self.clients[client as usize].domain as usize;
+        let old_server = self.clients[client as usize].server as usize;
 
-        // Resolution path: client cache → domain NS cache → DNS.
         let client_hit = self.clients[client as usize]
             .cached
             .filter(|&(_, expiry)| now < expiry)
@@ -275,19 +332,28 @@ impl World {
                         .client_cache
                         .expiry(now.as_secs(), ns_expiry.as_secs())
                         .map(SimTime::from_secs);
-                    self.clients[client as usize].cached =
-                        expiry.map(|e| (server as u32, e));
+                    self.clients[client as usize].cached = expiry.map(|e| (server as u32, e));
                 }
                 (server, direct)
             }
         };
-        let pages = self.workload.session().sample_pages(&mut self.rng_pages);
+        if self.measuring
+            && server != old_server
+            && self.failures.as_ref().is_some_and(|f| !f[old_server].alive())
         {
-            let state = &mut self.clients[client as usize];
-            state.server = server as u32;
-            state.pages_left = pages;
-            state.direct = direct;
+            // The resolution moved this client off a dead server — a
+            // failure-driven rebind, whichever cache layer supplied it.
+            self.rebinds_measured += 1;
         }
+        let state = &mut self.clients[client as usize];
+        state.server = server as u32;
+        state.direct = direct;
+    }
+
+    fn on_session_start(&mut self, client: u32, now: SimTime) {
+        self.resolve_client(client, now);
+        let pages = self.workload.session().sample_pages(&mut self.rng_pages);
+        self.clients[client as usize].pages_left = pages;
         if self.measuring {
             self.sessions += 1;
         }
@@ -303,32 +369,51 @@ impl World {
             (state.server as usize, state.domain as usize, state.direct)
         };
         let hits = self.workload.session().sample_hits(&mut self.rng_hits);
+        self.hits_issued_total += hits;
         if self.measuring {
             self.hits_total += hits;
             if direct {
                 self.hits_direct += hits;
             }
         }
+        if self.failures.as_ref().is_some_and(|f| !f[server].alive()) {
+            // The mapped server is down: the whole page fails and the
+            // client's failover model decides what happens next.
+            self.hits_failed_total += hits;
+            if self.measuring {
+                self.hits_failed_measured += hits;
+            }
+            self.handle_failed_page(client, now);
+            return;
+        }
+        if let Some(recovered_at) = self.recovery_pending[server].take() {
+            if self.measuring {
+                self.rebalance.record(now.since(recovered_at));
+            }
+        }
+        let epoch = self.servers[server].epoch();
         for i in 0..hits {
-            let hit = Hit {
-                client: client as usize,
-                domain,
-                last_of_page: i + 1 == hits,
-            };
+            let hit = Hit { client: client as usize, domain, last_of_page: i + 1 == hits };
             if self.servers[server].arrive(hit, now) {
                 let svc = self.service_dists[server].sample(&mut self.rng_service);
-                self.engine.schedule_in(svc, Ev::Departure { server: server as u32 });
+                self.engine.schedule_in(svc, Ev::Departure { server: server as u32, epoch });
             }
         }
     }
 
-    fn on_departure(&mut self, server: u32, now: SimTime) {
+    fn on_departure(&mut self, server: u32, epoch: u32, now: SimTime) {
         let s = server as usize;
+        if epoch != self.servers[s].epoch() {
+            // The server crashed after this completion was scheduled; the
+            // hit was drained and already accounted as failed.
+            return;
+        }
         let (hit, more) = self.servers[s].depart(now);
         if more {
             let svc = self.service_dists[s].sample(&mut self.rng_service);
-            self.engine.schedule_in(svc, Ev::Departure { server });
+            self.engine.schedule_in(svc, Ev::Departure { server, epoch });
         }
+        self.hits_served_total += 1;
         if self.measuring {
             self.hits_completed_measured += 1;
         }
@@ -338,20 +423,16 @@ impl World {
             if self.measuring {
                 let response = now.since(state.page_issued_at);
                 self.page_response.record(response);
-                self.page_p95.record(response);
+                self.page_responses.record(response);
                 if state.hot_domain {
                     self.page_response_hot.record(response);
                 } else {
                     self.page_response_normal.record(response);
                 }
             }
-            let multiplier = self
-                .workload
-                .client_rate_multiplier_at(hit.client, now.as_secs());
-            let think = self
-                .workload
-                .session()
-                .sample_think_scaled(&mut self.rng_think, multiplier);
+            let multiplier = self.workload.client_rate_multiplier_at(hit.client, now.as_secs());
+            let think =
+                self.workload.session().sample_think_scaled(&mut self.rng_think, multiplier);
             let next = if state.pages_left > 0 {
                 Ev::IssuePage { client }
             } else {
@@ -415,6 +496,107 @@ impl World {
         self.dns.signal(server as usize, signal);
     }
 
+    fn on_server_crash(&mut self, server: u32, now: SimTime) {
+        let s = server as usize;
+        let repair = {
+            let fps = self.failures.as_mut().expect("crash event without fault injection");
+            fps[s].crash();
+            fps[s].sample_downtime(&mut self.rng_failure)
+        };
+        self.engine.schedule_in(repair, Ev::ServerRecover { server });
+        // The liveness signal rides the same delayed channel as alarms.
+        self.engine.schedule_in(
+            self.cfg.feedback_delay_s,
+            Ev::SignalArrive { server, signal: Signal::Down },
+        );
+        self.down_since[s] = Some(now);
+        self.recovery_pending[s] = None;
+        if self.measuring {
+            let t = now.since(self.measured_start);
+            if let Some(timeline) = self.timeline.as_mut() {
+                timeline.push_failure_event(t, server, false);
+            }
+        }
+        // Everything queued at the server is lost. A page whose closing
+        // hit was still queued never completes, so its client fails over.
+        let dropped = self.servers[s].crash_drain(now);
+        self.hits_failed_total += dropped.len() as u64;
+        if self.measuring {
+            self.hits_failed_measured += dropped.len() as u64;
+        }
+        for hit in dropped {
+            if hit.last_of_page {
+                self.handle_failed_page(hit.client as u32, now);
+            }
+        }
+    }
+
+    fn on_server_recover(&mut self, server: u32, now: SimTime) {
+        let s = server as usize;
+        let next_up = {
+            let fps = self.failures.as_mut().expect("recovery event without fault injection");
+            fps[s].recover();
+            fps[s].sample_uptime(&mut self.rng_failure)
+        };
+        self.engine.schedule_in(next_up, Ev::ServerCrash { server });
+        self.engine.schedule_in(
+            self.cfg.feedback_delay_s,
+            Ev::SignalArrive { server, signal: Signal::Up },
+        );
+        if let Some(down_at) = self.down_since[s].take() {
+            if self.measuring {
+                let from =
+                    if down_at < self.measured_start { self.measured_start } else { down_at };
+                self.downtime_measured[s] += now.since(from);
+            }
+        }
+        self.recovery_pending[s] = Some(now);
+        if self.measuring {
+            let t = now.since(self.measured_start);
+            if let Some(timeline) = self.timeline.as_mut() {
+                timeline.push_failure_event(t, server, true);
+            }
+        }
+    }
+
+    /// A client's page failed (issued at a dead server, or dropped from a
+    /// crashing server's queue). The failover model decides what happens.
+    fn handle_failed_page(&mut self, client: u32, now: SimTime) {
+        match self.cfg.failures.failover {
+            FailoverModel::PinUntilTtl => {
+                // Paper-faithful: the page is abandoned, the binding stays
+                // until its TTL runs out, and the client moves on after a
+                // normal think period.
+                let state = self.clients[client as usize];
+                let multiplier =
+                    self.workload.client_rate_multiplier_at(client as usize, now.as_secs());
+                let think =
+                    self.workload.session().sample_think_scaled(&mut self.rng_think, multiplier);
+                let next = if state.pages_left > 0 {
+                    Ev::IssuePage { client }
+                } else {
+                    Ev::SessionStart { client }
+                };
+                self.engine.schedule_in(think, next);
+            }
+            FailoverModel::RetryAfterBackoff { backoff_s } => {
+                // The client notices the failure, drops its own binding,
+                // and retries the same page after the backoff with a fresh
+                // resolution (the NS cache may still pin it to the dead
+                // server until the TTL expires).
+                let state = &mut self.clients[client as usize];
+                state.pages_left += 1;
+                state.cached = None;
+                self.engine.schedule_in(backoff_s, Ev::RetryPage { client });
+            }
+        }
+    }
+
+    fn on_retry_page(&mut self, client: u32, now: SimTime) {
+        self.resolve_client(client, now);
+        self.on_issue_page(client, now);
+    }
+
     fn on_warmup_end(&mut self, now: SimTime) {
         self.measuring = true;
         self.measured_start = now;
@@ -427,6 +609,20 @@ impl World {
     fn finalize(mut self) -> SimReport {
         self.max_util_samples.sort_by(|a, b| a.total_cmp(b));
         let span = self.cfg.duration_s;
+        // Close out servers still down at the horizon.
+        let horizon = self.engine.now();
+        let mut downtime = self.downtime_measured.clone();
+        if self.measuring {
+            for (s, down_at) in self.down_since.iter().enumerate() {
+                if let Some(t) = down_at {
+                    let from = if *t < self.measured_start { self.measured_start } else { *t };
+                    downtime[s] += horizon.since(from);
+                }
+            }
+        }
+        let per_server_availability: Vec<f64> =
+            downtime.iter().map(|d| (1.0 - d / span).clamp(0.0, 1.0)).collect();
+        let hits_in_flight: u64 = self.servers.iter().map(|s| s.queue_len() as u64).sum();
         SimReport {
             algorithm: self.cfg.algorithm.name(),
             seed: self.cfg.seed,
@@ -435,7 +631,7 @@ impl World {
             max_util_samples: self.max_util_samples,
             per_server_mean_util: self.per_server_util.iter().map(Tally::mean).collect(),
             page_response_mean_s: self.page_response.mean(),
-            page_response_p95_s: self.page_p95.value().unwrap_or(0.0),
+            page_response_p95_s: self.page_responses.quantile(0.95).unwrap_or(0.0),
             sessions: self.sessions,
             dns_queries: self.dns_queries_measured,
             address_request_rate: self.dns_queries_measured as f64 / span,
@@ -450,6 +646,14 @@ impl World {
             page_response_hot_mean_s: self.page_response_hot.mean(),
             page_response_normal_mean_s: self.page_response_normal.mean(),
             client_cache_hits: self.client_cache_hits,
+            hits_failed: self.hits_failed_measured,
+            rebinds: self.rebinds_measured,
+            per_server_availability,
+            time_to_rebalance_mean_s: self.rebalance.mean(),
+            hits_issued_total: self.hits_issued_total,
+            hits_served_total: self.hits_served_total,
+            hits_failed_total: self.hits_failed_total,
+            hits_in_flight,
             timeline: self.timeline,
         }
     }

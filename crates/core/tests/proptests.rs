@@ -151,7 +151,7 @@ proptest! {
         let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H50, 500.0);
         let est = HiddenLoadEstimator::new(
             EstimatorKind::Measured { collect_interval_s: 8.0, ema_alpha: 1.0 },
-            &vec![1.0; 20],
+            &[1.0; 20],
         );
         let rng = RngStreams::new(seed).stream("dns");
         let mut dns = DnsScheduler::new(Algorithm::drr2_ttl_s_k(), &plan, est, 0.05, 240.0, true, rng);

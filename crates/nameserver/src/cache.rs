@@ -79,11 +79,7 @@ impl NsCache {
     #[must_use]
     pub fn with_behaviors(behaviors: Vec<MinTtlBehavior>) -> Self {
         assert!(!behaviors.is_empty(), "need at least one domain");
-        NsCache {
-            entries: vec![None; behaviors.len()],
-            behaviors,
-            stats: CacheStats::default(),
-        }
+        NsCache { entries: vec![None; behaviors.len()], behaviors, stats: CacheStats::default() }
     }
 
     /// The TTL-acceptance behaviour of domain `d`'s name server.
@@ -134,6 +130,7 @@ impl NsCache {
     ///
     /// Panics if `d` is out of range or the TTL is negative.
     pub fn insert(&mut self, d: usize, server: usize, proposed_ttl_s: f64, now: SimTime) -> f64 {
+        assert!(proposed_ttl_s >= 0.0, "negative TTL {proposed_ttl_s} proposed for domain {d}");
         let ttl = self.behaviors[d].effective_ttl(proposed_ttl_s);
         self.entries[d] = Some((server, now + ttl));
         ttl
@@ -211,6 +208,13 @@ mod tests {
         let eff = ns.insert(0, 1, 10.0, t(0.0));
         assert_eq!(eff, 100.0);
         assert_eq!(ns.peek(0, t(50.0)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative TTL")]
+    fn negative_ttl_panics() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, -1.0, t(0.0));
     }
 
     #[test]

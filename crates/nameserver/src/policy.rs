@@ -25,9 +25,10 @@ use serde::{Deserialize, Serialize};
 /// let dflt = MinTtlBehavior::DefaultOnSmall { min_ttl_s: 60.0, default_ttl_s: 300.0 };
 /// assert_eq!(dflt.effective_ttl(12.0), 300.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum MinTtlBehavior {
     /// The NS honours any TTL the DNS proposes.
+    #[default]
     Cooperative,
     /// Worst case of §5.2: TTLs below `min_ttl_s` are raised to it.
     ClampToMin {
@@ -51,10 +52,7 @@ impl MinTtlBehavior {
     /// Panics if `proposed_ttl_s` is negative or NaN.
     #[must_use]
     pub fn effective_ttl(&self, proposed_ttl_s: f64) -> f64 {
-        assert!(
-            proposed_ttl_s >= 0.0,
-            "proposed TTL must be non-negative, got {proposed_ttl_s}"
-        );
+        assert!(proposed_ttl_s >= 0.0, "proposed TTL must be non-negative, got {proposed_ttl_s}");
         match *self {
             MinTtlBehavior::Cooperative => proposed_ttl_s,
             MinTtlBehavior::ClampToMin { min_ttl_s } => proposed_ttl_s.max(min_ttl_s),
@@ -72,12 +70,6 @@ impl MinTtlBehavior {
     #[must_use]
     pub fn is_cooperative(&self) -> bool {
         matches!(self, MinTtlBehavior::Cooperative)
-    }
-}
-
-impl Default for MinTtlBehavior {
-    fn default() -> Self {
-        MinTtlBehavior::Cooperative
     }
 }
 

@@ -8,6 +8,12 @@ use serde::{Deserialize, Serialize};
 /// > it has exceeded a given alarm threshold θ. When this occurs, the server
 /// > sends an alarm signal to the DNS, while a normal signal is sent when
 /// > its utilization level returns below the threshold."
+///
+/// The fault-injection extension reuses the same delayed channel for
+/// liveness transitions: a crashing server emits [`Signal::Down`], a
+/// repaired one [`Signal::Up`]. Liveness is tracked separately from the
+/// alarm state at the DNS, so an alarm clearing never resurrects a dead
+/// server and a repair never clears an alarm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Signal {
     /// The server crossed the alarm threshold and should be excluded from
@@ -15,6 +21,10 @@ pub enum Signal {
     Alarm,
     /// The server's utilization dropped back below the threshold.
     Normal,
+    /// The server crashed and answers nothing (fault injection).
+    Down,
+    /// The server finished repair and serves again (fault injection).
+    Up,
 }
 
 /// Edge-triggered alarm logic for one server.
@@ -59,12 +69,7 @@ impl AlarmMonitor {
         if !(hysteresis.is_finite() && hysteresis >= 0.0 && hysteresis < threshold) {
             return Err(format!("hysteresis must be in [0, threshold), got {hysteresis}"));
         }
-        Ok(AlarmMonitor {
-            threshold,
-            hysteresis,
-            alarmed: false,
-            alarms_raised: 0,
-        })
+        Ok(AlarmMonitor { threshold, hysteresis, alarmed: false, alarms_raised: 0 })
     }
 
     /// The alarm threshold θ.

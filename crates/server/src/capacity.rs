@@ -138,8 +138,7 @@ impl CapacityPlan {
     /// Never panics: presets are valid by construction.
     #[must_use]
     pub fn from_level(level: HeterogeneityLevel, total_capacity: f64) -> Self {
-        Self::from_relative(level.relative_capacities(), total_capacity)
-            .expect("presets are valid")
+        Self::from_relative(level.relative_capacities(), total_capacity).expect("presets are valid")
     }
 
     /// A homogeneous plan with `n` servers.
@@ -243,9 +242,19 @@ mod tests {
 
     #[test]
     fn power_ratios() {
-        assert!((CapacityPlan::from_level(HeterogeneityLevel::H0, 500.0).power_ratio() - 1.0).abs() < 1e-12);
-        assert!((CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0).power_ratio() - 1.25).abs() < 1e-12);
-        assert!((CapacityPlan::from_level(HeterogeneityLevel::H65, 500.0).power_ratio() - 1.0 / 0.35).abs() < 1e-9);
+        assert!(
+            (CapacityPlan::from_level(HeterogeneityLevel::H0, 500.0).power_ratio() - 1.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (CapacityPlan::from_level(HeterogeneityLevel::H20, 500.0).power_ratio() - 1.25).abs()
+                < 1e-12
+        );
+        assert!(
+            (CapacityPlan::from_level(HeterogeneityLevel::H65, 500.0).power_ratio() - 1.0 / 0.35)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

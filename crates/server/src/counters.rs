@@ -33,10 +33,7 @@ impl DomainCounters {
     /// Creates counters for `n_domains` domains.
     #[must_use]
     pub fn new(n_domains: usize) -> Self {
-        DomainCounters {
-            counts: vec![0; n_domains],
-            lifetime: vec![0; n_domains],
-        }
+        DomainCounters { counts: vec![0; n_domains], lifetime: vec![0; n_domains] }
     }
 
     /// Records one hit from domain `d`.

@@ -1,0 +1,208 @@
+//! Seeded server crash/recovery process (fault-injection extension).
+
+use geodns_simcore::dist::{Distribution, Exponential};
+use geodns_simcore::StreamRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the per-server failure process: exponentially distributed
+/// time-between-failures and time-to-repair.
+///
+/// Off by default — the paper's model has perfectly reliable servers; the
+/// process only runs when a simulation explicitly enables it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Mean up-time between crashes (MTBF), seconds.
+    pub mtbf_s: f64,
+    /// Mean down-time per crash (MTTR), seconds.
+    pub mttr_s: f64,
+}
+
+impl FailureSpec {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message unless both means are finite and positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mtbf_s.is_finite() && self.mtbf_s > 0.0) {
+            return Err(format!("MTBF must be > 0 s, got {}", self.mtbf_s));
+        }
+        if !(self.mttr_s.is_finite() && self.mttr_s > 0.0) {
+            return Err(format!("MTTR must be > 0 s, got {}", self.mttr_s));
+        }
+        Ok(())
+    }
+
+    /// Long-run availability of a server under this process,
+    /// `MTBF / (MTBF + MTTR)`.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.mtbf_s / (self.mtbf_s + self.mttr_s)
+    }
+}
+
+/// The alternating-renewal crash/recovery state machine of one server.
+///
+/// The world drives it: [`sample_uptime`](FailureProcess::sample_uptime)
+/// yields the delay until the next crash, [`crash`](FailureProcess::crash)
+/// marks the server down, [`sample_downtime`](FailureProcess::sample_downtime)
+/// yields the repair delay, and [`recover`](FailureProcess::recover) brings
+/// the server back. All draws come from whatever RNG stream the caller
+/// dedicates to failures, so an idle process consumes nothing.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_server::{FailureProcess, FailureSpec};
+/// use geodns_simcore::RngStreams;
+///
+/// let spec = FailureSpec { mtbf_s: 3600.0, mttr_s: 120.0 };
+/// let mut p = FailureProcess::new(spec).unwrap();
+/// let mut rng = RngStreams::new(7).stream("failures");
+/// assert!(p.alive());
+/// let up = p.sample_uptime(&mut rng);
+/// assert!(up > 0.0);
+/// p.crash();
+/// assert!(!p.alive());
+/// let down = p.sample_downtime(&mut rng);
+/// assert!(down > 0.0);
+/// p.recover();
+/// assert!(p.alive());
+/// assert_eq!(p.crashes(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureProcess {
+    spec: FailureSpec,
+    uptime: Exponential,
+    downtime: Exponential,
+    alive: bool,
+    crashes: u64,
+}
+
+impl FailureProcess {
+    /// Creates the process in the *up* state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec is invalid.
+    pub fn new(spec: FailureSpec) -> Result<Self, String> {
+        spec.validate()?;
+        Ok(FailureProcess {
+            spec,
+            uptime: Exponential::new(1.0 / spec.mtbf_s),
+            downtime: Exponential::new(1.0 / spec.mttr_s),
+            alive: true,
+            crashes: 0,
+        })
+    }
+
+    /// The parameters the process was built from.
+    #[must_use]
+    pub fn spec(&self) -> FailureSpec {
+        self.spec
+    }
+
+    /// Whether the server is currently up.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Number of crashes so far.
+    #[must_use]
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Draws the next up-time (seconds until the coming crash).
+    pub fn sample_uptime(&mut self, rng: &mut StreamRng) -> f64 {
+        self.uptime.sample(rng)
+    }
+
+    /// Draws the next down-time (seconds until repair completes).
+    pub fn sample_downtime(&mut self, rng: &mut StreamRng) -> f64 {
+        self.downtime.sample(rng)
+    }
+
+    /// Marks the server down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is already down — the driving world must
+    /// alternate crash and recovery events.
+    pub fn crash(&mut self) {
+        assert!(self.alive, "crash of an already-down server");
+        self.alive = false;
+        self.crashes += 1;
+    }
+
+    /// Marks the server up again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is already up.
+    pub fn recover(&mut self) {
+        assert!(!self.alive, "recovery of an already-up server");
+        self.alive = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    fn spec() -> FailureSpec {
+        FailureSpec { mtbf_s: 1000.0, mttr_s: 100.0 }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FailureSpec { mtbf_s: 0.0, mttr_s: 1.0 }.validate().is_err());
+        assert!(FailureSpec { mtbf_s: 1.0, mttr_s: 0.0 }.validate().is_err());
+        assert!(FailureSpec { mtbf_s: f64::NAN, mttr_s: 1.0 }.validate().is_err());
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn availability_formula() {
+        assert!((spec().availability() - 1000.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_means_match_spec() {
+        let mut p = FailureProcess::new(spec()).unwrap();
+        let mut rng = RngStreams::new(11).stream("failures");
+        let n = 40_000;
+        let up: f64 = (0..n).map(|_| p.sample_uptime(&mut rng)).sum::<f64>() / f64::from(n);
+        let down: f64 = (0..n).map(|_| p.sample_downtime(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((up / 1000.0 - 1.0).abs() < 0.03, "mean uptime {up}");
+        assert!((down / 100.0 - 1.0).abs() < 0.03, "mean downtime {down}");
+    }
+
+    #[test]
+    fn alternates_and_counts() {
+        let mut p = FailureProcess::new(spec()).unwrap();
+        for _ in 0..3 {
+            p.crash();
+            p.recover();
+        }
+        assert_eq!(p.crashes(), 3);
+        assert!(p.alive());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-down")]
+    fn double_crash_panics() {
+        let mut p = FailureProcess::new(spec()).unwrap();
+        p.crash();
+        p.crash();
+    }
+
+    #[test]
+    #[should_panic(expected = "already-up")]
+    fn double_recovery_panics() {
+        let mut p = FailureProcess::new(spec()).unwrap();
+        p.recover();
+    }
+}

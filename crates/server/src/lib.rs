@@ -15,7 +15,11 @@
 //!   [`UtilizationMonitor`], [`AlarmMonitor`], [`Signal`];
 //! * servers count arriving hits per source domain — the raw material the
 //!   DNS's hidden-load estimator periodically collects —
-//!   [`DomainCounters`].
+//!   [`DomainCounters`];
+//! * an optional seeded crash/recovery process (exponential MTBF/MTTR, off
+//!   by default) models server faults; crashes drop the queue and flow to
+//!   the DNS as [`Signal::Down`]/[`Signal::Up`] over the same delayed
+//!   channel as alarms — [`FailureProcess`], [`FailureSpec`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,11 +27,13 @@
 mod alarm;
 mod capacity;
 mod counters;
+mod failure;
 mod monitor;
 mod webserver;
 
 pub use alarm::{AlarmMonitor, Signal};
 pub use capacity::{CapacityPlan, HeterogeneityLevel, ServerId};
 pub use counters::DomainCounters;
+pub use failure::{FailureProcess, FailureSpec};
 pub use monitor::UtilizationMonitor;
 pub use webserver::{Hit, WebServer};

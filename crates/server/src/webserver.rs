@@ -53,6 +53,7 @@ pub struct WebServer {
     counters: DomainCounters,
     hits_arrived: u64,
     hits_completed: u64,
+    epoch: u32,
 }
 
 impl WebServer {
@@ -62,7 +63,12 @@ impl WebServer {
     /// # Errors
     ///
     /// Returns an error unless `capacity` is finite and positive.
-    pub fn new(index: usize, capacity: f64, n_domains: usize, start: SimTime) -> Result<Self, String> {
+    pub fn new(
+        index: usize,
+        capacity: f64,
+        n_domains: usize,
+        start: SimTime,
+    ) -> Result<Self, String> {
         if !(capacity.is_finite() && capacity > 0.0) {
             return Err(format!("server capacity must be > 0, got {capacity}"));
         }
@@ -74,6 +80,7 @@ impl WebServer {
             counters: DomainCounters::new(n_domains),
             hits_arrived: 0,
             hits_completed: 0,
+            epoch: 0,
         })
     }
 
@@ -125,6 +132,26 @@ impl WebServer {
             self.monitor.set_busy(now, false);
         }
         (hit, more)
+    }
+
+    /// The server's *service epoch*: bumped on every crash so that
+    /// departure events scheduled before the crash can be recognized as
+    /// stale and dropped (the event engine has no cancellation).
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Crashes the server at `now`: drops every queued hit (including the
+    /// one in service), stops the busy clock, and bumps the epoch. Returns
+    /// the dropped hits so the caller can account them as failed and
+    /// reschedule their clients.
+    pub fn crash_drain(&mut self, now: SimTime) -> Vec<Hit> {
+        if !self.queue.is_empty() {
+            self.monitor.set_busy(now, false);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        self.queue.drain(..).collect()
     }
 
     /// Current queue length (including the hit in service).
@@ -266,6 +293,30 @@ mod tests {
         fast.arrive(hit(0, 0, false), t(0.0));
         slow.arrive(hit(0, 0, false), t(0.0));
         assert!(fast.normalized_backlog() < slow.normalized_backlog());
+    }
+
+    #[test]
+    fn crash_drains_queue_and_bumps_epoch() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        s.arrive(hit(1, 0, false), t(1.0));
+        s.arrive(hit(2, 0, true), t(1.0));
+        assert_eq!(s.epoch(), 0);
+        let dropped = s.crash_drain(t(2.0));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[1], hit(2, 0, true));
+        assert_eq!(s.queue_len(), 0);
+        assert!(!s.is_busy());
+        assert_eq!(s.epoch(), 1);
+        // The busy clock stopped at the crash: 1 busy second out of 8.
+        assert!((s.sample_utilization(t(8.0)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_of_idle_server_is_clean() {
+        let mut s = WebServer::new(0, 50.0, 4, t(0.0)).unwrap();
+        assert!(s.crash_drain(t(1.0)).is_empty());
+        assert_eq!(s.epoch(), 1);
+        assert!(s.arrive(hit(0, 0, true), t(2.0)), "serves again after repair");
     }
 
     #[test]

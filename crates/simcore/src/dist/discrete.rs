@@ -25,9 +25,9 @@ use super::{Distribution, ParamError};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Discrete {
-    prob: Vec<f64>,       // normalized probabilities (for introspection)
-    accept: Vec<f64>,     // alias-table acceptance thresholds
-    alias: Vec<usize>,    // alias targets
+    prob: Vec<f64>,    // normalized probabilities (for introspection)
+    accept: Vec<f64>,  // alias-table acceptance thresholds
+    alias: Vec<usize>, // alias targets
 }
 
 impl Discrete {

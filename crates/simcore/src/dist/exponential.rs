@@ -59,7 +59,10 @@ impl Exponential {
     /// Panics if `mean` is not finite and positive.
     #[must_use]
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be finite and > 0, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be finite and > 0, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 

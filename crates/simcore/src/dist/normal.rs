@@ -41,7 +41,9 @@ impl Normal {
         if mu.is_finite() && sigma.is_finite() && sigma > 0.0 {
             Ok(Normal { mu, sigma, spare: Cell::new(None) })
         } else {
-            Err(ParamError::new(format!("normal requires finite mu and sigma > 0, got mu={mu}, sigma={sigma}")))
+            Err(ParamError::new(format!(
+                "normal requires finite mu and sigma > 0, got mu={mu}, sigma={sigma}"
+            )))
         }
     }
 

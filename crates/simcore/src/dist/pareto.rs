@@ -36,7 +36,9 @@ impl Pareto {
         if x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0 {
             Ok(Pareto { x_min, alpha })
         } else {
-            Err(ParamError::new(format!("pareto requires x_min > 0 and alpha > 0, got x_min={x_min}, alpha={alpha}")))
+            Err(ParamError::new(format!(
+                "pareto requires x_min > 0 and alpha > 0, got x_min={x_min}, alpha={alpha}"
+            )))
         }
     }
 

@@ -33,7 +33,9 @@ impl Uniform {
         if lo.is_finite() && hi.is_finite() && lo < hi {
             Ok(Uniform { lo, hi })
         } else {
-            Err(ParamError::new(format!("uniform bounds must be finite with lo < hi, got [{lo}, {hi})")))
+            Err(ParamError::new(format!(
+                "uniform bounds must be finite with lo < hi, got [{lo}, {hi})"
+            )))
         }
     }
 

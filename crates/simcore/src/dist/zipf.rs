@@ -43,7 +43,9 @@ impl Zipf {
             return Err(ParamError::new("zipf needs at least one rank"));
         }
         if !exponent.is_finite() || exponent < 0.0 {
-            return Err(ParamError::new(format!("zipf exponent must be finite and >= 0, got {exponent}")));
+            return Err(ParamError::new(format!(
+                "zipf exponent must be finite and >= 0, got {exponent}"
+            )));
         }
         let weights = Self::weights(n, exponent);
         let inner = Discrete::from_weights(&weights)?;
@@ -125,13 +127,13 @@ mod tests {
     fn empirical_frequencies_match() {
         let z = Zipf::new(20, 1.0).unwrap();
         let mut rng = RngStreams::new(0x21).stream("zipf");
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let n = 300_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..20 {
-            let f = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate() {
+            let f = count as f64 / n as f64;
             assert!((f - z.prob(i)).abs() < 0.01, "rank {i}: {f} vs {}", z.prob(i));
         }
     }

@@ -40,21 +40,13 @@ impl<E> Engine<E> {
     /// Creates an engine with the clock at [`SimTime::ZERO`].
     #[must_use]
     pub fn new() -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            processed: 0,
-        }
+        Engine { now: SimTime::ZERO, queue: EventQueue::new(), processed: 0 }
     }
 
     /// Creates an engine whose event list has room for `capacity` events.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            queue: EventQueue::with_capacity(capacity),
-            processed: 0,
-        }
+        Engine { now: SimTime::ZERO, queue: EventQueue::with_capacity(capacity), processed: 0 }
     }
 
     /// The current virtual time.
@@ -81,10 +73,7 @@ impl<E> Engine<E> {
     ///
     /// Panics if `delay` is negative or NaN.
     pub fn schedule_in(&mut self, delay: f64, event: E) {
-        assert!(
-            delay >= 0.0,
-            "cannot schedule an event {delay} seconds in the past"
-        );
+        assert!(delay >= 0.0, "cannot schedule an event {delay} seconds in the past");
         self.queue.push(self.now + delay, event);
     }
 

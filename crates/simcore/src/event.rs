@@ -67,19 +67,13 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Creates an empty queue with room for `capacity` pending events.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
     }
 
     /// Schedules `event` to fire at `time`.

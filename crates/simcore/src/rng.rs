@@ -106,7 +106,9 @@ impl RngStreams {
     #[must_use]
     pub fn stream_indexed(&self, name: &str, index: u64) -> StreamRng {
         let tag = fnv1a_64(name.as_bytes());
-        let mixed = split_mix_64(self.master_seed ^ tag.rotate_left(17) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mixed = split_mix_64(
+            self.master_seed ^ tag.rotate_left(17) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
         // Expand to a full 32-byte seed with successive SplitMix64 outputs.
         let mut seed = [0u8; 32];
         let mut s = mixed;
@@ -121,7 +123,9 @@ impl RngStreams {
     #[must_use]
     pub fn replicate(&self, replication: u64) -> RngStreams {
         RngStreams {
-            master_seed: split_mix_64(self.master_seed ^ replication.wrapping_mul(0xd134_2543_de82_ef95)),
+            master_seed: split_mix_64(
+                self.master_seed ^ replication.wrapping_mul(0xd134_2543_de82_ef95),
+            ),
         }
     }
 }
@@ -142,8 +146,10 @@ mod tests {
     fn streams_are_reproducible() {
         let s1 = RngStreams::new(123);
         let s2 = RngStreams::new(123);
-        let draws1: Vec<u64> = (0..8).map(|_| 0).scan(s1.stream("x"), |r, _| Some(r.gen())).collect();
-        let draws2: Vec<u64> = (0..8).map(|_| 0).scan(s2.stream("x"), |r, _| Some(r.gen())).collect();
+        let draws1: Vec<u64> =
+            (0..8).map(|_| 0).scan(s1.stream("x"), |r, _| Some(r.gen())).collect();
+        let draws2: Vec<u64> =
+            (0..8).map(|_| 0).scan(s2.stream("x"), |r, _| Some(r.gen())).collect();
         assert_eq!(draws1, draws2);
     }
 

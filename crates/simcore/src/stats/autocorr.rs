@@ -33,9 +33,7 @@ pub fn autocorrelation(series: &[f64], k: usize) -> Option<f64> {
     if denom <= 0.0 {
         return None;
     }
-    let numer: f64 = (0..n - k)
-        .map(|t| (series[t] - mean) * (series[t + k] - mean))
-        .sum();
+    let numer: f64 = (0..n - k).map(|t| (series[t] - mean) * (series[t + k] - mean)).sum();
     Some(numer / denom)
 }
 
@@ -43,9 +41,7 @@ pub fn autocorrelation(series: &[f64], k: usize) -> Option<f64> {
 /// cannot support.
 #[must_use]
 pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
-    (1..=max_lag)
-        .map_while(|k| autocorrelation(series, k))
-        .collect()
+    (1..=max_lag).map_while(|k| autocorrelation(series, k)).collect()
 }
 
 /// A heuristic batch size for batch-means analysis: the smallest lag at

@@ -112,10 +112,7 @@ impl BatchMeans {
         }
         let t = t_critical_95(k - 1);
         let half_width = t * self.batch_means.std_dev() / (k as f64).sqrt();
-        Some(ConfidenceInterval {
-            mean: self.batch_means.mean(),
-            half_width,
-        })
+        Some(ConfidenceInterval { mean: self.batch_means.mean(), half_width })
     }
 }
 

@@ -33,10 +33,7 @@ impl Cdf {
     /// Creates an empty CDF.
     #[must_use]
     pub fn new() -> Self {
-        Cdf {
-            samples: Vec::new(),
-            sorted: std::cell::Cell::new(true),
-        }
+        Cdf { samples: Vec::new(), sorted: std::cell::Cell::new(true) }
     }
 
     /// Records one sample.

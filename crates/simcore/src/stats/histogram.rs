@@ -45,14 +45,7 @@ impl Histogram {
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
             return Err(format!("histogram bounds must be finite with lo < hi, got [{lo}, {hi})"));
         }
-        Ok(Histogram {
-            lo,
-            hi,
-            bins: vec![0; bins],
-            underflow: 0,
-            overflow: 0,
-            count: 0,
-        })
+        Ok(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 })
     }
 
     /// Records one sample. Values below `lo` go to the underflow counter,
@@ -131,11 +124,7 @@ impl Histogram {
     #[must_use]
     pub fn bins(&self) -> Vec<(f64, u64)> {
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        self.bins
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (self.lo + width * (i + 1) as f64, c))
-            .collect()
+        self.bins.iter().enumerate().map(|(i, &c)| (self.lo + width * (i + 1) as f64, c)).collect()
     }
 
     /// Samples that fell below `lo`.

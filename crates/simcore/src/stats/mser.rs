@@ -46,9 +46,8 @@ pub fn mser5(series: &[f64]) -> Option<MserResult> {
     if n_batches < 2 {
         return None;
     }
-    let batches: Vec<f64> = (0..n_batches)
-        .map(|i| series[i * B..(i + 1) * B].iter().sum::<f64>() / B as f64)
-        .collect();
+    let batches: Vec<f64> =
+        (0..n_batches).map(|i| series[i * B..(i + 1) * B].iter().sum::<f64>() / B as f64).collect();
 
     let max_trunc = n_batches / 2;
     let mut best: Option<(usize, f64, f64)> = None; // (d, statistic, mean)
@@ -58,7 +57,7 @@ pub fn mser5(series: &[f64]) -> Option<MserResult> {
         let mean = retained.iter().sum::<f64>() / m;
         let ss: f64 = retained.iter().map(|x| (x - mean) * (x - mean)).sum();
         let stat = ss / (m * m);
-        if best.map_or(true, |(_, s, _)| stat < s) {
+        if best.is_none_or(|(_, s, _)| stat < s) {
             best = Some((d, stat, mean));
         }
     }
@@ -128,7 +127,7 @@ mod tests {
     #[test]
     fn truncation_capped_at_half() {
         // A series that keeps drifting: MSER must not eat more than half.
-        let series: Vec<f64> = (0..200).map(|i| f64::from(i)).collect();
+        let series: Vec<f64> = (0..200).map(f64::from).collect();
         let r = mser5(&series).unwrap();
         assert!(r.truncate <= 100);
     }

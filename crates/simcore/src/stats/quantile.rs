@@ -6,6 +6,17 @@
 /// parabolic (P²) update; after a modest number of samples the middle marker
 /// approximates the target quantile without storing the stream.
 ///
+/// # Accuracy caveat
+///
+/// The P² update assumes the stream is close to exchangeable. On strongly
+/// autocorrelated streams (e.g. response times during congestion episodes,
+/// where thousands of consecutive samples come from the same busy period)
+/// the marker *positions* converge to the desired ranks while the marker
+/// *heights* stay stuck at values interpolated during one regime, and the
+/// estimate can be off by a large factor. For such streams, or whenever the
+/// sample count is modest enough to retain, prefer the exact
+/// [`Cdf`](super::Cdf).
+///
 /// # Examples
 ///
 /// ```
@@ -107,11 +118,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -127,7 +139,8 @@ impl P2Quantile {
 
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = if d > 0.0 { i + 1 } else { i - 1 };
-        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current estimate, or `None` with no samples.

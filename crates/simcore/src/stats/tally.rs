@@ -33,13 +33,7 @@ impl Tally {
     /// Creates an empty tally.
     #[must_use]
     pub fn new() -> Self {
-        Tally {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Tally { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Records one sample.
@@ -152,7 +146,8 @@ mod tests {
             t.record(x);
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((t.mean() - mean).abs() < 1e-10);
         assert!((t.variance() - var).abs() < 1e-10);
     }

@@ -1,6 +1,8 @@
 //! Property-based tests for the simulation substrate.
 
-use geodns_simcore::dist::{Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf};
+use geodns_simcore::dist::{
+    Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf,
+};
 use geodns_simcore::stats::{Cdf, Histogram, P2Quantile, Tally};
 use geodns_simcore::{EventQueue, RngStreams, SimTime};
 use proptest::prelude::*;

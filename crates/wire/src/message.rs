@@ -219,13 +219,7 @@ impl ResourceRecord {
     /// An `IN A` record.
     #[must_use]
     pub fn a(name: Name, addr: [u8; 4], ttl: u32) -> Self {
-        ResourceRecord {
-            name,
-            rtype: QType::A,
-            rclass: QClass::In,
-            ttl,
-            rdata: addr.to_vec(),
-        }
+        ResourceRecord { name, rtype: QType::A, rclass: QClass::In, ttl, rdata: addr.to_vec() }
     }
 
     /// The IPv4 address of an `A` record, if this is one.
@@ -409,11 +403,7 @@ mod tests {
     fn response_with_answer_round_trips() {
         let q = Message::query(7, Question::a("site.test"));
         let mut resp = Message::response_to(&q, Rcode::NoError);
-        resp.answers.push(ResourceRecord::a(
-            q.questions[0].name.clone(),
-            [192, 0, 2, 1],
-            43,
-        ));
+        resp.answers.push(ResourceRecord::a(q.questions[0].name.clone(), [192, 0, 2, 1], 43));
         let parsed = Message::parse(&resp.to_bytes()).unwrap();
         assert!(parsed.header.response);
         assert!(parsed.header.authoritative);

@@ -83,11 +83,7 @@ impl Name {
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
         self.labels.len() == other.labels.len()
-            && self
-                .labels
-                .iter()
-                .zip(&other.labels)
-                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+            && self.labels.iter().zip(&other.labels).all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 }
 
@@ -116,12 +112,8 @@ impl fmt::Display for Name {
         if self.labels.is_empty() {
             return write!(f, ".");
         }
-        let joined = self
-            .labels
-            .iter()
-            .map(|l| l.to_ascii_lowercase())
-            .collect::<Vec<_>>()
-            .join(".");
+        let joined =
+            self.labels.iter().map(|l| l.to_ascii_lowercase()).collect::<Vec<_>>().join(".");
         write!(f, "{joined}")
     }
 }
@@ -165,7 +157,9 @@ mod tests {
         assert!(Name::from_labels([""]).is_err());
         // 5 × (63+1) + … exceeds 255.
         let l63 = "b".repeat(63);
-        assert!(Name::from_labels(vec![l63.clone(), l63.clone(), l63.clone(), l63.clone()]).is_err());
+        assert!(
+            Name::from_labels(vec![l63.clone(), l63.clone(), l63.clone(), l63.clone()]).is_err()
+        );
         assert!(Name::from_labels(vec![l63.clone(), l63.clone(), l63]).is_ok());
     }
 

@@ -49,7 +49,7 @@ impl ClientMap {
         let network = u32::from_be_bytes(addr) & Self::mask(len);
         self.prefixes.push((network, len, domain));
         // Longest prefix first.
-        self.prefixes.sort_by(|a, b| b.1.cmp(&a.1));
+        self.prefixes.sort_by_key(|p| std::cmp::Reverse(p.1));
         Ok(())
     }
 
@@ -65,10 +65,7 @@ impl ClientMap {
     #[must_use]
     pub fn domain_of(&self, addr: [u8; 4]) -> Option<usize> {
         let ip = u32::from_be_bytes(addr);
-        self.prefixes
-            .iter()
-            .find(|(net, len, _)| ip & Self::mask(*len) == *net)
-            .map(|&(_, _, d)| d)
+        self.prefixes.iter().find(|(net, len, _)| ip & Self::mask(*len) == *net).map(|&(_, _, d)| d)
     }
 
     /// Number of registered prefixes.
@@ -173,9 +170,7 @@ impl AuthoritativeServer {
         );
         let mut clients = ClientMap::new();
         for d in 0..4u8 {
-            clients
-                .add_prefix([10, d, 0, 0], 16, usize::from(d))
-                .expect("valid prefix");
+            clients.add_prefix([10, d, 0, 0], 16, usize::from(d)).expect("valid prefix");
         }
         let server_addrs = (0..7).map(|i| [192, 0, 2, 10 + i as u8]).collect();
         Self::new(
@@ -208,10 +203,7 @@ impl AuthoritativeServer {
         let n = name.labels();
         let z = self.zone.labels();
         n.len() >= z.len()
-            && n[n.len() - z.len()..]
-                .iter()
-                .zip(z)
-                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+            && n[n.len() - z.len()..].iter().zip(z).all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 
     /// Handles one query datagram from `src` at time `now_s` seconds,
@@ -263,19 +255,12 @@ impl AuthoritativeServer {
         }
 
         let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
-        let (server, ttl_s) = self.scheduler.resolve(
-            domain,
-            SimTime::from_secs(now_s.max(0.0)),
-            &self.backlogs,
-        );
+        let (server, ttl_s) =
+            self.scheduler.resolve(domain, SimTime::from_secs(now_s.max(0.0)), &self.backlogs);
         let ttl = ttl_s.ceil().min(f64::from(u32::MAX)) as u32;
 
         let mut resp = Message::response_to(&parsed, Rcode::NoError);
-        resp.answers.push(ResourceRecord::a(
-            q.name.clone(),
-            self.server_addrs[server],
-            ttl,
-        ));
+        resp.answers.push(ResourceRecord::a(q.name.clone(), self.server_addrs[server], ttl));
         Ok(resp.to_bytes())
     }
 }
@@ -320,17 +305,12 @@ mod tests {
         // Domain 0 carries 8× domain 3's weight → much shorter TTLs.
         // Collect a full RR cycle to smooth the per-server factor.
         let avg = |s: &mut AuthoritativeServer, src: [u8; 4]| -> f64 {
-            (0..7)
-                .map(|_| f64::from(ask(s, "www.example.org", src).answers[0].ttl))
-                .sum::<f64>()
+            (0..7).map(|_| f64::from(ask(s, "www.example.org", src).answers[0].ttl)).sum::<f64>()
                 / 7.0
         };
         let hot = avg(&mut s, [10, 0, 0, 1]);
         let cold = avg(&mut s, [10, 3, 0, 1]);
-        assert!(
-            cold / hot > 4.0,
-            "hot domain avg TTL {hot}, cold {cold} — expected ≈8× spread"
-        );
+        assert!(cold / hot > 4.0, "hot domain avg TTL {hot}, cold {cold} — expected ≈8× spread");
     }
 
     #[test]

@@ -43,17 +43,10 @@ impl SkewSummary {
         let n = shares.len() as f64;
         let mut asc = shares.clone();
         asc.reverse();
-        let weighted: f64 = asc
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as f64 + 1.0) * s)
-            .sum();
+        let weighted: f64 = asc.iter().enumerate().map(|(i, s)| (i as f64 + 1.0) * s).sum();
         let gini = ((2.0 * weighted) / n - (n + 1.0) / n).max(0.0);
 
-        SkewSummary {
-            sorted_shares: shares,
-            gini,
-        }
+        SkewSummary { sorted_shares: shares, gini }
     }
 
     /// The fraction of total load carried by the busiest `frac` of domains

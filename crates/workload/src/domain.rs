@@ -216,7 +216,11 @@ mod tests {
         let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
         let h20: f64 = (1..=20).map(|i| 1.0 / f64::from(i)).sum();
         let expect = 500.0 / h20;
-        assert!((p.count(0) as f64 - expect).abs() <= 1.0, "domain 0 has {} clients, expected ≈{expect:.1}", p.count(0));
+        assert!(
+            (p.count(0) as f64 - expect).abs() <= 1.0,
+            "domain 0 has {} clients, expected ≈{expect:.1}",
+            p.count(0)
+        );
     }
 
     #[test]

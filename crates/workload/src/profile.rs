@@ -25,9 +25,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(flash.multiplier(0, 151.0), 1.0);
 /// assert_eq!(flash.multiplier(1, 120.0), 1.0, "other domains unaffected");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum RateProfile {
     /// No variation (the paper's stationary default).
+    #[default]
     Constant,
     /// A sinusoidal swell shared by every domain:
     /// `1 + amplitude · sin(2π · t / period_s)`. Models the diurnal cycle
@@ -137,12 +138,6 @@ impl RateProfile {
     }
 }
 
-impl Default for RateProfile {
-    fn default() -> Self {
-        RateProfile::Constant
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +160,8 @@ mod tests {
         assert!((p.multiplier(3, 75.0) - 0.5).abs() < 1e-12, "trough at three quarters");
         // Mean over a full period is 1.
         let n = 1000;
-        let mean: f64 = (0..n).map(|i| p.multiplier(0, 100.0 * i as f64 / n as f64)).sum::<f64>() / n as f64;
+        let mean: f64 =
+            (0..n).map(|i| p.multiplier(0, 100.0 * i as f64 / n as f64)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 1e-3);
     }
 

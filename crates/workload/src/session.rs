@@ -40,12 +40,7 @@ impl SessionModel {
     /// The paper's default session parameters.
     #[must_use]
     pub fn paper_default() -> Self {
-        SessionModel {
-            pages_mean: 20.0,
-            hits_lo: 5,
-            hits_hi: 15,
-            think_mean_s: 15.0,
-        }
+        SessionModel { pages_mean: 20.0, hits_lo: 5, hits_hi: 15, think_mean_s: 15.0 }
     }
 
     /// Validates the parameters.
@@ -58,7 +53,10 @@ impl SessionModel {
             return Err(format!("pages_mean must be >= 1, got {}", self.pages_mean));
         }
         if self.hits_lo == 0 || self.hits_lo > self.hits_hi {
-            return Err(format!("hits range must satisfy 1 <= lo <= hi, got {}..={}", self.hits_lo, self.hits_hi));
+            return Err(format!(
+                "hits range must satisfy 1 <= lo <= hi, got {}..={}",
+                self.hits_lo, self.hits_hi
+            ));
         }
         if !(self.think_mean_s.is_finite() && self.think_mean_s > 0.0) {
             return Err(format!("think_mean_s must be > 0, got {}", self.think_mean_s));
@@ -68,16 +66,12 @@ impl SessionModel {
 
     /// Draws the number of page requests for a new session.
     pub fn sample_pages<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        Geometric::with_mean(self.pages_mean)
-            .expect("validated pages_mean")
-            .sample(rng)
+        Geometric::with_mean(self.pages_mean).expect("validated pages_mean").sample(rng)
     }
 
     /// Draws the number of hits (HTML page + embedded objects) for a page.
     pub fn sample_hits<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        DiscreteUniform::new(self.hits_lo, self.hits_hi)
-            .expect("validated hits range")
-            .sample(rng)
+        DiscreteUniform::new(self.hits_lo, self.hits_hi).expect("validated hits range").sample(rng)
     }
 
     /// Draws one think time, in seconds.
@@ -161,7 +155,8 @@ mod tests {
         let m = SessionModel::paper_default();
         let mut rng = RngStreams::new(4).stream("sc");
         let n = 50_000;
-        let fast: f64 = (0..n).map(|_| m.sample_think_scaled(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        let fast: f64 =
+            (0..n).map(|_| m.sample_think_scaled(&mut rng, 2.0)).sum::<f64>() / n as f64;
         assert!((fast - 7.5).abs() < 0.2, "2x rate halves the mean think, got {fast}");
     }
 

@@ -75,10 +75,7 @@ impl WorkloadSpec {
     /// The paper's "ideal" envelope: same population, uniformly spread.
     #[must_use]
     pub fn ideal() -> Self {
-        WorkloadSpec {
-            distribution: ClientDistribution::Uniform,
-            ..Self::paper_default()
-        }
+        WorkloadSpec { distribution: ClientDistribution::Uniform, ..Self::paper_default() }
     }
 
     /// Realizes the specification.
@@ -90,7 +87,9 @@ impl WorkloadSpec {
     pub fn build(&self) -> Result<Workload, String> {
         self.session.validate()?;
         self.profile.validate()?;
-        if let RateProfile::FlashCrowd { domain, .. } | RateProfile::Step { domain, .. } = self.profile {
+        if let RateProfile::FlashCrowd { domain, .. } | RateProfile::Step { domain, .. } =
+            self.profile
+        {
             if domain >= self.n_domains {
                 return Err(format!(
                     "profile targets domain {domain} but there are only {} domains",
@@ -102,7 +101,9 @@ impl WorkloadSpec {
             ClientDistribution::Zipf { exponent } => {
                 ClientPartition::zipf(self.n_clients, self.n_domains, *exponent)?
             }
-            ClientDistribution::Uniform => ClientPartition::uniform(self.n_clients, self.n_domains)?,
+            ClientDistribution::Uniform => {
+                ClientPartition::uniform(self.n_clients, self.n_domains)?
+            }
             ClientDistribution::Explicit(counts) => {
                 if counts.len() != self.n_domains {
                     return Err(format!(
@@ -224,11 +225,7 @@ impl Workload {
     /// The actual per-domain offered hit rates (nominal × multiplier).
     #[must_use]
     pub fn actual_rates(&self) -> Vec<f64> {
-        self.nominal_rates
-            .iter()
-            .zip(&self.rate_multipliers)
-            .map(|(r, m)| r * m)
-            .collect()
+        self.nominal_rates.iter().zip(&self.rate_multipliers).map(|(r, m)| r * m).collect()
     }
 
     /// Total offered hit rate across all domains (hits/s). Invariant under

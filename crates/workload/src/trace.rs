@@ -48,13 +48,9 @@ impl TraceSession {
             return Err("session must fetch at least one page".into());
         }
         if self.hits.len() != self.thinks.len() {
-            return Err(format!(
-                "{} pages but {} think times",
-                self.hits.len(),
-                self.thinks.len()
-            ));
+            return Err(format!("{} pages but {} think times", self.hits.len(), self.thinks.len()));
         }
-        if self.hits.iter().any(|&h| h == 0) {
+        if self.hits.contains(&0) {
             return Err("every page carries at least one hit".into());
         }
         if !(self.start_s.is_finite() && self.start_s >= 0.0) {
@@ -137,12 +133,7 @@ impl Trace {
     /// The time of the last session start, or zero when empty.
     #[must_use]
     pub fn horizon(&self) -> SimTime {
-        SimTime::from_secs(
-            self.sessions
-                .last()
-                .map(|s| s.start_s)
-                .unwrap_or(0.0),
-        )
+        SimTime::from_secs(self.sessions.last().map(|s| s.start_s).unwrap_or(0.0))
     }
 
     /// Validates every session and the global start ordering.
@@ -154,11 +145,7 @@ impl Trace {
         for (i, s) in self.sessions.iter().enumerate() {
             s.validate().map_err(|e| format!("session {i}: {e}"))?;
         }
-        if self
-            .sessions
-            .windows(2)
-            .any(|w| w[1].start_s < w[0].start_s)
-        {
+        if self.sessions.windows(2).any(|w| w[1].start_s < w[0].start_s) {
             return Err("sessions must be sorted by start time".into());
         }
         Ok(())
@@ -170,12 +157,7 @@ impl Trace {
         let mut out = String::new();
         for s in &self.sessions {
             let hits = s.hits.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-            let thinks = s
-                .thinks
-                .iter()
-                .map(|t| format!("{t:.6}"))
-                .collect::<Vec<_>>()
-                .join(",");
+            let thinks = s.thinks.iter().map(|t| format!("{t:.6}")).collect::<Vec<_>>().join(",");
             out.push_str(&format!("{} {:.6} {} {}\n", s.client, s.start_s, hits, thinks));
         }
         out

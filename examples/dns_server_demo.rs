@@ -33,9 +33,8 @@ fn main() {
         for q in 0..3 {
             let id = (i * 10 + q) as u16;
             let query = Message::query(id, Question::a("www.example.org"));
-            let response_bytes = server
-                .handle(&query.to_bytes(), *src, f64::from(id))
-                .expect("well-formed query");
+            let response_bytes =
+                server.handle(&query.to_bytes(), *src, f64::from(id)).expect("well-formed query");
             let response = Message::parse(&response_bytes).expect("well-formed response");
             let answer = &response.answers[0];
             let addr = answer.a_addr().expect("A record");
@@ -48,10 +47,7 @@ fn main() {
         }
     }
 
-    println!(
-        "{}",
-        format_table(&["source NS", "network", "answer (A)", "TTL"], &rows)
-    );
+    println!("{}", format_table(&["source NS", "network", "answer (A)", "TTL"], &rows));
     println!(
         "reading: every answer is a (server, TTL) pair chosen by DRR2-TTL/S_K — the hot\n\
          network's answers expire in seconds-to-minutes so its heavy hidden load keeps\n\

@@ -62,10 +62,7 @@ fn main() {
         })
         .collect();
     println!();
-    println!(
-        "{}",
-        format_table(&["scenario", "P(maxU<0.98)", "P(maxU<0.9)", "page p95"], &rows)
-    );
+    println!("{}", format_table(&["scenario", "P(maxU<0.98)", "P(maxU<0.9)", "page p95"], &rows));
     println!(
         "reading: per-domain TTL (TTL/K, TTL/S_K) barely notices the stale estimates —\n\
          the flash domain's answers already carried the shortest TTLs, so its extra load\n\

@@ -32,10 +32,7 @@ fn main() {
         })
         .collect();
 
-    println!(
-        "simulating {} algorithms on a {level}-heterogeneous site …",
-        configs.len()
-    );
+    println!("simulating {} algorithms on a {level}-heterogeneous site …", configs.len());
     let reports = run_all(&configs).expect("paper defaults are valid");
 
     let rows: Vec<Vec<String>> = reports
@@ -77,8 +74,5 @@ fn main() {
 
     let rr = &reports[0];
     let best = &reports[2];
-    assert!(
-        best.p98() > rr.p98(),
-        "the adaptive scheme should beat round-robin"
-    );
+    assert!(best.p98() > rr.p98(), "the adaptive scheme should beat round-robin");
 }

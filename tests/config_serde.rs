@@ -56,12 +56,9 @@ fn invalid_json_fails_cleanly() {
 
 #[test]
 fn algorithm_names_survive_serde() {
-    for algorithm in [
-        Algorithm::rr(),
-        Algorithm::prr2_ttl(2),
-        Algorithm::drr2_ttl_s_k(),
-        Algorithm::dal(),
-    ] {
+    for algorithm in
+        [Algorithm::rr(), Algorithm::prr2_ttl(2), Algorithm::drr2_ttl_s_k(), Algorithm::dal()]
+    {
         let json = serde_json::to_string(&algorithm).unwrap();
         let back: Algorithm = serde_json::from_str(&json).unwrap();
         assert_eq!(algorithm, back);

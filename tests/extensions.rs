@@ -2,8 +2,7 @@
 //! service-time models, partial NS non-cooperation, timeline capture.
 
 use geodns_core::{
-    run_simulation, Algorithm, EstimatorKind, MinTtlBehavior, RateProfile, ServiceModel,
-    SimConfig,
+    run_simulation, Algorithm, EstimatorKind, MinTtlBehavior, RateProfile, ServiceModel, SimConfig,
 };
 use geodns_server::HeterogeneityLevel;
 
@@ -19,12 +18,8 @@ fn base(algorithm: Algorithm) -> SimConfig {
 fn flash_crowd_profile_raises_peak_load() {
     let calm = base(Algorithm::rr());
     let mut crowded = calm.clone();
-    crowded.workload.profile = RateProfile::FlashCrowd {
-        domain: 0,
-        start_s: 600.0,
-        duration_s: 600.0,
-        factor: 3.0,
-    };
+    crowded.workload.profile =
+        RateProfile::FlashCrowd { domain: 0, start_s: 600.0, duration_s: 600.0, factor: 3.0 };
     let a = run_simulation(&calm).unwrap();
     let b = run_simulation(&crowded).unwrap();
     assert!(
@@ -63,10 +58,7 @@ fn diurnal_profile_keeps_long_run_mean() {
 
 #[test]
 fn service_models_preserve_the_adaptive_ranking() {
-    for service in [
-        ServiceModel::Deterministic,
-        ServiceModel::Pareto { shape: 2.2 },
-    ] {
+    for service in [ServiceModel::Deterministic, ServiceModel::Pareto { shape: 2.2 }] {
         let mut rr = base(Algorithm::rr());
         rr.service = service;
         let mut adaptive = base(Algorithm::drr2_ttl_s_k());
@@ -110,12 +102,7 @@ fn partial_noncooperation_interpolates() {
     }
     // Fully cooperative must not be worse than fully clamped for the
     // fine-grained scheme (clamping strips its mechanism).
-    assert!(
-        p98[0] >= p98[1] - 0.05,
-        "coop {} vs all-clamped {}",
-        p98[0],
-        p98[1]
-    );
+    assert!(p98[0] >= p98[1] - 0.05, "coop {} vs all-clamped {}", p98[0], p98[1]);
 }
 
 #[test]

@@ -61,12 +61,7 @@ fn probabilistic_routing_alone_cannot_fix_client_skew() {
         config(Algorithm::prr_ttl(2), HeterogeneityLevel::H35),
         config(Algorithm::prr_ttl1(), HeterogeneityLevel::H35),
     );
-    assert!(
-        ttl2.p98() > ttl1.p98() + 0.1,
-        "PRR-TTL/2 {} vs PRR-TTL/1 {}",
-        ttl2.p98(),
-        ttl1.p98()
-    );
+    assert!(ttl2.p98() > ttl1.p98() + 0.1, "PRR-TTL/2 {} vs PRR-TTL/1 {}", ttl2.p98(), ttl1.p98());
 }
 
 #[test]
@@ -93,12 +88,7 @@ fn dal_transplant_underperforms_adaptive_ttl() {
         config(Algorithm::dal(), HeterogeneityLevel::H50),
         config(Algorithm::prr2_ttl_k(), HeterogeneityLevel::H50),
     );
-    assert!(
-        adaptive.p98() > dal.p98() + 0.2,
-        "PRR2-TTL/K {} vs DAL {}",
-        adaptive.p98(),
-        dal.p98()
-    );
+    assert!(adaptive.p98() > dal.p98() + 0.2, "PRR2-TTL/K {} vs DAL {}", adaptive.p98(), dal.p98());
 }
 
 #[test]
@@ -107,7 +97,8 @@ fn ideal_envelope_bounds_the_adaptive_schemes() {
     // scheme sits under (small statistical slack allowed).
     let mut ideal = config(Algorithm::prr_ttl1(), HeterogeneityLevel::H20);
     ideal.workload = WorkloadSpec::ideal();
-    let (ideal_r, best) = run_pair(ideal, config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20));
+    let (ideal_r, best) =
+        run_pair(ideal, config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20));
     assert!(
         ideal_r.p98() >= best.p98() - 0.05,
         "ideal {} should be ≥ best realistic {}",

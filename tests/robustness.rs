@@ -1,8 +1,8 @@
 //! End-to-end robustness properties (paper §5.2): non-cooperative name
-//! servers and hidden-load estimation error.
+//! servers, hidden-load estimation error, and server fault injection.
 
-use geodns_core::{run_all, Algorithm, MinTtlBehavior, SimConfig};
-use geodns_server::HeterogeneityLevel;
+use geodns_core::{run_all, run_simulation, Algorithm, FailoverModel, MinTtlBehavior, SimConfig};
+use geodns_server::{FailureSpec, HeterogeneityLevel};
 
 fn config(algorithm: Algorithm, level: HeterogeneityLevel) -> SimConfig {
     let mut cfg = SimConfig::paper_default(algorithm, level);
@@ -85,4 +85,89 @@ fn default_on_small_behavior_works_end_to_end() {
     let r = &run_all(&[cfg]).unwrap()[0];
     assert!(r.hits_completed > 0);
     assert!(r.p98() > 0.0);
+}
+
+// --- server fault injection ---
+
+fn faulty(algorithm: Algorithm, failover: FailoverModel) -> SimConfig {
+    let mut cfg = config(algorithm, HeterogeneityLevel::H20);
+    cfg.failures.enabled = true;
+    // Aggressive MTBF/MTTR so a 2400 s run sees plenty of crashes.
+    cfg.failures.spec = FailureSpec { mtbf_s: 400.0, mttr_s: 60.0 };
+    cfg.failures.failover = failover;
+    cfg.record_timeline = true;
+    cfg
+}
+
+#[test]
+fn failures_conserve_every_hit_issued() {
+    for failover in
+        [FailoverModel::PinUntilTtl, FailoverModel::RetryAfterBackoff { backoff_s: 5.0 }]
+    {
+        let r = run_simulation(&faulty(Algorithm::drr2_ttl_s_k(), failover)).unwrap();
+        assert!(r.hits_failed > 0, "aggressive MTBF must fail some hits");
+        assert!(r.hits_issued_total > 0);
+        assert_eq!(
+            r.hits_issued_total,
+            r.hits_served_total + r.hits_failed_total + r.hits_in_flight,
+            "issued = served + failed + in-flight ({failover:?})"
+        );
+    }
+}
+
+#[test]
+fn utilization_stays_physical_under_failures() {
+    let r = run_simulation(&faulty(Algorithm::rr(), FailoverModel::PinUntilTtl)).unwrap();
+    let timeline = r.timeline.as_ref().expect("timeline was requested");
+    assert!(!timeline.is_empty());
+    for row in &timeline.per_server {
+        for &u in row {
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of [0,1]");
+        }
+    }
+    assert!(!timeline.failure_events.is_empty(), "crashes must be logged");
+}
+
+#[test]
+fn availability_and_rebinds_are_reported() {
+    let r = run_simulation(&faulty(
+        Algorithm::drr2_ttl_s_k(),
+        FailoverModel::RetryAfterBackoff { backoff_s: 2.0 },
+    ))
+    .unwrap();
+    assert_eq!(r.per_server_availability.len(), 7);
+    for &a in &r.per_server_availability {
+        assert!((0.0..=1.0).contains(&a), "availability {a}");
+        // MTBF 400 / MTTR 60 → long-run availability ~0.87; any one server
+        // over a 2400 s window is noisy, so only bound it loosely.
+        assert!(a > 0.3, "availability {a} implausibly low");
+    }
+    assert!(r.rebinds > 0, "failover must rebind some clients");
+    assert!(r.time_to_rebalance_mean_s >= 0.0);
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let cfg = faulty(Algorithm::prr2_ttl(2), FailoverModel::RetryAfterBackoff { backoff_s: 3.0 });
+    let a = run_simulation(&cfg).unwrap();
+    let b = run_simulation(&cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn disabled_failures_leave_the_report_untouched() {
+    // A run with the failure block present-but-disabled must be
+    // bit-identical to the plain default: the failure RNG stream exists but
+    // is never drawn from, and no crash events are scheduled.
+    let plain = config(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    let mut disabled = plain.clone();
+    disabled.failures.spec = FailureSpec { mtbf_s: 123.0, mttr_s: 45.0 };
+    disabled.failures.failover = FailoverModel::RetryAfterBackoff { backoff_s: 9.0 };
+    assert!(!disabled.failures.enabled);
+    let a = run_simulation(&plain).unwrap();
+    let b = run_simulation(&disabled).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.hits_failed, 0);
+    assert_eq!(a.hits_issued_total, a.hits_served_total + a.hits_in_flight);
+    assert!(a.per_server_availability.iter().all(|&x| x == 1.0));
 }

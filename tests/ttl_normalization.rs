@@ -15,7 +15,7 @@ fn config(algorithm: Algorithm) -> SimConfig {
 
 #[test]
 fn measured_address_rates_match_across_schemes() {
-    let algorithms = vec![
+    let algorithms = [
         Algorithm::rr(), // the constant-TTL reference
         Algorithm::prr_ttl(2),
         Algorithm::prr2_ttl_k(),

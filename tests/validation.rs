@@ -171,10 +171,7 @@ fn throughput_matches_offered_load_model() {
     let r = run_simulation(&theory_config(Algorithm::prr_ttl1())).unwrap();
     let rate = r.hits_completed as f64 / r.measured_span_s;
     let offered = 500.0 * 10.0 / 15.0;
-    assert!(
-        rate <= offered * 1.02,
-        "throughput {rate} cannot exceed offered {offered}"
-    );
+    assert!(rate <= offered * 1.02, "throughput {rate} cannot exceed offered {offered}");
     assert!(
         rate >= offered * 0.85,
         "closed-loop slowdown should be modest at ρ=2/3: {rate} vs {offered}"

@@ -1,0 +1,76 @@
+//! Minimal offline stand-in for `crossbeam`: the `scope` API, backed by
+//! `std::thread::scope` (available since Rust 1.63).
+//!
+//! Semantics match the workspace's usage: `crossbeam::scope(|s| { ... })`
+//! joins every spawned thread before returning and yields
+//! `thread::Result<R>`. One divergence from the real crate: if a spawned
+//! thread panics, `std::thread::scope` resumes the panic on the caller
+//! instead of packaging it into `Err` — the process still fails loudly,
+//! which is what the sweep driver's `.expect(...)` relied on.
+
+use std::thread;
+
+/// A handle for spawning threads scoped to the closure's lifetime.
+///
+/// Mirrors `crossbeam::thread::Scope`: spawned closures receive a
+/// `&Scope` argument so they can spawn further siblings.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; it is joined before `scope` returns.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a scope handle, joining all spawned threads on exit.
+///
+/// # Errors
+///
+/// Kept as `thread::Result` for API compatibility with the real crate;
+/// this implementation returns `Ok` or propagates child panics directly.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            "done"
+        })
+        .expect("no panics");
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

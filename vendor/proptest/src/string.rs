@@ -1,0 +1,85 @@
+//! `string_regex` support for the pattern shape the workspace uses:
+//! a single character class with a bounded repeat, e.g. `[a-z0-9-]{1,12}`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy generating strings from a character set and length range.
+pub struct RegexGeneratorStrategy {
+    charset: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.charset[rng.gen_range(0..self.charset.len())]).collect()
+    }
+}
+
+/// Builds a string strategy from a `[class]{lo,hi}` regex.
+///
+/// # Errors
+///
+/// Returns a description of the unsupported construct for any other
+/// regex shape (this is a stub, not a regex engine).
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+    let rest = pattern
+        .strip_prefix('[')
+        .ok_or_else(|| format!("unsupported regex `{pattern}`: expected `[class]{{lo,hi}}`"))?;
+    let (class, rest) = rest
+        .split_once(']')
+        .ok_or_else(|| format!("unsupported regex `{pattern}`: unterminated class"))?;
+
+    let mut charset = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return Err(format!("invalid range `{lo}-{hi}` in `{pattern}`"));
+            }
+            charset.extend(lo..=hi);
+            i += 3;
+        } else {
+            charset.push(chars[i]);
+            i += 1;
+        }
+    }
+    if charset.is_empty() {
+        return Err(format!("empty character class in `{pattern}`"));
+    }
+
+    let (min_len, max_len) = match rest {
+        "" => (1, 1),
+        "*" => (0, 8),
+        "+" => (1, 8),
+        _ => {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .ok_or_else(|| format!("unsupported repeat `{rest}` in `{pattern}`"))?;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().map_err(|_| format!("bad repeat in `{pattern}`"))?;
+                    let hi = hi.trim().parse().map_err(|_| format!("bad repeat in `{pattern}`"))?;
+                    if lo > hi {
+                        return Err(format!("inverted repeat in `{pattern}`"));
+                    }
+                    (lo, hi)
+                }
+                None => {
+                    let n =
+                        body.trim().parse().map_err(|_| format!("bad repeat in `{pattern}`"))?;
+                    (n, n)
+                }
+            }
+        }
+    };
+
+    Ok(RegexGeneratorStrategy { charset, min_len, max_len })
+}

@@ -1,0 +1,3 @@
+//! Generator implementations, mirroring `rand::rngs`.
+
+pub use crate::small::SmallRng;

@@ -1,0 +1,63 @@
+//! Minimal offline stand-in for `serde` (+ the data model shared with the
+//! vendored `serde_json`).
+//!
+//! No network access to crates.io is available in the build environment,
+//! so the workspace vendors a tiny serde look-alike. Instead of serde's
+//! visitor architecture, both traits go through an owned JSON-like
+//! [`Value`]:
+//!
+//! - [`Serialize`] renders `self` into a [`Value`];
+//! - [`Deserialize`] reconstructs `Self` from a [`Value`].
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (from the sibling
+//! `serde_derive` stub) cover the attribute surface this workspace uses:
+//! `#[serde(transparent)]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]` and `#[serde(skip)]`, plus externally
+//! tagged enums in all three variant shapes (unit / newtype / struct).
+//! Object fields keep declaration order, so emitted JSON is stable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{find_field, Number, Value};
+
+use std::fmt;
+
+/// Error type for deserialization (and JSON parsing in `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON-like data model.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the JSON-like data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `v` has the wrong shape (missing field,
+    /// wrong type, unknown enum variant, out-of-range number).
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}

@@ -1,0 +1,357 @@
+//! The owned JSON-like data model shared by the vendored `serde` and
+//! `serde_json` stubs.
+
+use crate::{DeError, Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point.
+    F64(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64` (lossy for huge integers, like serde_json).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(n) => n,
+        }
+    }
+
+    /// Numeric value as `u64`, if representable exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if representable exactly.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(n as i64),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        // Numeric equality across representations: 240 == 240.0.
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// An owned JSON value.
+///
+/// Objects are ordered `(key, value)` pairs so serialized structs keep
+/// their field declaration order (stable, diffable artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+/// Looks up a field in an object's pair list (helper for derived code).
+#[must_use]
+pub fn find_field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Value {
+    /// The member `key`, when `self` is an object holding it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => find_field(m, key),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when it is an exactly-representable number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when it is an exactly-representable number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, when it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value's object pairs, when it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; missing members (or non-objects) index to `Null`,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! eq_via_number {
+    ($($t:ty => $variant:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::cast_lossless)]
+                match self {
+                    Value::Number(n) => *n == Number::$variant(*other as _),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_via_number!(u8 => U64, u16 => U64, u32 => U64, u64 => U64, usize => U64,
+               i8 => I64, i16 => I64, i32 => I64, i64 => I64,
+               f32 => F64, f64 => F64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering (same conventions as the vendored
+    /// `serde_json::to_string`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+/// Writes a JSON string literal with the escapes the grammar requires.
+pub(crate) fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{8}' => out.write_str("\\b")?,
+            '\u{c}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+/// Writes a number the way `serde_json` does: integers bare, floats via
+/// the shortest round-trip form (Rust's `{:?}`), non-finite as `null`.
+pub(crate) fn write_number(n: &Number, out: &mut impl fmt::Write) -> fmt::Result {
+    match *n {
+        Number::U64(v) => write!(out, "{v}"),
+        Number::I64(v) => write!(out, "{v}"),
+        Number::F64(v) if v.is_finite() => write!(out, "{v:?}"),
+        Number::F64(_) => out.write_str("null"),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut impl fmt::Write) -> fmt::Result {
+    match v {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_compact(item, out)?;
+            }
+            out.write_char(']')
+        }
+        Value::Object(pairs) => {
+            out.write_char('{')?;
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_escaped(k, out)?;
+                out.write_char(':')?;
+                write_compact(item, out)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_crosses_representations() {
+        assert_eq!(Value::Number(Number::U64(240)), 240.0f64);
+        assert_eq!(Value::Number(Number::F64(240.0)), 240u64);
+        assert_eq!(Value::Number(Number::I64(-3)), -3i32);
+        assert_ne!(Value::Number(Number::F64(240.5)), 240u64);
+    }
+
+    #[test]
+    fn indexing_missing_members_yields_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(v["a"], true);
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::String("a\"b".into())),
+            ("n".into(), Value::Number(Number::F64(0.5))),
+            ("l".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"s":"a\"b","n":0.5,"l":[null,false]}"#);
+    }
+}

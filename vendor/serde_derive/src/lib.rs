@@ -1,0 +1,338 @@
+//! Syn-free `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! The build environment has no registry access, so this derive is
+//! implemented directly on `proc_macro::TokenStream`: a small hand-rolled
+//! parser extracts the item shape, and the impls are generated as source
+//! strings parsed back into a `TokenStream`.
+//!
+//! Supported surface (everything this workspace uses):
+//!
+//! - structs with named fields, tuple structs (newtype or wider);
+//! - enums with unit, newtype/tuple, and struct variants (externally
+//!   tagged, like real serde's default);
+//! - `#[serde(transparent)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(skip)]`;
+//! - `Option<T>` fields are implicitly optional on input.
+//!
+//! Generics are intentionally unsupported and rejected with a clear
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{DefaultKind, Field, Item, ItemKind, VariantShape};
+
+/// Derives the stub `serde::Serialize` (renders into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` (rebuilds from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+fn ser_expr(place: &str) -> String {
+    format!("::serde::Serialize::serialize_value({place})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            if item.transparent {
+                let f = single_serialized_field(fields, name);
+                ser_expr(&format!("&self.{}", f.name))
+            } else {
+                let mut s = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "fields.push((::std::string::String::from(\"{}\"), {}));\n",
+                        f.name,
+                        ser_expr(&format!("&self.{}", f.name))
+                    ));
+                }
+                s.push_str("::serde::Value::Object(fields)");
+                s
+            }
+        }
+        ItemKind::TupleStruct(arity) => match arity {
+            0 => "::serde::Value::Null".to_string(),
+            // Newtype structs serialize as their inner value (real serde's
+            // behavior; `transparent` is equivalent here).
+            1 => ser_expr("&self.0"),
+            n => {
+                let items: Vec<String> = (0..*n).map(|i| ser_expr(&format!("&self.{i}"))).collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        },
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            ser_expr("f0")
+                        } else {
+                            let items: Vec<String> = binds.iter().map(|b| ser_expr(b)).collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{}\"), {})",
+                                    f.name,
+                                    ser_expr(&f.name)
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// The expression used when a field is absent from the input object.
+fn missing_expr(f: &Field, owner: &str) -> String {
+    match &f.default {
+        DefaultKind::Std => "::core::default::Default::default()".to_string(),
+        DefaultKind::Path(p) => format!("{p}()"),
+        DefaultKind::Required if f.is_option => "::core::option::Option::None".to_string(),
+        DefaultKind::Required => format!(
+            "return ::core::result::Result::Err(::serde::DeError::new(\
+             \"missing field `{}` in {owner}\"))",
+            f.name
+        ),
+    }
+}
+
+/// Generates the named-field struct-literal body `f1: ..., f2: ...` that
+/// pulls each field out of the object slice binding `obj`.
+fn named_fields_body(fields: &[Field], owner: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+            continue;
+        }
+        s.push_str(&format!(
+            "{}: match ::serde::find_field(obj, \"{}\") {{\n\
+                 ::core::option::Option::Some(fv) => \
+                     ::serde::Deserialize::deserialize_value(fv)?,\n\
+                 ::core::option::Option::None => {},\n\
+             }},\n",
+            f.name,
+            f.name,
+            missing_expr(f, owner)
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            if item.transparent {
+                let f = single_serialized_field(fields, name);
+                format!(
+                    "::core::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::deserialize_value(v)? }})",
+                    f.name
+                )
+            } else {
+                format!(
+                    "let obj = match v {{\n\
+                         ::serde::Value::Object(m) => m.as_slice(),\n\
+                         _ => return ::core::result::Result::Err(\
+                             ::serde::DeError::new(\"{name}: expected object\")),\n\
+                     }};\n\
+                     ::core::result::Result::Ok({name} {{\n{}}})",
+                    named_fields_body(fields, name)
+                )
+            }
+        }
+        ItemKind::TupleStruct(arity) => match arity {
+            0 => format!("::core::result::Result::Ok({name}())"),
+            1 => format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(v)?))"
+            ),
+            n => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = match v {{\n\
+                         ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                         _ => return ::core::result::Result::Err(\
+                             ::serde::DeError::new(\"{name}: expected {n}-element array\")),\n\
+                     }};\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        },
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let arm_body = if *arity == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let items = match inner {{\n\
+                                     ::serde::Value::Array(a) if a.len() == {arity} => a,\n\
+                                     _ => return ::core::result::Result::Err(\
+                                         ::serde::DeError::new(\
+                                         \"{name}::{vn}: expected {arity}-element array\")),\n\
+                                 }};\n\
+                                 ::core::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vn}\" => {arm_body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let obj = match inner {{\n\
+                                     ::serde::Value::Object(m) => m.as_slice(),\n\
+                                     _ => return ::core::result::Result::Err(\
+                                         ::serde::DeError::new(\
+                                         \"{name}::{vn}: expected object payload\")),\n\
+                                 }};\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{\n{}}})\n\
+                             }},\n",
+                            named_fields_body(fields, &format!("{name}::{vn}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::core::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (k, inner) = &m[0];\n\
+                         match k.as_str() {{\n\
+                             {payload_arms}\
+                             other => ::core::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::DeError::new(\
+                         \"{name}: expected externally tagged variant\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn single_serialized_field<'a>(fields: &'a [Field], name: &str) -> &'a Field {
+    let mut live = fields.iter().filter(|f| !f.skip);
+    let first = live
+        .next()
+        .unwrap_or_else(|| panic!("#[serde(transparent)] on {name}: no serializable field"));
+    assert!(
+        live.next().is_none(),
+        "#[serde(transparent)] on {name}: more than one serializable field"
+    );
+    first
+}
+
+/// Splits a delimited group's token stream on top-level commas (tracking
+/// `<`/`>` nesting so generic arguments stay attached to their chunk).
+pub(crate) fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+pub(crate) fn is_group_with(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}

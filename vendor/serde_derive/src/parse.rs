@@ -1,0 +1,223 @@
+//! Hand-rolled item parser over `proc_macro::TokenStream`.
+//!
+//! Parses exactly the shapes the workspace derives on: non-generic
+//! structs and enums with the `#[serde(...)]` attributes listed in
+//! `lib.rs`. Anything else fails loudly at compile time so an
+//! unsupported attribute can never be silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::{is_group_with, split_top_level_commas};
+
+pub(crate) struct Item {
+    pub name: String,
+    pub transparent: bool,
+    pub kind: ItemKind,
+}
+
+pub(crate) enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Field {
+    pub name: String,
+    pub is_option: bool,
+    pub default: DefaultKind,
+    pub skip: bool,
+}
+
+pub(crate) enum DefaultKind {
+    Required,
+    Std,
+    Path(String),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub shape: VariantShape,
+}
+
+pub(crate) enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Default)]
+struct AttrFlags {
+    transparent: bool,
+    skip: bool,
+    default: Option<DefaultKind>,
+}
+
+/// Consumes `#[...]` attributes at the cursor, folding `#[serde(...)]`
+/// contents into flags and skipping everything else (doc comments,
+/// `#[must_use]`, remaining derives, ...).
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            panic!("serde stub derive: malformed attribute");
+        };
+        assert!(g.delimiter() == Delimiter::Bracket, "serde stub derive: malformed attribute");
+        parse_attr_group(g.stream(), &mut flags);
+        *i += 2;
+    }
+    flags
+}
+
+fn parse_attr_group(stream: TokenStream, flags: &mut AttrFlags) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // not a serde attribute: ignore
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        panic!("serde stub derive: expected #[serde(...)]");
+    };
+    for chunk in split_top_level_commas(args.stream().into_iter().collect()) {
+        let head = match chunk.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => panic!("serde stub derive: malformed #[serde(...)] argument"),
+        };
+        match head.as_str() {
+            "transparent" => flags.transparent = true,
+            "skip" => flags.skip = true,
+            "default" => {
+                flags.default = Some(match chunk.get(2) {
+                    // `default = "path::to::fn"`
+                    Some(TokenTree::Literal(lit)) => {
+                        let text = lit.to_string();
+                        let path = text
+                            .strip_prefix('"')
+                            .and_then(|t| t.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!("serde stub derive: default expects a string literal")
+                            });
+                        DefaultKind::Path(path.to_string())
+                    }
+                    None => DefaultKind::Std,
+                    _ => panic!("serde stub derive: malformed #[serde(default = ...)]"),
+                });
+            }
+            other => panic!(
+                "serde stub derive: unsupported serde attribute `{other}` \
+                 (supported: transparent, default, default = \"path\", skip)"
+            ),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` at the cursor.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if toks.get(*i).is_some_and(|t| is_group_with(t, Delimiter::Parenthesis)) {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected {what}, found {other:?}"),
+    }
+}
+
+pub(crate) fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let flags = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "item name");
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(
+                    split_top_level_commas(g.stream().into_iter().collect()).len(),
+                )
+            }
+            _ => panic!("serde stub derive: unit struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde stub derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde stub derive: cannot derive on `{other}` items"),
+    };
+    Item { name, transparent: flags.transparent, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream.into_iter().collect())
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            let flags = take_attrs(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            let name = expect_ident(&chunk, &mut i, "field name");
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                _ => panic!("serde stub derive: expected `:` after field `{name}`"),
+            }
+            let is_option = matches!(
+                chunk.get(i),
+                Some(TokenTree::Ident(id)) if id.to_string() == "Option"
+            );
+            Field {
+                name,
+                is_option,
+                default: flags.default.unwrap_or(DefaultKind::Required),
+                skip: flags.skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream.into_iter().collect())
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            let _ = take_attrs(&chunk, &mut i);
+            let name = expect_ident(&chunk, &mut i, "variant name");
+            let shape = match chunk.get(i) {
+                None => VariantShape::Unit,
+                // Explicit discriminant (`Variant = 3`): shape stays unit.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(
+                        split_top_level_commas(g.stream().into_iter().collect()).len(),
+                    )
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde stub derive: malformed variant `{name}` (found {other:?})"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

@@ -1,0 +1,186 @@
+//! Minimal offline stand-in for `serde_json`, built on the vendored
+//! `serde` stub's [`Value`] data model.
+//!
+//! Provides the call surface the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], the [`json!`]
+//! macro, and [`Value`] with `Index`/`PartialEq` ergonomics (those live
+//! on the re-exported `serde::Value`).
+//!
+//! Floats print via Rust's shortest-round-trip formatting, so emitted
+//! artifacts parse back bit-identically (the reason the real dependency
+//! enabled the `float_roundtrip` feature).
+
+mod parse;
+
+pub use parse::from_str_value;
+pub use serde::{DeError as Error, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes any [`Serialize`] type into a [`Value`].
+///
+/// # Errors
+///
+/// Infallible in this stub (kept as `Result` for API compatibility).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Deserializes a typed value out of a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error when the value's shape doesn't match `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize_value(value)
+}
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stub (kept as `Result` for API compatibility).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this stub (kept as `Result` for API compatibility).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.serialize_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch for `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize_value(&parse::from_str_value(text)?)
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    use std::fmt::Write;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&"  ".repeat(indent + 1));
+                let _ = write!(out, "{}: ", Value::String(k.clone()));
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        // Empty containers and scalars print compactly.
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax; arbitrary expressions are
+/// converted via [`to_value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elems).unwrap() ),* ])
+    };
+    ({ $($content:tt)* }) => {
+        $crate::json_object_munch!([] $($content)*)
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+/// Internal: munches `"key": value` pairs (values may be arbitrary
+/// multi-token expressions ending at a top-level comma).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_munch {
+    ([$($pairs:expr),*]) => {
+        $crate::Value::Object(::std::vec![$($pairs),*])
+    };
+    ([$($pairs:expr),*] $key:literal : $($rest:tt)*) => {
+        $crate::json_value_munch!([$($pairs),*] $key [] $($rest)*)
+    };
+}
+
+/// Internal: accumulates one value's tokens until a top-level comma.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_value_munch {
+    ([$($pairs:expr),*] $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $crate::json_object_munch!(
+            [$($pairs,)* ($key.to_string(), $crate::json!($($val)+))] $($rest)*
+        )
+    };
+    ([$($pairs:expr),*] $key:literal [$($val:tt)+]) => {
+        $crate::json_object_munch!(
+            [$($pairs,)* ($key.to_string(), $crate::json!($($val)+))]
+        )
+    };
+    ([$($pairs:expr),*] $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_value_munch!([$($pairs),*] $key [$($val)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let label = "x";
+        let xs = [1u64, 2, 3];
+        let v = json!({
+            "label": label,
+            "scaled": 2.0 * 21.0,
+            "xs": xs.iter().map(|x| x * 2).collect::<Vec<_>>(),
+            "nested": { "flag": true, "nothing": null },
+            "triple": [1, 2.5, "three"],
+        });
+        assert_eq!(v["label"], "x");
+        assert_eq!(v["scaled"], 42.0);
+        assert_eq!(v["xs"][2], 6u64);
+        assert_eq!(v["nested"]["flag"], true);
+        assert!(v["nested"]["nothing"].is_null());
+        assert_eq!(v["triple"][2], "three");
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = json!({ "a": [1, 2], "b": { "c": 0.1 }, "empty": [] });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert!(text.contains("\n  \"a\": ["));
+    }
+
+    #[test]
+    fn compact_round_trips_floats_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, 2.5e17, 240.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Recursive-descent JSON parser producing [`Value`]s.
+
+use serde::{DeError, Number, Value};
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem encountered.
+pub fn from_str_value(text: &str) -> Result<Value, DeError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(pos: usize, msg: &str) -> DeError {
+    DeError::new(format!("JSON parse error at byte {pos}: {msg}"))
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), DeError> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected `{}`", ch as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&b) => Err(err(*pos, &format!("unexpected byte `{}`", b as char))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Value,
+) -> Result<Value, DeError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{word}`")))
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, DeError> {
+    *pos += 1; // consume opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&code) {
+                            // Surrogate pair: expect `\uXXXX` low half.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(err(*pos, "unpaired surrogate"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| err(*pos, "invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(code).ok_or_else(|| err(*pos, "invalid \\u escape"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so byte
+                // boundaries are valid).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits of a `\u` escape; leaves `pos` on the last one.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, DeError> {
+    let start = *pos + 1;
+    let end = start + 4;
+    if end > bytes.len() {
+        return Err(err(*pos, "truncated \\u escape"));
+    }
+    let hex = std::str::from_utf8(&bytes[start..end])
+        .ok()
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+    *pos = end - 1;
+    Ok(hex)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    if !is_float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U64(n)));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I64(n)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|n| Value::Number(Number::F64(n)))
+        .map_err(|_| err(start, &format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str_value("null").unwrap(), Value::Null);
+        assert_eq!(from_str_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str_value("  42 ").unwrap(), 42u64);
+        assert_eq!(from_str_value("-7").unwrap(), -7i64);
+        assert_eq!(from_str_value("2.5e3").unwrap(), 2500.0f64);
+        assert_eq!(from_str_value(r#""a\nbA""#).unwrap(), "a\nbA");
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str_value(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v["a"][0], 1u64);
+        assert!(v["a"][1]["b"].is_null());
+        assert_eq!(v["c"], "d");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str_value("").is_err());
+        assert!(from_str_value("{").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("1 2").is_err());
+        assert!(from_str_value("nul").is_err());
+    }
+}
