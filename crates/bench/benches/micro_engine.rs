@@ -1,73 +1,214 @@
-//! Criterion micro-benchmarks for the discrete-event engine: raw event
-//! throughput bounds how many simulated hours per wall-clock second the
-//! whole reproduction can achieve.
+//! Event-engine throughput harness: events/sec for both future-event-list
+//! implementations, at several pending-set sizes.
+//!
+//! Raw event throughput bounds how many simulated hours per wall-clock
+//! second the whole reproduction can achieve, so this harness is the
+//! regression gate for the scheduler. It runs the classic *hold model*
+//! (pop the minimum, reinsert at `now + X`) against both [`QueueKind`]s,
+//! plus one end-to-end paper simulation per kind, and writes
+//! `target/paper/micro_engine.json`.
+//!
+//! Modes:
+//!
+//! * default — full measurement (repeats, large step counts);
+//! * `GEODNS_QUICK=1` / `--quick` — shortened smoke run for CI;
+//! * `--check` — after measuring, compare against the checked-in
+//!   `BENCH_engine.json` at the repository root and exit non-zero if the
+//!   calendar queue's throughput advantage over the heap regressed by more
+//!   than 20%. The gate compares *speedups* (calendar ÷ heap on the same
+//!   machine, same run), not raw events/sec, so absolute machine speed
+//!   cancels out and the check is meaningful on any CI runner.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use geodns_core::{run_simulation, Algorithm, SimConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use geodns_bench::{output_dir, quick_mode};
+use geodns_core::{format_table, run_simulation, Algorithm, QueueKind, SimConfig};
 use geodns_server::HeterogeneityLevel;
-use geodns_simcore::{Engine, EventQueue, SimTime};
+use geodns_simcore::{EventQueue, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    for &n in &[1_000usize, 10_000, 100_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("push_pop_{n}"), |b| {
-            b.iter_batched(
-                EventQueue::<u64>::new,
-                |mut q| {
-                    // Pseudo-random but deterministic times.
-                    let mut t: u64 = 0x9e3779b97f4a7c15;
-                    for i in 0..n as u64 {
-                        t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        q.push(SimTime::from_secs((t >> 40) as f64), i);
-                    }
-                    while q.pop().is_some() {}
-                    q
-                },
-                BatchSize::SmallInput,
-            );
-        });
+/// Mean hold increment in simulated seconds. The exact value is irrelevant
+/// (only relative order matters); a non-trivial spread keeps the calendar
+/// buckets realistically occupied.
+const HOLD_MEAN: f64 = 8.0;
+
+/// One measured hold-model configuration.
+struct HoldPoint {
+    pending: usize,
+    heap_eps: f64,
+    calendar_eps: f64,
+}
+
+impl HoldPoint {
+    fn speedup(&self) -> f64 {
+        self.calendar_eps / self.heap_eps
     }
-    g.finish();
 }
 
-fn bench_engine_steps(c: &mut Criterion) {
-    c.bench_function("engine_hold_model_100k_steps", |b| {
-        b.iter(|| {
-            // A self-rescheduling "hold" model: the classic DES engine
-            // stress test.
-            let mut eng = Engine::with_capacity(16);
-            for i in 0..8u64 {
-                eng.schedule_in(i as f64, i);
-            }
-            let mut steps = 0u64;
-            while let Some((_, ev)) = eng.step() {
-                steps += 1;
-                if steps >= 100_000 {
-                    break;
-                }
-                eng.schedule_in(((ev * 2654435761) % 100) as f64 + 0.1, ev + 1);
-            }
-            steps
-        });
+/// A tiny deterministic generator for hold increments (xorshift64*): the
+/// harness must not depend on ambient randomness.
+struct HoldRng(u64);
+
+impl HoldRng {
+    fn next_increment(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let x = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Uniform in [0, 2·mean): same mean as exponential, cheaper to draw,
+        // and identical for both queue kinds.
+        (x >> 11) as f64 / (1u64 << 53) as f64 * (2.0 * HOLD_MEAN)
+    }
+}
+
+/// Runs `steps` hold operations over a queue prefilled with `pending`
+/// events and returns the measured events/sec (one hold = one pop + one
+/// push = counted as one event delivered).
+fn hold_throughput(kind: QueueKind, pending: usize, steps: u64) -> f64 {
+    let mut q = EventQueue::<u32>::with_capacity_and_kind(pending, kind);
+    let mut rng = HoldRng(0x9E37_79B9_7F4A_7C15 ^ pending as u64);
+    for i in 0..pending {
+        q.push(SimTime::from_secs(rng.next_increment()), i as u32);
+    }
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let (t, payload) = q.pop().expect("hold model never empties");
+        q.push(t + rng.next_increment(), payload);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(q.len() == pending, "hold model must preserve the pending set");
+    steps as f64 / elapsed
+}
+
+/// Best-of-`repeats` hold throughput (max events/sec: the minimum-noise
+/// estimator for a CPU-bound inner loop).
+fn hold_best(kind: QueueKind, pending: usize, steps: u64, repeats: usize) -> f64 {
+    (0..repeats).map(|_| hold_throughput(kind, pending, steps)).fold(0.0, f64::max)
+}
+
+/// Wall-clock seconds for one paper simulation on the given queue kind.
+fn end_to_end_seconds(kind: QueueKind, quick: bool) -> f64 {
+    let mut cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+    cfg.seed = 7;
+    cfg.queue = kind;
+    if quick {
+        cfg.duration_s = 240.0;
+        cfg.warmup_s = 60.0;
+    } else {
+        cfg.duration_s = 1800.0;
+        cfg.warmup_s = 300.0;
+    }
+    let t0 = Instant::now();
+    let report = run_simulation(&cfg).expect("valid config");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(report.hits_completed > 0);
+    elapsed
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Loads the checked-in baseline and fails the process if the measured
+/// calendar-vs-heap speedup regressed by more than 20% at any size.
+fn check_against_baseline(points: &[HoldPoint]) {
+    let path = repo_root().join("BENCH_engine.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", path.display()));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check: bad baseline JSON: {e}"));
+
+    let mut failed = false;
+    for p in points {
+        let base = baseline["hold"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|b| b["pending"].as_u64() == Some(p.pending as u64));
+        let Some(base) = base else {
+            eprintln!("--check: no baseline entry for pending={}, skipping", p.pending);
+            continue;
+        };
+        let base_speedup = base["speedup"].as_f64().expect("baseline speedup");
+        let now = p.speedup();
+        let floor = base_speedup * 0.8;
+        let verdict = if now < floor { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "check pending={:>7}: speedup {:.2}x vs baseline {:.2}x (floor {:.2}x) … {verdict}",
+            p.pending, now, base_speedup, floor
+        );
+        if now < floor {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("micro_engine: calendar-queue throughput regressed >20% vs BENCH_engine.json");
+        std::process::exit(1);
+    }
+    eprintln!("micro_engine: throughput within 20% of the checked-in baseline");
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    let (steps, repeats) = if quick { (400_000u64, 2) } else { (4_000_000u64, 3) };
+    let sizes: &[usize] = &[1_000, 10_000, 100_000];
+
+    eprintln!(
+        "[micro_engine] hold model: {steps} steps x {repeats} repeats per point{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let mut points = Vec::new();
+    for &pending in sizes {
+        let heap_eps = hold_best(QueueKind::Heap, pending, steps, repeats);
+        let calendar_eps = hold_best(QueueKind::Calendar, pending, steps, repeats);
+        points.push(HoldPoint { pending, heap_eps, calendar_eps });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.pending),
+                format!("{:.0}", p.heap_eps),
+                format!("{:.0}", p.calendar_eps),
+                format!("{:.2}x", p.speedup()),
+            ]
+        })
+        .collect();
+    println!("\nhold-model throughput (events/sec)\n");
+    println!("{}", format_table(&["pending", "heap", "calendar", "speedup"], &rows));
+
+    eprintln!("[micro_engine] end-to-end paper simulation, one run per queue kind …");
+    let heap_s = end_to_end_seconds(QueueKind::Heap, quick);
+    let calendar_s = end_to_end_seconds(QueueKind::Calendar, quick);
+    println!(
+        "end-to-end simulation: heap {heap_s:.2} s, calendar {calendar_s:.2} s ({:.2}x)",
+        heap_s / calendar_s
+    );
+
+    let json = serde_json::json!({
+        "quick": quick,
+        "hold_steps": steps,
+        "hold": points.iter().map(|p| serde_json::json!({
+            "pending": p.pending,
+            "heap_events_per_sec": p.heap_eps,
+            "calendar_events_per_sec": p.calendar_eps,
+            "speedup": p.speedup(),
+        })).collect::<Vec<_>>(),
+        "end_to_end": {
+            "heap_seconds": heap_s,
+            "calendar_seconds": calendar_s,
+            "speedup": heap_s / calendar_s,
+        },
     });
-}
+    let path = output_dir().join("micro_engine.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serialize"))
+        .expect("write micro_engine.json");
+    eprintln!("wrote {}", path.display());
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
-    g.bench_function("five_sim_minutes_paper_model", |b| {
-        b.iter(|| {
-            let mut cfg =
-                SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
-            cfg.duration_s = 240.0;
-            cfg.warmup_s = 60.0;
-            cfg.seed = 7;
-            run_simulation(&cfg).expect("valid config")
-        });
-    });
-    g.finish();
+    if check {
+        check_against_baseline(&points);
+    }
 }
-
-criterion_group!(benches, bench_event_queue, bench_engine_steps, bench_end_to_end);
-criterion_main!(benches);

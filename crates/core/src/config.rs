@@ -2,6 +2,7 @@
 
 use geodns_nameserver::MinTtlBehavior;
 use geodns_server::{CapacityPlan, HeterogeneityLevel};
+use geodns_simcore::QueueKind;
 use geodns_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +108,13 @@ pub struct SimConfig {
     pub warmup_s: f64,
     /// Master RNG seed.
     pub seed: u64,
+    /// Which future-event-list implementation drives the run. Both kinds
+    /// deliver events in the identical `(time, seq)` order, so reports are
+    /// bit-identical either way (enforced by `tests/determinism.rs`); the
+    /// calendar queue is simply faster. The heap is kept selectable as the
+    /// differential-testing oracle.
+    #[serde(default)]
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -136,6 +144,7 @@ impl SimConfig {
             duration_s: 5.0 * 3600.0,
             warmup_s: 1800.0,
             seed: 0x6E0D_0513,
+            queue: QueueKind::default(),
         }
     }
 

@@ -34,26 +34,35 @@ pub fn run_all(configs: &[SimConfig]) -> Result<Vec<SimReport>, String> {
         return configs.iter().map(run_simulation).collect();
     }
 
-    let mut results: Vec<Option<Result<SimReport, String>>> = Vec::new();
-    results.resize_with(configs.len(), || None);
+    // Workers pull indices from a shared counter and send `(index, result)`
+    // pairs down an mpsc channel; the receiving end reorders into input
+    // order. Lock-free on the result path — no Mutex over the output Vec.
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<SimReport, String>)>();
 
     crossbeam::scope(|scope| {
+        let next = &next;
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
-                let result = run_simulation(&configs[i]);
-                let mut guard = results_mutex.lock().expect("results lock");
-                guard[i] = Some(result);
+                if tx.send((i, run_simulation(&configs[i]))).is_err() {
+                    break;
+                }
             });
         }
     })
     .expect("sweep worker panicked");
+    drop(tx);
 
+    let mut results: Vec<Option<Result<SimReport, String>>> = Vec::new();
+    results.resize_with(configs.len(), || None);
+    for (i, result) in rx {
+        results[i] = Some(result);
+    }
     results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 

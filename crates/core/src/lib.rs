@@ -98,6 +98,7 @@ pub use world::{run_simulation, World};
 // Re-export the substrate types a downstream user needs to drive the API.
 pub use geodns_nameserver::MinTtlBehavior;
 pub use geodns_server::{CapacityPlan, HeterogeneityLevel};
+pub use geodns_simcore::QueueKind;
 pub use geodns_workload::{
     ClientDistribution, RateProfile, SessionModel, Trace, TraceSession, WorkloadSpec,
 };

@@ -24,8 +24,15 @@ impl SelectionPolicy for RandomChoice {
     }
 
     fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
-        let eligible: Vec<usize> = (0..ctx.num_servers()).filter(|&s| ctx.eligible(s)).collect();
-        eligible[rng.gen_range(0..eligible.len())]
+        // Two passes instead of collecting the eligible set: the DNS
+        // decision sits on the simulation hot path, which must not allocate.
+        // Draws the same single `gen_range` the collecting version did.
+        let count = (0..ctx.num_servers()).filter(|&s| ctx.eligible(s)).count();
+        let k = rng.gen_range(0..count);
+        (0..ctx.num_servers())
+            .filter(|&s| ctx.eligible(s))
+            .nth(k)
+            .expect("k drawn from the eligible count")
     }
 }
 

@@ -62,12 +62,27 @@ struct ClientState {
     hot_domain: bool,
 }
 
+/// The scalar knobs the world consults while running, copied out of the
+/// [`SimConfig`] so construction can borrow the config instead of cloning
+/// its workload tables.
+#[derive(Debug, Clone, Copy)]
+struct RunParams {
+    seed: u64,
+    algorithm: crate::Algorithm,
+    client_cache: ClientCacheModel,
+    failover: FailoverModel,
+    util_interval_s: f64,
+    feedback_delay_s: f64,
+    duration_s: f64,
+    warmup_s: f64,
+}
+
 /// One fully wired simulation run.
 ///
 /// Build it from a validated [`SimConfig`] and call [`run`](World::run);
 /// most users go through [`run_simulation`](crate::run_simulation).
 pub struct World {
-    cfg: SimConfig,
+    params: RunParams,
     workload: Workload,
     plan: CapacityPlan,
     engine: Engine<Ev>,
@@ -81,6 +96,11 @@ pub struct World {
     rng_hits: StreamRng,
     rng_service: StreamRng,
     service_dists: Vec<ServiceSampler>,
+    // --- reusable scratch buffers: the steady-state event loop must not
+    // allocate, so the per-decision backlog snapshot and the estimator's
+    // collection counts live on the world (see `tests/alloc_free.rs`) ---
+    scratch_backlogs: Vec<f64>,
+    scratch_counts: Vec<u64>,
     // --- statistics (collected only after warm-up) ---
     measuring: bool,
     measured_start: SimTime,
@@ -124,7 +144,7 @@ impl World {
     /// # Errors
     ///
     /// Returns the first configuration problem found.
-    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+    pub fn new(cfg: &SimConfig) -> Result<Self, String> {
         cfg.validate()?;
         let workload = cfg.workload.build()?;
         let plan = cfg.servers.plan(cfg.total_capacity)?;
@@ -194,7 +214,7 @@ impl World {
             .collect();
 
         Ok(World {
-            engine: Engine::with_capacity(clients.len() * 2 + 64),
+            engine: Engine::with_capacity_and_kind(clients.len() * 2 + 64, cfg.queue),
             rng_think: streams.stream("think"),
             rng_pages: streams.stream("pages"),
             rng_hits: streams.stream("hits"),
@@ -235,7 +255,18 @@ impl World {
             hits_issued_total: 0,
             hits_served_total: 0,
             hits_failed_total: 0,
-            cfg,
+            scratch_backlogs: Vec::with_capacity(n_servers),
+            scratch_counts: Vec::with_capacity(n_domains),
+            params: RunParams {
+                seed: cfg.seed,
+                algorithm: cfg.algorithm,
+                client_cache: cfg.client_cache,
+                failover: cfg.failures.failover,
+                util_interval_s: cfg.util_interval_s,
+                feedback_delay_s: cfg.feedback_delay_s,
+                duration_s: cfg.duration_s,
+                warmup_s: cfg.warmup_s,
+            },
             workload,
             plan,
             servers,
@@ -274,17 +305,17 @@ impl World {
         // synchronized burst at t = 0.
         let think_mean = self.workload.session().think_mean_s;
         let stagger = Uniform::new(0.0, think_mean.max(1e-9) * 2.0).expect("valid stagger window");
-        let mut rng_start = RngStreams::new(self.cfg.seed).stream("start");
+        let mut rng_start = RngStreams::new(self.params.seed).stream("start");
         for c in 0..self.clients.len() {
             let delay = stagger.sample(&mut rng_start);
             self.engine.schedule_in(delay, Ev::SessionStart { client: c as u32 });
         }
-        self.engine.schedule_in(self.cfg.util_interval_s, Ev::UtilSample);
+        self.engine.schedule_in(self.params.util_interval_s, Ev::UtilSample);
         if let Some(interval) = self.dns.estimator().collect_interval() {
             self.engine.schedule_in(interval, Ev::Collect);
         }
-        self.engine.schedule_in(self.cfg.warmup_s, Ev::WarmupEnd);
-        self.engine.schedule_in(self.cfg.warmup_s + self.cfg.duration_s, Ev::Horizon);
+        self.engine.schedule_in(self.params.warmup_s, Ev::WarmupEnd);
+        self.engine.schedule_in(self.params.warmup_s + self.params.duration_s, Ev::Horizon);
         if let Some(fps) = &mut self.failures {
             for (s, fp) in fps.iter_mut().enumerate() {
                 let up = fp.sample_uptime(&mut self.rng_failure);
@@ -293,8 +324,12 @@ impl World {
         }
     }
 
-    fn backlogs(&self) -> Vec<f64> {
-        self.servers.iter().map(WebServer::normalized_backlog).collect()
+    /// Refreshes the reusable backlog snapshot from the current server
+    /// states. Reuses `scratch_backlogs` so the per-decision path performs
+    /// no allocation once the buffer reached `n_servers` capacity.
+    fn fill_backlogs(&mut self) {
+        self.scratch_backlogs.clear();
+        self.scratch_backlogs.extend(self.servers.iter().map(WebServer::normalized_backlog));
     }
 
     /// Resolves the client's domain through the full path (client cache →
@@ -317,8 +352,8 @@ impl World {
                 let (server, ns_expiry, direct) = match self.ns.lookup_with_expiry(domain, now) {
                     Some((server, expiry)) => (server, expiry, false),
                     None => {
-                        let backlogs = self.backlogs();
-                        let (server, ttl) = self.dns.resolve(domain, now, &backlogs);
+                        self.fill_backlogs();
+                        let (server, ttl) = self.dns.resolve(domain, now, &self.scratch_backlogs);
                         let effective = self.ns.insert(domain, server, ttl, now);
                         if self.measuring {
                             self.dns_queries_measured += 1;
@@ -326,9 +361,9 @@ impl World {
                         (server, now + effective, true)
                     }
                 };
-                if !matches!(self.cfg.client_cache, ClientCacheModel::Off) {
+                if !matches!(self.params.client_cache, ClientCacheModel::Off) {
                     let expiry = self
-                        .cfg
+                        .params
                         .client_cache
                         .expiry(now.as_secs(), ns_expiry.as_secs())
                         .map(SimTime::from_secs);
@@ -460,7 +495,7 @@ impl World {
             }
             if let Some(signal) = self.alarms[s].observe(u) {
                 self.engine.schedule_in(
-                    self.cfg.feedback_delay_s,
+                    self.params.feedback_delay_s,
                     Ev::SignalArrive { server: s as u32, signal },
                 );
             }
@@ -471,7 +506,7 @@ impl World {
                 timeline.push(now.since(self.measured_start), row);
             }
         }
-        self.engine.schedule_in(self.cfg.util_interval_s, Ev::UtilSample);
+        self.engine.schedule_in(self.params.util_interval_s, Ev::UtilSample);
     }
 
     fn on_collect(&mut self, _now: SimTime) {
@@ -479,13 +514,14 @@ impl World {
             return;
         };
         let n_domains = self.workload.num_domains();
-        let mut counts = vec![0u64; n_domains];
+        self.scratch_counts.clear();
+        self.scratch_counts.resize(n_domains, 0);
         for server in &mut self.servers {
-            for (total, c) in counts.iter_mut().zip(server.take_domain_counts()) {
+            for (total, c) in self.scratch_counts.iter_mut().zip(server.take_domain_counts()) {
                 *total += c;
             }
         }
-        self.dns.ingest(&counts, interval);
+        self.dns.ingest(&self.scratch_counts, interval);
         self.engine.schedule_in(interval, Ev::Collect);
     }
 
@@ -506,7 +542,7 @@ impl World {
         self.engine.schedule_in(repair, Ev::ServerRecover { server });
         // The liveness signal rides the same delayed channel as alarms.
         self.engine.schedule_in(
-            self.cfg.feedback_delay_s,
+            self.params.feedback_delay_s,
             Ev::SignalArrive { server, signal: Signal::Down },
         );
         self.down_since[s] = Some(now);
@@ -540,7 +576,7 @@ impl World {
         };
         self.engine.schedule_in(next_up, Ev::ServerCrash { server });
         self.engine.schedule_in(
-            self.cfg.feedback_delay_s,
+            self.params.feedback_delay_s,
             Ev::SignalArrive { server, signal: Signal::Up },
         );
         if let Some(down_at) = self.down_since[s].take() {
@@ -562,7 +598,7 @@ impl World {
     /// A client's page failed (issued at a dead server, or dropped from a
     /// crashing server's queue). The failover model decides what happens.
     fn handle_failed_page(&mut self, client: u32, now: SimTime) {
-        match self.cfg.failures.failover {
+        match self.params.failover {
             FailoverModel::PinUntilTtl => {
                 // Paper-faithful: the page is abandoned, the binding stays
                 // until its TTL runs out, and the client moves on after a
@@ -608,7 +644,7 @@ impl World {
 
     fn finalize(mut self) -> SimReport {
         self.max_util_samples.sort_by(|a, b| a.total_cmp(b));
-        let span = self.cfg.duration_s;
+        let span = self.params.duration_s;
         // Close out servers still down at the horizon.
         let horizon = self.engine.now();
         let mut downtime = self.downtime_measured.clone();
@@ -624,8 +660,8 @@ impl World {
             downtime.iter().map(|d| (1.0 - d / span).clamp(0.0, 1.0)).collect();
         let hits_in_flight: u64 = self.servers.iter().map(|s| s.queue_len() as u64).sum();
         SimReport {
-            algorithm: self.cfg.algorithm.name(),
-            seed: self.cfg.seed,
+            algorithm: self.params.algorithm.name(),
+            seed: self.params.seed,
             heterogeneity_pct: self.plan.max_difference() * 100.0,
             measured_span_s: span,
             max_util_samples: self.max_util_samples,
@@ -662,7 +698,7 @@ impl World {
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
-            .field("algorithm", &self.cfg.algorithm.name())
+            .field("algorithm", &self.params.algorithm.name())
             .field("servers", &self.servers.len())
             .field("clients", &self.clients.len())
             .field("now", &self.engine.now())
@@ -690,7 +726,7 @@ impl std::fmt::Debug for World {
 /// assert!(report.mean_util() > 0.0);
 /// ```
 pub fn run_simulation(config: &SimConfig) -> Result<SimReport, String> {
-    Ok(World::new(config.clone())?.run())
+    Ok(World::new(config)?.run())
 }
 
 #[cfg(test)]

@@ -1,18 +1,34 @@
-//! Time-ordered event queue with deterministic FIFO tie-breaking.
+//! Time-ordered event queues with deterministic FIFO tie-breaking.
+//!
+//! Two interchangeable implementations of the future event list share the
+//! exact `(time, seq)` total order:
+//!
+//! * [`CalendarQueue`](crate::CalendarQueue) — the bucketed O(1) scheduler,
+//!   the default;
+//! * [`HeapQueue`] — the classic binary heap, kept as the reference
+//!   implementation and differential-testing oracle.
+//!
+//! [`EventQueue`] is the façade the engine uses: it dispatches to one of
+//! the two, selected by [`QueueKind`]. Because both implementations agree
+//! on the total order, every simulation result is bit-identical whichever
+//! one runs.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
 
 /// A pending event: its firing time plus an insertion sequence number used to
 /// break ties, so that events scheduled for the same instant fire in the
 /// order they were scheduled (FIFO). Determinism of the whole simulation
 /// hinges on this tie-breaking being stable.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -36,44 +52,38 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A priority queue of future events, ordered by firing time.
+/// Selects the future-event-list implementation behind [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// The bucketed calendar queue (O(1) amortized push/pop; the default).
+    #[default]
+    Calendar,
+    /// The binary heap (O(log n); reference implementation).
+    Heap,
+}
+
+/// A priority queue of future events backed by a binary heap.
 ///
-/// Events scheduled for the same instant are delivered in scheduling order.
-/// This is the "future event list" of a classic discrete-event simulator;
-/// most users drive it through [`Engine`](crate::Engine) rather than
-/// directly.
-///
-/// # Examples
-///
-/// ```
-/// use geodns_simcore::{EventQueue, SimTime};
-///
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_secs(2.0), "b");
-/// q.push(SimTime::from_secs(1.0), "a");
-/// q.push(SimTime::from_secs(2.0), "c"); // same instant as "b": FIFO
-///
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "a")));
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "b")));
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "c")));
-/// assert_eq!(q.pop(), None);
-/// ```
-pub struct EventQueue<E> {
+/// The reference implementation of the future event list: O(log n) per
+/// operation, trivially correct, and the oracle the calendar queue is
+/// differentially tested against. Most code should use [`EventQueue`]
+/// instead and let [`QueueKind`] pick the implementation.
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        HeapQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Creates an empty queue with room for `capacity` pending events.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        HeapQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
     }
 
     /// Schedules `event` to fire at `time`.
@@ -113,6 +123,152 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for HeapQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+enum Inner<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(HeapQueue<E>),
+}
+
+/// A priority queue of future events, ordered by firing time.
+///
+/// Events scheduled for the same instant are delivered in scheduling order.
+/// This is the "future event list" of a classic discrete-event simulator;
+/// most users drive it through [`Engine`](crate::Engine) rather than
+/// directly. The backing implementation is a [`CalendarQueue`] by default;
+/// [`EventQueue::with_kind`] selects the [`HeapQueue`] reference
+/// implementation instead. Both produce the identical pop sequence for any
+/// push/pop schedule.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "b");
+/// q.push(SimTime::from_secs(1.0), "a");
+/// q.push(SimTime::from_secs(2.0), "c"); // same instant as "b": FIFO
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    inner: Inner<E>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue (calendar-backed).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_kind(QueueKind::Calendar)
+    }
+
+    /// Creates an empty queue backed by the given implementation.
+    #[must_use]
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let inner = match kind {
+            QueueKind::Calendar => Inner::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => Inner::Heap(HeapQueue::new()),
+        };
+        EventQueue { inner }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_kind(capacity, QueueKind::Calendar)
+    }
+
+    /// Creates an empty queue of the given kind sized for `capacity`
+    /// pending events.
+    #[must_use]
+    pub fn with_capacity_and_kind(capacity: usize, kind: QueueKind) -> Self {
+        let inner = match kind {
+            // The calendar sizes itself from the live pending set; a
+            // capacity hint cannot improve on its recalibration.
+            QueueKind::Calendar => Inner::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => Inner::Heap(HeapQueue::with_capacity(capacity)),
+        };
+        EventQueue { inner }
+    }
+
+    /// Which implementation backs this queue.
+    #[must_use]
+    pub fn kind(&self) -> QueueKind {
+        match &self.inner {
+            Inner::Calendar(_) => QueueKind::Calendar,
+            Inner::Heap(_) => QueueKind::Heap,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) {
+        match &mut self.inner {
+            Inner::Calendar(q) => q.push(time, event),
+            Inner::Heap(q) => q.push(time, event),
+        }
+    }
+
+    /// Removes and returns the earliest pending event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match &mut self.inner {
+            Inner::Calendar(q) => q.pop(),
+            Inner::Heap(q) => q.pop(),
+        }
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match &self.inner {
+            Inner::Calendar(q) => q.peek_time(),
+            Inner::Heap(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Calendar(q) => q.len(),
+            Inner::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all pending events (the sequence counter keeps advancing, so
+    /// FIFO ordering guarantees survive a clear).
+    pub fn clear(&mut self) {
+        match &mut self.inner {
+            Inner::Calendar(q) => q.clear(),
+            Inner::Heap(q) => q.clear(),
+        }
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
@@ -121,10 +277,10 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
-            .field("next_seq", &self.next_seq)
-            .finish()
+        match &self.inner {
+            Inner::Calendar(q) => q.fmt(f),
+            Inner::Heap(q) => q.fmt(f),
+        }
     }
 }
 
@@ -136,52 +292,114 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
+    fn both() -> [EventQueue<i32>; 2] {
+        [EventQueue::with_kind(QueueKind::Calendar), EventQueue::with_kind(QueueKind::Heap)]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(t(3.0), 3);
-        q.push(t(1.0), 1);
-        q.push(t(2.0), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for mut q in both() {
+            q.push(t(3.0), 3);
+            q.push(t(1.0), 1);
+            q.push(t(2.0), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3], "{:?}", q.kind());
+        }
     }
 
     #[test]
     fn fifo_on_ties() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(t(5.0), i);
+        for mut q in both() {
+            for i in 0..100 {
+                q.push(t(5.0), i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{:?}", q.kind());
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn fifo_survives_interleaved_pops() {
-        let mut q = EventQueue::new();
-        q.push(t(1.0), "x");
-        q.push(t(5.0), "a");
-        assert_eq!(q.pop().unwrap().1, "x");
-        q.push(t(5.0), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
+        for mut q in both() {
+            q.push(t(1.0), 0);
+            q.push(t(5.0), 1);
+            assert_eq!(q.pop().unwrap().1, 0);
+            q.push(t(5.0), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+        }
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut q = EventQueue::new();
-        q.push(t(7.0), ());
-        assert_eq!(q.peek_time(), Some(t(7.0)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for mut q in both() {
+            q.push(t(7.0), 0);
+            assert_eq!(q.peek_time(), Some(t(7.0)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
     fn clear_empties() {
-        let mut q = EventQueue::new();
-        q.push(t(1.0), ());
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.push(t(1.0), 0);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn default_kind_is_calendar() {
+        assert_eq!(EventQueue::<()>::new().kind(), QueueKind::Calendar);
+        assert_eq!(QueueKind::default(), QueueKind::Calendar);
+    }
+
+    /// The tentpole guarantee: both implementations produce the identical
+    /// `(time, event)` pop sequence when driven with the same schedule
+    /// trace — including same-instant bursts, interleaved pops, far-future
+    /// outliers, and enough volume to cross several calendar resizes.
+    #[test]
+    fn differential_trace_calendar_vs_heap() {
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        // xorshift64* driven schedule: mixed horizons plus frequent ties.
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut now = 0.0_f64;
+        for i in 0..50_000u64 {
+            let r = rng();
+            let delay = match r % 10 {
+                0..=4 => (r >> 32) as f64 % 8.0,   // near future
+                5..=7 => (r >> 32) as f64 % 240.0, // TTL horizon
+                8 => 0.0,                          // same-instant tie
+                _ => 1e4 + (r >> 32) as f64 % 1e5, // far-future outlier
+            };
+            let time = t(now + delay);
+            cal.push(time, i);
+            heap.push(time, i);
+            if r % 3 == 0 {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "divergence at step {i}");
+                if let Some((popped, _)) = a {
+                    now = popped.as_secs();
+                }
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "divergence in final drain");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

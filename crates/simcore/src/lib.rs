@@ -5,7 +5,12 @@
 //! the three ingredients every discrete-event model needs:
 //!
 //! * an **engine** — a virtual clock plus a time-ordered event queue with
-//!   deterministic FIFO tie-breaking ([`Engine`], [`EventQueue`]);
+//!   deterministic FIFO tie-breaking ([`Engine`], [`EventQueue`]). The
+//!   future event list is a self-resizing calendar queue
+//!   ([`CalendarQueue`]) by default, with the binary-heap reference
+//!   implementation ([`HeapQueue`]) selectable via [`QueueKind`] — both
+//!   share the exact `(time, seq)` order, so results are bit-identical
+//!   whichever one runs;
 //! * **randomness** — reproducible, independently-seeded RNG streams
 //!   ([`RngStreams`]) and the random-variate distributions the workload model
 //!   draws from ([`dist`]);
@@ -61,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod dist;
 mod engine;
 mod event;
@@ -68,7 +74,8 @@ mod rng;
 pub mod stats;
 mod time;
 
+pub use calendar::CalendarQueue;
 pub use engine::Engine;
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue, QueueKind};
 pub use rng::{fnv1a_64, split_mix_64, RngStreams, StreamRng};
 pub use time::{SimTime, TimeError};

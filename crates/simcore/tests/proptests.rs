@@ -4,10 +4,109 @@ use geodns_simcore::dist::{
     Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf,
 };
 use geodns_simcore::stats::{Cdf, Histogram, P2Quantile, Tally};
-use geodns_simcore::{EventQueue, RngStreams, SimTime};
+use geodns_simcore::{CalendarQueue, EventQueue, HeapQueue, QueueKind, RngStreams, SimTime};
 use proptest::prelude::*;
 
+/// One step of a random queue workload: push an event at the given offset
+/// from the current maximum time, or pop.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Push(f64),
+    Pop,
+}
+
+fn queue_ops(len: usize) -> impl Strategy<Value = Vec<QueueOp>> {
+    // Mostly pushes with a wide mix of deltas: ties (0.0), short hops, and
+    // far-future jumps that land in the overflow list; one pop in three.
+    prop::collection::vec(
+        (0u8..6, 0.0f64..50.0).prop_map(|(kind, x)| match kind {
+            0 => QueueOp::Push(0.0),
+            1 => QueueOp::Push(x),
+            2 => QueueOp::Push(x * 100.0),
+            3 => QueueOp::Push(x * 10_000.0),
+            _ => QueueOp::Pop,
+        }),
+        1..len,
+    )
+}
+
 proptest! {
+    /// Random push/pop interleavings against a sorted-vec oracle: both
+    /// queue kinds must agree with the oracle on every pop, for any mix of
+    /// tie, near, and far-future times (the latter exercising the calendar
+    /// overflow list and bucket-width recalibration).
+    #[test]
+    fn queues_match_sorted_vec_oracle(ops in queue_ops(300)) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        // Oracle: (time, seq) pairs kept sorted ascending; pop = remove(0).
+        let mut oracle: Vec<(SimTime, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut high = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                QueueOp::Push(delta) => {
+                    // Anchor pushes at the highest time seen so the trace
+                    // stays causal, the way an engine drives the queue.
+                    let t = high + delta;
+                    high = if t > high { t } else { high };
+                    cal.push(t, seq);
+                    heap.push(t, seq);
+                    let at = oracle.partition_point(|&(ot, os)| (ot, os) < (t, seq));
+                    oracle.insert(at, (t, seq));
+                    seq += 1;
+                }
+                QueueOp::Pop => {
+                    let expect = if oracle.is_empty() { None } else { Some(oracle.remove(0)) };
+                    prop_assert_eq!(cal.pop(), expect, "calendar vs oracle");
+                    prop_assert_eq!(heap.pop(), expect, "heap vs oracle");
+                }
+            }
+        }
+        // Drain: the full remaining order must match too.
+        while let Some(expected) = (!oracle.is_empty()).then(|| oracle.remove(0)) {
+            prop_assert_eq!(cal.pop(), Some(expected), "calendar drain");
+            prop_assert_eq!(heap.pop(), Some(expected), "heap drain");
+        }
+        prop_assert_eq!(cal.pop(), None);
+        prop_assert_eq!(heap.pop(), None);
+    }
+
+    /// FIFO among same-time events survives calendar bucket resizes: a
+    /// burst of ties pushed before, across, and after a forced growth
+    /// rebuild pops back in exact insertion order.
+    #[test]
+    fn tie_fifo_survives_bucket_resizes(
+        n_ties in 1usize..120,
+        tie_at in 0.0f64..1000.0,
+        filler in prop::collection::vec(0.0f64..1000.0, 64..256),
+    ) {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            // Interleave tied events with spread-out filler so the calendar
+            // crosses at least one grow threshold mid-sequence.
+            let mut expected_ties = Vec::new();
+            for (i, &f) in filler.iter().enumerate() {
+                q.push(SimTime::from_secs(f), usize::MAX - i);
+                if i < n_ties {
+                    q.push(SimTime::from_secs(tie_at), i);
+                    expected_ties.push(i);
+                }
+            }
+            let mut got_ties = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some((t, payload)) = q.pop() {
+                prop_assert!(t >= last, "time went backwards under {kind:?}");
+                last = t;
+                if payload < usize::MAX / 2 {
+                    got_ties.push(payload);
+                }
+            }
+            prop_assert_eq!(&got_ties, &expected_ties, "tie FIFO broke under {:?}", kind);
+        }
+    }
+
     /// The event queue always yields events in non-decreasing time order,
     /// with FIFO order among events that share a timestamp.
     #[test]

@@ -2,7 +2,7 @@
 //! publishable. Same seed → identical report; the master seed, not global
 //! state, is the only source of randomness.
 
-use geodns_core::{run_all, run_simulation, Algorithm, SimConfig};
+use geodns_core::{run_all, run_simulation, Algorithm, QueueKind, SimConfig};
 use geodns_server::HeterogeneityLevel;
 
 fn config(seed: u64) -> SimConfig {
@@ -38,6 +38,31 @@ fn parallel_execution_does_not_perturb_results() {
     for (cfg, from_parallel) in configs.iter().zip(&parallel) {
         let serial = run_simulation(cfg).unwrap();
         assert_eq!(&serial, from_parallel);
+    }
+}
+
+#[test]
+fn calendar_queue_matches_heap_oracle_bit_for_bit() {
+    // The calendar queue replaced the binary heap as the future event list.
+    // Both implement the same `(time, seq)` total order, so the exact same
+    // simulation must fall out — byte-identical reports, not just equal
+    // statistics. Three seeds exercise three different event interleavings
+    // (and with them different bucket-resize histories).
+    for seed in [1_u64, 0xBEEF, 987_654_321] {
+        let mut cal = SimConfig::quick(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+        cal.seed = seed;
+        cal.queue = QueueKind::Calendar;
+        let mut heap = cal.clone();
+        heap.queue = QueueKind::Heap;
+
+        let from_calendar = run_simulation(&cal).unwrap();
+        let from_heap = run_simulation(&heap).unwrap();
+        assert_eq!(from_calendar, from_heap, "reports diverged on seed {seed}");
+
+        // Byte-identical, not merely `PartialEq`-identical: serialize both.
+        let cal_bytes = serde_json::to_string(&from_calendar).unwrap();
+        let heap_bytes = serde_json::to_string(&from_heap).unwrap();
+        assert_eq!(cal_bytes, heap_bytes, "serialized reports diverged on seed {seed}");
     }
 }
 
