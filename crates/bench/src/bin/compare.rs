@@ -10,6 +10,14 @@
 use geodns_core::{format_table, run_all, Algorithm, SimConfig};
 use geodns_server::HeterogeneityLevel;
 
+fn usage() -> ! {
+    eprintln!("usage: compare [het%] [duration_s] [seed]");
+    eprintln!("  het%        heterogeneity level: 0, 20, 35, 50 or 65 (default 20)");
+    eprintln!("  duration_s  measured span in seconds, > 0 (default 18000)");
+    eprintln!("  seed        master RNG seed, u64 (default 1998)");
+    std::process::exit(2);
+}
+
 fn parse_level(arg: Option<&String>) -> HeterogeneityLevel {
     match arg.map(String::as_str) {
         Some("0") => HeterogeneityLevel::H0,
@@ -18,19 +26,39 @@ fn parse_level(arg: Option<&String>) -> HeterogeneityLevel {
         Some("50") => HeterogeneityLevel::H50,
         Some("65") => HeterogeneityLevel::H65,
         Some(other) => {
-            eprintln!(
-                "unknown heterogeneity level '{other}' (use 0/20/35/50/65); defaulting to 20"
-            );
-            HeterogeneityLevel::H20
+            eprintln!("error: unknown heterogeneity level '{other}' (use 0/20/35/50/65)");
+            usage()
         }
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 3 {
+        eprintln!("error: too many arguments");
+        usage();
+    }
     let level = parse_level(args.first());
-    let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(18000.0);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1998);
+    let duration: f64 = match args.get(1) {
+        None => 18000.0,
+        Some(s) => match s.parse() {
+            Ok(d) if d > 0.0 => d,
+            _ => {
+                eprintln!("error: duration_s must be a positive number, got '{s}'");
+                usage()
+            }
+        },
+    };
+    let seed: u64 = match args.get(2) {
+        None => 1998,
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("error: seed must be a u64, got '{s}'");
+                usage()
+            }
+        },
+    };
 
     let algorithms = [
         Algorithm::rr(),

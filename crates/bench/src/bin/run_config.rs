@@ -7,50 +7,100 @@
 //! cargo run --release -p geodns-bench --bin run_config -- site.json
 //! # Also dump the utilization time series for plotting:
 //! cargo run --release -p geodns-bench --bin run_config -- site.json --timeline utils.csv
+//! # And the liveness transitions (needs fault injection in the config):
+//! cargo run --release -p geodns-bench --bin run_config -- site.json --failures faults.csv
 //! ```
 
 use geodns_core::{run_simulation, Algorithm, SimConfig};
 use geodns_server::HeterogeneityLevel;
 
+fn usage() -> ! {
+    eprintln!("usage: run_config <config.json> [--timeline <utils.csv>] [--failures <events.csv>]");
+    eprintln!("       run_config --template");
+    eprintln!("  --timeline  also dump the utilization time series as CSV");
+    eprintln!("  --failures  also dump the liveness transitions (t_s,server,up) as CSV");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    match args.first().map(String::as_str) {
-        Some("--template") => {
-            let cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
-            println!("{}", serde_json::to_string_pretty(&cfg).expect("serialize template"));
+    if args.first().map(String::as_str) == Some("--template") {
+        if args.len() > 1 {
+            eprintln!("error: --template takes no further arguments");
+            usage();
         }
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-            let mut cfg: SimConfig = serde_json::from_str(&text)
-                .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
-            let timeline_path =
-                args.iter().position(|a| a == "--timeline").and_then(|i| args.get(i + 1)).cloned();
-            if timeline_path.is_some() {
-                cfg.record_timeline = true;
-            }
-            let report =
-                run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
-            if let (Some(out), Some(timeline)) = (timeline_path, &report.timeline) {
-                std::fs::write(&out, timeline.to_csv())
-                    .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
-                eprintln!("wrote timeline ({} samples) to {out}", timeline.len());
-            }
-            eprintln!(
-                "{}: P(maxU<0.98) = {:.3}, mean util = {:.3}, page p95 = {:.0} ms",
-                report.algorithm,
-                report.p98(),
-                report.mean_util(),
-                report.page_response_p95_s * 1e3
-            );
-            println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
-        }
-        None => {
-            eprintln!("usage: run_config <config.json> | run_config --template");
-            std::process::exit(2);
-        }
+        let cfg = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+        println!("{}", serde_json::to_string_pretty(&cfg).expect("serialize template"));
+        return;
     }
+
+    let mut path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
+    let mut failures_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeline" | "--failures" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: {flag} requires a file path");
+                    usage();
+                };
+                let slot =
+                    if flag == "--timeline" { &mut timeline_path } else { &mut failures_path };
+                if slot.is_some() {
+                    eprintln!("error: {flag} given twice");
+                    usage();
+                }
+                *slot = Some(value.clone());
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'");
+                usage();
+            }
+            positional => {
+                if path.is_some() {
+                    eprintln!("error: unexpected extra argument '{positional}'");
+                    usage();
+                }
+                path = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("error: missing <config.json>");
+        usage();
+    };
+
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut cfg: SimConfig =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+    if timeline_path.is_some() || failures_path.is_some() {
+        cfg.record_timeline = true;
+    }
+    let report = run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
+    if let (Some(out), Some(timeline)) = (&timeline_path, &report.timeline) {
+        std::fs::write(out, timeline.to_csv())
+            .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("wrote timeline ({} samples) to {out}", timeline.len());
+    }
+    if let (Some(out), Some(timeline)) = (&failures_path, &report.timeline) {
+        std::fs::write(out, timeline.failure_events_to_csv())
+            .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+        eprintln!("wrote {} failure events to {out}", timeline.failure_events.len());
+    }
+    eprintln!(
+        "{}: P(maxU<0.98) = {:.3}, mean util = {:.3}, page p95 = {:.0} ms",
+        report.algorithm,
+        report.p98(),
+        report.mean_util(),
+        report.page_response_p95_s * 1e3
+    );
+    println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
 }
 
 fn die(msg: &str) -> ! {

@@ -1,0 +1,161 @@
+//! `trace` — run a simulation with the observability recorders switched on
+//! and capture a structured JSONL decision trace.
+//!
+//! Every DNS scheduling decision (domain, class, candidate set, exclusions,
+//! chosen server, TTL, policy state), every alarm/normal/down/up signal,
+//! every liveness transition (including servers already down when warm-up
+//! ends), every name-server cache miss and every collection round lands as
+//! one JSON object per line — grep-able, jq-able, diff-able.
+//!
+//! ```sh
+//! cargo run --release -p geodns-bench --bin trace -- site.json --out decisions.jsonl
+//! # Inspect:
+//! head -3 decisions.jsonl
+//! grep '"ev":"liveness"' decisions.jsonl
+//! ```
+
+use geodns_core::{run_simulation, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace <config.json> [--out <trace.jsonl>] [--max-records <N>] \
+         [--failures <events.csv>]"
+    );
+    eprintln!("  --out          where to write the JSONL trace (default trace.jsonl)");
+    eprintln!("  --max-records  record budget before the trace is truncated (default 1000000)");
+    eprintln!("  --failures     also dump the liveness transitions (t_s,server,up) as CSV");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut path: Option<String> = None;
+    let mut out = String::from("trace.jsonl");
+    let mut max_records: Option<u64> = None;
+    let mut failures_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: --out requires a file path");
+                    usage();
+                };
+                out = value.clone();
+            }
+            "--max-records" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: --max-records requires a number");
+                    usage();
+                };
+                match value.parse() {
+                    Ok(n) if n > 0 => max_records = Some(n),
+                    _ => {
+                        eprintln!("error: --max-records must be a positive integer, got '{value}'");
+                        usage();
+                    }
+                }
+            }
+            "--failures" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("error: --failures requires a file path");
+                    usage();
+                };
+                failures_path = Some(value.clone());
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'");
+                usage();
+            }
+            positional => {
+                if path.is_some() {
+                    eprintln!("error: unexpected extra argument '{positional}'");
+                    usage();
+                }
+                path = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("error: missing <config.json>");
+        usage();
+    };
+
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut cfg: SimConfig =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+    cfg.obs.counters = true;
+    cfg.obs.trace_path = Some(out.clone());
+    if let Some(n) = max_records {
+        cfg.obs.trace_max_records = n;
+    }
+    if failures_path.is_some() {
+        cfg.record_timeline = true;
+    }
+
+    let report = run_simulation(&cfg).unwrap_or_else(|e| die(&format!("invalid config: {e}")));
+    let obs = report.obs.as_ref().expect("counters were enabled");
+
+    if let (Some(csv_out), Some(timeline)) = (&failures_path, &report.timeline) {
+        std::fs::write(csv_out, timeline.failure_events_to_csv())
+            .unwrap_or_else(|e| die(&format!("cannot write {csv_out}: {e}")));
+        eprintln!("wrote {} failure events to {csv_out}", timeline.failure_events.len());
+    }
+
+    eprintln!(
+        "trace: {} records to {out} ({} dropped over budget)",
+        obs.trace_records_written, obs.trace_records_dropped
+    );
+    eprintln!(
+        "  dns decisions  {:>10}  ({} under exclusions; TTL mean/min/max {:.1}/{:.1}/{:.1} s)",
+        obs.dns_decisions,
+        obs.dns_decisions_constrained,
+        obs.ttl_mean_s,
+        obs.ttl_min_s,
+        obs.ttl_max_s
+    );
+    eprintln!(
+        "  signals        {:>10}  (alarm {}, normal {}, down {}, up {})",
+        obs.signals_alarm + obs.signals_normal + obs.signals_down + obs.signals_up,
+        obs.signals_alarm,
+        obs.signals_normal,
+        obs.signals_down,
+        obs.signals_up
+    );
+    eprintln!(
+        "  liveness       {:>10}  ({} crashes, {} repairs)",
+        obs.crashes + obs.repairs,
+        obs.crashes,
+        obs.repairs
+    );
+    eprintln!(
+        "  ns cache       {:>10}  lookups ({} hits, {} cold misses, {} expired)",
+        obs.ns_hits + obs.ns_misses_cold + obs.ns_misses_expired,
+        obs.ns_hits,
+        obs.ns_misses_cold,
+        obs.ns_misses_expired
+    );
+    eprintln!(
+        "  queue events   {:>10}  ({} arrivals, {} departures, {} crash-dropped hits)",
+        obs.queue_arrivals + obs.queue_departures,
+        obs.queue_arrivals,
+        obs.queue_departures,
+        obs.queue_crash_drops
+    );
+    eprintln!(
+        "  samples        {:>10}  utilization, {} collect rounds",
+        obs.util_samples, obs.collects
+    );
+    println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -410,6 +410,7 @@ mod tests {
             hits_failed_total: 0,
             hits_in_flight: 0,
             timeline: None,
+            obs: None,
         };
         let flat = flatten_series(&[("20".into(), vec![("RR".into(), r)])]);
         assert_eq!(flat[0].0, "20|RR");

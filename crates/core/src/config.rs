@@ -6,6 +6,7 @@ use geodns_simcore::QueueKind;
 use geodns_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::obs::ObsConfig;
 use crate::{Algorithm, ClientCacheModel, EstimatorKind, FailureConfig, ServiceModel};
 
 fn default_noncoop_fraction() -> f64 {
@@ -87,6 +88,11 @@ pub struct SimConfig {
     /// fail).
     #[serde(default)]
     pub failures: FailureConfig,
+    /// Observability recorders: the counters registry and/or a JSONL
+    /// decision trace (extension; both off by default — the disabled path
+    /// is allocation-free and leaves reports byte-identical).
+    #[serde(default)]
+    pub obs: ObsConfig,
     /// The constant-TTL baseline all schemes are rate-matched to (240 s).
     pub ttl_const_s: f64,
     /// The two-tier class threshold γ; `None` means the paper's `1/K`.
@@ -134,6 +140,7 @@ impl SimConfig {
             client_cache: ClientCacheModel::Off,
             record_timeline: false,
             failures: FailureConfig::default(),
+            obs: ObsConfig::default(),
             ttl_const_s: 240.0,
             class_threshold: None,
             normalize_ttl: true,
@@ -212,6 +219,7 @@ impl SimConfig {
         self.service.validate()?;
         self.client_cache.validate()?;
         self.failures.validate()?;
+        self.obs.validate()?;
         if self.duration_s <= 0.0 || self.duration_s.is_nan() {
             return Err("duration must be > 0".to_string());
         }

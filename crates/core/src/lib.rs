@@ -65,6 +65,7 @@ mod config;
 mod estimator;
 mod experiment;
 mod failover;
+pub mod obs;
 pub mod policies;
 mod replay;
 mod replication;
@@ -82,6 +83,10 @@ pub use config::{ServerSpec, SimConfig};
 pub use estimator::{EstimatorKind, HiddenLoadEstimator};
 pub use experiment::{format_table, run_all, Experiment};
 pub use failover::{FailoverModel, FailureConfig};
+pub use obs::{
+    DnsDecision, JsonlTracer, MuxProbe, NoopProbe, ObsConfig, ObsCounters, ObsSnapshot, Probe,
+    QueueEvent,
+};
 pub use policies::{
     Dal, LeastLoaded, Mrl, PolicyKind, ProbabilisticRr, ProbabilisticRr2, RandomChoice, RoundRobin,
     RoundRobin2, SchedCtx, SelectionPolicy, WeightedRandom,
@@ -96,7 +101,7 @@ pub use ttl::{TtlKind, TtlScheme};
 pub use world::{run_simulation, World};
 
 // Re-export the substrate types a downstream user needs to drive the API.
-pub use geodns_nameserver::MinTtlBehavior;
+pub use geodns_nameserver::{MinTtlBehavior, NsLookup};
 pub use geodns_server::{CapacityPlan, HeterogeneityLevel};
 pub use geodns_simcore::QueueKind;
 pub use geodns_workload::{

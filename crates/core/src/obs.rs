@@ -1,0 +1,809 @@
+//! Structured observability: probe points, a counters registry, and a
+//! bounded JSONL decision tracer.
+//!
+//! The simulation exposes a set of **probe points** — engine event
+//! dispatch, every DNS scheduling decision, name-server cache lookups,
+//! server queue transitions, utilization samples, alarm and liveness
+//! signals — through the [`Probe`] trait. The world calls the hooks
+//! unconditionally; with the default no-op recorder every hook compiles to
+//! a couple of `Option` checks, performs **zero allocations** (pinned by
+//! `tests/alloc_free.rs`), and leaves the run byte-identical (pinned by
+//! `tests/observability.rs`). Recorders observe — they never touch the
+//! RNG streams, the event queue, or any model state.
+//!
+//! Two concrete recorders ship with the crate:
+//!
+//! * [`ObsCounters`] — an in-memory metrics registry whose
+//!   [`ObsSnapshot`] lands in [`SimReport::obs`](crate::SimReport) when
+//!   [`ObsConfig::counters`] is set;
+//! * [`JsonlTracer`] — a bounded JSON-lines trace writer
+//!   ([`geodns_simcore::JsonlSink`]) capturing every DNS decision (with
+//!   the candidate set, exclusions, TTL, and a policy state snapshot),
+//!   every alarm/liveness signal, NS cache misses, estimator collections,
+//!   and the liveness state at measurement start.
+//!
+//! Both are driven through [`MuxProbe`], the world's single probe value.
+
+use std::io::Write;
+
+use geodns_nameserver::NsLookup;
+use geodns_server::Signal;
+use geodns_simcore::{JsonlSink, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::policies::SelectionPolicy;
+
+/// One DNS scheduling decision, borrowed from the scheduler at the instant
+/// it is made. Everything a trace consumer needs to replay *why* the
+/// answer was what it was.
+pub struct DnsDecision<'a> {
+    /// Simulation time of the decision.
+    pub now: SimTime,
+    /// 1-based decision sequence number (the scheduler's query counter).
+    pub seq: u64,
+    /// The requesting domain.
+    pub domain: usize,
+    /// The domain's selection class (0 when undifferentiated).
+    pub class: usize,
+    /// The chosen server.
+    pub chosen: usize,
+    /// The TTL attached to the answer, seconds.
+    pub ttl_s: f64,
+    /// The candidate mask the policy saw (liveness ∧ alarm with the
+    /// scheduler's fallback chain applied).
+    pub candidates: &'a [bool],
+    /// Per-server liveness as the DNS believes it (false = crashed).
+    pub alive: &'a [bool],
+    /// Per-server alarm state (false = alarmed).
+    pub unalarmed: &'a [bool],
+    /// Per-server normalized backlog at decision time.
+    pub backlogs: &'a [f64],
+    /// The selection policy, for name and state snapshots.
+    pub policy: &'a dyn SelectionPolicy,
+}
+
+/// What happened at a server's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueEvent {
+    /// A page burst of `hits` requests arrived.
+    Arrive {
+        /// Number of hits in the burst.
+        hits: u64,
+    },
+    /// One hit completed service.
+    Depart,
+    /// A crash drained the queue, dropping `dropped` hits.
+    Crash {
+        /// Number of hits dropped by the drain.
+        dropped: usize,
+    },
+}
+
+/// A recorder of simulation observations.
+///
+/// Every method has a no-op default, so a recorder implements only the
+/// hooks it cares about. Hooks receive borrows and `Copy` data only —
+/// calling them allocates nothing. Implementations must not perturb the
+/// simulation; they see state, they never own it.
+pub trait Probe: Send {
+    /// An engine event was dispatched. `kind` is the event's static name,
+    /// `pending` the future-event-list size after the pop.
+    fn on_event(&mut self, _now: SimTime, _kind: &'static str, _pending: usize) {}
+
+    /// The DNS answered an address request.
+    fn on_dns_decision(&mut self, _decision: &DnsDecision<'_>) {}
+
+    /// An alarm/normal/down/up signal arrived at the DNS (after the
+    /// feedback delay).
+    fn on_signal(&mut self, _now: SimTime, _server: usize, _signal: Signal) {}
+
+    /// A server actually crashed (`up = false`) or completed repair
+    /// (`up = true`) — ground truth, not the DNS's delayed view.
+    fn on_liveness(&mut self, _now: SimTime, _server: usize, _up: bool) {}
+
+    /// A name-server cache lookup resolved to `outcome`.
+    fn on_ns_lookup(&mut self, _now: SimTime, _domain: usize, _outcome: NsLookup) {}
+
+    /// A server's queue changed. `queue_len` is the length after the
+    /// change.
+    fn on_queue_change(
+        &mut self,
+        _now: SimTime,
+        _server: usize,
+        _queue_len: usize,
+        _event: QueueEvent,
+    ) {
+    }
+
+    /// The periodic utilization check sampled `utilization` at a server.
+    fn on_util_sample(&mut self, _now: SimTime, _server: usize, _utilization: f64) {}
+
+    /// The DNS collected per-domain hit counts from the servers.
+    fn on_collect(&mut self, _now: SimTime, _counts: &[u64]) {}
+
+    /// Warm-up ended and measurement started. `down_since[s]` is `Some`
+    /// for every server crashed at this instant — the initial liveness
+    /// state trace consumers need before the first transition.
+    fn on_measurement_start(&mut self, _now: SimTime, _down_since: &[Option<SimTime>]) {}
+}
+
+/// The default recorder: observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// Observability configuration: which recorders a run attaches.
+///
+/// Both recorders are off by default; a default-configured run takes the
+/// provably allocation-free no-op path and produces a report
+/// byte-identical to one built before this layer existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Attach the in-memory counters registry; its snapshot lands in
+    /// [`SimReport::obs`](crate::SimReport).
+    #[serde(default)]
+    pub counters: bool,
+    /// Write a JSONL decision trace to this path.
+    #[serde(default)]
+    pub trace_path: Option<String>,
+    /// Hard budget on trace records; past it the tracer counts drops
+    /// instead of writing (default one million).
+    #[serde(default = "default_trace_max_records")]
+    pub trace_max_records: u64,
+}
+
+fn default_trace_max_records() -> u64 {
+    1_000_000
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { counters: false, trace_path: None, trace_max_records: 1_000_000 }
+    }
+}
+
+impl ObsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trace_max_records == 0 {
+            return Err("obs.trace_max_records must be > 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Count of one engine event kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCount {
+    /// The event's static name (`"IssuePage"`, `"Departure"`, …).
+    pub kind: String,
+    /// How many were dispatched.
+    pub count: u64,
+}
+
+/// Snapshot of the counters registry, attached to the report as
+/// [`SimReport::obs`](crate::SimReport) when [`ObsConfig::counters`] is
+/// set. Counts cover the **whole run** (warm-up included) — they are
+/// observability, not paper statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Engine events dispatched, by kind, in first-seen order.
+    pub events: Vec<EventCount>,
+    /// DNS scheduling decisions made.
+    pub dns_decisions: u64,
+    /// Decisions whose candidate mask excluded at least one server
+    /// (alarm or outage constrained the choice).
+    pub dns_decisions_constrained: u64,
+    /// Mean TTL attached to the answers, seconds (0 when no decisions).
+    pub ttl_mean_s: f64,
+    /// Smallest TTL attached, seconds (0 when no decisions).
+    pub ttl_min_s: f64,
+    /// Largest TTL attached, seconds (0 when no decisions).
+    pub ttl_max_s: f64,
+    /// Alarm signals that reached the DNS.
+    pub signals_alarm: u64,
+    /// Normal (alarm-clear) signals that reached the DNS.
+    pub signals_normal: u64,
+    /// Down (outage) signals that reached the DNS.
+    pub signals_down: u64,
+    /// Up (repair) signals that reached the DNS.
+    pub signals_up: u64,
+    /// Actual server crashes (ground truth, not the delayed signal).
+    pub crashes: u64,
+    /// Actual repair completions.
+    pub repairs: u64,
+    /// NS cache lookups answered from a live entry.
+    pub ns_hits: u64,
+    /// NS cache lookups that missed because the domain was never cached.
+    pub ns_misses_cold: u64,
+    /// NS cache lookups that missed because the entry's TTL had expired.
+    pub ns_misses_expired: u64,
+    /// Hits enqueued at servers.
+    pub queue_arrivals: u64,
+    /// Hits that completed service.
+    pub queue_departures: u64,
+    /// Hits dropped from queues by crashes.
+    pub queue_crash_drops: u64,
+    /// Per-server utilization samples taken.
+    pub util_samples: u64,
+    /// Estimator collections ingested.
+    pub collects: u64,
+    /// Trace records written by the JSONL tracer (0 without one).
+    pub trace_records_written: u64,
+    /// Trace records dropped past the budget (0 without a tracer).
+    pub trace_records_dropped: u64,
+}
+
+/// The in-memory counters registry.
+///
+/// Hot-path hooks (`on_dns_decision`, `on_queue_change`, …) only bump
+/// integers and fold min/max — no allocation. The per-kind event table
+/// allocates once per distinct kind (the vocabulary is a dozen strings),
+/// which settles to zero in steady state.
+#[derive(Debug, Default)]
+pub struct ObsCounters {
+    events: Vec<(&'static str, u64)>,
+    dns_decisions: u64,
+    dns_decisions_constrained: u64,
+    ttl_sum_s: f64,
+    ttl_min_s: f64,
+    ttl_max_s: f64,
+    signals_alarm: u64,
+    signals_normal: u64,
+    signals_down: u64,
+    signals_up: u64,
+    crashes: u64,
+    repairs: u64,
+    ns_hits: u64,
+    ns_misses_cold: u64,
+    ns_misses_expired: u64,
+    queue_arrivals: u64,
+    queue_departures: u64,
+    queue_crash_drops: u64,
+    util_samples: u64,
+    collects: u64,
+}
+
+impl ObsCounters {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ObsCounters { ttl_min_s: f64::INFINITY, ..ObsCounters::default() }
+    }
+
+    /// Freezes the registry into a serializable snapshot, folding in the
+    /// tracer's written/dropped tallies.
+    #[must_use]
+    pub fn snapshot(&self, trace_records_written: u64, trace_records_dropped: u64) -> ObsSnapshot {
+        ObsSnapshot {
+            events: self
+                .events
+                .iter()
+                .map(|&(kind, count)| EventCount { kind: kind.to_string(), count })
+                .collect(),
+            dns_decisions: self.dns_decisions,
+            dns_decisions_constrained: self.dns_decisions_constrained,
+            ttl_mean_s: if self.dns_decisions > 0 {
+                self.ttl_sum_s / self.dns_decisions as f64
+            } else {
+                0.0
+            },
+            ttl_min_s: if self.dns_decisions > 0 { self.ttl_min_s } else { 0.0 },
+            ttl_max_s: self.ttl_max_s,
+            signals_alarm: self.signals_alarm,
+            signals_normal: self.signals_normal,
+            signals_down: self.signals_down,
+            signals_up: self.signals_up,
+            crashes: self.crashes,
+            repairs: self.repairs,
+            ns_hits: self.ns_hits,
+            ns_misses_cold: self.ns_misses_cold,
+            ns_misses_expired: self.ns_misses_expired,
+            queue_arrivals: self.queue_arrivals,
+            queue_departures: self.queue_departures,
+            queue_crash_drops: self.queue_crash_drops,
+            util_samples: self.util_samples,
+            collects: self.collects,
+            trace_records_written,
+            trace_records_dropped,
+        }
+    }
+}
+
+impl Probe for ObsCounters {
+    fn on_event(&mut self, _now: SimTime, kind: &'static str, _pending: usize) {
+        // Linear scan over a dozen static names beats hashing at this size
+        // and, crucially, stays allocation-free once every kind was seen.
+        for entry in &mut self.events {
+            if std::ptr::eq(entry.0, kind) || entry.0 == kind {
+                entry.1 += 1;
+                return;
+            }
+        }
+        self.events.push((kind, 1));
+    }
+
+    fn on_dns_decision(&mut self, decision: &DnsDecision<'_>) {
+        self.dns_decisions += 1;
+        if decision.candidates.iter().any(|&c| !c) {
+            self.dns_decisions_constrained += 1;
+        }
+        self.ttl_sum_s += decision.ttl_s;
+        self.ttl_min_s = self.ttl_min_s.min(decision.ttl_s);
+        self.ttl_max_s = self.ttl_max_s.max(decision.ttl_s);
+    }
+
+    fn on_signal(&mut self, _now: SimTime, _server: usize, signal: Signal) {
+        match signal {
+            Signal::Alarm => self.signals_alarm += 1,
+            Signal::Normal => self.signals_normal += 1,
+            Signal::Down => self.signals_down += 1,
+            Signal::Up => self.signals_up += 1,
+        }
+    }
+
+    fn on_liveness(&mut self, _now: SimTime, _server: usize, up: bool) {
+        if up {
+            self.repairs += 1;
+        } else {
+            self.crashes += 1;
+        }
+    }
+
+    fn on_ns_lookup(&mut self, _now: SimTime, _domain: usize, outcome: NsLookup) {
+        match outcome {
+            NsLookup::Hit { .. } => self.ns_hits += 1,
+            NsLookup::MissCold => self.ns_misses_cold += 1,
+            NsLookup::MissExpired => self.ns_misses_expired += 1,
+        }
+    }
+
+    fn on_queue_change(
+        &mut self,
+        _now: SimTime,
+        _server: usize,
+        _queue_len: usize,
+        event: QueueEvent,
+    ) {
+        match event {
+            QueueEvent::Arrive { hits } => self.queue_arrivals += hits,
+            QueueEvent::Depart => self.queue_departures += 1,
+            QueueEvent::Crash { dropped } => self.queue_crash_drops += dropped as u64,
+        }
+    }
+
+    fn on_util_sample(&mut self, _now: SimTime, _server: usize, _utilization: f64) {
+        self.util_samples += 1;
+    }
+
+    fn on_collect(&mut self, _now: SimTime, _counts: &[u64]) {
+        self.collects += 1;
+    }
+}
+
+// --- JSONL trace records. Owned structs (the derive stub does not take
+// lifetime parameters); the tracer runs on the *enabled* path where
+// per-record allocation is acceptable. Every record leads with `ev` so a
+// consumer can dispatch on the first field. ---
+
+#[derive(Serialize)]
+struct DecisionRecord {
+    ev: &'static str,
+    t_s: f64,
+    seq: u64,
+    domain: usize,
+    class: usize,
+    server: usize,
+    ttl_s: f64,
+    policy: &'static str,
+    /// Servers the candidate mask excluded from this decision.
+    excluded: Vec<usize>,
+    /// Servers the DNS believed crashed at decision time.
+    dns_dead: Vec<usize>,
+    /// Servers alarmed at decision time.
+    alarmed: Vec<usize>,
+    backlogs: Vec<f64>,
+    /// Opaque policy state (pointer positions, accumulated load, …).
+    state: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct SignalRecord {
+    ev: &'static str,
+    t_s: f64,
+    server: usize,
+    signal: &'static str,
+}
+
+#[derive(Serialize)]
+struct LivenessRecord {
+    ev: &'static str,
+    t_s: f64,
+    server: usize,
+    up: bool,
+}
+
+#[derive(Serialize)]
+struct NsMissRecord {
+    ev: &'static str,
+    t_s: f64,
+    domain: usize,
+    cold: bool,
+}
+
+#[derive(Serialize)]
+struct CollectRecord {
+    ev: &'static str,
+    t_s: f64,
+    counts: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct MeasurementStartRecord {
+    ev: &'static str,
+    t_s: f64,
+    /// Servers already down when measurement started.
+    down: Vec<usize>,
+}
+
+/// The JSONL decision tracer: streams one record per DNS decision, signal,
+/// liveness transition, NS cache miss, and estimator collection into a
+/// bounded [`JsonlSink`].
+///
+/// High-volume per-hit traffic (queue arrivals/departures, utilization
+/// samples, raw engine events) is deliberately **not** traced — it would
+/// crowd scheduling decisions out of the record budget; the counters
+/// registry covers it in aggregate.
+pub struct JsonlTracer {
+    sink: JsonlSink,
+    scratch_state: Vec<f64>,
+}
+
+impl JsonlTracer {
+    /// Creates a tracer writing to `path` with a budget of `max_records`
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file cannot be created.
+    pub fn create(path: &str, max_records: u64) -> Result<Self, String> {
+        let sink = JsonlSink::create(path, max_records)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        Ok(JsonlTracer { sink, scratch_state: Vec::new() })
+    }
+
+    /// Wraps an arbitrary writer (tests).
+    #[must_use]
+    pub fn from_writer(writer: Box<dyn Write + Send>, max_records: u64) -> Self {
+        JsonlTracer { sink: JsonlSink::from_writer(writer, max_records), scratch_state: Vec::new() }
+    }
+
+    /// `(written, dropped)` record counts.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sink.written(), self.sink.dropped())
+    }
+
+    /// Flushes buffered records.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+fn false_indices(mask: &[bool]) -> Vec<usize> {
+    mask.iter().enumerate().filter(|&(_, &v)| !v).map(|(i, _)| i).collect()
+}
+
+impl Probe for JsonlTracer {
+    fn on_dns_decision(&mut self, decision: &DnsDecision<'_>) {
+        self.scratch_state.clear();
+        decision.policy.state_snapshot(decision.now, &mut self.scratch_state);
+        self.sink.push(&DecisionRecord {
+            ev: "dns_decision",
+            t_s: decision.now.as_secs(),
+            seq: decision.seq,
+            domain: decision.domain,
+            class: decision.class,
+            server: decision.chosen,
+            ttl_s: decision.ttl_s,
+            policy: decision.policy.name(),
+            excluded: false_indices(decision.candidates),
+            dns_dead: false_indices(decision.alive),
+            alarmed: false_indices(decision.unalarmed),
+            backlogs: decision.backlogs.to_vec(),
+            state: std::mem::take(&mut self.scratch_state),
+        });
+    }
+
+    fn on_signal(&mut self, now: SimTime, server: usize, signal: Signal) {
+        let name = match signal {
+            Signal::Alarm => "alarm",
+            Signal::Normal => "normal",
+            Signal::Down => "down",
+            Signal::Up => "up",
+        };
+        self.sink.push(&SignalRecord { ev: "signal", t_s: now.as_secs(), server, signal: name });
+    }
+
+    fn on_liveness(&mut self, now: SimTime, server: usize, up: bool) {
+        self.sink.push(&LivenessRecord { ev: "liveness", t_s: now.as_secs(), server, up });
+    }
+
+    fn on_ns_lookup(&mut self, now: SimTime, domain: usize, outcome: NsLookup) {
+        let cold = match outcome {
+            NsLookup::Hit { .. } => return, // hits are volume; counters cover them
+            NsLookup::MissCold => true,
+            NsLookup::MissExpired => false,
+        };
+        self.sink.push(&NsMissRecord { ev: "ns_miss", t_s: now.as_secs(), domain, cold });
+    }
+
+    fn on_collect(&mut self, now: SimTime, counts: &[u64]) {
+        self.sink.push(&CollectRecord {
+            ev: "collect",
+            t_s: now.as_secs(),
+            counts: counts.to_vec(),
+        });
+    }
+
+    fn on_measurement_start(&mut self, now: SimTime, down_since: &[Option<SimTime>]) {
+        let down: Vec<usize> =
+            down_since.iter().enumerate().filter(|&(_, d)| d.is_some()).map(|(s, _)| s).collect();
+        self.sink.push(&MeasurementStartRecord {
+            ev: "measurement_start",
+            t_s: now.as_secs(),
+            down,
+        });
+    }
+}
+
+/// The world's single probe value: fans every hook out to the recorders
+/// the configuration attached. With both recorders off every hook is two
+/// `None` checks — the disabled path the allocation-freedom and
+/// byte-identity tests pin.
+#[derive(Default)]
+pub struct MuxProbe {
+    counters: Option<ObsCounters>,
+    tracer: Option<JsonlTracer>,
+}
+
+impl MuxProbe {
+    /// Builds the probe the configuration asks for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the trace file cannot be created.
+    pub fn from_config(cfg: &ObsConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(MuxProbe {
+            counters: cfg.counters.then(ObsCounters::new),
+            tracer: match &cfg.trace_path {
+                Some(path) => Some(JsonlTracer::create(path, cfg.trace_max_records)?),
+                None => None,
+            },
+        })
+    }
+
+    /// A probe with only the given tracer attached (tests, custom sinks).
+    #[must_use]
+    pub fn with_tracer(tracer: JsonlTracer) -> Self {
+        MuxProbe { counters: None, tracer: Some(tracer) }
+    }
+
+    /// Whether any recorder is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.counters.is_some() || self.tracer.is_some()
+    }
+
+    /// Flushes the tracer (if any) and freezes the counters (if enabled)
+    /// into the report's `obs` snapshot.
+    pub fn finish(&mut self) -> Option<ObsSnapshot> {
+        let (written, dropped) = self.tracer.as_ref().map_or((0, 0), JsonlTracer::stats);
+        if let Some(tracer) = &mut self.tracer {
+            // Flush failures surface as dropped-record counts, not errors:
+            // the trace is an observer, never the run's failure mode.
+            let _ = tracer.flush();
+        }
+        self.counters.as_ref().map(|c| c.snapshot(written, dropped))
+    }
+}
+
+macro_rules! fan_out {
+    ($self:ident . $hook:ident ( $($arg:expr),* )) => {
+        if let Some(c) = $self.counters.as_mut() {
+            c.$hook($($arg),*);
+        }
+        if let Some(t) = $self.tracer.as_mut() {
+            t.$hook($($arg),*);
+        }
+    };
+}
+
+impl Probe for MuxProbe {
+    fn on_event(&mut self, now: SimTime, kind: &'static str, pending: usize) {
+        fan_out!(self.on_event(now, kind, pending));
+    }
+
+    fn on_dns_decision(&mut self, decision: &DnsDecision<'_>) {
+        fan_out!(self.on_dns_decision(decision));
+    }
+
+    fn on_signal(&mut self, now: SimTime, server: usize, signal: Signal) {
+        fan_out!(self.on_signal(now, server, signal));
+    }
+
+    fn on_liveness(&mut self, now: SimTime, server: usize, up: bool) {
+        fan_out!(self.on_liveness(now, server, up));
+    }
+
+    fn on_ns_lookup(&mut self, now: SimTime, domain: usize, outcome: NsLookup) {
+        fan_out!(self.on_ns_lookup(now, domain, outcome));
+    }
+
+    fn on_queue_change(&mut self, now: SimTime, server: usize, queue_len: usize, ev: QueueEvent) {
+        fan_out!(self.on_queue_change(now, server, queue_len, ev));
+    }
+
+    fn on_util_sample(&mut self, now: SimTime, server: usize, utilization: f64) {
+        fan_out!(self.on_util_sample(now, server, utilization));
+    }
+
+    fn on_collect(&mut self, now: SimTime, counts: &[u64]) {
+        fan_out!(self.on_collect(now, counts));
+    }
+
+    fn on_measurement_start(&mut self, now: SimTime, down_since: &[Option<SimTime>]) {
+        fan_out!(self.on_measurement_start(now, down_since));
+    }
+}
+
+impl std::fmt::Debug for MuxProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxProbe")
+            .field("counters", &self.counters.is_some())
+            .field("tracer", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::PolicyKind;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn decision<'a>(
+        candidates: &'a [bool],
+        alive: &'a [bool],
+        unalarmed: &'a [bool],
+        backlogs: &'a [f64],
+        policy: &'a dyn SelectionPolicy,
+    ) -> DnsDecision<'a> {
+        DnsDecision {
+            now: SimTime::from_secs(10.0),
+            seq: 1,
+            domain: 3,
+            class: 0,
+            chosen: 2,
+            ttl_s: 240.0,
+            candidates,
+            alive,
+            unalarmed,
+            backlogs,
+            policy,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let policy = PolicyKind::Rr.build(3, 1);
+        let mut c = ObsCounters::new();
+        c.on_event(SimTime::ZERO, "IssuePage", 5);
+        c.on_event(SimTime::ZERO, "IssuePage", 4);
+        c.on_event(SimTime::ZERO, "Departure", 3);
+        let all = [true, true, true];
+        let constrained = [true, false, true];
+        let backlogs = [0.0; 3];
+        c.on_dns_decision(&decision(&all, &all, &all, &backlogs, policy.as_ref()));
+        c.on_dns_decision(&decision(&constrained, &all, &all, &backlogs, policy.as_ref()));
+        c.on_signal(SimTime::ZERO, 0, Signal::Alarm);
+        c.on_liveness(SimTime::ZERO, 0, false);
+        c.on_liveness(SimTime::ZERO, 0, true);
+        c.on_ns_lookup(SimTime::ZERO, 0, NsLookup::MissCold);
+        c.on_ns_lookup(SimTime::ZERO, 0, NsLookup::Hit { server: 1, expiry: SimTime::ZERO });
+        c.on_queue_change(SimTime::ZERO, 0, 4, QueueEvent::Arrive { hits: 4 });
+        c.on_queue_change(SimTime::ZERO, 0, 3, QueueEvent::Depart);
+        c.on_queue_change(SimTime::ZERO, 0, 0, QueueEvent::Crash { dropped: 3 });
+        let snap = c.snapshot(7, 1);
+        assert_eq!(
+            snap.events,
+            vec![
+                EventCount { kind: "IssuePage".into(), count: 2 },
+                EventCount { kind: "Departure".into(), count: 1 },
+            ]
+        );
+        assert_eq!(snap.dns_decisions, 2);
+        assert_eq!(snap.dns_decisions_constrained, 1);
+        assert_eq!(snap.ttl_mean_s, 240.0);
+        assert_eq!(snap.signals_alarm, 1);
+        assert_eq!(snap.crashes, 1);
+        assert_eq!(snap.repairs, 1);
+        assert_eq!(snap.ns_hits, 1);
+        assert_eq!(snap.ns_misses_cold, 1);
+        assert_eq!(snap.queue_arrivals, 4);
+        assert_eq!(snap.queue_crash_drops, 3);
+        assert_eq!(snap.trace_records_written, 7);
+        assert_eq!(snap.trace_records_dropped, 1);
+    }
+
+    #[test]
+    fn empty_counters_snapshot_is_zeroed() {
+        let snap = ObsCounters::new().snapshot(0, 0);
+        assert_eq!(snap.ttl_mean_s, 0.0);
+        assert_eq!(snap.ttl_min_s, 0.0);
+        assert_eq!(snap.ttl_max_s, 0.0);
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn tracer_writes_decision_records() {
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut tracer = JsonlTracer::from_writer(Box::new(buf.clone()), 100);
+        let policy = PolicyKind::Dal.build(3, 1);
+        let all = [true, true, true];
+        let candidates = [true, false, true];
+        let backlogs = [0.5, 0.0, 0.25];
+        tracer.on_dns_decision(&decision(&candidates, &all, &all, &backlogs, policy.as_ref()));
+        tracer.on_liveness(SimTime::from_secs(12.0), 1, false);
+        tracer.on_ns_lookup(SimTime::from_secs(13.0), 2, NsLookup::MissExpired);
+        tracer.on_ns_lookup(SimTime::ZERO, 0, NsLookup::Hit { server: 0, expiry: SimTime::ZERO });
+        tracer.flush().unwrap();
+        assert_eq!(tracer.stats(), (3, 0), "NS hits are not traced");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ev\":\"dns_decision\""));
+        assert!(lines[0].contains("\"excluded\":[1]"));
+        assert!(lines[0].contains("\"policy\":\"DAL\""));
+        assert!(lines[1].contains("\"ev\":\"liveness\""));
+        assert!(lines[2].contains("\"ev\":\"ns_miss\""));
+        assert!(lines[2].contains("\"cold\":false"));
+    }
+
+    #[test]
+    fn obs_config_validates_budget() {
+        let mut cfg = ObsConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.trace_max_records = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mux_probe_disabled_by_default() {
+        let probe = MuxProbe::from_config(&ObsConfig::default()).unwrap();
+        assert!(!probe.is_enabled());
+    }
+}

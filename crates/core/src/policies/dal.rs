@@ -60,6 +60,10 @@ impl SelectionPolicy for Dal {
     fn assigned(&mut self, server: usize, rel_weight: f64, _ttl: f64, _now: SimTime) {
         self.accumulated[server] += rel_weight;
     }
+
+    fn state_snapshot(&self, _now: SimTime, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.accumulated);
+    }
 }
 
 #[cfg(test)]

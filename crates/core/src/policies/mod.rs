@@ -106,6 +106,14 @@ pub trait SelectionPolicy: Send {
     /// Called when the domain classification is rebuilt (the number of
     /// selection classes may change).
     fn on_classes_rebuilt(&mut self, _n_classes: usize) {}
+
+    /// Appends an opaque numeric snapshot of the policy's mutable state to
+    /// `out` — pointer positions for the RR family, accumulated load for
+    /// DAL, per-server residual load for MRL. Decision recorders attach it
+    /// to traces; the semantics are policy-specific and only meaningful
+    /// relative to other snapshots of the same policy. Stateless policies
+    /// use this default and append nothing.
+    fn state_snapshot(&self, _now: SimTime, _out: &mut Vec<f64>) {}
 }
 
 /// Serializable policy selector, turned into a live policy with

@@ -82,6 +82,10 @@ impl SelectionPolicy for Mrl {
             self.bindings[server].push(Binding { expiry: now + ttl, weight: rel_weight, ttl });
         }
     }
+
+    fn state_snapshot(&self, now: SimTime, out: &mut Vec<f64>) {
+        out.extend((0..self.bindings.len()).map(|s| self.residual(s, now)));
+    }
 }
 
 #[cfg(test)]

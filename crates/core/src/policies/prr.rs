@@ -58,6 +58,10 @@ impl SelectionPolicy for ProbabilisticRr {
         self.last = s;
         s
     }
+
+    fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
+        out.push(self.last as f64);
+    }
 }
 
 /// PRR2: the two-tier variant — an independent probabilistic round-robin
@@ -101,6 +105,10 @@ impl SelectionPolicy for ProbabilisticRr2 {
         if n_classes != self.last.len() && n_classes > 0 {
             self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
+    }
+
+    fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
+        out.extend(self.last.iter().map(|&p| p as f64));
     }
 }
 

@@ -67,6 +67,10 @@ impl SelectionPolicy for RoundRobin {
         self.last = s;
         s
     }
+
+    fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
+        out.push(self.last as f64);
+    }
 }
 
 /// Two-tier round-robin (RR2, from the companion ICDCS'97 paper): an
@@ -114,6 +118,10 @@ impl SelectionPolicy for RoundRobin2 {
         if n_classes != self.last.len() && n_classes > 0 {
             self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
+    }
+
+    fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
+        out.extend(self.last.iter().map(|&p| p as f64));
     }
 }
 

@@ -269,6 +269,7 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, String>
         hits_failed_total: 0,
         hits_in_flight: 0,
         timeline: None,
+        obs: None, // recorders are not wired into replay mode
     })
 }
 

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::obs::ObsSnapshot;
 use crate::Timeline;
 
 /// Summary of one simulation run — everything the paper's figures read off,
@@ -90,6 +91,13 @@ pub struct SimReport {
     /// with `record_timeline`.
     #[serde(default)]
     pub timeline: Option<Timeline>,
+    /// Observability counters snapshot, present when
+    /// [`SimConfig::obs`](crate::SimConfig) enables the counters
+    /// registry. Skipped from serialization when absent so
+    /// default-configured reports stay byte-identical to those produced
+    /// before the observability layer existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs: Option<ObsSnapshot>,
 }
 
 impl SimReport {
@@ -170,6 +178,7 @@ mod tests {
             hits_failed_total: 0,
             hits_in_flight: 0,
             timeline: None,
+            obs: None,
         }
     }
 

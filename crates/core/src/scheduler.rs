@@ -4,6 +4,7 @@ use geodns_server::{CapacityPlan, Signal};
 use geodns_simcore::{SimTime, StreamRng};
 
 use crate::classifier::{DomainClasses, TierSpec};
+use crate::obs::{DnsDecision, NoopProbe, Probe};
 use crate::policies::{SchedCtx, SelectionPolicy};
 use crate::ttl::{TtlKind, TtlScheme};
 use crate::{Algorithm, HiddenLoadEstimator};
@@ -119,10 +120,26 @@ impl DnsScheduler {
     /// Answers one address request from `domain`: the chosen server and the
     /// TTL attached to the mapping.
     pub fn resolve(&mut self, domain: usize, now: SimTime, backlogs: &[f64]) -> (usize, f64) {
+        self.resolve_probed(domain, now, backlogs, &mut NoopProbe)
+    }
+
+    /// Like [`resolve`](Self::resolve), but reports the full decision —
+    /// candidate set, exclusions, TTL, policy state — to `probe` after the
+    /// selection. The probe observes only: scheduling is bit-identical
+    /// whichever probe is attached (the no-op probe makes this method
+    /// exactly `resolve`, allocation-free included).
+    pub fn resolve_probed(
+        &mut self,
+        domain: usize,
+        now: SimTime,
+        backlogs: &[f64],
+        probe: &mut dyn Probe,
+    ) -> (usize, f64) {
         self.queries += 1;
+        let class = self.sel_classes.class_of(domain);
         let ctx = SchedCtx {
             domain,
-            class: self.sel_classes.class_of(domain),
+            class,
             weights: self.estimator.weights(),
             relative_caps: &self.relative_caps,
             capacities: &self.capacities,
@@ -134,6 +151,19 @@ impl DnsScheduler {
         let server = self.policy.select(&ctx, &mut self.rng);
         let ttl = self.ttl_scheme.ttl(self.ttl_classes.class_of(domain), server);
         self.policy.assigned(server, rel_weight, ttl, now);
+        probe.on_dns_decision(&DnsDecision {
+            now,
+            seq: self.queries,
+            domain,
+            class,
+            chosen: server,
+            ttl_s: ttl,
+            candidates: &self.candidates,
+            alive: &self.alive,
+            unalarmed: &self.available,
+            backlogs,
+            policy: self.policy.as_ref(),
+        });
         (server, ttl)
     }
 

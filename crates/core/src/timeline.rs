@@ -64,6 +64,18 @@ impl Timeline {
         self.per_server.iter().map(|row| row.iter().cloned().fold(0.0, f64::max)).collect()
     }
 
+    /// Renders the liveness transitions as CSV (`t_s,server,up`), with
+    /// `server` 1-based to match [`to_csv`](Self::to_csv)'s column names
+    /// and `up` as `0`/`1`. Header-only without fault injection.
+    #[must_use]
+    pub fn failure_events_to_csv(&self) -> String {
+        let mut out = String::from("t_s,server,up\n");
+        for &(t, server, up) in &self.failure_events {
+            out.push_str(&format!("{t:.3},{},{}\n", server + 1, u8::from(up)));
+        }
+        out
+    }
+
     /// Renders the timeline as CSV (`t,s1,s2,…`), ready for any plotting
     /// tool.
     #[must_use]
@@ -130,5 +142,16 @@ mod tests {
         t.push_failure_event(12.5, 3, false);
         t.push_failure_event(40.0, 3, true);
         assert_eq!(t.failure_events, vec![(12.5, 3, false), (40.0, 3, true)]);
+    }
+
+    #[test]
+    fn failure_events_csv_shape() {
+        let mut t = Timeline::new();
+        assert_eq!(t.failure_events_to_csv(), "t_s,server,up\n");
+        t.push_failure_event(0.0, 2, false);
+        t.push_failure_event(37.25, 2, true);
+        let csv = t.failure_events_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["t_s,server,up", "0.000,3,0", "37.250,3,1"]);
     }
 }

@@ -1,7 +1,7 @@
 //! The simulation world: clients, servers, name servers, DNS, glued to the
 //! event engine.
 
-use geodns_nameserver::{MinTtlBehavior, NsCache};
+use geodns_nameserver::{MinTtlBehavior, NsCache, NsLookup};
 use geodns_server::{AlarmMonitor, CapacityPlan, FailureProcess, Hit, Signal, WebServer};
 use geodns_simcore::dist::{Distribution, Uniform};
 use geodns_simcore::stats::{Cdf, Tally};
@@ -9,6 +9,7 @@ use geodns_simcore::{Engine, RngStreams, SimTime, StreamRng};
 use geodns_workload::Workload;
 use rand::Rng;
 
+use crate::obs::{MuxProbe, Probe, QueueEvent};
 use crate::service::ServiceSampler;
 use crate::{
     ClientCacheModel, DnsScheduler, FailoverModel, HiddenLoadEstimator, SimConfig, SimReport,
@@ -44,6 +45,25 @@ enum Ev {
     /// A client re-resolves and retries a failed page after its backoff
     /// ([`FailoverModel::RetryAfterBackoff`] only).
     RetryPage { client: u32 },
+}
+
+impl Ev {
+    /// The event's static name, for the dispatch probe point.
+    fn kind(self) -> &'static str {
+        match self {
+            Ev::SessionStart { .. } => "SessionStart",
+            Ev::IssuePage { .. } => "IssuePage",
+            Ev::Departure { .. } => "Departure",
+            Ev::UtilSample => "UtilSample",
+            Ev::Collect => "Collect",
+            Ev::SignalArrive { .. } => "SignalArrive",
+            Ev::WarmupEnd => "WarmupEnd",
+            Ev::Horizon => "Horizon",
+            Ev::ServerCrash { .. } => "ServerCrash",
+            Ev::ServerRecover { .. } => "ServerRecover",
+            Ev::RetryPage { .. } => "RetryPage",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +121,11 @@ pub struct World {
     // collection counts live on the world (see `tests/alloc_free.rs`) ---
     scratch_backlogs: Vec<f64>,
     scratch_counts: Vec<u64>,
+    scratch_dropped: Vec<Hit>,
+    // --- observability: recorders attached per `SimConfig::obs`. The
+    // default (no recorders) makes every hook a pair of `None` checks and
+    // keeps the run byte-identical — recorders observe, never perturb. ---
+    probe: MuxProbe,
     // --- statistics (collected only after warm-up) ---
     measuring: bool,
     measured_start: SimTime,
@@ -257,6 +282,8 @@ impl World {
             hits_failed_total: 0,
             scratch_backlogs: Vec::with_capacity(n_servers),
             scratch_counts: Vec::with_capacity(n_domains),
+            scratch_dropped: Vec::new(),
+            probe: MuxProbe::from_config(&cfg.obs)?,
             params: RunParams {
                 seed: cfg.seed,
                 algorithm: cfg.algorithm,
@@ -281,13 +308,14 @@ impl World {
     pub fn run(mut self) -> SimReport {
         self.schedule_initial_events();
         while let Some((now, ev)) = self.engine.step() {
+            self.probe.on_event(now, ev.kind(), self.engine.pending());
             match ev {
                 Ev::SessionStart { client } => self.on_session_start(client, now),
                 Ev::IssuePage { client } => self.on_issue_page(client, now),
                 Ev::Departure { server, epoch } => self.on_departure(server, epoch, now),
                 Ev::UtilSample => self.on_util_sample(now),
                 Ev::Collect => self.on_collect(now),
-                Ev::SignalArrive { server, signal } => self.on_signal(server, signal),
+                Ev::SignalArrive { server, signal } => self.on_signal(server, signal, now),
                 Ev::WarmupEnd => self.on_warmup_end(now),
                 Ev::Horizon => {
                     self.engine.clear_pending();
@@ -349,11 +377,18 @@ impl World {
         let (server, direct) = match client_hit {
             Some(server) => (server, false),
             None => {
-                let (server, ns_expiry, direct) = match self.ns.lookup_with_expiry(domain, now) {
-                    Some((server, expiry)) => (server, expiry, false),
-                    None => {
+                let outcome = self.ns.lookup_with_outcome(domain, now);
+                self.probe.on_ns_lookup(now, domain, outcome);
+                let (server, ns_expiry, direct) = match outcome {
+                    NsLookup::Hit { server, expiry } => (server, expiry, false),
+                    NsLookup::MissCold | NsLookup::MissExpired => {
                         self.fill_backlogs();
-                        let (server, ttl) = self.dns.resolve(domain, now, &self.scratch_backlogs);
+                        let (server, ttl) = self.dns.resolve_probed(
+                            domain,
+                            now,
+                            &self.scratch_backlogs,
+                            &mut self.probe,
+                        );
                         let effective = self.ns.insert(domain, server, ttl, now);
                         if self.measuring {
                             self.dns_queries_measured += 1;
@@ -434,6 +469,12 @@ impl World {
                 self.engine.schedule_in(svc, Ev::Departure { server: server as u32, epoch });
             }
         }
+        self.probe.on_queue_change(
+            now,
+            server,
+            self.servers[server].queue_len(),
+            QueueEvent::Arrive { hits },
+        );
     }
 
     fn on_departure(&mut self, server: u32, epoch: u32, now: SimTime) {
@@ -448,6 +489,7 @@ impl World {
             let svc = self.service_dists[s].sample(&mut self.rng_service);
             self.engine.schedule_in(svc, Ev::Departure { server, epoch });
         }
+        self.probe.on_queue_change(now, s, self.servers[s].queue_len(), QueueEvent::Depart);
         self.hits_served_total += 1;
         if self.measuring {
             self.hits_completed_measured += 1;
@@ -486,6 +528,7 @@ impl World {
             .map(|_| Vec::with_capacity(self.servers.len()));
         for s in 0..self.servers.len() {
             let u = self.servers[s].sample_utilization(now);
+            self.probe.on_util_sample(now, s, u);
             max_util = max_util.max(u);
             if self.measuring {
                 self.per_server_util[s].record(u);
@@ -509,7 +552,7 @@ impl World {
         self.engine.schedule_in(self.params.util_interval_s, Ev::UtilSample);
     }
 
-    fn on_collect(&mut self, _now: SimTime) {
+    fn on_collect(&mut self, now: SimTime) {
         let Some(interval) = self.dns.estimator().collect_interval() else {
             return;
         };
@@ -521,14 +564,16 @@ impl World {
                 *total += c;
             }
         }
+        self.probe.on_collect(now, &self.scratch_counts);
         self.dns.ingest(&self.scratch_counts, interval);
         self.engine.schedule_in(interval, Ev::Collect);
     }
 
-    fn on_signal(&mut self, server: u32, signal: Signal) {
+    fn on_signal(&mut self, server: u32, signal: Signal, now: SimTime) {
         if self.measuring && signal == Signal::Alarm {
             self.alarms_measured += 1;
         }
+        self.probe.on_signal(now, server as usize, signal);
         self.dns.signal(server as usize, signal);
     }
 
@@ -547,6 +592,7 @@ impl World {
         );
         self.down_since[s] = Some(now);
         self.recovery_pending[s] = None;
+        self.probe.on_liveness(now, s, false);
         if self.measuring {
             let t = now.since(self.measured_start);
             if let Some(timeline) = self.timeline.as_mut() {
@@ -555,12 +601,18 @@ impl World {
         }
         // Everything queued at the server is lost. A page whose closing
         // hit was still queued never completes, so its client fails over.
-        let dropped = self.servers[s].crash_drain(now);
-        self.hits_failed_total += dropped.len() as u64;
+        // The drain reuses a scratch buffer so the crash path, like the
+        // rest of the steady-state loop, settles to zero allocations.
+        self.scratch_dropped.clear();
+        self.servers[s].crash_drain_into(now, &mut self.scratch_dropped);
+        let dropped = self.scratch_dropped.len();
+        self.probe.on_queue_change(now, s, 0, QueueEvent::Crash { dropped });
+        self.hits_failed_total += dropped as u64;
         if self.measuring {
-            self.hits_failed_measured += dropped.len() as u64;
+            self.hits_failed_measured += dropped as u64;
         }
-        for hit in dropped {
+        for i in 0..dropped {
+            let hit = self.scratch_dropped[i];
             if hit.last_of_page {
                 self.handle_failed_page(hit.client as u32, now);
             }
@@ -587,6 +639,7 @@ impl World {
             }
         }
         self.recovery_pending[s] = Some(now);
+        self.probe.on_liveness(now, s, true);
         if self.measuring {
             let t = now.since(self.measured_start);
             if let Some(timeline) = self.timeline.as_mut() {
@@ -640,6 +693,20 @@ impl World {
         for server in &mut self.servers {
             server.reset_lifetime(now);
         }
+        // A server that crashed during warm-up and is still down gets no
+        // `Down` event inside the measured span, so without this a trace
+        // consumer reconstructing liveness from `failure_events` would
+        // believe it was up until its (possibly never-recorded) repair —
+        // disagreeing with `per_server_availability`. Emit the initial
+        // liveness state at t = 0 of the measured span.
+        if let Some(timeline) = self.timeline.as_mut() {
+            for (s, down) in self.down_since.iter().enumerate() {
+                if down.is_some() {
+                    timeline.push_failure_event(0.0, s as u32, false);
+                }
+            }
+        }
+        self.probe.on_measurement_start(now, &self.down_since);
     }
 
     fn finalize(mut self) -> SimReport {
@@ -659,6 +726,7 @@ impl World {
         let per_server_availability: Vec<f64> =
             downtime.iter().map(|d| (1.0 - d / span).clamp(0.0, 1.0)).collect();
         let hits_in_flight: u64 = self.servers.iter().map(|s| s.queue_len() as u64).sum();
+        let obs = self.probe.finish();
         SimReport {
             algorithm: self.params.algorithm.name(),
             seed: self.params.seed,
@@ -691,6 +759,7 @@ impl World {
             hits_failed_total: self.hits_failed_total,
             hits_in_flight,
             timeline: self.timeline,
+            obs,
         }
     }
 }

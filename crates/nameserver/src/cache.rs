@@ -34,6 +34,25 @@ impl CacheStats {
     }
 }
 
+/// The outcome of one NS cache lookup, distinguishing the two miss causes
+/// a cache-behaviour trace cares about: a domain that was never resolved
+/// (`MissCold`) versus an entry whose TTL ran out (`MissExpired`). Both
+/// count as misses in [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NsLookup {
+    /// The entry was live: the cached server and its expiry.
+    Hit {
+        /// The cached server.
+        server: usize,
+        /// When the entry expires.
+        expiry: SimTime,
+    },
+    /// The domain has never been cached.
+    MissCold,
+    /// The entry existed but its TTL had expired.
+    MissExpired,
+}
+
 /// The name-server caches of all `K` domains: one `(server, expiry)` entry
 /// per domain, refreshed through the DNS on expiry.
 ///
@@ -110,14 +129,32 @@ impl NsCache {
     ///
     /// Panics if `d` is out of range.
     pub fn lookup_with_expiry(&mut self, d: usize, now: SimTime) -> Option<(usize, SimTime)> {
+        match self.lookup_with_outcome(d, now) {
+            NsLookup::Hit { server, expiry } => Some((server, expiry)),
+            NsLookup::MissCold | NsLookup::MissExpired => None,
+        }
+    }
+
+    /// Like [`lookup_with_expiry`](Self::lookup_with_expiry), but reports
+    /// *why* a miss missed — cold versus expired — for observability.
+    /// Statistics accounting is identical to the other lookup methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn lookup_with_outcome(&mut self, d: usize, now: SimTime) -> NsLookup {
         match self.entries[d] {
             Some((server, expiry)) if now < expiry => {
                 self.stats.hits += 1;
-                Some((server, expiry))
+                NsLookup::Hit { server, expiry }
             }
-            _ => {
+            Some(_) => {
                 self.stats.misses += 1;
-                None
+                NsLookup::MissExpired
+            }
+            None => {
+                self.stats.misses += 1;
+                NsLookup::MissCold
             }
         }
     }
@@ -240,6 +277,16 @@ mod tests {
         assert_eq!(ns.peek(1, t(1.0)), Some(7));
         assert_eq!(ns.peek(2, t(1.0)), None);
         assert_eq!(ns.num_domains(), 3);
+    }
+
+    #[test]
+    fn outcome_distinguishes_cold_from_expired() {
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        assert_eq!(ns.lookup_with_outcome(0, t(0.0)), NsLookup::MissCold);
+        ns.insert(0, 3, 10.0, t(0.0));
+        assert_eq!(ns.lookup_with_outcome(0, t(5.0)), NsLookup::Hit { server: 3, expiry: t(10.0) });
+        assert_eq!(ns.lookup_with_outcome(0, t(10.0)), NsLookup::MissExpired);
+        assert_eq!(ns.stats(), CacheStats { hits: 1, misses: 2 }, "stats match plain lookups");
     }
 
     #[test]

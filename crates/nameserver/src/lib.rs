@@ -19,5 +19,5 @@
 mod cache;
 mod policy;
 
-pub use cache::{CacheStats, NsCache};
+pub use cache::{CacheStats, NsCache, NsLookup};
 pub use policy::MinTtlBehavior;

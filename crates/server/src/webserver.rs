@@ -147,11 +147,20 @@ impl WebServer {
     /// the dropped hits so the caller can account them as failed and
     /// reschedule their clients.
     pub fn crash_drain(&mut self, now: SimTime) -> Vec<Hit> {
+        let mut dropped = Vec::new();
+        self.crash_drain_into(now, &mut dropped);
+        dropped
+    }
+
+    /// [`crash_drain`](Self::crash_drain) into a caller-provided buffer —
+    /// the allocation-free form the simulation hot path uses (the buffer
+    /// is appended to, not cleared).
+    pub fn crash_drain_into(&mut self, now: SimTime, out: &mut Vec<Hit>) {
         if !self.queue.is_empty() {
             self.monitor.set_busy(now, false);
         }
         self.epoch = self.epoch.wrapping_add(1);
-        self.queue.drain(..).collect()
+        out.extend(self.queue.drain(..));
     }
 
     /// Current queue length (including the hit in service).

@@ -1,0 +1,162 @@
+//! A bounded JSONL (one JSON object per line) trace sink.
+//!
+//! Observability layers want to stream structured records to disk without
+//! ever endangering the run that produces them: a trace of a pathological
+//! simulation can easily reach hundreds of millions of events. [`JsonlSink`]
+//! therefore enforces a hard record budget — once `max_records` lines have
+//! been written, further pushes are counted as dropped instead of written —
+//! and buffers through [`BufWriter`] so the per-record cost is a format +
+//! memcpy, not a syscall.
+//!
+//! The sink is deliberately domain-agnostic (any [`serde::Serialize`]
+//! record), so the simulation substrate can own the mechanism while each
+//! model defines its own record vocabulary.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A bounded, buffered writer of JSON-lines trace records.
+///
+/// # Examples
+///
+/// ```no_run
+/// use geodns_simcore::JsonlSink;
+///
+/// let mut sink = JsonlSink::create("trace.jsonl", 1_000_000).unwrap();
+/// sink.push(&(1.5_f64, "dns_decision", 3_u32));
+/// assert_eq!(sink.written(), 1);
+/// sink.flush().unwrap();
+/// ```
+pub struct JsonlSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+    max_records: u64,
+    written: u64,
+    dropped: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path` as the sink target, with a
+    /// hard budget of `max_records` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>, max_records: u64) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file), max_records))
+    }
+
+    /// Wraps an arbitrary writer (e.g. an in-memory buffer in tests).
+    #[must_use]
+    pub fn from_writer(writer: Box<dyn Write + Send>, max_records: u64) -> Self {
+        JsonlSink { out: BufWriter::new(writer), max_records, written: 0, dropped: 0 }
+    }
+
+    /// Appends one record as a JSON line. Past the record budget the record
+    /// is silently counted as dropped — the producer never fails.
+    pub fn push<T: Serialize + ?Sized>(&mut self, record: &T) {
+        if self.written >= self.max_records {
+            self.dropped += 1;
+            return;
+        }
+        // An I/O error (disk full, closed pipe) must not kill the run that
+        // is being observed: treat the record — and the rest of the trace —
+        // as dropped.
+        let ok = serde_json::to_string(record).ok().is_some_and(|line| {
+            self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n")).is_ok()
+        });
+        if ok {
+            self.written += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Records dropped after the budget was exhausted (or on I/O errors).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The hard record budget.
+    #[must_use]
+    pub fn max_records(&self) -> u64 {
+        self.max_records
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("max_records", &self.max_records)
+            .field("written", &self.written)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write` handle over a shared buffer, so the test can inspect what
+    /// the sink wrote after handing ownership away.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::from_writer(Box::new(buf.clone()), 10);
+        sink.push(&(1_u64, true));
+        sink.push(&(2_u64, false));
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "[1,true]\n[2,false]\n");
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn budget_bounds_the_trace() {
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::from_writer(Box::new(buf.clone()), 3);
+        for i in 0..10_u64 {
+            sink.push(&i);
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.written(), 3);
+        assert_eq!(sink.dropped(), 7);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -70,6 +70,7 @@ mod calendar;
 pub mod dist;
 mod engine;
 mod event;
+mod jsonl;
 mod rng;
 pub mod stats;
 mod time;
@@ -77,5 +78,6 @@ mod time;
 pub use calendar::CalendarQueue;
 pub use engine::Engine;
 pub use event::{EventQueue, HeapQueue, QueueKind};
+pub use jsonl::JsonlSink;
 pub use rng::{fnv1a_64, split_mix_64, RngStreams, StreamRng};
 pub use time::{SimTime, TimeError};

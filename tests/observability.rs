@@ -1,0 +1,185 @@
+//! The observability layer's contract with the simulation:
+//!
+//! 1. **Recorders never perturb.** A run with the counters registry or the
+//!    JSONL tracer attached produces a report byte-identical (serialized)
+//!    to the same run with both off — the probes observe RNG-free state
+//!    and the `obs` snapshot is the only difference, stripped here before
+//!    comparing.
+//! 2. **The trace is complete.** Every DNS decision, every signal, every
+//!    liveness transition lands in the JSONL file, including the liveness
+//!    state at measurement start for servers already down when warm-up
+//!    ends.
+//! 3. **`failure_events` and `per_server_availability` agree.** The
+//!    up/down intervals reconstructed from the timeline integrate to the
+//!    report's availability figures — the invariant the t = 0 seeding
+//!    bugfix restores for servers crashed before the measured span.
+
+use std::fs;
+use std::path::PathBuf;
+
+use geodns_core::{run_simulation, Algorithm, SimConfig, SimReport};
+use geodns_server::{FailureSpec, HeterogeneityLevel};
+
+/// A short faulty run: crashes are frequent and repairs slow enough that
+/// some server is (deterministically, per seed) down when warm-up ends.
+fn faulty_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::quick(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    cfg.duration_s = 900.0;
+    cfg.warmup_s = 300.0;
+    cfg.seed = seed;
+    cfg.failures.enabled = true;
+    cfg.failures.spec = FailureSpec { mtbf_s: 400.0, mttr_s: 300.0 };
+    cfg.record_timeline = true;
+    cfg
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("geodns_obs_{}_{name}", std::process::id()))
+}
+
+fn stripped_json(mut report: SimReport) -> String {
+    report.obs = None;
+    serde_json::to_string(&report).expect("serialize report")
+}
+
+#[test]
+fn recorders_leave_the_report_byte_identical() {
+    let cfg = faulty_cfg(42);
+    let baseline = stripped_json(run_simulation(&cfg).expect("baseline run"));
+
+    let mut with_counters = cfg.clone();
+    with_counters.obs.counters = true;
+    let report = run_simulation(&with_counters).expect("counters run");
+    assert!(report.obs.is_some(), "counters snapshot lands in the report");
+    assert_eq!(stripped_json(report), baseline, "counters perturbed the run");
+
+    let mut with_trace = cfg;
+    let trace = tmp_path("identity.jsonl");
+    with_trace.obs.trace_path = Some(trace.display().to_string());
+    let report = run_simulation(&with_trace).expect("traced run");
+    fs::remove_file(&trace).ok();
+    assert!(report.obs.is_none(), "no counters => no snapshot");
+    assert_eq!(stripped_json(report), baseline, "the tracer perturbed the run");
+}
+
+#[test]
+fn disabled_obs_serializes_no_obs_field() {
+    let mut cfg = SimConfig::quick(Algorithm::rr(), HeterogeneityLevel::H0);
+    cfg.duration_s = 120.0;
+    cfg.warmup_s = 30.0;
+    let report = run_simulation(&cfg).expect("run");
+    let json = serde_json::to_string(&report).expect("serialize");
+    assert!(
+        !json.contains("\"obs\""),
+        "a default-configured report must serialize without the obs field"
+    );
+}
+
+#[test]
+fn trace_captures_every_decision_signal_and_liveness_transition() {
+    let mut cfg = faulty_cfg(7);
+    let trace = tmp_path("complete.jsonl");
+    cfg.obs.counters = true;
+    cfg.obs.trace_path = Some(trace.display().to_string());
+
+    let report = run_simulation(&cfg).expect("traced faulty run");
+    let text = fs::read_to_string(&trace).expect("trace file");
+    fs::remove_file(&trace).ok();
+    let obs = report.obs.expect("counters snapshot");
+    let count = |needle: &str| text.lines().filter(|l| l.contains(needle)).count() as u64;
+
+    assert_eq!(obs.trace_records_dropped, 0, "budget must not truncate this trace");
+    assert_eq!(obs.trace_records_written, text.lines().count() as u64);
+
+    assert!(obs.dns_decisions > 0);
+    assert_eq!(count("\"ev\":\"dns_decision\""), obs.dns_decisions);
+    assert!(
+        obs.dns_decisions >= report.dns_queries,
+        "counters cover the whole run, the report only the measured span"
+    );
+
+    assert!(obs.signals_down > 0 && obs.signals_alarm > 0, "a faulty run signals");
+    assert_eq!(
+        count("\"ev\":\"signal\""),
+        obs.signals_alarm + obs.signals_normal + obs.signals_down + obs.signals_up
+    );
+    assert_eq!(count("\"signal\":\"alarm\""), obs.signals_alarm);
+
+    assert!(obs.crashes > 0 && obs.repairs > 0);
+    assert_eq!(count("\"ev\":\"liveness\""), obs.crashes + obs.repairs);
+
+    assert_eq!(count("\"ev\":\"ns_miss\""), obs.ns_misses_cold + obs.ns_misses_expired);
+    assert!(obs.ns_hits > 0, "hits are counted even though they are not traced");
+    assert!(obs.util_samples > 0);
+    assert_eq!(obs.collects, 0, "the Oracle estimator never collects");
+    assert!(obs.events.iter().any(|e| e.kind == "IssuePage" && e.count > 0));
+
+    // The measurement-start record carries exactly the servers the t = 0
+    // timeline seeding marks as already down — the bugfix's trace side.
+    let timeline = report.timeline.expect("record_timeline was on");
+    let down_at_start: Vec<String> = timeline
+        .failure_events
+        .iter()
+        .filter(|&&(t, _, up)| t == 0.0 && !up)
+        .map(|&(_, s, _)| s.to_string())
+        .collect();
+    assert!(
+        !down_at_start.is_empty(),
+        "seed/fault parameters must leave a server down at warm-up end"
+    );
+    let starts: Vec<&str> =
+        text.lines().filter(|l| l.contains("\"ev\":\"measurement_start\"")).collect();
+    assert_eq!(starts.len(), 1);
+    assert!(
+        starts[0].contains(&format!("\"down\":[{}]", down_at_start.join(","))),
+        "measurement_start disagrees with the timeline: {}",
+        starts[0]
+    );
+}
+
+#[test]
+fn failure_events_integrate_to_per_server_availability() {
+    for seed in [1_u64, 5, 9] {
+        let cfg = faulty_cfg(seed);
+        let report = run_simulation(&cfg).expect("faulty run");
+        let timeline = report.timeline.as_ref().expect("record_timeline was on");
+        let span = report.measured_span_s;
+        let n = report.per_server_availability.len();
+
+        // Replay the transitions. Thanks to the t = 0 seeding, a server
+        // crashed before warm-up ended opens the span already down; a
+        // server still down at the horizon accrues until the span closes.
+        let mut downtime = vec![0.0_f64; n];
+        let mut down_at: Vec<Option<f64>> = vec![None; n];
+        for &(t, server, up) in &timeline.failure_events {
+            let s = server as usize;
+            if up {
+                let start = down_at[s].take().expect("repair without a recorded crash");
+                downtime[s] += t - start;
+            } else {
+                assert!(down_at[s].is_none(), "second crash without a repair between");
+                down_at[s] = Some(t);
+            }
+        }
+        for (s, open) in down_at.iter().enumerate() {
+            if let Some(start) = open {
+                downtime[s] += span - start;
+            }
+        }
+
+        for (s, (&reported, &dt)) in
+            report.per_server_availability.iter().zip(&downtime).enumerate()
+        {
+            let reconstructed = (1.0 - dt / span).clamp(0.0, 1.0);
+            assert!(
+                (reconstructed - reported).abs() < 1e-6,
+                "seed {seed} server {s}: availability {reported} but failure_events \
+                 integrate to {reconstructed}"
+            );
+        }
+        assert!(
+            report.per_server_availability.iter().any(|&a| a < 1.0),
+            "seed {seed}: fault injection produced no measured downtime"
+        );
+    }
+}

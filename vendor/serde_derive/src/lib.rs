@@ -12,7 +12,8 @@
 //! - enums with unit, newtype/tuple, and struct variants (externally
 //!   tagged, like real serde's default);
 //! - `#[serde(transparent)]`, `#[serde(default)]`,
-//!   `#[serde(default = "path")]`, `#[serde(skip)]`;
+//!   `#[serde(default = "path")]`, `#[serde(skip)]`,
+//!   `#[serde(skip_serializing_if = "path")]` (named-struct fields only);
 //! - `Option<T>` fields are implicitly optional on input.
 //!
 //! Generics are intentionally unsupported and rejected with a clear
@@ -55,11 +56,17 @@ fn gen_serialize(item: &Item) -> String {
                      = ::std::vec::Vec::new();\n",
                 );
                 for f in fields.iter().filter(|f| !f.skip) {
-                    s.push_str(&format!(
+                    let push = format!(
                         "fields.push((::std::string::String::from(\"{}\"), {}));\n",
                         f.name,
                         ser_expr(&format!("&self.{}", f.name))
-                    ));
+                    );
+                    match &f.skip_if {
+                        Some(pred) => {
+                            s.push_str(&format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name))
+                        }
+                        None => s.push_str(&push),
+                    }
                 }
                 s.push_str("::serde::Value::Object(fields)");
                 s
@@ -101,6 +108,11 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
+                        assert!(
+                            fields.iter().all(|f| f.skip_if.is_none()),
+                            "serde stub derive: skip_serializing_if is only supported on \
+                             named-struct fields (variant {name}::{vn})"
+                        );
                         let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let pairs: Vec<String> = fields
                             .iter()

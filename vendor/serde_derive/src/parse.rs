@@ -26,6 +26,9 @@ pub(crate) struct Field {
     pub is_option: bool,
     pub default: DefaultKind,
     pub skip: bool,
+    /// `skip_serializing_if = "path"`: the field is omitted from the
+    /// serialized object when `path(&self.field)` returns true.
+    pub skip_if: Option<String>,
 }
 
 pub(crate) enum DefaultKind {
@@ -50,6 +53,7 @@ struct AttrFlags {
     transparent: bool,
     skip: bool,
     default: Option<DefaultKind>,
+    skip_if: Option<String>,
 }
 
 /// Consumes `#[...]` attributes at the cursor, folding `#[serde(...)]`
@@ -105,9 +109,27 @@ fn parse_attr_group(stream: TokenStream, flags: &mut AttrFlags) {
                     _ => panic!("serde stub derive: malformed #[serde(default = ...)]"),
                 });
             }
+            "skip_serializing_if" => {
+                flags.skip_if = Some(match chunk.get(2) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let text = lit.to_string();
+                        text.strip_prefix('"')
+                            .and_then(|t| t.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "serde stub derive: skip_serializing_if expects a string \
+                                     literal"
+                                )
+                            })
+                            .to_string()
+                    }
+                    _ => panic!("serde stub derive: malformed #[serde(skip_serializing_if = ...)]"),
+                });
+            }
             other => panic!(
                 "serde stub derive: unsupported serde attribute `{other}` \
-                 (supported: transparent, default, default = \"path\", skip)"
+                 (supported: transparent, default, default = \"path\", skip, \
+                 skip_serializing_if = \"path\")"
             ),
         }
     }
@@ -190,6 +212,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 is_option,
                 default: flags.default.unwrap_or(DefaultKind::Required),
                 skip: flags.skip,
+                skip_if: flags.skip_if,
             }
         })
         .collect()
