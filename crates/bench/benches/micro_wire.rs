@@ -1,43 +1,238 @@
-//! Criterion micro-benchmarks for the DNS wire path: codec throughput and
-//! the full query→answer handling loop, i.e. the per-query cost a real
-//! deployment of the adaptive-TTL DNS would pay.
+//! DNS wire-path throughput harness: the per-query cost a real deployment
+//! of the adaptive-TTL DNS pays, measured at three depths and gated
+//! against the checked-in `BENCH_wire.json`.
+//!
+//! 1. **codec** — encode (fresh `to_bytes` vs reused-buffer
+//!    `write_bytes`) and parse, queries/sec;
+//! 2. **serve** — `AuthoritativeServer::handle_into` on the byte-matched
+//!    fast path vs the parse-based slow path (the same `IN A` query with
+//!    one trailing pad byte, which the fast path declines but the slow
+//!    path answers identically);
+//! 3. **daemon** — end-to-end over a real loopback socket: `Daemon`
+//!    workers vs closed-loop client threads, answers/sec.
+//!
+//! Modes:
+//!
+//! * default — full measurement;
+//! * `GEODNS_QUICK=1` / `--quick` — shortened smoke run for CI;
+//! * `--check` — after measuring, compare against `BENCH_wire.json` at
+//!   the repository root and exit non-zero if the fast path's advantage
+//!   over the slow path regressed by more than 40%. Like
+//!   `micro_engine --check`, the gate compares *speedups* measured on the
+//!   same machine in the same run, so absolute machine speed cancels out.
+//!   The margin is wider than `micro_engine`'s 20% because a ~15x ratio
+//!   amplifies run-to-run noise in the small denominator; the gate exists
+//!   to catch the fast path silently falling off (speedup → 1x), not 10%
+//!   drift. The absolute ≥50k qps floor is enforced separately by the CI
+//!   daemon smoke job (`loadgen --min-qps`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use geodns_wire::{AuthoritativeServer, Message, Question};
+use std::net::UdpSocket;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_codec");
+use geodns_bench::{output_dir, quick_mode};
+use geodns_core::format_table;
+use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig, Message, Question};
+
+/// Queries/sec for `iters` runs of `f`, best of `repeats` attempts (the
+/// minimum-noise estimator for a CPU-bound inner loop).
+fn best_qps(iters: u64, repeats: usize, mut f: impl FnMut(u64)) -> f64 {
+    let mut best = 0.0_f64;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        best = best.max(iters as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct CodecNumbers {
+    encode_fresh_qps: f64,
+    encode_reuse_qps: f64,
+    parse_qps: f64,
+}
+
+fn bench_codec(iters: u64, repeats: usize) -> CodecNumbers {
     let query = Message::query(7, Question::a("www.example.org"));
     let bytes = query.to_bytes();
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("encode_query", |b| b.iter(|| query.to_bytes()));
-    g.bench_function("parse_query", |b| b.iter(|| Message::parse(&bytes).unwrap()));
-
-    let mut server = AuthoritativeServer::example();
-    let response = server.handle(&bytes, [10, 0, 0, 1], 0.0).unwrap();
-    g.bench_function("parse_response", |b| b.iter(|| Message::parse(&response).unwrap()));
-    g.finish();
+    let encode_fresh_qps = best_qps(iters, repeats, |_| {
+        std::hint::black_box(query.to_bytes());
+    });
+    let mut buf = Vec::with_capacity(128);
+    let encode_reuse_qps = best_qps(iters, repeats, |_| {
+        query.write_bytes(&mut buf);
+        std::hint::black_box(buf.len());
+    });
+    let parse_qps = best_qps(iters, repeats, |_| {
+        std::hint::black_box(Message::parse(&bytes).expect("valid query"));
+    });
+    CodecNumbers { encode_fresh_qps, encode_reuse_qps, parse_qps }
 }
 
-fn bench_serve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_serve");
-    g.throughput(Throughput::Elements(1));
+struct ServeNumbers {
+    fast_qps: f64,
+    slow_qps: f64,
+}
+
+impl ServeNumbers {
+    fn speedup(&self) -> f64 {
+        self.fast_qps / self.slow_qps
+    }
+}
+
+fn bench_serve(iters: u64, repeats: usize) -> ServeNumbers {
+    let mut server = AuthoritativeServer::example();
     let query = Message::query(7, Question::a("www.example.org")).to_bytes();
-    let mut server = AuthoritativeServer::example();
-    let mut t = 0.0f64;
-    g.bench_function("handle_a_query", |b| {
-        b.iter(|| {
-            t += 0.001;
-            server.handle(&query, [10, 1, 0, 1], t).unwrap()
-        });
+    // One trailing pad byte: same parsed meaning, but the exact-length
+    // fast path declines it, forcing the full parse → build → encode path.
+    let mut padded = query.clone();
+    padded.push(0);
+    let mut out = Vec::with_capacity(128);
+    let mut now = 0.0_f64;
+    let fast_qps = best_qps(iters, repeats, |i| {
+        now += 0.001;
+        let src = [10, (i % 4) as u8, 0, 1];
+        server.handle_into(&query, src, now, &mut out).expect("fast path answers");
     });
-
-    let nx = Message::query(7, Question::a("nope.example.org")).to_bytes();
-    g.bench_function("handle_nxdomain", |b| {
-        b.iter(|| server.handle(&nx, [10, 1, 0, 1], 0.0).unwrap());
+    let slow_qps = best_qps(iters, repeats, |i| {
+        now += 0.001;
+        let src = [10, (i % 4) as u8, 0, 1];
+        server.handle_into(&padded, src, now, &mut out).expect("slow path answers");
     });
-    g.finish();
+    ServeNumbers { fast_qps, slow_qps }
 }
 
-criterion_group!(benches, bench_codec, bench_serve);
-criterion_main!(benches);
+/// End-to-end answers/sec through a real loopback daemon: `workers`
+/// daemon threads, `clients` closed-loop query threads, fixed duration.
+fn bench_daemon(workers: usize, clients: usize, secs: f64) -> f64 {
+    let shards = (0..workers).map(|w| AuthoritativeServer::example_shard(w as u64, 7)).collect();
+    let cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+    let daemon = Daemon::spawn(&cfg, shards).expect("daemon spawns");
+    let target = daemon.local_addr();
+
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(secs);
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let socket = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+                socket.connect(target).expect("connect");
+                socket.set_read_timeout(Some(Duration::from_secs(1))).expect("timeout");
+                let mut query = Message::query(0, Question::a("www.example.org")).to_bytes();
+                let mut rx = [0u8; 512];
+                let mut answered = 0u64;
+                let mut id = (c as u16) << 10;
+                while Instant::now() < deadline {
+                    id = id.wrapping_add(1);
+                    query[0..2].copy_from_slice(&id.to_be_bytes());
+                    socket.send(&query).expect("send");
+                    // A recv timeout just re-sends: the loop is closed.
+                    if let Ok(n) = socket.recv(&mut rx) {
+                        assert!(n > 12, "short response");
+                        assert_eq!(rx[0..2], id.to_be_bytes(), "id echo");
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    let answered: u64 = threads.into_iter().map(|t| t.join().expect("client panicked")).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let report = daemon.shutdown();
+    assert_eq!(report.totals().dropped, 0, "daemon dropped well-formed queries");
+    answered as f64 / elapsed
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Loads the checked-in baseline and fails the process if the measured
+/// fast-path speedup regressed by more than 40% (see the module docs for
+/// why this margin is wider than `micro_engine`'s).
+fn check_against_baseline(serve: &ServeNumbers) {
+    let path = repo_root().join("BENCH_wire.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", path.display()));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check: bad baseline JSON: {e}"));
+
+    let base_speedup =
+        baseline["serve"]["fast_path_speedup"].as_f64().expect("baseline fast_path_speedup");
+    let now = serve.speedup();
+    let floor = base_speedup * 0.6;
+    eprintln!(
+        "check fast-path speedup {now:.2}x vs baseline {base_speedup:.2}x (floor {floor:.2}x)"
+    );
+    if now < floor {
+        eprintln!("micro_wire: fast-path speedup regressed >40% vs BENCH_wire.json");
+        std::process::exit(1);
+    }
+    eprintln!("micro_wire: fast-path speedup within 40% of the checked-in baseline");
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    let (iters, repeats) = if quick { (200_000u64, 2) } else { (2_000_000u64, 3) };
+    let daemon_secs = if quick { 1.0 } else { 3.0 };
+
+    eprintln!(
+        "[micro_wire] {iters} iterations x {repeats} repeats per point{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let codec = bench_codec(iters, repeats);
+    let serve = bench_serve(iters, repeats);
+    eprintln!("[micro_wire] end-to-end loopback daemon ({daemon_secs:.0} s) …");
+    let daemon_qps = bench_daemon(2, 4, daemon_secs);
+
+    let rows = vec![
+        vec!["codec: encode (fresh Vec)".into(), format!("{:.0}", codec.encode_fresh_qps)],
+        vec!["codec: encode (reused buffer)".into(), format!("{:.0}", codec.encode_reuse_qps)],
+        vec!["codec: parse".into(), format!("{:.0}", codec.parse_qps)],
+        vec!["serve: fast path".into(), format!("{:.0}", serve.fast_qps)],
+        vec!["serve: slow path (padded)".into(), format!("{:.0}", serve.slow_qps)],
+        vec!["daemon: loopback end-to-end".into(), format!("{daemon_qps:.0}")],
+    ];
+    println!("\nwire-path throughput (queries/sec)\n");
+    println!("{}", format_table(&["stage", "qps"], &rows));
+    println!(
+        "fast path is {:.2}x the slow path; reused-buffer encode is {:.2}x a fresh Vec",
+        serve.speedup(),
+        codec.encode_reuse_qps / codec.encode_fresh_qps
+    );
+
+    let json = serde_json::json!({
+        "quick": quick,
+        "iters": iters,
+        "codec": {
+            "encode_fresh_qps": codec.encode_fresh_qps,
+            "encode_reuse_qps": codec.encode_reuse_qps,
+            "parse_qps": codec.parse_qps,
+            "reuse_speedup": codec.encode_reuse_qps / codec.encode_fresh_qps,
+        },
+        "serve": {
+            "fast_qps": serve.fast_qps,
+            "slow_qps": serve.slow_qps,
+            "fast_path_speedup": serve.speedup(),
+        },
+        "daemon": {
+            "workers": 2,
+            "clients": 4,
+            "seconds": daemon_secs,
+            "qps": daemon_qps,
+        },
+    });
+    let path = output_dir().join("micro_wire.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serialize"))
+        .expect("write micro_wire.json");
+    eprintln!("wrote {}", path.display());
+
+    if check {
+        check_against_baseline(&serve);
+    }
+}

@@ -1,0 +1,319 @@
+//! `loadgen` — closed-loop UDP load generator for `geodnsd`.
+//!
+//! ```text
+//! loadgen [--target ADDR] [--clients N] [--duration SECS] [--domains K]
+//!         [--exponent Z] [--servers N] [--seed N] [--feedback-ms MS]
+//!         [--min-qps F] [--shutdown]
+//! ```
+//!
+//! Replays the paper's §4.1 domain structure over loopback: each query's
+//! *source domain* is drawn from a Zipf law over `K` domains (exponent
+//! 1.0 = the paper's pure Zipf client basis), and the generator presents
+//! itself as domain `d` by binding the sending socket to `127.0.{d}.1` —
+//! every `127.0.0.0/8` address binds locally, and the daemon's example
+//! topology maps `127.0.{d}.0/24 → domain d`. Each client thread keeps
+//! exactly one query outstanding (closed loop), so measured throughput is
+//! end-to-end: encode → kernel → daemon worker → scheduler → kernel →
+//! full parse + validation.
+//!
+//! With `--feedback-ms` (on by default) a feedback thread closes the
+//! paper's control loop: it tallies which Web server each answer named,
+//! normalizes the tallies into per-server backlog shares, and ships them
+//! to the daemon as `GDNSCTL1 backlogs …` control datagrams — the live
+//! equivalent of the simulator feeding `set_backlogs`.
+//!
+//! Every response is fully parsed; anything unexpected (bad id, rcode,
+//! answer count, TTL 0, non-A rdata) counts as *malformed*. With
+//! `--min-qps` the process exits non-zero if throughput falls below the
+//! floor **or any response at all was malformed**.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geodns_simcore::dist::{Distribution, Zipf};
+use geodns_simcore::RngStreams;
+use geodns_wire::{Message, QType, Question, Rcode};
+
+#[derive(Clone)]
+struct Args {
+    target: SocketAddr,
+    clients: usize,
+    duration_s: f64,
+    domains: usize,
+    exponent: f64,
+    servers: usize,
+    seed: u64,
+    feedback_ms: u64,
+    min_qps: Option<f64>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target: "127.0.0.1:5353".parse().expect("valid default addr"),
+        clients: 8,
+        duration_s: 5.0,
+        domains: 4,
+        exponent: 1.0,
+        servers: 7,
+        seed: 42,
+        feedback_ms: 200,
+        min_qps: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        fn parsed<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--target" => args.target = parsed("--target", value("--target")?)?,
+            "--clients" => args.clients = parsed("--clients", value("--clients")?)?,
+            "--duration" => args.duration_s = parsed("--duration", value("--duration")?)?,
+            "--domains" => args.domains = parsed("--domains", value("--domains")?)?,
+            "--exponent" => args.exponent = parsed("--exponent", value("--exponent")?)?,
+            "--servers" => args.servers = parsed("--servers", value("--servers")?)?,
+            "--seed" => args.seed = parsed("--seed", value("--seed")?)?,
+            "--feedback-ms" => args.feedback_ms = parsed("--feedback-ms", value("--feedback-ms")?)?,
+            "--min-qps" => args.min_qps = Some(parsed("--min-qps", value("--min-qps")?)?),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--target ADDR] [--clients N] [--duration SECS] \
+                     [--domains K] [--exponent Z] [--servers N] [--seed N] \
+                     [--feedback-ms MS] [--min-qps F] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.clients == 0 || args.domains == 0 || args.domains > 256 || args.servers == 0 {
+        return Err("--clients/--domains/--servers out of range".into());
+    }
+    if !args.target.ip().is_loopback() {
+        return Err("loadgen's per-domain 127.0.d.1 source trick only works over loopback".into());
+    }
+    Ok(args)
+}
+
+#[derive(Default, Clone, Copy)]
+struct ClientStats {
+    sent: u64,
+    answered: u64,
+    malformed: u64,
+    timeouts: u64,
+}
+
+/// Validates one response; returns the answered server address on success.
+fn validate(resp: &[u8], expect_id: u16) -> Result<[u8; 4], ()> {
+    let m = Message::parse(resp).map_err(|_| ())?;
+    let ok = m.header.id == expect_id
+        && m.header.response
+        && m.header.rcode == Rcode::NoError
+        && m.answers.len() == 1
+        && m.answers[0].rtype == QType::A
+        && m.answers[0].ttl >= 1
+        && m.answers[0].rdata.len() == 4;
+    if !ok {
+        return Err(());
+    }
+    Ok([m.answers[0].rdata[0], m.answers[0].rdata[1], m.answers[0].rdata[2], m.answers[0].rdata[3]])
+}
+
+/// One closed-loop client: bind one socket per domain at `127.0.{d}.1`,
+/// draw each query's domain from the Zipf law, keep one query in flight.
+fn client_loop(
+    worker: u64,
+    args: &Args,
+    deadline: Instant,
+    per_server: &[AtomicU64],
+) -> Result<ClientStats, String> {
+    let mut sockets = Vec::with_capacity(args.domains);
+    for d in 0..args.domains {
+        let bind: SocketAddr = format!("127.0.{d}.1:0")
+            .parse()
+            .map_err(|e| format!("source addr for domain {d}: {e}"))?;
+        let s = UdpSocket::bind(bind).map_err(|e| format!("bind {bind}: {e}"))?;
+        s.connect(args.target).map_err(|e| format!("connect: {e}"))?;
+        s.set_read_timeout(Some(Duration::from_secs(1))).map_err(|e| format!("timeout: {e}"))?;
+        sockets.push(s);
+    }
+    let zipf = Zipf::new(args.domains, args.exponent).map_err(|e| e.to_string())?;
+    let mut rng = RngStreams::new(args.seed).stream_indexed("loadgen", worker);
+    let mut query = Message::query(0, Question::a("www.example.org")).to_bytes();
+    let mut rx = [0u8; 512];
+    let mut stats = ClientStats::default();
+    let mut id: u16 = (worker as u16) << 10;
+
+    while Instant::now() < deadline {
+        let domain = zipf.sample(&mut rng);
+        id = id.wrapping_add(1);
+        query[0..2].copy_from_slice(&id.to_be_bytes());
+        let socket = &sockets[domain];
+        socket.send(&query).map_err(|e| format!("send: {e}"))?;
+        stats.sent += 1;
+        match socket.recv(&mut rx) {
+            Ok(n) => match validate(&rx[..n], id) {
+                Ok(addr) => {
+                    stats.answered += 1;
+                    // Tally which server was named (example topology:
+                    // 192.0.2.10 + i) so the feedback thread can turn
+                    // observed assignment shares into backlog signals.
+                    let i = usize::from(addr[3].wrapping_sub(10));
+                    if addr[..3] == [192, 0, 2] && i < per_server.len() {
+                        per_server[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(()) => stats.malformed += 1,
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stats.timeouts += 1;
+            }
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+    }
+    Ok(stats)
+}
+
+/// Sends one control datagram and waits briefly for the ack.
+fn send_ctl(target: SocketAddr, payload: &str) -> Result<String, String> {
+    let s = UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("ctl bind: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(1))).map_err(|e| format!("ctl timeout: {e}"))?;
+    s.send_to(format!("GDNSCTL1 {payload}").as_bytes(), target)
+        .map_err(|e| format!("ctl send: {e}"))?;
+    let mut buf = [0u8; 128];
+    let (n, _) = s.recv_from(&mut buf).map_err(|e| format!("ctl ack: {e}"))?;
+    Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
+}
+
+/// The feedback loop: observed per-server answer shares → `backlogs` ctl.
+fn feedback_loop(
+    target: SocketAddr,
+    every: Duration,
+    per_server: &[AtomicU64],
+    stop: &AtomicBool,
+) -> u64 {
+    let mut pushed = 0;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(every);
+        let counts: Vec<f64> =
+            per_server.iter().map(|c| c.load(Ordering::Relaxed) as f64).collect();
+        let peak = counts.iter().fold(0.0_f64, |a, &b| a.max(b));
+        if peak == 0.0 {
+            continue;
+        }
+        let csv: Vec<String> = counts.iter().map(|c| format!("{:.4}", c / peak)).collect();
+        if send_ctl(target, &format!("backlogs {}", csv.join(","))).is_ok() {
+            pushed += 1;
+        }
+    }
+    pushed
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let per_server: Arc<Vec<AtomicU64>> =
+        Arc::new((0..args.servers).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
+
+    let feedback = (args.feedback_ms > 0).then(|| {
+        let target = args.target;
+        let every = Duration::from_millis(args.feedback_ms);
+        let per_server = Arc::clone(&per_server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || feedback_loop(target, every, &per_server, &stop))
+    });
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|w| {
+            let args = args.clone();
+            let per_server = Arc::clone(&per_server);
+            std::thread::spawn(move || client_loop(w as u64, &args, deadline, &per_server))
+        })
+        .collect();
+
+    let mut totals = ClientStats::default();
+    let mut failed = false;
+    for (i, w) in workers.into_iter().enumerate() {
+        match w.join().expect("client thread panicked") {
+            Ok(s) => {
+                totals.sent += s.sent;
+                totals.answered += s.answered;
+                totals.malformed += s.malformed;
+                totals.timeouts += s.timeouts;
+            }
+            Err(e) => {
+                eprintln!("loadgen: client {i}: {e}");
+                failed = true;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let feedback_pushes = feedback.map_or(0, |f| f.join().expect("feedback thread panicked"));
+
+    if args.shutdown {
+        match send_ctl(args.target, "shutdown") {
+            Ok(ack) => eprintln!("loadgen: daemon acked shutdown ({ack})"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown ctl failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let qps = totals.answered as f64 / elapsed;
+    let counts: Vec<u64> = per_server.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let json = serde_json::json!({
+        "qps": qps,
+        "elapsed_s": elapsed,
+        "clients": args.clients,
+        "domains": args.domains,
+        "sent": totals.sent,
+        "answered": totals.answered,
+        "malformed": totals.malformed,
+        "timeouts": totals.timeouts,
+        "feedback_pushes": feedback_pushes,
+        "per_server_answers": counts,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("serialize"));
+    eprintln!(
+        "loadgen: {:.0} answers/s over {elapsed:.2} s ({} sent, {} answered, {} malformed, \
+         {} timeouts, {feedback_pushes} backlog pushes)",
+        qps, totals.sent, totals.answered, totals.malformed, totals.timeouts
+    );
+
+    if totals.malformed > 0 {
+        eprintln!("loadgen: FAILED — {} malformed responses", totals.malformed);
+        failed = true;
+    }
+    if let Some(floor) = args.min_qps {
+        if qps < floor {
+            eprintln!("loadgen: FAILED — {qps:.0} qps below the {floor:.0} qps floor");
+            failed = true;
+        } else {
+            eprintln!("loadgen: ok — {qps:.0} qps ≥ {floor:.0} qps floor, zero malformed");
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

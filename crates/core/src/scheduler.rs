@@ -280,6 +280,17 @@ impl DnsScheduler {
     }
 }
 
+/// The scheduler is `Send` by construction ([`SelectionPolicy`] and
+/// [`Probe`] carry `Send` supertraits, and every other field is plain
+/// data), which is what lets a multi-threaded front end move one
+/// scheduler shard into each worker thread. This assertion turns an
+/// accidental `!Send` field — an `Rc`, a raw pointer — into a compile
+/// error here instead of a confusing one at the daemon's `thread::spawn`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DnsScheduler>();
+};
+
 impl std::fmt::Debug for DnsScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DnsScheduler")

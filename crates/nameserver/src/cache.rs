@@ -163,6 +163,13 @@ impl NsCache {
     /// time `now`, applying the NS's TTL-acceptance behaviour. Returns the
     /// effective TTL actually used.
     ///
+    /// TTL edge semantics (which the wire layer's ≥ 1 s clamp is keyed
+    /// to): an effective TTL of exactly **zero** stores an entry that is
+    /// already expired — it never answers a lookup (the subsequent miss
+    /// is [`NsLookup::MissExpired`], not cold) — and a **negative** TTL is
+    /// a caller bug and panics. The authoritative wire front end therefore
+    /// never emits either: it clamps all answers to at least 1 s.
+    ///
     /// # Panics
     ///
     /// Panics if `d` is out of range or the TTL is negative.
@@ -259,6 +266,19 @@ mod tests {
         let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
         ns.insert(0, 1, 0.0, t(5.0));
         assert_eq!(ns.lookup(0, t(5.0)), None);
+    }
+
+    #[test]
+    fn zero_ttl_entry_is_expired_not_cold() {
+        // The documented zero-TTL semantics the wire clamp is keyed to: a
+        // zero-TTL insert is visible only as an already-expired entry.
+        let mut ns = NsCache::new(1, MinTtlBehavior::Cooperative);
+        ns.insert(0, 1, 0.0, t(5.0));
+        assert_eq!(ns.lookup_with_outcome(0, t(5.0)), NsLookup::MissExpired);
+        assert_eq!(ns.lookup_with_outcome(0, t(1000.0)), NsLookup::MissExpired);
+        // Whereas a 1 s TTL — the wire layer's clamp floor — does answer.
+        ns.insert(0, 2, 1.0, t(5.0));
+        assert_eq!(ns.lookup(0, t(5.5)), Some(2));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! `geodnsd` — run the authoritative adaptive-TTL DNS daemon.
+//!
+//! ```text
+//! geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]
+//! ```
+//!
+//! Serves the example topology (7 Table-2 H35 servers behind
+//! `www.example.org`, 4 client domains) until `--duration` elapses or a
+//! `GDNSCTL1 shutdown` control datagram arrives, then prints a per-worker
+//! summary. See `geodns_wire::daemon` for the wire/control protocol.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig};
+
+struct Args {
+    bind: SocketAddr,
+    workers: usize,
+    seed: u64,
+    duration: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bind: "127.0.0.1:5353".parse().expect("valid default addr"),
+        workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+        seed: 1998,
+        duration: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--bind" => args.bind = value("--bind")?.parse().map_err(|e| format!("--bind: {e}"))?,
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--duration" => {
+                args.duration =
+                    Some(value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!("usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("geodnsd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let shards = (0..args.workers)
+        .map(|w| AuthoritativeServer::example_shard(w as u64, args.seed))
+        .collect();
+    let cfg = DaemonConfig::new(args.bind);
+    let daemon = match Daemon::spawn(&cfg, shards) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("geodnsd: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The "listening" line is load-bearing: the smoke test and loadgen
+    // wait for it (and parse the port) before sending traffic.
+    println!("geodnsd listening on {} with {} workers", daemon.local_addr(), args.workers);
+
+    let started = Instant::now();
+    loop {
+        if daemon.shutdown_requested() {
+            break;
+        }
+        if let Some(limit) = args.duration {
+            if started.elapsed().as_secs_f64() >= limit {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let report = daemon.shutdown();
+    let totals = report.totals();
+    println!(
+        "geodnsd: {} received, {} answered, {} dropped, {} ctl, {} decisions",
+        totals.received,
+        totals.answered,
+        totals.dropped,
+        totals.ctl,
+        report.dns_decisions()
+    );
+    for (i, w) in report.workers.iter().enumerate() {
+        println!(
+            "  worker {i}: answered={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1}",
+            w.stats.answered, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s
+        );
+    }
+}

@@ -132,15 +132,17 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// An output buffer for an outgoing message.
-#[derive(Debug, Default)]
-pub(crate) struct Writer {
-    buf: Vec<u8>,
+/// A writer appending wire bytes to a caller-owned buffer, so encoding
+/// can reuse one allocation across messages (the daemon's tx buffer).
+#[derive(Debug)]
+pub(crate) struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    pub(crate) fn new() -> Self {
-        Writer { buf: Vec::with_capacity(128) }
+impl<'a> Writer<'a> {
+    /// Wraps `buf`, appending after its current contents.
+    pub(crate) fn new(buf: &'a mut Vec<u8>) -> Self {
+        Writer { buf }
     }
 
     pub(crate) fn u8(&mut self, v: u8) {
@@ -167,10 +169,6 @@ impl Writer {
         }
         self.u8(0);
     }
-
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
 }
 
 #[cfg(test)]
@@ -179,11 +177,11 @@ mod tests {
 
     #[test]
     fn integers_round_trip() {
-        let mut w = Writer::new();
+        let mut bytes = Vec::new();
+        let mut w = Writer::new(&mut bytes);
         w.u8(0xAB);
         w.u16(0x1234);
         w.u32(0xDEAD_BEEF);
-        let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 0xAB);
         assert_eq!(r.u16().unwrap(), 0x1234);
@@ -195,9 +193,8 @@ mod tests {
     #[test]
     fn plain_name_round_trip() {
         let name: Name = "www.example.org".parse().unwrap();
-        let mut w = Writer::new();
-        w.name(&name);
-        let bytes = w.into_bytes();
+        let mut bytes = Vec::new();
+        Writer::new(&mut bytes).name(&name);
         assert_eq!(bytes[0], 3); // "www"
         assert_eq!(*bytes.last().unwrap(), 0);
         let mut r = Reader::new(&bytes);

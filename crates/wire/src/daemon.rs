@@ -1,0 +1,475 @@
+//! `geodnsd`: the multi-threaded UDP front end that puts the adaptive-TTL
+//! scheduler on a live network path.
+//!
+//! # Threading model: share-nothing scheduler shards
+//!
+//! N worker threads share one bound [`UdpSocket`] (each holds a
+//! `try_clone`d handle; the kernel wakes exactly one blocked reader per
+//! datagram). Each worker owns a full [`AuthoritativeServer`] **shard** —
+//! its own `DnsScheduler`, RNG stream, and backlog snapshot — so the
+//! per-query path takes no lock and touches no shared cache line. The
+//! alternative (one scheduler behind a sharded mutex) would keep the RR
+//! pointers globally exact, but serializes every decision; with
+//! share-nothing shards each worker's round-robin state advances
+//! independently, and because the kernel spreads datagrams across workers
+//! without regard to domain, the *aggregate* assignment over any window is
+//! the same interleaving of per-shard rotations — the paper's policies
+//! only need proportional shares, not a single global pointer. This is the
+//! documented trade: exactness of the aggregate rotation within one TTL
+//! window is sacrificed for linear scalability.
+//!
+//! # Buffer discipline
+//!
+//! Each worker reuses one rx buffer and one tx `Vec<u8>` for its whole
+//! life; the steady-state loop (receive → fast-path handle → send) is
+//! allocation-free once the tx buffer has grown to the answer size (see
+//! `tests/alloc_free_wire.rs` for the pinned half of that claim).
+//!
+//! # Control protocol and shutdown
+//!
+//! Datagrams beginning with [`CTL_MAGIC`], accepted **only from loopback
+//! sources**, are control messages rather than DNS:
+//!
+//! * `GDNSCTL1 shutdown` — begin graceful shutdown; acks `GDNSCTL1 ok`.
+//! * `GDNSCTL1 backlogs <f64,f64,…>` — install a new backlog snapshot
+//!   (one value per Web server) that every shard picks up before its next
+//!   decision, feeding the backlog-aware policies; acks `GDNSCTL1 ok`.
+//!
+//! Shutdown is flag-based: the socket carries a short read timeout, so
+//! every worker re-checks the shutdown flag at least once per timeout and
+//! exits its loop cleanly; [`DaemonHandle::shutdown`] (or the ctl message)
+//! sets the flag, and joining the workers yields the final report.
+
+use std::io::ErrorKind;
+use std::net::{IpAddr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use geodns_core::{ObsCounters, ObsSnapshot};
+
+use crate::AuthoritativeServer;
+
+/// Prefix of a control datagram (with the trailing space separator).
+pub const CTL_MAGIC: &[u8] = b"GDNSCTL1 ";
+
+/// Daemon-level settings (the site/scheduler configuration lives in the
+/// per-worker [`AuthoritativeServer`] shards passed to [`Daemon::spawn`]).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind (use port 0 to let the kernel pick; the bound
+    /// address is available from [`DaemonHandle::local_addr`]).
+    pub bind: SocketAddr,
+    /// Socket read timeout — the upper bound on how long a worker can go
+    /// without re-checking the shutdown flag. Also the shutdown latency
+    /// floor for idle workers.
+    pub read_timeout: Duration,
+    /// Receive buffer size per worker; datagrams longer than this are
+    /// truncated by the kernel (512 covers every query we answer).
+    pub max_datagram: usize,
+}
+
+impl DaemonConfig {
+    /// Sensible defaults for `bind`: 20 ms shutdown poll, 512-byte rx.
+    #[must_use]
+    pub fn new(bind: SocketAddr) -> Self {
+        DaemonConfig { bind, read_timeout: Duration::from_millis(20), max_datagram: 512 }
+    }
+}
+
+/// Shared mutable state between the workers and the handle.
+struct Control {
+    shutdown: AtomicBool,
+    /// Bumped on every accepted `backlogs` ctl message; workers re-sync
+    /// their shard when the epoch moves (a relaxed load per loop
+    /// iteration, no lock on the hot path).
+    backlog_epoch: AtomicU64,
+    backlogs: Mutex<Vec<f64>>,
+}
+
+/// Per-worker datagram accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Datagrams received (DNS and control).
+    pub received: u64,
+    /// DNS responses sent.
+    pub answered: u64,
+    /// Control datagrams processed (including rejected ones).
+    pub ctl: u64,
+    /// Datagrams too mangled to answer (no extractable transaction id).
+    pub dropped: u64,
+    /// Responses the kernel refused to send.
+    pub send_errors: u64,
+    /// Receive errors other than the poll timeout.
+    pub recv_errors: u64,
+}
+
+impl WorkerStats {
+    fn add(&mut self, other: &WorkerStats) {
+        self.received += other.received;
+        self.answered += other.answered;
+        self.ctl += other.ctl;
+        self.dropped += other.dropped;
+        self.send_errors += other.send_errors;
+        self.recv_errors += other.recv_errors;
+    }
+}
+
+/// What one worker hands back when it exits.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Datagram accounting.
+    pub stats: WorkerStats,
+    /// The worker's scheduler-decision counters (TTL min/mean/max,
+    /// decisions, constrained decisions) through the observability layer.
+    pub obs: ObsSnapshot,
+}
+
+/// The daemon's final report: one entry per worker, in worker order.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Per-worker reports.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl DaemonReport {
+    /// Datagram accounting summed over the workers.
+    #[must_use]
+    pub fn totals(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for w in &self.workers {
+            t.add(&w.stats);
+        }
+        t
+    }
+
+    /// Total DNS scheduling decisions (i.e. `A` answers) across workers.
+    #[must_use]
+    pub fn dns_decisions(&self) -> u64 {
+        self.workers.iter().map(|w| w.obs.dns_decisions).sum()
+    }
+}
+
+/// The daemon entry point. See the [module docs](self) for the threading
+/// model, buffer discipline, and control protocol.
+pub struct Daemon;
+
+impl Daemon {
+    /// Binds the socket and spawns one worker thread per shard.
+    ///
+    /// Every shard must front the same number of Web servers (they are
+    /// shards of *one* site, so anything else is a configuration bug).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if there are no shards, the shards disagree on
+    /// the server count, or any socket operation fails.
+    pub fn spawn(
+        cfg: &DaemonConfig,
+        shards: Vec<AuthoritativeServer>,
+    ) -> Result<DaemonHandle, String> {
+        if shards.is_empty() {
+            return Err("geodnsd needs at least one worker shard".into());
+        }
+        let n_servers = shards[0].num_servers();
+        if let Some(bad) = shards.iter().position(|s| s.num_servers() != n_servers) {
+            return Err(format!(
+                "shard {bad} fronts {} servers but shard 0 fronts {n_servers}",
+                shards[bad].num_servers()
+            ));
+        }
+        let socket = UdpSocket::bind(cfg.bind).map_err(|e| format!("bind {}: {e}", cfg.bind))?;
+        socket
+            .set_read_timeout(Some(cfg.read_timeout))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+        let local_addr = socket.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+
+        let control = Arc::new(Control {
+            shutdown: AtomicBool::new(false),
+            backlog_epoch: AtomicU64::new(0),
+            backlogs: Mutex::new(vec![0.0; n_servers]),
+        });
+        let start = Instant::now();
+
+        let mut workers = Vec::with_capacity(shards.len());
+        for (index, shard) in shards.into_iter().enumerate() {
+            let socket = socket.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+            let control = Arc::clone(&control);
+            let max_datagram = cfg.max_datagram;
+            let handle = std::thread::Builder::new()
+                .name(format!("geodnsd-worker-{index}"))
+                .spawn(move || worker_loop(socket, shard, &control, start, max_datagram))
+                .map_err(|e| format!("spawn worker {index}: {e}"))?;
+            workers.push(handle);
+        }
+        Ok(DaemonHandle { local_addr, control, workers })
+    }
+}
+
+/// A running daemon: the handle to query, stop, and reap it.
+pub struct DaemonHandle {
+    local_addr: SocketAddr,
+    control: Arc<Control>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves port 0 binds).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether shutdown has been requested (by this handle or a ctl
+    /// message); workers drain within one read timeout of it turning true.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.control.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Installs a new backlog snapshot, exactly as the `backlogs` ctl
+    /// message does: every worker applies it to its shard before its next
+    /// decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the length does not match the server count.
+    pub fn set_backlogs(&self, backlogs: &[f64]) -> Result<(), String> {
+        let mut shared = self.control.backlogs.lock().expect("backlog lock poisoned");
+        if backlogs.len() != shared.len() {
+            return Err(format!("{} backlog values for {} servers", backlogs.len(), shared.len()));
+        }
+        shared.copy_from_slice(backlogs);
+        drop(shared);
+        self.control.backlog_epoch.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Requests graceful shutdown and joins every worker, returning the
+    /// final per-worker reports. Idempotent with a ctl-message shutdown:
+    /// whichever arrives first starts the drain.
+    #[must_use]
+    pub fn shutdown(self) -> DaemonReport {
+        self.control.shutdown.store(true, Ordering::Relaxed);
+        let workers =
+            self.workers.into_iter().map(|w| w.join().expect("geodnsd worker panicked")).collect();
+        DaemonReport { workers }
+    }
+}
+
+/// One worker's life: receive, dispatch, repeat until shutdown.
+fn worker_loop(
+    socket: UdpSocket,
+    mut shard: AuthoritativeServer,
+    control: &Control,
+    start: Instant,
+    max_datagram: usize,
+) -> WorkerReport {
+    let mut rx = vec![0u8; max_datagram];
+    let mut tx = Vec::with_capacity(max_datagram);
+    let mut local_backlogs = vec![0.0; shard.num_servers()];
+    let mut seen_epoch = 0u64;
+    let mut counters = ObsCounters::new();
+    let mut stats = WorkerStats::default();
+
+    loop {
+        if control.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let epoch = control.backlog_epoch.load(Ordering::Acquire);
+        if epoch != seen_epoch {
+            local_backlogs
+                .copy_from_slice(&control.backlogs.lock().expect("backlog lock poisoned"));
+            shard.set_backlogs(&local_backlogs);
+            seen_epoch = epoch;
+        }
+        let (len, peer) = match socket.recv_from(&mut rx) {
+            Ok(x) => x,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => {
+                stats.recv_errors += 1;
+                continue;
+            }
+        };
+        stats.received += 1;
+        let datagram = &rx[..len];
+
+        if datagram.starts_with(CTL_MAGIC) {
+            stats.ctl += 1;
+            handle_ctl(&socket, &datagram[CTL_MAGIC.len()..], peer, control);
+            continue;
+        }
+
+        let src = match peer.ip() {
+            IpAddr::V4(v4) => v4.octets(),
+            // V6 peers fall to the fallback domain: the prefix table is v4.
+            IpAddr::V6(_) => [0, 0, 0, 0],
+        };
+        let now_s = start.elapsed().as_secs_f64();
+        match shard.handle_into_probed(datagram, src, now_s, &mut tx, &mut counters) {
+            Ok(()) => {
+                if socket.send_to(&tx, peer).is_ok() {
+                    stats.answered += 1;
+                } else {
+                    stats.send_errors += 1;
+                }
+            }
+            Err(_) => stats.dropped += 1,
+        }
+    }
+    WorkerReport { stats, obs: counters.snapshot(0, 0) }
+}
+
+/// Processes one control payload (already stripped of [`CTL_MAGIC`]).
+/// Non-loopback senders are ignored outright — no parse, no ack.
+fn handle_ctl(socket: &UdpSocket, payload: &[u8], peer: SocketAddr, control: &Control) {
+    if !peer.ip().is_loopback() {
+        return;
+    }
+    let reply: &[u8] = match ctl_command(payload, control) {
+        Ok(()) => b"GDNSCTL1 ok",
+        Err(()) => b"GDNSCTL1 err",
+    };
+    // Best-effort ack; the sender may have already gone away.
+    let _ = socket.send_to(reply, peer);
+}
+
+/// Parses and applies one ctl command; `Err` means "unrecognized or
+/// malformed" (the sender gets a generic error ack either way).
+fn ctl_command(payload: &[u8], control: &Control) -> Result<(), ()> {
+    let text = std::str::from_utf8(payload).map_err(|_| ())?;
+    let text = text.trim();
+    if text == "shutdown" {
+        control.shutdown.store(true, Ordering::Relaxed);
+        return Ok(());
+    }
+    if let Some(csv) = text.strip_prefix("backlogs ") {
+        let mut shared = control.backlogs.lock().expect("backlog lock poisoned");
+        let n = shared.len();
+        let mut parsed = 0usize;
+        for (slot, field) in shared.iter_mut().zip(csv.split(',')) {
+            *slot = field.trim().parse().map_err(|_| ())?;
+            parsed += 1;
+        }
+        if parsed != n || csv.split(',').count() != n {
+            return Err(());
+        }
+        drop(shared);
+        control.backlog_epoch.fetch_add(1, Ordering::Release);
+        return Ok(());
+    }
+    Err(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Message, Question, Rcode};
+
+    fn loopback_daemon(workers: usize) -> DaemonHandle {
+        let shards = (0..workers).map(|_| AuthoritativeServer::example()).collect();
+        let cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        Daemon::spawn(&cfg, shards).expect("daemon spawns")
+    }
+
+    fn client() -> UdpSocket {
+        let s = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        s.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        s
+    }
+
+    #[test]
+    fn answers_real_udp_queries() {
+        let daemon = loopback_daemon(2);
+        let client = client();
+        let mut buf = [0u8; 512];
+        for id in 0..20u16 {
+            let q = Message::query(id, Question::a("www.example.org"));
+            client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send");
+            let (n, _) = client.recv_from(&mut buf).expect("a response arrives");
+            let resp = Message::parse(&buf[..n]).expect("well-formed response");
+            assert_eq!(resp.header.id, id);
+            assert_eq!(resp.header.rcode, Rcode::NoError);
+            assert_eq!(resp.answers.len(), 1);
+            assert!(resp.answers[0].ttl >= 1);
+        }
+        let report = daemon.shutdown();
+        let totals = report.totals();
+        assert_eq!(totals.answered, 20);
+        assert_eq!(report.dns_decisions(), 20);
+        assert_eq!(totals.dropped, 0);
+    }
+
+    #[test]
+    fn ctl_shutdown_drains_all_workers() {
+        let daemon = loopback_daemon(3);
+        let client = client();
+        client.send_to(b"GDNSCTL1 shutdown", daemon.local_addr()).expect("send ctl");
+        let mut buf = [0u8; 64];
+        let (n, _) = client.recv_from(&mut buf).expect("ack");
+        assert_eq!(&buf[..n], b"GDNSCTL1 ok");
+        // The flag is set; joining must complete promptly (read timeout).
+        assert!(daemon.shutdown_requested());
+        let report = daemon.shutdown();
+        assert_eq!(report.workers.len(), 3);
+        assert_eq!(report.totals().ctl, 1);
+    }
+
+    #[test]
+    fn ctl_backlogs_reach_every_shard() {
+        let daemon = loopback_daemon(2);
+        let client = client();
+        let csv: Vec<String> = (0..7).map(|i| format!("0.{i}")).collect();
+        let msg = format!("GDNSCTL1 backlogs {}", csv.join(","));
+        client.send_to(msg.as_bytes(), daemon.local_addr()).expect("send ctl");
+        let mut buf = [0u8; 64];
+        let (n, _) = client.recv_from(&mut buf).expect("ack");
+        assert_eq!(&buf[..n], b"GDNSCTL1 ok");
+        // Malformed updates are rejected: wrong count…
+        client.send_to(b"GDNSCTL1 backlogs 1.0,2.0", daemon.local_addr()).expect("send");
+        let (n, _) = client.recv_from(&mut buf).expect("ack");
+        assert_eq!(&buf[..n], b"GDNSCTL1 err");
+        // …and non-numeric fields.
+        client.send_to(b"GDNSCTL1 backlogs a,b,c,d,e,f,g", daemon.local_addr()).expect("send");
+        let (n, _) = client.recv_from(&mut buf).expect("ack");
+        assert_eq!(&buf[..n], b"GDNSCTL1 err");
+        // Queries still answered afterwards.
+        let q = Message::query(1, Question::a("www.example.org"));
+        client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+        let (n, _) = client.recv_from(&mut buf).expect("answer");
+        assert!(Message::parse(&buf[..n]).is_ok());
+        drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn handle_set_backlogs_validates_length() {
+        let daemon = loopback_daemon(1);
+        assert!(daemon.set_backlogs(&[0.0; 3]).is_err());
+        assert!(daemon.set_backlogs(&[0.1; 7]).is_ok());
+        drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn mangled_datagrams_are_dropped_not_answered() {
+        let daemon = loopback_daemon(1);
+        let client = client();
+        client.send_to(&[1, 2, 3], daemon.local_addr()).expect("send junk");
+        // Follow with a real query; the only response must be its answer.
+        let q = Message::query(77, Question::a("www.example.org"));
+        client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+        let mut buf = [0u8; 512];
+        let (n, _) = client.recv_from(&mut buf).expect("answer");
+        let resp = Message::parse(&buf[..n]).expect("parses");
+        assert_eq!(resp.header.id, 77);
+        let report = daemon.shutdown();
+        assert_eq!(report.totals().dropped, 1);
+        assert_eq!(report.totals().answered, 1);
+    }
+
+    #[test]
+    fn spawn_rejects_empty_shards() {
+        let cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        assert!(Daemon::spawn(&cfg, Vec::new()).is_err());
+    }
+}

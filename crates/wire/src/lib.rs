@@ -16,10 +16,15 @@
 //!   uncompressed names, which is always legal);
 //! * [`AuthoritativeServer`] — glues a resolver table (source IP prefix →
 //!   scheduling domain) to a [`DnsScheduler`](geodns_core::DnsScheduler)
-//!   and answers queries, byte-in/byte-out.
+//!   and answers queries, byte-in/byte-out;
+//! * [`Daemon`] — the `geodnsd` UDP front end: N worker threads, each
+//!   owning a scheduler shard and reusable buffers, serving the above
+//!   over a real socket (see the [`daemon`] module docs for the threading
+//!   model, buffer discipline, and control protocol).
 //!
-//! No sockets live here: the caller owns I/O (or a simulator owns time),
-//! keeping the crate trivially testable and runtime-agnostic.
+//! Everything below [`Daemon`] is socket-free: the caller owns I/O (or a
+//! simulator owns time), keeping the core trivially testable and
+//! runtime-agnostic.
 //!
 //! # Example
 //!
@@ -39,11 +44,13 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod daemon;
 mod message;
 mod name;
 mod server;
 
 pub use codec::WireError;
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonReport, WorkerReport, WorkerStats};
 pub use message::{Header, Message, QClass, QType, Question, Rcode, ResourceRecord};
 pub use name::Name;
 pub use server::{AuthoritativeServer, ClientMap};

@@ -292,7 +292,29 @@ impl Message {
     /// Encodes to wire format (names uncompressed).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut bytes = Vec::with_capacity(128);
+        self.write_bytes(&mut bytes);
+        bytes
+    }
+
+    /// Encodes to wire format into a caller-owned buffer, clearing it
+    /// first. Once the buffer has grown to the steady-state message size
+    /// this path performs no allocation, which is what the daemon's
+    /// per-worker tx buffers rely on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use geodns_wire::{Message, Question};
+    ///
+    /// let m = Message::query(7, Question::a("www.example.org"));
+    /// let mut buf = Vec::new();
+    /// m.write_bytes(&mut buf);
+    /// assert_eq!(buf, m.to_bytes());
+    /// ```
+    pub fn write_bytes(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        let mut w = Writer::new(buf);
         w.u16(self.header.id);
         w.u16(self.header.flags_word());
         w.u16(self.questions.len() as u16);
@@ -312,7 +334,6 @@ impl Message {
             w.u16(rr.rdata.len() as u16);
             w.bytes(&rr.rdata);
         }
-        w.into_bytes()
     }
 
     /// Parses a message from wire format (handles compressed names).

@@ -1,10 +1,23 @@
 //! The authoritative front end: query bytes in, adaptive-TTL answers out.
 
-use geodns_core::{Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator};
+use geodns_core::{Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator, NoopProbe, Probe};
 use geodns_server::CapacityPlan;
 use geodns_simcore::{RngStreams, SimTime};
 
-use crate::{Message, Name, QClass, QType, Rcode, ResourceRecord, WireError};
+use crate::codec::Writer;
+use crate::{Header, Message, Name, QClass, QType, Rcode, ResourceRecord, WireError};
+
+/// Converts a scheduler TTL (seconds; possibly zero or subsecond under
+/// extreme hidden-load skews) to the wire `u32`: ceiling, clamped to
+/// `1..=u32::MAX`. A TTL of 0 on the wire would forbid caching entirely
+/// — every hit would re-resolve, which is never what the adaptive
+/// schemes mean by "a very short TTL" — so the floor is 1 s, matching
+/// `NsCache`'s documented rule that only a zero/negative TTL means "do
+/// not cache".
+fn wire_ttl(ttl_s: f64) -> u32 {
+    // NaN-safe: `NaN.ceil()` is NaN and `NaN.max(1.0)` is 1.0.
+    ttl_s.ceil().max(1.0).min(f64::from(u32::MAX)) as u32
+}
 
 /// Maps client source addresses to the scheduler's *domain* index — the
 /// operational equivalent of "identifying the source domain of the client
@@ -39,14 +52,30 @@ impl ClientMap {
 
     /// Registers `addr/len → domain`.
     ///
+    /// Lookup is longest-prefix-first; among prefixes of equal length no
+    /// tie-break is needed, because two *distinct* networks of the same
+    /// length are disjoint — an address can match at most one. The only
+    /// possible tie is an exact duplicate (same network, same length),
+    /// which would silently shadow whichever mapping sorted later, so
+    /// duplicates are rejected instead.
+    ///
     /// # Errors
     ///
-    /// Returns a message if `len > 32`.
+    /// Returns a message if `len > 32` or the exact prefix is already
+    /// registered (even for the same domain).
     pub fn add_prefix(&mut self, addr: [u8; 4], len: u8, domain: usize) -> Result<(), String> {
         if len > 32 {
             return Err(format!("prefix length {len} exceeds 32"));
         }
         let network = u32::from_be_bytes(addr) & Self::mask(len);
+        if let Some(&(_, _, existing)) =
+            self.prefixes.iter().find(|&&(net, l, _)| net == network && l == len)
+        {
+            let [a, b, c, d] = network.to_be_bytes();
+            return Err(format!(
+                "prefix {a}.{b}.{c}.{d}/{len} is already mapped to domain {existing}"
+            ));
+        }
         self.prefixes.push((network, len, domain));
         // Longest prefix first.
         self.prefixes.sort_by_key(|p| std::cmp::Reverse(p.1));
@@ -88,6 +117,9 @@ impl ClientMap {
 /// the `now_s` argument).
 pub struct AuthoritativeServer {
     site_name: Name,
+    /// `site_name` pre-encoded in uncompressed wire form, so the fast
+    /// path can match the question without parsing it into a [`Name`].
+    site_wire: Vec<u8>,
     zone: Name,
     server_addrs: Vec<[u8; 4]>,
     scheduler: DnsScheduler,
@@ -136,8 +168,11 @@ impl AuthoritativeServer {
         {
             return Err(format!("site {site_name} is not inside zone {zone}"));
         }
+        let mut site_wire = Vec::with_capacity(site_name.wire_len());
+        Writer::new(&mut site_wire).name(&site_name);
         Ok(AuthoritativeServer {
             site_name,
+            site_wire,
             zone,
             server_addrs,
             clients,
@@ -156,6 +191,23 @@ impl AuthoritativeServer {
     /// Never panics — the configuration is valid by construction.
     #[must_use]
     pub fn example() -> Self {
+        Self::example_shard(0, 1998)
+    }
+
+    /// The [`example`](Self::example) configuration as the `worker`-th
+    /// daemon shard: identical topology, but a distinct RNG stream per
+    /// worker (so shards don't rotate in lock-step) and loopback client
+    /// prefixes `127.0.{0..3}.0/24 → domain {0..3}` alongside the
+    /// `10.{d}.0.0/16` ones. The loopback prefixes are what lets a local
+    /// load generator present itself as domain `d` by binding its source
+    /// socket to `127.0.{d}.1` — every `127.0.0.0/8` address is locally
+    /// bindable.
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the configuration is valid by construction.
+    #[must_use]
+    pub fn example_shard(worker: u64, seed: u64) -> Self {
         let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H35, 500.0);
         let weights = [40.0, 20.0, 10.0, 5.0];
         let estimator = HiddenLoadEstimator::new(EstimatorKind::Oracle, &weights);
@@ -166,11 +218,12 @@ impl AuthoritativeServer {
             0.25,
             240.0,
             true,
-            RngStreams::new(1998).stream("wire"),
+            RngStreams::new(seed).stream_indexed("wire", worker),
         );
         let mut clients = ClientMap::new();
         for d in 0..4u8 {
             clients.add_prefix([10, d, 0, 0], 16, usize::from(d)).expect("valid prefix");
+            clients.add_prefix([127, 0, d, 0], 24, usize::from(d)).expect("valid prefix");
         }
         let server_addrs = (0..7).map(|i| [192, 0, 2, 10 + i as u8]).collect();
         Self::new(
@@ -206,8 +259,18 @@ impl AuthoritativeServer {
             && n[n.len() - z.len()..].iter().zip(z).all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 
+    /// Number of Web servers behind the site (the length `set_backlogs`
+    /// expects).
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.server_addrs.len()
+    }
+
     /// Handles one query datagram from `src` at time `now_s` seconds,
     /// returning the response datagram.
+    ///
+    /// Allocates the returned buffer; the daemon hot loop uses
+    /// [`handle_into`](Self::handle_into) with a reusable buffer instead.
     ///
     /// # Errors
     ///
@@ -215,16 +278,161 @@ impl AuthoritativeServer {
     /// extract a transaction id (otherwise malformed queries get a
     /// `FORMERR`/`NOTIMP`/`REFUSED` response as appropriate).
     pub fn handle(&mut self, query: &[u8], src: [u8; 4], now_s: f64) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(128);
+        self.handle_into(query, src, now_s, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`handle`](Self::handle), but writes the response into a
+    /// caller-owned buffer (cleared first). The steady-state case — a
+    /// well-formed `IN A` query for the site name — takes a fast path
+    /// that never parses into a [`Message`] and performs **zero
+    /// allocations** once `out` has grown to the response size; anything
+    /// unusual falls back to the general parse-based path, whose output
+    /// is byte-identical for queries both paths accept.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`handle`](Self::handle).
+    pub fn handle_into(
+        &mut self,
+        query: &[u8],
+        src: [u8; 4],
+        now_s: f64,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        self.handle_into_probed(query, src, now_s, out, &mut NoopProbe)
+    }
+
+    /// Like [`handle_into`](Self::handle_into), reporting each DNS
+    /// decision to `probe` (the daemon attaches per-worker
+    /// [`ObsCounters`](geodns_core::ObsCounters)). The probe observes
+    /// only: responses are bit-identical whichever probe is attached.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`handle`](Self::handle).
+    pub fn handle_into_probed(
+        &mut self,
+        query: &[u8],
+        src: [u8; 4],
+        now_s: f64,
+        out: &mut Vec<u8>,
+        probe: &mut dyn Probe,
+    ) -> Result<(), WireError> {
+        out.clear();
+        if self.try_fast_path(query, src, now_s, out, probe) {
+            return Ok(());
+        }
+        self.handle_slow(query, src, now_s, out, probe)
+    }
+
+    /// The allocation-free fast path: matches a plain single-question
+    /// `IN A` query for the site name directly on the wire bytes and
+    /// writes the answer. Returns `false` (with `out` untouched) for
+    /// anything else — compressed names, other names/types/classes,
+    /// extra sections, malformed datagrams — which the slow path then
+    /// classifies properly.
+    fn try_fast_path(
+        &mut self,
+        query: &[u8],
+        src: [u8; 4],
+        now_s: f64,
+        out: &mut Vec<u8>,
+        probe: &mut dyn Probe,
+    ) -> bool {
+        if query.len() < 12 {
+            return false;
+        }
+        let flags = u16::from_be_bytes([query[2], query[3]]);
+        // QR clear and opcode 0 (the top five flag bits), QDCOUNT 1, the
+        // other three sections empty.
+        if flags & 0xF800 != 0 || query[4..12] != [0, 1, 0, 0, 0, 0, 0, 0] {
+            return false;
+        }
+        // Walk the question name: plain labels only (a query's first name
+        // cannot legally be compressed anyway — pointers must point
+        // strictly backwards).
+        let mut pos = 12usize;
+        loop {
+            let Some(&len) = query.get(pos) else { return false };
+            if len == 0 {
+                pos += 1;
+                break;
+            }
+            if len & 0xC0 != 0 {
+                return false;
+            }
+            pos += 1 + usize::from(len);
+        }
+        let name = &query[12..pos];
+        // QTYPE A, QCLASS IN, and the datagram ends exactly there.
+        if query.len() != pos + 4 || query[pos..] != [0, 1, 0, 1] {
+            return false;
+        }
+        if !name.eq_ignore_ascii_case(&self.site_wire) {
+            return false;
+        }
+
+        let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
+        let (server, ttl_s) = self.scheduler.resolve_probed(
+            domain,
+            SimTime::from_secs(now_s.max(0.0)),
+            &self.backlogs,
+            probe,
+        );
+        // Header: id echoed, QR|AA set, RD echoed, RA clear, NOERROR;
+        // one question (echoed verbatim), one answer.
+        out.extend_from_slice(&query[0..2]);
+        let rflags = 0x8400 | (flags & 0x0100);
+        out.extend_from_slice(&rflags.to_be_bytes());
+        out.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 0]);
+        out.extend_from_slice(&query[12..pos + 4]);
+        // Answer: owner name uncompressed (byte-identical to the slow
+        // path), IN A, clamped TTL, the chosen server's address.
+        out.extend_from_slice(name);
+        out.extend_from_slice(&[0, 1, 0, 1]);
+        out.extend_from_slice(&wire_ttl(ttl_s).to_be_bytes());
+        out.extend_from_slice(&[0, 4]);
+        out.extend_from_slice(&self.server_addrs[server]);
+        true
+    }
+
+    /// The general parse-based path for everything the fast path declines.
+    fn handle_slow(
+        &mut self,
+        query: &[u8],
+        src: [u8; 4],
+        now_s: f64,
+        out: &mut Vec<u8>,
+        probe: &mut dyn Probe,
+    ) -> Result<(), WireError> {
         let parsed = match Message::parse(query) {
             Ok(m) => m,
             Err(_) if query.len() >= 12 => {
-                // Readable header, unreadable body: answer FORMERR.
-                let id = u16::from_be_bytes([query[0], query[1]]);
-                let mut m = Message::query(id, crate::Question::a("invalid.invalid"));
-                m.questions.clear();
-                let mut resp = Message::response_to(&m, Rcode::FormErr);
-                resp.questions.clear();
-                return Ok(resp.to_bytes());
+                // Readable header, unreadable body: FORMERR. The response
+                // header is built directly — id and opcode echoed from the
+                // raw header, RD copied from the query's actual bit, RA
+                // clear (RFC 1035 §4.1.1: we are authoritative-only).
+                let flags = u16::from_be_bytes([query[2], query[3]]);
+                let resp = Message {
+                    header: Header {
+                        id: u16::from_be_bytes([query[0], query[1]]),
+                        response: true,
+                        opcode: ((flags >> 11) & 0x0F) as u8,
+                        authoritative: true,
+                        truncated: false,
+                        recursion_desired: flags & 0x0100 != 0,
+                        recursion_available: false,
+                        rcode: Rcode::FormErr,
+                    },
+                    questions: Vec::new(),
+                    answers: Vec::new(),
+                    authority: Vec::new(),
+                    additional: Vec::new(),
+                };
+                resp.write_bytes(out);
+                return Ok(());
             }
             Err(e) => return Err(e),
         };
@@ -232,36 +440,48 @@ impl AuthoritativeServer {
         if parsed.header.response {
             return Err(WireError::Unsupported("got a response, not a query".into()));
         }
+        let refuse = |rcode: Rcode, out: &mut Vec<u8>| {
+            Message::response_to(&parsed, rcode).write_bytes(out);
+            Ok(())
+        };
         if parsed.header.opcode != 0 {
-            return Ok(Message::response_to(&parsed, Rcode::NotImp).to_bytes());
+            return refuse(Rcode::NotImp, out);
         }
         if parsed.questions.len() != 1 {
-            return Ok(Message::response_to(&parsed, Rcode::FormErr).to_bytes());
+            return refuse(Rcode::FormErr, out);
         }
 
         let q = &parsed.questions[0];
         if q.qclass != QClass::In {
-            return Ok(Message::response_to(&parsed, Rcode::Refused).to_bytes());
+            return refuse(Rcode::Refused, out);
         }
         if !self.in_zone(&q.name) {
-            return Ok(Message::response_to(&parsed, Rcode::Refused).to_bytes());
+            return refuse(Rcode::Refused, out);
         }
         if q.name != self.site_name {
-            return Ok(Message::response_to(&parsed, Rcode::NxDomain).to_bytes());
+            return refuse(Rcode::NxDomain, out);
         }
         if q.qtype != QType::A {
             // NODATA: the name exists, this type has no records.
-            return Ok(Message::response_to(&parsed, Rcode::NoError).to_bytes());
+            return refuse(Rcode::NoError, out);
         }
 
         let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
-        let (server, ttl_s) =
-            self.scheduler.resolve(domain, SimTime::from_secs(now_s.max(0.0)), &self.backlogs);
-        let ttl = ttl_s.ceil().min(f64::from(u32::MAX)) as u32;
+        let (server, ttl_s) = self.scheduler.resolve_probed(
+            domain,
+            SimTime::from_secs(now_s.max(0.0)),
+            &self.backlogs,
+            probe,
+        );
 
         let mut resp = Message::response_to(&parsed, Rcode::NoError);
-        resp.answers.push(ResourceRecord::a(q.name.clone(), self.server_addrs[server], ttl));
-        Ok(resp.to_bytes())
+        resp.answers.push(ResourceRecord::a(
+            q.name.clone(),
+            self.server_addrs[server],
+            wire_ttl(ttl_s),
+        ));
+        resp.write_bytes(out);
+        Ok(())
     }
 }
 
@@ -387,5 +607,239 @@ mod tests {
         q.questions.push(Question::a("www.example.org"));
         let resp = Message::parse(&s.handle(&q.to_bytes(), [10, 0, 0, 1], 0.0).unwrap()).unwrap();
         assert_eq!(resp.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn wire_ttl_clamps_to_at_least_one_second() {
+        assert_eq!(wire_ttl(0.0), 1, "zero would forbid caching");
+        assert_eq!(wire_ttl(0.2), 1, "subsecond rounds up");
+        assert_eq!(wire_ttl(-5.0), 1, "negative is clamped, not wrapped");
+        assert_eq!(wire_ttl(f64::NAN), 1, "NaN cannot reach the wire");
+        assert_eq!(wire_ttl(5.1), 6, "ordinary TTLs still ceil");
+        assert_eq!(wire_ttl(240.0), 240);
+        assert_eq!(wire_ttl(1e12), u32::MAX, "huge TTLs saturate");
+    }
+
+    #[test]
+    fn answers_never_carry_ttl_zero() {
+        // Whatever the scheduler proposes, the wire TTL is ≥ 1 s on both
+        // the fast and the slow path (the slow path is forced with a
+        // trailing garbage byte, which the fast path refuses).
+        let mut s = AuthoritativeServer::example();
+        let query = Message::query(3, Question::a("www.example.org")).to_bytes();
+        let mut padded = query.clone();
+        padded.push(0);
+        for i in 0..50u16 {
+            for bytes in [&query, &padded] {
+                let resp =
+                    Message::parse(&s.handle(bytes, [10, 0, 0, 1], f64::from(i)).unwrap()).unwrap();
+                assert!(resp.answers[0].ttl >= 1, "TTL 0 answer escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_prefixes_are_rejected() {
+        let mut map = ClientMap::new();
+        map.add_prefix([10, 1, 0, 0], 16, 3).unwrap();
+        // Same prefix, different domain: would shadow the first mapping.
+        let err = map.add_prefix([10, 1, 0, 0], 16, 7).unwrap_err();
+        assert!(err.contains("10.1.0.0/16"), "error names the prefix: {err}");
+        assert!(err.contains("domain 3"), "error names the existing mapping: {err}");
+        // Same prefix after host-bit masking is still a duplicate.
+        assert!(map.add_prefix([10, 1, 99, 7], 16, 7).is_err());
+        // Same domain is rejected too — a silent no-op would hide config bugs.
+        assert!(map.add_prefix([10, 1, 0, 0], 16, 3).is_err());
+        // Different length or different network at the same length: fine.
+        map.add_prefix([10, 1, 0, 0], 24, 5).unwrap();
+        map.add_prefix([10, 2, 0, 0], 16, 4).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.domain_of([10, 1, 0, 9]), Some(5), "longest prefix still wins");
+        assert_eq!(map.domain_of([10, 1, 5, 9]), Some(3));
+        assert_eq!(map.domain_of([10, 2, 5, 9]), Some(4));
+    }
+
+    #[test]
+    fn formerr_fallback_echoes_flags_golden_bytes() {
+        let mut s = AuthoritativeServer::example();
+        // A 13-byte datagram with a readable header: id 0xAABB, opcode 0,
+        // RD *clear*, qdcount 1, truncated body.
+        let mut garbage = vec![0u8; 13];
+        garbage[0] = 0xAA;
+        garbage[1] = 0xBB;
+        garbage[5] = 1;
+        let out = s.handle(&garbage, [10, 0, 0, 1], 0.0).unwrap();
+        #[rustfmt::skip]
+        let expect = [
+            0xAA, 0xBB, // id echoed
+            0x84, 0x01, // QR|AA, RD clear, RA clear, rcode FORMERR
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // empty sections
+        ];
+        assert_eq!(out, expect);
+
+        // Same datagram with RD set: the echo copies the query's actual
+        // bit (the old fallback unconditionally asserted RD).
+        garbage[2] = 0x01; // RD lives in bit 8 of the flags word
+        let out = s.handle(&garbage, [10, 0, 0, 1], 0.0).unwrap();
+        assert_eq!(out[2..4], [0x85, 0x01], "QR|AA|RD, rcode FORMERR");
+    }
+
+    #[test]
+    fn refused_response_golden_bytes() {
+        let mut s = AuthoritativeServer::example();
+        let mut q = Message::query(0x0102, Question::a("www.other.test"));
+        q.header.recursion_desired = false;
+        let out = s.handle(&q.to_bytes(), [10, 0, 0, 1], 0.0).unwrap();
+        #[rustfmt::skip]
+        let expect = [
+            0x01, 0x02, // id echoed
+            0x84, 0x05, // QR|AA, RD clear (echoed), RA clear, rcode REFUSED
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // question echoed
+            0x03, b'w', b'w', b'w', 0x05, b'o', b't', b'h', b'e', b'r',
+            0x04, b't', b'e', b's', b't', 0x00,
+            0x00, 0x01, // type A
+            0x00, 0x01, // class IN
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn every_response_path_echoes_rd_and_clears_ra() {
+        // RFC 1035 flag audit across all response paths: RD must mirror
+        // the query, RA must always be clear (authoritative-only server).
+        let mut s = AuthoritativeServer::example();
+        let cases: Vec<(Message, Rcode)> = vec![
+            (Message::query(1, Question::a("www.example.org")), Rcode::NoError),
+            (Message::query(2, Question::a("nope.example.org")), Rcode::NxDomain),
+            (Message::query(3, Question::a("www.other.test")), Rcode::Refused),
+            (
+                {
+                    let mut q = Message::query(4, Question::a("www.example.org"));
+                    q.questions[0].qclass = QClass::Other(3);
+                    q
+                },
+                Rcode::Refused,
+            ),
+            (
+                {
+                    let mut q = Message::query(5, Question::a("www.example.org"));
+                    q.header.opcode = 2;
+                    q
+                },
+                Rcode::NotImp,
+            ),
+            (
+                {
+                    let mut q = Message::query(6, Question::a("www.example.org"));
+                    q.questions.push(Question::a("www.example.org"));
+                    q
+                },
+                Rcode::FormErr,
+            ),
+            (
+                {
+                    let mut q = Message::query(7, Question::a("www.example.org"));
+                    q.questions[0].qtype = QType::Ns;
+                    q
+                },
+                Rcode::NoError,
+            ),
+        ];
+        for (mut q, want_rcode) in cases {
+            for rd in [false, true] {
+                q.header.recursion_desired = rd;
+                let resp =
+                    Message::parse(&s.handle(&q.to_bytes(), [10, 0, 0, 1], 0.0).unwrap()).unwrap();
+                let id = q.header.id;
+                assert_eq!(resp.header.rcode, want_rcode, "id {id}");
+                assert_eq!(resp.header.recursion_desired, rd, "id {id}: RD must mirror the query");
+                assert!(!resp.header.recursion_available, "id {id}: RA must be clear");
+                assert!(resp.header.response && resp.header.authoritative, "id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_slow_paths_produce_identical_bytes() {
+        // Two deterministic twins: drive one through the public entry
+        // (fast path) and the other through the forced slow path; every
+        // answer must match byte for byte, including case-odd names and
+        // every client domain.
+        let mut fast = AuthoritativeServer::example();
+        let mut slow = AuthoritativeServer::example();
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        let mut t = 0.0;
+        for i in 0..200u16 {
+            let name = if i % 3 == 0 { "WWW.Example.ORG" } else { "www.example.org" };
+            let mut q = Message::query(i, Question::a(name));
+            q.header.recursion_desired = i % 2 == 0;
+            let bytes = q.to_bytes();
+            let src = [10, (i % 5) as u8, 0, 1]; // domains 0–3 plus unmapped
+            let mut probe = NoopProbe;
+            fast.handle_into(&bytes, src, t, &mut fast_out).unwrap();
+            slow.handle_slow(&bytes, src, t, &mut slow_out, &mut probe).unwrap();
+            assert_eq!(fast_out, slow_out, "query {i} diverged");
+            t += 0.5;
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_unusual_queries() {
+        // Each of these must fall through to the slow path, not be
+        // answered (or mangled) by the fast path.
+        let mut s = AuthoritativeServer::example();
+        let mut scratch = Vec::new();
+        let mut probe = NoopProbe;
+        let base = Message::query(9, Question::a("www.example.org"));
+
+        // Trailing garbage byte.
+        let mut padded = base.to_bytes();
+        padded.push(0xFF);
+        assert!(!s.try_fast_path(&padded, [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // Non-A qtype.
+        let mut q = base.clone();
+        q.questions[0].qtype = QType::Ns;
+        assert!(!s.try_fast_path(&q.to_bytes(), [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // Non-IN class.
+        let mut q = base.clone();
+        q.questions[0].qclass = QClass::Other(3);
+        assert!(!s.try_fast_path(&q.to_bytes(), [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // A different name of the same length.
+        let q = Message::query(9, Question::a("www.example.oRh"));
+        assert!(!s.try_fast_path(&q.to_bytes(), [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // Queries with answers attached.
+        let mut q = base.clone();
+        q.answers.push(ResourceRecord::a("www.example.org".parse().unwrap(), [1, 2, 3, 4], 60));
+        assert!(!s.try_fast_path(&q.to_bytes(), [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // The response bit.
+        let mut q = base.clone();
+        q.header.response = true;
+        assert!(!s.try_fast_path(&q.to_bytes(), [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        // Truncated datagrams.
+        let bytes = base.to_bytes();
+        for cut in [0, 5, 11, 12, bytes.len() - 1] {
+            assert!(!s.try_fast_path(&bytes[..cut], [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        }
+        assert!(scratch.is_empty(), "declined fast paths must not write");
+
+        // And the one shape it does take:
+        assert!(s.try_fast_path(&bytes, [10, 0, 0, 1], 0.0, &mut scratch, &mut probe));
+        assert!(!scratch.is_empty());
+    }
+
+    #[test]
+    fn handle_into_reuses_the_buffer() {
+        let mut s = AuthoritativeServer::example();
+        let query = Message::query(11, Question::a("www.example.org")).to_bytes();
+        let mut out = Vec::new();
+        s.handle_into(&query, [10, 0, 0, 1], 0.0, &mut out).unwrap();
+        let first_len = out.len();
+        let cap = out.capacity();
+        for i in 1..100 {
+            s.handle_into(&query, [10, 0, 0, 1], f64::from(i), &mut out).unwrap();
+            assert_eq!(out.len(), first_len);
+            assert_eq!(out.capacity(), cap, "steady state must not regrow the buffer");
+        }
     }
 }

@@ -1,6 +1,8 @@
-//! Property-based tests for the DNS wire codec.
+//! Property-based tests for the DNS wire codec and the serving front end.
 
-use geodns_wire::{Message, Name, QClass, QType, Question, Rcode, ResourceRecord};
+use geodns_wire::{
+    AuthoritativeServer, Message, Name, QClass, QType, Question, Rcode, ResourceRecord,
+};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -71,6 +73,76 @@ proptest! {
             let re = m.to_bytes();
             let again = Message::parse(&re);
             prop_assert_eq!(again.as_ref(), Ok(&m));
+        }
+    }
+
+    /// `AuthoritativeServer::handle` never panics on arbitrary datagrams,
+    /// and its error/response split is principled: datagrams shorter than
+    /// a header (12 bytes) are always `Err` (no id to echo), and whenever
+    /// it answers `Ok` the output is a parseable *response* that echoes
+    /// the query's transaction id and RD bit with RA clear.
+    #[test]
+    fn handle_never_panics_and_answers_are_well_formed(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        src in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+    ) {
+        let mut server = AuthoritativeServer::example();
+        match server.handle(&bytes, [src.0, src.1, src.2, src.3], 1.0) {
+            Err(_) => {} // fine: too mangled to answer
+            Ok(resp) => {
+                prop_assert!(bytes.len() >= 12, "Ok for a {}-byte datagram", bytes.len());
+                let parsed = Message::parse(&resp).expect("responses must parse");
+                prop_assert!(parsed.header.response);
+                prop_assert_eq!(parsed.header.id, u16::from_be_bytes([bytes[0], bytes[1]]));
+                let rd = u16::from_be_bytes([bytes[2], bytes[3]]) & 0x0100 != 0;
+                prop_assert_eq!(parsed.header.recursion_desired, rd, "RD must be echoed");
+                prop_assert!(!parsed.header.recursion_available, "RA must stay clear");
+            }
+        }
+    }
+
+    /// Sub-header datagrams can never be answered.
+    #[test]
+    fn short_datagrams_are_rejected(bytes in prop::collection::vec(any::<u8>(), 0..12)) {
+        let mut server = AuthoritativeServer::example();
+        prop_assert!(server.handle(&bytes, [10, 0, 0, 1], 1.0).is_err());
+    }
+
+    /// A datagram that parses as a *response* (QR bit set) is never
+    /// answered — answering responses is how reflection loops start.
+    #[test]
+    fn response_datagrams_are_rejected(
+        id in any::<u16>(),
+        questions in prop::collection::vec(arb_question(), 0..3),
+        rd in any::<bool>(),
+    ) {
+        let mut m = Message::query(id, Question::a("www.example.org"));
+        m.questions = questions;
+        m.header.recursion_desired = rd;
+        m.header.response = true;
+        let mut server = AuthoritativeServer::example();
+        prop_assert!(server.handle(&m.to_bytes(), [10, 0, 0, 1], 1.0).is_err());
+    }
+
+    /// Garbage past a readable header still gets an answer (FORMERR), and
+    /// that answer carries the garbage's id — the "readable header,
+    /// unreadable body" contract of the FORMERR fallback.
+    #[test]
+    fn garbage_bodies_get_formerr(
+        id in any::<u16>(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // QDCOUNT=1 with a body that rarely parses as a question; QR clear.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&id.to_be_bytes());
+        bytes.extend_from_slice(&[0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0]);
+        bytes.extend_from_slice(&body);
+        let mut server = AuthoritativeServer::example();
+        if let Ok(resp) = server.handle(&bytes, [10, 0, 0, 1], 1.0) {
+            let parsed = Message::parse(&resp).expect("responses must parse");
+            prop_assert_eq!(parsed.header.id, id);
+            prop_assert!(parsed.header.response);
+            prop_assert!(parsed.header.recursion_desired, "RD was set in the query");
         }
     }
 

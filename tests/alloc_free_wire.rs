@@ -1,0 +1,126 @@
+//! Allocation accounting for the DNS wire serving path.
+//!
+//! `geodnsd`'s steady state is `AuthoritativeServer::handle_into` on a
+//! reusable buffer: match the query bytes, ask the scheduler, write the
+//! answer. These tests pin that path to exactly zero allocations once
+//! warm — with and without the per-worker `ObsCounters` probe attached —
+//! using the same counting global allocator as `tests/alloc_free.rs`
+//! (this file lives in the `geodns-wire` crate: the root test directory's
+//! other tests belong to `geodns-core`, which cannot depend on wire).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use geodns_core::ObsCounters;
+use geodns_wire::{AuthoritativeServer, Message, Question};
+
+/// Counts every `alloc`/`realloc` call (deallocations are free to ignore:
+/// the property under test is "no new heap traffic per query").
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so tests that read it must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// The allocation delta across `f`, minimized over a few attempts: the
+/// counter is process-global, so the libtest harness occasionally donates a
+/// stray allocation from another thread mid-window. A real per-query
+/// allocation shows up ≥10k strong in *every* attempt and cannot hide
+/// behind a retry; one-off harness noise can.
+fn allocations_during(mut f: impl FnMut()) -> u64 {
+    let mut fewest = u64::MAX;
+    for _ in 0..3 {
+        let before = alloc_calls();
+        f();
+        fewest = fewest.min(alloc_calls() - before);
+        if fewest == 0 {
+            break;
+        }
+    }
+    fewest
+}
+
+#[test]
+fn wire_serving_path_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+
+    let mut server = AuthoritativeServer::example();
+    let query = Message::query(0x5151, Question::a("www.example.org")).to_bytes();
+    let mut out = Vec::new();
+
+    // Warm-up: grow `out` to the answer size and settle any lazy state.
+    let mut now = 0.0_f64;
+    for i in 0..512u32 {
+        let src = [10, (i % 4) as u8, 1, 1];
+        server.handle_into(&query, src, now, &mut out).expect("well-formed query");
+        now += 0.01;
+    }
+
+    let grew = allocations_during(|| {
+        for i in 0..10_000u32 {
+            let src = [10, (i % 4) as u8, 1, 1];
+            server.handle_into(&query, src, now, &mut out).expect("well-formed query");
+            now += 0.01;
+        }
+    });
+    assert_eq!(grew, 0, "{grew} allocations across 10k warm handle_into calls");
+    assert!(!out.is_empty(), "responses really were written");
+}
+
+#[test]
+fn probed_wire_serving_path_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // The daemon attaches per-worker `ObsCounters`; the probe must not
+    // reintroduce heap traffic.
+    let mut server = AuthoritativeServer::example();
+    let query = Message::query(0x5152, Question::a("WWW.Example.ORG")).to_bytes();
+    let mut out = Vec::new();
+    let mut counters = ObsCounters::new();
+
+    let mut now = 0.0_f64;
+    for i in 0..512u32 {
+        let src = [127, 0, (i % 4) as u8, 1];
+        server
+            .handle_into_probed(&query, src, now, &mut out, &mut counters)
+            .expect("well-formed query");
+        now += 0.01;
+    }
+
+    let grew = allocations_during(|| {
+        for i in 0..10_000u32 {
+            let src = [127, 0, (i % 4) as u8, 1];
+            server
+                .handle_into_probed(&query, src, now, &mut out, &mut counters)
+                .expect("well-formed query");
+            now += 0.01;
+        }
+    });
+    assert_eq!(grew, 0, "{grew} allocations across 10k warm probed handle_into calls");
+    assert!(counters.snapshot(0, 0).dns_decisions >= 10_000, "the counters really did record");
+}
