@@ -3,18 +3,26 @@
 //! ```text
 //! loadgen [--target ADDR] [--clients N] [--duration SECS] [--domains K]
 //!         [--exponent Z] [--servers N] [--seed N] [--feedback-ms MS]
-//!         [--min-qps F] [--shutdown]
+//!         [--window W] [--min-qps F] [--shutdown]
 //! ```
 //!
-//! Replays the paper's §4.1 domain structure over loopback: each query's
+//! Replays the paper's §4.1 domain structure over loopback: each burst's
 //! *source domain* is drawn from a Zipf law over `K` domains (exponent
 //! 1.0 = the paper's pure Zipf client basis), and the generator presents
 //! itself as domain `d` by binding the sending socket to `127.0.{d}.1` —
 //! every `127.0.0.0/8` address binds locally, and the daemon's example
-//! topology maps `127.0.{d}.0/24 → domain d`. Each client thread keeps
-//! exactly one query outstanding (closed loop), so measured throughput is
-//! end-to-end: encode → kernel → daemon worker → scheduler → kernel →
-//! full parse + validation.
+//! topology maps `127.0.{d}.0/24 → domain d`. Each client thread keeps a
+//! window of `--window` queries outstanding (closed loop; default 32,
+//! `--window 1` reproduces the classic one-in-flight client): it stages
+//! the whole burst, ships it with one `sendmmsg`, and drains the answers
+//! with `recvmmsg` — the same batched-socket arenas geodnsd itself uses —
+//! so the generator amortizes syscalls exactly like the daemon and can
+//! actually saturate it. Measured throughput stays end-to-end: encode →
+//! kernel → daemon worker → scheduler → kernel → full parse + validation.
+//!
+//! Every answered query also contributes an RTT sample (burst-send to
+//! response-receive), summarized as exact-CDF p50/p95/p99 so a throughput
+//! win can't silently trade away tail latency.
 //!
 //! With `--feedback-ms` (on by default) a feedback thread closes the
 //! paper's control loop: it tallies which Web server each answer named,
@@ -33,8 +41,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use geodns_simcore::dist::{Distribution, Zipf};
+use geodns_simcore::stats::Cdf;
 use geodns_simcore::RngStreams;
+use geodns_wire::mmsg::{self, RecvBatch, SendBatch};
 use geodns_wire::{Message, QType, Question, Rcode};
+
+/// Upper bound on `--window`: outstanding queries are tracked in a `u64`
+/// bitmask, and bursts larger than this stop resembling a closed loop.
+const MAX_WINDOW: usize = 64;
 
 #[derive(Clone)]
 struct Args {
@@ -46,6 +60,7 @@ struct Args {
     servers: usize,
     seed: u64,
     feedback_ms: u64,
+    window: usize,
     min_qps: Option<f64>,
     shutdown: bool,
 }
@@ -60,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         servers: 7,
         seed: 42,
         feedback_ms: 200,
+        window: 32,
         min_qps: None,
         shutdown: false,
     };
@@ -81,13 +97,14 @@ fn parse_args() -> Result<Args, String> {
             "--servers" => args.servers = parsed("--servers", value("--servers")?)?,
             "--seed" => args.seed = parsed("--seed", value("--seed")?)?,
             "--feedback-ms" => args.feedback_ms = parsed("--feedback-ms", value("--feedback-ms")?)?,
+            "--window" => args.window = parsed("--window", value("--window")?)?,
             "--min-qps" => args.min_qps = Some(parsed("--min-qps", value("--min-qps")?)?),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--target ADDR] [--clients N] [--duration SECS] \
                      [--domains K] [--exponent Z] [--servers N] [--seed N] \
-                     [--feedback-ms MS] [--min-qps F] [--shutdown]"
+                     [--feedback-ms MS] [--window W] [--min-qps F] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.clients == 0 || args.domains == 0 || args.domains > 256 || args.servers == 0 {
         return Err("--clients/--domains/--servers out of range".into());
+    }
+    if args.window == 0 || args.window > MAX_WINDOW {
+        return Err(format!("--window must be in 1..={MAX_WINDOW}"));
     }
     if !args.target.ip().is_loopback() {
         return Err("loadgen's per-domain 127.0.d.1 source trick only works over loopback".into());
@@ -112,7 +132,17 @@ struct ClientStats {
 }
 
 /// Validates one response; returns the answered server address on success.
+///
+/// The fast path is an allocation-free structural walk over the exact
+/// shape an authoritative answer takes (header, echoed question, one `A`
+/// record); anything it cannot account for byte-for-byte falls back to
+/// the full [`Message::parse`] validation, so the accepted set is the
+/// same — the fast path just avoids paying parser allocations ~300k
+/// times a second on the measurement side.
 fn validate(resp: &[u8], expect_id: u16) -> Result<[u8; 4], ()> {
+    if let Some(r) = fast_validate(resp, expect_id) {
+        return r;
+    }
     let m = Message::parse(resp).map_err(|_| ())?;
     let ok = m.header.id == expect_id
         && m.header.response
@@ -127,14 +157,83 @@ fn validate(resp: &[u8], expect_id: u16) -> Result<[u8; 4], ()> {
     Ok([m.answers[0].rdata[0], m.answers[0].rdata[1], m.answers[0].rdata[2], m.answers[0].rdata[3]])
 }
 
+/// Allocation-free structural check of one authoritative `A` answer.
+///
+/// Returns `Some(Ok(addr))` only when the datagram is *provably* a
+/// well-formed single-answer response matching `expect_id` (so the slow
+/// parser would accept it too), and `None` for anything it cannot fully
+/// account for — the caller then runs the real parser, which is the
+/// arbiter of malformed vs. valid.
+fn fast_validate(resp: &[u8], expect_id: u16) -> Option<Result<[u8; 4], ()>> {
+    // Header: id, QR=1, rcode 0, exactly one question and one answer.
+    if resp.len() < 12
+        || resp[0..2] != expect_id.to_be_bytes()
+        || resp[2] & 0x80 == 0
+        || resp[3] & 0x0F != 0
+        || resp[4..8] != [0, 1, 0, 1]
+    {
+        return None;
+    }
+    // Echoed question: walk uncompressed labels, then QTYPE/QCLASS.
+    let mut at = 12usize;
+    loop {
+        let len = usize::from(*resp.get(at)?);
+        if len == 0 {
+            at += 1;
+            break;
+        }
+        if len & 0xC0 != 0 {
+            return None; // compressed/unknown label form: let the parser judge
+        }
+        at += 1 + len;
+        if at >= resp.len() {
+            return None;
+        }
+    }
+    at += 4; // QTYPE + QCLASS
+             // Answer name: either a compression pointer or uncompressed labels.
+    let name_end = match resp.get(at)? {
+        b if b & 0xC0 == 0xC0 => at + 2,
+        _ => {
+            let mut p = at;
+            loop {
+                let len = usize::from(*resp.get(p)?);
+                if len == 0 {
+                    break p + 1;
+                }
+                if len & 0xC0 != 0 {
+                    return None;
+                }
+                p += 1 + len;
+            }
+        }
+    };
+    // TYPE A, CLASS IN, TTL ≥ 1, RDLENGTH 4, 4-byte RDATA, nothing after.
+    let fixed = resp.get(name_end..name_end + 10)?;
+    if fixed[0..4] != [0, 1, 0, 1] || fixed[8..10] != [0, 4] {
+        return None;
+    }
+    let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+    let rdata = resp.get(name_end + 10..name_end + 14)?;
+    if ttl == 0 || resp.len() != name_end + 14 {
+        return None;
+    }
+    Some(Ok([rdata[0], rdata[1], rdata[2], rdata[3]]))
+}
+
 /// One closed-loop client: bind one socket per domain at `127.0.{d}.1`,
-/// draw each query's domain from the Zipf law, keep one query in flight.
+/// draw each burst's domain from the Zipf law, keep `--window` queries in
+/// flight, and batch both directions through the `mmsg` arenas.
+///
+/// Returns the counters plus the per-query RTT samples (µs); RTT is
+/// measured from the burst's `sendmmsg` flush to the `recvmmsg` return
+/// that carried the answer, so it includes daemon queueing under load.
 fn client_loop(
     worker: u64,
     args: &Args,
     deadline: Instant,
     per_server: &[AtomicU64],
-) -> Result<ClientStats, String> {
+) -> Result<(ClientStats, Vec<f64>), String> {
     let mut sockets = Vec::with_capacity(args.domains);
     for d in 0..args.domains {
         let bind: SocketAddr = format!("127.0.{d}.1:0")
@@ -147,44 +246,85 @@ fn client_loop(
     }
     let zipf = Zipf::new(args.domains, args.exponent).map_err(|e| e.to_string())?;
     let mut rng = RngStreams::new(args.seed).stream_indexed("loadgen", worker);
-    let mut query = Message::query(0, Question::a("www.example.org")).to_bytes();
-    let mut rx = [0u8; 512];
+    let query = Message::query(0, Question::a("www.example.org")).to_bytes();
+    let window = args.window;
+    let mut tx = SendBatch::new(window, 512);
+    let mut rx = RecvBatch::new(window, 512);
     let mut stats = ClientStats::default();
+    let mut rtts_us: Vec<f64> = Vec::new();
     let mut id: u16 = (worker as u16) << 10;
 
     while Instant::now() < deadline {
         let domain = zipf.sample(&mut rng);
-        id = id.wrapping_add(1);
-        query[0..2].copy_from_slice(&id.to_be_bytes());
         let socket = &sockets[domain];
-        socket.send(&query).map_err(|e| format!("send: {e}"))?;
-        stats.sent += 1;
-        match socket.recv(&mut rx) {
-            Ok(n) => match validate(&rx[..n], id) {
-                Ok(addr) => {
-                    stats.answered += 1;
-                    // Tally which server was named (example topology:
-                    // 192.0.2.10 + i) so the feedback thread can turn
-                    // observed assignment shares into backlog signals.
-                    let i = usize::from(addr[3].wrapping_sub(10));
-                    if addr[..3] == [192, 0, 2] && i < per_server.len() {
-                        per_server[i].fetch_add(1, Ordering::Relaxed);
+        // Stage the burst: `window` copies of the query, sequential ids.
+        let id_base = id;
+        for k in 0..window {
+            let buf = tx.buffer();
+            buf.extend_from_slice(&query);
+            let qid = id_base.wrapping_add(k as u16);
+            buf[0..2].copy_from_slice(&qid.to_be_bytes());
+            tx.commit(args.target);
+        }
+        id = id.wrapping_add(window as u16);
+        let out = mmsg::send_batch(socket, &mut tx);
+        stats.sent += out.sent;
+        let sent_at = Instant::now();
+        // Drain until every in-flight id is answered or the socket read
+        // timeout fires; ids lost to send errors simply come up short
+        // here and are retired as timeouts.
+        let mut outstanding: u64 =
+            if window == MAX_WINDOW { u64::MAX } else { (1u64 << window) - 1 };
+        while outstanding != 0 {
+            match mmsg::recv_batch(socket, &mut rx) {
+                Ok(n) => {
+                    let rtt_us = sent_at.elapsed().as_secs_f64() * 1e6;
+                    for i in 0..n {
+                        let (resp, _peer) = rx.datagram(i);
+                        // The id must belong to this burst and be unseen;
+                        // duplicates and strays count as malformed.
+                        let rid = if resp.len() >= 2 {
+                            u16::from_be_bytes([resp[0], resp[1]])
+                        } else {
+                            !id_base // guaranteed out of window
+                        };
+                        let slot = usize::from(rid.wrapping_sub(id_base));
+                        if slot >= window || outstanding & (1u64 << slot) == 0 {
+                            stats.malformed += 1;
+                            continue;
+                        }
+                        match validate(resp, rid) {
+                            Ok(addr) => {
+                                outstanding &= !(1u64 << slot);
+                                stats.answered += 1;
+                                rtts_us.push(rtt_us);
+                                // Tally which server was named (example
+                                // topology: 192.0.2.10 + i) so the feedback
+                                // thread can turn observed assignment shares
+                                // into backlog signals.
+                                let i = usize::from(addr[3].wrapping_sub(10));
+                                if addr[..3] == [192, 0, 2] && i < per_server.len() {
+                                    per_server[i].fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(()) => stats.malformed += 1,
+                        }
                     }
                 }
-                Err(()) => stats.malformed += 1,
-            },
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                stats.timeouts += 1;
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    stats.timeouts += u64::from(outstanding.count_ones());
+                    break;
+                }
+                Err(e) => return Err(format!("recv: {e}")),
             }
-            Err(e) => return Err(format!("recv: {e}")),
         }
     }
-    Ok(stats)
+    Ok((stats, rtts_us))
 }
 
 /// Sends one control datagram and waits briefly for the ack.
@@ -253,14 +393,18 @@ fn main() {
         .collect();
 
     let mut totals = ClientStats::default();
+    let mut rtt = Cdf::new();
     let mut failed = false;
     for (i, w) in workers.into_iter().enumerate() {
         match w.join().expect("client thread panicked") {
-            Ok(s) => {
+            Ok((s, rtts_us)) => {
                 totals.sent += s.sent;
                 totals.answered += s.answered;
                 totals.malformed += s.malformed;
                 totals.timeouts += s.timeouts;
+                for x in rtts_us {
+                    rtt.record(x);
+                }
             }
             Err(e) => {
                 eprintln!("loadgen: client {i}: {e}");
@@ -283,25 +427,37 @@ fn main() {
     }
 
     let qps = totals.answered as f64 / elapsed;
+    // Exact-CDF quantiles over every per-query RTT sample (not P²): the
+    // numbers are reproducible functions of the recorded set.
+    let (p50, p95, p99) = (
+        rtt.quantile(0.50).unwrap_or(f64::NAN),
+        rtt.quantile(0.95).unwrap_or(f64::NAN),
+        rtt.quantile(0.99).unwrap_or(f64::NAN),
+    );
     let counts: Vec<u64> = per_server.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let json = serde_json::json!({
         "qps": qps,
         "elapsed_s": elapsed,
         "clients": args.clients,
         "domains": args.domains,
+        "window": args.window,
         "sent": totals.sent,
         "answered": totals.answered,
         "malformed": totals.malformed,
         "timeouts": totals.timeouts,
+        "rtt_p50_us": p50,
+        "rtt_p95_us": p95,
+        "rtt_p99_us": p99,
         "feedback_pushes": feedback_pushes,
         "per_server_answers": counts,
     });
     println!("{}", serde_json::to_string_pretty(&json).expect("serialize"));
     eprintln!(
         "loadgen: {:.0} answers/s over {elapsed:.2} s ({} sent, {} answered, {} malformed, \
-         {} timeouts, {feedback_pushes} backlog pushes)",
-        qps, totals.sent, totals.answered, totals.malformed, totals.timeouts
+         {} timeouts, window {}, {feedback_pushes} backlog pushes)",
+        qps, totals.sent, totals.answered, totals.malformed, totals.timeouts, args.window
     );
+    eprintln!("loadgen: rtt p50 {p50:.0} µs, p95 {p95:.0} µs, p99 {p99:.0} µs");
 
     if totals.malformed > 0 {
         eprintln!("loadgen: FAILED — {} malformed responses", totals.malformed);

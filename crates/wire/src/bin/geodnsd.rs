@@ -2,23 +2,29 @@
 //!
 //! ```text
 //! geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]
+//!         [--io-mode batched|single] [--batch N]
 //! ```
 //!
 //! Serves the example topology (7 Table-2 H35 servers behind
 //! `www.example.org`, 4 client domains) until `--duration` elapses or a
 //! `GDNSCTL1 shutdown` control datagram arrives, then prints a per-worker
-//! summary. See `geodns_wire::daemon` for the wire/control protocol.
+//! summary. See `geodns_wire::daemon` for the wire/control protocol and
+//! the two I/O modes (`batched` is the default on Linux: per-worker
+//! `SO_REUSEPORT` sockets drained with `recvmmsg`/`sendmmsg`; `single` is
+//! the shared-socket one-datagram-per-syscall fallback).
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig};
+use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig, IoMode};
 
 struct Args {
     bind: SocketAddr,
     workers: usize,
     seed: u64,
     duration: Option<f64>,
+    io_mode: IoMode,
+    batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +33,8 @@ fn parse_args() -> Result<Args, String> {
         workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
         seed: 1998,
         duration: None,
+        io_mode: IoMode::default(),
+        batch: 32,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,8 +50,18 @@ fn parse_args() -> Result<Args, String> {
                 args.duration =
                     Some(value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?);
             }
+            "--io-mode" => {
+                args.io_mode =
+                    value("--io-mode")?.parse().map_err(|e| format!("--io-mode: {e}"))?;
+            }
+            "--batch" => {
+                args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
+            }
             "--help" | "-h" => {
-                println!("usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]");
+                println!(
+                    "usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS] \
+                     [--io-mode batched|single] [--batch N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -51,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.workers == 0 {
         return Err("--workers must be at least 1".into());
+    }
+    if args.batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     Ok(args)
 }
@@ -66,7 +87,9 @@ fn main() {
     let shards = (0..args.workers)
         .map(|w| AuthoritativeServer::example_shard(w as u64, args.seed))
         .collect();
-    let cfg = DaemonConfig::new(args.bind);
+    let mut cfg = DaemonConfig::new(args.bind);
+    cfg.io_mode = args.io_mode;
+    cfg.batch = args.batch;
     let daemon = match Daemon::spawn(&cfg, shards) {
         Ok(d) => d,
         Err(e) => {
@@ -75,8 +98,15 @@ fn main() {
         }
     };
     // The "listening" line is load-bearing: the smoke test and loadgen
-    // wait for it (and parse the port) before sending traffic.
-    println!("geodnsd listening on {} with {} workers", daemon.local_addr(), args.workers);
+    // wait for it (and parse the port) before sending traffic — keep the
+    // prefix stable. The io suffix reports the *effective* mode (batched
+    // may have degraded to single if reuseport setup failed).
+    println!(
+        "geodnsd listening on {} with {} workers (io={})",
+        daemon.local_addr(),
+        args.workers,
+        daemon.io_mode()
+    );
 
     let started = Instant::now();
     loop {
@@ -94,17 +124,18 @@ fn main() {
     let report = daemon.shutdown();
     let totals = report.totals();
     println!(
-        "geodnsd: {} received, {} answered, {} dropped, {} ctl, {} decisions",
+        "geodnsd: {} received, {} answered, {} dropped, {} ctl, {} tx errors, {} decisions",
         totals.received,
         totals.answered,
         totals.dropped,
         totals.ctl,
+        totals.tx_errors,
         report.dns_decisions()
     );
     for (i, w) in report.workers.iter().enumerate() {
         println!(
-            "  worker {i}: answered={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1}",
-            w.stats.answered, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s
+            "  worker {i}: answered={} tx_errors={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1}",
+            w.stats.answered, w.stats.tx_errors, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s
         );
     }
 }

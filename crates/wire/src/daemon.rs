@@ -3,10 +3,8 @@
 //!
 //! # Threading model: share-nothing scheduler shards
 //!
-//! N worker threads share one bound [`UdpSocket`] (each holds a
-//! `try_clone`d handle; the kernel wakes exactly one blocked reader per
-//! datagram). Each worker owns a full [`AuthoritativeServer`] **shard** —
-//! its own `DnsScheduler`, RNG stream, and backlog snapshot — so the
+//! N worker threads, each owning a full [`AuthoritativeServer`] **shard**
+//! — its own `DnsScheduler`, RNG stream, and backlog snapshot — so the
 //! per-query path takes no lock and touches no shared cache line. The
 //! alternative (one scheduler behind a sharded mutex) would keep the RR
 //! pointers globally exact, but serializes every decision; with
@@ -18,12 +16,35 @@
 //! documented trade: exactness of the aggregate rotation within one TTL
 //! window is sacrificed for linear scalability.
 //!
+//! # I/O model: batched reuseport sockets, with a single-datagram fallback
+//!
+//! How datagrams reach the shards is selected by [`DaemonConfig::io_mode`]:
+//!
+//! * [`IoMode::Batched`] (default on Linux) — every worker binds its
+//!   **own** `SO_REUSEPORT` socket to the same address, so the kernel
+//!   shards inbound queries across workers by flow hash with no shared
+//!   socket contention; each loop iteration drains up to
+//!   [`DaemonConfig::batch`] datagrams with one `recvmmsg`, serves each
+//!   through the same fast path, and flushes every response with one
+//!   `sendmmsg` (see [`crate::mmsg`]). Two syscalls per *batch* instead of
+//!   two per query. If reuseport setup fails (or the target is not
+//!   Linux), spawning transparently degrades to `Single`; the effective
+//!   mode is reported by [`DaemonHandle::io_mode`].
+//! * [`IoMode::Single`] — the classic path: workers share one bound
+//!   [`UdpSocket`] (each holds a `try_clone`d handle; the kernel wakes
+//!   exactly one blocked reader per datagram) and pay one `recv_from` +
+//!   one `send_to` per query. Kept selectable on Linux for debugging and
+//!   for the differential test that pins both modes byte-identical.
+//!
 //! # Buffer discipline
 //!
-//! Each worker reuses one rx buffer and one tx `Vec<u8>` for its whole
-//! life; the steady-state loop (receive → fast-path handle → send) is
-//! allocation-free once the tx buffer has grown to the answer size (see
-//! `tests/alloc_free_wire.rs` for the pinned half of that claim).
+//! Each worker reuses its buffers for its whole life: one rx buffer and
+//! one tx `Vec<u8>` in `Single` mode, the preallocated
+//! [`RecvBatch`](crate::mmsg::RecvBatch)/[`SendBatch`](crate::mmsg::SendBatch)
+//! arenas in `Batched` mode. Either steady-state loop (receive →
+//! fast-path handle → send) is allocation-free once the tx buffers have
+//! grown to the answer size (see `tests/alloc_free_wire.rs` for the
+//! pinned half of that claim).
 //!
 //! # Control protocol and shutdown
 //!
@@ -49,10 +70,56 @@ use std::time::{Duration, Instant};
 
 use geodns_core::{ObsCounters, ObsSnapshot};
 
+use crate::mmsg;
 use crate::AuthoritativeServer;
 
 /// Prefix of a control datagram (with the trailing space separator).
 pub const CTL_MAGIC: &[u8] = b"GDNSCTL1 ";
+
+/// How worker threads move datagrams (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Per-worker `SO_REUSEPORT` sockets drained with `recvmmsg` and
+    /// flushed with `sendmmsg` — two syscalls per batch. Linux-only;
+    /// spawning falls back to [`Single`](Self::Single) elsewhere or when
+    /// reuseport setup fails.
+    Batched,
+    /// One shared socket, one `recv_from` + one `send_to` per query.
+    Single,
+}
+
+impl Default for IoMode {
+    /// [`Batched`](Self::Batched) on Linux, [`Single`](Self::Single)
+    /// elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoMode::Batched
+        } else {
+            IoMode::Single
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Batched => "batched",
+            IoMode::Single => "single",
+        })
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "batched" => Ok(IoMode::Batched),
+            "single" => Ok(IoMode::Single),
+            other => Err(format!("unknown io mode {other:?} (expected batched|single)")),
+        }
+    }
+}
 
 /// Daemon-level settings (the site/scheduler configuration lives in the
 /// per-worker [`AuthoritativeServer`] shards passed to [`Daemon::spawn`]).
@@ -63,18 +130,34 @@ pub struct DaemonConfig {
     pub bind: SocketAddr,
     /// Socket read timeout — the upper bound on how long a worker can go
     /// without re-checking the shutdown flag. Also the shutdown latency
-    /// floor for idle workers.
+    /// floor for idle workers. Applies to both io modes (`recvmmsg`
+    /// honours `SO_RCVTIMEO` for its initial blocking wait).
     pub read_timeout: Duration,
-    /// Receive buffer size per worker; datagrams longer than this are
-    /// truncated by the kernel (512 covers every query we answer).
+    /// Receive buffer size per worker rx slot; datagrams longer than this
+    /// are truncated by the kernel (512 covers every query we answer).
     pub max_datagram: usize,
+    /// Requested I/O mode; the effective mode (after any fallback) is
+    /// [`DaemonHandle::io_mode`].
+    pub io_mode: IoMode,
+    /// Datagrams per `recvmmsg`/`sendmmsg` batch in [`IoMode::Batched`]
+    /// (clamped to `1..=`[`mmsg::MAX_BATCH`]). 32 is the measured knee:
+    /// syscall cost is already amortized ~30× while the arena stays
+    /// cache-resident (EXPERIMENTS.md X15). Ignored in `Single` mode.
+    pub batch: usize,
 }
 
 impl DaemonConfig {
-    /// Sensible defaults for `bind`: 20 ms shutdown poll, 512-byte rx.
+    /// Sensible defaults for `bind`: 20 ms shutdown poll, 512-byte rx,
+    /// the target's default [`IoMode`], batch 32.
     #[must_use]
     pub fn new(bind: SocketAddr) -> Self {
-        DaemonConfig { bind, read_timeout: Duration::from_millis(20), max_datagram: 512 }
+        DaemonConfig {
+            bind,
+            read_timeout: Duration::from_millis(20),
+            max_datagram: 512,
+            io_mode: IoMode::default(),
+            batch: 32,
+        }
     }
 }
 
@@ -99,8 +182,10 @@ pub struct WorkerStats {
     pub ctl: u64,
     /// Datagrams too mangled to answer (no extractable transaction id).
     pub dropped: u64,
-    /// Responses the kernel refused to send.
-    pub send_errors: u64,
+    /// Transmissions the kernel refused: DNS responses (either io mode)
+    /// *and* control acks — the shutdown/backlogs ack path used to
+    /// discard its `send_to` result, silently under-reporting.
+    pub tx_errors: u64,
     /// Receive errors other than the poll timeout.
     pub recv_errors: u64,
 }
@@ -111,7 +196,7 @@ impl WorkerStats {
         self.answered += other.answered;
         self.ctl += other.ctl;
         self.dropped += other.dropped;
-        self.send_errors += other.send_errors;
+        self.tx_errors += other.tx_errors;
         self.recv_errors += other.recv_errors;
     }
 }
@@ -164,7 +249,10 @@ impl Daemon {
     /// # Errors
     ///
     /// Returns a message if there are no shards, the shards disagree on
-    /// the server count, or any socket operation fails.
+    /// the server count, or any socket operation fails. A failure to set
+    /// up `SO_REUSEPORT` sockets is **not** an error: the daemon degrades
+    /// to [`IoMode::Single`] on one shared socket (check
+    /// [`DaemonHandle::io_mode`] for the effective mode).
     pub fn spawn(
         cfg: &DaemonConfig,
         shards: Vec<AuthoritativeServer>,
@@ -179,11 +267,34 @@ impl Daemon {
                 shards[bad].num_servers()
             ));
         }
-        let socket = UdpSocket::bind(cfg.bind).map_err(|e| format!("bind {}: {e}", cfg.bind))?;
-        socket
-            .set_read_timeout(Some(cfg.read_timeout))
-            .map_err(|e| format!("set_read_timeout: {e}"))?;
-        let local_addr = socket.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+
+        // One socket per worker. Batched mode tries per-worker reuseport
+        // sockets (the first bind resolves port 0; the rest bind the same
+        // concrete address); any reuseport failure degrades to Single on
+        // one shared socket, so `Batched` is always safe to request.
+        let mut io_mode = cfg.io_mode;
+        let mut sockets: Vec<UdpSocket> = Vec::with_capacity(shards.len());
+        if io_mode == IoMode::Batched {
+            match Self::bind_reuseport_set(cfg.bind, shards.len()) {
+                Ok(set) => sockets = set,
+                Err(_) => io_mode = IoMode::Single,
+            }
+        }
+        if io_mode == IoMode::Single {
+            let socket =
+                UdpSocket::bind(cfg.bind).map_err(|e| format!("bind {}: {e}", cfg.bind))?;
+            sockets.push(socket);
+            for _ in 1..shards.len() {
+                let clone = sockets[0].try_clone().map_err(|e| format!("clone socket: {e}"))?;
+                sockets.push(clone);
+            }
+        }
+        for socket in &sockets {
+            socket
+                .set_read_timeout(Some(cfg.read_timeout))
+                .map_err(|e| format!("set_read_timeout: {e}"))?;
+        }
+        let local_addr = sockets[0].local_addr().map_err(|e| format!("local_addr: {e}"))?;
 
         let control = Arc::new(Control {
             shutdown: AtomicBool::new(false),
@@ -193,23 +304,43 @@ impl Daemon {
         let start = Instant::now();
 
         let mut workers = Vec::with_capacity(shards.len());
-        for (index, shard) in shards.into_iter().enumerate() {
-            let socket = socket.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+        for ((index, shard), socket) in shards.into_iter().enumerate().zip(sockets) {
             let control = Arc::clone(&control);
             let max_datagram = cfg.max_datagram;
+            let batch = cfg.batch;
             let handle = std::thread::Builder::new()
                 .name(format!("geodnsd-worker-{index}"))
-                .spawn(move || worker_loop(socket, shard, &control, start, max_datagram))
+                .spawn(move || match io_mode {
+                    IoMode::Batched => {
+                        worker_loop_batched(&socket, shard, &control, start, max_datagram, batch)
+                    }
+                    IoMode::Single => {
+                        worker_loop_single(&socket, shard, &control, start, max_datagram)
+                    }
+                })
                 .map_err(|e| format!("spawn worker {index}: {e}"))?;
             workers.push(handle);
         }
-        Ok(DaemonHandle { local_addr, control, workers })
+        Ok(DaemonHandle { local_addr, io_mode, control, workers })
+    }
+
+    /// Binds `count` `SO_REUSEPORT` sockets to the same address (the
+    /// first resolves a port-0 bind; the rest reuse the concrete port).
+    fn bind_reuseport_set(bind: SocketAddr, count: usize) -> std::io::Result<Vec<UdpSocket>> {
+        let first = mmsg::bind_reuseport(bind)?;
+        let concrete = first.local_addr()?;
+        let mut sockets = vec![first];
+        for _ in 1..count {
+            sockets.push(mmsg::bind_reuseport(concrete)?);
+        }
+        Ok(sockets)
     }
 }
 
 /// A running daemon: the handle to query, stop, and reap it.
 pub struct DaemonHandle {
     local_addr: SocketAddr,
+    io_mode: IoMode,
     control: Arc<Control>,
     workers: Vec<JoinHandle<WorkerReport>>,
 }
@@ -219,6 +350,14 @@ impl DaemonHandle {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The **effective** I/O mode: what was requested, unless reuseport
+    /// setup failed (or the target is not Linux) and the daemon fell back
+    /// to [`IoMode::Single`].
+    #[must_use]
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
     }
 
     /// Whether shutdown has been requested (by this handle or a ctl
@@ -258,9 +397,36 @@ impl DaemonHandle {
     }
 }
 
-/// One worker's life: receive, dispatch, repeat until shutdown.
-fn worker_loop(
-    socket: UdpSocket,
+/// Copies a fresh backlog snapshot into the shard when the epoch moved
+/// (one relaxed-ish atomic load per loop iteration; the lock is only
+/// taken on an actual change).
+fn sync_backlogs(
+    shard: &mut AuthoritativeServer,
+    control: &Control,
+    local: &mut [f64],
+    seen_epoch: &mut u64,
+) {
+    let epoch = control.backlog_epoch.load(Ordering::Acquire);
+    if epoch != *seen_epoch {
+        local.copy_from_slice(&control.backlogs.lock().expect("backlog lock poisoned"));
+        shard.set_backlogs(local);
+        *seen_epoch = epoch;
+    }
+}
+
+/// The scheduler's view of a peer: v4 octets (v6 peers fall to the
+/// fallback domain — the prefix table is v4).
+fn src_octets(peer: SocketAddr) -> [u8; 4] {
+    match peer.ip() {
+        IpAddr::V4(v4) => v4.octets(),
+        IpAddr::V6(_) => [0, 0, 0, 0],
+    }
+}
+
+/// One worker's life in [`IoMode::Single`]: receive one datagram,
+/// dispatch, send, repeat until shutdown.
+fn worker_loop_single(
+    socket: &UdpSocket,
     mut shard: AuthoritativeServer,
     control: &Control,
     start: Instant,
@@ -277,13 +443,7 @@ fn worker_loop(
         if control.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        let epoch = control.backlog_epoch.load(Ordering::Acquire);
-        if epoch != seen_epoch {
-            local_backlogs
-                .copy_from_slice(&control.backlogs.lock().expect("backlog lock poisoned"));
-            shard.set_backlogs(&local_backlogs);
-            seen_epoch = epoch;
-        }
+        sync_backlogs(&mut shard, control, &mut local_backlogs, &mut seen_epoch);
         let (len, peer) = match socket.recv_from(&mut rx) {
             Ok(x) => x,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
@@ -297,22 +457,19 @@ fn worker_loop(
 
         if datagram.starts_with(CTL_MAGIC) {
             stats.ctl += 1;
-            handle_ctl(&socket, &datagram[CTL_MAGIC.len()..], peer, control);
+            if !handle_ctl(socket, &datagram[CTL_MAGIC.len()..], peer, control) {
+                stats.tx_errors += 1;
+            }
             continue;
         }
 
-        let src = match peer.ip() {
-            IpAddr::V4(v4) => v4.octets(),
-            // V6 peers fall to the fallback domain: the prefix table is v4.
-            IpAddr::V6(_) => [0, 0, 0, 0],
-        };
         let now_s = start.elapsed().as_secs_f64();
-        match shard.handle_into_probed(datagram, src, now_s, &mut tx, &mut counters) {
+        match shard.handle_into_probed(datagram, src_octets(peer), now_s, &mut tx, &mut counters) {
             Ok(()) => {
                 if socket.send_to(&tx, peer).is_ok() {
                     stats.answered += 1;
                 } else {
-                    stats.send_errors += 1;
+                    stats.tx_errors += 1;
                 }
             }
             Err(_) => stats.dropped += 1,
@@ -321,18 +478,89 @@ fn worker_loop(
     WorkerReport { stats, obs: counters.snapshot(0, 0) }
 }
 
+/// One worker's life in [`IoMode::Batched`]: drain a batch with one
+/// `recvmmsg`, serve every datagram through the same fast path, flush all
+/// responses with one `sendmmsg`, repeat until shutdown.
+///
+/// Control datagrams are handled inline, ahead of the batch flush, on the
+/// plain `send_to` path: they are rare, and a shutdown ack must not wait
+/// behind the data plane. The shutdown flag is still polled once per
+/// batch, bounded by the read timeout when idle — identical shutdown
+/// semantics to the single-datagram loop.
+fn worker_loop_batched(
+    socket: &UdpSocket,
+    mut shard: AuthoritativeServer,
+    control: &Control,
+    start: Instant,
+    max_datagram: usize,
+    batch: usize,
+) -> WorkerReport {
+    let mut rx = mmsg::RecvBatch::new(batch, max_datagram);
+    let mut tx = mmsg::SendBatch::new(batch, max_datagram);
+    let mut local_backlogs = vec![0.0; shard.num_servers()];
+    let mut seen_epoch = 0u64;
+    let mut counters = ObsCounters::new();
+    let mut stats = WorkerStats::default();
+
+    loop {
+        if control.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        sync_backlogs(&mut shard, control, &mut local_backlogs, &mut seen_epoch);
+        let n = match mmsg::recv_batch(socket, &mut rx) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => {
+                stats.recv_errors += 1;
+                continue;
+            }
+        };
+        stats.received += n as u64;
+        // One timestamp per batch: the whole burst was on the wire
+        // together, and amortizing the clock read is part of the point.
+        let now_s = start.elapsed().as_secs_f64();
+        for i in 0..n {
+            let (datagram, peer) = rx.datagram(i);
+            if datagram.starts_with(CTL_MAGIC) {
+                stats.ctl += 1;
+                if !handle_ctl(socket, &datagram[CTL_MAGIC.len()..], peer, control) {
+                    stats.tx_errors += 1;
+                }
+                continue;
+            }
+            match shard.handle_into_probed(
+                datagram,
+                src_octets(peer),
+                now_s,
+                tx.buffer(),
+                &mut counters,
+            ) {
+                Ok(()) => tx.commit(peer),
+                Err(_) => stats.dropped += 1,
+            }
+        }
+        let outcome = mmsg::send_batch(socket, &mut tx);
+        stats.answered += outcome.sent;
+        stats.tx_errors += outcome.errors;
+    }
+    WorkerReport { stats, obs: counters.snapshot(0, 0) }
+}
+
 /// Processes one control payload (already stripped of [`CTL_MAGIC`]).
 /// Non-loopback senders are ignored outright — no parse, no ack.
-fn handle_ctl(socket: &UdpSocket, payload: &[u8], peer: SocketAddr, control: &Control) {
+///
+/// Returns `false` only when an ack was owed and the kernel refused to
+/// send it, so callers can count it as a tx error (the ack itself stays
+/// best-effort: the sender may have already gone away).
+fn handle_ctl(socket: &UdpSocket, payload: &[u8], peer: SocketAddr, control: &Control) -> bool {
     if !peer.ip().is_loopback() {
-        return;
+        return true;
     }
     let reply: &[u8] = match ctl_command(payload, control) {
         Ok(()) => b"GDNSCTL1 ok",
         Err(()) => b"GDNSCTL1 err",
     };
-    // Best-effort ack; the sender may have already gone away.
-    let _ = socket.send_to(reply, peer);
+    socket.send_to(reply, peer).is_ok()
 }
 
 /// Parses and applies one ctl command; `Err` means "unrecognized or
@@ -367,10 +595,15 @@ mod tests {
     use super::*;
     use crate::{Message, Question, Rcode};
 
-    fn loopback_daemon(workers: usize) -> DaemonHandle {
+    fn loopback_daemon_mode(workers: usize, io_mode: IoMode) -> DaemonHandle {
         let shards = (0..workers).map(|_| AuthoritativeServer::example()).collect();
-        let cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        let mut cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        cfg.io_mode = io_mode;
         Daemon::spawn(&cfg, shards).expect("daemon spawns")
+    }
+
+    fn loopback_daemon(workers: usize) -> DaemonHandle {
+        loopback_daemon_mode(workers, IoMode::default())
     }
 
     fn client() -> UdpSocket {
@@ -381,39 +614,103 @@ mod tests {
 
     #[test]
     fn answers_real_udp_queries() {
-        let daemon = loopback_daemon(2);
-        let client = client();
-        let mut buf = [0u8; 512];
-        for id in 0..20u16 {
-            let q = Message::query(id, Question::a("www.example.org"));
-            client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send");
-            let (n, _) = client.recv_from(&mut buf).expect("a response arrives");
-            let resp = Message::parse(&buf[..n]).expect("well-formed response");
-            assert_eq!(resp.header.id, id);
-            assert_eq!(resp.header.rcode, Rcode::NoError);
-            assert_eq!(resp.answers.len(), 1);
-            assert!(resp.answers[0].ttl >= 1);
+        // Both io modes answer identically-shaped traffic; `Batched`
+        // additionally exercises the reuseport + mmsg path on Linux (and
+        // the documented fallback to `Single` elsewhere).
+        for io_mode in [IoMode::Batched, IoMode::Single] {
+            let daemon = loopback_daemon_mode(2, io_mode);
+            let client = client();
+            let mut buf = [0u8; 512];
+            for id in 0..20u16 {
+                let q = Message::query(id, Question::a("www.example.org"));
+                client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send");
+                let (n, _) = client.recv_from(&mut buf).expect("a response arrives");
+                let resp = Message::parse(&buf[..n]).expect("well-formed response");
+                assert_eq!(resp.header.id, id);
+                assert_eq!(resp.header.rcode, Rcode::NoError);
+                assert_eq!(resp.answers.len(), 1);
+                assert!(resp.answers[0].ttl >= 1);
+            }
+            let report = daemon.shutdown();
+            let totals = report.totals();
+            assert_eq!(totals.answered, 20, "{io_mode} mode");
+            assert_eq!(report.dns_decisions(), 20, "{io_mode} mode");
+            assert_eq!(totals.dropped, 0, "{io_mode} mode");
+            assert_eq!(totals.tx_errors, 0, "{io_mode} mode");
         }
-        let report = daemon.shutdown();
-        let totals = report.totals();
-        assert_eq!(totals.answered, 20);
-        assert_eq!(report.dns_decisions(), 20);
-        assert_eq!(totals.dropped, 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn batched_mode_is_effective_on_linux() {
+        let daemon = loopback_daemon_mode(2, IoMode::Batched);
+        assert_eq!(daemon.io_mode(), IoMode::Batched, "no fallback expected on Linux");
+        drop(daemon.shutdown());
+        let daemon = loopback_daemon_mode(2, IoMode::Single);
+        assert_eq!(daemon.io_mode(), IoMode::Single);
+        drop(daemon.shutdown());
     }
 
     #[test]
     fn ctl_shutdown_drains_all_workers() {
-        let daemon = loopback_daemon(3);
-        let client = client();
-        client.send_to(b"GDNSCTL1 shutdown", daemon.local_addr()).expect("send ctl");
-        let mut buf = [0u8; 64];
-        let (n, _) = client.recv_from(&mut buf).expect("ack");
-        assert_eq!(&buf[..n], b"GDNSCTL1 ok");
-        // The flag is set; joining must complete promptly (read timeout).
-        assert!(daemon.shutdown_requested());
-        let report = daemon.shutdown();
-        assert_eq!(report.workers.len(), 3);
-        assert_eq!(report.totals().ctl, 1);
+        for io_mode in [IoMode::Batched, IoMode::Single] {
+            let daemon = loopback_daemon_mode(3, io_mode);
+            let client = client();
+            client.send_to(b"GDNSCTL1 shutdown", daemon.local_addr()).expect("send ctl");
+            let mut buf = [0u8; 64];
+            let (n, _) = client.recv_from(&mut buf).expect("ack");
+            assert_eq!(&buf[..n], b"GDNSCTL1 ok");
+            // The flag is set; joining must complete promptly (read timeout).
+            assert!(daemon.shutdown_requested());
+            let report = daemon.shutdown();
+            assert_eq!(report.workers.len(), 3, "{io_mode} mode");
+            assert_eq!(report.totals().ctl, 1, "{io_mode} mode");
+            assert_eq!(report.totals().tx_errors, 0, "{io_mode} mode: the ack went out");
+        }
+    }
+
+    #[test]
+    fn worker_stats_aggregation_includes_tx_errors() {
+        // `tx_errors` must survive both aggregation layers: WorkerStats
+        // addition and the DaemonReport totals over per-worker reports
+        // (the old `send_errors` was counted per worker but the ctl-ack
+        // path silently discarded its failures before reaching either).
+        let a = WorkerStats {
+            received: 5,
+            answered: 3,
+            ctl: 1,
+            dropped: 1,
+            tx_errors: 2,
+            recv_errors: 1,
+        };
+        let b = WorkerStats {
+            received: 7,
+            answered: 6,
+            ctl: 0,
+            dropped: 0,
+            tx_errors: 3,
+            recv_errors: 0,
+        };
+        let obs = || ObsCounters::new().snapshot(0, 0);
+        let report = DaemonReport {
+            workers: vec![
+                WorkerReport { stats: a, obs: obs() },
+                WorkerReport { stats: b, obs: obs() },
+            ],
+        };
+        let totals = report.totals();
+        assert_eq!(totals.tx_errors, 5, "tx errors sum across workers");
+        assert_eq!(
+            totals,
+            WorkerStats {
+                received: 12,
+                answered: 9,
+                ctl: 1,
+                dropped: 1,
+                tx_errors: 5,
+                recv_errors: 1
+            }
+        );
     }
 
     #[test]

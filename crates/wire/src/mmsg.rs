@@ -1,0 +1,705 @@
+//! Batched UDP I/O: `SO_REUSEPORT` sockets and `recvmmsg`/`sendmmsg`.
+//!
+//! At ~100k answers/s the daemon's dominant cost is no longer the DNS
+//! decision (allocation-free since the fast path landed) but the two
+//! syscalls per query on one contended shared socket. This module removes
+//! both overheads on Linux:
+//!
+//! * [`bind_reuseport`] creates a UDP socket with `SO_REUSEPORT` set
+//!   *before* bind, so N workers can each bind their **own** socket to the
+//!   same address and the kernel shards inbound datagrams across them by
+//!   flow hash — no user-space contention, no shared wake queue;
+//! * [`recv_batch`] / [`send_batch`] wrap `recvmmsg(2)` / `sendmmsg(2)`
+//!   over caller-owned [`RecvBatch`] / [`SendBatch`] arenas (`mmsghdr` +
+//!   `iovec` + datagram buffers, all preallocated), amortizing one syscall
+//!   over up to a whole batch of datagrams with **zero steady-state
+//!   allocations** (pinned by `tests/alloc_free_wire.rs`).
+//!
+//! The receive side uses `MSG_WAITFORONE`: the call blocks (bounded by the
+//! socket's `SO_RCVTIMEO` read timeout, so shutdown-flag polling keeps
+//! working) until at least one datagram arrives, then drains whatever else
+//! is already queued without blocking again — exactly the right shape for
+//! bursty cache-miss-driven DNS arrivals.
+//!
+//! # Portability
+//!
+//! Everything here is also compiled on non-Linux targets with the same
+//! signatures, degrading to the classic one-datagram-per-syscall
+//! `recv_from`/`send_to` path: [`bind_reuseport`] reports
+//! [`std::io::ErrorKind::Unsupported`] (callers fall back to a shared
+//! socket), [`recv_batch`] receives exactly one datagram per call and
+//! [`send_batch`] loops over `send_to`. The daemon additionally exposes an
+//! `IoMode` knob so the single-datagram path stays selectable on Linux for
+//! debugging and differential testing.
+//!
+//! The syscall declarations are hand-written `extern "C"` items (this
+//! workspace vendors no libc crate); layouts match the Linux 64-bit ABI
+//! (`struct iovec`, `struct msghdr` with `size_t` iov/control lengths,
+//! `struct mmsghdr`) used by every 64-bit Linux architecture.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Hard upper bound on datagrams per batch (a sanity cap on arena sizing;
+/// the sweet spot measured in EXPERIMENTS.md X15 is far lower).
+pub const MAX_BATCH: usize = 1024;
+
+fn clamp_batch(batch: usize) -> usize {
+    batch.clamp(1, MAX_BATCH)
+}
+
+/// What one [`send_batch`] call accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// Datagrams handed to the kernel.
+    pub sent: u64,
+    /// Datagrams the kernel refused (counted per datagram, like a failed
+    /// `send_to`; the rest of the batch is still attempted).
+    pub errors: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Linux: real recvmmsg/sendmmsg over preallocated arenas
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::ffi::c_void;
+    use std::io;
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+    use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+
+    pub const AF_INET: u16 = 2;
+    pub const AF_INET6: u16 = 10;
+    const SOCK_DGRAM: i32 = 2;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEPORT: i32 = 15;
+    const MSG_WAITFORONE: i32 = 0x10000;
+    const EINTR: i32 = 4;
+
+    /// `struct iovec` — one scatter/gather segment.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub base: *mut c_void,
+        pub len: usize,
+    }
+
+    /// `struct msghdr` (Linux 64-bit ABI: `size_t` iov/control lengths;
+    /// the 4 padding bytes after `namelen` are inserted by `repr(C)`
+    /// exactly as a C compiler would).
+    #[repr(C)]
+    pub struct MsgHdr {
+        pub name: *mut c_void,
+        pub namelen: u32,
+        pub iov: *mut IoVec,
+        pub iovlen: usize,
+        pub control: *mut c_void,
+        pub controllen: usize,
+        pub flags: i32,
+    }
+
+    /// `struct mmsghdr` — a message plus the kernel's received/sent byte
+    /// count for it.
+    #[repr(C)]
+    pub struct MMsgHdr {
+        pub hdr: MsgHdr,
+        pub len: u32,
+    }
+
+    /// `struct sockaddr_in` / `sockaddr_in6`, overlaid: big enough for
+    /// either family, discriminated by the leading `family` field.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SockAddrStorage {
+        pub family: u16,
+        pub port_be: u16,
+        /// v4: `sin_addr` + `sin_zero`. v6: `sin6_flowinfo` + `sin6_addr`.
+        pub data: [u8; 24],
+        /// v6 `sin6_scope_id` (beyond the v4 struct's extent).
+        pub scope_id: u32,
+    }
+
+    pub const ADDR_LEN: u32 = std::mem::size_of::<SockAddrStorage>() as u32;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrStorage, len: u32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const c_void, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn recvmmsg(
+            fd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut c_void,
+        ) -> i32;
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+    }
+
+    pub fn encode(addr: SocketAddr, out: &mut SockAddrStorage) -> u32 {
+        *out = SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 };
+        match addr {
+            SocketAddr::V4(v4) => {
+                out.family = AF_INET;
+                out.port_be = v4.port().to_be();
+                out.data[..4].copy_from_slice(&v4.ip().octets());
+                16 // sizeof(struct sockaddr_in)
+            }
+            SocketAddr::V6(v6) => {
+                out.family = AF_INET6;
+                out.port_be = v6.port().to_be();
+                out.data[..4].copy_from_slice(&v6.flowinfo().to_be_bytes());
+                out.data[4..20].copy_from_slice(&v6.ip().octets());
+                out.scope_id = v6.scope_id();
+                28 // sizeof(struct sockaddr_in6)
+            }
+        }
+    }
+
+    pub fn decode(addr: &SockAddrStorage) -> SocketAddr {
+        let port = u16::from_be(addr.port_be);
+        if addr.family == AF_INET6 {
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(&addr.data[4..20]);
+            let flowinfo =
+                u32::from_be_bytes([addr.data[0], addr.data[1], addr.data[2], addr.data[3]]);
+            SocketAddr::V6(std::net::SocketAddrV6::new(
+                Ipv6Addr::from(octets),
+                port,
+                flowinfo,
+                addr.scope_id,
+            ))
+        } else {
+            // Unknown families decode as the unspecified v4 peer rather
+            // than panicking in the hot loop; the daemon treats it as an
+            // unmapped source.
+            let ip = Ipv4Addr::new(addr.data[0], addr.data[1], addr.data[2], addr.data[3]);
+            SocketAddr::new(IpAddr::V4(ip), port)
+        }
+    }
+
+    /// `socket() + setsockopt(SO_REUSEPORT) + bind()`, then handed to std.
+    /// The option must be set *before* bind — which is why this cannot be
+    /// built from `UdpSocket::bind` — and every socket sharing the
+    /// address must set it, first included.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<std::net::UdpSocket> {
+        let domain = match addr {
+            SocketAddr::V4(_) => i32::from(AF_INET),
+            SocketAddr::V6(_) => i32::from(AF_INET6),
+        };
+        // SAFETY: plain syscall; the returned fd is owned below.
+        let fd = unsafe { socket(domain, SOCK_DGRAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let guard = FdGuard(fd);
+        let one: i32 = 1;
+        // SAFETY: `one` outlives the call; length matches the value.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEPORT,
+                std::ptr::addr_of!(one).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut storage = SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 };
+        let len = encode(addr, &mut storage);
+        // SAFETY: `storage` is a valid sockaddr of `len` bytes.
+        let rc = unsafe { bind(fd, std::ptr::addr_of!(storage), len) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        std::mem::forget(guard);
+        // SAFETY: `fd` is a freshly bound UDP socket we exclusively own.
+        Ok(unsafe { std::net::UdpSocket::from_raw_fd(fd) })
+    }
+
+    /// Closes the fd on early-error paths of [`bind_reuseport`].
+    struct FdGuard(RawFd);
+
+    impl Drop for FdGuard {
+        fn drop(&mut self) {
+            // SAFETY: the guard exclusively owns the fd until forgotten.
+            unsafe { close(self.0) };
+        }
+    }
+
+    /// One `recvmmsg` call: blocks for the first datagram (bounded by the
+    /// socket's read timeout), then drains without blocking
+    /// (`MSG_WAITFORONE`). Returns the datagram count.
+    pub fn recvmmsg_once(socket: &std::net::UdpSocket, hdrs: &mut [MMsgHdr]) -> io::Result<usize> {
+        loop {
+            let n = {
+                // SAFETY: every header points into arenas that outlive the
+                // call (see `RecvBatch::new`), and `hdrs.len()` bounds vlen.
+                unsafe {
+                    recvmmsg(
+                        socket.as_raw_fd(),
+                        hdrs.as_mut_ptr(),
+                        hdrs.len() as u32,
+                        MSG_WAITFORONE,
+                        std::ptr::null_mut(),
+                    )
+                }
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    /// Sends `hdrs[off..]`, retrying partial sends and skipping (counting)
+    /// per-datagram failures, so every staged datagram is attempted once.
+    pub fn sendmmsg_all(socket: &std::net::UdpSocket, hdrs: &mut [MMsgHdr]) -> super::SendOutcome {
+        let mut outcome = super::SendOutcome::default();
+        let mut off = 0usize;
+        while off < hdrs.len() {
+            let n = {
+                let rest = &mut hdrs[off..];
+                // SAFETY: same arena-lifetime argument as `recvmmsg_once`.
+                unsafe { sendmmsg(socket.as_raw_fd(), rest.as_mut_ptr(), rest.len() as u32, 0) }
+            };
+            if n > 0 {
+                outcome.sent += n as u64;
+                off += n as usize;
+            } else {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                // The error belongs to hdrs[off]: count it, skip it, and
+                // keep trying the rest (matching per-`send_to` semantics).
+                outcome.errors += 1;
+                off += 1;
+            }
+        }
+        outcome
+    }
+}
+
+/// Preallocated receive arena: `batch` slots of `max_datagram` bytes plus
+/// the `mmsghdr`/`iovec`/sockaddr arrays one `recvmmsg` call fills.
+///
+/// Construct once per worker; [`recv_batch`] reuses it forever with zero
+/// allocations.
+pub struct RecvBatch {
+    bufs: Box<[u8]>,
+    max_datagram: usize,
+    lens: Box<[usize]>,
+    peers: Box<[SocketAddr]>,
+    count: usize,
+    #[cfg(target_os = "linux")]
+    addrs: Box<[sys::SockAddrStorage]>,
+    /// Never read from Rust after construction — `hdrs` points into it
+    /// and the kernel reads it on every `recvmmsg`; it must stay alive
+    /// (and unmoved) as long as the headers do.
+    #[cfg(target_os = "linux")]
+    #[allow(dead_code)]
+    iovs: Box<[sys::IoVec]>,
+    #[cfg(target_os = "linux")]
+    hdrs: Box<[sys::MMsgHdr]>,
+}
+
+impl RecvBatch {
+    /// Creates an arena for up to `batch` datagrams of `max_datagram`
+    /// bytes (`batch` is clamped to `1..=`[`MAX_BATCH`]).
+    #[must_use]
+    pub fn new(batch: usize, max_datagram: usize) -> Self {
+        let batch = clamp_batch(batch);
+        let max_datagram = max_datagram.max(1);
+        let mut bufs = vec![0u8; batch * max_datagram].into_boxed_slice();
+        let lens = vec![0usize; batch].into_boxed_slice();
+        let unspecified: SocketAddr = "0.0.0.0:0".parse().expect("valid addr");
+        let peers = vec![unspecified; batch].into_boxed_slice();
+        #[cfg(target_os = "linux")]
+        {
+            let mut addrs =
+                vec![
+                    sys::SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 };
+                    batch
+                ]
+                .into_boxed_slice();
+            let mut iovs =
+                vec![sys::IoVec { base: std::ptr::null_mut(), len: 0 }; batch].into_boxed_slice();
+            for (i, iov) in iovs.iter_mut().enumerate() {
+                iov.base = bufs[i * max_datagram..].as_mut_ptr().cast();
+                iov.len = max_datagram;
+            }
+            let hdrs = (0..batch)
+                .map(|i| sys::MMsgHdr {
+                    hdr: sys::MsgHdr {
+                        name: std::ptr::addr_of_mut!(addrs[i]).cast(),
+                        namelen: sys::ADDR_LEN,
+                        iov: std::ptr::addr_of_mut!(iovs[i]),
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            RecvBatch { bufs, max_datagram, lens, peers, count: 0, addrs, iovs, hdrs }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            RecvBatch { bufs, max_datagram, lens, peers, count: 0 }
+        }
+    }
+
+    /// Arena capacity in datagrams.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Datagrams received by the last [`recv_batch`] call.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the last [`recv_batch`] call received nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th received datagram and its sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
+        assert!(i < self.count, "datagram {i} out of {} received", self.count);
+        let start = i * self.max_datagram;
+        (&self.bufs[start..start + self.lens[i]], self.peers[i])
+    }
+}
+
+/// Receives a batch of datagrams into `batch`, returning how many arrived.
+///
+/// Linux: one `recvmmsg` call — blocks for the first datagram (bounded by
+/// the socket's read timeout), then drains what is queued. Elsewhere: one
+/// `recv_from`, so the count is always 1.
+///
+/// # Errors
+///
+/// Propagates the socket error; `WouldBlock`/`TimedOut` means the read
+/// timeout elapsed with nothing to receive ([`RecvBatch::len`] is 0).
+pub fn recv_batch(socket: &UdpSocket, batch: &mut RecvBatch) -> io::Result<usize> {
+    batch.count = 0;
+    #[cfg(target_os = "linux")]
+    {
+        for hdr in batch.hdrs.iter_mut() {
+            hdr.hdr.namelen = sys::ADDR_LEN; // the kernel shrinks it per message
+        }
+        let n = sys::recvmmsg_once(socket, &mut batch.hdrs)?;
+        for i in 0..n {
+            batch.lens[i] = (batch.hdrs[i].len as usize).min(batch.max_datagram);
+            batch.peers[i] = sys::decode(&batch.addrs[i]);
+        }
+        batch.count = n;
+        Ok(n)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let (len, peer) = socket.recv_from(&mut batch.bufs[..batch.max_datagram])?;
+        batch.lens[0] = len;
+        batch.peers[0] = peer;
+        batch.count = 1;
+        Ok(1)
+    }
+}
+
+/// Preallocated transmit arena: stage up to `batch` datagrams (each in a
+/// reusable per-slot buffer), then flush them with one [`send_batch`]
+/// call.
+///
+/// Staging protocol: write the payload into [`buffer`](Self::buffer), then
+/// [`commit`](Self::commit) it to a destination — or leave it uncommitted
+/// to drop it (the next `buffer` call hands the same slot out again).
+pub struct SendBatch {
+    slots: Vec<Vec<u8>>,
+    peers: Box<[SocketAddr]>,
+    staged: usize,
+    #[cfg(target_os = "linux")]
+    addrs: Box<[sys::SockAddrStorage]>,
+    #[cfg(target_os = "linux")]
+    iovs: Box<[sys::IoVec]>,
+    #[cfg(target_os = "linux")]
+    hdrs: Box<[sys::MMsgHdr]>,
+}
+
+impl SendBatch {
+    /// Creates an arena for up to `batch` staged datagrams, each slot
+    /// pre-sized to `max_datagram` bytes (slots grow if a payload needs
+    /// more; steady state never reallocates).
+    #[must_use]
+    pub fn new(batch: usize, max_datagram: usize) -> Self {
+        let batch = clamp_batch(batch);
+        let slots = (0..batch).map(|_| Vec::with_capacity(max_datagram)).collect();
+        let unspecified: SocketAddr = "0.0.0.0:0".parse().expect("valid addr");
+        let peers = vec![unspecified; batch].into_boxed_slice();
+        #[cfg(target_os = "linux")]
+        {
+            let mut addrs =
+                vec![
+                    sys::SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 };
+                    batch
+                ]
+                .into_boxed_slice();
+            let mut iovs =
+                vec![sys::IoVec { base: std::ptr::null_mut(), len: 0 }; batch].into_boxed_slice();
+            let hdrs = (0..batch)
+                .map(|i| sys::MMsgHdr {
+                    hdr: sys::MsgHdr {
+                        name: std::ptr::addr_of_mut!(addrs[i]).cast(),
+                        namelen: 0, // set per flush (16 for v4, 28 for v6)
+                        iov: std::ptr::addr_of_mut!(iovs[i]),
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            SendBatch { slots, peers, staged: 0, addrs, iovs, hdrs }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            SendBatch { slots, peers, staged: 0 }
+        }
+    }
+
+    /// Arena capacity in datagrams.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Datagrams staged and committed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.staged
+    }
+
+    /// Whether nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.staged == 0
+    }
+
+    /// Whether every slot is committed (flush before staging more).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.staged == self.slots.len()
+    }
+
+    /// The scratch buffer for the next datagram, cleared. Writing it does
+    /// not stage anything until [`commit`](Self::commit) is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch [`is_full`](Self::is_full).
+    pub fn buffer(&mut self) -> &mut Vec<u8> {
+        assert!(self.staged < self.slots.len(), "send batch is full — flush first");
+        let slot = &mut self.slots[self.staged];
+        slot.clear();
+        slot
+    }
+
+    /// Commits the buffer last handed out by [`buffer`](Self::buffer) as a
+    /// datagram to `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch [`is_full`](Self::is_full).
+    pub fn commit(&mut self, peer: SocketAddr) {
+        assert!(self.staged < self.slots.len(), "send batch is full — flush first");
+        self.peers[self.staged] = peer;
+        self.staged += 1;
+    }
+
+    /// Discards everything staged (flushing via [`send_batch`] does this
+    /// automatically).
+    pub fn clear(&mut self) {
+        self.staged = 0;
+    }
+}
+
+/// Flushes every staged datagram in `batch` and clears it.
+///
+/// Linux: one `sendmmsg` call (repeated only on partial sends); elsewhere
+/// a `send_to` loop. Per-datagram failures are counted in
+/// [`SendOutcome::errors`] and do not abort the rest of the batch.
+pub fn send_batch(socket: &UdpSocket, batch: &mut SendBatch) -> SendOutcome {
+    let staged = batch.staged;
+    if staged == 0 {
+        return SendOutcome::default();
+    }
+    #[cfg(target_os = "linux")]
+    let outcome = {
+        for i in 0..staged {
+            // iovec bases are re-read per flush: a slot Vec that grew has
+            // a new heap pointer.
+            batch.iovs[i].base = batch.slots[i].as_mut_ptr().cast();
+            batch.iovs[i].len = batch.slots[i].len();
+            batch.hdrs[i].hdr.namelen = sys::encode(batch.peers[i], &mut batch.addrs[i]);
+        }
+        sys::sendmmsg_all(socket, &mut batch.hdrs[..staged])
+    };
+    #[cfg(not(target_os = "linux"))]
+    let outcome = {
+        let mut outcome = SendOutcome::default();
+        for i in 0..staged {
+            match socket.send_to(&batch.slots[i], batch.peers[i]) {
+                Ok(_) => outcome.sent += 1,
+                Err(_) => outcome.errors += 1,
+            }
+        }
+        outcome
+    };
+    batch.staged = 0;
+    outcome
+}
+
+/// Binds a UDP socket with `SO_REUSEPORT` set, so several sockets (one per
+/// worker) can share `addr` and let the kernel shard inbound datagrams
+/// across them.
+///
+/// # Errors
+///
+/// Any socket-setup failure, or [`std::io::ErrorKind::Unsupported`] on
+/// non-Linux targets — callers degrade to one shared socket.
+pub fn bind_reuseport(addr: SocketAddr) -> io::Result<UdpSocket> {
+    #[cfg(target_os = "linux")]
+    {
+        sys::bind_reuseport(addr)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = addr;
+        Err(io::Error::new(io::ErrorKind::Unsupported, "SO_REUSEPORT batching is Linux-only"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        a.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        b.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let (aa, ba) = (a.local_addr().expect("addr"), b.local_addr().expect("addr"));
+        (a, b, aa, ba)
+    }
+
+    #[test]
+    fn batched_round_trip_preserves_payloads_and_peers() {
+        let (a, b, a_addr, b_addr) = pair();
+        let mut tx = SendBatch::new(8, 64);
+        for i in 0..8u8 {
+            let buf = tx.buffer();
+            buf.extend_from_slice(&[i, i, i]);
+            buf.push(i.wrapping_mul(7));
+            tx.commit(b_addr);
+        }
+        assert!(tx.is_full());
+        let outcome = send_batch(&a, &mut tx);
+        assert_eq!(outcome, SendOutcome { sent: 8, errors: 0 });
+        assert!(tx.is_empty(), "flush clears the stage");
+
+        let mut rx = RecvBatch::new(8, 64);
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            let n = recv_batch(&b, &mut rx).expect("datagrams arrive");
+            for i in 0..n {
+                let (bytes, peer) = rx.datagram(i);
+                assert_eq!(peer, a_addr, "sender address survives the batch");
+                got.push(bytes.to_vec());
+            }
+        }
+        let want: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i, i, i, i.wrapping_mul(7)]).collect();
+        assert_eq!(got, want, "payloads intact and in order");
+    }
+
+    #[test]
+    fn uncommitted_buffers_are_dropped_not_sent() {
+        let (a, b, _, b_addr) = pair();
+        let mut tx = SendBatch::new(4, 32);
+        tx.buffer().extend_from_slice(b"keep");
+        tx.commit(b_addr);
+        tx.buffer().extend_from_slice(b"drop"); // never committed
+        let outcome = send_batch(&a, &mut tx);
+        assert_eq!(outcome.sent, 1);
+        let mut rx = RecvBatch::new(4, 32);
+        recv_batch(&b, &mut rx).expect("one datagram");
+        assert_eq!(rx.datagram(0).0, b"keep");
+        // Nothing else is in flight.
+        b.set_read_timeout(Some(Duration::from_millis(50))).expect("timeout");
+        assert!(recv_batch(&b, &mut rx).is_err(), "the uncommitted slot never left");
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_as_would_block() {
+        let (_a, b, _, _) = pair();
+        b.set_read_timeout(Some(Duration::from_millis(30))).expect("timeout");
+        let mut rx = RecvBatch::new(4, 32);
+        let err = recv_batch(&b, &mut rx).expect_err("nothing was sent");
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "unexpected error kind: {err}"
+        );
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn oversize_datagrams_truncate_to_max() {
+        let (a, b, _, b_addr) = pair();
+        a.send_to(&[9u8; 100], b_addr).expect("send");
+        let mut rx = RecvBatch::new(2, 16);
+        recv_batch(&b, &mut rx).expect("datagram");
+        assert_eq!(rx.datagram(0).0, &[9u8; 16][..], "kernel-truncated to max_datagram");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_sockets_share_one_port() {
+        let first = bind_reuseport("127.0.0.1:0".parse().expect("addr")).expect("first bind");
+        let addr = first.local_addr().expect("addr");
+        let second = bind_reuseport(addr).expect("second bind on the same port");
+        assert_eq!(second.local_addr().expect("addr").port(), addr.port());
+        // A plain (non-reuseport) bind to the same port must still fail.
+        assert!(UdpSocket::bind(addr).is_err(), "plain rebind should conflict");
+    }
+
+    #[test]
+    fn batch_sizes_are_clamped() {
+        let rx = RecvBatch::new(0, 0);
+        assert_eq!(rx.capacity(), 1);
+        let tx = SendBatch::new(MAX_BATCH + 5, 8);
+        assert_eq!(tx.capacity(), MAX_BATCH);
+    }
+}

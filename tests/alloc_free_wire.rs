@@ -9,10 +9,13 @@
 //! other tests belong to `geodns-core`, which cannot depend on wire).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::UdpSocket;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use geodns_core::ObsCounters;
+use geodns_wire::mmsg::{self, RecvBatch, SendBatch};
 use geodns_wire::{AuthoritativeServer, Message, Question};
 
 /// Counts every `alloc`/`realloc` call (deallocations are free to ignore:
@@ -123,4 +126,83 @@ fn probed_wire_serving_path_is_allocation_free() {
     });
     assert_eq!(grew, 0, "{grew} allocations across 10k warm probed handle_into calls");
     assert!(counters.snapshot(0, 0).dns_decisions >= 10_000, "the counters really did record");
+}
+
+#[test]
+fn batched_socket_path_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+
+    // The batched daemon's steady state, run single-threaded over a real
+    // loopback socket pair: stage a burst into a `SendBatch`, ship it
+    // with one `send_batch`, drain it with `recv_batch`, serve each
+    // datagram into the reply arena, flush, and receive the answers.
+    // All four arenas are preallocated; once warm (first batch sizes the
+    // per-slot buffers) a full round must cost zero heap traffic.
+    let daemon_sock = UdpSocket::bind("127.0.0.1:0").expect("daemon socket");
+    let client_sock = UdpSocket::bind("127.0.0.1:0").expect("client socket");
+    daemon_sock.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+    client_sock.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+    let daemon_addr = daemon_sock.local_addr().expect("daemon addr");
+
+    let mut server = AuthoritativeServer::example();
+    let mut counters = ObsCounters::new();
+    let query = Message::query(0x6161, Question::a("www.example.org")).to_bytes();
+
+    const BATCH: usize = 16;
+    let mut query_tx = SendBatch::new(BATCH, 512);
+    let mut daemon_rx = RecvBatch::new(BATCH, 512);
+    let mut reply_tx = SendBatch::new(BATCH, 512);
+    let mut client_rx = RecvBatch::new(BATCH, 512);
+
+    let mut now = 0.0_f64;
+    let mut round = |query_tx: &mut SendBatch,
+                     daemon_rx: &mut RecvBatch,
+                     reply_tx: &mut SendBatch,
+                     client_rx: &mut RecvBatch,
+                     now: &mut f64| {
+        for _ in 0..BATCH {
+            query_tx.buffer().extend_from_slice(&query);
+            query_tx.commit(daemon_addr);
+        }
+        let out = mmsg::send_batch(&client_sock, query_tx);
+        assert_eq!(out.sent, BATCH as u64, "burst fully sent");
+        let mut served = 0;
+        while served < BATCH {
+            let n = mmsg::recv_batch(&daemon_sock, daemon_rx).expect("queries arrive");
+            for i in 0..n {
+                let (datagram, peer) = daemon_rx.datagram(i);
+                server
+                    .handle_into_probed(
+                        datagram,
+                        [10, 1, 1, 1],
+                        *now,
+                        reply_tx.buffer(),
+                        &mut counters,
+                    )
+                    .expect("well-formed query");
+                reply_tx.commit(peer);
+            }
+            let back = mmsg::send_batch(&daemon_sock, reply_tx);
+            assert_eq!(back.errors, 0, "replies fully sent");
+            served += n;
+        }
+        let mut answered = 0;
+        while answered < BATCH {
+            answered += mmsg::recv_batch(&client_sock, client_rx).expect("answers arrive");
+        }
+        *now += 0.01;
+    };
+
+    // Warm-up sizes every arena slot and settles lazy scheduler state.
+    for _ in 0..8 {
+        round(&mut query_tx, &mut daemon_rx, &mut reply_tx, &mut client_rx, &mut now);
+    }
+
+    let grew = allocations_during(|| {
+        for _ in 0..64 {
+            round(&mut query_tx, &mut daemon_rx, &mut reply_tx, &mut client_rx, &mut now);
+        }
+    });
+    assert_eq!(grew, 0, "{grew} allocations across 64 warm batched rounds (1024 datagrams)");
+    assert!(counters.snapshot(0, 0).dns_decisions >= 1024, "the batched rounds really served");
 }
