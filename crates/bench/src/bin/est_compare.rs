@@ -1,0 +1,334 @@
+//! `est_compare` — estimator-vs-oracle comparison on one workload.
+//!
+//! Runs the paper's DRR2-TTL/S_K configuration twice on the *same*
+//! workload: once with the oracle estimator (the scheduler is told the
+//! nominal per-domain rates) and once with the measured EMA estimator
+//! (the scheduler learns them from the §3 collection loop). The measured
+//! run writes a JSONL decision trace (the PR 3 `Probe` machinery) whose
+//! `collect` records are then replayed through a *fresh cold-start*
+//! estimator — exactly the uniform-belief bootstrap `geodnsd` performs
+//! live — to measure how many collection rounds the estimate needs to
+//! converge on the true hidden-load shares.
+//!
+//! ```sh
+//! cargo run --release -p geodns-bench --bin est_compare
+//! cargo run --release -p geodns-bench --bin est_compare -- \
+//!     --duration 3600 --interval 32 --alpha 0.25 --live loadgen.json
+//! ```
+//!
+//! `--live loadgen.json` merges a `loadgen --json --check-weights` report
+//! (the daemon steering itself from its own estimates) into the output so
+//! the live daemon and the simulator can be read side by side.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+
+use geodns_core::{
+    run_simulation, Algorithm, EstimatorKind, HiddenLoadEstimator, SimConfig, SimReport,
+};
+use geodns_server::HeterogeneityLevel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: est_compare [--duration S] [--warmup S] [--seed N] \
+         [--interval S] [--alpha A] [--live loadgen.json] [--json]"
+    );
+    eprintln!("  --duration  measured span in seconds, > 0 (default 3600)");
+    eprintln!("  --warmup    warm-up span in seconds, >= 0 (default 600)");
+    eprintln!("  --seed      master RNG seed, u64 (default 1998)");
+    eprintln!("  --interval  collection interval in seconds, > 0 (default 32)");
+    eprintln!("  --alpha     EMA smoothing factor in (0, 1] (default 0.25)");
+    eprintln!("  --live      merge a loadgen --json report from a live daemon run");
+    eprintln!("  --json      emit the comparison as one JSON object");
+    std::process::exit(2);
+}
+
+struct Args {
+    duration: f64,
+    warmup: f64,
+    seed: u64,
+    interval: f64,
+    alpha: f64,
+    live: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration: 3600.0,
+        warmup: 600.0,
+        seed: 1998,
+        interval: 32.0,
+        alpha: 0.25,
+        live: None,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut value = |name: &str| {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--duration" => {
+                args.duration = parse_pos(&value("--duration"), "--duration");
+            }
+            "--warmup" => {
+                let v = value("--warmup");
+                args.warmup = match v.parse() {
+                    Ok(w) if w >= 0.0 => w,
+                    _ => {
+                        eprintln!("error: --warmup must be >= 0, got '{v}'");
+                        usage();
+                    }
+                };
+            }
+            "--seed" => {
+                let v = value("--seed");
+                args.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed must be a u64, got '{v}'");
+                    usage();
+                });
+            }
+            "--interval" => args.interval = parse_pos(&value("--interval"), "--interval"),
+            "--alpha" => {
+                let v = value("--alpha");
+                args.alpha = match v.parse() {
+                    Ok(a) if a > 0.0 && a <= 1.0 => a,
+                    _ => {
+                        eprintln!("error: --alpha must be in (0, 1], got '{v}'");
+                        usage();
+                    }
+                };
+            }
+            "--live" => args.live = Some(value("--live")),
+            "--json" => args.json = true,
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn parse_pos(v: &str, name: &str) -> f64 {
+    match v.parse() {
+        Ok(x) if x > 0.0 => x,
+        _ => {
+            eprintln!("error: {name} must be a positive number, got '{v}'");
+            usage();
+        }
+    }
+}
+
+/// Max absolute per-domain difference between two relative-share vectors.
+fn weight_err_max(estimated: &[f64], truth: &[f64]) -> f64 {
+    estimated.iter().zip(truth).map(|(e, t)| (e - t).abs()).fold(0.0, f64::max)
+}
+
+/// One `{"ev":"collect","t_s":..,"counts":[..]}` trace record.
+struct Collect {
+    counts: Vec<u64>,
+}
+
+/// Pulls the collection rounds out of a JSONL decision trace.
+fn read_collects(path: &str) -> Result<Vec<Collect>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| format!("read {path}: {e}"))?;
+        let rec: serde_json::Value =
+            serde_json::from_str(&line).map_err(|e| format!("parse {path}: {e}"))?;
+        if rec["ev"] != "collect" {
+            continue;
+        }
+        let counts = rec["counts"]
+            .as_array()
+            .ok_or("collect record without counts")?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| format!("bad count {c}")))
+            .collect::<Result<_, _>>()?;
+        out.push(Collect { counts });
+    }
+    Ok(out)
+}
+
+/// Replays collection rounds through a fresh uniform cold-start
+/// estimator (the live daemon's bootstrap) and returns the per-round
+/// max-abs error of the relative weights against the true shares.
+fn replay_convergence(collects: &[Collect], kind: EstimatorKind, truth: &[f64]) -> Vec<f64> {
+    let interval = kind.collect_interval_or_zero();
+    let mut est = HiddenLoadEstimator::new(kind, &vec![1.0; truth.len()]);
+    collects
+        .iter()
+        .map(|c| {
+            est.ingest(&c.counts, interval);
+            weight_err_max(&est.relative_weights(), truth)
+        })
+        .collect()
+}
+
+/// Extension trait shim: the collection interval of an adaptive kind.
+trait IntervalOf {
+    fn collect_interval_or_zero(&self) -> f64;
+}
+impl IntervalOf for EstimatorKind {
+    fn collect_interval_or_zero(&self) -> f64 {
+        match *self {
+            EstimatorKind::Oracle => 0.0,
+            EstimatorKind::Measured { collect_interval_s, .. }
+            | EstimatorKind::WindowAverage { collect_interval_s, .. } => collect_interval_s,
+        }
+    }
+}
+
+fn run(cfg: &SimConfig, label: &str) -> SimReport {
+    match run_simulation(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {label} run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let kind = EstimatorKind::Measured { collect_interval_s: args.interval, ema_alpha: args.alpha };
+    if let Err(e) = kind.validate() {
+        eprintln!("error: {e}");
+        usage();
+    }
+
+    let mut base = SimConfig::paper_default(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H35);
+    base.duration_s = args.duration;
+    base.warmup_s = args.warmup;
+    base.seed = args.seed;
+
+    // True hidden shares: the workload's nominal per-domain rates,
+    // normalized — the quantity the oracle is spoon-fed and the measured
+    // estimator has to learn.
+    let workload = match base.workload.build() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: workload: {e}");
+            std::process::exit(1);
+        }
+    };
+    let total: f64 = workload.nominal_rates().iter().sum();
+    let truth: Vec<f64> = workload.nominal_rates().iter().map(|r| r / total).collect();
+
+    let oracle_report = run(&base, "oracle");
+
+    let trace_path = std::env::temp_dir()
+        .join(format!("est_compare_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut measured_cfg = base.clone();
+    measured_cfg.estimator = kind;
+    measured_cfg.obs.trace_path = Some(trace_path.clone());
+    let measured_report = run(&measured_cfg, "measured");
+
+    let collects = match read_collects(&trace_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_file(&trace_path);
+    let errs = replay_convergence(&collects, kind, &truth);
+    let final_err = errs.last().copied().unwrap_or(f64::NAN);
+    let rounds_to_5pct = errs.iter().position(|&e| e < 0.05).map(|i| i + 1);
+
+    let live = args.live.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(1);
+        });
+        serde_json::from_str::<serde_json::Value>(&text).unwrap_or_else(|e| {
+            eprintln!("error: parse {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    if args.json {
+        let out = serde_json::json!({
+            "config": {
+                "duration_s": args.duration,
+                "warmup_s": args.warmup,
+                "seed": args.seed,
+                "collect_interval_s": args.interval,
+                "ema_alpha": args.alpha,
+            },
+            "truth_shares": truth,
+            "oracle": summary(&oracle_report),
+            "measured": summary(&measured_report),
+            "replay": {
+                "collections": collects.len(),
+                "weight_err_max_final": final_err,
+                "rounds_to_5pct": rounds_to_5pct,
+                "weight_err_per_round": errs,
+            },
+            "live": live,
+        });
+        println!("{out}");
+        return;
+    }
+
+    println!(
+        "est_compare: DRR2-TTL/S_K @ H35, duration {:.0}s (+{:.0}s warmup), seed {}, \
+         collect every {:.0}s, alpha {}",
+        args.duration, args.warmup, args.seed, args.interval, args.alpha
+    );
+    println!();
+    println!("  estimator  mean maxU  P(maxU<0.98)  alarms  dns queries");
+    for (name, r) in [("oracle", &oracle_report), ("measured", &measured_report)] {
+        println!(
+            "  {name:<9}  {:>9.4}  {:>12.4}  {:>6}  {:>11}",
+            r.mean_max_util(),
+            r.p98(),
+            r.alarms,
+            r.dns_queries
+        );
+    }
+    println!();
+    println!(
+        "  cold-start replay: {} collections, final weight err {:.4}, \
+         err < 0.05 after {} rounds",
+        collects.len(),
+        final_err,
+        rounds_to_5pct.map_or_else(|| "∞".to_string(), |r| r.to_string())
+    );
+    if let Some(live) = &live {
+        println!();
+        println!("  live daemon (loadgen report):");
+        for key in ["feedback_mode", "qps", "max_util_proxy", "weight_err_max"] {
+            if !live[key].is_null() {
+                println!("    {key}: {}", live[key]);
+            }
+        }
+        if let Some(w) = live["weights_estimated"].as_array() {
+            let csv: Vec<String> =
+                w.iter().map(|x| format!("{:.4}", x.as_f64().unwrap_or(f64::NAN))).collect();
+            println!("    weights_estimated: {}", csv.join(","));
+        }
+    }
+}
+
+fn summary(r: &SimReport) -> serde_json::Value {
+    serde_json::json!({
+        "mean_max_util": r.mean_max_util(),
+        "p_max_util_lt_098": r.p98(),
+        "alarms": r.alarms,
+        "dns_queries": r.dns_queries,
+        "mean_util": r.mean_util(),
+    })
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen [--target ADDR] [--clients N] [--duration SECS] [--domains K]
 //!         [--exponent Z] [--servers N] [--seed N] [--feedback-ms MS]
-//!         [--window W] [--min-qps F] [--shutdown]
+//!         [--feedback backlogs|alarms|none] [--alarm-threshold X]
+//!         [--window W] [--min-qps F] [--check-weights TOL] [--shutdown]
 //! ```
 //!
 //! Replays the paper's §4.1 domain structure over loopback: each burst's
@@ -24,11 +25,29 @@
 //! response-receive), summarized as exact-CDF p50/p95/p99 so a throughput
 //! win can't silently trade away tail latency.
 //!
-//! With `--feedback-ms` (on by default) a feedback thread closes the
-//! paper's control loop: it tallies which Web server each answer named,
-//! normalizes the tallies into per-server backlog shares, and ships them
-//! to the daemon as `GDNSCTL1 backlogs …` control datagrams — the live
-//! equivalent of the simulator feeding `set_backlogs`.
+//! A feedback thread (cadence `--feedback-ms`) emulates the Web-server
+//! side of the paper's control loop in one of two modes (`--feedback`):
+//!
+//! * `backlogs` — tally which Web server each answer named, normalize
+//!   the tallies into per-server backlog shares, and ship them as
+//!   `GDNSCTL1 backlogs <seq> …` datagrams — the live equivalent of the
+//!   simulator feeding `set_backlogs`.
+//! * `alarms` — the paper's §2 asynchronous alarm mechanism: per tick,
+//!   each server's share of the *new* answers over its capacity share is
+//!   a utilization proxy; an edge-triggered `AlarmMonitor` (threshold
+//!   `--alarm-threshold`, with hysteresis) turns threshold crossings
+//!   into `GDNSCTL1 alarm/normal <seq> <server>` datagrams. No
+//!   precomputed backlogs: the daemon schedules from its own estimates.
+//!
+//! Stateful control datagrams carry a monotonically increasing sequence
+//! number, so a datagram the kernel delayed or duplicated can only draw
+//! a `GDNSCTL1 err stale` ack — never overwrite newer state.
+//!
+//! With `--check-weights TOL` the generator asks the daemon for its
+//! learned relative weights (`GDNSCTL1 weights`) after the run and fails
+//! unless every domain's estimate is within `TOL` of the true Zipf share
+//! of the offered workload — the closed-loop gate that the daemon's own
+//! estimation actually tracked the traffic it was given.
 //!
 //! Every response is fully parsed; anything unexpected (bad id, rcode,
 //! answer count, TTL 0, non-A rdata) counts as *malformed*. With
@@ -40,6 +59,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use geodns_server::{AlarmMonitor, CapacityPlan, HeterogeneityLevel, Signal};
 use geodns_simcore::dist::{Distribution, Zipf};
 use geodns_simcore::stats::Cdf;
 use geodns_simcore::RngStreams;
@@ -49,6 +69,39 @@ use geodns_wire::{Message, QType, Question, Rcode};
 /// Upper bound on `--window`: outstanding queries are tracked in a `u64`
 /// bitmask, and bursts larger than this stop resembling a closed loop.
 const MAX_WINDOW: usize = 64;
+
+/// What the feedback thread emulates (see the [module docs](self)).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FeedbackMode {
+    Backlogs,
+    Alarms,
+    None,
+}
+
+impl std::str::FromStr for FeedbackMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "backlogs" => Ok(FeedbackMode::Backlogs),
+            "alarms" => Ok(FeedbackMode::Alarms),
+            "none" => Ok(FeedbackMode::None),
+            other => {
+                Err(format!("unknown feedback mode {other:?} (expected backlogs|alarms|none)"))
+            }
+        }
+    }
+}
+
+impl FeedbackMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FeedbackMode::Backlogs => "backlogs",
+            FeedbackMode::Alarms => "alarms",
+            FeedbackMode::None => "none",
+        }
+    }
+}
 
 #[derive(Clone)]
 struct Args {
@@ -60,8 +113,11 @@ struct Args {
     servers: usize,
     seed: u64,
     feedback_ms: u64,
+    feedback: FeedbackMode,
+    alarm_threshold: f64,
     window: usize,
     min_qps: Option<f64>,
+    check_weights: Option<f64>,
     shutdown: bool,
 }
 
@@ -75,8 +131,11 @@ fn parse_args() -> Result<Args, String> {
         servers: 7,
         seed: 42,
         feedback_ms: 200,
+        feedback: FeedbackMode::Backlogs,
+        alarm_threshold: 1.5,
         window: 32,
         min_qps: None,
+        check_weights: None,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -97,14 +156,23 @@ fn parse_args() -> Result<Args, String> {
             "--servers" => args.servers = parsed("--servers", value("--servers")?)?,
             "--seed" => args.seed = parsed("--seed", value("--seed")?)?,
             "--feedback-ms" => args.feedback_ms = parsed("--feedback-ms", value("--feedback-ms")?)?,
+            "--feedback" => args.feedback = parsed("--feedback", value("--feedback")?)?,
+            "--alarm-threshold" => {
+                args.alarm_threshold = parsed("--alarm-threshold", value("--alarm-threshold")?)?;
+            }
             "--window" => args.window = parsed("--window", value("--window")?)?,
             "--min-qps" => args.min_qps = Some(parsed("--min-qps", value("--min-qps")?)?),
+            "--check-weights" => {
+                args.check_weights = Some(parsed("--check-weights", value("--check-weights")?)?);
+            }
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--target ADDR] [--clients N] [--duration SECS] \
                      [--domains K] [--exponent Z] [--servers N] [--seed N] \
-                     [--feedback-ms MS] [--window W] [--min-qps F] [--shutdown]"
+                     [--feedback-ms MS] [--feedback backlogs|alarms|none] \
+                     [--alarm-threshold X] [--window W] [--min-qps F] \
+                     [--check-weights TOL] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -119,6 +187,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.target.ip().is_loopback() {
         return Err("loadgen's per-domain 127.0.d.1 source trick only works over loopback".into());
+    }
+    if !(args.alarm_threshold.is_finite() && args.alarm_threshold > 0.0) {
+        return Err(format!("--alarm-threshold must be > 0, got {}", args.alarm_threshold));
+    }
+    if let Some(tol) = args.check_weights {
+        if !(tol.is_finite() && tol > 0.0 && tol <= 1.0) {
+            return Err(format!("--check-weights must be in (0, 1], got {tol}"));
+        }
     }
     Ok(args)
 }
@@ -338,26 +414,96 @@ fn send_ctl(target: SocketAddr, payload: &str) -> Result<String, String> {
     Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
 }
 
-/// The feedback loop: observed per-server answer shares → `backlogs` ctl.
+/// Relative capacity shares of the daemon's Web servers: the example
+/// topology's Table-2 H35 plan when the server count matches it, a
+/// homogeneous split otherwise.
+fn capacity_shares(servers: usize) -> Vec<f64> {
+    let plan = CapacityPlan::from_level(HeterogeneityLevel::H35, 500.0);
+    let relatives =
+        if plan.num_servers() == servers { plan.relatives().to_vec() } else { vec![1.0; servers] };
+    let total: f64 = relatives.iter().sum();
+    relatives.iter().map(|r| r / total).collect()
+}
+
+/// The feedback thread, emulating the Web-server side of the control
+/// loop at the configured cadence (every stateful datagram carries the
+/// next sequence number):
+///
+/// * [`FeedbackMode::Backlogs`] — cumulative per-server answer tallies,
+///   normalized by the peak, shipped as one `backlogs` snapshot per tick.
+/// * [`FeedbackMode::Alarms`] — per tick, each server's share of the
+///   *newly observed* answers over its capacity share approximates its
+///   utilization relative to the cluster average (the closed loop keeps
+///   offered load near capacity, so assignment share per capacity share
+///   tracks relative utilization); an edge-triggered [`AlarmMonitor`]
+///   per server turns threshold crossings into `alarm`/`normal` signals,
+///   exactly like the paper's servers do with measured utilization.
+///
+/// Returns how many control datagrams were acked `ok`.
 fn feedback_loop(
     target: SocketAddr,
     every: Duration,
+    mode: FeedbackMode,
+    alarm_threshold: f64,
     per_server: &[AtomicU64],
     stop: &AtomicBool,
 ) -> u64 {
     let mut pushed = 0;
+    let mut seq = 0u64;
+    let shares = capacity_shares(per_server.len());
+    // `AlarmMonitor` thinks in true utilization (θ ∈ (0, 1]); the proxy
+    // here is an over-representation *ratio* with no upper bound, so map
+    // it onto the monitor's scale such that `ratio == alarm_threshold`
+    // lands exactly on θ = 0.9 (keeping the monitor's edge-triggering
+    // and hysteresis semantics intact).
+    const THETA: f64 = 0.9;
+    let mut monitors: Vec<AlarmMonitor> = (0..per_server.len())
+        .map(|_| AlarmMonitor::new(THETA, THETA * 0.2).expect("valid fixed theta"))
+        .collect();
+    let mut last_counts = vec![0u64; per_server.len()];
     while !stop.load(Ordering::Relaxed) {
         std::thread::sleep(every);
-        let counts: Vec<f64> =
-            per_server.iter().map(|c| c.load(Ordering::Relaxed) as f64).collect();
-        let peak = counts.iter().fold(0.0_f64, |a, &b| a.max(b));
-        if peak == 0.0 {
-            continue;
+        let counts: Vec<u64> = per_server.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        match mode {
+            FeedbackMode::None => {}
+            FeedbackMode::Backlogs => {
+                let peak = counts.iter().copied().max().unwrap_or(0);
+                if peak == 0 {
+                    continue;
+                }
+                let csv: Vec<String> =
+                    counts.iter().map(|&c| format!("{:.4}", c as f64 / peak as f64)).collect();
+                seq += 1;
+                if send_ctl(target, &format!("backlogs {seq} {}", csv.join(",")))
+                    .is_ok_and(|ack| ack == "GDNSCTL1 ok")
+                {
+                    pushed += 1;
+                }
+            }
+            FeedbackMode::Alarms => {
+                let deltas: Vec<u64> =
+                    counts.iter().zip(&last_counts).map(|(c, l)| c - l).collect();
+                let total: u64 = deltas.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                for (i, (&delta, monitor)) in deltas.iter().zip(&mut monitors).enumerate() {
+                    let ratio = (delta as f64 / total as f64) / shares[i];
+                    let verb = match monitor.observe(ratio * THETA / alarm_threshold) {
+                        Some(Signal::Alarm) => "alarm",
+                        Some(Signal::Normal) => "normal",
+                        _ => continue,
+                    };
+                    seq += 1;
+                    if send_ctl(target, &format!("{verb} {seq} {i}"))
+                        .is_ok_and(|ack| ack == "GDNSCTL1 ok")
+                    {
+                        pushed += 1;
+                    }
+                }
+            }
         }
-        let csv: Vec<String> = counts.iter().map(|c| format!("{:.4}", c / peak)).collect();
-        if send_ctl(target, &format!("backlogs {}", csv.join(","))).is_ok() {
-            pushed += 1;
-        }
+        last_counts = counts;
     }
     pushed
 }
@@ -375,12 +521,16 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let deadline = Instant::now() + Duration::from_secs_f64(args.duration_s);
 
-    let feedback = (args.feedback_ms > 0).then(|| {
+    let feedback = (args.feedback_ms > 0 && args.feedback != FeedbackMode::None).then(|| {
         let target = args.target;
         let every = Duration::from_millis(args.feedback_ms);
+        let mode = args.feedback;
+        let threshold = args.alarm_threshold;
         let per_server = Arc::clone(&per_server);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || feedback_loop(target, every, &per_server, &stop))
+        std::thread::spawn(move || {
+            feedback_loop(target, every, mode, threshold, &per_server, &stop)
+        })
     });
 
     let started = Instant::now();
@@ -416,6 +566,52 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
     let feedback_pushes = feedback.map_or(0, |f| f.join().expect("feedback thread panicked"));
 
+    // The closed-loop estimation gate: ask the daemon what it learned and
+    // compare against the true Zipf shares of the workload we offered.
+    // Asked *before* shutdown — the daemon must still be serving.
+    let mut weights_estimated: Vec<f64> = Vec::new();
+    let mut weights_true: Vec<f64> = Vec::new();
+    let mut weight_err_max = f64::NAN;
+    if let Some(tol) = args.check_weights {
+        match send_ctl(args.target, "weights") {
+            Ok(ack) => match ack.strip_prefix("GDNSCTL1 ok ") {
+                Some(csv) => {
+                    weights_estimated =
+                        csv.split(',').filter_map(|f| f.trim().parse().ok()).collect();
+                    let zipf = Zipf::new(args.domains, args.exponent).expect("validated workload");
+                    weights_true = (0..weights_estimated.len())
+                        .map(|d| if d < args.domains { zipf.prob(d) } else { 0.0 })
+                        .collect();
+                    weight_err_max = weights_estimated
+                        .iter()
+                        .zip(&weights_true)
+                        .map(|(e, t)| (e - t).abs())
+                        .fold(0.0_f64, f64::max);
+                    if weights_estimated.is_empty() || weight_err_max > tol {
+                        eprintln!(
+                            "loadgen: FAILED — estimated weights {weights_estimated:?} off the \
+                             true Zipf shares {weights_true:?} by {weight_err_max:.4} (> {tol})"
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "loadgen: ok — estimated weights within {weight_err_max:.4} of the \
+                             true Zipf shares (tolerance {tol})"
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("loadgen: FAILED — unexpected weights ack {ack:?}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("loadgen: FAILED — weights query: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if args.shutdown {
         match send_ctl(args.target, "shutdown") {
             Ok(ack) => eprintln!("loadgen: daemon acked shutdown ({ack})"),
@@ -435,6 +631,20 @@ fn main() {
         rtt.quantile(0.99).unwrap_or(f64::NAN),
     );
     let counts: Vec<u64> = per_server.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    // Utilization proxy: each server's share of all answers over its
+    // capacity share; 1.0 = perfectly balanced against capacity, and the
+    // maximum is the live analogue of the paper's max-server-utilization
+    // metric (up to the answers→hits hidden-load factor).
+    let answer_total: u64 = counts.iter().sum();
+    let max_util_proxy = if answer_total == 0 {
+        f64::NAN
+    } else {
+        counts
+            .iter()
+            .zip(capacity_shares(args.servers))
+            .map(|(&c, share)| (c as f64 / answer_total as f64) / share)
+            .fold(0.0_f64, f64::max)
+    };
     let json = serde_json::json!({
         "qps": qps,
         "elapsed_s": elapsed,
@@ -448,8 +658,13 @@ fn main() {
         "rtt_p50_us": p50,
         "rtt_p95_us": p95,
         "rtt_p99_us": p99,
+        "feedback_mode": args.feedback.as_str(),
         "feedback_pushes": feedback_pushes,
         "per_server_answers": counts,
+        "max_util_proxy": max_util_proxy,
+        "weights_estimated": weights_estimated,
+        "weights_true": weights_true,
+        "weight_err_max": weight_err_max,
     });
     println!("{}", serde_json::to_string_pretty(&json).expect("serialize"));
     eprintln!(

@@ -112,11 +112,17 @@ impl HiddenLoadEstimator {
     ///
     /// # Panics
     ///
-    /// Panics if `initial_weights` is empty or non-positive everywhere.
+    /// Panics if `initial_weights` is empty, non-positive everywhere, or
+    /// contains a non-finite or negative entry (a NaN cold-start belief
+    /// would propagate into every TTL the scheduler computes).
     #[must_use]
     pub fn new(kind: EstimatorKind, initial_weights: &[f64]) -> Self {
         assert!(!initial_weights.is_empty(), "need at least one domain");
         assert!(initial_weights.iter().any(|&w| w > 0.0), "initial weights must not all be zero");
+        assert!(
+            initial_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "initial weights must be finite and non-negative, got {initial_weights:?}"
+        );
         HiddenLoadEstimator {
             kind,
             weights: initial_weights.to_vec(),
@@ -160,13 +166,24 @@ impl HiddenLoadEstimator {
     /// Domains observed at zero keep a small floor so TTL formulas stay
     /// finite.
     ///
+    /// Returns whether the collection was accepted. A non-finite or
+    /// non-positive `interval_s` is **rejected** (mirroring
+    /// [`EstimatorKind::validate`]) and leaves the weights untouched:
+    /// dividing by zero/NaN/∞ here would poison every weight — and every
+    /// wire TTL downstream — with NaN, and a live collector thread that
+    /// measures its own interval must not be able to do that. Count
+    /// spikes are safe unrejected: `u64 → f64` over a positive finite
+    /// interval is always finite.
+    ///
     /// # Panics
     ///
-    /// Panics if the count vector length differs from the domain count or
-    /// `interval_s` is not positive.
-    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) {
+    /// Panics if the count vector length differs from the domain count
+    /// (a configuration bug, not an operational condition).
+    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) -> bool {
         assert_eq!(counts.len(), self.weights.len(), "domain count mismatch");
-        assert!(interval_s > 0.0, "interval must be positive");
+        if !(interval_s.is_finite() && interval_s > 0.0) {
+            return false;
+        }
         let floor = 1e-6;
         match self.kind {
             EstimatorKind::Oracle => {}
@@ -191,6 +208,7 @@ impl HiddenLoadEstimator {
                 }
             }
         }
+        true
     }
 
     /// Returns the weights normalized to relative shares (sum 1).
@@ -310,5 +328,50 @@ mod tests {
     fn mismatched_counts_panic() {
         let mut e = HiddenLoadEstimator::new(EstimatorKind::measured_default(), &[1.0]);
         e.ingest(&[1, 2], 1.0);
+    }
+
+    #[test]
+    fn degenerate_intervals_are_rejected_not_poisonous() {
+        // A zero/negative/NaN/∞ collection interval must be refused with
+        // the weights untouched — `c / 0.0` or `c / NaN` would turn every
+        // weight into ∞/NaN, and those flow straight into wire TTLs.
+        for kind in [
+            EstimatorKind::Measured { collect_interval_s: 1.0, ema_alpha: 0.5 },
+            EstimatorKind::WindowAverage { collect_interval_s: 1.0, windows: 3 },
+        ] {
+            let mut e = HiddenLoadEstimator::new(kind, &[8.0, 2.0]);
+            for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert!(!e.ingest(&[1000, 1], bad), "{kind:?} accepted interval {bad}");
+                assert_eq!(e.weights(), &[8.0, 2.0], "{kind:?} weights moved on interval {bad}");
+                assert_eq!(e.updates(), 0, "{kind:?} counted a rejected collection");
+            }
+            // A sane collection afterwards still works.
+            assert!(e.ingest(&[100, 100], 10.0));
+            assert!(e.weights().iter().all(|w| w.is_finite()), "{kind:?}");
+            assert_eq!(e.updates(), 1);
+        }
+    }
+
+    #[test]
+    fn weights_stay_finite_under_count_spikes() {
+        // The largest representable count over the shortest plausible
+        // interval must still produce finite weights (and finite relative
+        // shares) in both adaptive kinds.
+        for kind in [
+            EstimatorKind::Measured { collect_interval_s: 1.0, ema_alpha: 0.25 },
+            EstimatorKind::WindowAverage { collect_interval_s: 1.0, windows: 2 },
+        ] {
+            let mut e = HiddenLoadEstimator::new(kind, &[1.0, 1.0]);
+            assert!(e.ingest(&[u64::MAX, 0], 1e-3));
+            assert!(e.ingest(&[0, u64::MAX], 1e-3));
+            assert!(e.weights().iter().all(|w| w.is_finite()), "{kind:?}: {:?}", e.weights());
+            assert!(e.relative_weights().iter().all(|w| w.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_initial_weights_panic() {
+        let _ = HiddenLoadEstimator::new(EstimatorKind::Oracle, &[1.0, f64::NAN]);
     }
 }

@@ -207,9 +207,16 @@ impl DnsScheduler {
     /// Feeds one estimator collection (per-domain hit counts over
     /// `interval_s` seconds) and rebuilds the classification and TTL tables
     /// from the new estimates. No-op rebuild for the oracle estimator.
-    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) {
-        self.estimator.ingest(counts, interval_s);
+    ///
+    /// Returns whether the collection was accepted; a degenerate interval
+    /// is rejected by [`HiddenLoadEstimator::ingest`] and leaves the
+    /// classification and TTL tables untouched.
+    pub fn ingest(&mut self, counts: &[u64], interval_s: f64) -> bool {
+        if !self.estimator.ingest(counts, interval_s) {
+            return false;
+        }
         self.rebuild();
+        true
     }
 
     fn rebuild(&mut self) {
@@ -240,6 +247,14 @@ impl DnsScheduler {
     #[must_use]
     pub fn queries(&self) -> u64 {
         self.queries
+    }
+
+    /// Number of client domains the scheduler was configured with (the
+    /// length [`ingest`](Self::ingest) expects and the valid range of the
+    /// `domain` argument to [`resolve`](Self::resolve)).
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.estimator.weights().len()
     }
 
     /// The current TTL table.
@@ -473,6 +488,28 @@ mod tests {
         let (_, hot) = dns.resolve(0, SimTime::ZERO, &backlogs);
         let (_, cold) = dns.resolve(1, SimTime::ZERO, &backlogs);
         assert!((cold / hot - 9.0).abs() < 1e-9, "ratio {}", cold / hot);
+    }
+
+    #[test]
+    fn degenerate_interval_leaves_ttl_tables_alone() {
+        let plan = CapacityPlan::from_level(HeterogeneityLevel::H0, 500.0);
+        let est = HiddenLoadEstimator::new(
+            EstimatorKind::Measured { collect_interval_s: 10.0, ema_alpha: 1.0 },
+            &[1.0, 1.0],
+        );
+        let rng = RngStreams::new(3).stream("sched");
+        let mut dns = DnsScheduler::new(Algorithm::prr_ttl_k(), &plan, est, 0.5, 240.0, true, rng);
+        let backlogs = vec![0.0; 7];
+        assert!(dns.ingest(&[900, 100], 10.0), "sane collection accepted");
+        let hot = dns.resolve(0, SimTime::ZERO, &backlogs).1;
+        let cold = dns.resolve(1, SimTime::ZERO, &backlogs).1;
+        for bad in [0.0, f64::NAN, f64::INFINITY] {
+            assert!(!dns.ingest(&[5, 5], bad), "interval {bad} accepted");
+        }
+        // The rejected collections changed nothing: same TTLs, all finite.
+        assert_eq!(dns.resolve(0, SimTime::ZERO, &backlogs).1, hot);
+        assert_eq!(dns.resolve(1, SimTime::ZERO, &backlogs).1, cold);
+        assert_eq!(dns.num_domains(), 2);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]
 //!         [--io-mode batched|single] [--batch N]
+//!         [--estimator oracle|ema[:ALPHA]|window[:N]]
+//!         [--collect-interval SECS]
 //! ```
 //!
 //! Serves the example topology (7 Table-2 H35 servers behind
@@ -12,11 +14,50 @@
 //! the two I/O modes (`batched` is the default on Linux: per-worker
 //! `SO_REUSEPORT` sockets drained with `recvmmsg`/`sendmmsg`; `single` is
 //! the shared-socket one-datagram-per-syscall fallback).
+//!
+//! `--estimator oracle` (the default) spoon-feeds the nominal 40:20:10:5
+//! domain weights. `ema` and `window` instead start the shards from a
+//! uniform cold-start belief and run the live §3 control loop: the
+//! daemon counts its own per-domain queries and a collector thread
+//! merges them every `--collect-interval` seconds (default 32, the
+//! paper-scale cadence) into the hidden-load estimator, re-deriving the
+//! two-tier classification and the adaptive TTL tables from what the
+//! daemon actually observed.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
+use geodns_core::EstimatorKind;
 use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig, IoMode};
+
+/// The `--estimator` flag before the collection interval is known.
+enum EstArg {
+    Oracle,
+    Ema(f64),
+    Window(usize),
+}
+
+impl EstArg {
+    fn parse(spec: &str) -> Result<EstArg, String> {
+        let (name, param) = match spec.split_once(':') {
+            Some((name, param)) => (name, Some(param)),
+            None => (spec, None),
+        };
+        match (name, param) {
+            ("oracle", None) => Ok(EstArg::Oracle),
+            ("oracle", Some(_)) => Err("oracle takes no parameter".into()),
+            ("ema", None) => Ok(EstArg::Ema(0.25)),
+            ("ema", Some(a)) => Ok(EstArg::Ema(a.parse().map_err(|e| format!("ema alpha: {e}"))?)),
+            ("window", None) => Ok(EstArg::Window(8)),
+            ("window", Some(n)) => {
+                Ok(EstArg::Window(n.parse().map_err(|e| format!("window count: {e}"))?))
+            }
+            _ => {
+                Err(format!("unknown estimator {spec:?} (expected oracle|ema[:ALPHA]|window[:N])"))
+            }
+        }
+    }
+}
 
 struct Args {
     bind: SocketAddr,
@@ -25,6 +66,8 @@ struct Args {
     duration: Option<f64>,
     io_mode: IoMode,
     batch: usize,
+    estimator: EstArg,
+    collect_interval: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
         duration: None,
         io_mode: IoMode::default(),
         batch: 32,
+        estimator: EstArg::Oracle,
+        collect_interval: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,10 +102,19 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => {
                 args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
             }
+            "--estimator" => args.estimator = EstArg::parse(&value("--estimator")?)?,
+            "--collect-interval" => {
+                args.collect_interval = Some(
+                    value("--collect-interval")?
+                        .parse()
+                        .map_err(|e| format!("--collect-interval: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS] \
-                     [--io-mode batched|single] [--batch N]"
+                     [--io-mode batched|single] [--batch N] \
+                     [--estimator oracle|ema[:ALPHA]|window[:N]] [--collect-interval SECS]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +127,11 @@ fn parse_args() -> Result<Args, String> {
     if args.batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    if let Some(interval) = args.collect_interval {
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(format!("--collect-interval must be > 0, got {interval}"));
+        }
+    }
     Ok(args)
 }
 
@@ -84,12 +143,33 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Resolve the estimator: the flag names the mechanism, the (shared)
+    // collection interval parameterizes it. The oracle runs a collector
+    // only when one was explicitly asked for.
+    let collect_s = args.collect_interval.unwrap_or(32.0);
+    let kind = match args.estimator {
+        EstArg::Oracle => EstimatorKind::Oracle,
+        EstArg::Ema(ema_alpha) => {
+            EstimatorKind::Measured { collect_interval_s: collect_s, ema_alpha }
+        }
+        EstArg::Window(windows) => {
+            EstimatorKind::WindowAverage { collect_interval_s: collect_s, windows }
+        }
+    };
+    if let Err(e) = kind.validate() {
+        eprintln!("geodnsd: --estimator: {e}");
+        std::process::exit(2);
+    }
     let shards = (0..args.workers)
-        .map(|w| AuthoritativeServer::example_shard(w as u64, args.seed))
+        .map(|w| AuthoritativeServer::example_shard_with(w as u64, args.seed, kind))
         .collect();
     let mut cfg = DaemonConfig::new(args.bind);
     cfg.io_mode = args.io_mode;
     cfg.batch = args.batch;
+    cfg.collect_interval = match kind {
+        EstimatorKind::Oracle => args.collect_interval.map(Duration::from_secs_f64),
+        _ => Some(Duration::from_secs_f64(collect_s)),
+    };
     let daemon = match Daemon::spawn(&cfg, shards) {
         Ok(d) => d,
         Err(e) => {
@@ -107,6 +187,15 @@ fn main() {
         args.workers,
         daemon.io_mode()
     );
+    match kind {
+        EstimatorKind::Oracle => println!("geodnsd estimator: oracle (nominal 40:20:10:5)"),
+        EstimatorKind::Measured { collect_interval_s, ema_alpha } => println!(
+            "geodnsd estimator: ema alpha={ema_alpha} collect={collect_interval_s}s (live §3 loop)"
+        ),
+        EstimatorKind::WindowAverage { collect_interval_s, windows } => println!(
+            "geodnsd estimator: window n={windows} collect={collect_interval_s}s (live §3 loop)"
+        ),
+    }
 
     let started = Instant::now();
     loop {
@@ -132,10 +221,20 @@ fn main() {
         totals.tx_errors,
         report.dns_decisions()
     );
+    println!(
+        "geodnsd estimation: collections={} weights={}",
+        report.collections(),
+        report.workers.iter().max_by_key(|w| w.collections).map_or_else(String::new, |w| w
+            .weights
+            .iter()
+            .map(|x| format!("{x:.4}"))
+            .collect::<Vec<_>>()
+            .join(","))
+    );
     for (i, w) in report.workers.iter().enumerate() {
         println!(
-            "  worker {i}: answered={} tx_errors={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1}",
-            w.stats.answered, w.stats.tx_errors, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s
+            "  worker {i}: answered={} tx_errors={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1} collections={}",
+            w.stats.answered, w.stats.tx_errors, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s, w.collections
         );
     }
 }

@@ -46,15 +46,59 @@
 //! grown to the answer size (see `tests/alloc_free_wire.rs` for the
 //! pinned half of that claim).
 //!
+//! # The live §3 control loop
+//!
+//! With [`DaemonConfig::collect_interval`] set, the daemon runs the
+//! paper's estimation loop against its **own** query stream instead of
+//! being spoon-fed precomputed state:
+//!
+//! 1. **Accounting (fast path, per shard):** every scheduling decision
+//!    bumps a plain per-domain counter inside the worker's own
+//!    [`AuthoritativeServer`] — no atomics, no lock, no allocation (the
+//!    increment rides the path pinned by `tests/alloc_free_wire.rs`).
+//!    Once per batch the worker copies its cumulative counters into a
+//!    per-worker slab of relaxed atomics — the only cross-thread traffic
+//!    the accounting adds, well off the per-query path.
+//! 2. **Collection (control thread):** every `collect_interval` a
+//!    collector thread sums the slabs into cumulative per-domain totals,
+//!    measures the real elapsed interval, and publishes both under the
+//!    shared-state mutex, bumping the epoch.
+//! 3. **Application (per shard, off the fast path):** each worker polls
+//!    the epoch (one relaxed-ish atomic load per loop iteration) and, on
+//!    a change, deltas the published totals against the last totals it
+//!    ingested and feeds `DnsScheduler::ingest` — re-running the hidden
+//!    load estimator, the γ = 1/K two-tier classifier, and the TTL table
+//!    build. A worker that misses an epoch (it was mid-batch) folds the
+//!    missed collections into its next delta: slightly coarser smoothing,
+//!    never lost counts. Every shard ingests the same cumulative stream,
+//!    so shard estimators converge to identical states.
+//!
 //! # Control protocol and shutdown
 //!
 //! Datagrams beginning with [`CTL_MAGIC`], accepted **only from loopback
-//! sources**, are control messages rather than DNS:
+//! sources**, are control messages rather than DNS. Stateless commands:
 //!
 //! * `GDNSCTL1 shutdown` — begin graceful shutdown; acks `GDNSCTL1 ok`.
-//! * `GDNSCTL1 backlogs <f64,f64,…>` — install a new backlog snapshot
-//!   (one value per Web server) that every shard picks up before its next
-//!   decision, feeding the backlog-aware policies; acks `GDNSCTL1 ok`.
+//! * `GDNSCTL1 weights` — report the answering shard's current relative
+//!   weight estimates; acks `GDNSCTL1 ok <f64,f64,…>`.
+//!
+//! Stateful commands carry a strictly increasing sequence number (the
+//! transport is UDP: a delayed or duplicated datagram must not overwrite
+//! newer state with stale state — a reordered `normal` after a fresher
+//! `alarm` would silently re-admit an overloaded server). The daemon
+//! tracks the highest sequence applied and acks anything at or below it
+//! with `GDNSCTL1 err stale`, applying nothing:
+//!
+//! * `GDNSCTL1 backlogs <seq> <f64,f64,…>` — install a backlog snapshot
+//!   (one value per Web server) that every shard picks up before its
+//!   next decision; acks `GDNSCTL1 ok`.
+//! * `GDNSCTL1 alarm <seq> <server>` / `GDNSCTL1 normal <seq> <server>`
+//!   — the paper's asynchronous alarm feedback: mark one Web server
+//!   overloaded (excluded from scheduling) or recovered; acks
+//!   `GDNSCTL1 ok`.
+//!
+//! Malformed commands ack `GDNSCTL1 err`; sequence numbers are consumed
+//! only by accepted commands.
 //!
 //! Shutdown is flag-based: the socket carries a short read timeout, so
 //! every worker re-checks the shutdown flag at least once per timeout and
@@ -64,11 +108,12 @@
 use std::io::ErrorKind;
 use std::net::{IpAddr, SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use geodns_core::{ObsCounters, ObsSnapshot};
+use geodns_server::Signal;
 
 use crate::mmsg;
 use crate::AuthoritativeServer;
@@ -144,11 +189,18 @@ pub struct DaemonConfig {
     /// syscall cost is already amortized ~30× while the arena stays
     /// cache-resident (EXPERIMENTS.md X15). Ignored in `Single` mode.
     pub batch: usize,
+    /// When set, a collector thread merges the per-worker per-domain
+    /// query counters every such interval and publishes them for the
+    /// shards to ingest — the live §3 control loop (see the
+    /// [module docs](self)). `None` (the default) runs no collector:
+    /// the shards keep whatever estimator state they were built with
+    /// (the oracle/backlog-fed configuration).
+    pub collect_interval: Option<Duration>,
 }
 
 impl DaemonConfig {
     /// Sensible defaults for `bind`: 20 ms shutdown poll, 512-byte rx,
-    /// the target's default [`IoMode`], batch 32.
+    /// the target's default [`IoMode`], batch 32, no collector thread.
     #[must_use]
     pub fn new(bind: SocketAddr) -> Self {
         DaemonConfig {
@@ -157,18 +209,57 @@ impl DaemonConfig {
             max_datagram: 512,
             io_mode: IoMode::default(),
             batch: 32,
+            collect_interval: None,
         }
     }
 }
 
-/// Shared mutable state between the workers and the handle.
+/// The state published to every worker: backlog snapshot, alarm mask,
+/// and the collector's cumulative merged counts. One mutex guards it all
+/// so a stateful ctl message's sequence check and its state change are
+/// atomic (a stale datagram can never slip its payload in after a newer
+/// one passed a separate check).
+struct SharedState {
+    /// Highest sequence number applied from a stateful ctl message.
+    ctl_seq: u64,
+    /// Per-server backlog snapshot (the backlog-aware policies' input).
+    backlogs: Vec<f64>,
+    /// Per-server alarm mask (true = alarmed, excluded from scheduling).
+    alarmed: Vec<bool>,
+    /// Cumulative per-domain query counts merged across the worker slabs
+    /// (monotone: each slab is a worker's own monotone counter).
+    counts: Vec<u64>,
+    /// Cumulative estimation time in seconds: the sum of the real
+    /// (measured, not nominal) collection intervals published so far.
+    interval_s: f64,
+    /// Collections published by the collector thread.
+    collections: u64,
+}
+
+/// Shared mutable state between the workers, the collector thread, and
+/// the handle.
 struct Control {
     shutdown: AtomicBool,
-    /// Bumped on every accepted `backlogs` ctl message; workers re-sync
+    /// Bumped on every publication into [`SharedState`] (accepted ctl
+    /// message, handle API call, or collector merge); workers re-sync
     /// their shard when the epoch moves (a relaxed load per loop
     /// iteration, no lock on the hot path).
-    backlog_epoch: AtomicU64,
-    backlogs: Mutex<Vec<f64>>,
+    epoch: AtomicU64,
+    shared: Mutex<SharedState>,
+    /// One slab per worker, one slot per domain: the worker's cumulative
+    /// per-domain query counts, flushed from its plain shard counters
+    /// once per batch with relaxed stores (each slab has exactly one
+    /// writer; the collector only reads).
+    counts: Vec<Vec<AtomicU64>>,
+}
+
+/// Locks the shared state, recovering from poisoning: a worker that
+/// panicked while holding the lock must not wedge every other worker's
+/// sync (and with it the whole data plane) forever. The guarded data is
+/// plain values — every writer either completes its update or leaves the
+/// previous snapshot in place — so the poisoned payload is safe to take.
+fn lock_shared(shared: &Mutex<SharedState>) -> MutexGuard<'_, SharedState> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Per-worker datagram accounting.
@@ -209,6 +300,15 @@ pub struct WorkerReport {
     /// The worker's scheduler-decision counters (TTL min/mean/max,
     /// decisions, constrained decisions) through the observability layer.
     pub obs: ObsSnapshot,
+    /// The shard's relative per-domain weight estimates at exit (sums to
+    /// 1). With the oracle estimator these are the configured nominal
+    /// shares; with live estimation they are what the shard learned.
+    pub weights: Vec<f64>,
+    /// Estimator collections this shard ingested (a shard that missed an
+    /// epoch mid-batch folds the missed collections into one delta, so
+    /// this can lag the collector's publication count without any counts
+    /// being lost).
+    pub collections: u64,
 }
 
 /// The daemon's final report: one entry per worker, in worker order.
@@ -233,6 +333,14 @@ impl DaemonReport {
     #[must_use]
     pub fn dns_decisions(&self) -> u64 {
         self.workers.iter().map(|w| w.obs.dns_decisions).sum()
+    }
+
+    /// Estimator collections ingested by the most up-to-date shard
+    /// (shards can individually lag by folding missed epochs into one
+    /// delta, so the max is the collector's effective publication reach).
+    #[must_use]
+    pub fn collections(&self) -> u64 {
+        self.workers.iter().map(|w| w.collections).max().unwrap_or(0)
     }
 }
 
@@ -267,6 +375,13 @@ impl Daemon {
                 shards[bad].num_servers()
             ));
         }
+        let n_domains = shards[0].num_domains();
+        if let Some(bad) = shards.iter().position(|s| s.num_domains() != n_domains) {
+            return Err(format!(
+                "shard {bad} schedules {} domains but shard 0 schedules {n_domains}",
+                shards[bad].num_domains()
+            ));
+        }
 
         // One socket per worker. Batched mode tries per-worker reuseport
         // sockets (the first bind resolves port 0; the rest bind the same
@@ -298,8 +413,18 @@ impl Daemon {
 
         let control = Arc::new(Control {
             shutdown: AtomicBool::new(false),
-            backlog_epoch: AtomicU64::new(0),
-            backlogs: Mutex::new(vec![0.0; n_servers]),
+            epoch: AtomicU64::new(0),
+            shared: Mutex::new(SharedState {
+                ctl_seq: 0,
+                backlogs: vec![0.0; n_servers],
+                alarmed: vec![false; n_servers],
+                counts: vec![0; n_domains],
+                interval_s: 0.0,
+                collections: 0,
+            }),
+            counts: (0..shards.len())
+                .map(|_| (0..n_domains).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
         });
         let start = Instant::now();
 
@@ -311,17 +436,35 @@ impl Daemon {
             let handle = std::thread::Builder::new()
                 .name(format!("geodnsd-worker-{index}"))
                 .spawn(move || match io_mode {
-                    IoMode::Batched => {
-                        worker_loop_batched(&socket, shard, &control, start, max_datagram, batch)
-                    }
+                    IoMode::Batched => worker_loop_batched(
+                        &socket,
+                        shard,
+                        &control,
+                        start,
+                        max_datagram,
+                        batch,
+                        index,
+                    ),
                     IoMode::Single => {
-                        worker_loop_single(&socket, shard, &control, start, max_datagram)
+                        worker_loop_single(&socket, shard, &control, start, max_datagram, index)
                     }
                 })
                 .map_err(|e| format!("spawn worker {index}: {e}"))?;
             workers.push(handle);
         }
-        Ok(DaemonHandle { local_addr, io_mode, control, workers })
+        let collector = match cfg.collect_interval {
+            Some(interval) => {
+                let control = Arc::clone(&control);
+                let poll = cfg.read_timeout;
+                let handle = std::thread::Builder::new()
+                    .name("geodnsd-collector".into())
+                    .spawn(move || collector_loop(&control, interval, poll))
+                    .map_err(|e| format!("spawn collector: {e}"))?;
+                Some(handle)
+            }
+            None => None,
+        };
+        Ok(DaemonHandle { local_addr, io_mode, control, workers, collector })
     }
 
     /// Binds `count` `SO_REUSEPORT` sockets to the same address (the
@@ -343,6 +486,7 @@ pub struct DaemonHandle {
     io_mode: IoMode,
     control: Arc<Control>,
     workers: Vec<JoinHandle<WorkerReport>>,
+    collector: Option<JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -375,42 +519,157 @@ impl DaemonHandle {
     ///
     /// Returns a message if the length does not match the server count.
     pub fn set_backlogs(&self, backlogs: &[f64]) -> Result<(), String> {
-        let mut shared = self.control.backlogs.lock().expect("backlog lock poisoned");
-        if backlogs.len() != shared.len() {
-            return Err(format!("{} backlog values for {} servers", backlogs.len(), shared.len()));
+        let mut shared = lock_shared(&self.control.shared);
+        if backlogs.len() != shared.backlogs.len() {
+            return Err(format!(
+                "{} backlog values for {} servers",
+                backlogs.len(),
+                shared.backlogs.len()
+            ));
         }
-        shared.copy_from_slice(backlogs);
+        shared.backlogs.copy_from_slice(backlogs);
         drop(shared);
-        self.control.backlog_epoch.fetch_add(1, Ordering::Release);
+        self.control.epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
-    /// Requests graceful shutdown and joins every worker, returning the
-    /// final per-worker reports. Idempotent with a ctl-message shutdown:
+    /// Requests graceful shutdown and joins every worker (and the
+    /// collector thread, if live estimation was on), returning the final
+    /// per-worker reports. Idempotent with a ctl-message shutdown:
     /// whichever arrives first starts the drain.
     #[must_use]
     pub fn shutdown(self) -> DaemonReport {
         self.control.shutdown.store(true, Ordering::Relaxed);
-        let workers =
+        let workers: Vec<WorkerReport> =
             self.workers.into_iter().map(|w| w.join().expect("geodnsd worker panicked")).collect();
+        if let Some(collector) = self.collector {
+            collector.join().expect("geodnsd collector panicked");
+        }
         DaemonReport { workers }
     }
 }
 
-/// Copies a fresh backlog snapshot into the shard when the epoch moved
-/// (one relaxed-ish atomic load per loop iteration; the lock is only
-/// taken on an actual change).
-fn sync_backlogs(
-    shard: &mut AuthoritativeServer,
-    control: &Control,
-    local: &mut [f64],
-    seen_epoch: &mut u64,
-) {
-    let epoch = control.backlog_epoch.load(Ordering::Acquire);
-    if epoch != *seen_epoch {
-        local.copy_from_slice(&control.backlogs.lock().expect("backlog lock poisoned"));
-        shard.set_backlogs(local);
-        *seen_epoch = epoch;
+/// One worker's view of the shared control state: the last epoch it
+/// applied, the alarm mask it has signalled into its shard, the last
+/// cumulative counts/interval it ingested, and preallocated scratch so
+/// the sync path allocates nothing in steady state.
+struct ShardSync {
+    epoch: u64,
+    /// Scratch: backlog snapshot copied out under the lock.
+    backlogs: Vec<f64>,
+    /// Scratch: published alarm mask copied out under the lock.
+    alarm_now: Vec<bool>,
+    /// The alarm mask this shard has actually signalled (diffed against
+    /// `alarm_now` so each transition becomes exactly one `signal` call).
+    alarmed: Vec<bool>,
+    /// Scratch: published cumulative counts copied out under the lock.
+    counts: Vec<u64>,
+    /// Scratch: per-domain count delta handed to `ingest`.
+    delta: Vec<u64>,
+    /// Cumulative counts as of this shard's last accepted ingest.
+    last_counts: Vec<u64>,
+    /// Cumulative interval as of this shard's last accepted ingest.
+    last_interval: f64,
+    /// Accepted ingests (reported as [`WorkerReport::collections`]).
+    collections: u64,
+}
+
+impl ShardSync {
+    fn new(n_servers: usize, n_domains: usize) -> Self {
+        ShardSync {
+            epoch: 0,
+            backlogs: vec![0.0; n_servers],
+            alarm_now: vec![false; n_servers],
+            alarmed: vec![false; n_servers],
+            counts: vec![0; n_domains],
+            delta: vec![0; n_domains],
+            last_counts: vec![0; n_domains],
+            last_interval: 0.0,
+            collections: 0,
+        }
+    }
+}
+
+/// Applies any pending shared-state publication to the shard: backlog
+/// snapshot, alarm transitions (as [`Signal`]s), and estimator
+/// collections (as cumulative-count deltas). One relaxed-ish atomic load
+/// per loop iteration; the lock is only taken when the epoch moved, and
+/// shard updates run *after* the lock is dropped.
+fn sync_control(shard: &mut AuthoritativeServer, control: &Control, sync: &mut ShardSync) {
+    let epoch = control.epoch.load(Ordering::Acquire);
+    if epoch == sync.epoch {
+        return;
+    }
+    sync.epoch = epoch;
+    let interval = {
+        let shared = lock_shared(&control.shared);
+        sync.backlogs.copy_from_slice(&shared.backlogs);
+        sync.alarm_now.copy_from_slice(&shared.alarmed);
+        sync.counts.copy_from_slice(&shared.counts);
+        shared.interval_s
+    };
+    shard.set_backlogs(&sync.backlogs);
+    for server in 0..sync.alarmed.len() {
+        if sync.alarm_now[server] != sync.alarmed[server] {
+            let signal = if sync.alarm_now[server] { Signal::Alarm } else { Signal::Normal };
+            shard.scheduler_mut().signal(server, signal);
+            sync.alarmed[server] = sync.alarm_now[server];
+        }
+    }
+    // Delta against what *this shard* last ingested, not the previous
+    // publication: a shard that slept through an epoch folds the missed
+    // collections into one coarser (but count-preserving) EMA step.
+    let dt = interval - sync.last_interval;
+    if dt > 0.0 {
+        for (d, (c, last)) in sync.delta.iter_mut().zip(sync.counts.iter().zip(&sync.last_counts)) {
+            *d = c.saturating_sub(*last);
+        }
+        if shard.scheduler_mut().ingest(&sync.delta, dt) {
+            sync.collections += 1;
+        }
+        sync.last_counts.copy_from_slice(&sync.counts);
+        sync.last_interval = interval;
+    }
+}
+
+/// Publishes the worker's cumulative per-domain counters into its slab
+/// (plain relaxed stores: the slab has one writer — this worker — and
+/// one reader — the collector; no read-modify-write needed).
+fn flush_counts(shard: &AuthoritativeServer, slab: &[AtomicU64]) {
+    for (slot, &count) in slab.iter().zip(shard.domain_queries()) {
+        slot.store(count, Ordering::Relaxed);
+    }
+}
+
+/// The collector thread: every `interval`, sum the worker slabs into
+/// cumulative per-domain totals, stamp them with the *measured* elapsed
+/// time, publish under the shared lock, and bump the epoch. Sleeps in
+/// `poll`-sized steps so shutdown stays responsive.
+fn collector_loop(control: &Control, interval: Duration, poll: Duration) {
+    let n_domains = control.counts.first().map_or(0, Vec::len);
+    let mut merged = vec![0u64; n_domains];
+    let mut last = Instant::now();
+    loop {
+        while last.elapsed() < interval {
+            if control.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(poll.min(interval.saturating_sub(last.elapsed())));
+        }
+        let dt = last.elapsed().as_secs_f64();
+        last = Instant::now();
+        merged.fill(0);
+        for slab in &control.counts {
+            for (total, slot) in merged.iter_mut().zip(slab) {
+                *total += slot.load(Ordering::Relaxed);
+            }
+        }
+        let mut shared = lock_shared(&control.shared);
+        shared.counts.copy_from_slice(&merged);
+        shared.interval_s += dt;
+        shared.collections += 1;
+        drop(shared);
+        control.epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -431,11 +690,12 @@ fn worker_loop_single(
     control: &Control,
     start: Instant,
     max_datagram: usize,
+    index: usize,
 ) -> WorkerReport {
     let mut rx = vec![0u8; max_datagram];
     let mut tx = Vec::with_capacity(max_datagram);
-    let mut local_backlogs = vec![0.0; shard.num_servers()];
-    let mut seen_epoch = 0u64;
+    let mut sync = ShardSync::new(shard.num_servers(), shard.num_domains());
+    let slab = &control.counts[index];
     let mut counters = ObsCounters::new();
     let mut stats = WorkerStats::default();
 
@@ -443,7 +703,7 @@ fn worker_loop_single(
         if control.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        sync_backlogs(&mut shard, control, &mut local_backlogs, &mut seen_epoch);
+        sync_control(&mut shard, control, &mut sync);
         let (len, peer) = match socket.recv_from(&mut rx) {
             Ok(x) => x,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
@@ -457,7 +717,14 @@ fn worker_loop_single(
 
         if datagram.starts_with(CTL_MAGIC) {
             stats.ctl += 1;
-            if !handle_ctl(socket, &datagram[CTL_MAGIC.len()..], peer, control) {
+            if !handle_ctl(
+                socket,
+                &datagram[CTL_MAGIC.len()..],
+                peer,
+                control,
+                &mut shard,
+                &mut sync,
+            ) {
                 stats.tx_errors += 1;
             }
             continue;
@@ -474,8 +741,15 @@ fn worker_loop_single(
             }
             Err(_) => stats.dropped += 1,
         }
+        flush_counts(&shard, slab);
     }
-    WorkerReport { stats, obs: counters.snapshot(0, 0) }
+    flush_counts(&shard, slab);
+    WorkerReport {
+        stats,
+        obs: counters.snapshot(0, 0),
+        weights: shard.scheduler().estimator().relative_weights(),
+        collections: sync.collections,
+    }
 }
 
 /// One worker's life in [`IoMode::Batched`]: drain a batch with one
@@ -494,11 +768,12 @@ fn worker_loop_batched(
     start: Instant,
     max_datagram: usize,
     batch: usize,
+    index: usize,
 ) -> WorkerReport {
     let mut rx = mmsg::RecvBatch::new(batch, max_datagram);
     let mut tx = mmsg::SendBatch::new(batch, max_datagram);
-    let mut local_backlogs = vec![0.0; shard.num_servers()];
-    let mut seen_epoch = 0u64;
+    let mut sync = ShardSync::new(shard.num_servers(), shard.num_domains());
+    let slab = &control.counts[index];
     let mut counters = ObsCounters::new();
     let mut stats = WorkerStats::default();
 
@@ -506,7 +781,7 @@ fn worker_loop_batched(
         if control.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        sync_backlogs(&mut shard, control, &mut local_backlogs, &mut seen_epoch);
+        sync_control(&mut shard, control, &mut sync);
         let n = match mmsg::recv_batch(socket, &mut rx) {
             Ok(n) => n,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
@@ -519,11 +794,26 @@ fn worker_loop_batched(
         // One timestamp per batch: the whole burst was on the wire
         // together, and amortizing the clock read is part of the point.
         let now_s = start.elapsed().as_secs_f64();
+        let mut dispatched_ctl = false;
         for i in 0..n {
             let (datagram, peer) = rx.datagram(i);
             if datagram.starts_with(CTL_MAGIC) {
                 stats.ctl += 1;
-                if !handle_ctl(socket, &datagram[CTL_MAGIC.len()..], peer, control) {
+                // The counters must be visible to any collection this
+                // command triggers or reads (a `weights` query right
+                // after a traffic burst expects that burst counted).
+                if !dispatched_ctl {
+                    flush_counts(&shard, slab);
+                    dispatched_ctl = true;
+                }
+                if !handle_ctl(
+                    socket,
+                    &datagram[CTL_MAGIC.len()..],
+                    peer,
+                    control,
+                    &mut shard,
+                    &mut sync,
+                ) {
                     stats.tx_errors += 1;
                 }
                 continue;
@@ -542,8 +832,29 @@ fn worker_loop_batched(
         let outcome = mmsg::send_batch(socket, &mut tx);
         stats.answered += outcome.sent;
         stats.tx_errors += outcome.errors;
+        // One slab publication per batch: K relaxed stores, no RMW.
+        flush_counts(&shard, slab);
     }
-    WorkerReport { stats, obs: counters.snapshot(0, 0) }
+    flush_counts(&shard, slab);
+    WorkerReport {
+        stats,
+        obs: counters.snapshot(0, 0),
+        weights: shard.scheduler().estimator().relative_weights(),
+        collections: sync.collections,
+    }
+}
+
+/// A ctl command's outcome, mapped onto the wire ack.
+enum CtlReply {
+    /// Applied; ack `GDNSCTL1 ok`.
+    Ok,
+    /// A query with a payload; ack `GDNSCTL1 ok <payload>`.
+    OkText(String),
+    /// Unrecognized or malformed; ack `GDNSCTL1 err`.
+    Err,
+    /// A stateful command whose sequence number is not newer than the
+    /// last applied one; ack `GDNSCTL1 err stale`, nothing applied.
+    Stale,
 }
 
 /// Processes one control payload (already stripped of [`CTL_MAGIC`]).
@@ -552,48 +863,114 @@ fn worker_loop_batched(
 /// Returns `false` only when an ack was owed and the kernel refused to
 /// send it, so callers can count it as a tx error (the ack itself stays
 /// best-effort: the sender may have already gone away).
-fn handle_ctl(socket: &UdpSocket, payload: &[u8], peer: SocketAddr, control: &Control) -> bool {
+fn handle_ctl(
+    socket: &UdpSocket,
+    payload: &[u8],
+    peer: SocketAddr,
+    control: &Control,
+    shard: &mut AuthoritativeServer,
+    sync: &mut ShardSync,
+) -> bool {
     if !peer.ip().is_loopback() {
         return true;
     }
-    let reply: &[u8] = match ctl_command(payload, control) {
-        Ok(()) => b"GDNSCTL1 ok",
-        Err(()) => b"GDNSCTL1 err",
+    let text_reply;
+    let reply: &[u8] = match ctl_command(payload, control, shard, sync) {
+        CtlReply::Ok => b"GDNSCTL1 ok",
+        CtlReply::OkText(payload) => {
+            text_reply = format!("GDNSCTL1 ok {payload}");
+            text_reply.as_bytes()
+        }
+        CtlReply::Err => b"GDNSCTL1 err",
+        CtlReply::Stale => b"GDNSCTL1 err stale",
     };
     socket.send_to(reply, peer).is_ok()
 }
 
-/// Parses and applies one ctl command; `Err` means "unrecognized or
-/// malformed" (the sender gets a generic error ack either way).
-fn ctl_command(payload: &[u8], control: &Control) -> Result<(), ()> {
-    let text = std::str::from_utf8(payload).map_err(|_| ())?;
+/// Parses and applies one ctl command (grammar in the [module docs](self)).
+///
+/// Stateful commands do their sequence check and their state change under
+/// one hold of the shared lock, so a stale payload can never land *after*
+/// a newer one passed the check. Parsing happens before the lock: a
+/// malformed payload must leave the shared snapshot untouched (the old
+/// code wrote `backlogs` fields in place as it parsed, so a half-bad CSV
+/// left half-applied garbage behind a not-yet-bumped epoch, published by
+/// whatever accepted update came next).
+fn ctl_command(
+    payload: &[u8],
+    control: &Control,
+    shard: &mut AuthoritativeServer,
+    sync: &mut ShardSync,
+) -> CtlReply {
+    let Ok(text) = std::str::from_utf8(payload) else { return CtlReply::Err };
     let text = text.trim();
     if text == "shutdown" {
         control.shutdown.store(true, Ordering::Relaxed);
-        return Ok(());
+        return CtlReply::Ok;
     }
-    if let Some(csv) = text.strip_prefix("backlogs ") {
-        let mut shared = control.backlogs.lock().expect("backlog lock poisoned");
-        let n = shared.len();
-        let mut parsed = 0usize;
-        for (slot, field) in shared.iter_mut().zip(csv.split(',')) {
-            *slot = field.trim().parse().map_err(|_| ())?;
-            parsed += 1;
-        }
-        if parsed != n || csv.split(',').count() != n {
-            return Err(());
-        }
-        drop(shared);
-        control.backlog_epoch.fetch_add(1, Ordering::Release);
-        return Ok(());
+    if text == "weights" {
+        // Apply any pending collection first so the answer reflects the
+        // newest published estimate (shards converge on the same
+        // cumulative stream, so any shard's answer is representative).
+        sync_control(shard, control, sync);
+        let csv = shard
+            .scheduler()
+            .estimator()
+            .relative_weights()
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        return CtlReply::OkText(csv);
     }
-    Err(())
+    let mut parts = text.splitn(3, ' ');
+    let cmd = parts.next().unwrap_or("");
+    let Some(Ok(seq)) = parts.next().map(str::parse::<u64>) else { return CtlReply::Err };
+    let Some(rest) = parts.next() else { return CtlReply::Err };
+    match cmd {
+        "backlogs" => {
+            let mut values = Vec::new();
+            for field in rest.split(',') {
+                let Ok(value) = field.trim().parse::<f64>() else { return CtlReply::Err };
+                values.push(value);
+            }
+            let mut shared = lock_shared(&control.shared);
+            if values.len() != shared.backlogs.len() {
+                return CtlReply::Err;
+            }
+            if seq <= shared.ctl_seq {
+                return CtlReply::Stale;
+            }
+            shared.ctl_seq = seq;
+            shared.backlogs.copy_from_slice(&values);
+            drop(shared);
+            control.epoch.fetch_add(1, Ordering::Release);
+            CtlReply::Ok
+        }
+        "alarm" | "normal" => {
+            let Ok(server) = rest.trim().parse::<usize>() else { return CtlReply::Err };
+            let mut shared = lock_shared(&control.shared);
+            if server >= shared.alarmed.len() {
+                return CtlReply::Err;
+            }
+            if seq <= shared.ctl_seq {
+                return CtlReply::Stale;
+            }
+            shared.ctl_seq = seq;
+            shared.alarmed[server] = cmd == "alarm";
+            drop(shared);
+            control.epoch.fetch_add(1, Ordering::Release);
+            CtlReply::Ok
+        }
+        _ => CtlReply::Err,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Message, Question, Rcode};
+    use geodns_core::EstimatorKind;
 
     fn loopback_daemon_mode(workers: usize, io_mode: IoMode) -> DaemonHandle {
         let shards = (0..workers).map(|_| AuthoritativeServer::example()).collect();
@@ -694,8 +1071,8 @@ mod tests {
         let obs = || ObsCounters::new().snapshot(0, 0);
         let report = DaemonReport {
             workers: vec![
-                WorkerReport { stats: a, obs: obs() },
-                WorkerReport { stats: b, obs: obs() },
+                WorkerReport { stats: a, obs: obs(), weights: vec![1.0], collections: 0 },
+                WorkerReport { stats: b, obs: obs(), weights: vec![1.0], collections: 0 },
             ],
         };
         let totals = report.totals();
@@ -713,30 +1090,201 @@ mod tests {
         );
     }
 
+    /// Sends one ctl message and returns the ack text.
+    fn ctl(client: &UdpSocket, daemon: &DaemonHandle, msg: &str) -> String {
+        client.send_to(msg.as_bytes(), daemon.local_addr()).expect("send ctl");
+        let mut buf = [0u8; 256];
+        let (n, _) = client.recv_from(&mut buf).expect("ack");
+        String::from_utf8(buf[..n].to_vec()).expect("utf8 ack")
+    }
+
     #[test]
     fn ctl_backlogs_reach_every_shard() {
         let daemon = loopback_daemon(2);
         let client = client();
         let csv: Vec<String> = (0..7).map(|i| format!("0.{i}")).collect();
-        let msg = format!("GDNSCTL1 backlogs {}", csv.join(","));
-        client.send_to(msg.as_bytes(), daemon.local_addr()).expect("send ctl");
-        let mut buf = [0u8; 64];
-        let (n, _) = client.recv_from(&mut buf).expect("ack");
-        assert_eq!(&buf[..n], b"GDNSCTL1 ok");
+        assert_eq!(
+            ctl(&client, &daemon, &format!("GDNSCTL1 backlogs 1 {}", csv.join(","))),
+            "GDNSCTL1 ok"
+        );
         // Malformed updates are rejected: wrong count…
-        client.send_to(b"GDNSCTL1 backlogs 1.0,2.0", daemon.local_addr()).expect("send");
-        let (n, _) = client.recv_from(&mut buf).expect("ack");
-        assert_eq!(&buf[..n], b"GDNSCTL1 err");
-        // …and non-numeric fields.
-        client.send_to(b"GDNSCTL1 backlogs a,b,c,d,e,f,g", daemon.local_addr()).expect("send");
-        let (n, _) = client.recv_from(&mut buf).expect("ack");
-        assert_eq!(&buf[..n], b"GDNSCTL1 err");
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 backlogs 2 1.0,2.0"), "GDNSCTL1 err");
+        // …non-numeric fields…
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 backlogs 2 a,b,c,d,e,f,g"), "GDNSCTL1 err");
+        // …and a missing sequence number (the pre-sequence grammar).
+        assert_eq!(
+            ctl(&client, &daemon, "GDNSCTL1 backlogs 1.0,2.0,3.0,4.0,5.0,6.0,7.0"),
+            "GDNSCTL1 err"
+        );
         // Queries still answered afterwards.
         let q = Message::query(1, Question::a("www.example.org"));
         client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+        let mut buf = [0u8; 512];
         let (n, _) = client.recv_from(&mut buf).expect("answer");
         assert!(Message::parse(&buf[..n]).is_ok());
         drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn stale_ctl_sequences_are_rejected() {
+        let daemon = loopback_daemon(1);
+        let client = client();
+        let csv = "0.1,0.2,0.3,0.4,0.5,0.6,0.7";
+        assert_eq!(ctl(&client, &daemon, &format!("GDNSCTL1 backlogs 5 {csv}")), "GDNSCTL1 ok");
+        // A duplicated datagram (same seq) and a reordered one (older
+        // seq) are both refused without touching state.
+        assert_eq!(
+            ctl(&client, &daemon, &format!("GDNSCTL1 backlogs 5 {csv}")),
+            "GDNSCTL1 err stale"
+        );
+        assert_eq!(
+            ctl(&client, &daemon, &format!("GDNSCTL1 backlogs 3 {csv}")),
+            "GDNSCTL1 err stale"
+        );
+        // The sequence space is shared across stateful commands: a
+        // delayed `normal` from before a fresher `alarm` must lose.
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 alarm 6 0"), "GDNSCTL1 ok");
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 normal 6 0"), "GDNSCTL1 err stale");
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 normal 2 0"), "GDNSCTL1 err stale");
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 normal 7 0"), "GDNSCTL1 ok");
+        // Rejected commands must not consume sequence numbers: an
+        // out-of-range server at seq 8 fails, then seq 8 is still free.
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 alarm 8 99"), "GDNSCTL1 err");
+        assert_eq!(ctl(&client, &daemon, "GDNSCTL1 alarm 8 1"), "GDNSCTL1 ok");
+        // Stateless commands carry no sequence and never go stale.
+        assert!(ctl(&client, &daemon, "GDNSCTL1 weights").starts_with("GDNSCTL1 ok "));
+        drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn ctl_alarms_exclude_servers_from_scheduling() {
+        // Alarm every server except S_3 (index 2): with one worker, every
+        // subsequent decision must land on the only un-alarmed server.
+        let daemon = loopback_daemon(1);
+        let client = client();
+        let mut seq = 0u64;
+        for server in [0usize, 1, 3, 4, 5, 6] {
+            seq += 1;
+            assert_eq!(
+                ctl(&client, &daemon, &format!("GDNSCTL1 alarm {seq} {server}")),
+                "GDNSCTL1 ok"
+            );
+        }
+        let mut buf = [0u8; 512];
+        for id in 0..20u16 {
+            let q = Message::query(id, Question::a("www.example.org"));
+            client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+            let (n, _) = client.recv_from(&mut buf).expect("answer");
+            let resp = Message::parse(&buf[..n]).expect("parses");
+            assert_eq!(
+                resp.answers[0].a_addr().expect("an A answer"),
+                [192, 0, 2, 12],
+                "only the un-alarmed server may be scheduled"
+            );
+        }
+        // `normal` re-admits S_1; the rest stay excluded.
+        seq += 1;
+        assert_eq!(ctl(&client, &daemon, &format!("GDNSCTL1 normal {seq} 0")), "GDNSCTL1 ok");
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..40u16 {
+            let q = Message::query(1000 + id, Question::a("www.example.org"));
+            client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+            let (n, _) = client.recv_from(&mut buf).expect("answer");
+            let resp = Message::parse(&buf[..n]).expect("parses");
+            seen.insert(resp.answers[0].a_addr().expect("an A answer")[3]);
+        }
+        assert!(seen.contains(&10), "server 0 rejoins after normal: {seen:?}");
+        assert!(
+            seen.iter().all(|last| [10u8, 12].contains(last)),
+            "alarmed servers stay excluded: {seen:?}"
+        );
+        drop(daemon.shutdown());
+    }
+
+    #[test]
+    fn poisoned_shared_lock_does_not_cascade() {
+        let daemon = loopback_daemon(2);
+        // Poison the shared mutex the way a buggy holder would: panic
+        // while holding the guard.
+        let control = Arc::clone(&daemon.control);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = control.shared.lock().expect("first locker");
+            panic!("deliberate poison");
+        });
+        assert!(poisoner.join().is_err(), "the poisoner really panicked");
+        assert!(daemon.control.shared.lock().is_err(), "the mutex really is poisoned");
+        // The handle API, the ctl plane, and the data plane all recover.
+        daemon.set_backlogs(&[0.5; 7]).expect("set_backlogs survives poisoning");
+        let client = client();
+        let csv = "0.1,0.2,0.3,0.4,0.5,0.6,0.7";
+        assert_eq!(ctl(&client, &daemon, &format!("GDNSCTL1 backlogs 1 {csv}")), "GDNSCTL1 ok");
+        let q = Message::query(7, Question::a("www.example.org"));
+        client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send query");
+        let mut buf = [0u8; 512];
+        let (n, _) = client.recv_from(&mut buf).expect("answer after poisoning");
+        assert_eq!(Message::parse(&buf[..n]).expect("parses").header.id, 7);
+        let report = daemon.shutdown();
+        assert!(report.totals().answered >= 1);
+    }
+
+    #[test]
+    fn live_estimation_learns_weights_from_traffic() {
+        // One shard, EMA estimator from a uniform cold start, 50 ms
+        // collections. Traffic is 3:1 between domain 0 (sources in
+        // 127.0.0.0/24) and domain 2 (sources in 127.0.2.0/24); the
+        // daemon's own estimates must converge to that ratio.
+        let shards = vec![AuthoritativeServer::example_shard_with(
+            0,
+            7,
+            EstimatorKind::Measured { collect_interval_s: 0.05, ema_alpha: 0.5 },
+        )];
+        let mut cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        cfg.collect_interval = Some(Duration::from_millis(50));
+        let daemon = Daemon::spawn(&cfg, shards).expect("daemon spawns");
+        let addr = daemon.local_addr();
+
+        let d0 = client(); // binds 127.0.0.1 → domain 0
+        let d2 = UdpSocket::bind("127.0.2.1:0").expect("bind 127.0.2.1");
+        d2.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let q = Message::query(9, Question::a("www.example.org")).to_bytes();
+        let mut buf = [0u8; 512];
+
+        let mut converged = false;
+        let mut last_weights: Vec<f64> = Vec::new();
+        for _round in 0..40 {
+            for i in 0..60 {
+                d0.send_to(&q, addr).expect("send");
+                if i % 3 == 0 {
+                    d2.send_to(&q, addr).expect("send");
+                }
+            }
+            for _ in 0..60 {
+                let _ = d0.recv_from(&mut buf);
+            }
+            for _ in 0..20 {
+                let _ = d2.recv_from(&mut buf);
+            }
+            std::thread::sleep(Duration::from_millis(60));
+            let reply = ctl(&d0, &daemon, "GDNSCTL1 weights");
+            let csv = reply.strip_prefix("GDNSCTL1 ok ").expect("weights ack");
+            last_weights = csv.split(',').map(|f| f.parse().expect("a weight")).collect();
+            assert_eq!(last_weights.len(), 4, "one weight per domain");
+            let ratio = last_weights[0] / last_weights[2];
+            if (2.0..=4.5).contains(&ratio)
+                && last_weights[0] > last_weights[1]
+                && last_weights[2] > last_weights[3]
+            {
+                converged = true;
+                break;
+            }
+        }
+        let report = daemon.shutdown();
+        assert!(converged, "estimates never approached the 3:1 traffic split: {last_weights:?}");
+        assert!(report.collections() >= 1, "the collector really published");
+        assert!(
+            (report.workers[0].weights.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "reported weights are relative shares"
+        );
     }
 
     #[test]

@@ -97,6 +97,13 @@ impl ClientMap {
         self.prefixes.iter().find(|(net, len, _)| ip & Self::mask(*len) == *net).map(|&(_, _, d)| d)
     }
 
+    /// The largest domain index any prefix maps to (`None` when empty) —
+    /// what a server must size its per-domain accounting for.
+    #[must_use]
+    pub fn max_domain(&self) -> Option<usize> {
+        self.prefixes.iter().map(|&(_, _, d)| d).max()
+    }
+
     /// Number of registered prefixes.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -126,6 +133,12 @@ pub struct AuthoritativeServer {
     clients: ClientMap,
     fallback_domain: usize,
     backlogs: Vec<f64>,
+    /// Cumulative queries answered per client domain — the §3.1 "servers
+    /// count incoming hits per domain" accounting, kept at the DNS itself
+    /// (the daemon sees every query the Web servers will receive). Plain
+    /// counters, no atomics: each daemon worker owns its shard and
+    /// publishes a snapshot off the fast path.
+    domain_queries: Vec<u64>,
 }
 
 impl AuthoritativeServer {
@@ -142,7 +155,11 @@ impl AuthoritativeServer {
     /// # Errors
     ///
     /// Returns a message if the address count differs from the scheduler's
-    /// server count, or `site_name` is not inside `zone`.
+    /// server count, `site_name` is not inside `zone`, or the client map
+    /// (or `fallback_domain`) names a domain index the scheduler was not
+    /// configured with — previously such a mapping answered fine until
+    /// the first matching query indexed past the classifier tables and
+    /// panicked the worker.
     pub fn new(
         site_name: Name,
         zone: Name,
@@ -157,6 +174,15 @@ impl AuthoritativeServer {
                 "{} server addresses for a {n}-server scheduler",
                 server_addrs.len()
             ));
+        }
+        let k = scheduler.num_domains();
+        if fallback_domain >= k {
+            return Err(format!("fallback domain {fallback_domain} for a {k}-domain scheduler"));
+        }
+        if let Some(max) = clients.max_domain() {
+            if max >= k {
+                return Err(format!("client map names domain {max} for a {k}-domain scheduler"));
+            }
         }
         let site_labels = site_name.labels();
         let zone_labels = zone.labels();
@@ -178,6 +204,7 @@ impl AuthoritativeServer {
             clients,
             fallback_domain,
             backlogs: vec![0.0; n],
+            domain_queries: vec![0; k],
             scheduler,
         })
     }
@@ -208,9 +235,28 @@ impl AuthoritativeServer {
     /// Never panics — the configuration is valid by construction.
     #[must_use]
     pub fn example_shard(worker: u64, seed: u64) -> Self {
+        Self::example_shard_with(worker, seed, EstimatorKind::Oracle)
+    }
+
+    /// The [`example_shard`](Self::example_shard) topology with an
+    /// explicit hidden-load estimator kind. [`EstimatorKind::Oracle`] gets
+    /// the spoon-fed nominal weights (40:20:10:5 — the paper's baseline
+    /// assumption); the adaptive kinds start from a **uniform** cold-start
+    /// belief and must learn the real per-domain shares from the query
+    /// stream via periodic `ingest` collections (the live §3 control
+    /// loop).
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the configuration is valid by construction.
+    #[must_use]
+    pub fn example_shard_with(worker: u64, seed: u64, estimator: EstimatorKind) -> Self {
         let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H35, 500.0);
-        let weights = [40.0, 20.0, 10.0, 5.0];
-        let estimator = HiddenLoadEstimator::new(EstimatorKind::Oracle, &weights);
+        let weights = match estimator {
+            EstimatorKind::Oracle => [40.0, 20.0, 10.0, 5.0],
+            _ => [1.0; 4],
+        };
+        let estimator = HiddenLoadEstimator::new(estimator, &weights);
         let scheduler = DnsScheduler::new(
             Algorithm::drr2_ttl_s_k(),
             &plan,
@@ -240,6 +286,28 @@ impl AuthoritativeServer {
     /// The scheduler, e.g. to feed alarm signals or estimator collections.
     pub fn scheduler_mut(&mut self) -> &mut DnsScheduler {
         &mut self.scheduler
+    }
+
+    /// The scheduler, read-only (estimator weights, classes, TTL tables).
+    #[must_use]
+    pub fn scheduler(&self) -> &DnsScheduler {
+        &self.scheduler
+    }
+
+    /// Cumulative queries answered per client domain since construction
+    /// (both the fast and the slow serving path count; refused/NXDOMAIN
+    /// responses don't — no scheduling decision was made for them).
+    /// Monotone, so a collector can difference successive snapshots.
+    #[must_use]
+    pub fn domain_queries(&self) -> &[u64] {
+        &self.domain_queries
+    }
+
+    /// Number of client domains the scheduler is configured with (the
+    /// length of [`domain_queries`](Self::domain_queries)).
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.domain_queries.len()
     }
 
     /// Updates the backlog snapshot used by backlog-aware policies.
@@ -375,6 +443,7 @@ impl AuthoritativeServer {
         }
 
         let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
+        self.domain_queries[domain] += 1;
         let (server, ttl_s) = self.scheduler.resolve_probed(
             domain,
             SimTime::from_secs(now_s.max(0.0)),
@@ -467,6 +536,7 @@ impl AuthoritativeServer {
         }
 
         let domain = self.clients.domain_of(src).unwrap_or(self.fallback_domain);
+        self.domain_queries[domain] += 1;
         let (server, ttl_s) = self.scheduler.resolve_probed(
             domain,
             SimTime::from_secs(now_s.max(0.0)),
@@ -657,6 +727,133 @@ mod tests {
         assert_eq!(map.domain_of([10, 1, 0, 9]), Some(5), "longest prefix still wins");
         assert_eq!(map.domain_of([10, 1, 5, 9]), Some(3));
         assert_eq!(map.domain_of([10, 2, 5, 9]), Some(4));
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_the_most_specific_prefix() {
+        // Nested and overlapping prefixes: /8 ⊃ /16 ⊃ /24 ⊃ /32. The most
+        // specific registered prefix must win for every address, and the
+        // default route (/0) must catch only what nothing else does.
+        let mut map = ClientMap::new();
+        map.add_prefix([10, 0, 0, 0], 8, 0).unwrap();
+        map.add_prefix([10, 1, 0, 0], 16, 1).unwrap();
+        map.add_prefix([10, 1, 2, 0], 24, 2).unwrap();
+        map.add_prefix([10, 1, 2, 3], 32, 3).unwrap();
+        map.add_prefix([0, 0, 0, 0], 0, 9).unwrap();
+
+        assert_eq!(map.domain_of([10, 9, 9, 9]), Some(0), "only the /8 covers this");
+        assert_eq!(map.domain_of([10, 1, 9, 9]), Some(1), "/16 beats the /8");
+        assert_eq!(map.domain_of([10, 1, 2, 9]), Some(2), "/24 beats /16 and /8");
+        assert_eq!(map.domain_of([10, 1, 2, 3]), Some(3), "/32 exact host beats everything");
+        assert_eq!(map.domain_of([192, 0, 2, 1]), Some(9), "default route catches the rest");
+        assert_eq!(map.max_domain(), Some(9));
+    }
+
+    #[test]
+    fn longest_prefix_match_is_insertion_order_independent() {
+        // The same nested prefix set registered in every order must give
+        // the same answer for every probe address: specificity, not
+        // `add_prefix` ordering, decides.
+        let prefixes: [([u8; 4], u8, usize); 4] = [
+            ([172, 16, 0, 0], 12, 0),
+            ([172, 16, 0, 0], 16, 1),
+            ([172, 16, 5, 0], 24, 2),
+            ([172, 20, 0, 0], 16, 3),
+        ];
+        let probes: [([u8; 4], Option<usize>); 5] = [
+            ([172, 17, 0, 1], Some(0)),   // /12 only
+            ([172, 16, 9, 1], Some(1)),   // /16 inside the /12
+            ([172, 16, 5, 200], Some(2)), // /24 inside both
+            ([172, 20, 3, 4], Some(3)),   // sibling /16
+            ([172, 32, 0, 1], None),      // outside the /12 (172.32 = next /12 block)
+        ];
+        // All 24 permutations of 4 insertions.
+        let orders = [
+            [0, 1, 2, 3],
+            [0, 1, 3, 2],
+            [0, 2, 1, 3],
+            [0, 2, 3, 1],
+            [0, 3, 1, 2],
+            [0, 3, 2, 1],
+            [1, 0, 2, 3],
+            [1, 0, 3, 2],
+            [1, 2, 0, 3],
+            [1, 2, 3, 0],
+            [1, 3, 0, 2],
+            [1, 3, 2, 0],
+            [2, 0, 1, 3],
+            [2, 0, 3, 1],
+            [2, 1, 0, 3],
+            [2, 1, 3, 0],
+            [2, 3, 0, 1],
+            [2, 3, 1, 0],
+            [3, 0, 1, 2],
+            [3, 0, 2, 1],
+            [3, 1, 0, 2],
+            [3, 1, 2, 0],
+            [3, 2, 0, 1],
+            [3, 2, 1, 0],
+        ];
+        for order in orders {
+            let mut map = ClientMap::new();
+            for i in order {
+                let (addr, len, dom) = prefixes[i];
+                map.add_prefix(addr, len, dom).unwrap();
+            }
+            for &(probe, want) in &probes {
+                assert_eq!(
+                    map.domain_of(probe),
+                    want,
+                    "probe {probe:?} under insertion order {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domain_queries_count_per_source_domain() {
+        let mut s = AuthoritativeServer::example();
+        assert_eq!(s.num_domains(), 4);
+        assert_eq!(s.domain_queries(), &[0; 4]);
+        for _ in 0..3 {
+            let _ = ask(&mut s, "www.example.org", [10, 0, 0, 1]);
+        }
+        let _ = ask(&mut s, "www.example.org", [10, 2, 0, 1]);
+        // Unmapped source lands on the fallback domain (3).
+        let _ = ask(&mut s, "www.example.org", [203, 0, 113, 7]);
+        // Refused/NXDOMAIN make no scheduling decision and count nowhere.
+        let _ = ask(&mut s, "ftp.example.org", [10, 1, 0, 1]);
+        let _ = ask(&mut s, "www.other.test", [10, 1, 0, 1]);
+        assert_eq!(s.domain_queries(), &[3, 0, 1, 1]);
+    }
+
+    #[test]
+    fn construction_rejects_out_of_range_domains() {
+        // The example scheduler knows 4 domains; a client map (or
+        // fallback) naming domain 4 must be a constructor error, not a
+        // worker panic on the first matching query.
+        let mut clients = ClientMap::new();
+        clients.add_prefix([10, 0, 0, 0], 16, 4).unwrap();
+        let err = AuthoritativeServer::new(
+            "www.example.org".parse().unwrap(),
+            "example.org".parse().unwrap(),
+            (0..7).map(|i| [192, 0, 2, 10 + i as u8]).collect(),
+            AuthoritativeServer::example().scheduler,
+            clients,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("domain 4"), "{err}");
+        let err = AuthoritativeServer::new(
+            "www.example.org".parse().unwrap(),
+            "example.org".parse().unwrap(),
+            (0..7).map(|i| [192, 0, 2, 10 + i as u8]).collect(),
+            AuthoritativeServer::example().scheduler,
+            ClientMap::new(),
+            7,
+        )
+        .unwrap_err();
+        assert!(err.contains("fallback domain 7"), "{err}");
     }
 
     #[test]
