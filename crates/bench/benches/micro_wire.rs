@@ -9,10 +9,13 @@
 //!    one trailing pad byte, which the fast path declines but the slow
 //!    path answers identically);
 //! 3. **daemon** — end-to-end over a real loopback socket: `Daemon`
-//!    workers vs closed-loop client threads, answers/sec, measured twice:
-//!    `daemon_single` (shared socket, one datagram per syscall, window 1 —
-//!    the PR 4 transport) and `daemon_batched` (per-worker `SO_REUSEPORT`
-//!    sockets, `recvmmsg`/`sendmmsg`, windowed clients — the default).
+//!    workers vs closed-loop client threads, answers/sec, measured three
+//!    ways: `daemon_single` (shared socket, one datagram per syscall,
+//!    window 1 — the PR 4 transport), `daemon_batched` (per-worker
+//!    `SO_REUSEPORT` sockets, `recvmmsg`/`sendmmsg`, windowed clients —
+//!    the default), and `daemon_uring` (same sockets, one
+//!    `io_uring_enter` per drain-serve-flush round; skipped where the
+//!    kernel has no io_uring).
 //!
 //! Modes:
 //!
@@ -24,7 +27,12 @@
 //!   batched transport's advantage over the single-datagram transport
 //!   fell below the baseline's conservative floor (~1.5x vs the ~1.8x
 //!   measured even on a single shared core, where reuseport cannot add
-//!   parallelism — only syscall amortization is being gated). Like
+//!   parallelism — only syscall amortization is being gated), or (when
+//!   io_uring is available) if the uring transport fell below its floor
+//!   relative to batched — the uring gate asks "did the single-enter
+//!   round keep up with the two-syscall round", so it is a ratio near
+//!   1x with a floor low enough to absorb scheduler noise, not a
+//!   speedup claim. Like
 //!   `micro_engine --check`, the gates compare *speedups* measured on the
 //!   same machine in the same run, so absolute machine speed cancels out.
 //!   The serve margin is wider than `micro_engine`'s 20% because a ~15x
@@ -181,12 +189,18 @@ fn repo_root() -> PathBuf {
 
 /// Loads the checked-in baseline and fails the process if the measured
 /// fast-path speedup regressed by more than 40% (see the module docs for
-/// why this margin is wider than `micro_engine`'s), or if the batched
+/// why this margin is wider than `micro_engine`'s), if the batched
 /// transport's advantage over the single-datagram transport fell below
-/// the baseline's conservative floor. The transport gate only applies on
-/// Linux: elsewhere `IoMode::Batched` degrades to the portable fallback
-/// and the ratio is 1x by construction.
-fn check_against_baseline(serve: &ServeNumbers, batched_vs_single: f64) {
+/// the baseline's conservative floor, or if the uring transport fell
+/// below its floor relative to batched. The transport gates only apply
+/// on Linux: elsewhere `IoMode::Batched` degrades to the portable
+/// fallback and the ratios are 1x by construction; the uring gate
+/// additionally needs a kernel that can grant a ring.
+fn check_against_baseline(
+    serve: &ServeNumbers,
+    batched_vs_single: f64,
+    uring_vs_batched: Option<f64>,
+) {
     let path = repo_root().join("BENCH_wire.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", path.display()));
@@ -218,8 +232,25 @@ fn check_against_baseline(serve: &ServeNumbers, batched_vs_single: f64) {
             std::process::exit(1);
         }
         eprintln!("micro_wire: batched transport speedup holds the checked-in floor");
+
+        match uring_vs_batched {
+            Some(ratio) => {
+                let floor = baseline["daemon_uring"]["gate_floor"]
+                    .as_f64()
+                    .expect("baseline daemon_uring.gate_floor");
+                eprintln!("check uring-vs-batched transport ratio {ratio:.2}x (floor {floor:.2}x)");
+                if ratio < floor {
+                    eprintln!(
+                        "micro_wire: uring transport ratio fell below the BENCH_wire.json floor"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("micro_wire: uring transport ratio holds the checked-in floor");
+            }
+            None => eprintln!("micro_wire: skipping the uring gate (io_uring unavailable)"),
+        }
     } else {
-        eprintln!("micro_wire: skipping the batched transport gate (non-Linux fallback io)");
+        eprintln!("micro_wire: skipping the transport gates (non-Linux fallback io)");
     }
 }
 
@@ -255,6 +286,17 @@ fn main() {
         daemon_secs,
     ));
     let batched_vs_single = daemon_batched / daemon_single;
+    let daemon_uring = geodns_wire::uring::supported().then(|| {
+        eprintln!("[micro_wire] end-to-end loopback daemon, uring io (2 x {daemon_secs:.0} s) …");
+        bench_daemon(IoMode::Uring, 2, 4, 32, daemon_secs).max(bench_daemon(
+            IoMode::Uring,
+            2,
+            4,
+            32,
+            daemon_secs,
+        ))
+    });
+    let uring_vs_batched = daemon_uring.map(|qps| qps / daemon_batched);
 
     let rows = vec![
         vec!["codec: encode (fresh Vec)".into(), format!("{:.0}", codec.encode_fresh_qps)],
@@ -264,15 +306,21 @@ fn main() {
         vec!["serve: slow path (padded)".into(), format!("{:.0}", serve.slow_qps)],
         vec!["daemon: single io (window 1)".into(), format!("{daemon_single:.0}")],
         vec!["daemon: batched io (window 32)".into(), format!("{daemon_batched:.0}")],
+        vec![
+            "daemon: uring io (window 32)".into(),
+            daemon_uring.map_or_else(|| "unavailable".into(), |qps| format!("{qps:.0}")),
+        ],
     ];
     println!("\nwire-path throughput (queries/sec)\n");
     println!("{}", format_table(&["stage", "qps"], &rows));
     println!(
         "fast path is {:.2}x the slow path; reused-buffer encode is {:.2}x a fresh Vec; \
-         batched transport is {:.2}x the single-datagram transport",
+         batched transport is {:.2}x the single-datagram transport{}",
         serve.speedup(),
         codec.encode_reuse_qps / codec.encode_fresh_qps,
-        batched_vs_single
+        batched_vs_single,
+        uring_vs_batched
+            .map_or_else(String::new, |r| format!("; uring transport is {r:.2}x the batched"))
     );
 
     let json = serde_json::json!({
@@ -306,6 +354,16 @@ fn main() {
             "qps": daemon_batched,
             "batched_vs_single": batched_vs_single,
         },
+        "daemon_uring": {
+            "io_mode": "uring",
+            "supported": daemon_uring.is_some(),
+            "workers": 2,
+            "clients": 4,
+            "window": 32,
+            "seconds": daemon_secs,
+            "qps": daemon_uring,
+            "uring_vs_batched": uring_vs_batched,
+        },
     });
     let path = output_dir().join("micro_wire.json");
     std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serialize"))
@@ -313,6 +371,6 @@ fn main() {
     eprintln!("wrote {}", path.display());
 
     if check {
-        check_against_baseline(&serve, batched_vs_single);
+        check_against_baseline(&serve, batched_vs_single, uring_vs_batched);
     }
 }

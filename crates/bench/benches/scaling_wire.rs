@@ -1,0 +1,220 @@
+//! Worker×core scaling wall-chart for the `geodnsd` wire path: answers/s
+//! over a real loopback daemon at 1/2/4/8 workers, pinned vs unpinned,
+//! in the best transport the kernel grants (uring where available,
+//! batched otherwise).
+//!
+//! What the chart answers: does the per-worker `SO_REUSEPORT` +
+//! one-enter-per-round design actually *scale* when cores are added, and
+//! how much of that scaling is real parallelism vs scheduler placement
+//! luck? The pinned rows place worker `i` on core `i mod online_cpus`
+//! (and the closed-loop clients on the remaining cores when there are
+//! enough); the unpinned rows are the control — on a many-core box the
+//! gap between them is migration noise, and on a one-core box the whole
+//! chart is flat by construction (every worker shares the core, so added
+//! workers only add contention).
+//!
+//! Modes:
+//!
+//! * default — full measurement (3 s per cell, best of 2);
+//! * `GEODNS_QUICK=1` / `--quick` — 1 s per cell for CI smoke;
+//! * `--check` — gate the chart against the `scaling` section of the
+//!   checked-in `BENCH_wire.json`: at every measured worker count the
+//!   throughput must stay above `gate_min_ratio` × the 1-worker number.
+//!   The floor is deliberately a *collapse* detector, not a scaling
+//!   claim: the committed baseline comes from a single-core box where
+//!   the ideal curve is flat and contention can only push it down, so
+//!   the gate fails when adding workers destroys throughput (lock
+//!   convoying, ring thrashing), never when a small box fails to show
+//!   a big box's speedup.
+//!
+//! The full grid is persisted to `target/paper/scaling_wire.json`; the
+//! committed `BENCH_wire.json` section is a hand-promoted snapshot of a
+//! reference run plus the gate floor.
+
+use std::net::UdpSocket;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use geodns_bench::{output_dir, quick_mode};
+use geodns_core::format_table;
+use geodns_wire::mmsg::{self, RecvBatch, SendBatch};
+use geodns_wire::{affinity, AuthoritativeServer, Daemon, DaemonConfig, IoMode, Message, Question};
+
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+const CLIENTS: usize = 4;
+const WINDOW: usize = 32;
+
+/// One cell of the wall-chart: answers/s through a fresh daemon with
+/// `workers` threads (pinned to cores 0.. when `pin`) under a fixed
+/// closed-loop client load. Client threads are pinned to the cores
+/// *after* the workers' range when pinning and the box has room —
+/// otherwise they float, which on a saturated small box is the honest
+/// configuration anyway.
+fn bench_cell(io_mode: IoMode, workers: usize, pin: bool, secs: f64) -> f64 {
+    let shards = (0..workers).map(|w| AuthoritativeServer::example_shard(w as u64, 7)).collect();
+    let mut cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+    cfg.io_mode = io_mode;
+    cfg.pin = pin.then_some(0);
+    let daemon = Daemon::spawn(&cfg, shards).expect("daemon spawns");
+    let target = daemon.local_addr();
+    let online = affinity::online_cpus().max(1);
+
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(secs);
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                if pin && online > workers {
+                    let _ = affinity::pin_to_core(workers + (c % (online - workers)));
+                }
+                let socket = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+                socket.connect(target).expect("connect");
+                socket.set_read_timeout(Some(Duration::from_secs(1))).expect("timeout");
+                let query = Message::query(0, Question::a("www.example.org")).to_bytes();
+                let mut tx = SendBatch::new(WINDOW, 512);
+                let mut rx = RecvBatch::new(WINDOW, 512);
+                let mut answered = 0u64;
+                let mut id = (c as u16) << 10;
+                while Instant::now() < deadline {
+                    for _ in 0..WINDOW {
+                        id = id.wrapping_add(1);
+                        let buf = tx.buffer();
+                        buf.extend_from_slice(&query);
+                        buf[0..2].copy_from_slice(&id.to_be_bytes());
+                        tx.commit(target);
+                    }
+                    mmsg::send_batch(&socket, &mut tx);
+                    let mut got = 0;
+                    while got < WINDOW {
+                        match mmsg::recv_batch(&socket, &mut rx) {
+                            Ok(n) => {
+                                answered += n as u64;
+                                got += n;
+                            }
+                            // Timeout re-sends the burst; the loop stays
+                            // closed and lost datagrams just cost time.
+                            Err(_) => break,
+                        }
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    let answered: u64 = threads.into_iter().map(|t| t.join().expect("client panicked")).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let _ = daemon.shutdown();
+    answered as f64 / elapsed
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Applies the collapse gate: every pinned cell must hold
+/// `gate_min_ratio` × the pinned 1-worker cell.
+fn check_against_baseline(pinned: &[(usize, f64)]) {
+    let path = repo_root().join("BENCH_wire.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", path.display()));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check: bad baseline JSON: {e}"));
+    let floor =
+        baseline["scaling"]["gate_min_ratio"].as_f64().expect("baseline scaling.gate_min_ratio");
+
+    let base = pinned.first().map_or(0.0, |&(_, qps)| qps);
+    assert!(base > 0.0, "1-worker cell measured zero throughput");
+    let mut ok = true;
+    for &(workers, qps) in &pinned[1..] {
+        let ratio = qps / base;
+        eprintln!(
+            "check scaling {workers} workers: {ratio:.2}x the 1-worker throughput \
+             (floor {floor:.2}x)"
+        );
+        if ratio < floor {
+            eprintln!("scaling_wire: {workers}-worker throughput collapsed below the floor");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    eprintln!("scaling_wire: all worker counts hold the BENCH_wire.json collapse floor");
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    let secs = if quick { 1.0 } else { 3.0 };
+    let io_mode = if geodns_wire::uring::supported() { IoMode::Uring } else { IoMode::default() };
+    let online = affinity::online_cpus().max(1);
+
+    eprintln!(
+        "[scaling_wire] {CLIENTS} clients x window {WINDOW}, io={io_mode}, {online} online \
+         cpus, 2 x {secs:.0} s per cell{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let mut cells: Vec<(usize, bool, f64)> = Vec::new();
+    for &workers in &WORKER_GRID {
+        for pin in [false, true] {
+            let qps = bench_cell(io_mode, workers, pin, secs)
+                .max(bench_cell(io_mode, workers, pin, secs));
+            eprintln!(
+                "[scaling_wire] {workers} workers, {}: {qps:.0} answers/s",
+                if pin { "pinned" } else { "unpinned" }
+            );
+            cells.push((workers, pin, qps));
+        }
+    }
+
+    let base =
+        cells.iter().find(|&&(w, pin, _)| w == 1 && pin).map_or(f64::NAN, |&(_, _, qps)| qps);
+    let rows: Vec<Vec<String>> = WORKER_GRID
+        .iter()
+        .map(|&w| {
+            let at = |want_pin: bool| {
+                cells
+                    .iter()
+                    .find(|&&(cw, pin, _)| cw == w && pin == want_pin)
+                    .map_or(f64::NAN, |&(_, _, qps)| qps)
+            };
+            vec![
+                format!("{w}"),
+                format!("{:.0}", at(false)),
+                format!("{:.0}", at(true)),
+                format!("{:.2}x", at(true) / base),
+            ]
+        })
+        .collect();
+    println!("\nworker x core scaling, answers/sec ({io_mode} io, {online} online cpus)\n");
+    println!(
+        "{}",
+        format_table(&["workers", "unpinned qps", "pinned qps", "pinned vs 1-worker"], &rows)
+    );
+
+    let json = serde_json::json!({
+        "quick": quick,
+        "io_mode": io_mode.to_string(),
+        "online_cpus": online,
+        "clients": CLIENTS,
+        "window": WINDOW,
+        "seconds": secs,
+        "cells": cells
+            .iter()
+            .map(|&(workers, pin, qps)| {
+                serde_json::json!({ "workers": workers, "pinned": pin, "qps": qps })
+            })
+            .collect::<Vec<_>>(),
+    });
+    let path = output_dir().join("scaling_wire.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serialize"))
+        .expect("write scaling_wire.json");
+    eprintln!("wrote {}", path.display());
+
+    if check {
+        let pinned: Vec<(usize, f64)> =
+            cells.iter().filter(|&&(_, pin, _)| pin).map(|&(w, _, qps)| (w, qps)).collect();
+        check_against_baseline(&pinned);
+    }
+}

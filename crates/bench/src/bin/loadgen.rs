@@ -4,7 +4,8 @@
 //! loadgen [--target ADDR] [--clients N] [--duration SECS] [--domains K]
 //!         [--exponent Z] [--servers N] [--seed N] [--feedback-ms MS]
 //!         [--feedback backlogs|alarms|none] [--alarm-threshold X]
-//!         [--window W] [--min-qps F] [--check-weights TOL] [--shutdown]
+//!         [--window W] [--pin BASE] [--min-qps F] [--check-weights TOL]
+//!         [--shutdown]
 //! ```
 //!
 //! Replays the paper's §4.1 domain structure over loopback: each burst's
@@ -21,9 +22,22 @@
 //! actually saturate it. Measured throughput stays end-to-end: encode →
 //! kernel → daemon worker → scheduler → kernel → full parse + validation.
 //!
-//! Every answered query also contributes an RTT sample (burst-send to
-//! response-receive), summarized as exact-CDF p50/p95/p99 so a throughput
-//! win can't silently trade away tail latency.
+//! Every answered query also contributes an RTT sample, summarized as
+//! exact-CDF p50/p95/p99 so a throughput win can't silently trade away
+//! tail latency. RTT is attributed **per message**, not per burst: each
+//! window slot is stamped ([`geodns_bench::BurstClock`]) when its query
+//! is committed to the send arena — before the `sendmmsg` flush, so the
+//! kernel transmit path is inside the measurement — and read against the
+//! return instant of the `recvmmsg` call that carried *that slot's*
+//! answer. (The earlier burst-granular clock started after the send and
+//! gave every answer in a burst the same timestamp pair, which both hid
+//! the send syscall and flattened the tail.)
+//!
+//! `--pin BASE` pins client thread `i` to CPU `(BASE + i) mod
+//! online_cpus` (best-effort), the client half of the worker×core
+//! scaling study: with `geodnsd --pin` on a disjoint core range, a
+//! throughput number measures the daemon's scaling rather than the
+//! generator and daemon migrating onto each other's cores.
 //!
 //! A feedback thread (cadence `--feedback-ms`) emulates the Web-server
 //! side of the paper's control loop in one of two modes (`--feedback`):
@@ -59,6 +73,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use geodns_bench::BurstClock;
 use geodns_server::{AlarmMonitor, CapacityPlan, HeterogeneityLevel, Signal};
 use geodns_simcore::dist::{Distribution, Zipf};
 use geodns_simcore::stats::Cdf;
@@ -116,6 +131,7 @@ struct Args {
     feedback: FeedbackMode,
     alarm_threshold: f64,
     window: usize,
+    pin: Option<usize>,
     min_qps: Option<f64>,
     check_weights: Option<f64>,
     shutdown: bool,
@@ -134,6 +150,7 @@ fn parse_args() -> Result<Args, String> {
         feedback: FeedbackMode::Backlogs,
         alarm_threshold: 1.5,
         window: 32,
+        pin: None,
         min_qps: None,
         check_weights: None,
         shutdown: false,
@@ -161,6 +178,7 @@ fn parse_args() -> Result<Args, String> {
                 args.alarm_threshold = parsed("--alarm-threshold", value("--alarm-threshold")?)?;
             }
             "--window" => args.window = parsed("--window", value("--window")?)?,
+            "--pin" => args.pin = Some(parsed("--pin", value("--pin")?)?),
             "--min-qps" => args.min_qps = Some(parsed("--min-qps", value("--min-qps")?)?),
             "--check-weights" => {
                 args.check_weights = Some(parsed("--check-weights", value("--check-weights")?)?);
@@ -171,7 +189,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: loadgen [--target ADDR] [--clients N] [--duration SECS] \
                      [--domains K] [--exponent Z] [--servers N] [--seed N] \
                      [--feedback-ms MS] [--feedback backlogs|alarms|none] \
-                     [--alarm-threshold X] [--window W] [--min-qps F] \
+                     [--alarm-threshold X] [--window W] [--pin BASE] [--min-qps F] \
                      [--check-weights TOL] [--shutdown]"
                 );
                 std::process::exit(0);
@@ -301,9 +319,11 @@ fn fast_validate(resp: &[u8], expect_id: u16) -> Option<Result<[u8; 4], ()>> {
 /// draw each burst's domain from the Zipf law, keep `--window` queries in
 /// flight, and batch both directions through the `mmsg` arenas.
 ///
-/// Returns the counters plus the per-query RTT samples (µs); RTT is
-/// measured from the burst's `sendmmsg` flush to the `recvmmsg` return
-/// that carried the answer, so it includes daemon queueing under load.
+/// Returns the counters plus the per-query RTT samples (µs); each RTT is
+/// measured from the query's own commit into the send arena (before the
+/// `sendmmsg` flush) to the return of the `recvmmsg` call that carried
+/// its answer, so it includes the transmit syscall and daemon queueing
+/// under load — see [`BurstClock`].
 fn client_loop(
     worker: u64,
     args: &Args,
@@ -326,6 +346,7 @@ fn client_loop(
     let window = args.window;
     let mut tx = SendBatch::new(window, 512);
     let mut rx = RecvBatch::new(window, 512);
+    let mut clock = BurstClock::new(window);
     let mut stats = ClientStats::default();
     let mut rtts_us: Vec<f64> = Vec::new();
     let mut id: u16 = (worker as u16) << 10;
@@ -333,7 +354,8 @@ fn client_loop(
     while Instant::now() < deadline {
         let domain = zipf.sample(&mut rng);
         let socket = &sockets[domain];
-        // Stage the burst: `window` copies of the query, sequential ids.
+        // Stage the burst: `window` copies of the query, sequential ids,
+        // each slot stamped at commit so its RTT covers the flush too.
         let id_base = id;
         for k in 0..window {
             let buf = tx.buffer();
@@ -341,11 +363,11 @@ fn client_loop(
             let qid = id_base.wrapping_add(k as u16);
             buf[0..2].copy_from_slice(&qid.to_be_bytes());
             tx.commit(args.target);
+            clock.stamp(k);
         }
         id = id.wrapping_add(window as u16);
         let out = mmsg::send_batch(socket, &mut tx);
         stats.sent += out.sent;
-        let sent_at = Instant::now();
         // Drain until every in-flight id is answered or the socket read
         // timeout fires; ids lost to send errors simply come up short
         // here and are retired as timeouts.
@@ -354,7 +376,7 @@ fn client_loop(
         while outstanding != 0 {
             match mmsg::recv_batch(socket, &mut rx) {
                 Ok(n) => {
-                    let rtt_us = sent_at.elapsed().as_secs_f64() * 1e6;
+                    let received = Instant::now();
                     for i in 0..n {
                         let (resp, _peer) = rx.datagram(i);
                         // The id must belong to this burst and be unseen;
@@ -373,7 +395,7 @@ fn client_loop(
                             Ok(addr) => {
                                 outstanding &= !(1u64 << slot);
                                 stats.answered += 1;
-                                rtts_us.push(rtt_us);
+                                rtts_us.push(clock.rtt_us(slot, received));
                                 // Tally which server was named (example
                                 // topology: 192.0.2.10 + i) so the feedback
                                 // thread can turn observed assignment shares
@@ -534,11 +556,19 @@ fn main() {
     });
 
     let started = Instant::now();
+    let online = geodns_wire::affinity::online_cpus().max(1);
     let workers: Vec<_> = (0..args.clients)
         .map(|w| {
             let args = args.clone();
             let per_server = Arc::clone(&per_server);
-            std::thread::spawn(move || client_loop(w as u64, &args, deadline, &per_server))
+            std::thread::spawn(move || {
+                // Pinning is best-effort: a cpuset that excludes the core
+                // should not fail the measurement, just leave it unpinned.
+                if let Some(base) = args.pin {
+                    let _ = geodns_wire::affinity::pin_to_core((base + w) % online);
+                }
+                client_loop(w as u64, &args, deadline, &per_server)
+            })
         })
         .collect();
 

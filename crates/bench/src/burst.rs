@@ -1,0 +1,115 @@
+//! Per-message send timestamps for batched closed-loop clients.
+//!
+//! `loadgen` ships a whole window of queries with one `sendmmsg` and
+//! drains the answers with `recvmmsg`. Its original RTT clock started
+//! *after* the send returned and was read once per `recvmmsg` return —
+//! so every answer in a burst inherited one timestamp pair, the send
+//! syscall itself was excluded from the measurement, and a query staged
+//! first but answered last looked exactly as fast as its neighbours.
+//! Under batching that flattens the tail: p99 is precisely the statistic
+//! the burst-granular clock cannot see.
+//!
+//! [`BurstClock`] fixes the attribution: each window slot is stamped
+//! when its datagram is committed to the send arena (before the flush
+//! syscall), and each answer's RTT is read against *its own slot's*
+//! stamp at the instant its `recvmmsg` returned. Slots are re-stamped
+//! every burst; the clock allocates once and is reused for the whole
+//! run, so it adds nothing to the measured path.
+
+use std::time::Instant;
+
+/// Send timestamps for one in-flight burst, one slot per window index.
+#[derive(Debug)]
+pub struct BurstClock {
+    sent: Vec<Instant>,
+}
+
+impl BurstClock {
+    /// A clock for bursts of up to `window` messages; all slots start at
+    /// "now" so a misused slot yields a small RTT, not a panic or a wild
+    /// number.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        BurstClock { sent: vec![Instant::now(); window.max(1)] }
+    }
+
+    /// How many slots the clock tracks.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Records "now" as `slot`'s send instant. Call when the datagram is
+    /// committed to the send batch, before the flush syscall, so the RTT
+    /// includes the kernel transmit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the window — slot bookkeeping bugs
+    /// should fail the run, not skew its tail statistics.
+    pub fn stamp(&mut self, slot: usize) {
+        self.sent[slot] = Instant::now();
+    }
+
+    /// The RTT in microseconds for `slot`'s message, given the instant
+    /// its `recvmmsg` call returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the window.
+    #[must_use]
+    pub fn rtt_us(&self, slot: usize, received: Instant) -> f64 {
+        received.saturating_duration_since(self.sent[slot]).as_secs_f64() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The regression the clock exists to prevent: two messages stamped
+    /// at different times must report *different* RTTs when drained by
+    /// the same `recvmmsg` return — a burst-granular clock would give
+    /// them the same number.
+    #[test]
+    fn slots_keep_their_own_send_instants() {
+        let mut clock = BurstClock::new(2);
+        clock.stamp(0);
+        std::thread::sleep(Duration::from_millis(20));
+        clock.stamp(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let received = Instant::now();
+        let early = clock.rtt_us(0, received);
+        let late = clock.rtt_us(1, received);
+        assert!(
+            early >= late + 15_000.0,
+            "slot 0 was in flight ~20 ms longer than slot 1, got {early:.0} vs {late:.0} µs"
+        );
+        assert!(late >= 4_000.0, "slot 1 waited at least the 5 ms drain, got {late:.0} µs");
+    }
+
+    #[test]
+    fn restamping_resets_a_slot() {
+        let mut clock = BurstClock::new(1);
+        clock.stamp(0);
+        std::thread::sleep(Duration::from_millis(10));
+        clock.stamp(0); // next burst reuses the slot
+        let rtt = clock.rtt_us(0, Instant::now());
+        assert!(rtt < 10_000.0, "stale stamp leaked into the next burst: {rtt:.0} µs");
+    }
+
+    #[test]
+    fn received_before_sent_clamps_to_zero() {
+        let before = Instant::now();
+        let mut clock = BurstClock::new(1);
+        std::thread::sleep(Duration::from_millis(1));
+        clock.stamp(0);
+        assert_eq!(clock.rtt_us(0, before), 0.0);
+    }
+
+    #[test]
+    fn zero_window_still_constructs() {
+        assert_eq!(BurstClock::new(0).window(), 1);
+    }
+}

@@ -11,8 +11,10 @@
 //! Set `GEODNS_QUICK=1` (or pass `--quick`) to shrink runs for smoke
 //! testing; paper-fidelity runs are the default.
 
+mod burst;
 mod chart;
 
+pub use burst::BurstClock;
 pub use chart::{ascii_chart, Series};
 
 use std::fs;

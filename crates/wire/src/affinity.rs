@@ -1,0 +1,116 @@
+//! CPU pinning for the worker×core scaling study: hand-written
+//! `sched_setaffinity(2)` / `sched_getaffinity(2)` bindings (this
+//! workspace vendors no libc crate, matching the [`crate::mmsg`]
+//! precedent).
+//!
+//! `SO_REUSEPORT` shards inbound datagrams across worker sockets by flow
+//! hash, but the *scheduler* still decides which core each worker thread
+//! runs on — and on a busy box it migrates them, smearing cache state and
+//! making a scaling measurement partly a measurement of migration luck.
+//! [`pin_to_core`] pins the calling thread to one CPU so a 1/2/4/8-worker
+//! sweep measures reuseport parallelism, not placement noise; the
+//! unpinned rows of the wall-chart are the control.
+//!
+//! The affinity mask is passed as an array of `u64` words (the kernel
+//! accepts any mask length in bytes), sized for up to [`MAX_CPUS`] CPUs.
+
+#![allow(unsafe_code)]
+
+use std::io;
+
+/// Upper bound on addressable CPUs (16 mask words × 64 bits); far above
+/// any box this workload meets, and the kernel ignores trailing zeros.
+pub const MAX_CPUS: usize = 1024;
+
+const MASK_WORDS: usize = MAX_CPUS / 64;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    extern "C" {
+        /// glibc wrappers around the affinity syscalls: pid 0 means the
+        /// calling thread.
+        pub fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        pub fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+    }
+}
+
+/// Pins the **calling thread** to `core` (a zero-based CPU index).
+///
+/// # Errors
+///
+/// `InvalidInput` if `core ≥` [`MAX_CPUS`], the `sched_setaffinity` error
+/// (typically `EINVAL` when the core does not exist or is excluded by the
+/// process's cpuset), or `Unsupported` off Linux.
+pub fn pin_to_core(core: usize) -> io::Result<()> {
+    if core >= MAX_CPUS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("core {core} out of range (max {MAX_CPUS})"),
+        ));
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: the mask outlives the call and the length matches it.
+        let rc = unsafe { sys::sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "CPU pinning is Linux-only"))
+    }
+}
+
+/// How many CPUs the calling thread may run on (the population count of
+/// its affinity mask). Falls back to
+/// [`std::thread::available_parallelism`] when the syscall is unavailable.
+#[must_use]
+pub fn online_cpus() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: the mask outlives the call and the length matches it.
+        let rc =
+            unsafe { sys::sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        if rc == 0 {
+            let cpus = mask.iter().map(|w| w.count_ones() as usize).sum();
+            if cpus > 0 {
+                return cpus;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_cpus_is_positive() {
+        assert!(online_cpus() >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_restricts_the_calling_thread() {
+        // Pin a scratch thread (not the test harness thread) to core 0 —
+        // always present — and observe its own view shrink to one CPU.
+        std::thread::spawn(|| {
+            pin_to_core(0).expect("pin to core 0");
+            assert_eq!(online_cpus(), 1, "affinity mask shrank to one core");
+        })
+        .join()
+        .expect("pinned thread exits cleanly");
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected() {
+        assert!(pin_to_core(MAX_CPUS).is_err());
+        assert!(pin_to_core(usize::MAX).is_err());
+    }
+}

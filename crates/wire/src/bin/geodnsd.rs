@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS]
-//!         [--io-mode batched|single] [--batch N]
+//!         [--io-mode uring|batched|single] [--batch N] [--pin BASE]
 //!         [--estimator oracle|ema[:ALPHA]|window[:N]]
 //!         [--collect-interval SECS]
 //! ```
@@ -11,9 +11,18 @@
 //! `www.example.org`, 4 client domains) until `--duration` elapses or a
 //! `GDNSCTL1 shutdown` control datagram arrives, then prints a per-worker
 //! summary. See `geodns_wire::daemon` for the wire/control protocol and
-//! the two I/O modes (`batched` is the default on Linux: per-worker
-//! `SO_REUSEPORT` sockets drained with `recvmmsg`/`sendmmsg`; `single` is
-//! the shared-socket one-datagram-per-syscall fallback).
+//! the three I/O modes (`batched` is the default on Linux: per-worker
+//! `SO_REUSEPORT` sockets drained with `recvmmsg`/`sendmmsg`; `uring`
+//! replaces the two syscalls per round with one `io_uring_enter`;
+//! `single` is the shared-socket one-datagram-per-syscall fallback).
+//! Requesting a mode the kernel cannot provide degrades one rung down
+//! the ladder and the startup banner says so.
+//!
+//! `--pin BASE` pins worker `i` to CPU `(BASE + i) mod online_cpus`
+//! (best-effort), for the worker×core scaling study; the summary's
+//! per-worker `rx_drops` column reports datagrams the kernel dropped on
+//! each worker's receive queue (`SO_RXQ_OVFL`), so saturation is visible
+//! even though dropped queries never reach user space.
 //!
 //! `--estimator oracle` (the default) spoon-feeds the nominal 40:20:10:5
 //! domain weights. `ema` and `window` instead start the shards from a
@@ -66,6 +75,7 @@ struct Args {
     duration: Option<f64>,
     io_mode: IoMode,
     batch: usize,
+    pin: Option<usize>,
     estimator: EstArg,
     collect_interval: Option<f64>,
 }
@@ -78,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         duration: None,
         io_mode: IoMode::default(),
         batch: 32,
+        pin: None,
         estimator: EstArg::Oracle,
         collect_interval: None,
     };
@@ -102,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => {
                 args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
             }
+            "--pin" => {
+                args.pin = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?);
+            }
             "--estimator" => args.estimator = EstArg::parse(&value("--estimator")?)?,
             "--collect-interval" => {
                 args.collect_interval = Some(
@@ -113,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS] \
-                     [--io-mode batched|single] [--batch N] \
+                     [--io-mode uring|batched|single] [--batch N] [--pin BASE] \
                      [--estimator oracle|ema[:ALPHA]|window[:N]] [--collect-interval SECS]"
                 );
                 std::process::exit(0);
@@ -166,6 +180,7 @@ fn main() {
     let mut cfg = DaemonConfig::new(args.bind);
     cfg.io_mode = args.io_mode;
     cfg.batch = args.batch;
+    cfg.pin = args.pin;
     cfg.collect_interval = match kind {
         EstimatorKind::Oracle => args.collect_interval.map(Duration::from_secs_f64),
         _ => Some(Duration::from_secs_f64(collect_s)),
@@ -179,14 +194,25 @@ fn main() {
     };
     // The "listening" line is load-bearing: the smoke test and loadgen
     // wait for it (and parse the port) before sending traffic — keep the
-    // prefix stable. The io suffix reports the *effective* mode (batched
-    // may have degraded to single if reuseport setup failed).
+    // prefix stable. The io suffix reports the *effective* mode (uring
+    // may have degraded to batched if the kernel lacks io_uring, and
+    // batched to single if reuseport setup failed).
     println!(
         "geodnsd listening on {} with {} workers (io={})",
         daemon.local_addr(),
         args.workers,
         daemon.io_mode()
     );
+    if daemon.io_mode() != daemon.requested_io_mode() {
+        println!(
+            "geodnsd: io mode {} unavailable on this kernel, degraded to {}",
+            daemon.requested_io_mode(),
+            daemon.io_mode()
+        );
+    }
+    if let Some(base) = args.pin {
+        println!("geodnsd: pinning workers to cores {base}.. (best-effort)");
+    }
     match kind {
         EstimatorKind::Oracle => println!("geodnsd estimator: oracle (nominal 40:20:10:5)"),
         EstimatorKind::Measured { collect_interval_s, ema_alpha } => println!(
@@ -213,12 +239,14 @@ fn main() {
     let report = daemon.shutdown();
     let totals = report.totals();
     println!(
-        "geodnsd: {} received, {} answered, {} dropped, {} ctl, {} tx errors, {} decisions",
+        "geodnsd: {} received, {} answered, {} dropped, {} ctl, {} tx errors, {} rx drops, \
+         {} decisions",
         totals.received,
         totals.answered,
         totals.dropped,
         totals.ctl,
         totals.tx_errors,
+        totals.rx_drops,
         report.dns_decisions()
     );
     println!(
@@ -233,8 +261,8 @@ fn main() {
     );
     for (i, w) in report.workers.iter().enumerate() {
         println!(
-            "  worker {i}: answered={} tx_errors={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1} collections={}",
-            w.stats.answered, w.stats.tx_errors, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s, w.collections
+            "  worker {i}: answered={} tx_errors={} rx_drops={} ttl_mean_s={:.1} ttl_min_s={:.1} ttl_max_s={:.1} collections={}",
+            w.stats.answered, w.stats.tx_errors, w.stats.rx_drops, w.obs.ttl_mean_s, w.obs.ttl_min_s, w.obs.ttl_max_s, w.collections
         );
     }
 }

@@ -16,35 +16,46 @@
 //! documented trade: exactness of the aggregate rotation within one TTL
 //! window is sacrificed for linear scalability.
 //!
-//! # I/O model: batched reuseport sockets, with a single-datagram fallback
+//! # I/O model: one worker loop, three transports
 //!
-//! How datagrams reach the shards is selected by [`DaemonConfig::io_mode`]:
+//! Every worker runs the same drain → serve → flush loop over an
+//! `IoBackend` seam; [`DaemonConfig::io_mode`] selects which transport
+//! implements it:
 //!
-//! * [`IoMode::Batched`] (default on Linux) — every worker binds its
-//!   **own** `SO_REUSEPORT` socket to the same address, so the kernel
-//!   shards inbound queries across workers by flow hash with no shared
-//!   socket contention; each loop iteration drains up to
-//!   [`DaemonConfig::batch`] datagrams with one `recvmmsg`, serves each
-//!   through the same fast path, and flushes every response with one
-//!   `sendmmsg` (see [`crate::mmsg`]). Two syscalls per *batch* instead of
-//!   two per query. If reuseport setup fails (or the target is not
-//!   Linux), spawning transparently degrades to `Single`; the effective
-//!   mode is reported by [`DaemonHandle::io_mode`].
+//! * [`IoMode::Uring`] — every worker binds its **own** `SO_REUSEPORT`
+//!   socket and drives it through an io_uring (see [`crate::uring`]):
+//!   receive ops for the whole arena are parked in the kernel, responses
+//!   are staged as send ops in shared-memory rings, and **one**
+//!   `io_uring_enter` per loop iteration submits everything staged and
+//!   waits for the next completion — one syscall per batch, covering
+//!   both directions.
+//! * [`IoMode::Batched`] (default on Linux) — the same reuseport
+//!   sockets, drained with one `recvmmsg` and flushed with one
+//!   `sendmmsg` per iteration (see [`crate::mmsg`]). Two syscalls per
+//!   *batch* instead of two per query.
 //! * [`IoMode::Single`] — the classic path: workers share one bound
 //!   [`UdpSocket`] (each holds a `try_clone`d handle; the kernel wakes
 //!   exactly one blocked reader per datagram) and pay one `recv_from` +
 //!   one `send_to` per query. Kept selectable on Linux for debugging and
-//!   for the differential test that pins both modes byte-identical.
+//!   for the differential test that pins all modes byte-identical.
+//!
+//! Degrade ladder: requesting `Uring` on a kernel (or sandbox) without
+//! io_uring falls back to `Batched`; requesting `Batched` (directly or
+//! via that fallback) where reuseport setup fails falls back to
+//! `Single`. Spawning never fails over transport choice — the effective
+//! mode is reported by [`DaemonHandle::io_mode`], the requested one by
+//! [`DaemonHandle::requested_io_mode`].
 //!
 //! # Buffer discipline
 //!
 //! Each worker reuses its buffers for its whole life: one rx buffer and
 //! one tx `Vec<u8>` in `Single` mode, the preallocated
 //! [`RecvBatch`](crate::mmsg::RecvBatch)/[`SendBatch`](crate::mmsg::SendBatch)
-//! arenas in `Batched` mode. Either steady-state loop (receive →
-//! fast-path handle → send) is allocation-free once the tx buffers have
-//! grown to the answer size (see `tests/alloc_free_wire.rs` for the
-//! pinned half of that claim).
+//! arenas in `Batched` mode, the ring-registered arenas of
+//! [`UringIo`](crate::uring::UringIo) in `Uring` mode. Every
+//! steady-state loop (receive → fast-path handle → send) is
+//! allocation-free once the tx buffers have grown to the answer size
+//! (see `tests/alloc_free_wire.rs` for the pinned half of that claim).
 //!
 //! # The live §3 control loop
 //!
@@ -124,6 +135,11 @@ pub const CTL_MAGIC: &[u8] = b"GDNSCTL1 ";
 /// How worker threads move datagrams (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoMode {
+    /// Per-worker `SO_REUSEPORT` sockets driven through io_uring — one
+    /// `io_uring_enter` per batch, covering receives and sends. Falls
+    /// back to [`Batched`](Self::Batched) when the kernel (or the
+    /// sandbox) has no usable io_uring.
+    Uring,
     /// Per-worker `SO_REUSEPORT` sockets drained with `recvmmsg` and
     /// flushed with `sendmmsg` — two syscalls per batch. Linux-only;
     /// spawning falls back to [`Single`](Self::Single) elsewhere or when
@@ -148,6 +164,7 @@ impl Default for IoMode {
 impl std::fmt::Display for IoMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
+            IoMode::Uring => "uring",
             IoMode::Batched => "batched",
             IoMode::Single => "single",
         })
@@ -159,9 +176,10 @@ impl std::str::FromStr for IoMode {
 
     fn from_str(s: &str) -> Result<Self, String> {
         match s {
+            "uring" => Ok(IoMode::Uring),
             "batched" => Ok(IoMode::Batched),
             "single" => Ok(IoMode::Single),
-            other => Err(format!("unknown io mode {other:?} (expected batched|single)")),
+            other => Err(format!("unknown io mode {other:?} (expected uring|batched|single)")),
         }
     }
 }
@@ -196,11 +214,21 @@ pub struct DaemonConfig {
     /// the shards keep whatever estimator state they were built with
     /// (the oracle/backlog-fed configuration).
     pub collect_interval: Option<Duration>,
+    /// When set, worker `i` pins itself to CPU `(pin + i) mod
+    /// online_cpus` via [`crate::affinity::pin_to_core`] — the pinned
+    /// rows of the scaling wall-chart. Best-effort: a failed pin leaves
+    /// the worker unpinned rather than failing the spawn.
+    pub pin: Option<usize>,
+    /// Test hook: pretend the kernel has no io_uring, forcing the
+    /// `Uring → Batched` degrade path without needing a pre-5.1 kernel.
+    #[doc(hidden)]
+    pub force_uring_unsupported: bool,
 }
 
 impl DaemonConfig {
     /// Sensible defaults for `bind`: 20 ms shutdown poll, 512-byte rx,
-    /// the target's default [`IoMode`], batch 32, no collector thread.
+    /// the target's default [`IoMode`], batch 32, no collector thread,
+    /// no pinning.
     #[must_use]
     pub fn new(bind: SocketAddr) -> Self {
         DaemonConfig {
@@ -210,6 +238,8 @@ impl DaemonConfig {
             io_mode: IoMode::default(),
             batch: 32,
             collect_interval: None,
+            pin: None,
+            force_uring_unsupported: false,
         }
     }
 }
@@ -273,12 +303,18 @@ pub struct WorkerStats {
     pub ctl: u64,
     /// Datagrams too mangled to answer (no extractable transaction id).
     pub dropped: u64,
-    /// Transmissions the kernel refused: DNS responses (either io mode)
+    /// Transmissions the kernel refused: DNS responses (any io mode)
     /// *and* control acks — the shutdown/backlogs ack path used to
     /// discard its `send_to` result, silently under-reporting.
     pub tx_errors: u64,
     /// Receive errors other than the poll timeout.
     pub recv_errors: u64,
+    /// Datagrams the kernel dropped from this worker's socket receive
+    /// queue (`SO_RXQ_OVFL`, cumulative over the worker's life) — how a
+    /// saturated run distinguishes "served everything offered" from
+    /// silent loss ahead of the daemon. Control messages ride the
+    /// `recvmsg` family only, so `Single` mode always reports 0.
+    pub rx_drops: u64,
 }
 
 impl WorkerStats {
@@ -289,6 +325,7 @@ impl WorkerStats {
         self.dropped += other.dropped;
         self.tx_errors += other.tx_errors;
         self.recv_errors += other.recv_errors;
+        self.rx_drops += other.rx_drops;
     }
 }
 
@@ -383,13 +420,22 @@ impl Daemon {
             ));
         }
 
-        // One socket per worker. Batched mode tries per-worker reuseport
-        // sockets (the first bind resolves port 0; the rest bind the same
-        // concrete address); any reuseport failure degrades to Single on
-        // one shared socket, so `Batched` is always safe to request.
+        // Transport selection, top of the degrade ladder first. Uring
+        // needs a working io_uring *and* the reuseport sockets below;
+        // probing before binding keeps the ladder one-directional.
+        let requested = cfg.io_mode;
         let mut io_mode = cfg.io_mode;
+        if io_mode == IoMode::Uring && (cfg.force_uring_unsupported || !crate::uring::supported()) {
+            io_mode = IoMode::Batched;
+        }
+
+        // One socket per worker. Uring/Batched modes try per-worker
+        // reuseport sockets (the first bind resolves port 0; the rest
+        // bind the same concrete address); any reuseport failure degrades
+        // to Single on one shared socket, so every mode is always safe to
+        // request.
         let mut sockets: Vec<UdpSocket> = Vec::with_capacity(shards.len());
-        if io_mode == IoMode::Batched {
+        if io_mode != IoMode::Single {
             match Self::bind_reuseport_set(cfg.bind, shards.len()) {
                 Ok(set) => sockets = set,
                 Err(_) => io_mode = IoMode::Single,
@@ -408,6 +454,12 @@ impl Daemon {
             socket
                 .set_read_timeout(Some(cfg.read_timeout))
                 .map_err(|e| format!("set_read_timeout: {e}"))?;
+            if io_mode != IoMode::Single {
+                // Drop accounting rides recvmsg control messages; only
+                // the batched/uring transports can see them. Best-effort:
+                // without it rx_drops just stays 0.
+                let _ = mmsg::enable_rxq_ovfl(socket);
+            }
         }
         let local_addr = sockets[0].local_addr().map_err(|e| format!("local_addr: {e}"))?;
 
@@ -428,25 +480,60 @@ impl Daemon {
         });
         let start = Instant::now();
 
+        let online = crate::affinity::online_cpus().max(1);
         let mut workers = Vec::with_capacity(shards.len());
         for ((index, shard), socket) in shards.into_iter().enumerate().zip(sockets) {
             let control = Arc::clone(&control);
             let max_datagram = cfg.max_datagram;
             let batch = cfg.batch;
+            let read_timeout = cfg.read_timeout;
+            let pin_core = cfg.pin.map(|base| (base + index) % online);
             let handle = std::thread::Builder::new()
                 .name(format!("geodnsd-worker-{index}"))
-                .spawn(move || match io_mode {
-                    IoMode::Batched => worker_loop_batched(
-                        &socket,
-                        shard,
-                        &control,
-                        start,
-                        max_datagram,
-                        batch,
-                        index,
-                    ),
-                    IoMode::Single => {
-                        worker_loop_single(&socket, shard, &control, start, max_datagram, index)
+                .spawn(move || {
+                    if let Some(core) = pin_core {
+                        // Best-effort: an excluded core (cpuset) leaves
+                        // this worker floating, which only costs the
+                        // pinned-row measurement its pin.
+                        let _ = crate::affinity::pin_to_core(core);
+                    }
+                    match io_mode {
+                        IoMode::Uring => {
+                            match crate::uring::UringIo::new(
+                                socket,
+                                batch,
+                                max_datagram,
+                                read_timeout,
+                            ) {
+                                Ok(io) => worker_loop(io, shard, &control, start, index),
+                                // The spawn-time probe passed but this
+                                // worker's ring still failed (e.g. a
+                                // memlock limit hit under load): serve
+                                // batched on the same socket rather than
+                                // dying.
+                                Err((socket, _)) => worker_loop(
+                                    BatchedIo::new(socket, batch, max_datagram),
+                                    shard,
+                                    &control,
+                                    start,
+                                    index,
+                                ),
+                            }
+                        }
+                        IoMode::Batched => worker_loop(
+                            BatchedIo::new(socket, batch, max_datagram),
+                            shard,
+                            &control,
+                            start,
+                            index,
+                        ),
+                        IoMode::Single => worker_loop(
+                            SingleIo::new(socket, max_datagram),
+                            shard,
+                            &control,
+                            start,
+                            index,
+                        ),
                     }
                 })
                 .map_err(|e| format!("spawn worker {index}: {e}"))?;
@@ -464,7 +551,7 @@ impl Daemon {
             }
             None => None,
         };
-        Ok(DaemonHandle { local_addr, io_mode, control, workers, collector })
+        Ok(DaemonHandle { local_addr, io_mode, requested, control, workers, collector })
     }
 
     /// Binds `count` `SO_REUSEPORT` sockets to the same address (the
@@ -484,6 +571,7 @@ impl Daemon {
 pub struct DaemonHandle {
     local_addr: SocketAddr,
     io_mode: IoMode,
+    requested: IoMode,
     control: Arc<Control>,
     workers: Vec<JoinHandle<WorkerReport>>,
     collector: Option<JoinHandle<()>>,
@@ -496,12 +584,21 @@ impl DaemonHandle {
         self.local_addr
     }
 
-    /// The **effective** I/O mode: what was requested, unless reuseport
-    /// setup failed (or the target is not Linux) and the daemon fell back
-    /// to [`IoMode::Single`].
+    /// The **effective** I/O mode after any degrade: `Uring` falls back
+    /// to `Batched` without a usable io_uring, and `Batched` falls back
+    /// to `Single` when reuseport setup fails (or the target is not
+    /// Linux).
     #[must_use]
     pub fn io_mode(&self) -> IoMode {
         self.io_mode
+    }
+
+    /// The I/O mode that was requested; differs from
+    /// [`io_mode`](Self::io_mode) exactly when the daemon degraded, so
+    /// callers can report the fallback in their exit summaries.
+    #[must_use]
+    pub fn requested_io_mode(&self) -> IoMode {
+        self.requested
     }
 
     /// Whether shutdown has been requested (by this handle or a ctl
@@ -682,96 +779,263 @@ fn src_octets(peer: SocketAddr) -> [u8; 4] {
     }
 }
 
-/// One worker's life in [`IoMode::Single`]: receive one datagram,
-/// dispatch, send, repeat until shutdown.
-fn worker_loop_single(
-    socket: &UdpSocket,
-    mut shard: AuthoritativeServer,
-    control: &Control,
-    start: Instant,
-    max_datagram: usize,
-    index: usize,
-) -> WorkerReport {
-    let mut rx = vec![0u8; max_datagram];
-    let mut tx = Vec::with_capacity(max_datagram);
-    let mut sync = ShardSync::new(shard.num_servers(), shard.num_domains());
-    let slab = &control.counts[index];
-    let mut counters = ObsCounters::new();
-    let mut stats = WorkerStats::default();
+/// The transport seam every worker loop runs over: drain a round of
+/// datagrams ([`recv`](Self::recv)), inspect each
+/// ([`peek`](Self::peek)), answer the DNS ones ([`serve`](Self::serve)),
+/// end the round ([`flush`](Self::flush)). Each backend keeps its rx and
+/// tx arenas internal, so `serve` can read a received datagram while
+/// staging its response without fighting the borrow checker across the
+/// seam.
+trait IoBackend {
+    /// Blocks (bounded by the read timeout) for the next round of
+    /// datagrams; returns how many are ready. `Ok(0)` is an idle wakeup.
+    fn recv(&mut self) -> std::io::Result<usize>;
 
-    loop {
-        if control.shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        sync_control(&mut shard, control, &mut sync);
-        let (len, peer) = match socket.recv_from(&mut rx) {
-            Ok(x) => x,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(_) => {
-                stats.recv_errors += 1;
-                continue;
-            }
-        };
-        stats.received += 1;
-        let datagram = &rx[..len];
+    /// The `i`-th ready datagram and its sender, for dispatch (ctl vs
+    /// DNS) — serving goes through [`serve`](Self::serve).
+    fn peek(&self, i: usize) -> (&[u8], SocketAddr);
 
-        if datagram.starts_with(CTL_MAGIC) {
-            stats.ctl += 1;
-            if !handle_ctl(
-                socket,
-                &datagram[CTL_MAGIC.len()..],
-                peer,
-                control,
-                &mut shard,
-                &mut sync,
-            ) {
-                stats.tx_errors += 1;
-            }
-            continue;
-        }
+    /// Serves the `i`-th ready datagram through the shard's fast path,
+    /// staging (or sending) the response. Returns `false` if the
+    /// datagram was too mangled to answer.
+    fn serve(
+        &mut self,
+        i: usize,
+        shard: &mut AuthoritativeServer,
+        now_s: f64,
+        counters: &mut ObsCounters,
+    ) -> bool;
 
-        let now_s = start.elapsed().as_secs_f64();
-        match shard.handle_into_probed(datagram, src_octets(peer), now_s, &mut tx, &mut counters) {
-            Ok(()) => {
-                if socket.send_to(&tx, peer).is_ok() {
-                    stats.answered += 1;
-                } else {
-                    stats.tx_errors += 1;
-                }
-            }
-            Err(_) => stats.dropped += 1,
-        }
-        flush_counts(&shard, slab);
+    /// Ends the round: pushes staged responses toward the kernel and
+    /// reports send outcomes observed so far. Backends with asynchronous
+    /// sends (uring) may report earlier rounds' outcomes here; the
+    /// remainder arrives via [`finish`](Self::finish).
+    fn flush(&mut self) -> mmsg::SendOutcome;
+
+    /// Shutdown drain: settles any still-in-flight sends and returns
+    /// their outcomes.
+    fn finish(&mut self) -> mmsg::SendOutcome {
+        mmsg::SendOutcome::default()
     }
-    flush_counts(&shard, slab);
-    WorkerReport {
-        stats,
-        obs: counters.snapshot(0, 0),
-        weights: shard.scheduler().estimator().relative_weights(),
-        collections: sync.collections,
+
+    /// The socket control acks go out through (plain `send_to`: ctl is
+    /// rare and must not wait behind the data plane).
+    fn ctl_sock(&self) -> &UdpSocket;
+
+    /// Cumulative kernel receive-queue drops on this worker's socket.
+    fn rx_drops(&self) -> u64 {
+        0
+    }
+
+    /// Per-op receive failures the backend absorbed and re-armed
+    /// (folded into `recv_errors` at exit).
+    fn recv_op_errors(&self) -> u64 {
+        0
     }
 }
 
-/// One worker's life in [`IoMode::Batched`]: drain a batch with one
-/// `recvmmsg`, serve every datagram through the same fast path, flush all
-/// responses with one `sendmmsg`, repeat until shutdown.
+/// [`IoMode::Single`]: one `recv_from` + one `send_to` per query on the
+/// shared socket; responses go out inside [`serve`](IoBackend::serve),
+/// so `flush` only reports.
+struct SingleIo {
+    socket: UdpSocket,
+    rx: Vec<u8>,
+    len: usize,
+    peer: SocketAddr,
+    tx: Vec<u8>,
+    outcome: mmsg::SendOutcome,
+}
+
+impl SingleIo {
+    fn new(socket: UdpSocket, max_datagram: usize) -> Self {
+        SingleIo {
+            socket,
+            rx: vec![0u8; max_datagram.max(1)],
+            len: 0,
+            peer: SocketAddr::new(IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED), 0),
+            tx: Vec::with_capacity(max_datagram),
+            outcome: mmsg::SendOutcome::default(),
+        }
+    }
+}
+
+impl IoBackend for SingleIo {
+    fn recv(&mut self) -> std::io::Result<usize> {
+        let (len, peer) = self.socket.recv_from(&mut self.rx)?;
+        self.len = len;
+        self.peer = peer;
+        Ok(1)
+    }
+
+    fn peek(&self, _i: usize) -> (&[u8], SocketAddr) {
+        (&self.rx[..self.len], self.peer)
+    }
+
+    fn serve(
+        &mut self,
+        _i: usize,
+        shard: &mut AuthoritativeServer,
+        now_s: f64,
+        counters: &mut ObsCounters,
+    ) -> bool {
+        let datagram = &self.rx[..self.len];
+        match shard.handle_into_probed(
+            datagram,
+            src_octets(self.peer),
+            now_s,
+            &mut self.tx,
+            counters,
+        ) {
+            Ok(()) => {
+                if self.socket.send_to(&self.tx, self.peer).is_ok() {
+                    self.outcome.sent += 1;
+                } else {
+                    self.outcome.errors += 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn flush(&mut self) -> mmsg::SendOutcome {
+        std::mem::take(&mut self.outcome)
+    }
+
+    fn ctl_sock(&self) -> &UdpSocket {
+        &self.socket
+    }
+}
+
+/// [`IoMode::Batched`]: `recvmmsg`/`sendmmsg` over the
+/// [`crate::mmsg`] arenas — two syscalls per round.
+struct BatchedIo {
+    socket: UdpSocket,
+    rx: mmsg::RecvBatch,
+    tx: mmsg::SendBatch,
+}
+
+impl BatchedIo {
+    fn new(socket: UdpSocket, batch: usize, max_datagram: usize) -> Self {
+        BatchedIo {
+            socket,
+            rx: mmsg::RecvBatch::new(batch, max_datagram),
+            tx: mmsg::SendBatch::new(batch, max_datagram),
+        }
+    }
+}
+
+impl IoBackend for BatchedIo {
+    fn recv(&mut self) -> std::io::Result<usize> {
+        mmsg::recv_batch(&self.socket, &mut self.rx)
+    }
+
+    fn peek(&self, i: usize) -> (&[u8], SocketAddr) {
+        self.rx.datagram(i)
+    }
+
+    fn serve(
+        &mut self,
+        i: usize,
+        shard: &mut AuthoritativeServer,
+        now_s: f64,
+        counters: &mut ObsCounters,
+    ) -> bool {
+        let (datagram, peer) = self.rx.datagram(i);
+        match shard.handle_into_probed(
+            datagram,
+            src_octets(peer),
+            now_s,
+            self.tx.buffer(),
+            counters,
+        ) {
+            Ok(()) => {
+                self.tx.commit(peer);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn flush(&mut self) -> mmsg::SendOutcome {
+        mmsg::send_batch(&self.socket, &mut self.tx)
+    }
+
+    fn ctl_sock(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    fn rx_drops(&self) -> u64 {
+        self.rx.kernel_drops()
+    }
+}
+
+/// [`IoMode::Uring`]: the [`crate::uring::UringIo`] transport — one
+/// `io_uring_enter` per round, covering receives and sends.
+impl IoBackend for crate::uring::UringIo {
+    fn recv(&mut self) -> std::io::Result<usize> {
+        crate::uring::UringIo::recv(self)
+    }
+
+    fn peek(&self, i: usize) -> (&[u8], SocketAddr) {
+        self.datagram(i)
+    }
+
+    fn serve(
+        &mut self,
+        i: usize,
+        shard: &mut AuthoritativeServer,
+        now_s: f64,
+        counters: &mut ObsCounters,
+    ) -> bool {
+        // `parts` is None only when every tx slot is in flight; the
+        // response is shed and already counted as a tx error.
+        let Some((datagram, peer, buf)) = self.parts(i) else { return true };
+        match shard.handle_into_probed(datagram, src_octets(peer), now_s, buf, counters) {
+            Ok(()) => {
+                self.commit(peer);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn flush(&mut self) -> mmsg::SendOutcome {
+        crate::uring::UringIo::flush(self)
+    }
+
+    fn finish(&mut self) -> mmsg::SendOutcome {
+        crate::uring::UringIo::finish(self)
+    }
+
+    fn ctl_sock(&self) -> &UdpSocket {
+        self.socket()
+    }
+
+    fn rx_drops(&self) -> u64 {
+        self.kernel_drops()
+    }
+
+    fn recv_op_errors(&self) -> u64 {
+        crate::uring::UringIo::recv_op_errors(self)
+    }
+}
+
+/// One worker's life, over any [`IoBackend`]: drain a round, serve every
+/// datagram through the same fast path, flush, repeat until shutdown.
 ///
-/// Control datagrams are handled inline, ahead of the batch flush, on the
-/// plain `send_to` path: they are rare, and a shutdown ack must not wait
-/// behind the data plane. The shutdown flag is still polled once per
-/// batch, bounded by the read timeout when idle — identical shutdown
-/// semantics to the single-datagram loop.
-fn worker_loop_batched(
-    socket: &UdpSocket,
+/// Control datagrams are handled inline, ahead of the round's flush, on
+/// the plain `send_to` path: they are rare, and a shutdown ack must not
+/// wait behind the data plane. The shutdown flag is polled once per
+/// round, bounded by the read timeout when idle — identical shutdown
+/// semantics in every mode.
+fn worker_loop<B: IoBackend>(
+    mut io: B,
     mut shard: AuthoritativeServer,
     control: &Control,
     start: Instant,
-    max_datagram: usize,
-    batch: usize,
     index: usize,
 ) -> WorkerReport {
-    let mut rx = mmsg::RecvBatch::new(batch, max_datagram);
-    let mut tx = mmsg::SendBatch::new(batch, max_datagram);
     let mut sync = ShardSync::new(shard.num_servers(), shard.num_domains());
     let slab = &control.counts[index];
     let mut counters = ObsCounters::new();
@@ -782,7 +1046,7 @@ fn worker_loop_batched(
             break;
         }
         sync_control(&mut shard, control, &mut sync);
-        let n = match mmsg::recv_batch(socket, &mut rx) {
+        let n = match io.recv() {
             Ok(n) => n,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
             Err(_) => {
@@ -790,13 +1054,16 @@ fn worker_loop_batched(
                 continue;
             }
         };
+        if n == 0 {
+            continue; // idle wakeup (uring's shutdown-poll timeout)
+        }
         stats.received += n as u64;
-        // One timestamp per batch: the whole burst was on the wire
+        // One timestamp per round: the whole burst was on the wire
         // together, and amortizing the clock read is part of the point.
         let now_s = start.elapsed().as_secs_f64();
         let mut dispatched_ctl = false;
         for i in 0..n {
-            let (datagram, peer) = rx.datagram(i);
+            let (datagram, peer) = io.peek(i);
             if datagram.starts_with(CTL_MAGIC) {
                 stats.ctl += 1;
                 // The counters must be visible to any collection this
@@ -807,7 +1074,7 @@ fn worker_loop_batched(
                     dispatched_ctl = true;
                 }
                 if !handle_ctl(
-                    socket,
+                    io.ctl_sock(),
                     &datagram[CTL_MAGIC.len()..],
                     peer,
                     control,
@@ -816,25 +1083,21 @@ fn worker_loop_batched(
                 ) {
                     stats.tx_errors += 1;
                 }
-                continue;
-            }
-            match shard.handle_into_probed(
-                datagram,
-                src_octets(peer),
-                now_s,
-                tx.buffer(),
-                &mut counters,
-            ) {
-                Ok(()) => tx.commit(peer),
-                Err(_) => stats.dropped += 1,
+            } else if !io.serve(i, &mut shard, now_s, &mut counters) {
+                stats.dropped += 1;
             }
         }
-        let outcome = mmsg::send_batch(socket, &mut tx);
+        let outcome = io.flush();
         stats.answered += outcome.sent;
         stats.tx_errors += outcome.errors;
-        // One slab publication per batch: K relaxed stores, no RMW.
+        // One slab publication per round: K relaxed stores, no RMW.
         flush_counts(&shard, slab);
     }
+    let outcome = io.finish();
+    stats.answered += outcome.sent;
+    stats.tx_errors += outcome.errors;
+    stats.recv_errors += io.recv_op_errors();
+    stats.rx_drops = io.rx_drops();
     flush_counts(&shard, slab);
     WorkerReport {
         stats,
@@ -991,10 +1254,10 @@ mod tests {
 
     #[test]
     fn answers_real_udp_queries() {
-        // Both io modes answer identically-shaped traffic; `Batched`
-        // additionally exercises the reuseport + mmsg path on Linux (and
-        // the documented fallback to `Single` elsewhere).
-        for io_mode in [IoMode::Batched, IoMode::Single] {
+        // All io modes answer identically-shaped traffic; `Batched` and
+        // `Uring` additionally exercise the reuseport + mmsg/ring paths
+        // on Linux (and the documented degrade ladder elsewhere).
+        for io_mode in [IoMode::Uring, IoMode::Batched, IoMode::Single] {
             let daemon = loopback_daemon_mode(2, io_mode);
             let client = client();
             let mut buf = [0u8; 512];
@@ -1029,8 +1292,60 @@ mod tests {
     }
 
     #[test]
+    fn uring_answers_queries_or_degrades_cleanly() {
+        // Requesting uring must always produce a working daemon: the
+        // real transport where the kernel supports it, batched (or
+        // single, off Linux) otherwise. Either way the queries are
+        // answered identically.
+        let daemon = loopback_daemon_mode(2, IoMode::Uring);
+        assert_eq!(daemon.requested_io_mode(), IoMode::Uring);
+        if crate::uring::supported() {
+            assert_eq!(daemon.io_mode(), IoMode::Uring, "no fallback with a working io_uring");
+        } else {
+            assert_ne!(daemon.io_mode(), IoMode::Uring, "degrade reported honestly");
+        }
+        let client = client();
+        let mut buf = [0u8; 512];
+        for id in 0..20u16 {
+            let q = Message::query(id, Question::a("www.example.org"));
+            client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send");
+            let (n, _) = client.recv_from(&mut buf).expect("a response arrives");
+            let resp = Message::parse(&buf[..n]).expect("well-formed response");
+            assert_eq!(resp.header.id, id);
+            assert_eq!(resp.header.rcode, Rcode::NoError);
+        }
+        let report = daemon.shutdown();
+        assert_eq!(report.totals().answered, 20);
+        assert_eq!(report.totals().tx_errors, 0);
+    }
+
+    #[test]
+    fn forced_uring_setup_failure_degrades_to_batched() {
+        // The auto-degrade path, without needing a kernel that lacks
+        // io_uring: the test hook makes the probe fail, the daemon must
+        // land on the next rung (Batched on Linux, Single elsewhere via
+        // the reuseport rung) and still serve.
+        let shards = vec![AuthoritativeServer::example()];
+        let mut cfg = DaemonConfig::new("127.0.0.1:0".parse().expect("valid addr"));
+        cfg.io_mode = IoMode::Uring;
+        cfg.force_uring_unsupported = true;
+        let daemon = Daemon::spawn(&cfg, shards).expect("daemon spawns despite no uring");
+        assert_eq!(daemon.requested_io_mode(), IoMode::Uring);
+        let expected = if cfg!(target_os = "linux") { IoMode::Batched } else { IoMode::Single };
+        assert_eq!(daemon.io_mode(), expected, "one rung down the ladder");
+        let client = client();
+        let q = Message::query(3, Question::a("www.example.org"));
+        client.send_to(&q.to_bytes(), daemon.local_addr()).expect("send");
+        let mut buf = [0u8; 512];
+        let (n, _) = client.recv_from(&mut buf).expect("served in the degraded mode");
+        assert_eq!(Message::parse(&buf[..n]).expect("parses").header.id, 3);
+        let report = daemon.shutdown();
+        assert_eq!(report.totals().answered, 1);
+    }
+
+    #[test]
     fn ctl_shutdown_drains_all_workers() {
-        for io_mode in [IoMode::Batched, IoMode::Single] {
+        for io_mode in [IoMode::Uring, IoMode::Batched, IoMode::Single] {
             let daemon = loopback_daemon_mode(3, io_mode);
             let client = client();
             client.send_to(b"GDNSCTL1 shutdown", daemon.local_addr()).expect("send ctl");
@@ -1059,6 +1374,7 @@ mod tests {
             dropped: 1,
             tx_errors: 2,
             recv_errors: 1,
+            rx_drops: 4,
         };
         let b = WorkerStats {
             received: 7,
@@ -1067,6 +1383,7 @@ mod tests {
             dropped: 0,
             tx_errors: 3,
             recv_errors: 0,
+            rx_drops: 0,
         };
         let obs = || ObsCounters::new().snapshot(0, 0);
         let report = DaemonReport {
@@ -1085,7 +1402,8 @@ mod tests {
                 ctl: 1,
                 dropped: 1,
                 tx_errors: 5,
-                recv_errors: 1
+                recv_errors: 1,
+                rx_drops: 4,
             }
         );
     }

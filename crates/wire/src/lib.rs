@@ -40,18 +40,22 @@
 //! assert!(parsed.answers[0].ttl > 0);
 //! ```
 
-// Unsafe is denied crate-wide and allowed back in exactly one place: the
-// `mmsg` module's hand-written syscall bindings (`recvmmsg`/`sendmmsg`/
-// `SO_REUSEPORT`), which wrap it behind a safe batched-socket API.
+// Unsafe is denied crate-wide and allowed back in exactly the modules
+// with hand-written syscall bindings: `mmsg` (`recvmmsg`/`sendmmsg`/
+// `SO_REUSEPORT`), `uring` (`io_uring_setup`/`io_uring_enter`/`mmap`),
+// and `affinity` (`sched_setaffinity`) — each wrapping it behind a safe
+// API.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 mod codec;
 pub mod daemon;
 mod message;
 pub mod mmsg;
 mod name;
 mod server;
+pub mod uring;
 
 pub use codec::WireError;
 pub use daemon::{

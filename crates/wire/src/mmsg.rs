@@ -65,7 +65,7 @@ pub struct SendOutcome {
 // ---------------------------------------------------------------------------
 
 #[cfg(target_os = "linux")]
-mod sys {
+pub(crate) mod sys {
     use std::ffi::c_void;
     use std::io;
     use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
@@ -77,6 +77,7 @@ mod sys {
     const SOCK_CLOEXEC: i32 = 0o2000000;
     const SOL_SOCKET: i32 = 1;
     const SO_REUSEPORT: i32 = 15;
+    const SO_RXQ_OVFL: i32 = 40;
     const MSG_WAITFORONE: i32 = 0x10000;
     const EINTR: i32 = 4;
 
@@ -233,6 +234,62 @@ mod sys {
         }
     }
 
+    /// Asks the kernel to attach an `SO_RXQ_OVFL` control message to every
+    /// received datagram: a cumulative count of datagrams this socket's
+    /// receive queue has dropped since creation. The counter is how the
+    /// daemon distinguishes "saturated but lossless" from silent loss.
+    pub fn enable_rxq_ovfl(socket: &std::net::UdpSocket) -> io::Result<()> {
+        let one: i32 = 1;
+        // SAFETY: `one` outlives the call; length matches the value.
+        let rc = unsafe {
+            setsockopt(
+                socket.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RXQ_OVFL,
+                std::ptr::addr_of!(one).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// `struct cmsghdr` (Linux 64-bit ABI: `size_t` length, then
+    /// level/type, then inline data aligned to `size_t`).
+    #[repr(C)]
+    struct CMsgHdr {
+        len: usize,
+        level: i32,
+        ty: i32,
+    }
+
+    /// Walks one received message's control buffer and returns the
+    /// `SO_RXQ_OVFL` payload if present: the socket's cumulative receive
+    /// drop count as of that datagram.
+    pub fn cmsg_rxq_drops(ctrl: &[u8], controllen: usize) -> Option<u32> {
+        const HDR: usize = std::mem::size_of::<CMsgHdr>();
+        let mut at = 0usize;
+        let end = controllen.min(ctrl.len());
+        while at + HDR <= end {
+            // SAFETY: bounds-checked above; repr(C) header read from the
+            // kernel-filled buffer (alignment 8 holds: `at` advances in
+            // CMSG_ALIGN steps from an 8-aligned arena slot).
+            let hdr = unsafe { &*ctrl.as_ptr().add(at).cast::<CMsgHdr>() };
+            if hdr.len < HDR || at + hdr.len > end {
+                return None; // truncated control data: stop walking
+            }
+            if hdr.level == SOL_SOCKET && hdr.ty == SO_RXQ_OVFL && hdr.len >= HDR + 4 {
+                let d = &ctrl[at + HDR..at + HDR + 4];
+                return Some(u32::from_ne_bytes([d[0], d[1], d[2], d[3]]));
+            }
+            // CMSG_ALIGN(len): control messages are size_t-aligned.
+            at += (hdr.len + 7) & !7;
+        }
+        None
+    }
+
     /// One `recvmmsg` call: blocks for the first datagram (bounded by the
     /// socket's read timeout), then drains without blocking
     /// (`MSG_WAITFORONE`). Returns the datagram count.
@@ -310,9 +367,23 @@ pub struct RecvBatch {
     #[cfg(target_os = "linux")]
     #[allow(dead_code)]
     iovs: Box<[sys::IoVec]>,
+    /// Per-slot control-message buffers (`CTRL_WORDS` `u64`s each, so the
+    /// kernel-read `cmsghdr` walk stays 8-aligned); carries the
+    /// `SO_RXQ_OVFL` drop counter when [`enable_rxq_ovfl`] armed the
+    /// socket, and stays empty (controllen 0) otherwise.
+    #[cfg(target_os = "linux")]
+    ctrl: Box<[u64]>,
     #[cfg(target_os = "linux")]
     hdrs: Box<[sys::MMsgHdr]>,
+    /// Latest `SO_RXQ_OVFL` value observed: the socket's cumulative
+    /// receive-queue drop count (0 if the option is off or unsupported).
+    drops: u64,
 }
+
+/// Control buffer size per receive slot, in `u64` words (64 bytes:
+/// `CMSG_SPACE(4)` for the drop counter is 24, with slack for growth).
+#[cfg(target_os = "linux")]
+const CTRL_WORDS: usize = 8;
 
 impl RecvBatch {
     /// Creates an arena for up to `batch` datagrams of `max_datagram`
@@ -339,6 +410,7 @@ impl RecvBatch {
                 iov.base = bufs[i * max_datagram..].as_mut_ptr().cast();
                 iov.len = max_datagram;
             }
+            let mut ctrl = vec![0u64; batch * CTRL_WORDS].into_boxed_slice();
             let hdrs = (0..batch)
                 .map(|i| sys::MMsgHdr {
                     hdr: sys::MsgHdr {
@@ -346,20 +418,40 @@ impl RecvBatch {
                         namelen: sys::ADDR_LEN,
                         iov: std::ptr::addr_of_mut!(iovs[i]),
                         iovlen: 1,
-                        control: std::ptr::null_mut(),
-                        controllen: 0,
+                        control: ctrl[i * CTRL_WORDS..].as_mut_ptr().cast(),
+                        controllen: CTRL_WORDS * 8,
                         flags: 0,
                     },
                     len: 0,
                 })
                 .collect::<Vec<_>>()
                 .into_boxed_slice();
-            RecvBatch { bufs, max_datagram, lens, peers, count: 0, addrs, iovs, hdrs }
+            RecvBatch {
+                bufs,
+                max_datagram,
+                lens,
+                peers,
+                count: 0,
+                addrs,
+                iovs,
+                ctrl,
+                hdrs,
+                drops: 0,
+            }
         }
         #[cfg(not(target_os = "linux"))]
         {
-            RecvBatch { bufs, max_datagram, lens, peers, count: 0 }
+            RecvBatch { bufs, max_datagram, lens, peers, count: 0, drops: 0 }
         }
+    }
+
+    /// The socket's cumulative receive-queue drop count, as of the newest
+    /// datagram that carried an `SO_RXQ_OVFL` control message (requires
+    /// [`enable_rxq_ovfl`] on the socket; otherwise stays 0). Cumulative
+    /// since socket creation — report it, don't sum it across calls.
+    #[must_use]
+    pub fn kernel_drops(&self) -> u64 {
+        self.drops
     }
 
     /// Arena capacity in datagrams.
@@ -408,12 +500,21 @@ pub fn recv_batch(socket: &UdpSocket, batch: &mut RecvBatch) -> io::Result<usize
     #[cfg(target_os = "linux")]
     {
         for hdr in batch.hdrs.iter_mut() {
-            hdr.hdr.namelen = sys::ADDR_LEN; // the kernel shrinks it per message
+            hdr.hdr.namelen = sys::ADDR_LEN; // the kernel shrinks these per
+            hdr.hdr.controllen = CTRL_WORDS * 8; // message — restore both
         }
         let n = sys::recvmmsg_once(socket, &mut batch.hdrs)?;
         for i in 0..n {
             batch.lens[i] = (batch.hdrs[i].len as usize).min(batch.max_datagram);
             batch.peers[i] = sys::decode(&batch.addrs[i]);
+            let words = &batch.ctrl[i * CTRL_WORDS..(i + 1) * CTRL_WORDS];
+            // SAFETY: reinterpreting the slot's u64 words as bytes; the
+            // kernel wrote `controllen` of them.
+            let ctrl =
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), CTRL_WORDS * 8) };
+            if let Some(d) = sys::cmsg_rxq_drops(ctrl, batch.hdrs[i].hdr.controllen) {
+                batch.drops = batch.drops.max(u64::from(d));
+            }
         }
         batch.count = n;
         Ok(n)
@@ -599,6 +700,28 @@ pub fn bind_reuseport(addr: SocketAddr) -> io::Result<UdpSocket> {
     {
         let _ = addr;
         Err(io::Error::new(io::ErrorKind::Unsupported, "SO_REUSEPORT batching is Linux-only"))
+    }
+}
+
+/// Arms `SO_RXQ_OVFL` on the socket so every received datagram carries the
+/// kernel's cumulative receive-queue drop count as a control message,
+/// surfaced through [`RecvBatch::kernel_drops`]. Only the `recvmsg` family
+/// can deliver control messages, so the count is observable in the batched
+/// and uring io modes but not through `recv_from`.
+///
+/// # Errors
+///
+/// The `setsockopt` error, or [`std::io::ErrorKind::Unsupported`] off
+/// Linux — callers treat drop accounting as best-effort.
+pub fn enable_rxq_ovfl(socket: &UdpSocket) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        sys::enable_rxq_ovfl(socket)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = socket;
+        Err(io::Error::new(io::ErrorKind::Unsupported, "SO_RXQ_OVFL is Linux-only"))
     }
 }
 

@@ -1,0 +1,1153 @@
+//! io_uring transport: one `io_uring_enter` per worker flush.
+//!
+//! The batched transport ([`crate::mmsg`]) amortized syscalls to two per
+//! batch — one `recvmmsg`, one `sendmmsg`. This module removes one of the
+//! two and makes the remaining one optional-on-idle: receive SQEs for the
+//! whole arena are parked in the kernel ahead of time, responses are
+//! staged as send SQEs in shared-memory rings, and a single
+//! `io_uring_enter` both submits everything staged since the last call
+//! and blocks for the next completion. Steady state is therefore **one
+//! syscall per drain–serve–flush iteration**, covering both directions.
+//!
+//! # Ring anatomy (what [`Ring::new`] maps)
+//!
+//! `io_uring_setup(2)` returns an fd describing three kernel-owned
+//! regions, which we `mmap` exactly as liburing does (hand-written
+//! `extern "C"` declarations — this workspace vendors no libc crate, and
+//! the io_uring syscall numbers are identical on every 64-bit
+//! architecture since they postdate the asm-generic unification):
+//!
+//! * the **SQ ring** — head/tail indices plus an indirection array of SQE
+//!   slots (we pre-fill it with the identity mapping once);
+//! * the **SQE array** — 64-byte submission entries the application
+//!   fills: `IORING_OP_RECVMSG` (10) per receive slot, `IORING_OP_SENDMSG`
+//!   (9) per staged response, `IORING_OP_TIMEOUT` (11) as the shutdown
+//!   poll (below);
+//! * the **CQ ring** — 16-byte completion entries tagged by the
+//!   `user_data` we stamped on the SQE (slot index + an op-kind tag in
+//!   the high bits).
+//!
+//! The SQ and CQ rings are mapped separately (`IORING_OFF_SQ_RING` /
+//! `IORING_OFF_CQ_RING`); kernels with `IORING_FEAT_SINGLE_MMAP` still
+//! honour the split layout, so one code path serves every kernel back to
+//! 5.0 (RECVMSG/SENDMSG are original-v5.0 opcodes — deliberately chosen
+//! over flashier multishot/provided-buffer modes, which would raise the
+//! kernel floor to 6.0 for the same syscall count).
+//!
+//! # Buffer discipline and registration
+//!
+//! All message state lives in preallocated arenas owned by [`UringIo`]:
+//! receive buffers, `msghdr`/`iovec`/sockaddr/control blocks, and
+//! reusable per-slot transmit `Vec`s — the kernel reads and writes them
+//! in place while ops are in flight, so the arenas are never moved or
+//! reallocated while armed, and a steady-state iteration allocates
+//! nothing (pinned by `tests/alloc_free_wire.rs`). The receive arena is
+//! additionally registered with `IORING_REGISTER_BUFFERS`, which pins its
+//! pages so the kernel skips the per-op page-table walk;
+//! `RECVMSG`/`SENDMSG` cannot consume fixed-buffer indices (that is a
+//! `READ_FIXED`/`WRITE_FIXED` privilege), so registration here buys page
+//! pinning, not the full fixed-buffer path — it is best-effort and a
+//! registration failure (e.g. a locked-memory rlimit) is ignored.
+//!
+//! # Shutdown polling without a syscall budget
+//!
+//! `SO_RCVTIMEO` does not bound asynchronous receive ops, so a quiet ring
+//! would park `io_uring_enter` forever and the worker could never notice
+//! the shutdown flag. Instead the transport keeps **one** relative
+//! `IORING_OP_TIMEOUT` armed at all times (re-armed lazily when its
+//! completion is harvested): every blocking wait is bounded by the
+//! daemon's read timeout, at a cost of one extra SQE per timeout period —
+//! not per iteration.
+//!
+//! # Degrade ladder
+//!
+//! [`UringIo::new`] (and the cheaper [`supported`] probe) fail cleanly
+//! when the kernel lacks io_uring (`ENOSYS`), an LSM or seccomp profile
+//! filters it (`EPERM`, common in container sandboxes), or the
+//! `kernel.io_uring_disabled` sysctl is set. The daemon then degrades
+//! `Uring → Batched` (which itself degrades to `Single` where reuseport
+//! is unavailable) and reports the effective mode — see
+//! [`crate::daemon`].
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+use crate::mmsg::SendOutcome;
+
+/// Whether this kernel (and this process's sandbox) can set up an
+/// io_uring at all. Cheap enough to call once per daemon spawn.
+#[must_use]
+pub fn supported() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        linux::Ring::new(8).is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use std::ffi::c_void;
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    use crate::mmsg::sys::{self, IoVec, MsgHdr, SockAddrStorage};
+
+    // asm-generic syscall numbers (shared by x86_64, aarch64, riscv64, …).
+    const SYS_IO_URING_SETUP: i64 = 425;
+    const SYS_IO_URING_ENTER: i64 = 426;
+    const SYS_IO_URING_REGISTER: i64 = 427;
+
+    const IORING_OFF_SQ_RING: i64 = 0;
+    const IORING_OFF_CQ_RING: i64 = 0x800_0000;
+    const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+    const IORING_ENTER_GETEVENTS: u32 = 1;
+    const IORING_REGISTER_BUFFERS: u32 = 0;
+
+    const OP_SENDMSG: u8 = 9;
+    const OP_RECVMSG: u8 = 10;
+    const OP_TIMEOUT: u8 = 11;
+    const OP_ASYNC_CANCEL: u8 = 14;
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 0x01;
+    const MAP_POPULATE: i32 = 0x8000;
+
+    const EINTR: i32 = 4;
+
+    /// `struct io_sqring_offsets`.
+    #[repr(C)]
+    #[derive(Default, Clone, Copy)]
+    struct SqOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        flags: u32,
+        dropped: u32,
+        array: u32,
+        resv1: u32,
+        resv2: u64,
+    }
+
+    /// `struct io_cqring_offsets`.
+    #[repr(C)]
+    #[derive(Default, Clone, Copy)]
+    struct CqOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        overflow: u32,
+        cqes: u32,
+        flags: u32,
+        resv1: u32,
+        resv2: u64,
+    }
+
+    /// `struct io_uring_params` — in/out argument of `io_uring_setup`.
+    #[repr(C)]
+    #[derive(Default, Clone, Copy)]
+    struct Params {
+        sq_entries: u32,
+        cq_entries: u32,
+        flags: u32,
+        sq_thread_cpu: u32,
+        sq_thread_idle: u32,
+        features: u32,
+        wq_fd: u32,
+        resv: [u32; 3],
+        sq_off: SqOffsets,
+        cq_off: CqOffsets,
+    }
+
+    /// `struct io_uring_sqe` — one 64-byte submission entry.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Sqe {
+        opcode: u8,
+        flags: u8,
+        ioprio: u16,
+        fd: i32,
+        off: u64,
+        addr: u64,
+        len: u32,
+        op_flags: u32,
+        user_data: u64,
+        buf_index: u16,
+        personality: u16,
+        splice_fd_in: i32,
+        pad: [u64; 2],
+    }
+
+    /// `struct io_uring_cqe` — one 16-byte completion entry.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Cqe {
+        user_data: u64,
+        res: i32,
+        flags: u32,
+    }
+
+    /// `struct __kernel_timespec` for `IORING_OP_TIMEOUT`.
+    #[repr(C)]
+    struct KernelTimespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        /// glibc's variadic raw-syscall trampoline: io_uring has no libc
+        /// wrappers, so every call goes through here.
+        fn syscall(num: i64, ...) -> i64;
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// One mmapped kernel region, unmapped on drop.
+    struct Mapping {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl Mapping {
+        fn new(fd: i32, len: usize, offset: i64) -> io::Result<Mapping> {
+            // SAFETY: plain mmap of the io_uring fd region; the kernel
+            // validates offset/len against the ring geometry.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE,
+                    fd,
+                    offset,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr: ptr.cast(), len })
+        }
+
+        /// A typed pointer `bytes` past the base.
+        fn at<T>(&self, bytes: u32) -> *mut T {
+            // SAFETY: callers pass kernel-reported offsets inside the map.
+            unsafe { self.ptr.add(bytes as usize).cast() }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: exclusively owned mapping, unmapped exactly once.
+            unsafe { munmap(self.ptr.cast(), self.len) };
+        }
+    }
+
+    /// The raw ring: fd, the three mappings, and cached pointers into
+    /// them. Safe to send across threads — exactly one worker owns it.
+    pub(super) struct Ring {
+        fd: i32,
+        _sq_ring: Mapping,
+        _cq_ring: Mapping,
+        _sqes: Mapping,
+        sq_khead: *const AtomicU32,
+        sq_ktail: *const AtomicU32,
+        sq_mask: u32,
+        sq_entries: u32,
+        sqe_base: *mut Sqe,
+        cq_khead: *const AtomicU32,
+        cq_ktail: *const AtomicU32,
+        cq_mask: u32,
+        cqe_base: *const Cqe,
+        /// SQEs staged (tail advanced) but not yet passed to
+        /// `io_uring_enter` as `to_submit`.
+        pending: u32,
+    }
+
+    // SAFETY: the raw pointers target the ring mappings owned by this
+    // struct; one thread owns and drives the ring at a time.
+    unsafe impl Send for Ring {}
+
+    impl Ring {
+        pub(super) fn new(entries: u32) -> io::Result<Ring> {
+            let entries = entries.next_power_of_two().clamp(8, 4096);
+            let mut params = Params::default();
+            // SAFETY: params outlives the call; the kernel fills it.
+            let fd = unsafe {
+                syscall(SYS_IO_URING_SETUP, i64::from(entries), std::ptr::addr_of_mut!(params))
+            };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = fd as i32;
+            let guard = FdGuard(fd);
+
+            let sq_len = params.sq_off.array as usize + params.sq_entries as usize * 4;
+            let sq_ring = Mapping::new(fd, sq_len, IORING_OFF_SQ_RING)?;
+            let cq_len = params.cq_off.cqes as usize
+                + params.cq_entries as usize * std::mem::size_of::<Cqe>();
+            let cq_ring = Mapping::new(fd, cq_len, IORING_OFF_CQ_RING)?;
+            let sqes = Mapping::new(
+                fd,
+                params.sq_entries as usize * std::mem::size_of::<Sqe>(),
+                IORING_OFF_SQES,
+            )?;
+
+            // Pre-fill the SQ indirection array with the identity map: SQE
+            // slot i is always published as array entry i.
+            let array: *mut u32 = sq_ring.at(params.sq_off.array);
+            for i in 0..params.sq_entries {
+                // SAFETY: array has sq_entries slots by construction.
+                unsafe { array.add(i as usize).write(i) };
+            }
+            // SAFETY: the mask offsets come from the kernel for these
+            // mappings; the values are constant after setup.
+            let (sq_mask, cq_mask) = unsafe {
+                (
+                    *sq_ring.at::<u32>(params.sq_off.ring_mask),
+                    *cq_ring.at::<u32>(params.cq_off.ring_mask),
+                )
+            };
+            let ring = Ring {
+                fd,
+                sq_khead: sq_ring.at::<AtomicU32>(params.sq_off.head),
+                sq_ktail: sq_ring.at::<AtomicU32>(params.sq_off.tail),
+                sq_mask,
+                sq_entries: params.sq_entries,
+                sqe_base: sqes.at::<Sqe>(0),
+                cq_khead: cq_ring.at::<AtomicU32>(params.cq_off.head),
+                cq_ktail: cq_ring.at::<AtomicU32>(params.cq_off.tail),
+                cq_mask,
+                cqe_base: cq_ring.at::<Cqe>(params.cq_off.cqes),
+                _sq_ring: sq_ring,
+                _cq_ring: cq_ring,
+                _sqes: sqes,
+                pending: 0,
+            };
+            std::mem::forget(guard);
+            Ok(ring)
+        }
+
+        /// Free SQE capacity right now (entries minus unconsumed tail).
+        fn sq_room(&self) -> u32 {
+            // SAFETY: ring pointers are valid for the ring's lifetime.
+            let head = unsafe { (*self.sq_khead).load(Ordering::Acquire) };
+            let tail = unsafe { (*self.sq_ktail).load(Ordering::Relaxed) };
+            self.sq_entries - tail.wrapping_sub(head)
+        }
+
+        /// Stages one SQE: fills the next slot and publishes the new tail
+        /// (the kernel only reads it at the next `enter`).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the SQ ring is full — arena sizing bounds staged
+        /// entries below ring capacity by construction, so a full ring is
+        /// a bug, not backpressure.
+        fn push(&mut self, sqe: Sqe) {
+            assert!(self.sq_room() > 0, "io_uring SQ ring unexpectedly full");
+            // SAFETY: tail slot is owned by userspace until published;
+            // pointers are in-bounds by the ring geometry.
+            unsafe {
+                let tail = (*self.sq_ktail).load(Ordering::Relaxed);
+                self.sqe_base.add((tail & self.sq_mask) as usize).write(sqe);
+                (*self.sq_ktail).store(tail.wrapping_add(1), Ordering::Release);
+            }
+            self.pending += 1;
+        }
+
+        /// One `io_uring_enter`: submits everything staged since the last
+        /// call and, with `wait`, blocks until at least one completion is
+        /// available (bounded by the armed timeout op).
+        fn enter(&mut self, wait: bool) -> io::Result<()> {
+            loop {
+                let flags = if wait { IORING_ENTER_GETEVENTS } else { 0 };
+                let min_complete: u32 = u32::from(wait);
+                // SAFETY: plain syscall on our ring fd; sig is null.
+                let rc = unsafe {
+                    syscall(
+                        SYS_IO_URING_ENTER,
+                        i64::from(self.fd),
+                        i64::from(self.pending),
+                        i64::from(min_complete),
+                        i64::from(flags),
+                        0i64,
+                        0i64,
+                    )
+                };
+                if rc >= 0 {
+                    self.pending -= rc as u32;
+                    return Ok(());
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+
+        /// Registers `iov` with `IORING_REGISTER_BUFFERS`, pinning its
+        /// pages for the ring's lifetime.
+        fn register_buffers(&self, iov: &IoVec) -> io::Result<()> {
+            // SAFETY: iov outlives the call; the kernel copies it.
+            let rc = unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    i64::from(self.fd),
+                    i64::from(IORING_REGISTER_BUFFERS),
+                    std::ptr::from_ref(iov),
+                    1i64,
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Drains every available CQE through `f`.
+        fn harvest(&mut self, mut f: impl FnMut(Cqe)) {
+            // SAFETY: ring pointers are valid; acquire on the kernel tail
+            // orders the CQE reads, release on head hands slots back.
+            unsafe {
+                let mut head = (*self.cq_khead).load(Ordering::Relaxed);
+                let tail = (*self.cq_ktail).load(Ordering::Acquire);
+                while head != tail {
+                    f(*self.cqe_base.add((head & self.cq_mask) as usize));
+                    head = head.wrapping_add(1);
+                }
+                (*self.cq_khead).store(head, Ordering::Release);
+            }
+        }
+    }
+
+    impl Drop for Ring {
+        fn drop(&mut self) {
+            // SAFETY: exclusively owned fd, closed exactly once (the
+            // mappings unmap in their own drops).
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Closes the ring fd on early-error paths of `Ring::new`.
+    struct FdGuard(i32);
+
+    impl Drop for FdGuard {
+        fn drop(&mut self) {
+            // SAFETY: the guard exclusively owns the fd until forgotten.
+            unsafe { close(self.0) };
+        }
+    }
+
+    /// `user_data` tags: op kind in the high bits, slot index below.
+    const TAG_RECV: u64 = 1 << 48;
+    const TAG_SEND: u64 = 2 << 48;
+    const TAG_TIMEOUT: u64 = 3 << 48;
+    const TAG_CANCEL: u64 = 4 << 48;
+    const TAG_MASK: u64 = 0xFFFF_0000_0000_0000;
+
+    /// Control-message words per receive slot (same layout rationale as
+    /// the `RecvBatch` arena: `u64` words keep the cmsg walk 8-aligned).
+    const CTRL_WORDS: usize = 8;
+
+    /// The io_uring transport for one worker socket. See the
+    /// [module docs](self) for ring anatomy and buffer discipline.
+    pub struct UringIo {
+        ring: Ring,
+        socket: UdpSocket,
+        batch: usize,
+        max_datagram: usize,
+        // Receive arena: `batch` slots, armed as RECVMSG SQEs.
+        rx_bufs: Box<[u8]>,
+        rx_ctrl: Box<[u64]>,
+        rx_addrs: Box<[SockAddrStorage]>,
+        /// Never read from Rust after construction — the msghdrs point
+        /// into it and the kernel reads it per op.
+        #[allow(dead_code)]
+        rx_iovs: Box<[IoVec]>,
+        rx_hdrs: Box<[MsgHdr]>,
+        /// Datagrams harvested and not yet re-armed: (slot, len, peer).
+        ready: Vec<(u32, u32, SocketAddr)>,
+        // Transmit arena: `2 * batch` slots so a full round of responses
+        // can stage while the previous round's sends are still in flight.
+        tx_slots: Vec<Vec<u8>>,
+        tx_addrs: Box<[SockAddrStorage]>,
+        tx_iovs: Box<[IoVec]>,
+        tx_hdrs: Box<[MsgHdr]>,
+        tx_free: Vec<u32>,
+        staged: Option<u32>,
+        inflight_rx: u32,
+        inflight_tx: u32,
+        outcome: SendOutcome,
+        recv_op_errors: u64,
+        timeout_armed: bool,
+        /// Set by `Drop`: stop re-arming receives so cancellation can
+        /// converge.
+        draining: bool,
+        timespec: Box<KernelTimespec>,
+        drops: u64,
+        registered: bool,
+    }
+
+    impl UringIo {
+        /// Builds a ring over `socket`, arms `batch` receive SQEs (each up
+        /// to `max_datagram` bytes), and registers the receive arena.
+        ///
+        /// # Errors
+        ///
+        /// Ring setup or mmap failure — `ENOSYS`/`EPERM` here is the
+        /// "kernel has no usable io_uring" signal the daemon's degrade
+        /// ladder consumes; the socket rides back in the error so the
+        /// caller can serve it over a fallback transport. Buffer
+        /// registration failure is *not* an error (see the module docs).
+        pub fn new(
+            socket: UdpSocket,
+            batch: usize,
+            max_datagram: usize,
+            read_timeout: Duration,
+        ) -> Result<UringIo, (UdpSocket, io::Error)> {
+            let batch = batch.clamp(1, crate::mmsg::MAX_BATCH);
+            let max_datagram = max_datagram.max(1);
+            // Staged between two enters: ≤ batch send SQEs + ≤ batch recv
+            // re-arms + 1 timeout; in flight overall: ≤ batch recvs +
+            // 2·batch sends + 1 timeout ≤ the kernel's 2× CQ sizing.
+            let ring = match Ring::new(2 * batch as u32 + 2) {
+                Ok(ring) => ring,
+                Err(e) => return Err((socket, e)),
+            };
+
+            let mut rx_bufs = vec![0u8; batch * max_datagram].into_boxed_slice();
+            let mut rx_ctrl = vec![0u64; batch * CTRL_WORDS].into_boxed_slice();
+            let mut rx_addrs =
+                vec![SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 }; batch]
+                    .into_boxed_slice();
+            let mut rx_iovs =
+                vec![IoVec { base: std::ptr::null_mut(), len: 0 }; batch].into_boxed_slice();
+            for (i, iov) in rx_iovs.iter_mut().enumerate() {
+                iov.base = rx_bufs[i * max_datagram..].as_mut_ptr().cast();
+                iov.len = max_datagram;
+            }
+            let rx_hdrs = (0..batch)
+                .map(|i| MsgHdr {
+                    name: std::ptr::addr_of_mut!(rx_addrs[i]).cast(),
+                    namelen: sys::ADDR_LEN,
+                    iov: std::ptr::addr_of_mut!(rx_iovs[i]),
+                    iovlen: 1,
+                    control: rx_ctrl[i * CTRL_WORDS..].as_mut_ptr().cast(),
+                    controllen: CTRL_WORDS * 8,
+                    flags: 0,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+
+            let tx_slots: Vec<Vec<u8>> =
+                (0..2 * batch).map(|_| Vec::with_capacity(max_datagram)).collect();
+            let tx_addrs =
+                vec![
+                    SockAddrStorage { family: 0, port_be: 0, data: [0; 24], scope_id: 0 };
+                    2 * batch
+                ]
+                .into_boxed_slice();
+            let mut tx_iovs =
+                vec![IoVec { base: std::ptr::null_mut(), len: 0 }; 2 * batch].into_boxed_slice();
+            let tx_hdrs = (0..2 * batch)
+                .map(|i| MsgHdr {
+                    name: std::ptr::null_mut(), // set per commit (v4 vs v6 length)
+                    namelen: 0,
+                    iov: std::ptr::addr_of_mut!(tx_iovs[i]),
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+
+            let registered = ring
+                .register_buffers(&IoVec { base: rx_bufs.as_mut_ptr().cast(), len: rx_bufs.len() })
+                .is_ok();
+
+            let timeout_s = read_timeout.max(Duration::from_millis(1));
+            let mut io = UringIo {
+                ring,
+                socket,
+                batch,
+                max_datagram,
+                rx_bufs,
+                rx_ctrl,
+                rx_addrs,
+                rx_iovs,
+                rx_hdrs,
+                ready: Vec::with_capacity(batch),
+                tx_slots,
+                tx_addrs,
+                tx_iovs,
+                tx_hdrs,
+                tx_free: (0..2 * batch as u32).rev().collect(),
+                staged: None,
+                inflight_rx: 0,
+                inflight_tx: 0,
+                outcome: SendOutcome::default(),
+                recv_op_errors: 0,
+                timeout_armed: false,
+                draining: false,
+                timespec: Box::new(KernelTimespec {
+                    tv_sec: timeout_s.as_secs() as i64,
+                    tv_nsec: i64::from(timeout_s.subsec_nanos()),
+                }),
+                drops: 0,
+                registered,
+            };
+            for slot in 0..batch as u32 {
+                io.arm_recv(slot);
+            }
+            Ok(io)
+        }
+
+        /// Whether `IORING_REGISTER_BUFFERS` accepted the receive arena.
+        #[must_use]
+        pub fn buffers_registered(&self) -> bool {
+            self.registered
+        }
+
+        /// The socket this ring serves (control acks go out through it
+        /// with a plain `send_to`, off the ring).
+        #[must_use]
+        pub fn socket(&self) -> &UdpSocket {
+            &self.socket
+        }
+
+        /// The socket's cumulative receive-queue drop count (see
+        /// [`crate::mmsg::RecvBatch::kernel_drops`]).
+        #[must_use]
+        pub fn kernel_drops(&self) -> u64 {
+            self.drops
+        }
+
+        /// Receive-op failures re-armed and skipped so far (surfaced in
+        /// `WorkerStats::recv_errors` when the worker exits).
+        #[must_use]
+        pub fn recv_op_errors(&self) -> u64 {
+            self.recv_op_errors
+        }
+
+        /// Stages a RECVMSG SQE for `slot`, restoring the header fields
+        /// the kernel shrank on the previous completion.
+        fn arm_recv(&mut self, slot: u32) {
+            let hdr = &mut self.rx_hdrs[slot as usize];
+            hdr.namelen = sys::ADDR_LEN;
+            hdr.controllen = CTRL_WORDS * 8;
+            self.ring.push(Sqe {
+                opcode: OP_RECVMSG,
+                flags: 0,
+                ioprio: 0,
+                fd: self.socket.as_raw_fd(),
+                off: 0,
+                addr: std::ptr::from_mut(&mut self.rx_hdrs[slot as usize]) as u64,
+                len: 1,
+                op_flags: 0,
+                user_data: TAG_RECV | u64::from(slot),
+                buf_index: 0,
+                personality: 0,
+                splice_fd_in: 0,
+                pad: [0; 2],
+            });
+            self.inflight_rx += 1;
+        }
+
+        /// Stages the always-armed shutdown-poll timeout op.
+        fn arm_timeout(&mut self) {
+            self.ring.push(Sqe {
+                opcode: OP_TIMEOUT,
+                flags: 0,
+                ioprio: 0,
+                fd: -1,
+                off: 0, // pure timer: no completion-count trigger
+                addr: std::ptr::from_ref(self.timespec.as_ref()) as u64,
+                len: 1,
+                op_flags: 0, // relative timeout
+                user_data: TAG_TIMEOUT,
+                buf_index: 0,
+                personality: 0,
+                splice_fd_in: 0,
+                pad: [0; 2],
+            });
+            self.timeout_armed = true;
+        }
+
+        /// Drains the CQ into this transport's state: receive completions
+        /// append to `ready`, send completions free their slot and tally
+        /// into the pending [`SendOutcome`], timeout completions mark the
+        /// poll op for re-arming.
+        fn harvest(&mut self) {
+            // Destructure around the closure: `ring.harvest` borrows the
+            // ring mutably while the closure updates sibling fields.
+            let Self {
+                ring,
+                ready,
+                rx_addrs,
+                rx_ctrl,
+                rx_hdrs,
+                max_datagram,
+                tx_free,
+                inflight_rx,
+                inflight_tx,
+                outcome,
+                recv_op_errors,
+                timeout_armed,
+                drops,
+                ..
+            } = self;
+            let mut rearm: [u32; 4] = [0; 4];
+            let mut rearm_n = 0usize;
+            ring.harvest(|cqe| match cqe.user_data & TAG_MASK {
+                TAG_RECV => {
+                    let slot = (cqe.user_data & !TAG_MASK) as u32;
+                    *inflight_rx -= 1;
+                    if cqe.res >= 0 {
+                        let len = (cqe.res as u32).min(*max_datagram as u32);
+                        let peer = sys::decode(&rx_addrs[slot as usize]);
+                        let words = &rx_ctrl[slot as usize * CTRL_WORDS..];
+                        // SAFETY: the slot's u64 words viewed as bytes;
+                        // the kernel wrote `controllen` of them.
+                        let ctrl = unsafe {
+                            std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), CTRL_WORDS * 8)
+                        };
+                        if let Some(d) =
+                            sys::cmsg_rxq_drops(ctrl, rx_hdrs[slot as usize].controllen)
+                        {
+                            *drops = (*drops).max(u64::from(d));
+                        }
+                        ready.push((slot, len, peer));
+                    } else {
+                        // Failed receive op (spurious kernel error): count
+                        // it and queue the slot for immediate re-arming.
+                        *recv_op_errors += 1;
+                        if rearm_n < rearm.len() {
+                            rearm[rearm_n] = slot;
+                            rearm_n += 1;
+                        }
+                    }
+                }
+                TAG_SEND => {
+                    let slot = (cqe.user_data & !TAG_MASK) as u32;
+                    if cqe.res >= 0 {
+                        outcome.sent += 1;
+                    } else {
+                        outcome.errors += 1;
+                    }
+                    tx_free.push(slot);
+                    *inflight_tx -= 1;
+                }
+                TAG_TIMEOUT => *timeout_armed = false,
+                _ => {} // cancel acks (TAG_CANCEL) need no bookkeeping
+            });
+            if !self.draining {
+                for &slot in rearm.iter().take(rearm_n) {
+                    self.arm_recv(slot);
+                }
+            }
+        }
+
+        /// The worker-loop wait: one `io_uring_enter` submitting
+        /// everything staged since the last call (previous flush's sends
+        /// and re-arms) and blocking until something completes — new
+        /// datagrams, send acknowledgements, or the shutdown-poll timeout.
+        /// Returns how many datagrams are ready; 0 is the idle case.
+        ///
+        /// # Errors
+        ///
+        /// The `io_uring_enter` error (`EINTR` is retried internally).
+        pub fn recv(&mut self) -> io::Result<usize> {
+            debug_assert!(self.ready.is_empty(), "previous round not flushed");
+            if !self.timeout_armed {
+                self.arm_timeout();
+            }
+            self.ring.enter(true)?;
+            self.harvest();
+            Ok(self.ready.len())
+        }
+
+        /// Datagrams harvested by the last [`recv`](Self::recv).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.ready.len()
+        }
+
+        /// Whether the last [`recv`](Self::recv) harvested nothing.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.ready.is_empty()
+        }
+
+        /// The `i`-th ready datagram and its sender.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `i >= self.len()`.
+        #[must_use]
+        pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
+            let (slot, len, peer) = self.ready[i];
+            let start = slot as usize * self.max_datagram;
+            (&self.rx_bufs[start..start + len as usize], peer)
+        }
+
+        /// The `i`-th ready datagram, its sender, and the cleared scratch
+        /// buffer for its response — split-borrowed so the caller can
+        /// read the query while writing the answer. Nothing is staged
+        /// until [`commit`](Self::commit); an uncommitted buffer is
+        /// handed out again by the next call.
+        ///
+        /// Returns `None` — shedding the response and counting it as a
+        /// send error — in the pathological case where every transmit
+        /// slot is still in flight (2·batch sends the kernel has not yet
+        /// completed).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `i >= self.len()`.
+        pub fn parts(&mut self, i: usize) -> Option<(&[u8], SocketAddr, &mut Vec<u8>)> {
+            let (slot, len, peer) = self.ready[i];
+            if self.staged.is_none() {
+                match self.tx_free.pop() {
+                    Some(free) => self.staged = Some(free),
+                    None => {
+                        self.outcome.errors += 1;
+                        return None;
+                    }
+                }
+            }
+            let tx_slot = self.staged.expect("staging slot reserved") as usize;
+            let start = slot as usize * self.max_datagram;
+            let buf = &mut self.tx_slots[tx_slot];
+            buf.clear();
+            Some((&self.rx_bufs[start..start + len as usize], peer, buf))
+        }
+
+        /// Commits the buffer last handed out by [`parts`](Self::parts)
+        /// as a SENDMSG SQE to `peer` (submitted by the next
+        /// [`recv`](Self::recv) — staging is free, the syscall is shared).
+        ///
+        /// # Panics
+        ///
+        /// Panics if no buffer is staged.
+        pub fn commit(&mut self, peer: SocketAddr) {
+            let slot = self.staged.take().expect("commit without a staged buffer") as usize;
+            // iovec bases are re-read per commit: a slot Vec that grew
+            // has a new heap pointer.
+            self.tx_iovs[slot].base = self.tx_slots[slot].as_mut_ptr().cast();
+            self.tx_iovs[slot].len = self.tx_slots[slot].len();
+            self.tx_hdrs[slot].namelen = sys::encode(peer, &mut self.tx_addrs[slot]);
+            self.tx_hdrs[slot].name = std::ptr::addr_of_mut!(self.tx_addrs[slot]).cast();
+            self.ring.push(Sqe {
+                opcode: OP_SENDMSG,
+                flags: 0,
+                ioprio: 0,
+                fd: self.socket.as_raw_fd(),
+                off: 0,
+                addr: std::ptr::from_mut(&mut self.tx_hdrs[slot]) as u64,
+                len: 1,
+                op_flags: 0,
+                user_data: TAG_SEND | slot as u64,
+                buf_index: 0,
+                personality: 0,
+                splice_fd_in: 0,
+                pad: [0; 2],
+            });
+            self.inflight_tx += 1;
+        }
+
+        /// Ends the round: re-arms every consumed receive slot (staged,
+        /// not submitted — the next [`recv`](Self::recv)'s single enter
+        /// carries them together with the committed sends) and returns
+        /// the send outcomes harvested since the last flush.
+        ///
+        /// Send completions are asynchronous, so an outcome generally
+        /// reports *earlier* rounds' sends; every send is accounted for
+        /// across flushes plus the final [`finish`](Self::finish).
+        pub fn flush(&mut self) -> SendOutcome {
+            for i in 0..self.ready.len() {
+                let slot = self.ready[i].0;
+                self.arm_recv(slot);
+            }
+            self.ready.clear();
+            std::mem::take(&mut self.outcome)
+        }
+
+        /// Shutdown drain: submits anything still staged and reaps until
+        /// every in-flight send has completed (bounded by a few timeout
+        /// periods — loopback sends complete immediately in practice).
+        pub fn finish(&mut self) -> SendOutcome {
+            for _ in 0..4 {
+                if self.inflight_tx == 0 && self.ring.pending == 0 {
+                    break;
+                }
+                if !self.timeout_armed {
+                    self.arm_timeout();
+                }
+                if self.ring.enter(true).is_err() {
+                    break;
+                }
+                self.harvest();
+            }
+            std::mem::take(&mut self.outcome)
+        }
+
+        /// Arena capacity in datagrams per receive round.
+        #[must_use]
+        pub fn capacity(&self) -> usize {
+            self.batch
+        }
+    }
+
+    impl Drop for UringIo {
+        /// Quiesces the ring before the arenas are freed: the kernel
+        /// writes receive completions into them, and closing the ring fd
+        /// tears the context down *asynchronously* — dropping the boxes
+        /// with receives still armed would hand the kernel freed memory.
+        /// Cancel every armed receive (`IORING_OP_ASYNC_CANCEL`), then
+        /// drain until nothing is in flight (bounded by a few timeout
+        /// periods; each wait needs the timeout op since canceled ops
+        /// complete immediately in practice).
+        fn drop(&mut self) {
+            self.draining = true;
+            // Clear anything staged so the cancel SQEs have ring room.
+            let _ = self.ring.enter(false);
+            for slot in 0..self.batch as u32 {
+                if self.ring.sq_room() == 0 {
+                    break;
+                }
+                self.ring.push(Sqe {
+                    opcode: OP_ASYNC_CANCEL,
+                    flags: 0,
+                    ioprio: 0,
+                    fd: -1,
+                    off: 0,
+                    addr: TAG_RECV | u64::from(slot),
+                    len: 0,
+                    op_flags: 0,
+                    user_data: TAG_CANCEL,
+                    buf_index: 0,
+                    personality: 0,
+                    splice_fd_in: 0,
+                    pad: [0; 2],
+                });
+            }
+            for _ in 0..16 {
+                if self.inflight_rx == 0 && self.inflight_tx == 0 {
+                    break;
+                }
+                if !self.timeout_armed {
+                    self.arm_timeout();
+                }
+                if self.ring.enter(true).is_err() {
+                    break;
+                }
+                self.harvest();
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::UringIo;
+
+/// Stub for non-Linux targets: uninhabited, so every method is statically
+/// unreachable; [`UringIo::new`] is the only constructor and always fails
+/// with [`std::io::ErrorKind::Unsupported`] (the daemon degrades to the
+/// batched/single transports).
+#[cfg(not(target_os = "linux"))]
+pub enum UringIo {}
+
+#[cfg(not(target_os = "linux"))]
+impl UringIo {
+    /// Always fails off Linux; see the Linux implementation for the API.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::Unsupported`], unconditionally, with the
+    /// socket riding back for the fallback transport.
+    pub fn new(
+        socket: UdpSocket,
+        _batch: usize,
+        _max_datagram: usize,
+        _read_timeout: std::time::Duration,
+    ) -> Result<UringIo, (UdpSocket, io::Error)> {
+        Err((socket, io::Error::new(io::ErrorKind::Unsupported, "io_uring is Linux-only")))
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    pub fn recv(&mut self) -> io::Result<usize> {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    #[must_use]
+    pub fn datagram(&self, _i: usize) -> (&[u8], SocketAddr) {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    pub fn parts(&mut self, _i: usize) -> Option<(&[u8], SocketAddr, &mut Vec<u8>)> {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    pub fn commit(&mut self, _peer: SocketAddr) {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    pub fn flush(&mut self) -> SendOutcome {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    pub fn finish(&mut self) -> SendOutcome {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    #[must_use]
+    pub fn socket(&self) -> &UdpSocket {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    #[must_use]
+    pub fn kernel_drops(&self) -> u64 {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    #[must_use]
+    pub fn recv_op_errors(&self) -> u64 {
+        match *self {}
+    }
+
+    /// Statically unreachable (the type is uninhabited off Linux).
+    #[must_use]
+    pub fn buffers_registered(&self) -> bool {
+        match *self {}
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn skip_without_uring() -> bool {
+        if supported() {
+            return false;
+        }
+        eprintln!("skipping: io_uring unavailable on this kernel/sandbox");
+        true
+    }
+
+    #[test]
+    fn probe_is_consistent() {
+        // Whatever the answer, asking twice must agree (no stateful
+        // resource leaks making the second probe fail).
+        assert_eq!(supported(), supported());
+    }
+
+    #[test]
+    fn uring_echo_round_trip() {
+        if skip_without_uring() {
+            return;
+        }
+        let server = UdpSocket::bind("127.0.0.1:0").expect("server bind");
+        let server_addr = server.local_addr().expect("addr");
+        let mut io =
+            UringIo::new(server, 8, 512, Duration::from_millis(50)).expect("ring over socket");
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        client.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        for i in 0..8u8 {
+            client.send_to(&[i, i ^ 0xFF, 7], server_addr).expect("send");
+        }
+
+        // Drain all 8, echo each with a transform, flush, then one more
+        // recv to carry the staged sends into the kernel.
+        let mut served = 0usize;
+        while served < 8 {
+            let n = io.recv().expect("enter");
+            for i in 0..n {
+                let (payload, peer, buf) = io.parts(i).expect("a free tx slot");
+                for &b in payload {
+                    buf.push(b.wrapping_add(1));
+                }
+                io.commit(peer);
+            }
+            served += n;
+            let _ = io.flush();
+        }
+        let outcome = io.finish();
+        assert_eq!(outcome.sent + io.flush().sent, 8, "all replies acknowledged sent");
+
+        let mut got = 0;
+        let mut buf = [0u8; 16];
+        while got < 8 {
+            let (n, _) = client.recv_from(&mut buf).expect("echo arrives");
+            assert_eq!(n, 3);
+            assert_eq!(buf[2], 8, "payload transformed by the echo");
+            got += 1;
+        }
+    }
+
+    #[test]
+    fn idle_recv_returns_within_the_timeout() {
+        if skip_without_uring() {
+            return;
+        }
+        let server = UdpSocket::bind("127.0.0.1:0").expect("server bind");
+        let mut io =
+            UringIo::new(server, 4, 256, Duration::from_millis(30)).expect("ring over socket");
+        let t0 = std::time::Instant::now();
+        let n = io.recv().expect("enter");
+        assert_eq!(n, 0, "nothing was sent");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "timeout op bounded the idle wait ({:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn oversize_datagrams_truncate_to_max() {
+        if skip_without_uring() {
+            return;
+        }
+        let server = UdpSocket::bind("127.0.0.1:0").expect("server bind");
+        let addr = server.local_addr().expect("addr");
+        let mut io =
+            UringIo::new(server, 4, 16, Duration::from_millis(50)).expect("ring over socket");
+        let client = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        client.send_to(&[9u8; 100], addr).expect("send");
+        let mut n = 0;
+        while n == 0 {
+            n = io.recv().expect("enter");
+        }
+        assert_eq!(io.datagram(0).0, &[9u8; 16][..], "kernel-truncated to max_datagram");
+    }
+}

@@ -1,9 +1,9 @@
-//! Differential test: `IoMode::Batched` and `IoMode::Single` must be
-//! observationally identical — same queries in, byte-identical responses
-//! out. The io mode is purely a transport optimization (reuseport
-//! sharding + `recvmmsg`/`sendmmsg` arenas); if a single answer byte
-//! shifts between modes, the batched path has leaked into serving
-//! semantics.
+//! Differential test: `IoMode::Uring`, `IoMode::Batched`, and
+//! `IoMode::Single` must be observationally identical — same queries in,
+//! byte-identical responses out. The io mode is purely a transport
+//! optimization (reuseport sharding, `recvmmsg`/`sendmmsg` arenas,
+//! io_uring submission rings); if a single answer byte shifts between
+//! modes, a transport path has leaked into serving semantics.
 //!
 //! Determinism argument: with one worker the daemon is a FIFO — each
 //! socket delivers datagrams in send order, the worker serves them in
@@ -40,9 +40,10 @@ fn serve_script(io_mode: IoMode) -> BTreeMap<u16, Vec<u8>> {
     let shards = vec![AuthoritativeServer::example_shard(0, 1998)];
     let daemon = Daemon::spawn(&cfg, shards).expect("daemon spawns");
     if cfg!(target_os = "linux") {
-        // On Linux the requested mode must actually take effect (batched
-        // has a degrade-to-single fallback; silently comparing single
-        // against single would vacuously pass).
+        // On Linux the requested mode must actually take effect (uring
+        // degrades to batched and batched to single; silently comparing a
+        // mode against itself would vacuously pass). Uring is only ever
+        // requested here after a positive support probe.
         assert_eq!(daemon.io_mode(), io_mode, "requested io mode is effective");
     }
 
@@ -74,15 +75,33 @@ fn serve_script(io_mode: IoMode) -> BTreeMap<u16, Vec<u8>> {
     responses
 }
 
-#[test]
-fn batched_and_single_serve_byte_identical_responses() {
-    let batched = serve_script(IoMode::Batched);
-    let single = serve_script(IoMode::Single);
+/// Byte-compares two full response maps from different io modes.
+fn assert_identical(
+    reference: &BTreeMap<u16, Vec<u8>>,
+    other: &BTreeMap<u16, Vec<u8>>,
+    mode: &str,
+) {
+    assert_eq!(other.len(), 200, "{mode} answered all 200 distinct ids");
+    for (id, r) in reference {
+        assert_eq!(&other[id], r, "response bytes for query id {id} differ in {mode} mode");
+    }
+}
 
-    assert_eq!(batched.len(), 200, "batched answered all 200 distinct ids");
+#[test]
+fn all_io_modes_serve_byte_identical_responses() {
+    let single = serve_script(IoMode::Single);
     assert_eq!(single.len(), 200, "single answered all 200 distinct ids");
-    for (id, b) in &batched {
-        let s = &single[id];
-        assert_eq!(b, s, "response bytes for query id {id} differ between io modes");
+
+    let batched = serve_script(IoMode::Batched);
+    assert_identical(&single, &batched, "batched");
+
+    // The uring leg runs only where the kernel can actually grant a ring
+    // (the support probe is the same one `Daemon::spawn` uses); elsewhere
+    // the comparison would degrade to batched-vs-single, already covered.
+    if geodns_wire::uring::supported() {
+        let uring = serve_script(IoMode::Uring);
+        assert_identical(&single, &uring, "uring");
+    } else {
+        eprintln!("skipping the uring leg: io_uring unavailable on this kernel");
     }
 }
