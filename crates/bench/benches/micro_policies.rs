@@ -30,7 +30,7 @@ fn bench_select(c: &mut Criterion) {
         PolicyKind::LeastLoaded,
     ] {
         g.bench_function(kind.paper_name(), |b| {
-            let mut policy = kind.build(7, 2);
+            let mut policy = kind.build(7, 2, 20);
             let mut rng = RngStreams::new(9).stream("bench");
             b.iter(|| {
                 let mut acc = 0usize;

@@ -1,0 +1,110 @@
+//! **X18**: proximity-aware scheduling under the geographic latency model.
+//!
+//! The latency model places the 20 client domains and 7 servers in seeded
+//! regions (~15 ms intra-region, ~120 ms inter-region round trips) and the
+//! report grows a *client-perceived latency* metric: page response plus
+//! the network round trip of the (domain, server) pair the DNS chose.
+//! The RTT-band policy keeps per-(domain, server) smoothed RTTs — primed
+//! from the geography GeoIP-style, refined by completed pages — and picks
+//! the in-band server with the least accumulated hidden load per unit
+//! capacity, RTT-discounted, so it should beat the proximity-blind
+//! baselines on perceived latency without giving up the load balance the
+//! adaptive-TTL machinery buys.
+//!
+//! Modes:
+//!
+//! * default — paper-scale runs;
+//! * `GEODNS_QUICK=1` / `--quick` — shortened smoke run for CI;
+//! * `--check` — gate the results: the default-band RTT-band row must beat
+//!   the RR row on perceived p95 while holding `P(maxU < 0.98)` within
+//!   0.10 of it, and the p95 ratio must not drift more than 10% above the
+//!   checked-in `BENCH_rtt_band.json` baseline (ratios, not raw seconds,
+//!   so the gate is meaningful on any runner even though the simulation is
+//!   deterministic anyway).
+
+use std::path::PathBuf;
+
+use geodns_bench::run_rtt_band_sweep;
+use geodns_core::{SimReport, DEFAULT_BAND_MS};
+use geodns_server::HeterogeneityLevel;
+
+const SEED: u64 = 1998;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn perceived_p95(results: &[(String, SimReport)], label: &str) -> f64 {
+    results
+        .iter()
+        .find(|(l, _)| l == label)
+        .unwrap_or_else(|| panic!("--check: missing row {label}"))
+        .1
+        .latency
+        .as_ref()
+        .expect("latency model enabled")
+        .perceived_p95_s
+}
+
+fn p98(results: &[(String, SimReport)], label: &str) -> f64 {
+    results
+        .iter()
+        .find(|(l, _)| l == label)
+        .unwrap_or_else(|| panic!("missing row {label}"))
+        .1
+        .p98()
+}
+
+fn check(results: &[(String, SimReport)]) {
+    let rtt_label = format!("RTT-BAND:{DEFAULT_BAND_MS}");
+    let rr_p95 = perceived_p95(results, "RR");
+    let rtt_p95 = perceived_p95(results, &rtt_label);
+    let rr_p98 = p98(results, "RR");
+    let rtt_p98 = p98(results, &rtt_label);
+    let ratio = rtt_p95 / rr_p95;
+    let mut failed = false;
+
+    eprintln!(
+        "check latency: {rtt_label} p95 {rtt_p95:.3}s vs RR {rr_p95:.3}s (ratio {ratio:.3}) … {}",
+        if rtt_p95 < rr_p95 { "ok" } else { "REGRESSED" }
+    );
+    if rtt_p95 >= rr_p95 {
+        failed = true;
+    }
+    eprintln!(
+        "check balance: {rtt_label} P(maxU<.98) {rtt_p98:.3} vs RR {rr_p98:.3} (floor {:.3}) … {}",
+        rr_p98 - 0.10,
+        if rtt_p98 >= rr_p98 - 0.10 { "ok" } else { "REGRESSED" }
+    );
+    if rtt_p98 < rr_p98 - 0.10 {
+        failed = true;
+    }
+
+    let path = repo_root().join("BENCH_rtt_band.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {}: {e}", path.display()));
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check: bad baseline JSON: {e}"));
+    let base_ratio = baseline["p95_ratio_rtt_over_rr"].as_f64().expect("baseline ratio");
+    let ceiling = base_ratio * 1.10;
+    eprintln!(
+        "check baseline: p95 ratio {ratio:.3} vs committed {base_ratio:.3} (ceiling {ceiling:.3}) … {}",
+        if ratio <= ceiling { "ok" } else { "REGRESSED" }
+    );
+    if ratio > ceiling {
+        failed = true;
+    }
+
+    if failed {
+        eprintln!("rtt_band: proximity win regressed vs RR / BENCH_rtt_band.json");
+        std::process::exit(1);
+    }
+    eprintln!("rtt_band: RTT-band still beats RR on perceived p95 at comparable balance");
+}
+
+fn main() {
+    let results = run_rtt_band_sweep("rtt_band", HeterogeneityLevel::H35, SEED);
+    if std::env::args().any(|a| a == "--check") {
+        check(&results);
+    }
+}

@@ -370,6 +370,58 @@ pub fn run_error_sweep(id: &str, fig_no: u32, level: geodns_core::HeterogeneityL
     save_json(id, &flatten_series(&points));
 }
 
+/// Runs the X18 proximity sweep: the geographic latency model is enabled
+/// and the RTT-band policy (at several band widths) competes with the
+/// proximity-blind baselines on *client-perceived* latency — page response
+/// plus the network round-trip of the (domain, server) pair the scheduler
+/// chose. Returns the labelled reports so the bench binary can gate on
+/// them with `--check`.
+pub fn run_rtt_band_sweep(
+    id: &str,
+    level: geodns_core::HeterogeneityLevel,
+    seed: u64,
+) -> Vec<(String, SimReport)> {
+    use geodns_core::{Algorithm, Experiment, DEFAULT_BAND_MS};
+
+    let mut e = Experiment::new(id.to_string());
+    let mut push = |label: String, algorithm: Algorithm| {
+        let mut cfg = SimConfig::paper_default(algorithm, level);
+        cfg.seed = seed;
+        cfg.latency.enabled = true;
+        apply_mode(&mut cfg);
+        e.push(label, cfg);
+    };
+    push("RR".into(), Algorithm::rr());
+    push("DAL".into(), Algorithm::dal());
+    push("DRR2-TTL/S_K".into(), Algorithm::drr2_ttl_s_k());
+    for band_ms in [50, 100, DEFAULT_BAND_MS, 800] {
+        push(format!("RTT-BAND:{band_ms}"), Algorithm::rtt_band(band_ms));
+    }
+    let results = run_experiment(&e);
+
+    let header =
+        ["algorithm", "perceived_mean_s", "p50_s", "p95_s", "p99_s", "rtt_mean_ms", "P(maxU<.98)"];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, r)| {
+            let lat = r.latency.as_ref().expect("latency model enabled for every row");
+            vec![
+                label.clone(),
+                format!("{:.3}", lat.perceived_mean_s),
+                format!("{:.3}", lat.perceived_p50_s),
+                format!("{:.3}", lat.perceived_p95_s),
+                format!("{:.3}", lat.perceived_p99_s),
+                format!("{:.1}", lat.rtt_mean_s * 1000.0),
+                format!("{:.3}", r.p98()),
+            ]
+        })
+        .collect();
+    println!("\nX18: Client-perceived latency with the geographic model (heterogeneity {level})\n");
+    println!("{}", geodns_core::format_table(&header, &rows));
+    save_json(id, &results);
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +465,7 @@ mod tests {
             hits_in_flight: 0,
             timeline: None,
             obs: None,
+            latency: None,
         };
         let flat = flatten_series(&[("20".into(), vec![("RR".into(), r)])]);
         assert_eq!(flat[0].0, "20|RR");

@@ -145,6 +145,19 @@ impl Algorithm {
         Self::new(PolicyKind::Mrl, TtlKind::Constant)
     }
 
+    /// RTT-band proximity selection (extension, ROADMAP item 2): servers
+    /// within `band_ms` of the best smoothed RTT compete on accumulated
+    /// hidden load, capacity, and proximity. Pairs with the TTL/S_K
+    /// adaptive-TTL scheme — proximity filtering only pays off when the
+    /// hidden load behind each binding is also kept under control.
+    #[must_use]
+    pub fn rtt_band(band_ms: u32) -> Self {
+        Self::new(
+            PolicyKind::RttBand { band_ms },
+            TtlKind::Adaptive { tiers: TierSpec::PerDomain, server_scaled: true },
+        )
+    }
+
     // --- Families used by the figures -----------------------------------
 
     /// Figure 1's deterministic family (strongest first).
@@ -185,6 +198,9 @@ impl Algorithm {
             (PolicyKind::Random, TtlKind::Constant) => "RAND".to_string(),
             (PolicyKind::WeightedRandom, TtlKind::Constant) => "WRAND".to_string(),
             (PolicyKind::LeastLoaded, TtlKind::Constant) => "LL".to_string(),
+            // RTT-BAND subsumes its TTL scheme in the short name: the
+            // family always rides TTL/S_K.
+            (PolicyKind::RttBand { .. }, _) => "RTT-BAND".to_string(),
             // The deterministic family renames RR/RR2 to DRR/DRR2.
             (PolicyKind::Rr, ttl @ TtlKind::Adaptive { server_scaled: true, .. }) => {
                 format!("DRR-{}", ttl.paper_name())
@@ -215,6 +231,7 @@ mod tests {
         assert_eq!(Algorithm::drr2_ttl_s(2).name(), "DRR2-TTL/S_2");
         assert_eq!(Algorithm::drr_ttl_s_k().name(), "DRR-TTL/S_K");
         assert_eq!(Algorithm::drr2_ttl_s_k().name(), "DRR2-TTL/S_K");
+        assert_eq!(Algorithm::rtt_band(400).name(), "RTT-BAND");
     }
 
     #[test]

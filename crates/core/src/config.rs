@@ -3,7 +3,7 @@
 use geodns_nameserver::MinTtlBehavior;
 use geodns_server::{CapacityPlan, HeterogeneityLevel};
 use geodns_simcore::QueueKind;
-use geodns_workload::WorkloadSpec;
+use geodns_workload::{LatencySpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::obs::ObsConfig;
@@ -93,6 +93,12 @@ pub struct SimConfig {
     /// is allocation-free and leaves reports byte-identical).
     #[serde(default)]
     pub obs: ObsConfig,
+    /// Geographic latency model: a seeded per-domain×server base-RTT
+    /// matrix giving proximity-aware policies a network-distance axis
+    /// (extension; off by default — the dedicated RNG stream is never
+    /// drawn and reports stay byte-identical).
+    #[serde(default)]
+    pub latency: LatencySpec,
     /// The constant-TTL baseline all schemes are rate-matched to (240 s).
     pub ttl_const_s: f64,
     /// The two-tier class threshold γ; `None` means the paper's `1/K`.
@@ -141,6 +147,7 @@ impl SimConfig {
             record_timeline: false,
             failures: FailureConfig::default(),
             obs: ObsConfig::default(),
+            latency: LatencySpec::default(),
             ttl_const_s: 240.0,
             class_threshold: None,
             normalize_ttl: true,
@@ -220,6 +227,7 @@ impl SimConfig {
         self.client_cache.validate()?;
         self.failures.validate()?;
         self.obs.validate()?;
+        self.latency.validate()?;
         if self.duration_s <= 0.0 || self.duration_s.is_nan() {
             return Err("duration must be > 0".to_string());
         }
@@ -282,6 +290,10 @@ mod tests {
         let mut cfg = base.clone();
         cfg.servers = ServerSpec::Relative(vec![0.5, 1.0]);
         assert!(cfg.validate().is_err());
+
+        let mut cfg = base.clone();
+        cfg.latency.regions = 0;
+        assert!(cfg.validate().is_err(), "garbage latency block rejected even when disabled");
 
         let mut cfg = base;
         cfg.workload.n_clients = 0;

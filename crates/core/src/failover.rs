@@ -27,15 +27,20 @@ impl FailoverModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if a backoff is negative or non-finite.
+    /// Returns "must be finite" for a NaN/∞ backoff and "must be >= 0 s"
+    /// for a negative one — distinct messages, so a propagated-NaN bug
+    /// upstream is not misreported as a sign error (same non-finite
+    /// discipline as `Estimator::ingest`).
     pub fn validate(&self) -> Result<(), String> {
         match self {
             FailoverModel::PinUntilTtl => Ok(()),
             FailoverModel::RetryAfterBackoff { backoff_s } => {
-                if backoff_s.is_finite() && *backoff_s >= 0.0 {
-                    Ok(())
-                } else {
+                if !backoff_s.is_finite() {
+                    Err(format!("failover backoff must be finite, got {backoff_s}"))
+                } else if *backoff_s < 0.0 {
                     Err(format!("failover backoff must be >= 0 s, got {backoff_s}"))
+                } else {
+                    Ok(())
                 }
             }
         }
@@ -105,7 +110,17 @@ mod tests {
             failover: FailoverModel::RetryAfterBackoff { backoff_s: -2.0 },
             ..FailureConfig::default()
         };
-        assert!(cfg.validate().is_err());
+        assert!(cfg.validate().unwrap_err().contains(">= 0 s"));
+
+        // NaN/∞ are a different bug than a sign error and must say so.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = FailureConfig {
+                failover: FailoverModel::RetryAfterBackoff { backoff_s: bad },
+                ..FailureConfig::default()
+            };
+            let msg = cfg.validate().unwrap_err();
+            assert!(msg.contains("must be finite"), "non-finite {bad} misreported: {msg}");
+        }
 
         let cfg = FailureConfig {
             enabled: true,

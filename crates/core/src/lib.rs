@@ -89,11 +89,12 @@ pub use obs::{
 };
 pub use policies::{
     Dal, LeastLoaded, Mrl, PolicyKind, ProbabilisticRr, ProbabilisticRr2, RandomChoice, RoundRobin,
-    RoundRobin2, SchedCtx, SelectionPolicy, WeightedRandom,
+    RoundRobin2, RttBand, RttInfo, SchedCtx, SelectionPolicy, WeightedRandom, DEFAULT_BAND_MS,
+    UNKNOWN_SERVER_NICENESS_MS,
 };
 pub use replay::run_trace;
 pub use replication::{run_replications, ReplicationSummary};
-pub use report::SimReport;
+pub use report::{LatencySummary, SimReport};
 pub use scheduler::DnsScheduler;
 pub use service::{ServiceModel, ServiceSampler};
 pub use timeline::Timeline;
@@ -105,5 +106,6 @@ pub use geodns_nameserver::{MinTtlBehavior, NsLookup};
 pub use geodns_server::{CapacityPlan, HeterogeneityLevel};
 pub use geodns_simcore::QueueKind;
 pub use geodns_workload::{
-    ClientDistribution, RateProfile, SessionModel, Trace, TraceSession, WorkloadSpec,
+    ClientDistribution, LatencyModel, LatencySpec, RateProfile, SessionModel, Trace, TraceSession,
+    WorkloadSpec,
 };

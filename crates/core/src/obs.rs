@@ -237,6 +237,13 @@ pub struct ObsSnapshot {
     pub trace_records_written: u64,
     /// Trace records dropped past the budget (0 without a tracer).
     pub trace_records_dropped: u64,
+    /// Classifier/policy class desyncs the policy repaired: decisions (or
+    /// feedback events) that arrived with a class index beyond the
+    /// policy's per-class state. Should stay 0; a non-zero value means a
+    /// rebuild raced a decision. Serde-defaulted so pre-existing snapshots
+    /// still deserialize.
+    #[serde(default)]
+    pub policy_class_desyncs: u64,
 }
 
 /// The in-memory counters registry.
@@ -267,6 +274,7 @@ pub struct ObsCounters {
     queue_crash_drops: u64,
     util_samples: u64,
     collects: u64,
+    policy_class_desyncs: u64,
 }
 
 impl ObsCounters {
@@ -311,6 +319,7 @@ impl ObsCounters {
             collects: self.collects,
             trace_records_written,
             trace_records_dropped,
+            policy_class_desyncs: self.policy_class_desyncs,
         }
     }
 }
@@ -336,6 +345,9 @@ impl Probe for ObsCounters {
         self.ttl_sum_s += decision.ttl_s;
         self.ttl_min_s = self.ttl_min_s.min(decision.ttl_s);
         self.ttl_max_s = self.ttl_max_s.max(decision.ttl_s);
+        // The policy keeps the authoritative running count (feedback
+        // events can desync too, between decisions); fold in its latest.
+        self.policy_class_desyncs = self.policy_class_desyncs.max(decision.policy.class_desyncs());
     }
 
     fn on_signal(&mut self, _now: SimTime, _server: usize, signal: Signal) {
@@ -719,7 +731,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let policy = PolicyKind::Rr.build(3, 1);
+        let policy = PolicyKind::Rr.build(3, 1, 1);
         let mut c = ObsCounters::new();
         c.on_event(SimTime::ZERO, "IssuePage", 5);
         c.on_event(SimTime::ZERO, "IssuePage", 4);
@@ -765,14 +777,44 @@ mod tests {
         assert_eq!(snap.ttl_mean_s, 0.0);
         assert_eq!(snap.ttl_min_s, 0.0);
         assert_eq!(snap.ttl_max_s, 0.0);
+        assert_eq!(snap.policy_class_desyncs, 0);
         assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn counters_surface_policy_class_desyncs() {
+        use crate::policies::SchedCtx;
+        use geodns_simcore::RngStreams;
+
+        let mut policy = PolicyKind::Rr2.build(3, 1, 1);
+        let weights = [1.0];
+        let caps = [1.0, 1.0, 1.0];
+        let abs = [10.0, 10.0, 10.0];
+        let all = [true, true, true];
+        let backlogs = [0.0; 3];
+        let ctx = SchedCtx {
+            domain: 0,
+            class: 2, // beyond the single-class table: a counted desync
+            weights: &weights,
+            relative_caps: &caps,
+            capacities: &abs,
+            available: &all,
+            backlogs: &backlogs,
+            now: SimTime::ZERO,
+        };
+        let mut rng = RngStreams::new(1).stream("obs");
+        policy.select(&ctx, &mut rng);
+
+        let mut c = ObsCounters::new();
+        c.on_dns_decision(&decision(&all, &all, &all, &backlogs, policy.as_ref()));
+        assert_eq!(c.snapshot(0, 0).policy_class_desyncs, 1);
     }
 
     #[test]
     fn tracer_writes_decision_records() {
         let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
         let mut tracer = JsonlTracer::from_writer(Box::new(buf.clone()), 100);
-        let policy = PolicyKind::Dal.build(3, 1);
+        let policy = PolicyKind::Dal.build(3, 1, 1);
         let all = [true, true, true];
         let candidates = [true, false, true];
         let backlogs = [0.5, 0.0, 0.25];

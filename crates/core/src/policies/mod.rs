@@ -16,7 +16,11 @@
 //! * [`Mrl`] — minimum residual load over still-live mappings.
 //!
 //! Plus modern baselines kept for comparison benches: [`RandomChoice`],
-//! [`WeightedRandom`], [`LeastLoaded`].
+//! [`WeightedRandom`], [`LeastLoaded`] — and the proximity-aware
+//! extension the paper couldn't study, [`RttBand`] (ROADMAP item 2):
+//! Unbound-style selection over per-(class × server) Jacobson/Karels RTT
+//! estimates fed back through [`SelectionPolicy::observe_rtt`] /
+//! [`SelectionPolicy::observe_timeout`].
 //!
 //! All policies honour the alarm mask: an alarmed server is only eligible
 //! when *every* server is alarmed (the site must answer something).
@@ -27,6 +31,7 @@ mod mrl;
 mod prr;
 mod random;
 mod rr;
+mod rtt;
 
 pub use dal::Dal;
 pub use least_loaded::LeastLoaded;
@@ -34,6 +39,7 @@ pub use mrl::Mrl;
 pub use prr::{ProbabilisticRr, ProbabilisticRr2};
 pub use random::{RandomChoice, WeightedRandom};
 pub use rr::{RoundRobin, RoundRobin2};
+pub use rtt::{RttBand, RttInfo, DEFAULT_BAND_MS, UNKNOWN_SERVER_NICENESS_MS};
 
 use geodns_simcore::{SimTime, StreamRng};
 use serde::{Deserialize, Serialize};
@@ -107,6 +113,24 @@ pub trait SelectionPolicy: Send {
     /// selection classes may change).
     fn on_classes_rebuilt(&mut self, _n_classes: usize) {}
 
+    /// Feeds back one measured network round-trip (seconds) between the
+    /// source `domain` and `server`. Only proximity-aware policies
+    /// ([`RttBand`]) listen; everyone else ignores it.
+    fn observe_rtt(&mut self, _domain: usize, _server: usize, _rtt_s: f64) {}
+
+    /// Feeds back one timeout (failed page) for a request from `domain`
+    /// aimed at `server` — the liveness signal proximity-aware policies
+    /// turn into a multiplicative SRTT penalty.
+    fn observe_timeout(&mut self, _domain: usize, _server: usize) {}
+
+    /// Number of index desyncs repaired so far: `select` or a feedback
+    /// call arrived with a class (or domain) index beyond the policy's
+    /// per-index state. Surfaced through the `Probe` layer; stateless and
+    /// single-tier policies report 0.
+    fn class_desyncs(&self) -> u64 {
+        0
+    }
+
     /// Appends an opaque numeric snapshot of the policy's mutable state to
     /// `out` — pointer positions for the RR family, accumulated load for
     /// DAL, per-server residual load for MRL. Decision recorders attach it
@@ -138,13 +162,26 @@ pub enum PolicyKind {
     WeightedRandom,
     /// Least normalized backlog (omniscient baseline).
     LeastLoaded,
+    /// Proximity-aware RTT-band selection (extension, ROADMAP item 2):
+    /// servers within `band_ms` of the best smoothed RTT compete on
+    /// accumulated hidden load, capacity, and proximity.
+    RttBand {
+        /// Tolerance band width in milliseconds.
+        band_ms: u32,
+    },
 }
 
 impl PolicyKind {
-    /// Instantiates the policy for `n_servers` servers and `n_classes`
-    /// selection classes.
+    /// Instantiates the policy for `n_servers` servers, `n_classes`
+    /// selection classes, and `n_domains` source domains (the granularity
+    /// the proximity-aware [`RttBand`] keys its estimator table by).
     #[must_use]
-    pub fn build(self, n_servers: usize, n_classes: usize) -> Box<dyn SelectionPolicy> {
+    pub fn build(
+        self,
+        n_servers: usize,
+        n_classes: usize,
+        n_domains: usize,
+    ) -> Box<dyn SelectionPolicy> {
         match self {
             PolicyKind::Rr => Box::new(RoundRobin::new(n_servers)),
             PolicyKind::Rr2 => Box::new(RoundRobin2::new(n_servers, n_classes)),
@@ -155,6 +192,9 @@ impl PolicyKind {
             PolicyKind::Random => Box::new(RandomChoice::new()),
             PolicyKind::WeightedRandom => Box::new(WeightedRandom::new()),
             PolicyKind::LeastLoaded => Box::new(LeastLoaded::new()),
+            PolicyKind::RttBand { band_ms } => {
+                Box::new(RttBand::new(n_servers, n_domains, f64::from(band_ms)))
+            }
         }
     }
 
@@ -171,11 +211,15 @@ impl PolicyKind {
             PolicyKind::Random => "RAND",
             PolicyKind::WeightedRandom => "WRAND",
             PolicyKind::LeastLoaded => "LL",
+            PolicyKind::RttBand { .. } => "RTTB",
         }
     }
 
     /// Whether the policy differentiates hot/normal source domains (and
-    /// therefore needs the two-tier classifier).
+    /// therefore needs the two-tier classifier). RTT-band is *not*
+    /// two-tier: it differentiates sources at full per-domain granularity
+    /// (its estimator table is keyed by (domain, server) — geography does
+    /// not follow the hot/normal load split).
     #[must_use]
     pub fn is_two_tier(self) -> bool {
         matches!(self, PolicyKind::Rr2 | PolicyKind::Prr2)
@@ -240,8 +284,9 @@ mod tests {
             PolicyKind::Random,
             PolicyKind::WeightedRandom,
             PolicyKind::LeastLoaded,
+            PolicyKind::RttBand { band_ms: 400 },
         ] {
-            let p = kind.build(7, 2);
+            let p = kind.build(7, 2, 4);
             assert_eq!(p.name(), kind.paper_name());
         }
     }
@@ -250,6 +295,7 @@ mod tests {
     fn two_tier_flag() {
         assert!(PolicyKind::Rr2.is_two_tier());
         assert!(PolicyKind::Prr2.is_two_tier());
+        assert!(!PolicyKind::RttBand { band_ms: 400 }.is_two_tier(), "per-domain, not per-class");
         assert!(!PolicyKind::Rr.is_two_tier());
         assert!(!PolicyKind::Dal.is_two_tier());
     }
@@ -287,10 +333,11 @@ mod tests {
             PolicyKind::Random,
             PolicyKind::WeightedRandom,
             PolicyKind::LeastLoaded,
+            PolicyKind::RttBand { band_ms: 400 },
         ] {
             let mut f = test_util::CtxFixture::new();
             f.available = vec![false; 7];
-            let mut policy = kind.build(7, 2);
+            let mut policy = kind.build(7, 2, 4);
             let mut rng = RngStreams::new(123).stream("excluded");
             for i in 0..200 {
                 let s = policy.select(&f.ctx(i % 4, i % 2), &mut rng);

@@ -10,7 +10,9 @@ use super::{SchedCtx, SelectionPolicy};
 /// assumption that `S_{i-1}` was the last chosen server, we assign the new
 /// request to `S_i` only if `u ≤ α_i`; otherwise we skip `S_i` and consider
 /// `S_{i+1}`"). Alarmed servers are skipped outright. Bounded by a safety
-/// cap, after which the next eligible server is taken unconditionally.
+/// cap, after which the next eligible server with positive capacity is
+/// taken unconditionally (falling back to plain eligibility when every
+/// capacity is zero).
 pub(crate) fn probabilistic_walk(start: usize, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
     let n = ctx.num_servers();
     let cap = 64 * n;
@@ -24,7 +26,27 @@ pub(crate) fn probabilistic_walk(start: usize, ctx: &SchedCtx<'_>, rng: &mut Str
             return idx;
         }
     }
-    super::rr::next_eligible(idx, ctx)
+    // Cap exhausted — only reachable when acceptance draws keep failing,
+    // i.e. α ≈ 0 on every eligible server. The cap is a multiple of `n`,
+    // so `idx == start` here and the fallback is deterministic: take the
+    // first eligible server after the pointer, preferring one with
+    // positive capacity. (The old handoff to `rr::next_eligible` ignored
+    // α entirely, so an exactly-zero-capacity server could absorb every
+    // fallback while a positive-capacity server sat one slot further on.)
+    let mut first_eligible = None;
+    for off in 1..=n {
+        let s = (idx + off) % n;
+        if !ctx.eligible(s) {
+            continue;
+        }
+        if ctx.relative_caps[s] > 0.0 {
+            return s;
+        }
+        if first_eligible.is_none() {
+            first_eligible = Some(s);
+        }
+    }
+    first_eligible.unwrap_or((idx + 1) % n)
 }
 
 /// PRR: round-robin with capacity-proportional acceptance, the paper's
@@ -70,6 +92,7 @@ impl SelectionPolicy for ProbabilisticRr {
 pub struct ProbabilisticRr2 {
     n_servers: usize,
     last: Vec<usize>,
+    desyncs: u64,
 }
 
 impl ProbabilisticRr2 {
@@ -85,7 +108,24 @@ impl ProbabilisticRr2 {
         ProbabilisticRr2 {
             n_servers,
             last: (0..n_classes).map(|c| (n_servers - 1 + c) % n_servers).collect(),
+            desyncs: 0,
         }
+    }
+
+    /// Grows the pointer table when a class index beyond the current
+    /// classification arrives (classifier/policy desync after a rebuild).
+    /// The old behaviour clamped onto the last pointer, silently sharing
+    /// round-robin state between distinct classes; now the table is
+    /// repaired with the same staggered-start formula as
+    /// `on_classes_rebuilt` and the incident is counted.
+    fn ensure_class(&mut self, class: usize) -> usize {
+        if class >= self.last.len() {
+            self.desyncs += 1;
+            let n = self.n_servers;
+            let have = self.last.len();
+            self.last.extend((have..=class).map(|c| (n - 1 + c) % n));
+        }
+        class
     }
 }
 
@@ -95,7 +135,7 @@ impl SelectionPolicy for ProbabilisticRr2 {
     }
 
     fn select(&mut self, ctx: &SchedCtx<'_>, rng: &mut StreamRng) -> usize {
-        let class = ctx.class.min(self.last.len() - 1);
+        let class = self.ensure_class(ctx.class);
         let s = probabilistic_walk(self.last[class], ctx, rng);
         self.last[class] = s;
         s
@@ -105,6 +145,10 @@ impl SelectionPolicy for ProbabilisticRr2 {
         if n_classes != self.last.len() && n_classes > 0 {
             self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
+    }
+
+    fn class_desyncs(&self) -> u64 {
+        self.desyncs
     }
 
     fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
@@ -181,6 +225,60 @@ mod tests {
         p.on_classes_rebuilt(3);
         let mut rng = RngStreams::new(9).stream("prr2");
         assert!(p.select(&f.ctx(0, 2), &mut rng) < 7);
+        assert_eq!(p.class_desyncs(), 0, "in-range class after rebuild is not a desync");
+    }
+
+    /// Regression: an out-of-range class used to be clamped onto the last
+    /// pointer, silently sharing state between distinct classes. It must
+    /// instead grow the table with the staggered-start formula and count
+    /// the desync.
+    #[test]
+    fn prr2_out_of_range_class_grows_table_and_counts_desync() {
+        let mut f = CtxFixture::new();
+        f.relative = vec![1.0; 7]; // deterministic walk: always accept
+        let mut p = ProbabilisticRr2::new(7, 2);
+        let mut rng = RngStreams::new(11).stream("prr2");
+        // Class 4 starts from the staggered pointer (7 - 1 + 4) % 7 = 3,
+        // not from class 1's pointer.
+        assert_eq!(p.select(&f.ctx(0, 4), &mut rng), 4);
+        assert_eq!(p.class_desyncs(), 1);
+        // Class 1's own pointer was untouched by the desync repair.
+        assert_eq!(p.select(&f.ctx(0, 1), &mut rng), 1);
+        // The repaired class now has independent state: no further desync.
+        assert_eq!(p.select(&f.ctx(0, 4), &mut rng), 5);
+        assert_eq!(p.class_desyncs(), 1);
+    }
+
+    /// Regression for the post-cap fallback: with one server at exactly
+    /// α = 0 and the rest near zero, the old `next_eligible` handoff could
+    /// hand the request to the zero-capacity server; the fallback must
+    /// prefer an eligible server with positive capacity.
+    #[test]
+    fn cap_exhausted_fallback_skips_zero_capacity_servers() {
+        let mut f = CtxFixture::new();
+        f.relative = vec![0.0; 7];
+        f.relative[6] = 1e-300; // positive but never accepted in 64·n draws
+        let mut rng = RngStreams::new(13).stream("walk");
+        for start in 0..7 {
+            let s = probabilistic_walk(start, &f.ctx(0, 0), &mut rng);
+            assert_eq!(s, 6, "fallback from {start} must prefer the positive-α server");
+        }
+        // With the positive-α server alarmed, the fallback degrades to the
+        // first eligible server after the pointer.
+        f.available[6] = false;
+        assert_eq!(probabilistic_walk(3, &f.ctx(0, 0), &mut rng), 4);
+    }
+
+    /// With *every* server alarmed the eligibility mask falls back to
+    /// all-eligible; the cap-exhausted walk must still answer in range.
+    #[test]
+    fn cap_exhausted_fallback_answers_when_all_alarmed() {
+        let mut f = CtxFixture::new();
+        f.relative = vec![0.0; 7];
+        f.available = vec![false; 7];
+        let mut rng = RngStreams::new(17).stream("walk");
+        let s = probabilistic_walk(2, &f.ctx(0, 0), &mut rng);
+        assert_eq!(s, 3, "all-alarmed, all-zero-α: first server after the pointer");
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl SelectionPolicy for RoundRobin {
 pub struct RoundRobin2 {
     n_servers: usize,
     last: Vec<usize>,
+    desyncs: u64,
 }
 
 impl RoundRobin2 {
@@ -98,7 +99,22 @@ impl RoundRobin2 {
             n_servers,
             // Stagger the starting pointers so classes don't move in lockstep.
             last: (0..n_classes).map(|c| (n_servers - 1 + c) % n_servers).collect(),
+            desyncs: 0,
         }
+    }
+
+    /// Grows the pointer table for a class index beyond the current
+    /// classification (classifier/policy desync) instead of clamping onto
+    /// the last pointer, and counts the incident. Same repair as
+    /// `ProbabilisticRr2`.
+    fn ensure_class(&mut self, class: usize) -> usize {
+        if class >= self.last.len() {
+            self.desyncs += 1;
+            let n = self.n_servers;
+            let have = self.last.len();
+            self.last.extend((have..=class).map(|c| (n - 1 + c) % n));
+        }
+        class
     }
 }
 
@@ -108,7 +124,7 @@ impl SelectionPolicy for RoundRobin2 {
     }
 
     fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
-        let class = ctx.class.min(self.last.len() - 1);
+        let class = self.ensure_class(ctx.class);
         let s = next_eligible(self.last[class], ctx);
         self.last[class] = s;
         s
@@ -118,6 +134,10 @@ impl SelectionPolicy for RoundRobin2 {
         if n_classes != self.last.len() && n_classes > 0 {
             self.last = (0..n_classes).map(|c| (self.n_servers - 1 + c) % self.n_servers).collect();
         }
+    }
+
+    fn class_desyncs(&self) -> u64 {
+        self.desyncs
     }
 
     fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
@@ -181,9 +201,17 @@ mod tests {
         let mut rr2 = RoundRobin2::new(7, 2);
         rr2.on_classes_rebuilt(1);
         let mut rng = RngStreams::new(1).stream("t");
-        // Class index beyond the pointer table clamps instead of panicking.
+        // A class index beyond the pointer table grows the table (with the
+        // staggered-start formula) instead of aliasing onto the last
+        // pointer, and the desync is counted.
         let s = rr2.select(&f.ctx(0, 1), &mut rng);
-        assert!(s < 7);
+        assert_eq!(s, 1, "class 1 restarts from the staggered pointer (7-1+1)%7");
+        assert_eq!(rr2.class_desyncs(), 1);
+        // Class 0's own pointer was left alone by the repair.
+        assert_eq!(rr2.select(&f.ctx(0, 0), &mut rng), 0);
+        // The repaired class is now in range: no further desync.
+        assert_eq!(rr2.select(&f.ctx(0, 1), &mut rng), 2);
+        assert_eq!(rr2.class_desyncs(), 1);
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Proximity-aware RTT-band selection (ROADMAP item 2).
+//!
+//! The policy keeps a per-(domain × server) Jacobson/Karels estimator
+//! (RFC 6298: `SRTT ← (1−α)·SRTT + α·R` with `α = 1/8`,
+//! `RTTVAR ← (1−β)·RTTVAR + β·|SRTT−R|` with `β = 1/4`,
+//! `RTO = SRTT + 4·RTTVAR`) fed by completed-page and timeout events, and
+//! selects the way Unbound's recursive resolver picks upstream servers,
+//! crossed with DAL's hidden-load accounting:
+//!
+//! * every eligible server whose score lies within `best + band` of the
+//!   best score **competes** — within the band, the winner is the server
+//!   with the lowest cost
+//!   `(ε + A_i) · (1 + backlog_i)² / α_i · max(score_i, 25 ms)`, where
+//!   `A_i` is the DAL-style accumulated hidden load every DNS assignment
+//!   charges immediately (the `assigned` hook) and `ε` a small cold-start
+//!   stand-in. Charging at decision time — not when backlog eventually
+//!   surfaces — is what stops a whole region's domains from herding onto
+//!   one nearby server for a full TTL window; the RTT factor means a near
+//!   server must accumulate proportionally more load before a far one
+//!   looks cheaper; the squared backlog lets a congested near server shed
+//!   toward farther band-mates before the alarm threshold; and the 25 ms
+//!   cost floor keeps same-region jitter from mattering;
+//! * the table is keyed by the **source domain**, not the hot/normal
+//!   selection class — geography does not follow the load split, and
+//!   averaging regions together would erase the proximity signal;
+//! * a server with no measurements yet scores an optimistic fixed
+//!   *niceness* (376 ms, Unbound's `UNKNOWN_SERVER_NICENESS`), placing it
+//!   inside the band of any reasonably close best — unknown servers get
+//!   explored instead of starved;
+//! * a timeout doubles the penalized SRTT (multiplicative back-off,
+//!   clamped to [50 ms, 120 s]) and, at three consecutive timeouts, adds a
+//!   10 s penalty that pushes the server far outside any plausible band —
+//!   composing with the failure model, where timeouts *are* the liveness
+//!   signal.
+//!
+//! Alarm masks still dominate: an alarmed server is never considered
+//! while any unalarmed one exists, exactly like every other policy.
+
+use geodns_simcore::{SimTime, StreamRng};
+
+use super::{SchedCtx, SelectionPolicy};
+
+/// Smoothing gain for the SRTT mean (RFC 6298 `alpha`).
+const SRTT_ALPHA: f64 = 1.0 / 8.0;
+/// Smoothing gain for the RTT deviation (RFC 6298 `beta`).
+const RTTVAR_BETA: f64 = 1.0 / 4.0;
+/// Deviation multiplier in the RTO (RFC 6298 `K`).
+const RTO_K: f64 = 4.0;
+/// Floor for the penalized/backed-off RTT, milliseconds.
+pub const RTT_MIN_TIMEOUT_MS: f64 = 50.0;
+/// Floor for the RTT factor in the selection cost, milliseconds — just
+/// above the same-region jitter ceiling, so servers in the requester's
+/// region compete on capacity and load alone while cross-region distances
+/// keep their full contrast.
+pub const RTT_COST_FLOOR_MS: f64 = 25.0;
+/// Cold-start load in the selection cost: stands in for the accumulated
+/// hidden load before a server received its first assignment. Small on
+/// purpose — DNS decisions are rare (one per domain per TTL window), so
+/// the hidden-load weights they charge are fractions of a unit; a floor
+/// of 1.0 would flatten their ratios and reduce the cost to
+/// nearest-server herding. Before any load lands, ties break toward
+/// proximity (`ε·rtt` ordering).
+const COLD_START_LOAD: f64 = 0.01;
+/// Ceiling for the penalized/backed-off RTT, milliseconds.
+pub const RTT_MAX_TIMEOUT_MS: f64 = 120_000.0;
+/// Optimistic score of a server with no measurements, milliseconds —
+/// low enough to be explored, high enough not to dominate a measured
+/// nearby server.
+pub const UNKNOWN_SERVER_NICENESS_MS: f64 = 376.0;
+/// Default selection band width, milliseconds: servers within this much
+/// of the best score compete on capacity and load.
+pub const DEFAULT_BAND_MS: u32 = 400;
+/// Additive score penalty once a server hits the timeout ceiling,
+/// milliseconds.
+const TIMEOUT_PENALTY_MS: f64 = 10_000.0;
+/// Consecutive timeouts after which the additive penalty applies.
+const MAX_TIMEOUT_COUNT: u32 = 3;
+
+/// One (domain, server) RTT estimate: the Jacobson/Karels pair plus the
+/// consecutive-timeout counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttInfo {
+    srtt_ms: f64,
+    rttvar_ms: f64,
+    rto_ms: f64,
+    timeout_count: u32,
+    /// Whether any evidence (sample or timeout) has arrived yet.
+    known: bool,
+}
+
+impl Default for RttInfo {
+    fn default() -> Self {
+        RttInfo::new()
+    }
+}
+
+impl RttInfo {
+    /// A fresh, never-measured estimate: RTTVAR seeded so the initial RTO
+    /// equals the unknown-server niceness.
+    #[must_use]
+    pub fn new() -> Self {
+        let rttvar_ms = UNKNOWN_SERVER_NICENESS_MS / RTO_K;
+        RttInfo {
+            srtt_ms: 0.0,
+            rttvar_ms,
+            rto_ms: calc_rto(0.0, rttvar_ms),
+            timeout_count: 0,
+            known: false,
+        }
+    }
+
+    /// Folds one round-trip sample in. Non-finite or negative samples are
+    /// discarded (the estimator's non-finite discipline). A sample clears
+    /// the consecutive-timeout counter.
+    pub fn observe(&mut self, rtt_ms: f64) {
+        if !rtt_ms.is_finite() || rtt_ms < 0.0 {
+            return;
+        }
+        if self.known {
+            self.rttvar_ms += RTTVAR_BETA * ((self.srtt_ms - rtt_ms).abs() - self.rttvar_ms);
+            self.srtt_ms += SRTT_ALPHA * (rtt_ms - self.srtt_ms);
+        } else {
+            // First sample (RFC 6298 §2.2): SRTT = R, RTTVAR = R/2.
+            self.srtt_ms = rtt_ms;
+            self.rttvar_ms = rtt_ms / 2.0;
+            self.known = true;
+        }
+        self.timeout_count = 0;
+        self.rto_ms = calc_rto(self.srtt_ms, self.rttvar_ms);
+    }
+
+    /// Folds one timeout in: multiplicative SRTT back-off clamped to
+    /// [[`RTT_MIN_TIMEOUT_MS`], [`RTT_MAX_TIMEOUT_MS`]] and a bump of the
+    /// consecutive-timeout counter.
+    pub fn observe_timeout(&mut self) {
+        self.timeout_count = (self.timeout_count + 1).min(MAX_TIMEOUT_COUNT);
+        self.srtt_ms = (self.srtt_ms.max(RTT_MIN_TIMEOUT_MS) * 2.0).min(RTT_MAX_TIMEOUT_MS);
+        self.known = true;
+        self.rto_ms = calc_rto(self.srtt_ms, self.rttvar_ms);
+    }
+
+    /// The selection score, milliseconds: the unknown-server niceness
+    /// before any evidence, otherwise the (penalized) SRTT.
+    #[must_use]
+    pub fn score_ms(&self) -> f64 {
+        if !self.known {
+            return UNKNOWN_SERVER_NICENESS_MS;
+        }
+        let penalty =
+            if self.timeout_count >= MAX_TIMEOUT_COUNT { TIMEOUT_PENALTY_MS } else { 0.0 };
+        self.srtt_ms + penalty
+    }
+
+    /// The smoothed round-trip time, milliseconds (0 before any sample).
+    #[must_use]
+    pub fn srtt_ms(&self) -> f64 {
+        self.srtt_ms
+    }
+
+    /// The retransmission timeout `SRTT + 4·RTTVAR`, milliseconds.
+    #[must_use]
+    pub fn rto_ms(&self) -> f64 {
+        self.rto_ms
+    }
+
+    /// Consecutive timeouts since the last successful sample.
+    #[must_use]
+    pub fn timeout_count(&self) -> u32 {
+        self.timeout_count
+    }
+}
+
+fn calc_rto(srtt_ms: f64, rttvar_ms: f64) -> f64 {
+    srtt_ms + RTO_K * rttvar_ms
+}
+
+/// The RTT-band policy: nearest servers first, with a tolerance band wide
+/// enough that capacity and load still spread proximate traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttBand {
+    n_servers: usize,
+    band_ms: f64,
+    /// Per-domain, per-server estimates.
+    table: Vec<Vec<RttInfo>>,
+    /// DAL-style accumulated hidden load: every assignment immediately
+    /// charges the chosen server with the requesting domain's relative
+    /// weight, so the very next decision already sees it.
+    accumulated: Vec<f64>,
+    /// Out-of-range domain indices seen by `select`/feedback — a
+    /// caller/policy desync, repaired on demand but counted (surfaced
+    /// through the `Probe` layer).
+    desyncs: u64,
+}
+
+impl RttBand {
+    /// Creates the policy for `n_servers` servers, `n_domains` source
+    /// domains and a `band_ms`-wide tolerance band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or the band is not finite and `>= 0`.
+    #[must_use]
+    pub fn new(n_servers: usize, n_domains: usize, band_ms: f64) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        assert!(n_domains > 0, "need at least one domain");
+        assert!(band_ms.is_finite() && band_ms >= 0.0, "band must be finite and >= 0 ms");
+        RttBand {
+            n_servers,
+            band_ms,
+            table: vec![vec![RttInfo::new(); n_servers]; n_domains],
+            accumulated: vec![0.0; n_servers],
+            desyncs: 0,
+        }
+    }
+
+    /// The per-server accumulated hidden load charged by [`assigned`].
+    ///
+    /// [`assigned`]: SelectionPolicy::assigned
+    #[must_use]
+    pub fn accumulated(&self) -> &[f64] {
+        &self.accumulated
+    }
+
+    /// The tolerance band width, milliseconds.
+    #[must_use]
+    pub fn band_ms(&self) -> f64 {
+        self.band_ms
+    }
+
+    /// The estimate for one (domain, server) pair, if the domain exists.
+    #[must_use]
+    pub fn info(&self, domain: usize, server: usize) -> Option<&RttInfo> {
+        self.table.get(domain)?.get(server)
+    }
+
+    /// Grows the per-domain table on demand when a domain index beyond
+    /// the configured count arrives (desync between the caller and the
+    /// policy; repaired, never aliased) and returns the usable index.
+    fn ensure_domain(&mut self, domain: usize) -> usize {
+        if domain >= self.table.len() {
+            self.desyncs += 1;
+            self.table.resize(domain + 1, vec![RttInfo::new(); self.n_servers]);
+        }
+        domain
+    }
+}
+
+impl SelectionPolicy for RttBand {
+    fn name(&self) -> &'static str {
+        "RTTB"
+    }
+
+    fn select(&mut self, ctx: &SchedCtx<'_>, _rng: &mut StreamRng) -> usize {
+        let domain = self.ensure_domain(ctx.domain);
+        let row = &self.table[domain];
+        let n = ctx.num_servers();
+        debug_assert_eq!(n, self.n_servers, "server count changed under the policy");
+        // Best score over the eligible set.
+        let mut best = f64::INFINITY;
+        for (s, info) in row.iter().enumerate().take(n) {
+            if ctx.eligible(s) {
+                best = best.min(info.score_ms());
+            }
+        }
+        // Everyone within the band competes on cost: accumulated hidden
+        // load plus current backlog, per unit of relative capacity,
+        // re-inflated by the (floored) RTT score. Deterministic minimum —
+        // the `assigned` charge moves the minimum between consecutive
+        // decisions, so the band spreads by capacity and proximity instead
+        // of herding. Sub-25 ms scores are floored so same-region jitter
+        // doesn't skew the split.
+        let band_top = best + self.band_ms;
+        let mut choice = None;
+        let mut choice_cost = f64::INFINITY;
+        for (s, info) in row.iter().enumerate().take(n) {
+            if !ctx.eligible(s) || info.score_ms() > band_top {
+                continue;
+            }
+            let cap = ctx.relative_caps[s];
+            if cap <= 0.0 {
+                continue;
+            }
+            // The backlog factor is squared: proximity may concentrate up
+            // to the RTT contrast (~5×) while queues are short, but a
+            // congested near server must shed toward its farther
+            // band-mates *before* the alarm threshold, not after.
+            let backlog = 1.0 + ctx.backlogs[s].max(0.0);
+            let cost = (COLD_START_LOAD + self.accumulated[s]) * backlog * backlog / cap
+                * info.score_ms().max(RTT_COST_FLOOR_MS);
+            if choice.is_none() || cost < choice_cost {
+                choice = Some(s);
+                choice_cost = cost;
+            }
+        }
+        if let Some(s) = choice {
+            return s;
+        }
+        // Degenerate weights (all zero capacity): fall back to the best
+        // score itself, lowest index on ties.
+        (0..n)
+            .filter(|&s| ctx.eligible(s))
+            .min_by(|&a, &b| row[a].score_ms().total_cmp(&row[b].score_ms()))
+            .unwrap_or(0)
+    }
+
+    fn assigned(&mut self, server: usize, rel_weight: f64, _ttl: f64, _now: SimTime) {
+        if server < self.n_servers && rel_weight.is_finite() {
+            self.accumulated[server] += rel_weight.max(0.0);
+        }
+    }
+
+    fn observe_rtt(&mut self, domain: usize, server: usize, rtt_s: f64) {
+        let domain = self.ensure_domain(domain);
+        if server < self.n_servers {
+            self.table[domain][server].observe(rtt_s * 1000.0);
+        }
+    }
+
+    fn observe_timeout(&mut self, domain: usize, server: usize) {
+        let domain = self.ensure_domain(domain);
+        if server < self.n_servers {
+            self.table[domain][server].observe_timeout();
+        }
+    }
+
+    // The estimator table is keyed by domain, and the domain count never
+    // changes mid-run — reclassification is deliberately ignored (the
+    // default `on_classes_rebuilt` no-op).
+
+    fn class_desyncs(&self) -> u64 {
+        self.desyncs
+    }
+
+    fn state_snapshot(&self, _now: geodns_simcore::SimTime, out: &mut Vec<f64>) {
+        for row in &self.table {
+            out.extend(row.iter().map(RttInfo::score_ms));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::CtxFixture;
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    #[test]
+    fn fresh_info_matches_the_unbound_constants() {
+        let info = RttInfo::new();
+        assert_eq!(info.score_ms(), UNKNOWN_SERVER_NICENESS_MS);
+        assert_eq!(info.rto_ms(), UNKNOWN_SERVER_NICENESS_MS);
+        assert_eq!(info.timeout_count(), 0);
+    }
+
+    #[test]
+    fn jacobson_karels_updates() {
+        let mut info = RttInfo::new();
+        info.observe(100.0);
+        assert_eq!(info.srtt_ms(), 100.0);
+        assert_eq!(info.rto_ms(), 100.0 + 4.0 * 50.0, "first sample: RTTVAR = R/2");
+        info.observe(200.0);
+        // SRTT ← 100 + (200-100)/8 = 112.5; RTTVAR ← 50 + (|100-200|-50)/4 = 62.5.
+        assert!((info.srtt_ms() - 112.5).abs() < 1e-12);
+        assert!((info.rto_ms() - (112.5 + 4.0 * 62.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded() {
+        let mut info = RttInfo::new();
+        info.observe(80.0);
+        let before = info;
+        info.observe(f64::NAN);
+        info.observe(f64::INFINITY);
+        info.observe(-1.0);
+        assert_eq!(info, before);
+    }
+
+    #[test]
+    fn timeouts_penalize_multiplicatively_then_additively() {
+        let mut info = RttInfo::new();
+        info.observe(100.0);
+        info.observe_timeout();
+        assert_eq!(info.srtt_ms(), 200.0, "timeout doubles the SRTT");
+        assert_eq!(info.score_ms(), 200.0);
+        info.observe_timeout();
+        info.observe_timeout();
+        assert_eq!(info.srtt_ms(), 800.0);
+        assert_eq!(info.score_ms(), 800.0 + 10_000.0, "third timeout adds the penalty");
+        // A successful sample clears the streak.
+        info.observe(100.0);
+        assert_eq!(info.timeout_count(), 0);
+        assert!(info.score_ms() < 1000.0);
+    }
+
+    #[test]
+    fn timeout_backoff_respects_the_clamp() {
+        let mut info = RttInfo::new();
+        for _ in 0..40 {
+            info.observe_timeout();
+        }
+        assert_eq!(info.srtt_ms(), RTT_MAX_TIMEOUT_MS);
+        let mut fresh = RttInfo::new();
+        fresh.observe(1.0);
+        fresh.observe_timeout();
+        assert_eq!(fresh.srtt_ms(), 2.0 * RTT_MIN_TIMEOUT_MS, "floor before doubling");
+    }
+
+    #[test]
+    fn converges_to_the_nearest_server() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 4, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(3).stream("rttb");
+        // Server 2 is 20 ms away; everyone else ~900 ms. Band = 400 ms.
+        for s in 0..7 {
+            let rtt_s = if s == 2 { 0.020 } else { 0.900 };
+            for _ in 0..8 {
+                p.observe_rtt(0, s, rtt_s);
+            }
+        }
+        for _ in 0..500 {
+            assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 2, "only the near server is in band");
+        }
+    }
+
+    #[test]
+    fn proximity_is_per_domain_not_per_class() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 4, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(8).stream("rttb");
+        // Domain 0 sits next to server 2, domain 1 next to server 4 —
+        // with everything else a continent away.
+        for s in 0..7 {
+            for _ in 0..8 {
+                p.observe_rtt(0, s, if s == 2 { 0.020 } else { 0.900 });
+                p.observe_rtt(1, s, if s == 4 { 0.020 } else { 0.900 });
+            }
+        }
+        for _ in 0..200 {
+            // The hot/normal class is identical for both requests: only
+            // the domain may steer the answer.
+            assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 2);
+            assert_eq!(p.select(&f.ctx(1, 0), &mut rng), 4);
+        }
+    }
+
+    #[test]
+    fn nearer_band_members_take_more_traffic() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 4, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(11).stream("rttb");
+        // Servers 0 (60 ms) and 2 (300 ms) are both in band; equal-ish
+        // capacity (α 1.0 vs 0.8), everyone else far out.
+        for s in 0..7 {
+            let rtt_s = match s {
+                0 => 0.060,
+                2 => 0.300,
+                _ => 0.900,
+            };
+            for _ in 0..8 {
+                p.observe_rtt(0, s, rtt_s);
+            }
+        }
+        let n = 20_000;
+        let mut counts = [0usize; 7];
+        for _ in 0..n {
+            let s = p.select(&f.ctx(0, 0), &mut rng);
+            p.assigned(s, 1.0, 240.0, SimTime::ZERO);
+            counts[s] += 1;
+        }
+        // Equilibrium equalizes (1+A_i)/α_i·rtt_i:
+        // (1+A_0)·60 = (1+A_2)/0.8·300 → A_0/A_2 ≈ 6.25 → share ≈ 0.862.
+        let share0 = counts[0] as f64 / n as f64;
+        assert!(share0 > 0.80, "proximity gradient within the band, got {share0:.3}");
+        assert!(counts[2] > 0, "farther band member still serves");
+    }
+
+    #[test]
+    fn band_members_split_by_capacity_and_load() {
+        let mut f = CtxFixture::new();
+        let mut p = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(9).stream("rttb");
+        // Servers 0 (α=1) and 2 (α=0.8) are equally near (both under the
+        // cost's RTT factor is identical, so it cancels); the rest far.
+        for s in 0..7 {
+            let rtt_s = if s == 0 || s == 2 { 0.030 } else { 0.900 };
+            for _ in 0..8 {
+                p.observe_rtt(0, s, rtt_s);
+            }
+        }
+        let n = 20_000;
+        let mut counts = [0usize; 7];
+        for _ in 0..n {
+            let s = p.select(&f.ctx(0, 0), &mut rng);
+            p.assigned(s, 1.0, 240.0, SimTime::ZERO);
+            counts[s] += 1;
+        }
+        assert_eq!(counts[1] + counts[3] + counts[4] + counts[5] + counts[6], 0);
+        let share0 = counts[0] as f64 / n as f64;
+        assert!((share0 - 1.0 / 1.8).abs() < 0.02, "α-proportional split, got {share0:.3}");
+        // Pile queued work onto server 0: traffic shifts to server 2.
+        f.backlogs[0] = 9.0;
+        let mut shifted = [0usize; 7];
+        for _ in 0..n {
+            let s = p.select(&f.ctx(0, 0), &mut rng);
+            p.assigned(s, 1.0, 240.0, SimTime::ZERO);
+            shifted[s] += 1;
+        }
+        assert!(
+            shifted[2] > shifted[0] * 3,
+            "loaded near server yields to its idle band-mate: {shifted:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_servers_are_explored() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(1).stream("rttb");
+        // Server 0 measured at 50 ms; server 1 never measured (niceness
+        // 376 ms < 50 + 400) — both must receive traffic.
+        for _ in 0..8 {
+            p.observe_rtt(0, 0, 0.050);
+        }
+        let mut counts = [0usize; 7];
+        for _ in 0..5_000 {
+            let s = p.select(&f.ctx(0, 0), &mut rng);
+            p.assigned(s, 1.0, 240.0, SimTime::ZERO);
+            counts[s] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "unknown server starved: {counts:?}");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        // Same feedback, different RNG streams: identical decisions — the
+        // band cost is a deterministic minimum, like DAL.
+        let f = CtxFixture::new();
+        let mut a = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut b = a.clone();
+        let mut rng_a = RngStreams::new(1).stream("one");
+        let mut rng_b = RngStreams::new(99).stream("other");
+        for s in 0..7 {
+            a.observe_rtt(0, s, 0.010 * (s + 1) as f64);
+            b.observe_rtt(0, s, 0.010 * (s + 1) as f64);
+        }
+        for _ in 0..200 {
+            let sa = a.select(&f.ctx(0, 0), &mut rng_a);
+            let sb = b.select(&f.ctx(0, 0), &mut rng_b);
+            assert_eq!(sa, sb);
+            a.assigned(sa, 0.3, 240.0, SimTime::ZERO);
+            b.assigned(sb, 0.3, 240.0, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn timed_out_server_leaves_the_band() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(2).stream("rttb");
+        for s in 0..7 {
+            for _ in 0..8 {
+                p.observe_rtt(0, s, 0.040);
+            }
+        }
+        for _ in 0..MAX_TIMEOUT_COUNT {
+            p.observe_timeout(0, 3);
+        }
+        for _ in 0..2_000 {
+            assert_ne!(p.select(&f.ctx(0, 0), &mut rng), 3, "penalized server still chosen");
+        }
+    }
+
+    #[test]
+    fn alarmed_servers_never_chosen() {
+        let mut f = CtxFixture::new();
+        f.available[0] = false;
+        f.available[2] = false;
+        let mut p = RttBand::new(7, 2, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(4).stream("rttb");
+        for _ in 0..5_000 {
+            let s = p.select(&f.ctx(0, 0), &mut rng);
+            assert!(s != 0 && s != 2);
+        }
+    }
+
+    #[test]
+    fn all_alarmed_still_answers_and_zero_caps_fall_back() {
+        let mut f = CtxFixture::new();
+        f.available = vec![false; 7];
+        let mut p = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(5).stream("rttb");
+        assert!(p.select(&f.ctx(0, 0), &mut rng) < 7);
+
+        let mut f = CtxFixture::new();
+        f.relative = vec![0.0; 7];
+        for s in 0..7 {
+            p.observe_rtt(0, s, if s == 6 { 0.010 } else { 0.900 });
+        }
+        assert_eq!(p.select(&f.ctx(0, 0), &mut rng), 6, "zero weights fall back to best score");
+    }
+
+    #[test]
+    fn out_of_range_domain_grows_the_table_and_counts_the_desync() {
+        let f = CtxFixture::new();
+        let mut p = RttBand::new(7, 1, f64::from(DEFAULT_BAND_MS));
+        let mut rng = RngStreams::new(6).stream("rttb");
+        assert_eq!(p.class_desyncs(), 0);
+        assert!(p.select(&f.ctx(3, 0), &mut rng) < 7);
+        assert_eq!(p.class_desyncs(), 1, "out-of-range domain is a counted desync");
+        assert!(p.info(3, 0).is_some(), "table grew to cover the domain");
+        // Feedback paths repair (and count) the same way.
+        p.observe_rtt(5, 0, 0.1);
+        assert_eq!(p.class_desyncs(), 2);
+        assert!(p.info(5, 0).is_some());
+    }
+
+    #[test]
+    fn reclassification_leaves_the_domain_table_alone() {
+        let mut p = RttBand::new(7, 4, f64::from(DEFAULT_BAND_MS));
+        p.observe_rtt(0, 1, 0.075);
+        p.observe_rtt(3, 1, 0.200);
+        // The hot/normal classifier rebuilding (any class count) must not
+        // disturb per-domain estimates — geography outlives load shifts.
+        p.on_classes_rebuilt(1);
+        p.on_classes_rebuilt(2);
+        assert!((p.info(0, 1).unwrap().srtt_ms() - 75.0).abs() < 1e-12);
+        assert!((p.info(3, 1).unwrap().srtt_ms() - 200.0).abs() < 1e-12);
+        assert_eq!(p.info(2, 0).unwrap().score_ms(), UNKNOWN_SERVER_NICENESS_MS);
+        assert_eq!(p.class_desyncs(), 0);
+    }
+
+    #[test]
+    fn name_and_band() {
+        let p = RttBand::new(1, 1, 250.0);
+        assert_eq!(p.name(), "RTTB");
+        assert_eq!(p.band_ms(), 250.0);
+    }
+}

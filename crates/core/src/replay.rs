@@ -269,7 +269,8 @@ pub fn run_trace(config: &SimConfig, trace: &Trace) -> Result<SimReport, String>
         hits_failed_total: 0,
         hits_in_flight: 0,
         timeline: None,
-        obs: None, // recorders are not wired into replay mode
+        obs: None,     // recorders are not wired into replay mode
+        latency: None, // the latency model is not wired into replay mode
     })
 }
 

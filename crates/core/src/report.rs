@@ -98,6 +98,34 @@ pub struct SimReport {
     /// before the observability layer existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub obs: Option<ObsSnapshot>,
+    /// Client-perceived latency summary, present when the run was
+    /// configured with an enabled geographic latency model. Skipped from
+    /// serialization when absent so latency-free reports stay
+    /// byte-identical to those produced before the proximity extension.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency: Option<LatencySummary>,
+}
+
+/// Exact-CDF summary of the client-perceived latency of every measured
+/// page: the page response time (issue → last hit completed) **plus** the
+/// base network round-trip between the client's domain and the server that
+/// served it — the quantity geo-aware scheduling actually optimizes and
+/// proximity-blind policies cannot see.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Pages in the sample (measured span only).
+    pub pages: u64,
+    /// Mean client-perceived latency, seconds.
+    pub perceived_mean_s: f64,
+    /// Median (exact empirical CDF, like the utilization quantiles).
+    pub perceived_p50_s: f64,
+    /// 95th percentile, seconds.
+    pub perceived_p95_s: f64,
+    /// 99th percentile, seconds.
+    pub perceived_p99_s: f64,
+    /// Mean base network RTT of the chosen (domain, server) pairs, seconds
+    /// — how *near* the scheduler's answers were, independent of queueing.
+    pub rtt_mean_s: f64,
 }
 
 impl SimReport {
@@ -179,6 +207,7 @@ mod tests {
             hits_in_flight: 0,
             timeline: None,
             obs: None,
+            latency: None,
         }
     }
 

@@ -75,7 +75,8 @@ impl DnsScheduler {
             TierSpec::Classes(1)
         };
         let sel_classes = DomainClasses::build(estimator.weights(), sel_tiers, gamma);
-        let policy = algorithm.policy.build(n, sel_classes.num_classes());
+        let policy =
+            algorithm.policy.build(n, sel_classes.num_classes(), estimator.weights().len());
 
         let ttl_tiers = match algorithm.ttl {
             TtlKind::Adaptive { tiers, .. } => tiers,
@@ -241,6 +242,21 @@ impl DnsScheduler {
             self.ttl_const,
             self.normalize,
         );
+    }
+
+    /// Feeds one measured client-perceived round-trip (seconds) for a
+    /// completed page from `domain` served by `server` back to the
+    /// selection policy at per-domain granularity; proximity-blind
+    /// policies ignore the sample.
+    pub fn observe_rtt(&mut self, domain: usize, server: usize, rtt_s: f64) {
+        self.policy.observe_rtt(domain, server, rtt_s);
+    }
+
+    /// Feeds one timeout (failed page) for a request from `domain` aimed
+    /// at `server` back to the selection policy — proximity-aware
+    /// policies turn it into a multiplicative SRTT penalty.
+    pub fn observe_timeout(&mut self, domain: usize, server: usize) {
+        self.policy.observe_timeout(domain, server);
     }
 
     /// Number of address requests answered.
@@ -518,5 +534,36 @@ mod tests {
         assert_eq!(dns.selection_classes().num_classes(), 2);
         let dns = scheduler(Algorithm::rr());
         assert_eq!(dns.selection_classes().num_classes(), 1);
+        // RTT-band keys its estimator table by domain, not domain class:
+        // it does not ask for the two-tier classifier.
+        let dns = scheduler(Algorithm::rtt_band(400));
+        assert_eq!(dns.selection_classes().num_classes(), 1);
+    }
+
+    #[test]
+    fn rtt_feedback_steers_rtt_band_toward_the_near_server() {
+        let mut dns = scheduler(Algorithm::rtt_band(400));
+        let backlogs = vec![0.0; 7];
+        // Every domain measures server 5 at 20 ms and everyone else at
+        // 900 ms — far outside the 400 ms band.
+        for d in 0..20 {
+            for s in 0..7 {
+                for _ in 0..4 {
+                    dns.observe_rtt(d, s, if s == 5 { 0.020 } else { 0.900 });
+                }
+            }
+        }
+        for d in 0..20 {
+            assert_eq!(dns.resolve(d, SimTime::ZERO, &backlogs).0, 5);
+        }
+        // Three timeouts push the near server out of the band again.
+        for d in 0..20 {
+            for _ in 0..3 {
+                dns.observe_timeout(d, 5);
+            }
+        }
+        for d in 0..20 {
+            assert_ne!(dns.resolve(d, SimTime::ZERO, &backlogs).0, 5);
+        }
     }
 }

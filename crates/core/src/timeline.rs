@@ -19,6 +19,13 @@ pub struct Timeline {
     /// `true` for the repair completing. Empty without fault injection.
     #[serde(default)]
     pub failure_events: Vec<(f64, u32, bool)>,
+    /// Mean client-perceived latency of the pages completed in each
+    /// sample window, seconds (0 for a window with no completions).
+    /// Populated only when the geographic latency model is enabled;
+    /// skipped from serialization otherwise so latency-free timelines
+    /// stay byte-identical to pre-extension ones.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub perceived_latency_s: Vec<f64>,
 }
 
 impl Timeline {
@@ -44,6 +51,12 @@ impl Timeline {
     /// Records one liveness transition (crash or repair).
     pub fn push_failure_event(&mut self, t_s: f64, server: u32, up: bool) {
         self.failure_events.push((t_s, server, up));
+    }
+
+    /// Appends one window's mean client-perceived latency (latency model
+    /// enabled only).
+    pub fn push_perceived(&mut self, mean_s: f64) {
+        self.perceived_latency_s.push(mean_s);
     }
 
     /// Number of samples.
@@ -142,6 +155,22 @@ mod tests {
         t.push_failure_event(12.5, 3, false);
         t.push_failure_event(40.0, 3, true);
         assert_eq!(t.failure_events, vec![(12.5, 3, false), (40.0, 3, true)]);
+    }
+
+    #[test]
+    fn perceived_latency_serializes_only_when_present() {
+        let mut t = Timeline::new();
+        t.push(8.0, vec![0.5]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(
+            !json.contains("perceived_latency_s"),
+            "latency-free timeline must not grow a key: {json}"
+        );
+        t.push_perceived(0.125);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"perceived_latency_s\":[0.125]"));
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -6,10 +6,11 @@ use geodns_server::{AlarmMonitor, CapacityPlan, FailureProcess, Hit, Signal, Web
 use geodns_simcore::dist::{Distribution, Uniform};
 use geodns_simcore::stats::{Cdf, Tally};
 use geodns_simcore::{Engine, RngStreams, SimTime, StreamRng};
-use geodns_workload::Workload;
+use geodns_workload::{LatencyModel, Workload};
 use rand::Rng;
 
 use crate::obs::{MuxProbe, Probe, QueueEvent};
+use crate::report::LatencySummary;
 use crate::service::ServiceSampler;
 use crate::{
     ClientCacheModel, DnsScheduler, FailoverModel, HiddenLoadEstimator, SimConfig, SimReport,
@@ -140,6 +141,15 @@ pub struct World {
     page_responses: Cdf,
     page_response_hot: Tally,
     page_response_normal: Tally,
+    // --- geographic latency (`latency` is `None` unless enabled; the
+    // dedicated "latency" RNG stream is drawn exactly once, at
+    // construction, and only when enabled — a disabled run stays
+    // bit-identical to one predating the proximity extension) ---
+    latency: Option<LatencyModel>,
+    perceived: Tally,
+    perceived_cdf: Cdf,
+    perceived_window: Tally,
+    rtt_assigned: Tally,
     client_cache_hits: u64,
     sessions: u64,
     dns_queries_measured: u64,
@@ -223,6 +233,29 @@ impl World {
         let hot_domain: Vec<bool> =
             workload.nominal_rates().iter().map(|r| r / total_rate > gamma).collect();
 
+        // Realize the geography once, from its own named stream. The
+        // closure runs only when enabled, so latency-free configurations
+        // never touch the stream and stay byte-identical.
+        let latency = cfg.latency.enabled.then(|| {
+            let mut rng = streams.stream("latency");
+            LatencyModel::generate(&cfg.latency, n_domains, n_servers, &mut rng)
+        });
+        let mut dns = dns;
+        if let Some(model) = &latency {
+            // Prime the scheduler's RTT tables from the geography,
+            // GeoIP-style: a real geo-DNS knows approximate client-to-site
+            // distances a priori and refines them online. DNS decisions
+            // are far too rare (one per domain per TTL window) for a cold
+            // estimator to ever map 20 domains × 7 servers from completion
+            // samples alone. RNG-free, and a no-op for proximity-blind
+            // policies.
+            for domain in 0..n_domains {
+                for server in 0..n_servers {
+                    dns.observe_rtt(domain, server, model.rtt_s(domain, server));
+                }
+            }
+        }
+
         let clients: Vec<ClientState> = (0..workload.num_clients())
             .map(|c| {
                 let domain = workload.domain_of_client(c).index();
@@ -254,6 +287,11 @@ impl World {
             page_responses: Cdf::new(),
             page_response_hot: Tally::new(),
             page_response_normal: Tally::new(),
+            latency,
+            perceived: Tally::new(),
+            perceived_cdf: Cdf::new(),
+            perceived_window: Tally::new(),
+            rtt_assigned: Tally::new(),
             client_cache_hits: 0,
             sessions: 0,
             dns_queries_measured: 0,
@@ -497,14 +535,29 @@ impl World {
         if hit.last_of_page {
             let client = hit.client as u32;
             let state = self.clients[hit.client];
+            let response = now.since(state.page_issued_at);
+            // Client-perceived latency = queueing response + the base
+            // network round-trip of the (domain, server) pair. The policy
+            // is fed the network leg alone — the proximity signal — and
+            // unconditionally (warm-up included, like the alarm monitors):
+            // for proximity-blind policies the call is a no-op, and it
+            // draws no randomness, so old runs stay byte-identical.
+            let rtt = self.latency.as_ref().map_or(0.0, |m| m.rtt_s(hit.domain, s));
+            let perceived = response + rtt;
+            self.dns.observe_rtt(hit.domain, s, rtt);
             if self.measuring {
-                let response = now.since(state.page_issued_at);
                 self.page_response.record(response);
                 self.page_responses.record(response);
                 if state.hot_domain {
                     self.page_response_hot.record(response);
                 } else {
                     self.page_response_normal.record(response);
+                }
+                if self.latency.is_some() {
+                    self.perceived.record(perceived);
+                    self.perceived_cdf.record(perceived);
+                    self.perceived_window.record(perceived);
+                    self.rtt_assigned.record(rtt);
                 }
             }
             let multiplier = self.workload.client_rate_multiplier_at(hit.client, now.as_secs());
@@ -547,6 +600,15 @@ impl World {
             self.max_util_samples.push(max_util);
             if let (Some(timeline), Some(row)) = (self.timeline.as_mut(), row) {
                 timeline.push(now.since(self.measured_start), row);
+                if self.latency.is_some() {
+                    let mean = if self.perceived_window.count() > 0 {
+                        self.perceived_window.mean()
+                    } else {
+                        0.0
+                    };
+                    timeline.push_perceived(mean);
+                    self.perceived_window = Tally::new();
+                }
             }
         }
         self.engine.schedule_in(self.params.util_interval_s, Ev::UtilSample);
@@ -651,6 +713,13 @@ impl World {
     /// A client's page failed (issued at a dead server, or dropped from a
     /// crashing server's queue). The failover model decides what happens.
     fn handle_failed_page(&mut self, client: u32, now: SimTime) {
+        // Tell the policy the page never completed so an RTT-aware scheme
+        // backs off the dead server instead of waiting out a full RTO.
+        // No-op (and RNG-free) for the classic policies.
+        {
+            let state = self.clients[client as usize];
+            self.dns.observe_timeout(state.domain as usize, state.server as usize);
+        }
         match self.params.failover {
             FailoverModel::PinUntilTtl => {
                 // Paper-faithful: the page is abandoned, the binding stays
@@ -727,6 +796,14 @@ impl World {
             downtime.iter().map(|d| (1.0 - d / span).clamp(0.0, 1.0)).collect();
         let hits_in_flight: u64 = self.servers.iter().map(|s| s.queue_len() as u64).sum();
         let obs = self.probe.finish();
+        let latency = self.latency.as_ref().map(|_| LatencySummary {
+            pages: self.perceived_cdf.count() as u64,
+            perceived_mean_s: self.perceived.mean(),
+            perceived_p50_s: self.perceived_cdf.quantile(0.50).unwrap_or(0.0),
+            perceived_p95_s: self.perceived_cdf.quantile(0.95).unwrap_or(0.0),
+            perceived_p99_s: self.perceived_cdf.quantile(0.99).unwrap_or(0.0),
+            rtt_mean_s: self.rtt_assigned.mean(),
+        });
         SimReport {
             algorithm: self.params.algorithm.name(),
             seed: self.params.seed,
@@ -760,6 +837,7 @@ impl World {
             hits_in_flight,
             timeline: self.timeline,
             obs,
+            latency,
         }
     }
 }
@@ -879,5 +957,45 @@ mod tests {
         let mut cfg = SimConfig::paper_default(Algorithm::rr(), HeterogeneityLevel::H0);
         cfg.duration_s = -1.0;
         assert!(run_simulation(&cfg).is_err());
+    }
+
+    #[test]
+    fn latency_model_populates_the_perceived_summary() {
+        let mut cfg = SimConfig::paper_default(Algorithm::rtt_band(400), HeterogeneityLevel::H20);
+        cfg.duration_s = 600.0;
+        cfg.warmup_s = 120.0;
+        cfg.seed = 5;
+        cfg.latency.enabled = true;
+        let r = run_simulation(&cfg).unwrap();
+        let lat = r.latency.expect("enabled model must yield a summary");
+        assert!(lat.pages > 0);
+        assert!(lat.perceived_p50_s > 0.0);
+        assert!(lat.perceived_p50_s <= lat.perceived_p95_s);
+        assert!(lat.perceived_p95_s <= lat.perceived_p99_s);
+        // Perceived latency includes the network leg on top of queueing.
+        assert!(lat.perceived_mean_s > r.page_response_mean_s);
+        assert!(lat.rtt_mean_s > 0.0);
+    }
+
+    #[test]
+    fn disabled_latency_leaves_the_report_unchanged() {
+        let r = short(Algorithm::rr(), HeterogeneityLevel::H20, 1);
+        assert!(r.latency.is_none());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("\"latency\""), "disabled model must not grow a key");
+    }
+
+    #[test]
+    fn timeline_carries_perceived_latency_when_enabled() {
+        let mut cfg = SimConfig::paper_default(Algorithm::rtt_band(400), HeterogeneityLevel::H20);
+        cfg.duration_s = 600.0;
+        cfg.warmup_s = 120.0;
+        cfg.seed = 9;
+        cfg.latency.enabled = true;
+        cfg.record_timeline = true;
+        let r = run_simulation(&cfg).unwrap();
+        let timeline = r.timeline.expect("timeline requested");
+        assert_eq!(timeline.perceived_latency_s.len(), timeline.len());
+        assert!(timeline.perceived_latency_s.iter().any(|&m| m > 0.0));
     }
 }

@@ -120,8 +120,9 @@ proptest! {
             PolicyKind::Random,
             PolicyKind::WeightedRandom,
             PolicyKind::LeastLoaded,
+            PolicyKind::RttBand { band_ms: 400 },
         ] {
-            let mut policy = kind.build(n, 2);
+            let mut policy = kind.build(n, 2, 20);
             let ctx = SchedCtx {
                 domain,
                 class: domain % 2,
@@ -161,6 +162,92 @@ proptest! {
             let (s, ttl) = dns.resolve(d, SimTime::ZERO, &backlogs);
             prop_assert!(s < 7);
             prop_assert!(ttl.is_finite() && ttl > 0.0);
+        }
+    }
+
+    /// RTT-band never hands a domain to an alarmed server, whatever the
+    /// geography, band width, availability mask, or assignment history.
+    #[test]
+    fn rtt_band_never_selects_alarmed(
+        caps in arb_caps(),
+        mask_bits in any::<u16>(),
+        seed in 0u64..500,
+        domain in 0usize..20,
+        rtts in prop::collection::vec(0.002f64..0.4, 12),
+        band_ms in 0u32..2000,
+    ) {
+        let n = caps.len();
+        let available: Vec<bool> = (0..n).map(|i| mask_bits & (1 << (i % 16)) != 0).collect();
+        let any_available = available.iter().any(|&a| a);
+        let weights: Vec<f64> = (0..20).map(|i| 100.0 / (i + 1) as f64).collect();
+        let absolute: Vec<f64> = caps.iter().map(|a| a * 100.0).collect();
+        let backlogs = vec![0.0; n];
+        let mut rng = RngStreams::new(seed).stream("prop");
+        let mut policy = PolicyKind::RttBand { band_ms }.build(n, 2, 20);
+        for s in 0..n {
+            policy.observe_rtt(domain, s, rtts[s % rtts.len()]);
+        }
+        let ctx = SchedCtx {
+            domain,
+            class: domain % 2,
+            weights: &weights,
+            relative_caps: &caps,
+            capacities: &absolute,
+            available: &available,
+            backlogs: &backlogs,
+            now: SimTime::ZERO,
+        };
+        for _ in 0..20 {
+            let s = policy.select(&ctx, &mut rng);
+            prop_assert!(s < n, "RTT-band: out of range");
+            if any_available {
+                prop_assert!(available[s], "RTT-band chose an alarmed server");
+            }
+            policy.assigned(s, 0.1, 240.0, SimTime::ZERO);
+        }
+    }
+
+    /// Under a stationary geography with one server strictly inside the band
+    /// and everyone else strictly outside it, RTT-band converges to (and
+    /// stays on) the nearest capable server.
+    #[test]
+    fn rtt_band_converges_to_nearest(
+        caps in arb_caps(),
+        seed in 0u64..200,
+        domain in 0usize..20,
+        band_ms in 0u32..500,
+        near_pick in 0usize..12,
+    ) {
+        let n = caps.len();
+        let near = near_pick % n;
+        let weights: Vec<f64> = (0..20).map(|i| 100.0 / (i + 1) as f64).collect();
+        let absolute: Vec<f64> = caps.iter().map(|a| a * 100.0).collect();
+        let available = vec![true; n];
+        let backlogs = vec![0.0; n];
+        let mut rng = RngStreams::new(seed).stream("prop");
+        let mut policy = PolicyKind::RttBand { band_ms }.build(n, 4, 20);
+        // Near server at 10 ms; everyone else strictly above the band top.
+        let far_s = (10.0 + f64::from(band_ms) + 50.0) / 1000.0;
+        for s in 0..n {
+            let rtt = if s == near { 0.010 } else { far_s };
+            for _ in 0..8 {
+                policy.observe_rtt(domain, s, rtt);
+            }
+        }
+        let ctx = SchedCtx {
+            domain,
+            class: domain % 4,
+            weights: &weights,
+            relative_caps: &caps,
+            capacities: &absolute,
+            available: &available,
+            backlogs: &backlogs,
+            now: SimTime::ZERO,
+        };
+        for _ in 0..50 {
+            let s = policy.select(&ctx, &mut rng);
+            prop_assert_eq!(s, near, "stationary RTTs must pin the nearest capable server");
+            policy.assigned(s, 0.1, 240.0, SimTime::ZERO);
         }
     }
 

@@ -5,6 +5,7 @@
 //!         [--io-mode uring|batched|single] [--batch N] [--pin BASE]
 //!         [--estimator oracle|ema[:ALPHA]|window[:N]]
 //!         [--collect-interval SECS]
+//!         [--policy drr2|rtt-band[:BAND_MS]]
 //! ```
 //!
 //! Serves the example topology (7 Table-2 H35 servers behind
@@ -32,11 +33,18 @@
 //! paper-scale cadence) into the hidden-load estimator, re-deriving the
 //! two-tier classification and the adaptive TTL tables from what the
 //! daemon actually observed.
+//!
+//! `--policy drr2` (the default) is the paper's champion DRR2-TTL/S_K.
+//! `--policy rtt-band[:BAND_MS]` swaps in the proximity-aware RTT-band
+//! selector: servers within `BAND_MS` (default 400) of the best smoothed
+//! RTT compete on capacity and load, and each shard's SRTT tables are
+//! primed from the example geography so answers are proximity-aware from
+//! the first query.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use geodns_core::EstimatorKind;
+use geodns_core::{Algorithm, EstimatorKind, DEFAULT_BAND_MS};
 use geodns_wire::{AuthoritativeServer, Daemon, DaemonConfig, IoMode};
 
 /// The `--estimator` flag before the collection interval is known.
@@ -68,6 +76,43 @@ impl EstArg {
     }
 }
 
+/// The `--policy` flag: which selection algorithm the shards run.
+enum PolicyArg {
+    /// The paper's champion, `DRR2-TTL/S_K` (the historical default).
+    Drr2,
+    /// Proximity-aware RTT-band selection with the given band width.
+    RttBand(u32),
+}
+
+impl PolicyArg {
+    fn parse(spec: &str) -> Result<PolicyArg, String> {
+        let (name, param) = match spec.split_once(':') {
+            Some((name, param)) => (name, Some(param)),
+            None => (spec, None),
+        };
+        match (name, param) {
+            ("drr2", None) => Ok(PolicyArg::Drr2),
+            ("drr2", Some(_)) => Err("drr2 takes no parameter".into()),
+            ("rtt-band", None) => Ok(PolicyArg::RttBand(DEFAULT_BAND_MS)),
+            ("rtt-band", Some(b)) => {
+                let band: u32 = b.parse().map_err(|e| format!("rtt-band width: {e}"))?;
+                if band == 0 {
+                    return Err("rtt-band width must be at least 1 ms".into());
+                }
+                Ok(PolicyArg::RttBand(band))
+            }
+            _ => Err(format!("unknown policy {spec:?} (expected drr2|rtt-band[:BAND_MS])")),
+        }
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        match *self {
+            PolicyArg::Drr2 => Algorithm::drr2_ttl_s_k(),
+            PolicyArg::RttBand(band_ms) => Algorithm::rtt_band(band_ms),
+        }
+    }
+}
+
 struct Args {
     bind: SocketAddr,
     workers: usize,
@@ -78,6 +123,7 @@ struct Args {
     pin: Option<usize>,
     estimator: EstArg,
     collect_interval: Option<f64>,
+    policy: PolicyArg,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         pin: None,
         estimator: EstArg::Oracle,
         collect_interval: None,
+        policy: PolicyArg::Drr2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,6 +164,7 @@ fn parse_args() -> Result<Args, String> {
                 args.pin = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?);
             }
             "--estimator" => args.estimator = EstArg::parse(&value("--estimator")?)?,
+            "--policy" => args.policy = PolicyArg::parse(&value("--policy")?)?,
             "--collect-interval" => {
                 args.collect_interval = Some(
                     value("--collect-interval")?
@@ -128,7 +176,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: geodnsd [--bind ADDR] [--workers N] [--seed N] [--duration SECS] \
                      [--io-mode uring|batched|single] [--batch N] [--pin BASE] \
-                     [--estimator oracle|ema[:ALPHA]|window[:N]] [--collect-interval SECS]"
+                     [--estimator oracle|ema[:ALPHA]|window[:N]] [--collect-interval SECS] \
+                     [--policy drr2|rtt-band[:BAND_MS]]"
                 );
                 std::process::exit(0);
             }
@@ -174,8 +223,11 @@ fn main() {
         eprintln!("geodnsd: --estimator: {e}");
         std::process::exit(2);
     }
+    let algorithm = args.policy.algorithm();
     let shards = (0..args.workers)
-        .map(|w| AuthoritativeServer::example_shard_with(w as u64, args.seed, kind))
+        .map(|w| {
+            AuthoritativeServer::example_shard_with_algorithm(w as u64, args.seed, kind, algorithm)
+        })
         .collect();
     let mut cfg = DaemonConfig::new(args.bind);
     cfg.io_mode = args.io_mode;
@@ -212,6 +264,13 @@ fn main() {
     }
     if let Some(base) = args.pin {
         println!("geodnsd: pinning workers to cores {base}.. (best-effort)");
+    }
+    match args.policy {
+        PolicyArg::Drr2 => println!("geodnsd policy: {} (paper champion)", algorithm.name()),
+        PolicyArg::RttBand(band_ms) => println!(
+            "geodnsd policy: {} band={band_ms}ms (proximity-aware, SRTT primed)",
+            algorithm.name()
+        ),
     }
     match kind {
         EstimatorKind::Oracle => println!("geodnsd estimator: oracle (nominal 40:20:10:5)"),

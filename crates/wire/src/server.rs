@@ -1,6 +1,9 @@
 //! The authoritative front end: query bytes in, adaptive-TTL answers out.
 
-use geodns_core::{Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator, NoopProbe, Probe};
+use geodns_core::{
+    Algorithm, DnsScheduler, EstimatorKind, HiddenLoadEstimator, LatencyModel, LatencySpec,
+    NoopProbe, PolicyKind, Probe,
+};
 use geodns_server::CapacityPlan;
 use geodns_simcore::{RngStreams, SimTime};
 
@@ -251,21 +254,56 @@ impl AuthoritativeServer {
     /// Never panics — the configuration is valid by construction.
     #[must_use]
     pub fn example_shard_with(worker: u64, seed: u64, estimator: EstimatorKind) -> Self {
+        Self::example_shard_with_algorithm(worker, seed, estimator, Algorithm::drr2_ttl_s_k())
+    }
+
+    /// The [`example_shard_with`](Self::example_shard_with) topology with
+    /// an explicit scheduling algorithm on top of the estimator choice.
+    /// When the algorithm is the RTT-band policy, the per-(class, server)
+    /// SRTT tables are primed from the example geography
+    /// ([`LatencySpec::example_enabled`]) so the daemon answers
+    /// proximity-aware from the first query instead of spending its
+    /// opening moves on exploration.
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the configuration is valid by construction.
+    #[must_use]
+    pub fn example_shard_with_algorithm(
+        worker: u64,
+        seed: u64,
+        estimator: EstimatorKind,
+        algorithm: Algorithm,
+    ) -> Self {
         let plan = CapacityPlan::from_level(geodns_server::HeterogeneityLevel::H35, 500.0);
         let weights = match estimator {
             EstimatorKind::Oracle => [40.0, 20.0, 10.0, 5.0],
             _ => [1.0; 4],
         };
+        let prime_rtt = matches!(algorithm.policy, PolicyKind::RttBand { .. });
         let estimator = HiddenLoadEstimator::new(estimator, &weights);
-        let scheduler = DnsScheduler::new(
-            Algorithm::drr2_ttl_s_k(),
+        let streams = RngStreams::new(seed);
+        let mut scheduler = DnsScheduler::new(
+            algorithm,
             &plan,
             estimator,
             0.25,
             240.0,
             true,
-            RngStreams::new(seed).stream_indexed("wire", worker),
+            streams.stream_indexed("wire", worker),
         );
+        if prime_rtt {
+            // Same geography on every shard: the "latency" stream is keyed
+            // by seed only, not worker, so all workers agree on who is
+            // near whom.
+            let spec = LatencySpec::example_enabled();
+            let model = LatencyModel::generate(&spec, 4, 7, &mut streams.stream("latency"));
+            for domain in 0..4 {
+                for server in 0..7 {
+                    scheduler.observe_rtt(domain, server, model.rtt_s(domain, server));
+                }
+            }
+        }
         let mut clients = ClientMap::new();
         for d in 0..4u8 {
             clients.add_prefix([10, d, 0, 0], 16, usize::from(d)).expect("valid prefix");

@@ -1,0 +1,295 @@
+//! Geographic latency model: a seeded per-domain×server base-RTT matrix.
+//!
+//! The paper's site is "geographically distributed", yet its workload
+//! model carries no notion of network distance — every policy it studies
+//! is proximity-blind. This module supplies the missing axis: clients of a
+//! domain and servers are each placed into one of a few **regions**
+//! (clusters), the base round-trip time between a domain and a server is
+//! low inside a region and high across regions, and a seeded jitter term
+//! decorrelates pairs so no two paths are exactly alike.
+//!
+//! The model is purely descriptive, like the rest of this crate: the
+//! simulation world in `geodns-core` realizes it once from a dedicated
+//! named RNG stream and then reads the frozen matrix. A disabled spec
+//! never draws from the stream, which is what keeps latency-free runs
+//! byte-identical to configurations predating this extension.
+
+use geodns_simcore::StreamRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+fn default_regions() -> usize {
+    3
+}
+
+fn default_intra_rtt_ms() -> f64 {
+    15.0
+}
+
+fn default_inter_rtt_ms() -> f64 {
+    120.0
+}
+
+fn default_jitter_ms() -> f64 {
+    10.0
+}
+
+/// Serializable description of the seeded geography. Disabled by default;
+/// an enabled spec is realized into a [`LatencyModel`] at world
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySpec {
+    /// Master switch; everything below is ignored when `false`.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Number of geographic clusters domains and servers are drawn into.
+    #[serde(default = "default_regions")]
+    pub regions: usize,
+    /// Base round-trip time within a region, milliseconds.
+    #[serde(default = "default_intra_rtt_ms")]
+    pub intra_rtt_ms: f64,
+    /// Base round-trip time across regions, milliseconds.
+    #[serde(default = "default_inter_rtt_ms")]
+    pub inter_rtt_ms: f64,
+    /// Uniform per-pair jitter added on top of the base, milliseconds.
+    #[serde(default = "default_jitter_ms")]
+    pub jitter_ms: f64,
+}
+
+impl Default for LatencySpec {
+    fn default() -> Self {
+        LatencySpec {
+            enabled: false,
+            regions: default_regions(),
+            intra_rtt_ms: default_intra_rtt_ms(),
+            inter_rtt_ms: default_inter_rtt_ms(),
+            jitter_ms: default_jitter_ms(),
+        }
+    }
+}
+
+impl LatencySpec {
+    /// The default geography with the master switch on.
+    #[must_use]
+    pub fn example_enabled() -> Self {
+        LatencySpec { enabled: true, ..LatencySpec::default() }
+    }
+
+    /// Validates the parameters. A disabled block is inert whatever it
+    /// contains, but garbage parameters are still rejected to catch typos
+    /// early (same contract as the failure-injection knob).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.regions == 0 {
+            return Err("latency.regions must be at least 1".to_string());
+        }
+        for (name, v) in [
+            ("latency.intra_rtt_ms", self.intra_rtt_ms),
+            ("latency.inter_rtt_ms", self.inter_rtt_ms),
+            ("latency.jitter_ms", self.jitter_ms),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("{name} must be finite, got {v}"));
+            }
+            if v < 0.0 {
+                return Err(format!("{name} must be >= 0 ms, got {v}"));
+            }
+        }
+        if self.intra_rtt_ms > self.inter_rtt_ms {
+            return Err(format!(
+                "latency.intra_rtt_ms ({}) must not exceed latency.inter_rtt_ms ({})",
+                self.intra_rtt_ms, self.inter_rtt_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The realized geography: a frozen `domains × servers` base-RTT matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    n_domains: usize,
+    n_servers: usize,
+    /// Row-major `[domain][server]` round-trip times, milliseconds.
+    rtt_ms: Vec<f64>,
+    /// Region of each domain, then of each server (kept for inspection).
+    domain_region: Vec<usize>,
+    server_region: Vec<usize>,
+}
+
+impl LatencyModel {
+    /// Realizes `spec` for a `n_domains × n_servers` site, drawing the
+    /// region placement and per-pair jitter from `rng`. Deterministic for
+    /// a given `(spec, shape, stream)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid or either dimension is zero.
+    #[must_use]
+    pub fn generate(
+        spec: &LatencySpec,
+        n_domains: usize,
+        n_servers: usize,
+        rng: &mut StreamRng,
+    ) -> Self {
+        spec.validate().expect("latency spec validated before realization");
+        assert!(n_domains > 0 && n_servers > 0, "degenerate site shape");
+        let domain_region: Vec<usize> =
+            (0..n_domains).map(|_| rng.gen_range(0..spec.regions)).collect();
+        let server_region: Vec<usize> =
+            (0..n_servers).map(|_| rng.gen_range(0..spec.regions)).collect();
+        let mut rtt_ms = Vec::with_capacity(n_domains * n_servers);
+        for &dr in &domain_region {
+            for &sr in &server_region {
+                let base = if dr == sr { spec.intra_rtt_ms } else { spec.inter_rtt_ms };
+                rtt_ms.push(base + rng.gen::<f64>() * spec.jitter_ms);
+            }
+        }
+        LatencyModel { n_domains, n_servers, rtt_ms, domain_region, server_region }
+    }
+
+    /// Number of domains (matrix rows).
+    #[must_use]
+    pub fn num_domains(&self) -> usize {
+        self.n_domains
+    }
+
+    /// Number of servers (matrix columns).
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Base round-trip time between `domain` and `server`, milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn rtt_ms(&self, domain: usize, server: usize) -> f64 {
+        assert!(domain < self.n_domains && server < self.n_servers, "index out of range");
+        self.rtt_ms[domain * self.n_servers + server]
+    }
+
+    /// Base round-trip time between `domain` and `server`, seconds.
+    #[must_use]
+    pub fn rtt_s(&self, domain: usize, server: usize) -> f64 {
+        self.rtt_ms(domain, server) / 1000.0
+    }
+
+    /// The server with the lowest base RTT from `domain`.
+    #[must_use]
+    pub fn nearest_server(&self, domain: usize) -> usize {
+        (0..self.n_servers)
+            .min_by(|&a, &b| self.rtt_ms(domain, a).total_cmp(&self.rtt_ms(domain, b)))
+            .expect("at least one server")
+    }
+
+    /// Region of each domain.
+    #[must_use]
+    pub fn domain_regions(&self) -> &[usize] {
+        &self.domain_region
+    }
+
+    /// Region of each server.
+    #[must_use]
+    pub fn server_regions(&self) -> &[usize] {
+        &self.server_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodns_simcore::RngStreams;
+
+    fn model(seed: u64) -> LatencyModel {
+        let mut rng = RngStreams::new(seed).stream("latency");
+        LatencyModel::generate(&LatencySpec::example_enabled(), 20, 7, &mut rng)
+    }
+
+    #[test]
+    fn default_is_off_and_valid() {
+        let spec = LatencySpec::default();
+        assert!(!spec.enabled);
+        assert!(spec.validate().is_ok());
+        assert!(LatencySpec::example_enabled().enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let spec = LatencySpec { regions: 0, ..LatencySpec::default() };
+        assert!(spec.validate().is_err());
+
+        let spec = LatencySpec { intra_rtt_ms: f64::NAN, ..LatencySpec::default() };
+        assert!(spec.validate().unwrap_err().contains("finite"));
+
+        let spec = LatencySpec { jitter_ms: -1.0, ..LatencySpec::default() };
+        assert!(spec.validate().unwrap_err().contains(">= 0"));
+
+        let spec = LatencySpec { intra_rtt_ms: 200.0, ..LatencySpec::default() };
+        assert!(spec.validate().is_err(), "intra above inter is a typo");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        assert_eq!(model(7), model(7));
+        assert_ne!(model(7), model(8));
+    }
+
+    #[test]
+    fn rtts_are_in_the_configured_envelope() {
+        let spec = LatencySpec::example_enabled();
+        let m = model(42);
+        for d in 0..m.num_domains() {
+            for s in 0..m.num_servers() {
+                let rtt = m.rtt_ms(d, s);
+                assert!(rtt >= spec.intra_rtt_ms, "rtt {rtt} below intra base");
+                assert!(rtt <= spec.inter_rtt_ms + spec.jitter_ms, "rtt {rtt} above inter+jitter");
+                assert!((m.rtt_s(d, s) - rtt / 1000.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn same_region_pairs_are_closer() {
+        let m = model(3);
+        let spec = LatencySpec::example_enabled();
+        for d in 0..m.num_domains() {
+            for s in 0..m.num_servers() {
+                let same = m.domain_regions()[d] == m.server_regions()[s];
+                let rtt = m.rtt_ms(d, s);
+                if same {
+                    assert!(rtt <= spec.intra_rtt_ms + spec.jitter_ms);
+                } else {
+                    assert!(rtt >= spec.inter_rtt_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_server_minimizes_rtt() {
+        let m = model(11);
+        for d in 0..m.num_domains() {
+            let near = m.nearest_server(d);
+            for s in 0..m.num_servers() {
+                assert!(m.rtt_ms(d, near) <= m.rtt_ms(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_serde_round_trips_and_defaults() {
+        let spec = LatencySpec::example_enabled();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: LatencySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Sparse JSON fills in the documented defaults.
+        let sparse: LatencySpec = serde_json::from_str("{\"enabled\":true}").unwrap();
+        assert_eq!(sparse, LatencySpec::example_enabled());
+    }
+}

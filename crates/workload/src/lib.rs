@@ -12,7 +12,10 @@
 //! * a **perturbation model** for the robustness experiments (Figures 6–7):
 //!   the busiest domain's request rate is inflated by an error factor and the
 //!   other domains are deflated proportionally, while schedulers keep using
-//!   the unperturbed estimates.
+//!   the unperturbed estimates;
+//! * a **geographic latency model** (extension): a seeded clustered-region
+//!   geography realized into a per-domain×server base-RTT matrix, giving
+//!   proximity-aware policies a network-distance axis to optimize.
 //!
 //! The crate is purely descriptive — it owns no simulation clock. The
 //! simulation world in `geodns-core` samples from the model.
@@ -23,6 +26,7 @@
 mod characterize;
 mod domain;
 mod ids;
+mod latency;
 mod perturb;
 mod profile;
 mod session;
@@ -32,6 +36,7 @@ mod trace;
 pub use characterize::SkewSummary;
 pub use domain::ClientPartition;
 pub use ids::{ClientId, DomainId};
+pub use latency::{LatencyModel, LatencySpec};
 pub use perturb::perturbation_multipliers;
 pub use profile::RateProfile;
 pub use session::SessionModel;

@@ -132,6 +132,65 @@ fn timeline_off_by_default() {
     assert!(report.timeline.is_none());
 }
 
+/// Drops a top-level key from an object `Value`; returns whether it existed.
+fn strip_key(value: &mut serde_json::Value, key: &str) -> bool {
+    let serde_json::Value::Object(entries) = value else {
+        panic!("expected a JSON object");
+    };
+    let before = entries.len();
+    entries.retain(|(k, _)| k != key);
+    entries.len() < before
+}
+
+#[test]
+fn pre_pr_config_shape_still_parses_and_matches_default() {
+    // A config serialized before the latency model existed has no
+    // `latency` key; it must deserialize (serde default: disabled) and
+    // reproduce the same run as today's default, byte for byte.
+    let cfg = base(Algorithm::drr2_ttl_s_k());
+    let mut value = serde_json::to_value(&cfg).unwrap();
+    let removed = strip_key(&mut value, "latency");
+    assert!(removed, "config serializes the latency block");
+    let old_shape: SimConfig = serde_json::from_value(&value).unwrap();
+    let old = run_simulation(&old_shape).unwrap();
+    let new = run_simulation(&cfg).unwrap();
+    assert_eq!(old, new);
+    let json = serde_json::to_string(&new).unwrap();
+    assert!(!json.contains("\"latency\""), "disabled model must not grow a report key");
+}
+
+#[test]
+fn latency_model_is_pure_measurement_for_proximity_blind_policies() {
+    // Enabling the model for a proximity-blind policy adds the perceived
+    // summary and changes NOTHING else: the geography has its own named
+    // RNG stream and the feedback hooks are RNG-free no-ops.
+    let plain = run_simulation(&base(Algorithm::rr())).unwrap();
+    let mut cfg = base(Algorithm::rr());
+    cfg.latency.enabled = true;
+    let measured = run_simulation(&cfg).unwrap();
+    assert!(plain.latency.is_none());
+    assert!(measured.latency.is_some());
+    let mut a = serde_json::to_value(&plain).unwrap();
+    let mut b = serde_json::to_value(&measured).unwrap();
+    strip_key(&mut a, "latency");
+    strip_key(&mut b, "latency");
+    assert_eq!(a, b, "the latency model must not perturb a proximity-blind run");
+}
+
+#[test]
+fn rtt_band_with_geography_reports_sane_percentiles() {
+    let mut cfg = base(Algorithm::rtt_band(400));
+    cfg.latency.enabled = true;
+    let report = run_simulation(&cfg).unwrap();
+    let lat = report.latency.expect("enabled model yields a summary");
+    assert!(lat.pages > 0);
+    assert!(0.0 < lat.perceived_p50_s && lat.perceived_p50_s <= lat.perceived_p95_s);
+    assert!(lat.perceived_p95_s <= lat.perceived_p99_s);
+    // Round trips live between the intra floor and the inter ceiling.
+    assert!(lat.rtt_mean_s > 0.001, "rtt mean {}", lat.rtt_mean_s);
+    assert!(lat.rtt_mean_s < 0.2, "rtt mean {}", lat.rtt_mean_s);
+}
+
 #[test]
 fn window_estimator_runs_end_to_end() {
     let mut cfg = base(Algorithm::prr2_ttl_k());
