@@ -1,0 +1,210 @@
+//! Dense struct-of-arrays client-session state.
+
+use geodns_simcore::{DenseBits, SimTime};
+
+/// Per-client session state flattened into dense columns indexed by client
+/// id.
+///
+/// The array-of-structs predecessor held a 48-byte `ClientState` per client
+/// (an `Option<(u32, SimTime)>` alone padded to 16). At the paper's 500
+/// clients that was irrelevant; at the 1M clients the scale experiments run
+/// it is the difference between client state fitting in cache-friendly
+/// sequential columns or not. Each field lives in its own `Vec` (booleans in
+/// [`DenseBits`], one bit each), the client's cached mapping is encoded
+/// without an `Option` — `f64::NEG_INFINITY` expiry means "no mapping", and
+/// the `now < expiry` freshness filter behaves identically — and
+/// [`bytes`](ClientColumns::bytes) reports the exact per-client footprint
+/// for the scale bench's bytes-per-client gate.
+///
+/// Columns: domain (`u32`), server (`u32`), pages left in session (`u32`),
+/// page issue time (`f64`), cached server (`u32`) + cached expiry (`f64`),
+/// direct-mapping flag (1 bit), hot-domain flag (1 bit) — 32¼ bytes per
+/// client.
+#[derive(Debug)]
+pub(crate) struct ClientColumns {
+    domain: Vec<u32>,
+    server: Vec<u32>,
+    pages_left: Vec<u32>,
+    page_issued_at: Vec<f64>,
+    cached_server: Vec<u32>,
+    /// Expiry of the client's own cached mapping, seconds;
+    /// `f64::NEG_INFINITY` encodes "no cached mapping".
+    cached_expiry: Vec<f64>,
+    /// Whether the session's mapping came straight from the DNS (an NS
+    /// cache miss) rather than from a cache.
+    direct: DenseBits,
+    /// Whether the client's source domain is "hot" under the γ rule.
+    hot: DenseBits,
+}
+
+impl ClientColumns {
+    /// Builds the columns for one client per entry of `domains`, marking
+    /// clients whose domain index is set in `hot_domains`.
+    pub(crate) fn new(domains: impl ExactSizeIterator<Item = u32>, hot_domains: &[bool]) -> Self {
+        let n = domains.len();
+        let mut domain = Vec::with_capacity(n);
+        let mut hot = DenseBits::new(n, false);
+        for (c, d) in domains.enumerate() {
+            domain.push(d);
+            if hot_domains[d as usize] {
+                hot.set(c, true);
+            }
+        }
+        ClientColumns {
+            domain,
+            server: vec![0; n],
+            pages_left: vec![0; n],
+            page_issued_at: vec![0.0; n],
+            cached_server: vec![0; n],
+            cached_expiry: vec![f64::NEG_INFINITY; n],
+            direct: DenseBits::new(n, false),
+            hot,
+        }
+    }
+
+    /// Number of clients.
+    pub(crate) fn len(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Total heap footprint of the columns in bytes — the numerator of the
+    /// bytes-per-client figure `BENCH_scale.json` gates on.
+    pub(crate) fn bytes(&self) -> usize {
+        self.domain.capacity() * 4
+            + self.server.capacity() * 4
+            + self.pages_left.capacity() * 4
+            + self.page_issued_at.capacity() * 8
+            + self.cached_server.capacity() * 4
+            + self.cached_expiry.capacity() * 8
+            + self.direct.bytes()
+            + self.hot.bytes()
+    }
+
+    pub(crate) fn domain(&self, c: u32) -> usize {
+        self.domain[c as usize] as usize
+    }
+
+    pub(crate) fn server(&self, c: u32) -> usize {
+        self.server[c as usize] as usize
+    }
+
+    pub(crate) fn set_server(&mut self, c: u32, server: u32) {
+        self.server[c as usize] = server;
+    }
+
+    pub(crate) fn direct(&self, c: u32) -> bool {
+        self.direct.get(c as usize)
+    }
+
+    pub(crate) fn set_direct(&mut self, c: u32, direct: bool) {
+        self.direct.set(c as usize, direct);
+    }
+
+    pub(crate) fn hot(&self, c: u32) -> bool {
+        self.hot.get(c as usize)
+    }
+
+    pub(crate) fn pages_left(&self, c: u32) -> u32 {
+        self.pages_left[c as usize]
+    }
+
+    pub(crate) fn set_pages_left(&mut self, c: u32, pages: u64) {
+        self.pages_left[c as usize] = u32::try_from(pages).expect("session page count exceeds u32");
+    }
+
+    /// Decrements the pages-left counter by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if no pages are left — a page must never be
+    /// issued with none remaining.
+    pub(crate) fn dec_pages_left(&mut self, c: u32) {
+        debug_assert!(self.pages_left[c as usize] > 0, "page issued with none left");
+        self.pages_left[c as usize] -= 1;
+    }
+
+    pub(crate) fn inc_pages_left(&mut self, c: u32) {
+        self.pages_left[c as usize] += 1;
+    }
+
+    pub(crate) fn page_issued_at(&self, c: u32) -> SimTime {
+        SimTime::from_secs(self.page_issued_at[c as usize])
+    }
+
+    pub(crate) fn set_page_issued_at(&mut self, c: u32, at: SimTime) {
+        self.page_issued_at[c as usize] = at.as_secs();
+    }
+
+    /// The client's own cached server mapping, if present and still fresh
+    /// at `now` — exactly the old `cached.filter(|(_, expiry)| now <
+    /// expiry)`: the sentinel `NEG_INFINITY` can never satisfy `now <
+    /// expiry`, so an absent mapping never hits.
+    pub(crate) fn cached_lookup(&self, c: u32, now: SimTime) -> Option<usize> {
+        (now.as_secs() < self.cached_expiry[c as usize])
+            .then(|| self.cached_server[c as usize] as usize)
+    }
+
+    pub(crate) fn set_cached(&mut self, c: u32, server: u32, expiry: SimTime) {
+        self.cached_server[c as usize] = server;
+        self.cached_expiry[c as usize] = expiry.as_secs();
+    }
+
+    pub(crate) fn clear_cached(&mut self, c: u32) {
+        self.cached_expiry[c as usize] = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns(n: usize) -> ClientColumns {
+        let hot = vec![true, false];
+        ClientColumns::new((0..n).map(|c| (c % 2) as u32), &hot)
+    }
+
+    #[test]
+    fn construction_seeds_domains_and_hotness() {
+        let c = columns(10);
+        assert_eq!(c.len(), 10);
+        for i in 0..10u32 {
+            assert_eq!(c.domain(i), (i % 2) as usize);
+            assert_eq!(c.hot(i), i % 2 == 0, "domain 0 is hot");
+            assert_eq!(c.server(i), 0);
+            assert_eq!(c.pages_left(i), 0);
+            assert!(!c.direct(i));
+            assert_eq!(c.cached_lookup(i, SimTime::ZERO), None);
+        }
+    }
+
+    #[test]
+    fn cached_mapping_round_trip_and_expiry() {
+        let mut c = columns(4);
+        c.set_cached(2, 5, SimTime::from_secs(10.0));
+        assert_eq!(c.cached_lookup(2, SimTime::from_secs(9.9)), Some(5));
+        assert_eq!(c.cached_lookup(2, SimTime::from_secs(10.0)), None, "expiry is exclusive");
+        assert_eq!(c.cached_lookup(3, SimTime::ZERO), None, "neighbours untouched");
+        c.clear_cached(2);
+        assert_eq!(c.cached_lookup(2, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn page_counters() {
+        let mut c = columns(2);
+        c.set_pages_left(0, 7);
+        c.dec_pages_left(0);
+        c.inc_pages_left(0);
+        assert_eq!(c.pages_left(0), 7);
+        assert_eq!(c.pages_left(1), 0, "per-client isolation");
+    }
+
+    #[test]
+    fn bytes_per_client_is_dense() {
+        let n = 100_000;
+        let c = columns(n);
+        let per_client = c.bytes() as f64 / n as f64;
+        // 4×u32 + 2×f64 + 2 bits = 32.25; Vec headroom stays nil because
+        // every column is sized exactly once.
+        assert!(per_client <= 33.0, "{per_client} bytes/client");
+    }
+}

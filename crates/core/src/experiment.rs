@@ -25,9 +25,36 @@ use crate::{run_simulation, SimConfig, SimReport};
 /// assert_eq!(reports[0].algorithm, "RR");
 /// ```
 pub fn run_all(configs: &[SimConfig]) -> Result<Vec<SimReport>, String> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
+    run_all_with_jobs(configs, env_jobs())
+}
+
+/// The `GEODNS_JOBS` worker cap: unset, `0`, or unparsable all mean "no
+/// cap" (use every core), so the variable can be exported unconditionally
+/// in CI scripts.
+fn env_jobs() -> Option<usize> {
+    std::env::var("GEODNS_JOBS").ok().and_then(|v| v.parse::<usize>().ok()).filter(|&j| j > 0)
+}
+
+/// [`run_all`] with an explicit cap on worker threads. `None` uses every
+/// available core (capped by `GEODNS_JOBS` when callers go through
+/// [`run_all`]); `Some(1)` runs serially on the calling thread. The cap
+/// matters when each config is itself sharded
+/// ([`ShardSpec`](crate::ShardSpec)): sweep-level and shard-level threads
+/// multiply, so a sweep of S-shard configs wants `jobs ≈ cores / S`.
+/// Results come back in input order regardless of the cap or completion
+/// order (workers send `(index, result)` pairs; the receiver reorders).
+///
+/// # Errors
+///
+/// Returns the first configuration error encountered.
+pub fn run_all_with_jobs(
+    configs: &[SimConfig],
+    jobs: Option<usize>,
+) -> Result<Vec<SimReport>, String> {
+    let threads = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+        })
         .min(configs.len().max(1));
 
     if threads <= 1 || configs.len() <= 1 {
@@ -153,6 +180,26 @@ mod tests {
         let parallel = run_all(&configs).unwrap();
         let serial: Vec<_> = configs.iter().map(|c| run_simulation(c).unwrap()).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn jobs_cap_preserves_input_order_and_results() {
+        // Distinct seeds make any reordering visible in the reports.
+        let configs: Vec<SimConfig> = (0..5)
+            .map(|i| {
+                let mut c = tiny(Algorithm::rr());
+                c.seed = 100 + i;
+                c
+            })
+            .collect();
+        let serial = run_all_with_jobs(&configs, Some(1)).unwrap();
+        for jobs in [2, 3, 64] {
+            let capped = run_all_with_jobs(&configs, Some(jobs)).unwrap();
+            assert_eq!(capped, serial, "jobs = {jobs}");
+        }
+        for (cfg, report) in configs.iter().zip(&serial) {
+            assert_eq!(report.seed, cfg.seed, "input order held");
+        }
     }
 
     #[test]

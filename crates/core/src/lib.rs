@@ -61,6 +61,7 @@
 mod algorithm;
 mod classifier;
 mod client_cache;
+mod clients;
 mod config;
 mod estimator;
 mod experiment;
@@ -72,6 +73,7 @@ mod replication;
 mod report;
 mod scheduler;
 mod service;
+mod shard;
 mod timeline;
 pub mod ttl;
 mod world;
@@ -79,9 +81,9 @@ mod world;
 pub use algorithm::Algorithm;
 pub use classifier::{DomainClasses, TierSpec};
 pub use client_cache::ClientCacheModel;
-pub use config::{ServerSpec, SimConfig};
+pub use config::{ServerSpec, ShardSpec, SimConfig};
 pub use estimator::{EstimatorKind, HiddenLoadEstimator};
-pub use experiment::{format_table, run_all, Experiment};
+pub use experiment::{format_table, run_all, run_all_with_jobs, Experiment};
 pub use failover::{FailoverModel, FailureConfig};
 pub use obs::{
     DnsDecision, JsonlTracer, MuxProbe, NoopProbe, ObsConfig, ObsCounters, ObsSnapshot, Probe,
@@ -99,7 +101,7 @@ pub use scheduler::DnsScheduler;
 pub use service::{ServiceModel, ServiceSampler};
 pub use timeline::Timeline;
 pub use ttl::{TtlKind, TtlScheme};
-pub use world::{run_simulation, World};
+pub use world::{run_simulation, run_simulation_metered, RunMetrics, World};
 
 // Re-export the substrate types a downstream user needs to drive the API.
 pub use geodns_nameserver::{MinTtlBehavior, NsLookup};

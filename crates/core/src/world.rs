@@ -5,10 +5,11 @@ use geodns_nameserver::{MinTtlBehavior, NsCache, NsLookup};
 use geodns_server::{AlarmMonitor, CapacityPlan, FailureProcess, Hit, Signal, WebServer};
 use geodns_simcore::dist::{Distribution, Uniform};
 use geodns_simcore::stats::{Cdf, Tally};
-use geodns_simcore::{Engine, RngStreams, SimTime, StreamRng};
+use geodns_simcore::{split_mix_64, Engine, RngStreams, SimTime, StreamRng};
 use geodns_workload::{LatencyModel, Workload};
 use rand::Rng;
 
+use crate::clients::ClientColumns;
 use crate::obs::{MuxProbe, Probe, QueueEvent};
 use crate::report::LatencySummary;
 use crate::service::ServiceSampler;
@@ -67,21 +68,10 @@ impl Ev {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ClientState {
-    domain: u32,
-    server: u32,
-    pages_left: u64,
-    page_issued_at: SimTime,
-    /// Whether this session's mapping came straight from the DNS (an NS
-    /// cache miss) rather than from a cache.
-    direct: bool,
-    /// The client's own cached mapping, if the cache model keeps one.
-    cached: Option<(u32, SimTime)>,
-    /// Whether the client's source domain is "hot" under the γ rule
-    /// (used for per-class response metrics).
-    hot_domain: bool,
-}
+/// Domain-separation constants XORed into the master seed to derive the
+/// response CDFs' reservoir seeds (ASCII `"page"` / `"perc"`).
+const PAGE_CDF: u64 = 0x7061_6765;
+const PERC_CDF: u64 = 0x7065_7263;
 
 /// The scalar knobs the world consults while running, copied out of the
 /// [`SimConfig`] so construction can borrow the config instead of cloning
@@ -111,7 +101,9 @@ pub struct World {
     alarms: Vec<AlarmMonitor>,
     ns: NsCache,
     dns: DnsScheduler,
-    clients: Vec<ClientState>,
+    // Dense struct-of-arrays session state — see `clients.rs`. At 1M
+    // clients the layout, not the event queue, is the scaling wall.
+    clients: ClientColumns,
     rng_think: StreamRng,
     rng_pages: StreamRng,
     rng_hits: StreamRng,
@@ -123,6 +115,14 @@ pub struct World {
     scratch_backlogs: Vec<f64>,
     scratch_counts: Vec<u64>,
     scratch_dropped: Vec<Hit>,
+    // --- shard protocol (`shard.rs`): the other shards' summed backlog
+    // view from the last epoch barrier (empty in a single-world run, so
+    // `fill_backlogs` stays a plain copy), and the outbox of signals this
+    // shard raised since the last barrier (collected only when
+    // `collect_signals` is set, so the classic path never allocates) ---
+    remote_backlogs: Vec<f64>,
+    collect_signals: bool,
+    signal_outbox: Vec<(u32, Signal)>,
     // --- observability: recorders attached per `SimConfig::obs`. The
     // default (no recorders) makes every hook a pair of `None` checks and
     // keeps the run byte-identical — recorders observe, never perturb. ---
@@ -256,23 +256,14 @@ impl World {
             }
         }
 
-        let clients: Vec<ClientState> = (0..workload.num_clients())
-            .map(|c| {
-                let domain = workload.domain_of_client(c).index();
-                ClientState {
-                    domain: domain as u32,
-                    server: 0,
-                    pages_left: 0,
-                    page_issued_at: SimTime::ZERO,
-                    direct: false,
-                    cached: None,
-                    hot_domain: hot_domain[domain],
-                }
-            })
-            .collect();
+        let n_clients = workload.num_clients();
+        let clients = ClientColumns::new(
+            (0..n_clients).map(|c| workload.domain_of_client(c).index() as u32),
+            &hot_domain,
+        );
 
         Ok(World {
-            engine: Engine::with_capacity_and_kind(clients.len() * 2 + 64, cfg.queue),
+            engine: Engine::with_capacity_and_kind(n_clients * 2 + 64, cfg.queue),
             rng_think: streams.stream("think"),
             rng_pages: streams.stream("pages"),
             rng_hits: streams.stream("hits"),
@@ -284,12 +275,16 @@ impl World {
             max_util_samples: Vec::new(),
             per_server_util: vec![Tally::new(); n_servers],
             page_response: Tally::new(),
-            page_responses: Cdf::new(),
+            // Response CDFs honor `cdf_sample_cap` (0 = retain everything,
+            // the classic exact behavior). Each gets its own reservoir
+            // seed derived from the master seed so capping never touches
+            // the model's named RNG streams.
+            page_responses: Cdf::with_cap(cfg.cdf_sample_cap, split_mix_64(cfg.seed ^ PAGE_CDF)),
             page_response_hot: Tally::new(),
             page_response_normal: Tally::new(),
             latency,
             perceived: Tally::new(),
-            perceived_cdf: Cdf::new(),
+            perceived_cdf: Cdf::with_cap(cfg.cdf_sample_cap, split_mix_64(cfg.seed ^ PERC_CDF)),
             perceived_window: Tally::new(),
             rtt_assigned: Tally::new(),
             client_cache_hits: 0,
@@ -321,6 +316,9 @@ impl World {
             scratch_backlogs: Vec::with_capacity(n_servers),
             scratch_counts: Vec::with_capacity(n_domains),
             scratch_dropped: Vec::new(),
+            remote_backlogs: Vec::new(),
+            collect_signals: false,
+            signal_outbox: Vec::new(),
             probe: MuxProbe::from_config(&cfg.obs)?,
             params: RunParams {
                 seed: cfg.seed,
@@ -343,27 +341,63 @@ impl World {
     }
 
     /// Runs the simulation to its horizon and produces the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_metered().0
+    }
+
+    /// Like [`run`](World::run), but also returns execution metrics
+    /// (events processed, per-client state bytes) for the scale bench.
+    pub fn run_metered(mut self) -> (SimReport, RunMetrics) {
         self.schedule_initial_events();
         while let Some((now, ev)) = self.engine.step() {
-            self.probe.on_event(now, ev.kind(), self.engine.pending());
-            match ev {
-                Ev::SessionStart { client } => self.on_session_start(client, now),
-                Ev::IssuePage { client } => self.on_issue_page(client, now),
-                Ev::Departure { server, epoch } => self.on_departure(server, epoch, now),
-                Ev::UtilSample => self.on_util_sample(now),
-                Ev::Collect => self.on_collect(now),
-                Ev::SignalArrive { server, signal } => self.on_signal(server, signal, now),
-                Ev::WarmupEnd => self.on_warmup_end(now),
-                Ev::Horizon => {
-                    self.engine.clear_pending();
-                }
-                Ev::ServerCrash { server } => self.on_server_crash(server, now),
-                Ev::ServerRecover { server } => self.on_server_recover(server, now),
-                Ev::RetryPage { client } => self.on_retry_page(client, now),
-            }
+            self.dispatch(now, ev);
         }
-        self.finalize()
+        let metrics = self.metrics();
+        (self.finalize(), metrics)
+    }
+
+    /// Handles one event. The single dispatch point shared by the classic
+    /// run-to-completion loop and the sharded epoch loop.
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        self.probe.on_event(now, ev.kind(), self.engine.pending());
+        match ev {
+            Ev::SessionStart { client } => self.on_session_start(client, now),
+            Ev::IssuePage { client } => self.on_issue_page(client, now),
+            Ev::Departure { server, epoch } => self.on_departure(server, epoch, now),
+            Ev::UtilSample => self.on_util_sample(now),
+            Ev::Collect => self.on_collect(now),
+            Ev::SignalArrive { server, signal } => self.on_signal(server, signal, now),
+            Ev::WarmupEnd => self.on_warmup_end(now),
+            Ev::Horizon => {
+                self.engine.clear_pending();
+            }
+            Ev::ServerCrash { server } => self.on_server_crash(server, now),
+            Ev::ServerRecover { server } => self.on_server_recover(server, now),
+            Ev::RetryPage { client } => self.on_retry_page(client, now),
+        }
+    }
+
+    /// Execution counters of the run so far.
+    fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            events: self.engine.events_processed(),
+            clients: self.clients.len() as u64,
+            client_state_bytes: self.clients.bytes() as u64,
+        }
+    }
+
+    /// Number of simulated clients.
+    #[must_use]
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Heap bytes retained for per-client session state — the dense
+    /// struct-of-arrays columns. The scale bench divides this by
+    /// [`num_clients`](World::num_clients) for its bytes-per-client gate.
+    #[must_use]
+    pub fn client_state_bytes(&self) -> usize {
+        self.clients.bytes()
     }
 
     fn schedule_initial_events(&mut self) {
@@ -396,19 +430,24 @@ impl World {
     fn fill_backlogs(&mut self) {
         self.scratch_backlogs.clear();
         self.scratch_backlogs.extend(self.servers.iter().map(WebServer::normalized_backlog));
+        // In a sharded run, add the other shards' view from the last epoch
+        // barrier so the scheduler judges whole-site queues. Empty (and
+        // skipped — keeping the classic path byte-identical) otherwise.
+        if !self.remote_backlogs.is_empty() {
+            for (own, remote) in self.scratch_backlogs.iter_mut().zip(&self.remote_backlogs) {
+                *own += remote;
+            }
+        }
     }
 
     /// Resolves the client's domain through the full path (client cache →
     /// domain NS cache → DNS), records the mapping into the client state,
     /// and counts failure-driven rebinds.
     fn resolve_client(&mut self, client: u32, now: SimTime) {
-        let domain = self.clients[client as usize].domain as usize;
-        let old_server = self.clients[client as usize].server as usize;
+        let domain = self.clients.domain(client);
+        let old_server = self.clients.server(client);
 
-        let client_hit = self.clients[client as usize]
-            .cached
-            .filter(|&(_, expiry)| now < expiry)
-            .map(|(server, _)| server as usize);
+        let client_hit = self.clients.cached_lookup(client, now);
         if client_hit.is_some() && self.measuring {
             self.client_cache_hits += 1;
         }
@@ -440,7 +479,10 @@ impl World {
                         .client_cache
                         .expiry(now.as_secs(), ns_expiry.as_secs())
                         .map(SimTime::from_secs);
-                    self.clients[client as usize].cached = expiry.map(|e| (server as u32, e));
+                    match expiry {
+                        Some(e) => self.clients.set_cached(client, server as u32, e),
+                        None => self.clients.clear_cached(client),
+                    }
                 }
                 (server, direct)
             }
@@ -453,15 +495,14 @@ impl World {
             // failure-driven rebind, whichever cache layer supplied it.
             self.rebinds_measured += 1;
         }
-        let state = &mut self.clients[client as usize];
-        state.server = server as u32;
-        state.direct = direct;
+        self.clients.set_server(client, server as u32);
+        self.clients.set_direct(client, direct);
     }
 
     fn on_session_start(&mut self, client: u32, now: SimTime) {
         self.resolve_client(client, now);
         let pages = self.workload.session().sample_pages(&mut self.rng_pages);
-        self.clients[client as usize].pages_left = pages;
+        self.clients.set_pages_left(client, pages);
         if self.measuring {
             self.sessions += 1;
         }
@@ -469,13 +510,10 @@ impl World {
     }
 
     fn on_issue_page(&mut self, client: u32, now: SimTime) {
-        let (server, domain, direct) = {
-            let state = &mut self.clients[client as usize];
-            debug_assert!(state.pages_left > 0, "page issued with none left");
-            state.pages_left -= 1;
-            state.page_issued_at = now;
-            (state.server as usize, state.domain as usize, state.direct)
-        };
+        self.clients.dec_pages_left(client);
+        self.clients.set_page_issued_at(client, now);
+        let (server, domain, direct) =
+            (self.clients.server(client), self.clients.domain(client), self.clients.direct(client));
         let hits = self.workload.session().sample_hits(&mut self.rng_hits);
         self.hits_issued_total += hits;
         if self.measuring {
@@ -534,8 +572,7 @@ impl World {
         }
         if hit.last_of_page {
             let client = hit.client as u32;
-            let state = self.clients[hit.client];
-            let response = now.since(state.page_issued_at);
+            let response = now.since(self.clients.page_issued_at(client));
             // Client-perceived latency = queueing response + the base
             // network round-trip of the (domain, server) pair. The policy
             // is fed the network leg alone — the proximity signal — and
@@ -548,7 +585,7 @@ impl World {
             if self.measuring {
                 self.page_response.record(response);
                 self.page_responses.record(response);
-                if state.hot_domain {
+                if self.clients.hot(client) {
                     self.page_response_hot.record(response);
                 } else {
                     self.page_response_normal.record(response);
@@ -563,7 +600,7 @@ impl World {
             let multiplier = self.workload.client_rate_multiplier_at(hit.client, now.as_secs());
             let think =
                 self.workload.session().sample_think_scaled(&mut self.rng_think, multiplier);
-            let next = if state.pages_left > 0 {
+            let next = if self.clients.pages_left(client) > 0 {
                 Ev::IssuePage { client }
             } else {
                 Ev::SessionStart { client }
@@ -637,6 +674,9 @@ impl World {
         }
         self.probe.on_signal(now, server as usize, signal);
         self.dns.signal(server as usize, signal);
+        if self.collect_signals {
+            self.signal_outbox.push((server, signal));
+        }
     }
 
     fn on_server_crash(&mut self, server: u32, now: SimTime) {
@@ -716,21 +756,17 @@ impl World {
         // Tell the policy the page never completed so an RTT-aware scheme
         // backs off the dead server instead of waiting out a full RTO.
         // No-op (and RNG-free) for the classic policies.
-        {
-            let state = self.clients[client as usize];
-            self.dns.observe_timeout(state.domain as usize, state.server as usize);
-        }
+        self.dns.observe_timeout(self.clients.domain(client), self.clients.server(client));
         match self.params.failover {
             FailoverModel::PinUntilTtl => {
                 // Paper-faithful: the page is abandoned, the binding stays
                 // until its TTL runs out, and the client moves on after a
                 // normal think period.
-                let state = self.clients[client as usize];
                 let multiplier =
                     self.workload.client_rate_multiplier_at(client as usize, now.as_secs());
                 let think =
                     self.workload.session().sample_think_scaled(&mut self.rng_think, multiplier);
-                let next = if state.pages_left > 0 {
+                let next = if self.clients.pages_left(client) > 0 {
                     Ev::IssuePage { client }
                 } else {
                     Ev::SessionStart { client }
@@ -742,9 +778,8 @@ impl World {
                 // and retries the same page after the backoff with a fresh
                 // resolution (the NS cache may still pin it to the dead
                 // server until the TTL expires).
-                let state = &mut self.clients[client as usize];
-                state.pages_left += 1;
-                state.cached = None;
+                self.clients.inc_pages_left(client);
+                self.clients.clear_cached(client);
                 self.engine.schedule_in(backoff_s, Ev::RetryPage { client });
             }
         }
@@ -842,6 +877,88 @@ impl World {
     }
 }
 
+// --- the shard protocol: the crate-private hooks `shard.rs` drives to run
+// this world as one shard of a domain-decomposed site (see `ShardSpec`) ---
+impl World {
+    /// Schedules the initial event population without running. The epoch
+    /// loop then advances the world barrier by barrier.
+    pub(crate) fn start(&mut self) {
+        self.schedule_initial_events();
+    }
+
+    /// Processes every pending event with timestamp strictly before
+    /// `until`, then stops — events at or past the barrier instant run in
+    /// the next epoch, after the cross-shard exchange.
+    pub(crate) fn run_epoch(&mut self, until: SimTime) {
+        while self.engine.next_event_time().is_some_and(|t| t < until) {
+            let (now, ev) = self.engine.step().expect("a pending event was just peeked");
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Whether the event queue is empty (the horizon has passed).
+    pub(crate) fn drained(&self) -> bool {
+        self.engine.next_event_time().is_none()
+    }
+
+    /// Turns on the signal outbox so alarm/normal/liveness signals this
+    /// shard's DNS receives are also staged for broadcast at the barrier.
+    pub(crate) fn enable_signal_collection(&mut self) {
+        self.collect_signals = true;
+    }
+
+    /// Writes this shard's per-server normalized backlogs into `out`.
+    pub(crate) fn export_backlogs(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.servers.iter().map(WebServer::normalized_backlog));
+    }
+
+    /// Installs the other shards' summed backlog view for the next epoch.
+    pub(crate) fn set_remote_backlogs(&mut self, remote: &[f64]) {
+        self.remote_backlogs.clear();
+        self.remote_backlogs.extend_from_slice(remote);
+    }
+
+    /// Moves the staged signals out (in the order they fired).
+    pub(crate) fn drain_signal_outbox(&mut self, out: &mut Vec<(u32, Signal)>) {
+        out.append(&mut self.signal_outbox);
+    }
+
+    /// Delivers a signal another shard raised to this shard's DNS.
+    pub(crate) fn apply_remote_signal(&mut self, server: u32, signal: Signal) {
+        self.dns.signal(server as usize, signal);
+    }
+
+    /// Tears the finished shard down into its raw statistics, for the
+    /// cross-shard merge (`shard.rs`). The single-world path goes through
+    /// [`finalize`](World::finalize) instead.
+    pub(crate) fn harvest(self) -> crate::shard::ShardHarvest {
+        let metrics = self.metrics();
+        let hits_in_flight: u64 = self.servers.iter().map(|s| s.queue_len() as u64).sum();
+        crate::shard::ShardHarvest {
+            max_util_samples: self.max_util_samples,
+            per_server_util: self.per_server_util,
+            page_response: self.page_response,
+            page_responses: self.page_responses,
+            page_response_hot: self.page_response_hot,
+            page_response_normal: self.page_response_normal,
+            sessions: self.sessions,
+            dns_queries: self.dns_queries_measured,
+            client_cache_hits: self.client_cache_hits,
+            hits_completed: self.hits_completed_measured,
+            hits_total: self.hits_total,
+            hits_direct: self.hits_direct,
+            alarms: self.alarms_measured,
+            ns_stats: self.ns.stats(),
+            hits_issued_total: self.hits_issued_total,
+            hits_served_total: self.hits_served_total,
+            hits_failed_total: self.hits_failed_total,
+            hits_in_flight,
+            metrics,
+        }
+    }
+}
+
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
@@ -850,6 +967,42 @@ impl std::fmt::Debug for World {
             .field("clients", &self.clients.len())
             .field("now", &self.engine.now())
             .finish()
+    }
+}
+
+/// Execution metrics of one run, for throughput and memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Events the engine processed over the whole run (warm-up included).
+    pub events: u64,
+    /// Number of simulated clients.
+    pub clients: u64,
+    /// Heap bytes retained for per-client session state.
+    pub client_state_bytes: u64,
+}
+
+impl RunMetrics {
+    /// Per-client session-state footprint in bytes.
+    #[must_use]
+    pub fn bytes_per_client(&self) -> f64 {
+        if self.clients == 0 {
+            0.0
+        } else {
+            self.client_state_bytes as f64 / self.clients as f64
+        }
+    }
+
+    /// Sums counters across shards (client counts and bytes add; so do
+    /// events).
+    #[must_use]
+    pub fn merged(metrics: &[RunMetrics]) -> RunMetrics {
+        let mut total = RunMetrics { events: 0, clients: 0, client_state_bytes: 0 };
+        for m in metrics {
+            total.events += m.events;
+            total.clients += m.clients;
+            total.client_state_bytes += m.client_state_bytes;
+        }
+        total
     }
 }
 
@@ -873,7 +1026,23 @@ impl std::fmt::Debug for World {
 /// assert!(report.mean_util() > 0.0);
 /// ```
 pub fn run_simulation(config: &SimConfig) -> Result<SimReport, String> {
+    if config.shard.shards > 1 {
+        return Ok(crate::shard::run_sharded(config)?.0);
+    }
     Ok(World::new(config)?.run())
+}
+
+/// Runs one simulation and also returns its execution metrics (events
+/// processed, per-client state bytes) — the scale bench's entry point.
+///
+/// # Errors
+///
+/// Returns the first configuration problem found.
+pub fn run_simulation_metered(config: &SimConfig) -> Result<(SimReport, RunMetrics), String> {
+    if config.shard.shards > 1 {
+        return crate::shard::run_sharded(config);
+    }
+    Ok(World::new(config)?.run_metered())
 }
 
 #[cfg(test)]

@@ -1,0 +1,152 @@
+//! Dense bitset for per-entity boolean columns.
+
+/// A fixed-length dense bitset: one bit per index, 64 indices per word.
+///
+/// Struct-of-arrays entity state (millions of simulated clients) keeps its
+/// boolean columns here instead of `Vec<bool>` — 8× denser, and the
+/// [`bytes`](DenseBits::bytes) accessor feeds the bytes-per-client
+/// accounting that the scale bench gates on.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::DenseBits;
+///
+/// let mut direct = DenseBits::new(100, false);
+/// direct.set(42, true);
+/// assert!(direct.get(42));
+/// assert!(!direct.get(41));
+/// assert_eq!(direct.len(), 100);
+/// assert_eq!(direct.bytes(), 16); // two u64 words cover 100 bits
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DenseBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBits {
+    /// Creates a bitset of `len` bits, all initialized to `fill`.
+    #[must_use]
+    pub fn new(len: usize, fill: bool) -> Self {
+        let n_words = len.div_ceil(64);
+        let mut words = vec![if fill { u64::MAX } else { 0 }; n_words];
+        if fill && !len.is_multiple_of(64) {
+            // Keep bits past `len` zero so word-level comparisons of two
+            // same-length sets cannot disagree on padding.
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        DenseBits { words, len }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap footprint in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_filled_and_cleared() {
+        let zeros = DenseBits::new(130, false);
+        let ones = DenseBits::new(130, true);
+        for i in 0..130 {
+            assert!(!zeros.get(i));
+            assert!(ones.get(i));
+        }
+        assert_eq!(zeros.count_ones(), 0);
+        assert_eq!(ones.count_ones(), 130);
+    }
+
+    #[test]
+    fn set_and_clear_round_trip() {
+        let mut b = DenseBits::new(200, false);
+        for i in (0..200).step_by(3) {
+            b.set(i, true);
+        }
+        for i in 0..200 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(63, true);
+        b.set(63, false);
+        assert!(!b.get(63));
+        assert!(b.get(63 + 3), "neighbours untouched");
+    }
+
+    #[test]
+    fn filled_padding_bits_stay_zero() {
+        let a = DenseBits::new(100, true);
+        let mut b = DenseBits::new(100, false);
+        for i in 0..100 {
+            b.set(i, true);
+        }
+        assert_eq!(a, b, "fill-at-construction equals set-one-by-one");
+    }
+
+    #[test]
+    fn word_boundary_lengths() {
+        for len in [0, 1, 63, 64, 65, 128] {
+            let b = DenseBits::new(len, true);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.count_ones(), len);
+            assert_eq!(b.bytes(), len.div_ceil(64) * 8);
+        }
+        assert!(DenseBits::new(0, false).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let _ = DenseBits::new(64, false).get(64);
+    }
+}

@@ -18,6 +18,7 @@ mod normal;
 mod pareto;
 mod uniform;
 mod zipf;
+mod zipf_alias;
 
 pub use deterministic::Deterministic;
 pub use discrete::Discrete;
@@ -29,6 +30,7 @@ pub use normal::Normal;
 pub use pareto::Pareto;
 pub use uniform::{DiscreteUniform, Uniform};
 pub use zipf::Zipf;
+pub use zipf_alias::ZipfAlias;
 
 use rand::Rng;
 use std::fmt;

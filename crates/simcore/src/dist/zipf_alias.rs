@@ -1,0 +1,230 @@
+//! Compact O(1) alias-method Zipf sampler for internet-scale rank counts.
+
+use rand::Rng;
+
+use super::{Distribution, ParamError};
+
+/// Zipf distribution over ranks `0..n` sampled in O(1) from a *compact*
+/// alias table: `P(rank i) ∝ 1 / (i+1)^s`.
+///
+/// [`Zipf`](super::Zipf) routes through the general-purpose
+/// [`Discrete`](super::Discrete), which retains the full normalized
+/// probability vector alongside its alias columns (3 words per rank, plus a
+/// transient weight vector during construction). At the paper's `K = 20`
+/// that is irrelevant; at the 10k+ domains the scale experiments sweep it
+/// is pure waste, because Zipf probabilities have a closed form. This
+/// sampler keeps only the acceptance thresholds (`f64`) and alias targets
+/// (`u32`) — 12 bytes per rank — and answers [`prob`](ZipfAlias::prob)
+/// analytically from the stored normalizer.
+///
+/// The alias table is built with the *identical* Vose pairing order as
+/// `Discrete::from_weights`, so a `ZipfAlias` and a `Zipf` over the same
+/// `(n, s)` draw **bit-identical sample sequences** from equal RNG states —
+/// pinned by a property test. Either sampler can therefore back a workload
+/// without perturbing seeded runs.
+///
+/// # Examples
+///
+/// ```
+/// use geodns_simcore::dist::{Distribution, ZipfAlias};
+/// use geodns_simcore::RngStreams;
+///
+/// let z = ZipfAlias::new(10_000, 1.0).unwrap(); // 10k-domain workload
+/// let mut rng = RngStreams::new(1).stream("zipf");
+/// assert!(z.sample(&mut rng) < 10_000);
+/// assert!(z.prob(0) > z.prob(9_999));
+/// assert!(z.table_bytes() < 10_000 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfAlias {
+    n: usize,
+    exponent: f64,
+    /// Sum of the unnormalized weights `Σ 1/(i+1)^s` (the generalized
+    /// harmonic number `H_{n,s}`), accumulated in rank order so
+    /// `prob(i)` reproduces `Discrete`'s normalization bit for bit.
+    total: f64,
+    accept: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl ZipfAlias {
+    /// Creates the sampler over `n` ranks with skew exponent `s`.
+    ///
+    /// Construction is a single O(n) Vose pass; no probability vector is
+    /// retained.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`, `n` exceeds `u32` range (the alias
+    /// targets are stored as `u32`), or the exponent is not finite and
+    /// `>= 0`.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("zipf needs at least one rank"));
+        }
+        if n > u32::MAX as usize {
+            return Err(ParamError::new(format!("alias table caps ranks at u32::MAX, got {n}")));
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(ParamError::new(format!(
+                "zipf exponent must be finite and >= 0, got {exponent}"
+            )));
+        }
+
+        // Weight and normalizer exactly as `Zipf::weights` + `Discrete`
+        // compute them, so probabilities (and the alias pairing below)
+        // match the reference sampler bit for bit.
+        let weight = |i: usize| 1.0 / ((i + 1) as f64).powf(exponent);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += weight(i);
+        }
+
+        // Vose's algorithm over the scaled probabilities, replicating the
+        // `Discrete::from_weights` pairing order: indices partitioned into
+        // "small"/"large" in ascending rank, then popped LIFO.
+        let mut scaled: Vec<f64> = (0..n).map(|i| weight(i) / total * n as f64).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        let mut accept = vec![1.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            let (s_i, l_i) = (s as usize, l as usize);
+            accept[s_i] = scaled[s_i];
+            alias[s_i] = l;
+            scaled[l_i] = (scaled[l_i] + scaled[s_i]) - 1.0;
+            if scaled[l_i] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0 columns; `accept` already says so
+        // and `alias` already self-targets.
+
+        Ok(ZipfAlias { n, exponent, total, accept, alias })
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The skew exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The normalized probability of rank `i`, computed analytically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        assert!(i < self.n, "rank {i} out of range ({} ranks)", self.n);
+        1.0 / ((i + 1) as f64).powf(self.exponent) / self.total
+    }
+
+    /// The generalized harmonic number `H_{n,s}` normalizing this law.
+    #[must_use]
+    pub fn harmonic(&self) -> f64 {
+        self.total
+    }
+
+    /// Retained table footprint in bytes (acceptance thresholds + alias
+    /// targets) — the scale bench's bytes-per-domain accounting reads this.
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.accept.capacity() * std::mem::size_of::<f64>()
+            + self.alias.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl Distribution<usize> for ZipfAlias {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.gen_range(0..self.n);
+        if rng.gen::<f64>() < self.accept[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Zipf;
+    use crate::RngStreams;
+
+    #[test]
+    fn probabilities_match_the_reference_sampler_exactly() {
+        for (n, s) in [(1, 1.0), (4, 1.0), (20, 1.0), (100, 0.0), (137, 0.8), (1000, 2.5)] {
+            let a = ZipfAlias::new(n, s).unwrap();
+            let z = Zipf::new(n, s).unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    a.prob(i).to_bits(),
+                    z.prob(i).to_bits(),
+                    "prob({i}) diverged at n={n}, s={s}"
+                );
+            }
+            assert_eq!(a.harmonic().to_bits(), Zipf::weights(n, s).iter().sum::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn sample_stream_is_bit_identical_to_zipf() {
+        let a = ZipfAlias::new(500, 1.0).unwrap();
+        let z = Zipf::new(500, 1.0).unwrap();
+        let mut rng_a = RngStreams::new(0xA1).stream("alias-pin");
+        let mut rng_z = RngStreams::new(0xA1).stream("alias-pin");
+        for draw in 0..10_000 {
+            assert_eq!(a.sample(&mut rng_a), z.sample(&mut rng_z), "draw {draw}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let z = ZipfAlias::new(20, 1.0).unwrap();
+        let mut rng = RngStreams::new(0x21).stream("zipf-alias");
+        let mut counts = [0usize; 20];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let f = count as f64 / n as f64;
+            assert!((f - z.prob(i)).abs() < 0.01, "rank {i}: {f} vs {}", z.prob(i));
+        }
+    }
+
+    #[test]
+    fn ten_thousand_ranks_build_instantly_and_compactly() {
+        let z = ZipfAlias::new(10_000, 1.0).unwrap();
+        assert_eq!(z.n(), 10_000);
+        // 12 bytes per rank (f64 accept + u32 alias), modulo Vec headroom.
+        assert!(z.table_bytes() <= 10_000 * 12 * 2, "table is {} bytes", z.table_bytes());
+        let sum: f64 = (0..10_000).map(|i| z.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ZipfAlias::new(0, 1.0).is_err());
+        assert!(ZipfAlias::new(5, -1.0).is_err());
+        assert!(ZipfAlias::new(5, f64::NAN).is_err());
+        assert!(ZipfAlias::new(5, f64::INFINITY).is_err());
+    }
+}

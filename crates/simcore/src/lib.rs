@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod calendar;
 pub mod dist;
 mod engine;
@@ -75,6 +76,7 @@ mod rng;
 pub mod stats;
 mod time;
 
+pub use bits::DenseBits;
 pub use calendar::CalendarQueue;
 pub use engine::Engine;
 pub use event::{EventQueue, HeapQueue, QueueKind};

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation substrate.
 
 use geodns_simcore::dist::{
-    Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf,
+    Discrete, Distribution, Empirical, Exponential, Geometric, Uniform, Zipf, ZipfAlias,
 };
 use geodns_simcore::stats::{Cdf, Histogram, P2Quantile, Tally};
 use geodns_simcore::{CalendarQueue, EventQueue, HeapQueue, QueueKind, RngStreams, SimTime};
@@ -180,6 +180,65 @@ proptest! {
         for i in 1..n {
             prop_assert!(z.prob(i) <= z.prob(i - 1) + 1e-12);
         }
+    }
+
+    /// The compact `ZipfAlias` is pinned against the reference `Zipf` over
+    /// the whole parameter space: identical analytic probabilities (to the
+    /// bit) and identical sample streams from equal RNG states, so swapping
+    /// one for the other can never perturb a seeded run.
+    #[test]
+    fn zipf_alias_pins_to_reference_zipf(n in 1usize..400, s in 0.0f64..3.0, seed in 0u64..1000) {
+        let a = ZipfAlias::new(n, s).unwrap();
+        let z = Zipf::new(n, s).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(a.prob(i).to_bits(), z.prob(i).to_bits(), "prob({}) diverged", i);
+        }
+        let mut rng_a = RngStreams::new(seed).stream("zipf-alias-pin");
+        let mut rng_z = RngStreams::new(seed).stream("zipf-alias-pin");
+        for draw in 0..500 {
+            prop_assert_eq!(a.sample(&mut rng_a), z.sample(&mut rng_z), "draw {} diverged", draw);
+        }
+    }
+
+    /// A capped CDF that never exceeds its cap is indistinguishable from an
+    /// exact one: same retained multiset, same quantiles, to the bit.
+    #[test]
+    fn capped_cdf_exact_below_cap(
+        samples in prop::collection::vec(-1e3f64..1e3, 1..100),
+        seed in 0u64..1000,
+        q in 0.0f64..1.0,
+    ) {
+        let mut exact = Cdf::new();
+        let mut capped = Cdf::with_cap(100, seed);
+        for &s in &samples {
+            exact.record(s);
+            capped.record(s);
+        }
+        prop_assert_eq!(capped.count(), exact.count());
+        prop_assert_eq!(capped.seen(), samples.len() as u64);
+        prop_assert_eq!(
+            capped.quantile(q).unwrap().to_bits(),
+            exact.quantile(q).unwrap().to_bits()
+        );
+        prop_assert_eq!(capped.mean().to_bits(), exact.mean().to_bits());
+    }
+
+    /// Merging CDFs shard-by-shard matches recording the union sequentially
+    /// (uncapped): quantiles agree bit-for-bit after the sort.
+    #[test]
+    fn cdf_merge_matches_sequential(
+        a in prop::collection::vec(-1e3f64..1e3, 0..60),
+        b in prop::collection::vec(-1e3f64..1e3, 1..60),
+        q in 0.0f64..1.0,
+    ) {
+        let mut ca = Cdf::new();
+        let mut cb = Cdf::new();
+        let mut whole = Cdf::new();
+        for &x in &a { ca.record(x); whole.record(x); }
+        for &x in &b { cb.record(x); whole.record(x); }
+        ca.merge(&cb);
+        prop_assert_eq!(ca.seen(), whole.seen());
+        prop_assert_eq!(ca.quantile(q).unwrap().to_bits(), whole.quantile(q).unwrap().to_bits());
     }
 
     /// Alias-method sampling only produces indices with positive weight.

@@ -31,6 +31,12 @@ impl ClientPartition {
     /// Partitions `n_clients` among `n_domains` proportionally to a Zipf law
     /// with the given exponent (exponent 0 = uniform).
     ///
+    /// Construction is O(clients + domains): shares come straight from the
+    /// closed-form Zipf weights — same values, to the bit, as
+    /// [`Zipf::prob`](geodns_simcore::dist::Zipf::prob) — without building
+    /// the sampler's alias table, so a 10k-domain partition materializes
+    /// instantly.
+    ///
     /// # Errors
     ///
     /// Returns an error if either count is zero, there are fewer clients
@@ -42,8 +48,15 @@ impl ClientPartition {
         if n_clients < n_domains {
             return Err(format!("{n_clients} clients cannot populate {n_domains} domains"));
         }
-        let z = Zipf::new(n_domains, exponent).map_err(|e| e.to_string())?;
-        let shares: Vec<f64> = (0..n_domains).map(|i| z.prob(i)).collect();
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(format!("zipf exponent must be finite and >= 0, got {exponent}"));
+        }
+        // `w / total` with `total = Σ w` in rank order is exactly how the
+        // alias samplers normalize, so these shares match `Zipf::prob`
+        // bit for bit (pinned by test) while skipping the table build.
+        let weights = Zipf::weights(n_domains, exponent);
+        let total: f64 = weights.iter().sum();
+        let shares: Vec<f64> = weights.iter().map(|w| w / total).collect();
         Ok(Self::largest_remainder(n_clients, &shares))
     }
 
@@ -167,6 +180,33 @@ impl ClientPartition {
         panic!("client index {c} out of range ({} clients)", self.total_clients());
     }
 
+    /// The full client→domain map under the canonical enumeration (domain
+    /// 0's clients first, then domain 1's, …), built in one
+    /// O(clients + domains) pass — use this instead of calling
+    /// [`domain_of`](ClientPartition::domain_of) per client, which walks the
+    /// counts and would cost O(clients × domains) over a population.
+    #[must_use]
+    pub fn domain_map(&self) -> Vec<DomainId> {
+        let mut map = Vec::with_capacity(self.total_clients());
+        for (d, &n) in self.counts.iter().enumerate() {
+            map.extend(std::iter::repeat_n(DomainId(d), n));
+        }
+        map
+    }
+
+    /// The half-open client-index range `[start, end)` owned by domain `d`
+    /// under the canonical enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn client_range(&self, d: usize) -> std::ops::Range<usize> {
+        assert!(d < self.counts.len(), "domain {d} out of range ({} domains)", self.counts.len());
+        let start: usize = self.counts[..d].iter().sum();
+        start..start + self.counts[d]
+    }
+
     /// The relative population share of each domain (sums to 1).
     #[must_use]
     pub fn shares(&self) -> Vec<f64> {
@@ -238,6 +278,55 @@ mod tests {
     fn domain_of_rejects_overflow() {
         let p = ClientPartition::explicit(vec![1]).unwrap();
         let _ = p.domain_of(1);
+    }
+
+    #[test]
+    fn domain_map_matches_domain_of() {
+        let p = ClientPartition::zipf(500, 20, 1.0).unwrap();
+        let map = p.domain_map();
+        assert_eq!(map.len(), 500);
+        for (c, &d) in map.iter().enumerate() {
+            assert_eq!(d, p.domain_of(c), "client {c}");
+        }
+    }
+
+    #[test]
+    fn client_ranges_tile_the_population() {
+        let p = ClientPartition::explicit(vec![2, 3, 1]).unwrap();
+        assert_eq!(p.client_range(0), 0..2);
+        assert_eq!(p.client_range(1), 2..5);
+        assert_eq!(p.client_range(2), 5..6);
+        let map = p.domain_map();
+        for d in 0..3 {
+            for c in p.client_range(d) {
+                assert_eq!(map[c], DomainId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn ten_thousand_domains_build_instantly() {
+        // O(clients + domains): a 10k-domain, 1M-client partition plus its
+        // full client→domain map in well under a second even in debug mode
+        // (the old per-client `domain_of` walk would be ~10^10 steps here).
+        let p = ClientPartition::zipf(1_000_000, 10_000, 1.0).unwrap();
+        assert_eq!(p.total_clients(), 1_000_000);
+        assert!(p.counts().iter().all(|&c| c >= 1));
+        let map = p.domain_map();
+        assert_eq!(map.len(), 1_000_000);
+        assert_eq!(map[0], DomainId(0));
+        assert_eq!(map[999_999], DomainId(9_999));
+    }
+
+    #[test]
+    fn shares_pin_to_zipf_prob_bit_for_bit() {
+        // The construction shortcut must keep producing exactly the shares
+        // `Zipf::prob` reports, or seeded partitions would shift.
+        let z = Zipf::new(137, 1.0).unwrap();
+        let a = ClientPartition::zipf(10_000, 137, 1.0).unwrap();
+        let shares: Vec<f64> = (0..137).map(|i| z.prob(i)).collect();
+        let b = ClientPartition::largest_remainder(10_000, &shares);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -135,8 +135,8 @@ impl WorkloadSpec {
             vec![1.0; partition.num_domains()]
         };
 
-        let client_domain: Vec<DomainId> =
-            (0..self.n_clients).map(|c| partition.domain_of(c)).collect();
+        let client_domain: Vec<DomainId> = partition.domain_map();
+        debug_assert_eq!(client_domain.len(), self.n_clients);
 
         Ok(Workload {
             spec: self.clone(),

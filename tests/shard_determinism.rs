@@ -1,0 +1,106 @@
+//! Sharded-world guarantees: the parallel shard runner must reproduce the
+//! sequential oracle byte for byte (thread scheduling cannot leak into the
+//! simulation), and the dense struct-of-arrays client state must hold its
+//! per-client byte budget at scale.
+
+use geodns_core::{run_simulation, run_simulation_metered, Algorithm, SimConfig};
+use geodns_server::HeterogeneityLevel;
+
+/// A sharded run sized for tests: enough span for a few epoch barriers,
+/// enough domains for strided ownership to matter.
+fn sharded(shards: usize, parallel: bool, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::quick(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    cfg.duration_s = 300.0;
+    cfg.warmup_s = 60.0;
+    cfg.seed = seed;
+    cfg.shard.shards = shards;
+    cfg.shard.parallel = parallel;
+    cfg
+}
+
+#[test]
+fn parallel_shards_match_the_sequential_oracle_across_seeds() {
+    // The single-threaded execution of the same decomposition is the
+    // oracle; `parallel: true` merely spreads each epoch's shard-local
+    // stepping over OS threads, with the exchange still single-threaded.
+    // Compare serialized reports so every field — merged CDFs, tallies,
+    // counters — participates in the identity, across three seeds (three
+    // different epoch/exchange interleavings).
+    for seed in [7_u64, 1998, 0xD0_5EED] {
+        for shards in [2_usize, 3] {
+            let seq = run_simulation(&sharded(shards, false, seed)).unwrap();
+            let par = run_simulation(&sharded(shards, true, seed)).unwrap();
+            assert_eq!(
+                serde_json::to_string(&seq).unwrap(),
+                serde_json::to_string(&par).unwrap(),
+                "parallel diverged from sequential at {shards} shards, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_reproduce_bit_for_bit() {
+    // Same seed, same shard count → identical merged report, parallel mode
+    // included: determinism survives the epoch-barrier exchange.
+    let a = run_simulation(&sharded(3, true, 42)).unwrap();
+    let b = run_simulation(&sharded(3, true, 42)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn shard_count_changes_the_decomposition_not_the_physics() {
+    // Different shard counts are different models (each shard is its own
+    // world with a scaled farm replica), so reports differ — but the
+    // conserved quantities must still hold and the statistics must stay
+    // in the same regime as the unsharded run.
+    let whole = run_simulation(&sharded(1, false, 11)).unwrap();
+    let split = run_simulation(&sharded(4, true, 11)).unwrap();
+    assert!(split.hits_completed > 0);
+    assert!(split.hits_issued_total >= split.hits_served_total);
+    assert!((whole.mean_util() - split.mean_util()).abs() < 0.15);
+}
+
+#[test]
+fn client_state_holds_the_bytes_per_client_budget() {
+    // The struct-of-arrays columns cost 32¼ bytes per client (four f64
+    // columns plus one bit of hot/normal class). The budget is the
+    // regression tripwire: a per-client struct or a stray usize column
+    // blows straight through 40.
+    let mut cfg = SimConfig::quick(Algorithm::drr2_ttl_s_k(), HeterogeneityLevel::H20);
+    cfg.workload.n_clients = 50_000;
+    cfg.workload.n_domains = 2_000;
+    cfg.total_capacity = 50_000.0;
+    cfg.duration_s = 30.0;
+    cfg.warmup_s = 5.0;
+    let (_, metrics) = run_simulation_metered(&cfg).unwrap();
+    let bytes = metrics.bytes_per_client();
+    assert!(bytes > 0.0, "metering must account the client columns");
+    assert!(bytes <= 40.0, "client state regressed to {bytes:.2} bytes/client");
+}
+
+#[test]
+fn capped_cdfs_keep_the_report_usable() {
+    // `cdf_sample_cap` bounds report memory for long runs; the capped
+    // response-time summary must stay a faithful reservoir sample, not
+    // collapse to a truncated prefix.
+    let mut capped = sharded(1, false, 5);
+    capped.cdf_sample_cap = 8_192;
+    let mut exact = capped.clone();
+    exact.cdf_sample_cap = 0;
+    let capped = run_simulation(&capped).unwrap();
+    let exact = run_simulation(&exact).unwrap();
+    assert_eq!(capped.hits_completed, exact.hits_completed);
+    assert!(
+        (capped.page_response_p95_s - exact.page_response_p95_s).abs()
+            < exact.page_response_p95_s * 0.25,
+        "reservoir p95 {:.4}s drifted from exact {:.4}s",
+        capped.page_response_p95_s,
+        exact.page_response_p95_s
+    );
+
+    // A cap the run never reaches must be a no-op: byte-identical report.
+    let mut roomy = sharded(1, false, 5);
+    roomy.cdf_sample_cap = usize::MAX;
+    assert_eq!(run_simulation(&roomy).unwrap(), exact);
+}
